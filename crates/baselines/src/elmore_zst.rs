@@ -1,0 +1,342 @@
+//! Exact zero-skew clock routing under the **Elmore delay model** — Tsay's
+//! algorithm (ICCAD'91), the paper's reference \[4\] and the historical
+//! anchor of the whole DME family.
+//!
+//! Bottom-up, every cluster carries its merging region (a TRR), its total
+//! subtree capacitance and the common Elmore delay from the region to every
+//! sink below it. Merging two clusters along a wire of length `d` splits
+//! the wire at the point where the two sides' Elmore delays balance — a
+//! closed-form quadratic (`x` below). When no split point exists inside
+//! the wire, the fast side's branch is *elongated* (snaked) by the positive
+//! root of the balance quadratic, exactly as in Tsay's paper. Top-down
+//! placement reuses the shared DME embedder.
+
+use lubt_core::{embed_tree, LubtError, PlacementPolicy};
+use lubt_delay::elmore::{node_delays, ElmoreParams};
+use lubt_delay::linear::tree_cost;
+use lubt_geom::{Point, Trr};
+use lubt_topology::{nearest_neighbor_topology, NodeId, SourceMode, Topology};
+
+/// A constructed Elmore zero-skew tree.
+#[derive(Debug, Clone)]
+pub struct ElmoreZst {
+    /// The (generated or supplied) topology.
+    pub topology: Topology,
+    /// Edge lengths (indexed by node, entry 0 unused).
+    pub edge_lengths: Vec<f64>,
+    /// Node placements.
+    pub positions: Vec<Point>,
+    /// The common sink delay (Elmore units).
+    pub delay: f64,
+    /// The electrical parameters used.
+    pub params: ElmoreParams,
+}
+
+impl ElmoreZst {
+    /// Total wirelength.
+    pub fn cost(&self) -> f64 {
+        tree_cost(&self.edge_lengths)
+    }
+
+    /// Recomputed Elmore skew (should be ~0; exposed for assertions).
+    pub fn skew(&self) -> f64 {
+        let d = node_delays(&self.topology, &self.edge_lengths, &self.params);
+        lubt_delay::skew::skew(&self.topology, &d)
+    }
+}
+
+/// Balance split for a wire of length `d` joining cluster `a`
+/// (delay `ta`, cap `ca`) and cluster `b`: returns `(ea, eb)` with
+/// `ea + eb = d` when an interior balance point exists, or an elongated
+/// pair otherwise.
+fn elmore_split(
+    ta: f64,
+    ca: f64,
+    tb: f64,
+    cb: f64,
+    d: f64,
+    params: &ElmoreParams,
+) -> (f64, f64) {
+    let (r, c) = (params.r_w, params.c_w);
+    // Balance: ta + r x (c x / 2 + ca) = tb + r (d-x) (c (d-x) / 2 + cb).
+    let denom = r * (c * d + ca + cb);
+    if denom > 0.0 {
+        let x = ((r * c / 2.0) * d * d + r * cb * d + (tb - ta)) / denom;
+        if (0.0..=d).contains(&x) {
+            return (x, d - x);
+        }
+        if x < 0.0 {
+            // `a` is already slower at its own region: put the whole wire
+            // on b's side and elongate b until the delays meet.
+            return (0.0, elongation(tb, cb, ta, params).max(d));
+        }
+        // Symmetric.
+        return (elongation(ta, ca, tb, params).max(d), 0.0);
+    }
+    // Zero-resistance or zero-capacitance degenerate cases: split evenly.
+    (d / 2.0, d / 2.0)
+}
+
+/// Wire length `e` with `t_fast + r e (c e / 2 + cap) = t_slow`
+/// (`t_slow >= t_fast`): the snaking length that delays the fast side to
+/// match.
+fn elongation(t_fast: f64, cap: f64, t_slow: f64, params: &ElmoreParams) -> f64 {
+    let (r, c) = (params.r_w, params.c_w);
+    let need = (t_slow - t_fast).max(0.0);
+    if need == 0.0 {
+        return 0.0;
+    }
+    if r == 0.0 {
+        return 0.0; // no resistance: wire adds no delay; nothing to do
+    }
+    if c == 0.0 {
+        // Linear in e: r e cap = need.
+        return if cap > 0.0 { need / (r * cap) } else { 0.0 };
+    }
+    // (rc/2) e^2 + r cap e - need = 0, positive root.
+    let disc = (r * cap) * (r * cap) + 2.0 * r * c * need;
+    (-r * cap + disc.sqrt()) / (r * c)
+}
+
+/// Builds an exact zero-skew tree under the Elmore model.
+///
+/// * `topology` — optional explicit binary topology; nearest-neighbor merge
+///   otherwise.
+///
+/// # Errors
+///
+/// Propagates [`LubtError`] for invalid topologies or failed embeddings.
+///
+/// # Panics
+///
+/// Panics when `sinks` is empty.
+///
+/// # Example
+///
+/// ```
+/// use lubt_baselines::elmore_zero_skew_tree;
+/// use lubt_delay::ElmoreParams;
+/// use lubt_geom::Point;
+/// let sinks = [Point::new(0.0, 0.0), Point::new(20.0, 4.0), Point::new(8.0, 16.0)];
+/// let params = ElmoreParams::uniform(0.1, 0.2, 1.0, 3);
+/// let zst = elmore_zero_skew_tree(&sinks, Some(Point::new(10.0, 8.0)), None, params)?;
+/// assert!(zst.skew() < 1e-9 * (1.0 + zst.delay));
+/// # Ok::<(), lubt_core::LubtError>(())
+/// ```
+pub fn elmore_zero_skew_tree(
+    sinks: &[Point],
+    source: Option<Point>,
+    topology: Option<Topology>,
+    params: ElmoreParams,
+) -> Result<ElmoreZst, LubtError> {
+    assert!(!sinks.is_empty(), "need at least one sink");
+    let mode = if source.is_some() {
+        SourceMode::Given
+    } else {
+        SourceMode::Free
+    };
+    let topology = topology.unwrap_or_else(|| nearest_neighbor_topology(sinks, mode));
+    if !topology.is_binary(mode) {
+        return Err(LubtError::Input(
+            "Elmore zero-skew merging requires a binary topology".to_string(),
+        ));
+    }
+    if sinks.len() != topology.num_sinks() {
+        return Err(LubtError::Input(format!(
+            "{} sink locations for {} topology sinks",
+            sinks.len(),
+            topology.num_sinks()
+        )));
+    }
+
+    let n = topology.num_nodes();
+    let mut region: Vec<Option<Trr>> = vec![None; n];
+    let mut delay = vec![0.0f64; n];
+    let mut cap = vec![0.0f64; n];
+    let mut lengths = vec![0.0f64; n];
+
+    for v in topology.postorder() {
+        let vi = v.index();
+        if topology.is_sink(v) {
+            region[vi] = Some(Trr::from_point(sinks[vi - 1]));
+            cap[vi] = params
+                .sink_caps
+                .get(vi - 1)
+                .copied()
+                .unwrap_or(0.0);
+            continue;
+        }
+        let kids: Vec<NodeId> = topology.children(v).collect();
+        if kids.len() != 2 {
+            continue; // the Given-mode root (single child), handled below
+        }
+        let (a, b) = (kids[0], kids[1]);
+        let (ra, rb) = (
+            region[a.index()].expect("postorder"),
+            region[b.index()].expect("postorder"),
+        );
+        let d = ra.dist(&rb);
+        let (ea, eb) = elmore_split(
+            delay[a.index()],
+            cap[a.index()],
+            delay[b.index()],
+            cap[b.index()],
+            d,
+            &params,
+        );
+        lengths[a.index()] = ea;
+        lengths[b.index()] = eb;
+        let merged = ra
+            .expanded(ea)
+            .intersect(&rb.expanded(eb))
+            .or_else(|| {
+                let s = 1e-9 * (1.0 + d.abs());
+                ra.expanded(ea + s).intersect(&rb.expanded(eb + s))
+            })
+            .ok_or(LubtError::Embedding { node: vi })?;
+        region[vi] = Some(merged);
+        cap[vi] = cap[a.index()] + cap[b.index()] + params.c_w * (ea + eb);
+        delay[vi] = delay[a.index()]
+            + params.r_w * ea * (params.c_w * ea / 2.0 + cap[a.index()]);
+        debug_assert!(
+            (delay[vi]
+                - (delay[b.index()]
+                    + params.r_w * eb * (params.c_w * eb / 2.0 + cap[b.index()])))
+            .abs()
+                < 1e-6 * (1.0 + delay[vi]),
+            "merge at s{vi} is unbalanced"
+        );
+    }
+
+    // Root treatment: with a pinned source, the root edge adds the same
+    // Elmore delay to every sink (zero skew preserved).
+    let realized = match source {
+        Some(s0) => {
+            let c0 = topology
+                .children(topology.root())
+                .next()
+                .expect("Given-mode root has one child");
+            let rc = region[c0.index()].expect("computed");
+            let e = rc.dist_to_point(s0);
+            lengths[c0.index()] = e;
+            delay[c0.index()]
+                + params.r_w * e * (params.c_w * e / 2.0 + cap[c0.index()])
+        }
+        None => delay[0],
+    };
+
+    let positions = embed_tree(
+        &topology,
+        sinks,
+        source,
+        &lengths,
+        PlacementPolicy::ClosestToParent,
+    )?;
+    Ok(ElmoreZst {
+        topology,
+        edge_lengths: lengths,
+        positions,
+        delay: realized,
+        params,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scatter(n: usize, seed: u64) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let a = ((i * 89 + seed as usize * 113) % 211) as f64;
+                let b = ((i * 47 + seed as usize * 59) % 193) as f64;
+                Point::new(a, b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_sinks_balance_toward_the_heavier_load() {
+        // Equal geometry, unequal loads: the merge point shifts toward the
+        // heavier sink (more wire on the light side).
+        let sinks = [Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        let mut params = ElmoreParams::uniform(1.0, 1.0, 1.0, 2);
+        params.sink_caps[1] = 10.0; // sink 2 is heavy
+        let zst =
+            elmore_zero_skew_tree(&sinks, Some(Point::new(5.0, 5.0)), None, params).unwrap();
+        assert!(zst.skew() < 1e-9 * (1.0 + zst.delay), "skew {}", zst.skew());
+        // Wire toward the light sink 1 is longer than toward heavy sink 2.
+        assert!(
+            zst.edge_lengths[1] > zst.edge_lengths[2],
+            "e1 {} vs e2 {}",
+            zst.edge_lengths[1],
+            zst.edge_lengths[2]
+        );
+    }
+
+    #[test]
+    fn zero_elmore_skew_across_random_instances() {
+        for seed in 0..4u64 {
+            let sinks = scatter(14, seed);
+            let params = ElmoreParams::uniform(0.05, 0.3, 1.5, 14);
+            let zst = elmore_zero_skew_tree(&sinks, None, None, params).unwrap();
+            let rel = zst.skew() / (1.0 + zst.delay);
+            assert!(rel < 1e-9, "seed {seed}: relative skew {rel}");
+            // Edges realizable.
+            for (c, p) in zst.topology.edges() {
+                let d = zst.positions[c.index()].dist(zst.positions[p.index()]);
+                assert!(d <= zst.edge_lengths[c.index()] + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn elongation_branch_balances_unequal_depths() {
+        // Nested topology with a far pair and a near sink: the near sink's
+        // branch must snake.
+        let sinks = [
+            Point::new(0.0, 0.0),
+            Point::new(60.0, 0.0),
+            Point::new(30.0, 1.0),
+        ];
+        let params = ElmoreParams::uniform(0.2, 0.5, 1.0, 3);
+        let topo = Topology::from_parents(3, &[0, 4, 4, 5, 5, 0]).unwrap();
+        let zst = elmore_zero_skew_tree(
+            &sinks,
+            Some(Point::new(30.0, 10.0)),
+            Some(topo),
+            params,
+        )
+        .unwrap();
+        assert!(zst.skew() < 1e-6 * (1.0 + zst.delay), "skew {}", zst.skew());
+        // Sink 3's edge is elongated beyond its geometric span.
+        let span = zst.positions[3].dist(zst.positions[5]);
+        assert!(zst.edge_lengths[3] > span + 1.0, "no snaking happened");
+    }
+
+    #[test]
+    fn quadratic_elongation_formula() {
+        let params = ElmoreParams::uniform(2.0, 3.0, 0.0, 0);
+        // Solve for e, then substitute back.
+        let (t_fast, cap, t_slow) = (1.0, 4.0, 25.0);
+        let e = elongation(t_fast, cap, t_slow, &params);
+        let realized = t_fast + params.r_w * e * (params.c_w * e / 2.0 + cap);
+        assert!((realized - t_slow).abs() < 1e-9);
+        assert_eq!(elongation(5.0, 1.0, 5.0, &params), 0.0);
+    }
+
+    #[test]
+    fn elmore_and_linear_zst_differ_under_load() {
+        // With heavy unequal loads the Elmore balance point departs from
+        // the wirelength midpoint, so the trees differ.
+        let sinks = [Point::new(0.0, 0.0), Point::new(20.0, 0.0)];
+        let mut params = ElmoreParams::uniform(1.0, 0.5, 0.1, 2);
+        params.sink_caps[0] = 20.0;
+        let e =
+            elmore_zero_skew_tree(&sinks, Some(Point::new(10.0, 10.0)), None, params).unwrap();
+        let l = crate::zero_skew_tree(&sinks, Some(Point::new(10.0, 10.0)), None, None).unwrap();
+        // Linear splits 10/10; Elmore favors the loaded sink.
+        assert!((l.edge_lengths[1] - 10.0).abs() < 1e-9);
+        assert!(e.edge_lengths[1] < 10.0 - 1e-3, "e1 {}", e.edge_lengths[1]);
+    }
+}

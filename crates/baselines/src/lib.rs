@@ -1,0 +1,34 @@
+//! Baseline clock/global-routing constructions the LUBT paper compares
+//! against or builds upon.
+//!
+//! * [`bst_dme`] — a linear-delay **Bounded-Skew Tree** constructor in the
+//!   DME style of Huang-Kahng-Tsao (DAC'95), the paper's reference \[9\]
+//!   and the comparator of Table 1: nearest-neighbor bottom-up merging with
+//!   octilinear merging regions and skew-budgeted edge allocation, then
+//!   top-down embedding.
+//! * [`zero_skew_dme`] — exact linear-delay **Zero-Skew Tree** (DME /
+//!   Boese-Kahng, reference \[7\]), wrapping the core crate's §4.6 merging
+//!   pass with topology generation and embedding.
+//! * [`elmore_zst`] — exact zero-skew under the **Elmore** model (Tsay
+//!   ICCAD'91, reference \[4\]): quadratic balance splits and snaking
+//!   elongation.
+//! * [`spt`] — the **Shortest-Path Tree** of Lemma 3.1 (all Steiner points
+//!   collapsed onto the source), the minimum-delay / maximum-cost
+//!   reference point.
+//!
+//! The Table 1 protocol ("run \[9\], extract its topology and realized
+//! delay window, hand both to the EBF") is implemented on top of
+//! [`bst_dme::BstTree`]; see the bench crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bst_dme;
+pub mod elmore_zst;
+pub mod spt;
+pub mod zero_skew_dme;
+
+pub use bst_dme::{bounded_skew_tree, BstTree};
+pub use elmore_zst::{elmore_zero_skew_tree, ElmoreZst};
+pub use spt::{shortest_path_tree, star_wirelength};
+pub use zero_skew_dme::{zero_skew_tree, ZstTree};

@@ -1,0 +1,84 @@
+//! Shortest-path tree: the Lemma 3.1 construction.
+//!
+//! Collapsing every Steiner point onto the source gives each sink a direct
+//! source connection of length `dist(s0, s_i)` — the minimum possible delay
+//! for every sink simultaneously, at the price of the largest reasonable
+//! wirelength. The paper uses it as the feasibility anchor (any upper
+//! bounds at least the distances are achievable) and it serves here as a
+//! reference curve in the benches.
+
+use lubt_geom::Point;
+use lubt_topology::Topology;
+
+/// Edge lengths of the Lemma 3.1 SPT on a given topology: Steiner edges 0,
+/// each sink edge the full source distance.
+///
+/// Also returns positions realizing it (every Steiner point at the
+/// source).
+///
+/// # Panics
+///
+/// Panics when `sinks.len() != topo.num_sinks()`.
+pub fn shortest_path_tree(
+    topo: &Topology,
+    sinks: &[Point],
+    source: Point,
+) -> (Vec<f64>, Vec<Point>) {
+    assert_eq!(sinks.len(), topo.num_sinks());
+    let n = topo.num_nodes();
+    let mut lengths = vec![0.0; n];
+    let mut positions = vec![source; n];
+    for s in topo.sinks() {
+        let p = sinks[s.index() - 1];
+        positions[s.index()] = p;
+        lengths[s.index()] = source.dist(p);
+    }
+    // Edges above sinks already set; all other edges stay 0 — but a sink's
+    // edge belongs to the sink node, and Steiner nodes' edges are 0, which
+    // is exactly the Lemma 3.1 assignment. Nothing further to do, unless a
+    // sink is an internal node (non-Lemma topologies), which we reject.
+    assert!(
+        topo.all_sinks_are_leaves(),
+        "the SPT construction requires sinks to be leaves (Lemma 3.1)"
+    );
+    (lengths, positions)
+}
+
+/// Total wirelength of the direct star: `sum dist(s0, s_i)` — the cost of
+/// [`shortest_path_tree`] regardless of topology.
+pub fn star_wirelength(source: Point, sinks: &[Point]) -> f64 {
+    sinks.iter().map(|p| source.dist(*p)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lubt_delay::linear::{node_delays, tree_cost};
+    use lubt_topology::{nearest_neighbor_topology, SourceMode};
+
+    #[test]
+    fn spt_realizes_minimum_delays() {
+        let sinks = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(3.0, 7.0),
+        ];
+        let src = Point::new(5.0, 5.0);
+        let topo = nearest_neighbor_topology(&sinks, SourceMode::Given);
+        let (lengths, positions) = shortest_path_tree(&topo, &sinks, src);
+        let d = node_delays(&topo, &lengths);
+        for s in topo.sinks() {
+            assert!((d[s.index()] - src.dist(sinks[s.index() - 1])).abs() < 1e-12);
+        }
+        assert!((tree_cost(&lengths) - star_wirelength(src, &sinks)).abs() < 1e-12);
+        // Every edge realizable: steiner points sit on the source.
+        for (c, p) in topo.edges() {
+            assert!(positions[c.index()].dist(positions[p.index()]) <= lengths[c.index()] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn star_wirelength_empty() {
+        assert_eq!(star_wirelength(Point::ORIGIN, &[]), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Exact linear-delay zero-skew tree (ZST) construction — DME in the style
+//! of Boese-Kahng (ASIC'92), the paper's reference \[7\].
+//!
+//! Topology comes from nearest-neighbor merging (or is supplied); the
+//! merging pass is the §4.6 closed form from `lubt-core`; placement uses
+//! the shared embedder. Cross-validation against the LP path (`l = u`)
+//! lives in the integration tests.
+
+use lubt_core::{embed_tree, zero_skew_edge_lengths, LubtError, PlacementPolicy};
+use lubt_delay::linear::{node_delays, tree_cost};
+use lubt_geom::Point;
+use lubt_topology::{nearest_neighbor_topology, SourceMode, Topology};
+
+/// A constructed zero-skew tree.
+#[derive(Debug, Clone)]
+pub struct ZstTree {
+    /// The (generated or supplied) topology.
+    pub topology: Topology,
+    /// Edge lengths (indexed by node, entry 0 unused).
+    pub edge_lengths: Vec<f64>,
+    /// Node placements.
+    pub positions: Vec<Point>,
+    /// The common sink delay.
+    pub delay: f64,
+}
+
+impl ZstTree {
+    /// Total wirelength.
+    pub fn cost(&self) -> f64 {
+        tree_cost(&self.edge_lengths)
+    }
+
+    /// Recomputed skew (should be ~0; exposed for test assertions).
+    pub fn skew(&self) -> f64 {
+        let d = node_delays(&self.topology, &self.edge_lengths);
+        lubt_delay::skew::skew(&self.topology, &d)
+    }
+}
+
+/// Builds a zero-skew tree over `sinks`.
+///
+/// * `source` — pins the driver location; `None` lets the construction
+///   choose it.
+/// * `topology` — optional explicit topology (must be binary and match the
+///   source mode); nearest-neighbor merge otherwise.
+/// * `target` — the common delay; `None` uses the minimum achievable.
+///
+/// # Errors
+///
+/// Propagates [`LubtError`] for invalid topologies or an unreachable
+/// `target`.
+///
+/// # Panics
+///
+/// Panics when `sinks` is empty.
+///
+/// # Example
+///
+/// ```
+/// use lubt_baselines::zero_skew_tree;
+/// use lubt_geom::Point;
+/// let zst = zero_skew_tree(
+///     &[Point::new(0.0, 0.0), Point::new(8.0, 0.0), Point::new(4.0, 6.0)],
+///     Some(Point::new(4.0, 2.0)),
+///     None,
+///     None,
+/// )?;
+/// assert!(zst.skew() < 1e-9);
+/// # Ok::<(), lubt_core::LubtError>(())
+/// ```
+pub fn zero_skew_tree(
+    sinks: &[Point],
+    source: Option<Point>,
+    topology: Option<Topology>,
+    target: Option<f64>,
+) -> Result<ZstTree, LubtError> {
+    assert!(!sinks.is_empty(), "need at least one sink");
+    let mode = if source.is_some() {
+        SourceMode::Given
+    } else {
+        SourceMode::Free
+    };
+    let topology = topology.unwrap_or_else(|| nearest_neighbor_topology(sinks, mode));
+    let zst = zero_skew_edge_lengths(&topology, sinks, source, target)?;
+    let positions = embed_tree(
+        &topology,
+        sinks,
+        source,
+        &zst.edge_lengths,
+        PlacementPolicy::ClosestToParent,
+    )?;
+    Ok(ZstTree {
+        topology,
+        edge_lengths: zst.edge_lengths,
+        positions,
+        delay: zst.delay,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scatter(n: usize, seed: u64) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let a = ((i * 97 + seed as usize * 31) % 211) as f64;
+                let b = ((i * 53 + seed as usize * 77) % 197) as f64;
+                Point::new(a, b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_skew_holds_across_sizes() {
+        for n in [2usize, 3, 5, 9, 17, 40] {
+            let sinks = scatter(n, n as u64);
+            let zst = zero_skew_tree(&sinks, None, None, None).unwrap();
+            assert!(zst.skew() < 1e-9, "n={n}: skew {}", zst.skew());
+            // All edges physically realizable.
+            for (c, p) in zst.topology.edges() {
+                let d = zst.positions[c.index()].dist(zst.positions[p.index()]);
+                assert!(d <= zst.edge_lengths[c.index()] + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn source_pinned_variant() {
+        let sinks = scatter(12, 3);
+        let src = Point::new(100.0, 100.0);
+        let zst = zero_skew_tree(&sinks, Some(src), None, None).unwrap();
+        assert!(zst.skew() < 1e-9);
+        assert_eq!(zst.positions[0], src);
+        // Delay at least the radius (no sink can be reached faster than its
+        // distance).
+        let radius = lubt_delay::skew::radius_with_source(src, &sinks);
+        assert!(zst.delay >= radius - 1e-9);
+    }
+
+    #[test]
+    fn target_stretches_cost() {
+        let sinks = scatter(8, 9);
+        let natural = zero_skew_tree(&sinks, None, None, None).unwrap();
+        let stretched =
+            zero_skew_tree(&sinks, None, None, Some(natural.delay * 1.5)).unwrap();
+        assert!(stretched.cost() > natural.cost());
+        assert!(stretched.skew() < 1e-9);
+        assert!((stretched.delay - natural.delay * 1.5).abs() < 1e-9);
+    }
+}

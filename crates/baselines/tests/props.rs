@@ -1,0 +1,109 @@
+//! Property tests over the baseline constructions.
+
+use lubt_baselines::{bounded_skew_tree, elmore_zero_skew_tree, zero_skew_tree};
+use lubt_delay::elmore::ElmoreParams;
+use lubt_geom::Point;
+use proptest::prelude::*;
+
+fn sink_set() -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec(
+        (0.0..1000.0f64, 0.0..1000.0f64).prop_map(|(x, y)| Point::new(x, y)),
+        2..24,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The bounded-skew construction honors its budget and produces
+    /// physically realizable edges, for any budget.
+    #[test]
+    fn bst_respects_any_budget(
+        sinks in sink_set(),
+        budget_frac in 0.0..3.0f64,
+        sx in 0.0..1000.0f64,
+        sy in 0.0..1000.0f64,
+    ) {
+        let src = Point::new(sx, sy);
+        let radius = sinks.iter().map(|s| src.dist(*s)).fold(0.0f64, f64::max);
+        prop_assume!(radius > 1.0);
+        let budget = budget_frac * radius;
+        let bst = bounded_skew_tree(&sinks, Some(src), budget).unwrap();
+        prop_assert!(
+            bst.skew() <= budget + 1e-6 * (1.0 + radius),
+            "skew {} > budget {budget}",
+            bst.skew()
+        );
+        for (c, p) in bst.topology.edges() {
+            let d = bst.positions[c.index()].dist(bst.positions[p.index()]);
+            prop_assert!(
+                d <= bst.edge_lengths[c.index()] + 1e-6 * (1.0 + radius),
+                "edge {c} unroutable"
+            );
+        }
+        // The source really is the root placement.
+        prop_assert_eq!(bst.positions[0], src);
+    }
+
+    /// Zero-skew DME always yields (relative) zero skew and a delay at
+    /// least the radius.
+    #[test]
+    fn zst_zero_skew_and_radius_bound(
+        sinks in sink_set(),
+        sx in 0.0..1000.0f64,
+        sy in 0.0..1000.0f64,
+    ) {
+        let src = Point::new(sx, sy);
+        let radius = sinks.iter().map(|s| src.dist(*s)).fold(0.0f64, f64::max);
+        prop_assume!(radius > 1.0);
+        let zst = zero_skew_tree(&sinks, Some(src), None, None).unwrap();
+        prop_assert!(zst.skew() <= 1e-9 * (1.0 + zst.delay));
+        prop_assert!(zst.delay >= radius - 1e-6 * radius);
+        // Sandwich bounds: the tree reaches the farthest sink, and total
+        // wire never exceeds the sum of all (shared) sink paths.
+        prop_assert!(zst.cost() >= radius - 1e-6 * radius);
+        let path_sum = sinks.len() as f64 * zst.delay;
+        prop_assert!(zst.cost() <= path_sum + 1e-6 * (1.0 + path_sum));
+    }
+
+    /// Elmore zero skew: relative skew vanishes for random instances and
+    /// loads.
+    #[test]
+    fn elmore_zst_zero_skew(
+        sinks in proptest::collection::vec(
+            (0.0..300.0f64, 0.0..300.0f64).prop_map(|(x, y)| Point::new(x, y)), 2..14),
+        caps in proptest::collection::vec(0.1..10.0f64, 14),
+        r_w in 0.01..1.0f64,
+        c_w in 0.01..1.0f64,
+    ) {
+        let m = sinks.len();
+        let params = ElmoreParams {
+            r_w,
+            c_w,
+            sink_caps: caps[..m].to_vec(),
+        };
+        let src = Point::new(150.0, 150.0);
+        let zst = elmore_zero_skew_tree(&sinks, Some(src), None, params).unwrap();
+        let rel = zst.skew() / (1.0 + zst.delay);
+        prop_assert!(rel < 1e-8, "relative skew {rel}");
+        for (c, p) in zst.topology.edges() {
+            let d = zst.positions[c.index()].dist(zst.positions[p.index()]);
+            prop_assert!(d <= zst.edge_lengths[c.index()] + 1e-6);
+        }
+    }
+
+    /// BST at budget 0 matches the ZST reference cost (both are exact
+    /// zero-skew constructions over the same merge heuristic).
+    #[test]
+    fn bst_zero_budget_matches_zst(sinks in sink_set()) {
+        let bst = bounded_skew_tree(&sinks, None, 0.0).unwrap();
+        let zst = zero_skew_tree(&sinks, None, None, None).unwrap();
+        let scale = 1.0 + zst.cost();
+        prop_assert!(
+            (bst.cost() - zst.cost()).abs() / scale < 1e-6,
+            "bst {} vs zst {}",
+            bst.cost(),
+            zst.cost()
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Ablation: lazy Steiner-constraint separation (§4.6 reduction) vs.
+//! materializing all C(m, 2) rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lubt_core::{DelayBounds, EbfSolver, LubtProblem, SteinerMode};
+use lubt_data::synthetic;
+
+fn problem(m: usize) -> LubtProblem {
+    let inst = synthetic::prim1().subsample(m);
+    let radius = inst.radius();
+    let topo = lubt_topology::nearest_neighbor_topology(
+        &inst.sinks,
+        lubt_topology::SourceMode::Given,
+    );
+    LubtProblem::new(
+        inst.sinks.clone(),
+        inst.source,
+        topo,
+        DelayBounds::uniform(m, 0.7 * radius, 1.2 * radius),
+    )
+    .expect("valid problem")
+}
+
+fn bench_lazy_vs_eager(c: &mut Criterion) {
+    let mut g = c.benchmark_group("steiner_constraints");
+    g.sample_size(10);
+    for m in [12usize, 24, 48] {
+        let p = problem(m);
+        g.bench_with_input(BenchmarkId::new("lazy", m), &p, |b, p| {
+            b.iter(|| {
+                EbfSolver::new()
+                    .with_steiner_mode(SteinerMode::default_lazy())
+                    .solve(p)
+                    .expect("feasible")
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("eager", m), &p, |b, p| {
+            b.iter(|| {
+                EbfSolver::new()
+                    .with_steiner_mode(SteinerMode::Eager)
+                    .solve(p)
+                    .expect("feasible")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lazy_vs_eager);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Ablation: topology generators feeding the EBF — nearest-neighbor merge
+//! (the paper's choice), recursive matching, balanced bisection, and the
+//! §9 future-work *bound-aware* generator, measured on a workload with
+//! heterogeneous per-sink windows (where bound-awareness should matter).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lubt_core::{bound_aware_topology, DelayBounds, EbfSolver, LubtProblem};
+use lubt_data::synthetic;
+use lubt_geom::Point;
+use lubt_topology::{
+    bipartition_topology, matching_topology, nearest_neighbor_topology, SourceMode, Topology,
+};
+
+/// Pipeline-style instance: two interleaved sink groups with disjoint
+/// arrival windows.
+fn heterogeneous_instance(m: usize) -> (Vec<Point>, Point, DelayBounds) {
+    let inst = synthetic::prim1().subsample(m);
+    let src = inst.source.expect("synthetic instances pin the source");
+    let radius = inst.radius();
+    let pairs = (0..m)
+        .map(|i| {
+            if i % 2 == 0 {
+                (1.0 * radius, 1.15 * radius)
+            } else {
+                (1.4 * radius, 1.55 * radius)
+            }
+        })
+        .collect();
+    (
+        inst.sinks,
+        src,
+        DelayBounds::from_pairs(pairs).expect("valid windows"),
+    )
+}
+
+fn solve_with(topology: Topology, sinks: &[Point], src: Point, bounds: &DelayBounds) -> f64 {
+    let p = LubtProblem::new(sinks.to_vec(), Some(src), topology, bounds.clone())
+        .expect("valid problem");
+    let (lengths, _) = EbfSolver::new().solve(&p).expect("feasible");
+    lubt_delay::linear::tree_cost(&lengths)
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology_generators");
+    g.sample_size(10);
+    for m in [12usize, 24] {
+        let (sinks, src, bounds) = heterogeneous_instance(m);
+        g.bench_with_input(BenchmarkId::new("nearest_neighbor", m), &sinks, |b, s| {
+            b.iter(|| {
+                solve_with(
+                    nearest_neighbor_topology(s, SourceMode::Given),
+                    s,
+                    src,
+                    &bounds,
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("matching", m), &sinks, |b, s| {
+            b.iter(|| solve_with(matching_topology(s, SourceMode::Given), s, src, &bounds))
+        });
+        g.bench_with_input(BenchmarkId::new("bisection", m), &sinks, |b, s| {
+            b.iter(|| solve_with(bipartition_topology(s, SourceMode::Given), s, src, &bounds))
+        });
+        g.bench_with_input(BenchmarkId::new("bound_aware", m), &sinks, |b, s| {
+            b.iter(|| {
+                solve_with(
+                    bound_aware_topology(s, Some(src), &bounds).expect("valid"),
+                    s,
+                    src,
+                    &bounds,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Ablation: the §4.6 zero-skew closed form (bottom-up merging, no LP)
+//! vs. the general EBF LP at `l = u`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lubt_core::{zero_skew_edge_lengths, DelayBounds, EbfSolver, LubtProblem};
+use lubt_data::synthetic;
+use lubt_topology::{nearest_neighbor_topology, SourceMode};
+
+fn bench_zero_skew_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zero_skew");
+    g.sample_size(10);
+    for m in [16usize, 32, 64] {
+        let inst = synthetic::r1().subsample(m);
+        let src = inst.source.expect("synthetic instances pin the source");
+        let topo = nearest_neighbor_topology(&inst.sinks, SourceMode::Given);
+        let radius = inst.radius();
+        // A zero-skew target comfortably above the radius.
+        let target = 1.5 * radius;
+
+        g.bench_with_input(
+            BenchmarkId::new("closed_form", m),
+            &(&topo, &inst.sinks),
+            |b, (topo, sinks)| {
+                b.iter(|| {
+                    zero_skew_edge_lengths(topo, sinks, Some(src), Some(target))
+                        .expect("feasible target")
+                })
+            },
+        );
+
+        let problem = LubtProblem::new(
+            inst.sinks.clone(),
+            Some(src),
+            topo.clone(),
+            DelayBounds::zero_skew(m, target),
+        )
+        .expect("valid problem");
+        g.bench_with_input(BenchmarkId::new("lp", m), &problem, |b, p| {
+            b.iter(|| EbfSolver::new().solve(p).expect("feasible"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_zero_skew_paths);
+criterion_main!(benches);

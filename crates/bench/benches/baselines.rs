@@ -1,0 +1,37 @@
+//! Construction throughput of the baseline algorithms (BST, ZST, SPT) —
+//! the non-LP side of the Table 1 protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lubt_baselines::{bounded_skew_tree, shortest_path_tree, zero_skew_tree};
+use lubt_data::synthetic;
+use lubt_topology::{nearest_neighbor_topology, SourceMode};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baselines");
+    g.sample_size(10);
+    for m in [64usize, 256] {
+        let inst = synthetic::prim2().subsample(m);
+        let src = inst.source.expect("synthetic instances pin the source");
+        let radius = inst.radius();
+
+        g.bench_with_input(BenchmarkId::new("bst_dme", m), &inst, |b, inst| {
+            b.iter(|| bounded_skew_tree(&inst.sinks, Some(src), 0.1 * radius).expect("valid"))
+        });
+        g.bench_with_input(BenchmarkId::new("zst_dme", m), &inst, |b, inst| {
+            b.iter(|| zero_skew_tree(&inst.sinks, Some(src), None, None).expect("valid"))
+        });
+        let topo = nearest_neighbor_topology(&inst.sinks, SourceMode::Given);
+        g.bench_with_input(
+            BenchmarkId::new("spt", m),
+            &(&topo, &inst.sinks),
+            |b, (topo, sinks)| b.iter(|| shortest_path_tree(topo, sinks, src)),
+        );
+        g.bench_with_input(BenchmarkId::new("nn_topology", m), &inst, |b, inst| {
+            b.iter(|| nearest_neighbor_topology(&inst.sinks, SourceMode::Given))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

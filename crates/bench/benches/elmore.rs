@@ -1,0 +1,57 @@
+//! Cost of the §7 Elmore-delay machinery: Tsay's exact zero-skew merge and
+//! the sequential-LP bounded-delay solver, against their linear-delay
+//! counterparts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lubt_baselines::{elmore_zero_skew_tree, zero_skew_tree};
+use lubt_core::{DelayBounds, EbfSolver, ElmoreEbf, LubtProblem};
+use lubt_data::synthetic;
+use lubt_delay::elmore::{node_delays, ElmoreParams};
+use lubt_topology::{nearest_neighbor_topology, SourceMode};
+
+fn bench_elmore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("elmore");
+    g.sample_size(10);
+    for m in [8usize, 16] {
+        let inst = synthetic::prim1().subsample(m);
+        let src = inst.source.expect("synthetic instances pin the source");
+        let params = ElmoreParams::uniform(0.05, 0.2, 1.0, m);
+
+        g.bench_with_input(BenchmarkId::new("zst_linear", m), &inst, |b, inst| {
+            b.iter(|| zero_skew_tree(&inst.sinks, Some(src), None, None).expect("valid"))
+        });
+        g.bench_with_input(BenchmarkId::new("zst_elmore", m), &inst, |b, inst| {
+            b.iter(|| {
+                elmore_zero_skew_tree(&inst.sinks, Some(src), None, params.clone())
+                    .expect("valid")
+            })
+        });
+
+        // Windowed solves: probe the relaxed tree to scale the bounds.
+        let topo = nearest_neighbor_topology(&inst.sinks, SourceMode::Given);
+        let relaxed = LubtProblem::new(
+            inst.sinks.clone(),
+            Some(src),
+            topo.clone(),
+            DelayBounds::unbounded(m),
+        )
+        .expect("valid");
+        let (lengths, _) = EbfSolver::new().solve(&relaxed).expect("feasible");
+        let d = node_delays(&topo, &lengths, &params);
+        let dmax = topo.sinks().map(|s| d[s.index()]).fold(0.0f64, f64::max);
+        let problem = LubtProblem::new(
+            inst.sinks.clone(),
+            Some(src),
+            topo.clone(),
+            DelayBounds::upper_only(m, 1.3 * dmax),
+        )
+        .expect("valid");
+        g.bench_with_input(BenchmarkId::new("slp_upper_only", m), &problem, |b, p| {
+            b.iter(|| ElmoreEbf::new(params.clone()).solve(p).expect("feasible"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_elmore);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Cost of the §5 geometric embedding (bottom-up feasible regions +
+//! top-down placement) on zero-skew edge lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lubt_core::{embed_tree, zero_skew_edge_lengths, PlacementPolicy};
+use lubt_data::synthetic;
+use lubt_topology::{nearest_neighbor_topology, SourceMode};
+
+fn bench_embedding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("embedding");
+    for m in [64usize, 256] {
+        let inst = synthetic::r1().subsample(m);
+        let topo = nearest_neighbor_topology(&inst.sinks, SourceMode::Free);
+        let z = zero_skew_edge_lengths(&topo, &inst.sinks, None, None).expect("zst");
+        g.bench_with_input(
+            BenchmarkId::new("closest_to_parent", m),
+            &(&topo, &inst.sinks, &z.edge_lengths),
+            |b, (topo, sinks, lengths)| {
+                b.iter(|| {
+                    embed_tree(topo, sinks, None, lengths, PlacementPolicy::ClosestToParent)
+                        .expect("embeddable")
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("center", m),
+            &(&topo, &inst.sinks, &z.edge_lengths),
+            |b, (topo, sinks, lengths)| {
+                b.iter(|| {
+                    embed_tree(topo, sinks, None, lengths, PlacementPolicy::Center)
+                        .expect("embeddable")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_embedding);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Full LUBT pipeline (topology generation + EBF + embedding) vs. sink
+//! count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lubt_core::{DelayBounds, LubtBuilder};
+use lubt_data::synthetic;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lubt_end_to_end");
+    g.sample_size(10);
+    for m in [8usize, 16, 32] {
+        let inst = synthetic::prim2().subsample(m);
+        let radius = inst.radius();
+        g.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, inst| {
+            b.iter(|| {
+                LubtBuilder::new(inst.sinks.clone())
+                    .source(inst.source.expect("synthetic instances pin the source"))
+                    .bounds(DelayBounds::uniform(m, 0.6 * radius, 1.1 * radius))
+                    .solve()
+                    .expect("feasible")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Simplex vs. interior point on EBF LPs of growing size — revisiting the
+//! paper's remark that interior-point methods (LOQO) win on large
+//! instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lubt_core::{DelayBounds, EbfSolver, LubtProblem, SolverBackend};
+use lubt_data::synthetic;
+
+fn ebf_problem(m: usize) -> LubtProblem {
+    let inst = synthetic::prim1().subsample(m);
+    let radius = inst.radius();
+    let topo = lubt_topology::nearest_neighbor_topology(
+        &inst.sinks,
+        lubt_topology::SourceMode::Given,
+    );
+    LubtProblem::new(
+        inst.sinks.clone(),
+        inst.source,
+        topo,
+        DelayBounds::uniform(m, 0.7 * radius, 1.2 * radius),
+    )
+    .expect("valid problem")
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ebf_lp_backends");
+    g.sample_size(10);
+    for m in [8usize, 16, 32] {
+        let problem = ebf_problem(m);
+        g.bench_with_input(BenchmarkId::new("simplex", m), &problem, |b, p| {
+            b.iter(|| {
+                EbfSolver::new()
+                    .with_backend(SolverBackend::Simplex)
+                    .solve(p)
+                    .expect("feasible")
+            })
+        });
+        // The dense-Cholesky interior point takes seconds per solve beyond
+        // 16 sinks; keep the bench suite's wall clock sane.
+        if m <= 16 {
+            g.bench_with_input(BenchmarkId::new("interior_point", m), &problem, |b, p| {
+                b.iter(|| {
+                    EbfSolver::new()
+                        .with_backend(SolverBackend::InteriorPoint)
+                        .solve(p)
+                        .expect("feasible")
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

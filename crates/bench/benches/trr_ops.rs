@@ -1,0 +1,46 @@
+//! Throughput of the TRR / octilinear-region algebra underlying the
+//! embedder and the baselines.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lubt_geom::{Octilinear, Point, Trr};
+
+fn bench_trr(c: &mut Criterion) {
+    let a = Trr::from_center_radius(Point::new(0.0, 0.0), 13.0);
+    let b = Trr::from_center_radius(Point::new(17.0, 5.0), 9.0);
+    let p = Point::new(40.0, -3.0);
+
+    c.bench_function("trr_expand", |bench| {
+        bench.iter(|| black_box(a).expanded(black_box(2.5)))
+    });
+    c.bench_function("trr_intersect", |bench| {
+        bench.iter(|| black_box(a).intersect(&black_box(b)))
+    });
+    c.bench_function("trr_dist", |bench| {
+        bench.iter(|| black_box(a).dist(&black_box(b)))
+    });
+    c.bench_function("trr_closest_point", |bench| {
+        bench.iter(|| black_box(a).closest_point_to(black_box(p)))
+    });
+}
+
+fn bench_octilinear(c: &mut Criterion) {
+    let a = Octilinear::from_point(Point::new(0.0, 0.0)).expanded(13.0);
+    let b = Octilinear::from_point(Point::new(17.0, 5.0)).expanded(9.0);
+    let p = Point::new(40.0, -3.0);
+
+    c.bench_function("oct_expand", |bench| {
+        bench.iter(|| black_box(a).expanded(black_box(2.5)))
+    });
+    c.bench_function("oct_intersect", |bench| {
+        bench.iter(|| black_box(a).intersect(&black_box(b)))
+    });
+    c.bench_function("oct_dist", |bench| {
+        bench.iter(|| black_box(a).dist(&black_box(b)))
+    });
+    c.bench_function("oct_closest_point", |bench| {
+        bench.iter(|| black_box(a).closest_point_to(black_box(p)))
+    });
+}
+
+criterion_group!(benches, bench_trr, bench_octilinear);
+criterion_main!(benches);

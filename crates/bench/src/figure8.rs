@@ -1,0 +1,136 @@
+//! Figure 8: the trade-off curve between tree cost and the `[l, u]` delay
+//! window on prim2.
+//!
+//! The series sweeps the window's position (lower bound `l`) for several
+//! window widths `d` (`u = l + d`); the paper's curve shows cost falling
+//! steeply as the window loosens away from zero skew and flattening toward
+//! the unconstrained Steiner cost.
+
+use crate::table::{num, render};
+use lubt_baselines::bounded_skew_tree;
+use lubt_core::{DelayBounds, EbfSolver, LubtError, LubtProblem};
+use lubt_data::Instance;
+
+/// One sample of the trade-off surface.
+#[derive(Debug, Clone)]
+pub struct CurvePoint {
+    /// Window width `d = u - l` (radius-normalized).
+    pub width: f64,
+    /// Window lower bound (radius-normalized).
+    pub lower: f64,
+    /// LUBT cost at `[lower, lower + width]`.
+    pub cost: f64,
+}
+
+/// Default window widths of the sweep.
+pub const DEFAULT_WIDTHS: [f64; 4] = [0.05, 0.2, 0.5, 1.0];
+
+/// Default lower-bound sweep positions.
+pub fn default_lowers() -> Vec<f64> {
+    (0..=6).map(|i| 0.2 * f64::from(i)).collect()
+}
+
+/// Computes the trade-off curve on one instance.
+///
+/// Infeasible windows (upper end below the radius) are skipped, matching
+/// the feasible portion of the paper's curve.
+///
+/// # Errors
+///
+/// Propagates non-infeasibility solver failures.
+pub fn run(
+    instance: &Instance,
+    widths: &[f64],
+    lowers: &[f64],
+) -> Result<Vec<CurvePoint>, LubtError> {
+    let radius = instance.radius();
+    let m = instance.sinks.len();
+    let mut out = Vec::new();
+    for &d in widths {
+        let bst = bounded_skew_tree(&instance.sinks, instance.source, d * radius)?;
+        for &l in lowers {
+            let u = l + d;
+            if u * radius < radius - 1e-9 {
+                continue; // certainly infeasible: u below the radius
+            }
+            let bounds = DelayBounds::uniform(m, l * radius, u * radius);
+            let problem = LubtProblem::new(
+                instance.sinks.clone(),
+                instance.source,
+                bst.topology.clone(),
+                bounds,
+            )?;
+            match EbfSolver::new().solve(&problem) {
+                Ok((lengths, _)) => out.push(CurvePoint {
+                    width: d,
+                    lower: l,
+                    cost: lubt_delay::linear::tree_cost(&lengths),
+                }),
+                Err(LubtError::Infeasible) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Renders the curve as the series the figure plots (one row per sample).
+pub fn to_text(points: &[CurvePoint]) -> String {
+    let header = ["width d", "lower l", "upper u", "LUBT cost"];
+    let body: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                num(p.width, 2),
+                num(p.lower, 2),
+                num(p.lower + p.width, 2),
+                num(p.cost, 1),
+            ]
+        })
+        .collect();
+    render(&header, &body)
+}
+
+/// Renders the curve as CSV, for external plotting.
+pub fn to_csv(points: &[CurvePoint]) -> String {
+    let mut out = String::from("width,lower,upper,cost\n");
+    for p in points {
+        out.push_str(&format!("{},{},{},{}\n", p.width, p.lower, p.lower + p.width, p.cost));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lubt_data::synthetic;
+
+    #[test]
+    fn wider_windows_are_cheaper_at_fixed_upper() {
+        let inst = synthetic::prim2().subsample(10);
+        let pts = run(&inst, &[0.1, 1.0], &[0.0, 0.5, 1.0]).unwrap();
+        assert!(!pts.is_empty());
+        // Compare windows with the same upper bound u = 1.0:
+        // [0.9, 1.0] (width .1) vs [0.0, 1.0] (width 1.0).
+        let tight = pts
+            .iter()
+            .find(|p| (p.width - 0.1).abs() < 1e-9 && (p.lower + p.width - 1.0).abs() < 1e-6);
+        let loose = pts
+            .iter()
+            .find(|p| (p.width - 1.0).abs() < 1e-9 && p.lower.abs() < 1e-9);
+        if let (Some(t), Some(l)) = (tight, loose) {
+            assert!(l.cost <= t.cost + 1e-6, "loose {} > tight {}", l.cost, t.cost);
+        }
+    }
+
+    #[test]
+    fn rendering() {
+        let pts = vec![CurvePoint {
+            width: 0.5,
+            lower: 0.2,
+            cost: 123.0,
+        }];
+        let s = to_text(&pts);
+        assert!(s.contains("0.70")); // upper = lower + width
+    }
+}

@@ -1,0 +1,67 @@
+//! Instance selection and scaling shared by the experiments.
+
+use lubt_data::{synthetic, Instance};
+
+/// Default per-instance sink count for experiment runs (the full published
+/// sizes take minutes per table; see the crate docs).
+pub const DEFAULT_SINKS: usize = 48;
+
+/// Reads the scaling policy from the environment: `LUBT_FULL=1` runs the
+/// published sink counts, `LUBT_SINKS=<n>` picks an explicit size,
+/// otherwise [`DEFAULT_SINKS`].
+pub fn scale_from_env() -> Option<usize> {
+    if std::env::var("LUBT_FULL").is_ok_and(|v| v == "1") {
+        return None; // no subsampling
+    }
+    match std::env::var("LUBT_SINKS") {
+        Ok(v) => v.parse().ok().or(Some(DEFAULT_SINKS)),
+        Err(_) => Some(DEFAULT_SINKS),
+    }
+}
+
+/// The four paper benchmarks, optionally subsampled to `scale` sinks.
+pub fn paper_benchmarks(scale: Option<usize>) -> Vec<Instance> {
+    synthetic::paper_benchmarks()
+        .into_iter()
+        .map(|inst| match scale {
+            Some(k) => inst.subsample(k),
+            None => inst,
+        })
+        .collect()
+}
+
+/// One named benchmark (`"prim1" | "prim2" | "r1" | "r3"`), scaled.
+pub fn by_name(name: &str, scale: Option<usize>) -> Option<Instance> {
+    let inst = match name {
+        "prim1" => synthetic::prim1(),
+        "prim2" => synthetic::prim2(),
+        "r1" => synthetic::r1(),
+        "r3" => synthetic::r3(),
+        _ => return None,
+    };
+    Some(match scale {
+        Some(k) => inst.subsample(k),
+        None => inst,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_subsamples() {
+        let v = paper_benchmarks(Some(10));
+        assert_eq!(v.len(), 4);
+        for inst in v {
+            assert_eq!(inst.sinks.len(), 10);
+        }
+        assert_eq!(paper_benchmarks(None)[1].sinks.len(), 603);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("r1", Some(5)).unwrap().sinks.len(), 5);
+        assert!(by_name("nope", None).is_none());
+    }
+}

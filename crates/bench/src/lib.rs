@@ -1,0 +1,37 @@
+//! Experiment harness regenerating every table and figure of the LUBT
+//! paper's evaluation (§8), plus shared plumbing for the Criterion benches.
+//!
+//! Each experiment module mirrors one artifact:
+//!
+//! * [`table1`] — Table 1: baseline (\[9\]-style BST) vs. LUBT cost across
+//!   skew bounds `{0, 0.01, 0.05, 0.1, 0.5, 1, 2, inf}` × the four
+//!   benchmarks.
+//! * [`table2`] — Table 2: same skew, shifted `[l, u]` windows.
+//! * [`table3`] — Table 3: assorted bound combinations (global-routing
+//!   rows included).
+//! * [`figure8`] — Figure 8: the cost-vs-window trade-off curve on prim2.
+//!
+//! Everything is driven by the `reproduce` binary:
+//!
+//! ```text
+//! cargo run --release -p lubt-bench --bin reproduce -- table1
+//! cargo run --release -p lubt-bench --bin reproduce -- all
+//! ```
+//!
+//! Instance sizing: the synthetic benchmark analogues carry the paper's
+//! published sink counts (269–862). Solving the EBF at full size is minutes
+//! of CPU; by default experiments subsample to
+//! [`instances::DEFAULT_SINKS`] sinks (override with env `LUBT_SINKS=<n>`
+//! or `LUBT_FULL=1`). Relative claims — who wins, monotone trends — are
+//! scale-stable, which is what the reproduction checks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figure8;
+pub mod instances;
+pub mod table;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod timing;

@@ -1,0 +1,87 @@
+//! Minimal fixed-width table rendering for the experiment printouts.
+
+/// Renders rows as a fixed-width ASCII table with a header rule, columns
+/// right-aligned except the first.
+///
+/// # Example
+///
+/// ```
+/// use lubt_bench::table::render;
+/// let s = render(
+///     &["bench", "cost"],
+///     &[vec!["prim1".into(), "1234.5".into()]],
+/// );
+/// assert!(s.contains("prim1"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut width: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            width[i] = width[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            if i == 0 {
+                line.push_str(&format!("{:<w$}", cell, w = width[i]));
+            } else {
+                line.push_str(&format!("{:>w$}", cell, w = width[i]));
+            }
+        }
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float like the paper's tables: fixed decimals, `inf` for
+/// infinities.
+pub fn num(x: f64, decimals: usize) -> String {
+    if x.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{x:.decimals$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_rule() {
+        let s = render(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["long-name".into(), "22.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned numeric column: both rows end at the same column.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn num_formatting() {
+        assert_eq!(num(1.23456, 2), "1.23");
+        assert_eq!(num(f64::INFINITY, 3), "inf");
+    }
+}

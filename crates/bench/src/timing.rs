@@ -1,0 +1,133 @@
+//! CPU-time scaling table (the §8 solver discussion): EBF solve time vs.
+//! sink count for both LP backends, plus the zero-skew closed form.
+//!
+//! The paper reports that LOQO's interior-point method beats the simplex
+//! "for large problems"; this experiment makes the crossover measurable on
+//! this implementation (see EXPERIMENTS.md for the recorded verdict).
+
+use crate::table::{num, render};
+use lubt_core::{
+    zero_skew_edge_lengths, DelayBounds, EbfSolver, LubtError, LubtProblem, SolverBackend,
+};
+use lubt_data::Instance;
+use lubt_topology::{nearest_neighbor_topology, SourceMode};
+use std::time::Instant;
+
+/// One scaling sample.
+#[derive(Debug, Clone)]
+pub struct TimingRow {
+    /// Sink count.
+    pub sinks: usize,
+    /// Simplex wall time (seconds).
+    pub simplex_s: f64,
+    /// Interior-point wall time (seconds).
+    pub interior_s: f64,
+    /// Zero-skew closed-form wall time (seconds).
+    pub zero_skew_s: f64,
+    /// Steiner rows the lazy scheme materialized, out of C(m, 2).
+    pub steiner_rows: usize,
+    /// Total available pairs.
+    pub total_pairs: usize,
+}
+
+/// Measures the scaling table on subsamples of one instance.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn run(instance: &Instance, sizes: &[usize]) -> Result<Vec<TimingRow>, LubtError> {
+    let mut rows = Vec::new();
+    for &m in sizes {
+        let inst = instance.subsample(m);
+        let radius = inst.radius();
+        let src = inst.source.expect("paper benchmarks pin the source");
+        let topo = nearest_neighbor_topology(&inst.sinks, SourceMode::Given);
+        let problem = LubtProblem::new(
+            inst.sinks.clone(),
+            Some(src),
+            topo.clone(),
+            DelayBounds::uniform(m, 0.7 * radius, 1.2 * radius),
+        )?;
+
+        let t = Instant::now();
+        let (_, report) = EbfSolver::new()
+            .with_backend(SolverBackend::Simplex)
+            .solve(&problem)?;
+        let simplex_s = t.elapsed().as_secs_f64();
+
+        // The dense-Cholesky interior point is O(rows^3) per iteration and
+        // becomes minutes beyond ~32 sinks; skip it there (reported as -).
+        let interior_s = if m <= 32 {
+            let t = Instant::now();
+            let _ = EbfSolver::new()
+                .with_backend(SolverBackend::InteriorPoint)
+                .solve(&problem)?;
+            t.elapsed().as_secs_f64()
+        } else {
+            f64::NAN
+        };
+
+        let t = Instant::now();
+        let _ = zero_skew_edge_lengths(&topo, &inst.sinks, Some(src), Some(1.5 * radius))?;
+        let zero_skew_s = t.elapsed().as_secs_f64();
+
+        rows.push(TimingRow {
+            sinks: m,
+            simplex_s,
+            interior_s,
+            zero_skew_s,
+            steiner_rows: report.steiner_rows,
+            total_pairs: report.total_pairs,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the scaling table.
+pub fn to_text(rows: &[TimingRow]) -> String {
+    let header = [
+        "sinks",
+        "simplex [s]",
+        "interior [s]",
+        "zero-skew [s]",
+        "steiner rows",
+        "C(m,2)",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.sinks.to_string(),
+                num(r.simplex_s, 4),
+                if r.interior_s.is_nan() {
+                    "-".to_string()
+                } else {
+                    num(r.interior_s, 4)
+                },
+                num(r.zero_skew_s, 6),
+                r.steiner_rows.to_string(),
+                r.total_pairs.to_string(),
+            ]
+        })
+        .collect();
+    render(&header, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lubt_data::synthetic;
+
+    #[test]
+    fn produces_rows_with_positive_times() {
+        let rows = run(&synthetic::prim1(), &[6, 10]).unwrap();
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.simplex_s > 0.0 && r.interior_s > 0.0 && r.zero_skew_s > 0.0);
+            assert!(r.steiner_rows <= r.total_pairs);
+        }
+        let text = to_text(&rows);
+        assert!(text.contains("simplex"));
+        assert_eq!(text.lines().count(), 4);
+    }
+}

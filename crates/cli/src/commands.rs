@@ -1,0 +1,235 @@
+//! Command implementations for the `lubt` binary.
+
+use crate::args::{parse, Parsed};
+use lubt_baselines::{bounded_skew_tree, zero_skew_tree};
+use lubt_core::{
+    analyze, bound_aware_topology, render_svg, DelayBounds, LubtBuilder, SolverBackend,
+};
+use lubt_data::{io as data_io, synthetic, Instance};
+use lubt_topology::{bipartition_topology, matching_topology, SourceMode, Topology};
+
+const USAGE: &str = "usage:
+  lubt solve <input> --lower L --upper U [--absolute] \
+[--topology nn|matching|bisect|aware] [--backend simplex|ipm] [--svg out.svg] [--json out.json]
+  lubt zeroskew <input> [--target T] [--absolute] [--svg out.svg]
+  lubt bst <input> --skew S [--absolute]
+  lubt gen <prim1|prim2|r1|r3|uniform|clustered> [--sinks N] [--seed K] [--die D] [--out file]
+  lubt help";
+
+/// Entry point shared by `main` and the integration tests.
+///
+/// # Errors
+///
+/// Returns a human-readable message for any usage or processing failure.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let parsed = parse(argv);
+    match parsed.positional.first().map(String::as_str) {
+        Some("solve") => cmd_solve(&parsed),
+        Some("zeroskew") => cmd_zeroskew(&parsed),
+        Some("bst") => cmd_bst(&parsed),
+        Some("gen") => cmd_gen(&parsed),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn load_instance(parsed: &Parsed) -> Result<Instance, String> {
+    let path = parsed
+        .positional
+        .get(1)
+        .ok_or_else(|| format!("missing <input>\n{USAGE}"))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    data_io::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// Converts a possibly radius-normalized value to absolute units.
+fn to_absolute(value: f64, radius: f64, absolute: bool) -> f64 {
+    if absolute {
+        value
+    } else {
+        value * radius
+    }
+}
+
+fn write_svg(parsed: &Parsed, svg: &str) -> Result<(), String> {
+    if let Some(path) = parsed.get("svg") {
+        std::fs::write(path, svg).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("svg written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_solve(parsed: &Parsed) -> Result<(), String> {
+    let inst = load_instance(parsed)?;
+    let radius = inst.radius();
+    let m = inst.sinks.len();
+    let absolute = parsed.has("absolute");
+    let lower = parsed.get_f64("lower")?.unwrap_or(0.0);
+    let upper = parsed
+        .get_f64("upper")?
+        .ok_or_else(|| format!("--upper is required\n{USAGE}"))?;
+    let bounds = DelayBounds::uniform(
+        m,
+        to_absolute(lower, radius, absolute),
+        to_absolute(upper, radius, absolute),
+    );
+
+    let mode = if inst.source.is_some() {
+        SourceMode::Given
+    } else {
+        SourceMode::Free
+    };
+    let topology: Option<Topology> = match parsed.get("topology").unwrap_or("nn") {
+        "nn" => None, // builder default
+        "matching" => Some(matching_topology(&inst.sinks, mode)),
+        "bisect" => Some(bipartition_topology(&inst.sinks, mode)),
+        "aware" => Some(
+            bound_aware_topology(&inst.sinks, inst.source, &bounds)
+                .map_err(|e| e.to_string())?,
+        ),
+        other => return Err(format!("unknown topology {other:?} (nn|matching|bisect|aware)")),
+    };
+    let backend = match parsed.get("backend").unwrap_or("simplex") {
+        "simplex" => SolverBackend::Simplex,
+        "ipm" => SolverBackend::InteriorPoint,
+        other => return Err(format!("unknown backend {other:?} (simplex|ipm)")),
+    };
+
+    let mut builder = LubtBuilder::new(inst.sinks.clone())
+        .bounds(bounds)
+        .backend(backend);
+    if let Some(src) = inst.source {
+        builder = builder.source(src);
+    }
+    if let Some(t) = topology {
+        builder = builder.topology(t);
+    }
+    let solution = builder.solve().map_err(|e| e.to_string())?;
+    solution.verify().map_err(|e| format!("verification failed: {e}"))?;
+
+    let (short, long) = solution.delay_range();
+    println!("instance        {}", inst.name);
+    println!("sinks           {m}");
+    println!("radius          {radius:.3}");
+    println!("tree cost       {:.3}", solution.cost());
+    println!(
+        "delay window    [{:.3}, {:.3}]  ({:.3}R .. {:.3}R)",
+        short,
+        long,
+        short / radius,
+        long / radius
+    );
+    println!("skew            {:.6}", solution.skew());
+    println!(
+        "lp              {} pivots, {} rounds, {}/{} steiner rows",
+        solution.report().lp_iterations,
+        solution.report().separation_rounds,
+        solution.report().steiner_rows,
+        solution.report().total_pairs
+    );
+    let stats = analyze(&solution);
+    println!(
+        "edges           {} tight, {} elongated, {} degenerate; snaked surplus {:.3} ({:.1}% of wire)",
+        stats.tight,
+        stats.elongated,
+        stats.degenerate,
+        stats.total_surplus,
+        100.0 * stats.surplus_fraction()
+    );
+    if let Some(path) = parsed.get("json") {
+        std::fs::write(path, lubt_core::solution_to_json(&solution))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("json written to {path}");
+    }
+    write_svg(parsed, &render_svg(&solution))
+}
+
+fn cmd_zeroskew(parsed: &Parsed) -> Result<(), String> {
+    let inst = load_instance(parsed)?;
+    let radius = inst.radius();
+    let absolute = parsed.has("absolute");
+    let target = parsed
+        .get_f64("target")?
+        .map(|t| to_absolute(t, radius, absolute));
+    let zst = zero_skew_tree(&inst.sinks, inst.source, None, target)
+        .map_err(|e| e.to_string())?;
+    println!("instance        {}", inst.name);
+    println!("tree cost       {:.3}", zst.cost());
+    println!("common delay    {:.3}  ({:.3}R)", zst.delay, zst.delay / radius);
+    println!("skew            {:.3e}", zst.skew());
+    if parsed.get("svg").is_some() {
+        let svg = lubt_core::render_tree_svg(
+            &zst.topology,
+            &zst.positions,
+            &zst.edge_lengths,
+            &lubt_core::SvgOptions::default(),
+        );
+        write_svg(parsed, &svg)?;
+    }
+    Ok(())
+}
+
+fn cmd_bst(parsed: &Parsed) -> Result<(), String> {
+    let inst = load_instance(parsed)?;
+    let radius = inst.radius();
+    let absolute = parsed.has("absolute");
+    let skew = parsed
+        .get_f64("skew")?
+        .ok_or_else(|| format!("--skew is required\n{USAGE}"))?;
+    let bst = bounded_skew_tree(&inst.sinks, inst.source, to_absolute(skew, radius, absolute))
+        .map_err(|e| e.to_string())?;
+    let (short, long) = bst.delay_range();
+    println!("instance        {}", inst.name);
+    println!("skew budget     {:.3}", bst.skew_bound);
+    println!("tree cost       {:.3}", bst.cost());
+    println!(
+        "delay window    [{:.3}, {:.3}]  ({:.3}R .. {:.3}R)",
+        short,
+        long,
+        short / radius,
+        long / radius
+    );
+    println!("realized skew   {:.6}", bst.skew());
+    Ok(())
+}
+
+fn cmd_gen(parsed: &Parsed) -> Result<(), String> {
+    let kind = parsed
+        .positional
+        .get(1)
+        .ok_or_else(|| format!("missing generator name\n{USAGE}"))?;
+    let sinks = parsed.get_usize("sinks")?;
+    let seed = parsed.get_usize("seed")?.unwrap_or(1) as u64;
+    let die = parsed.get_f64("die")?.unwrap_or(10_000.0);
+    let inst = match kind.as_str() {
+        "prim1" => synthetic::prim1(),
+        "prim2" => synthetic::prim2(),
+        "r1" => synthetic::r1(),
+        "r2" => synthetic::r2(),
+        "r3" => synthetic::r3(),
+        "r4" => synthetic::r4(),
+        "r5" => synthetic::r5(),
+        "uniform" => synthetic::uniform("uniform-cli", sinks.unwrap_or(64), die, seed),
+        "clustered" => {
+            synthetic::clustered("clustered-cli", sinks.unwrap_or(64), die, 8, seed)
+        }
+        other => return Err(format!("unknown generator {other:?}\n{USAGE}")),
+    };
+    let inst = match sinks {
+        Some(k) if k < inst.sinks.len() => inst.subsample(k),
+        _ => inst,
+    };
+    let text = data_io::write(&inst);
+    match parsed.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {} sinks to {path}", inst.sinks.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,159 @@
+//! End-to-end tests of the `lubt` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn lubt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lubt"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("lubt-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = lubt().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("lubt solve"));
+    assert!(text.contains("lubt gen"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = lubt().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn gen_solve_roundtrip_with_svg() {
+    let pts = tmp("inst.pts");
+    let svg = tmp("tree.svg");
+
+    // Generate a small instance.
+    let out = lubt()
+        .args([
+            "gen",
+            "uniform",
+            "--sinks",
+            "12",
+            "--seed",
+            "7",
+            "--die",
+            "1000",
+            "--out",
+        ])
+        .arg(&pts)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Solve it with a normalized window and write an SVG.
+    let out = lubt()
+        .args(["solve"])
+        .arg(&pts)
+        .args(["--lower", "0.9", "--upper", "1.4", "--svg"])
+        .arg(&svg)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("tree cost"));
+    assert!(text.contains("delay window"));
+    let svg_text = std::fs::read_to_string(&svg).unwrap();
+    assert!(svg_text.starts_with("<svg"));
+
+    let _ = std::fs::remove_file(&pts);
+    let _ = std::fs::remove_file(&svg);
+}
+
+#[test]
+fn zeroskew_and_bst_commands() {
+    let pts = tmp("inst2.pts");
+    let out = lubt()
+        .args(["gen", "clustered", "--sinks", "10", "--seed", "3", "--out"])
+        .arg(&pts)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = lubt().args(["zeroskew"]).arg(&pts).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("common delay"));
+
+    let out = lubt()
+        .args(["bst"])
+        .arg(&pts)
+        .args(["--skew", "0.1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("realized skew"));
+
+    let _ = std::fs::remove_file(&pts);
+}
+
+#[test]
+fn infeasible_window_reports_cleanly() {
+    let pts = tmp("inst3.pts");
+    let out = lubt()
+        .args(["gen", "uniform", "--sinks", "6", "--seed", "1", "--out"])
+        .arg(&pts)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // u = 0.5R violates Equation 3: must fail with the certificate message.
+    let out = lubt()
+        .args(["solve"])
+        .arg(&pts)
+        .args(["--upper", "0.5"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("no LUBT exists"), "stderr: {err}");
+
+    let _ = std::fs::remove_file(&pts);
+}
+
+#[test]
+fn alternate_topologies_and_backend() {
+    let pts = tmp("inst4.pts");
+    let out = lubt()
+        .args(["gen", "uniform", "--sinks", "8", "--seed", "5", "--out"])
+        .arg(&pts)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    for topo in ["nn", "matching", "bisect", "aware"] {
+        let out = lubt()
+            .args(["solve"])
+            .arg(&pts)
+            .args(["--lower", "0.8", "--upper", "1.5", "--topology", topo])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "topology {topo}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let out = lubt()
+        .args(["solve"])
+        .arg(&pts)
+        .args(["--upper", "1.5", "--backend", "ipm"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let _ = std::fs::remove_file(&pts);
+}

@@ -1,0 +1,191 @@
+//! Post-solve analysis in the paper's §2 vocabulary: every edge of an
+//! embedded tree is **tight** (`e_i = dist(s_i, parent)`), **elongated**
+//! (`e_i > dist`, realized by snaking) or **degenerate** (`e_i = 0`, the
+//! endpoints coincide).
+//!
+//! Elongation is where the LUBT pays wire for the *lower* bounds; these
+//! diagnostics make that cost visible per edge and in aggregate.
+
+use crate::LubtSolution;
+use lubt_geom::GEOM_EPS;
+use lubt_topology::NodeId;
+
+/// §2 classification of one edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// `e_i = dist(s_i, s_parent)` — the wire is a shortest route.
+    Tight,
+    /// `e_i > dist(s_i, s_parent)` — the wire snakes to add delay.
+    Elongated,
+    /// `e_i = 0` — the endpoints coincide.
+    Degenerate,
+}
+
+/// Analysis of one edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeStat {
+    /// Edge identifier (child node).
+    pub edge: NodeId,
+    /// Assigned LP length.
+    pub length: f64,
+    /// Manhattan distance between the embedded endpoints.
+    pub span: f64,
+    /// `length - span` (0 for tight edges).
+    pub surplus: f64,
+    /// The §2 classification.
+    pub kind: EdgeKind,
+}
+
+/// Aggregate tree diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeAnalysis {
+    /// Per-edge statistics, in edge order.
+    pub edges: Vec<EdgeStat>,
+    /// Number of tight edges.
+    pub tight: usize,
+    /// Number of elongated edges.
+    pub elongated: usize,
+    /// Number of degenerate edges.
+    pub degenerate: usize,
+    /// Total snaked surplus wire (`sum of length - span`).
+    pub total_surplus: f64,
+    /// Total tree cost (sum of assigned lengths).
+    pub total_cost: f64,
+}
+
+impl TreeAnalysis {
+    /// Fraction of the wirelength spent on elongation, in `[0, 1]`.
+    pub fn surplus_fraction(&self) -> f64 {
+        if self.total_cost > 0.0 {
+            self.total_surplus / self.total_cost
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Classifies every edge of a solved tree.
+///
+/// # Example
+///
+/// ```
+/// use lubt_core::{analyze, DelayBounds, EdgeKind, LubtBuilder};
+/// use lubt_geom::Point;
+/// // Lower bound far above the distances: edges must elongate.
+/// let sol = LubtBuilder::new(vec![Point::new(1.0, 0.0), Point::new(-1.0, 0.0)])
+///     .source(Point::new(0.0, 0.0))
+///     .bounds(DelayBounds::uniform(2, 10.0, 12.0))
+///     .solve()?;
+/// let a = analyze(&sol);
+/// assert!(a.elongated >= 1);
+/// assert!(a.total_surplus > 0.0);
+/// # Ok::<(), lubt_core::LubtError>(())
+/// ```
+pub fn analyze(solution: &LubtSolution) -> TreeAnalysis {
+    let topo = solution.problem().topology();
+    let positions = solution.positions();
+    let lengths = solution.edge_lengths();
+    let scale = 1.0 + solution.problem().radius();
+    let eps = GEOM_EPS * scale;
+
+    let mut edges = Vec::with_capacity(topo.num_edges());
+    let (mut tight, mut elongated, mut degenerate) = (0usize, 0usize, 0usize);
+    let mut total_surplus = 0.0;
+    for (child, parent) in topo.edges() {
+        let length = lengths[child.index()];
+        let span = positions[child.index()].dist(positions[parent.index()]);
+        let surplus = (length - span).max(0.0);
+        let kind = if length <= eps {
+            degenerate += 1;
+            EdgeKind::Degenerate
+        } else if surplus <= eps {
+            tight += 1;
+            EdgeKind::Tight
+        } else {
+            elongated += 1;
+            EdgeKind::Elongated
+        };
+        total_surplus += surplus;
+        edges.push(EdgeStat {
+            edge: child,
+            length,
+            span,
+            surplus,
+            kind,
+        });
+    }
+    TreeAnalysis {
+        edges,
+        tight,
+        elongated,
+        degenerate,
+        total_surplus,
+        total_cost: solution.cost(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DelayBounds, LubtBuilder};
+    use lubt_geom::Point;
+
+    fn line_instance() -> (Vec<Point>, Point) {
+        (
+            vec![Point::new(4.0, 0.0), Point::new(-4.0, 0.0)],
+            Point::new(0.0, 0.0),
+        )
+    }
+
+    #[test]
+    fn unbounded_tree_is_all_tight() {
+        let (sinks, src) = line_instance();
+        let sol = LubtBuilder::new(sinks)
+            .source(src)
+            .bounds(DelayBounds::unbounded(2))
+            .solve()
+            .unwrap();
+        let a = analyze(&sol);
+        assert_eq!(a.elongated, 0);
+        assert!(a.total_surplus < 1e-9);
+        assert_eq!(a.surplus_fraction(), 0.0);
+        assert_eq!(a.edges.len(), sol.problem().topology().num_edges());
+        assert_eq!(a.tight + a.degenerate, a.edges.len());
+    }
+
+    #[test]
+    fn lower_bounds_create_elongation() {
+        let (sinks, src) = line_instance();
+        let sol = LubtBuilder::new(sinks)
+            .source(src)
+            .bounds(DelayBounds::uniform(2, 20.0, 25.0))
+            .solve()
+            .unwrap();
+        let a = analyze(&sol);
+        assert!(a.elongated >= 1, "{a:?}");
+        // The optimum shares the elongation on the common edge, so the
+        // surplus is the per-path deficit counted once.
+        assert!(a.total_surplus >= (20.0 - 4.0) - 1e-6, "{a:?}");
+        assert!(a.surplus_fraction() > 0.5);
+        // Counts are consistent.
+        assert_eq!(a.tight + a.elongated + a.degenerate, a.edges.len());
+    }
+
+    #[test]
+    fn per_edge_stats_match_solution() {
+        let (sinks, src) = line_instance();
+        let sol = LubtBuilder::new(sinks)
+            .source(src)
+            .bounds(DelayBounds::uniform(2, 6.0, 9.0))
+            .solve()
+            .unwrap();
+        let a = analyze(&sol);
+        let cost_from_edges: f64 = a.edges.iter().map(|e| e.length).sum();
+        assert!((cost_from_edges - sol.cost()).abs() < 1e-9);
+        for e in &a.edges {
+            assert!(e.length >= e.span - 1e-6, "edge {}: unroutable", e.edge);
+            assert!((e.surplus - (e.length - e.span).max(0.0)).abs() < 1e-12);
+        }
+        assert!((a.total_cost - sol.cost()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,174 @@
+use crate::LubtError;
+
+/// Per-sink lower/upper delay bounds `l_i <= delay(s_i) <= u_i`
+/// (Definition 2.1).
+///
+/// The constructors cover the paper's four regimes (§4.3):
+///
+/// * [`DelayBounds::unbounded`] — `l = 0, u = inf`: optimal Steiner tree
+///   under the topology.
+/// * [`DelayBounds::upper_only`] — `l = 0, u < inf`: global routing.
+/// * [`DelayBounds::uniform`] — `0 < l <= u`: the general LUBT / bounded
+///   skew with a delay cap.
+/// * [`DelayBounds::zero_skew`] — `l = u`: zero-skew clock routing.
+///
+/// Per-sink heterogeneity (the pipeline-stage motivation from §1) is
+/// available through [`DelayBounds::from_pairs`].
+///
+/// # Example
+///
+/// ```
+/// use lubt_core::DelayBounds;
+/// let b = DelayBounds::uniform(3, 4.0, 6.0);
+/// assert_eq!(b.lower(1), 4.0);
+/// assert_eq!(b.upper(1), 6.0);
+/// assert_eq!(b.max_skew(), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayBounds {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl DelayBounds {
+    /// Identical window `[l, u]` for every sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `l < 0`, `l > u`, or either bound is NaN.
+    pub fn uniform(num_sinks: usize, l: f64, u: f64) -> Self {
+        Self::from_pairs(vec![(l, u); num_sinks]).expect("uniform bounds must satisfy 0 <= l <= u")
+    }
+
+    /// No delay control at all: the LUBT degenerates to the minimum-cost
+    /// Steiner tree under the topology.
+    pub fn unbounded(num_sinks: usize) -> Self {
+        Self::uniform(num_sinks, 0.0, f64::INFINITY)
+    }
+
+    /// Global-routing style bounds: only a delay cap.
+    pub fn upper_only(num_sinks: usize, u: f64) -> Self {
+        Self::uniform(num_sinks, 0.0, u)
+    }
+
+    /// Zero-skew bounds: every sink delayed exactly `t`.
+    pub fn zero_skew(num_sinks: usize, t: f64) -> Self {
+        Self::uniform(num_sinks, t, t)
+    }
+
+    /// The tolerable-skew window of §6: upper bound `u` with skew at most
+    /// `d`, i.e. `[u - d, u]` for every sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `d < 0`, `d > u`, or any value is NaN.
+    pub fn skew_window(num_sinks: usize, u: f64, d: f64) -> Self {
+        assert!(d >= 0.0 && d <= u, "need 0 <= d <= u");
+        Self::uniform(num_sinks, u - d, u)
+    }
+
+    /// Heterogeneous per-sink windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LubtError::Input`] unless every pair satisfies
+    /// `0 <= l <= u` (Equation 3/4 precondition) and no value is NaN.
+    pub fn from_pairs(pairs: Vec<(f64, f64)>) -> Result<Self, LubtError> {
+        for (i, &(l, u)) in pairs.iter().enumerate() {
+            if l.is_nan() || u.is_nan() || l < 0.0 || l > u {
+                return Err(LubtError::Input(format!(
+                    "sink {} has invalid bounds [{l}, {u}]: need 0 <= l <= u",
+                    i + 1
+                )));
+            }
+        }
+        let (lower, upper) = pairs.into_iter().unzip();
+        Ok(DelayBounds { lower, upper })
+    }
+
+    /// Number of sinks covered.
+    pub fn len(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// `true` when there are no sinks (never valid in a problem).
+    pub fn is_empty(&self) -> bool {
+        self.lower.is_empty()
+    }
+
+    /// Lower bound of sink `i` (0-based sink order; sink node `i + 1`).
+    pub fn lower(&self, i: usize) -> f64 {
+        self.lower[i]
+    }
+
+    /// Upper bound of sink `i`.
+    pub fn upper(&self, i: usize) -> f64 {
+        self.upper[i]
+    }
+
+    /// The loosest skew the bounds still allow: `max u_i - min l_i`.
+    pub fn max_skew(&self) -> f64 {
+        let max_u = self.upper.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min_l = self.lower.iter().cloned().fold(f64::INFINITY, f64::min);
+        max_u - min_l
+    }
+
+    /// Scales every bound by `factor` — used to turn radius-normalized
+    /// paper bounds into absolute coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor < 0`.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor >= 0.0);
+        DelayBounds {
+            lower: self.lower.iter().map(|l| l * factor).collect(),
+            upper: self.upper.iter().map(|u| u * factor).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let b = DelayBounds::unbounded(2);
+        assert_eq!(b.lower(0), 0.0);
+        assert!(b.upper(1).is_infinite());
+
+        let b = DelayBounds::zero_skew(3, 5.0);
+        assert_eq!((b.lower(2), b.upper(2)), (5.0, 5.0));
+        assert_eq!(b.max_skew(), 0.0);
+
+        let b = DelayBounds::skew_window(2, 10.0, 3.0);
+        assert_eq!((b.lower(0), b.upper(0)), (7.0, 10.0));
+
+        let b = DelayBounds::upper_only(1, 9.0);
+        assert_eq!((b.lower(0), b.upper(0)), (0.0, 9.0));
+    }
+
+    #[test]
+    fn heterogeneous_pairs() {
+        let b = DelayBounds::from_pairs(vec![(1.0, 2.0), (0.0, 5.0)]).unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.max_skew(), 5.0);
+        assert!(DelayBounds::from_pairs(vec![(3.0, 2.0)]).is_err());
+        assert!(DelayBounds::from_pairs(vec![(-1.0, 2.0)]).is_err());
+        assert!(DelayBounds::from_pairs(vec![(f64::NAN, 2.0)]).is_err());
+    }
+
+    #[test]
+    fn scaling() {
+        let b = DelayBounds::uniform(2, 0.5, 1.0).scaled(100.0);
+        assert_eq!((b.lower(0), b.upper(0)), (50.0, 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "0 <= l <= u")]
+    fn uniform_panics_on_bad_window() {
+        let _ = DelayBounds::uniform(1, 5.0, 2.0);
+    }
+}

@@ -1,0 +1,455 @@
+//! EBF assembly and solving (§4): objective, delay rows, Steiner rows, and
+//! the lazy-separation loop that implements the §4.6 constraint reduction.
+
+use crate::steiner::{all_pair_constraints, seed_pairs, violated_pairs, SinkPair};
+use crate::{LubtError, LubtProblem};
+use lubt_lp::{Cmp, InteriorPointSolver, LinExpr, LpSolve, Model, SimplexSolver, Status, Var};
+use lubt_topology::NodeId;
+
+/// LP backend selection — the paper used LOQO (interior point) and noted
+/// the simplex-vs-interior-point trade-off; both are available here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverBackend {
+    /// Two-phase primal simplex (exact infeasibility certificates;
+    /// default).
+    Simplex,
+    /// Mehrotra predictor-corrector interior point.
+    InteriorPoint,
+}
+
+/// Steiner-constraint strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteinerMode {
+    /// Materialize all `C(m, 2)` rows up front. Exact but quadratic; only
+    /// sensible for small instances (kept for the `ablation_lazy` bench).
+    Eager,
+    /// Start from a nearest-neighbor seed and add violated rows found by
+    /// the separation oracle, re-solving until none remain (§4.6).
+    Lazy {
+        /// Maximum separation rounds before giving up (safety net; the
+        /// loop converges because each round adds at least one violated
+        /// cut).
+        max_rounds: usize,
+        /// Maximum number of violated rows added per round.
+        batch: usize,
+    },
+}
+
+impl SteinerMode {
+    /// The default lazy configuration (64 rounds, 256 cuts per round).
+    pub fn default_lazy() -> Self {
+        SteinerMode::Lazy {
+            max_rounds: 64,
+            batch: 256,
+        }
+    }
+}
+
+/// Statistics from an EBF solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EbfReport {
+    /// Total LP pivots / interior-point steps across all re-solves.
+    pub lp_iterations: usize,
+    /// Number of separation rounds (1 when eager).
+    pub separation_rounds: usize,
+    /// Steiner rows present in the final LP.
+    pub steiner_rows: usize,
+    /// Total available sink-pair rows `C(m, 2)`, for reduction ratios.
+    pub total_pairs: usize,
+}
+
+/// The Edge-Based Formulation solver: builds the LP of §4.3 and solves it,
+/// optionally with lazy Steiner-constraint separation.
+///
+/// Returns the optimal **edge lengths** (indexed by node, entry 0 unused);
+/// embedding is a separate step ([`crate::embed_tree`]).
+///
+/// # Example
+///
+/// ```
+/// use lubt_core::{DelayBounds, EbfSolver, LubtBuilder};
+/// use lubt_geom::Point;
+/// let problem = LubtBuilder::new(vec![Point::new(0.0, 0.0), Point::new(6.0, 0.0)])
+///     .bounds(DelayBounds::uniform(2, 3.0, 5.0))
+///     .build()?;
+/// let (lengths, report) = EbfSolver::new().solve(&problem)?;
+/// assert!(report.separation_rounds >= 1);
+/// assert!(lengths.iter().sum::<f64>() >= 6.0 - 1e-6);
+/// # Ok::<(), lubt_core::LubtError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EbfSolver {
+    backend: SolverBackend,
+    steiner_mode: SteinerMode,
+    violation_tol: f64,
+}
+
+impl Default for EbfSolver {
+    fn default() -> Self {
+        EbfSolver {
+            backend: SolverBackend::Simplex,
+            steiner_mode: SteinerMode::default_lazy(),
+            violation_tol: 1e-6,
+        }
+    }
+}
+
+impl EbfSolver {
+    /// Creates a solver with the default configuration (simplex, lazy).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the LP backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: SolverBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Selects the Steiner strategy.
+    #[must_use]
+    pub fn with_steiner_mode(mut self, mode: SteinerMode) -> Self {
+        self.steiner_mode = mode;
+        self
+    }
+
+    /// Sets the absolute violation tolerance of the separation oracle.
+    #[must_use]
+    pub fn with_violation_tolerance(mut self, tol: f64) -> Self {
+        self.violation_tol = tol;
+        self
+    }
+
+    /// Solves the EBF for `problem`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LubtError::Infeasible`] — the LP has no feasible point, which by
+    ///   Theorem 4.2 certifies that no LUBT exists for this topology and
+    ///   bounds (the paper's "we immediately know the existence of a
+    ///   solution" remark).
+    /// * [`LubtError::Lp`] — backend failure (iteration limit, numerics).
+    pub fn solve(&self, problem: &LubtProblem) -> Result<(Vec<f64>, EbfReport), LubtError> {
+        let topo = problem.topology();
+        let n_nodes = topo.num_nodes();
+        let m = topo.num_sinks();
+
+        let mut model = Model::new();
+        // Variable j-1 is edge e_j (edge of node j).
+        let edge_vars: Vec<Var> = (1..n_nodes)
+            .map(|j| model.add_var(0.0, problem.weights()[j]))
+            .collect();
+        let var_of = |node: NodeId| edge_vars[node.index() - 1];
+
+        // Zero-fixed edges (degree-4 splitting).
+        for &z in problem.zero_edges() {
+            model.add_constraint(LinExpr::from_terms([(var_of(z), 1.0)]), Cmp::Eq, 0.0);
+        }
+
+        // Delay constraints (§4.2): l_i <= sum(path) <= u_i, plus the
+        // source-sink Steiner constraint when the source location is given
+        // (the root then acts as a fixed point: sum(path) >= dist(s0, s_i)).
+        for i in 1..=m {
+            let sink = NodeId(i);
+            let path = topo.path_to_ancestor(sink, topo.root());
+            let expr =
+                || LinExpr::from_terms(path.iter().map(|&e| (var_of(e), 1.0)));
+            let l = problem.bounds().lower(i - 1);
+            let u = problem.bounds().upper(i - 1);
+            let mut effective_lower = l;
+            if let Some(src) = problem.source() {
+                effective_lower = effective_lower.max(src.dist(problem.sink_location(sink)));
+            }
+            if effective_lower > 0.0 {
+                model.add_constraint(expr(), Cmp::Ge, effective_lower);
+            }
+            if u.is_finite() {
+                model.add_constraint(expr(), Cmp::Le, u);
+            }
+        }
+
+        let add_steiner_row = |model: &mut Model, pair: &SinkPair| {
+            let path = topo.path_between(pair.a, pair.b);
+            let expr = LinExpr::from_terms(path.iter().map(|&e| (var_of(e), 1.0)));
+            model.add_constraint(expr, Cmp::Ge, pair.dist);
+        };
+
+        let total_pairs = m * (m - 1) / 2;
+        let mut lp_iterations = 0usize;
+        let mut steiner_rows = 0usize;
+
+        let solve_once = |model: &Model| -> Result<lubt_lp::Solution, LubtError> {
+            let sol = match self.backend {
+                SolverBackend::Simplex => SimplexSolver::new().solve(model)?,
+                SolverBackend::InteriorPoint => InteriorPointSolver::new().solve(model)?,
+            };
+            match sol.status() {
+                Status::Optimal => Ok(sol),
+                Status::Infeasible => Err(LubtError::Infeasible),
+                Status::Unbounded => Err(LubtError::Lp(lubt_lp::LpError::NumericalBreakdown(
+                    "EBF objective cannot be unbounded (non-negative costs)".to_string(),
+                ))),
+            }
+        };
+
+        let extract = |sol: &lubt_lp::Solution| -> Vec<f64> {
+            let mut lengths = vec![0.0; n_nodes];
+            for (j, v) in edge_vars.iter().enumerate() {
+                lengths[j + 1] = sol.value(*v).max(0.0);
+            }
+            lengths
+        };
+
+        match self.steiner_mode {
+            SteinerMode::Eager => {
+                for pair in all_pair_constraints(problem) {
+                    add_steiner_row(&mut model, &pair);
+                    steiner_rows += 1;
+                }
+                let sol = solve_once(&model)?;
+                lp_iterations += sol.iterations();
+                Ok((
+                    extract(&sol),
+                    EbfReport {
+                        lp_iterations,
+                        separation_rounds: 1,
+                        steiner_rows,
+                        total_pairs,
+                    },
+                ))
+            }
+            SteinerMode::Lazy { max_rounds, batch } => {
+                for pair in seed_pairs(problem) {
+                    add_steiner_row(&mut model, &pair);
+                    steiner_rows += 1;
+                }
+                // On the simplex backend, the growing model lives in an
+                // incremental session: each separation round only appends
+                // rows, which the dual simplex repairs from the previous
+                // optimum instead of re-solving cold.
+                if self.backend == SolverBackend::Simplex {
+                    let steiner_expr = |pair: &SinkPair| {
+                        let path = topo.path_between(pair.a, pair.b);
+                        LinExpr::from_terms(path.iter().map(|&e| (var_of(e), 1.0)))
+                    };
+                    let mut session = lubt_lp::SimplexSession::start(model)?;
+                    let mut rounds = 0usize;
+                    loop {
+                        let sol = session.resolve()?;
+                        match sol.status() {
+                            Status::Optimal => {}
+                            Status::Infeasible => return Err(LubtError::Infeasible),
+                            Status::Unbounded => {
+                                return Err(LubtError::Lp(
+                                    lubt_lp::LpError::NumericalBreakdown(
+                                        "EBF objective cannot be unbounded".to_string(),
+                                    ),
+                                ))
+                            }
+                        }
+                        lp_iterations = sol.iterations();
+                        rounds += 1;
+                        let lengths = extract(sol);
+                        let violated = violated_pairs(problem, &lengths, self.violation_tol);
+                        if violated.is_empty() {
+                            return Ok((
+                                lengths,
+                                EbfReport {
+                                    lp_iterations,
+                                    separation_rounds: rounds,
+                                    steiner_rows,
+                                    total_pairs,
+                                },
+                            ));
+                        }
+                        let cuts: Vec<SinkPair> = if rounds >= max_rounds {
+                            // Safety net: materialize everything.
+                            all_pair_constraints(problem)
+                        } else {
+                            violated.into_iter().take(batch).map(|(p, _)| p).collect()
+                        };
+                        for pair in cuts {
+                            session.add_constraint(steiner_expr(&pair), Cmp::Ge, pair.dist)?;
+                            steiner_rows += 1;
+                        }
+                    }
+                }
+                let mut rounds = 0usize;
+                loop {
+                    let sol = solve_once(&model)?;
+                    lp_iterations += sol.iterations();
+                    rounds += 1;
+                    let lengths = extract(&sol);
+                    let violated = violated_pairs(problem, &lengths, self.violation_tol);
+                    if violated.is_empty() {
+                        return Ok((
+                            lengths,
+                            EbfReport {
+                                lp_iterations,
+                                separation_rounds: rounds,
+                                steiner_rows,
+                                total_pairs,
+                            },
+                        ));
+                    }
+                    if rounds >= max_rounds {
+                        // Safety net: materialize everything and solve once.
+                        for pair in all_pair_constraints(problem) {
+                            add_steiner_row(&mut model, &pair);
+                            steiner_rows += 1;
+                        }
+                        let sol = solve_once(&model)?;
+                        lp_iterations += sol.iterations();
+                        return Ok((
+                            extract(&sol),
+                            EbfReport {
+                                lp_iterations,
+                                separation_rounds: rounds + 1,
+                                steiner_rows,
+                                total_pairs,
+                            },
+                        ));
+                    }
+                    for (pair, _) in violated.into_iter().take(batch) {
+                        add_steiner_row(&mut model, &pair);
+                        steiner_rows += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DelayBounds, LubtBuilder};
+    use lubt_delay::linear::{node_delays, tree_cost};
+    use lubt_geom::Point;
+
+    fn square() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(0.0, 10.0),
+            Point::new(10.0, 10.0),
+        ]
+    }
+
+    #[test]
+    fn unbounded_reduces_to_steiner_tree() {
+        // 2 sinks 8 apart: minimal tree = 8 (plus nothing else).
+        let p = LubtBuilder::new(vec![Point::new(0.0, 0.0), Point::new(8.0, 0.0)])
+            .bounds(DelayBounds::unbounded(2))
+            .build()
+            .unwrap();
+        let (lengths, _) = EbfSolver::new().solve(&p).unwrap();
+        assert!((tree_cost(&lengths) - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delay_bounds_are_respected() {
+        let p = LubtBuilder::new(square())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::uniform(4, 12.0, 15.0))
+            .build()
+            .unwrap();
+        let (lengths, _) = EbfSolver::new().solve(&p).unwrap();
+        let d = node_delays(p.topology(), &lengths);
+        for s in p.topology().sinks() {
+            assert!(d[s.index()] >= 12.0 - 1e-6, "sink {s}: {}", d[s.index()]);
+            assert!(d[s.index()] <= 15.0 + 1e-6, "sink {s}: {}", d[s.index()]);
+        }
+    }
+
+    #[test]
+    fn infeasible_upper_bound_is_certified() {
+        // Radius is 10; u = 5 < dist(source, sinks) has no solution (Eq 3).
+        let p = LubtBuilder::new(square())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::upper_only(4, 5.0))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            EbfSolver::new().solve(&p),
+            Err(LubtError::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn lazy_and_eager_agree() {
+        let p = LubtBuilder::new(square())
+            .bounds(DelayBounds::uniform(4, 10.0, 12.0))
+            .build()
+            .unwrap();
+        let (l1, r1) = EbfSolver::new().solve(&p).unwrap();
+        let (l2, r2) = EbfSolver::new()
+            .with_steiner_mode(SteinerMode::Eager)
+            .solve(&p)
+            .unwrap();
+        assert!((tree_cost(&l1) - tree_cost(&l2)).abs() < 1e-6);
+        assert!(r1.steiner_rows <= r2.steiner_rows);
+        assert_eq!(r2.total_pairs, 6);
+    }
+
+    #[test]
+    fn backends_agree() {
+        let p = LubtBuilder::new(square())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::uniform(4, 10.0, 14.0))
+            .build()
+            .unwrap();
+        let (l1, _) = EbfSolver::new().solve(&p).unwrap();
+        let (l2, _) = EbfSolver::new()
+            .with_backend(SolverBackend::InteriorPoint)
+            .solve(&p)
+            .unwrap();
+        let scale = 1.0 + tree_cost(&l1).abs();
+        assert!((tree_cost(&l1) - tree_cost(&l2)).abs() / scale < 1e-5);
+    }
+
+    #[test]
+    fn weighted_edges_shift_the_optimum() {
+        // Heavily weighting one edge should never *increase* its length.
+        let p = LubtBuilder::new(square())
+            .bounds(DelayBounds::uniform(4, 10.0, 14.0))
+            .build()
+            .unwrap();
+        let (base, _) = EbfSolver::new().solve(&p).unwrap();
+        let n = p.topology().num_nodes();
+        let mut w = vec![1.0; n];
+        // Find the longest edge and penalize it.
+        let longest = (1..n).max_by(|&a, &b| base[a].partial_cmp(&base[b]).unwrap()).unwrap();
+        w[longest] = 50.0;
+        let p2 = p.clone().with_weights(w).unwrap();
+        let (heavy, _) = EbfSolver::new().solve(&p2).unwrap();
+        assert!(heavy[longest] <= base[longest] + 1e-6);
+    }
+
+    #[test]
+    fn zero_edges_stay_zero() {
+        let p = LubtBuilder::new(square())
+            .bounds(DelayBounds::uniform(4, 10.0, 14.0))
+            .build()
+            .unwrap();
+        let n = p.topology().num_nodes();
+        let p = p.with_zero_edges(vec![NodeId(n - 1)]).unwrap();
+        let (lengths, _) = EbfSolver::new().solve(&p).unwrap();
+        assert!(lengths[n - 1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn source_sink_distance_is_enforced_even_with_zero_lower() {
+        // l = 0 but the source is far: path must still cover the distance.
+        let p = LubtBuilder::new(vec![Point::new(10.0, 0.0), Point::new(12.0, 0.0)])
+            .source(Point::new(0.0, 0.0))
+            .bounds(DelayBounds::upper_only(2, 50.0))
+            .build()
+            .unwrap();
+        let (lengths, _) = EbfSolver::new().solve(&p).unwrap();
+        let d = node_delays(p.topology(), &lengths);
+        assert!(d[1] >= 10.0 - 1e-6);
+        assert!(d[2] >= 12.0 - 1e-6);
+    }
+}

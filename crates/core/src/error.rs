@@ -1,0 +1,90 @@
+use crate::VerifyError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from LUBT problem construction and solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LubtError {
+    /// Problem inputs are inconsistent (counts, bound shapes, topology
+    /// root degree vs. source mode, ...).
+    Input(String),
+    /// The bounds admit no tree for this topology (the paper's Figure 1(a)
+    /// situation, or simply `u` below the radius): the EBF LP has no
+    /// feasible point. Thanks to Theorem 4.2, this is a *certificate* —
+    /// no LUBT exists for the given topology and bounds.
+    Infeasible,
+    /// The underlying LP solver failed (iteration limit, numerical
+    /// breakdown).
+    Lp(lubt_lp::LpError),
+    /// Topology construction or transformation failed.
+    Topology(lubt_topology::TopologyError),
+    /// The geometric embedding could not realize the LP's edge lengths —
+    /// with exact arithmetic this is impossible (Theorem 4.1); it indicates
+    /// edge lengths not coming from a feasible EBF solve.
+    Embedding {
+        /// Node whose feasible region came up empty.
+        node: usize,
+    },
+    /// A solution failed post-hoc verification.
+    Verify(VerifyError),
+}
+
+impl fmt::Display for LubtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LubtError::Input(msg) => write!(f, "invalid problem input: {msg}"),
+            LubtError::Infeasible => {
+                write!(f, "no LUBT exists for this topology and bounds (LP infeasible)")
+            }
+            LubtError::Lp(e) => write!(f, "lp solver failure: {e}"),
+            LubtError::Topology(e) => write!(f, "topology error: {e}"),
+            LubtError::Embedding { node } => {
+                write!(f, "feasible region of node s{node} is empty during embedding")
+            }
+            LubtError::Verify(e) => write!(f, "solution verification failed: {e}"),
+        }
+    }
+}
+
+impl Error for LubtError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LubtError::Lp(e) => Some(e),
+            LubtError::Topology(e) => Some(e),
+            LubtError::Verify(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lubt_lp::LpError> for LubtError {
+    fn from(e: lubt_lp::LpError) -> Self {
+        LubtError::Lp(e)
+    }
+}
+
+impl From<lubt_topology::TopologyError> for LubtError {
+    fn from(e: lubt_topology::TopologyError) -> Self {
+        LubtError::Topology(e)
+    }
+}
+
+impl From<VerifyError> for LubtError {
+    fn from(e: VerifyError) -> Self {
+        LubtError::Verify(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = LubtError::Lp(lubt_lp::LpError::EmptyModel);
+        assert!(e.to_string().contains("lp solver"));
+        assert!(Error::source(&e).is_some());
+        assert!(LubtError::Infeasible.to_string().contains("no LUBT"));
+        assert!(Error::source(&LubtError::Infeasible).is_none());
+    }
+}

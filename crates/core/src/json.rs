@@ -1,0 +1,171 @@
+//! JSON export of solved trees — a stable, dependency-free interchange
+//! format for downstream tooling (plotters, routers, checkers).
+//!
+//! The document contains everything needed to reconstruct and audit the
+//! solution: node roles and placements, per-edge lengths/spans, sink
+//! delays, the bounds that were solved, and aggregate statistics.
+
+use crate::{analyze, LubtSolution};
+use std::fmt::Write as _;
+
+/// Serializes a solution as a self-contained JSON document.
+///
+/// # Example
+///
+/// ```
+/// use lubt_core::{solution_to_json, DelayBounds, LubtBuilder};
+/// use lubt_geom::Point;
+/// let sol = LubtBuilder::new(vec![Point::new(0.0, 0.0), Point::new(8.0, 0.0)])
+///     .source(Point::new(4.0, 0.0))
+///     .bounds(DelayBounds::uniform(2, 4.0, 6.0))
+///     .solve()?;
+/// let json = solution_to_json(&sol);
+/// assert!(json.contains("\"cost\""));
+/// assert!(json.trim_start().starts_with('{'));
+/// # Ok::<(), lubt_core::LubtError>(())
+/// ```
+pub fn solution_to_json(solution: &LubtSolution) -> String {
+    let topo = solution.problem().topology();
+    let positions = solution.positions();
+    let delays = solution.node_delays();
+    let stats = analyze(solution);
+    let bounds = solution.problem().bounds();
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"cost\": {},", num(solution.cost()));
+    let _ = writeln!(out, "  \"skew\": {},", num(solution.skew()));
+    let (short, long) = solution.delay_range();
+    let _ = writeln!(out, "  \"delay_range\": [{}, {}],", num(short), num(long));
+    let _ = writeln!(out, "  \"radius\": {},", num(solution.problem().radius()));
+    let _ = writeln!(
+        out,
+        "  \"edges_tight\": {}, \"edges_elongated\": {}, \"edges_degenerate\": {},",
+        stats.tight, stats.elongated, stats.degenerate
+    );
+    let _ = writeln!(out, "  \"snaked_surplus\": {},", num(stats.total_surplus));
+
+    out.push_str("  \"nodes\": [\n");
+    for v in (0..topo.num_nodes()).map(lubt_topology::NodeId) {
+        let role = if v == topo.root() {
+            "source"
+        } else if topo.is_sink(v) {
+            "sink"
+        } else {
+            "steiner"
+        };
+        let p = positions[v.index()];
+        let _ = write!(
+            out,
+            "    {{\"id\": {}, \"role\": \"{role}\", \"x\": {}, \"y\": {}, \"delay\": {}}}",
+            v.index(),
+            num(p.x),
+            num(p.y),
+            num(delays[v.index()])
+        );
+        out.push_str(if v.index() + 1 < topo.num_nodes() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"edges\": [\n");
+    let n_edges = topo.num_edges();
+    for (k, ((child, parent), stat)) in topo.edges().zip(&stats.edges).enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"child\": {}, \"parent\": {}, \"length\": {}, \"span\": {}, \"kind\": \"{}\"}}",
+            child.index(),
+            parent.index(),
+            num(stat.length),
+            num(stat.span),
+            match stat.kind {
+                crate::EdgeKind::Tight => "tight",
+                crate::EdgeKind::Elongated => "elongated",
+                crate::EdgeKind::Degenerate => "degenerate",
+            }
+        );
+        out.push_str(if k + 1 < n_edges { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"bounds\": [\n");
+    for i in 0..bounds.len() {
+        let _ = write!(
+            out,
+            "    {{\"sink\": {}, \"lower\": {}, \"upper\": {}}}",
+            i + 1,
+            num(bounds.lower(i)),
+            json_upper(bounds.upper(i))
+        );
+        out.push_str(if i + 1 < bounds.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// JSON has no infinity literal; unbounded caps serialize as `null`.
+fn json_upper(u: f64) -> String {
+    if u.is_finite() {
+        num(u)
+    } else {
+        "null".to_string()
+    }
+}
+
+fn num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DelayBounds, LubtBuilder};
+    use lubt_geom::Point;
+
+    fn sample() -> LubtSolution {
+        LubtBuilder::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(5.0, 8.0),
+        ])
+        .source(Point::new(5.0, 2.0))
+        .bounds(DelayBounds::uniform(3, 9.0, 12.0))
+        .solve()
+        .unwrap()
+    }
+
+    #[test]
+    fn document_structure() {
+        let sol = sample();
+        let json = solution_to_json(&sol);
+        // Counts line up with the topology.
+        assert_eq!(
+            json.matches("\"role\": \"sink\"").count(),
+            sol.problem().topology().num_sinks()
+        );
+        assert_eq!(json.matches("\"role\": \"source\"").count(), 1);
+        assert_eq!(
+            json.matches("\"child\":").count(),
+            sol.problem().topology().num_edges()
+        );
+        assert_eq!(json.matches("\"sink\":").count(), 3);
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains("inf"));
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn unbounded_caps_are_null() {
+        let sol = LubtBuilder::new(vec![Point::new(0.0, 0.0), Point::new(6.0, 0.0)])
+            .source(Point::new(3.0, 0.0))
+            .bounds(DelayBounds::unbounded(2))
+            .solve()
+            .unwrap();
+        let json = solution_to_json(&sol);
+        assert!(json.contains("\"upper\": null"));
+    }
+}

@@ -1,0 +1,476 @@
+use crate::ebf::{EbfSolver, SolverBackend, SteinerMode};
+use crate::embed::{embed_tree, PlacementPolicy};
+use crate::{DelayBounds, LubtError, LubtSolution};
+use lubt_geom::Point;
+use lubt_topology::{nearest_neighbor_topology, NodeId, SourceMode, Topology};
+
+/// A fully specified LUBT instance: sink locations, optional source
+/// location, rooted topology, per-sink delay bounds, and (optionally)
+/// per-edge objective weights and zero-fixed edges.
+///
+/// Construct via [`LubtProblem::new`] for full control or [`LubtBuilder`]
+/// for the common path.
+#[derive(Debug, Clone)]
+pub struct LubtProblem {
+    sinks: Vec<Point>,
+    source: Option<Point>,
+    topology: Topology,
+    bounds: DelayBounds,
+    weights: Vec<f64>,
+    zero_edges: Vec<NodeId>,
+}
+
+impl LubtProblem {
+    /// Validates and assembles a problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LubtError::Input`] when the pieces disagree: sink counts,
+    /// bound counts, non-finite coordinates, topology root degree
+    /// incompatible with the presence/absence of a source, or out-of-range
+    /// zero-edge ids.
+    pub fn new(
+        sinks: Vec<Point>,
+        source: Option<Point>,
+        topology: Topology,
+        bounds: DelayBounds,
+    ) -> Result<Self, LubtError> {
+        if sinks.is_empty() {
+            return Err(LubtError::Input("no sinks".to_string()));
+        }
+        if sinks.len() != topology.num_sinks() {
+            return Err(LubtError::Input(format!(
+                "{} sink locations but topology has {} sinks",
+                sinks.len(),
+                topology.num_sinks()
+            )));
+        }
+        if bounds.len() != sinks.len() {
+            return Err(LubtError::Input(format!(
+                "{} bounds for {} sinks",
+                bounds.len(),
+                sinks.len()
+            )));
+        }
+        for (i, p) in sinks.iter().enumerate() {
+            if !p.is_finite() {
+                return Err(LubtError::Input(format!("sink {} is not finite", i + 1)));
+            }
+        }
+        if let Some(s) = source {
+            if !s.is_finite() {
+                return Err(LubtError::Input("source is not finite".to_string()));
+            }
+        }
+        let weights = vec![1.0; topology.num_nodes()];
+        Ok(LubtProblem {
+            sinks,
+            source,
+            topology,
+            bounds,
+            weights,
+            zero_edges: Vec::new(),
+        })
+    }
+
+    /// Replaces the per-edge objective weights (§7 "different weights on
+    /// edges"). `weights[i]` weighs edge `e_i`; index 0 is unused.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LubtError::Input`] on length mismatch or non-finite /
+    /// negative weights.
+    pub fn with_weights(mut self, weights: Vec<f64>) -> Result<Self, LubtError> {
+        if weights.len() != self.topology.num_nodes() {
+            return Err(LubtError::Input(format!(
+                "{} weights for {} nodes",
+                weights.len(),
+                self.topology.num_nodes()
+            )));
+        }
+        if weights.iter().skip(1).any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(LubtError::Input(
+                "edge weights must be finite and non-negative".to_string(),
+            ));
+        }
+        self.weights = weights;
+        Ok(self)
+    }
+
+    /// Declares edges whose length is fixed to zero (the splitting edges of
+    /// [`lubt_topology::split_degree_four`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LubtError::Input`] for out-of-range edge ids.
+    pub fn with_zero_edges(mut self, zero_edges: Vec<NodeId>) -> Result<Self, LubtError> {
+        for e in &zero_edges {
+            if e.index() == 0 || e.index() >= self.topology.num_nodes() {
+                return Err(LubtError::Input(format!("zero edge {e} out of range")));
+            }
+        }
+        self.zero_edges = zero_edges;
+        Ok(self)
+    }
+
+    /// Sink locations (sink `i` in this slice is node `i + 1`).
+    pub fn sinks(&self) -> &[Point] {
+        &self.sinks
+    }
+
+    /// Source location, when given.
+    pub fn source(&self) -> Option<Point> {
+        self.source
+    }
+
+    /// The rooted topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The delay bounds.
+    pub fn bounds(&self) -> &DelayBounds {
+        &self.bounds
+    }
+
+    /// Per-edge objective weights (`weights()[i]` weighs `e_i`).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Edges fixed to zero length.
+    pub fn zero_edges(&self) -> &[NodeId] {
+        &self.zero_edges
+    }
+
+    /// Whether the source participates ([`SourceMode::Given`]) or the
+    /// embedding chooses it ([`SourceMode::Free`]).
+    pub fn source_mode(&self) -> SourceMode {
+        if self.source.is_some() {
+            SourceMode::Given
+        } else {
+            SourceMode::Free
+        }
+    }
+
+    /// Location of a sink node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is not a sink of the topology.
+    pub fn sink_location(&self, node: NodeId) -> Point {
+        assert!(self.topology.is_sink(node), "{node} is not a sink");
+        self.sinks[node.index() - 1]
+    }
+
+    /// The paper's radius: source-to-farthest-sink distance (source given)
+    /// or half the sink diameter (source free). All table bounds are
+    /// normalized by this quantity.
+    pub fn radius(&self) -> f64 {
+        match self.source {
+            Some(s) => lubt_delay::skew::radius_with_source(s, &self.sinks),
+            None => lubt_delay::skew::radius_free(&self.sinks),
+        }
+    }
+
+    /// Solves with the default pipeline: lazy-constraint EBF on the simplex
+    /// backend, then geometric embedding with closest-to-parent placement.
+    ///
+    /// # Errors
+    ///
+    /// [`LubtError::Infeasible`] when no LUBT exists for these bounds and
+    /// topology; solver/embedding errors otherwise.
+    pub fn solve(&self) -> Result<LubtSolution, LubtError> {
+        let (lengths, report) = EbfSolver::new().solve(self)?;
+        let positions = embed_tree(
+            &self.topology,
+            &self.sinks,
+            self.source,
+            &lengths,
+            PlacementPolicy::ClosestToParent,
+        )?;
+        Ok(LubtSolution::new(self.clone(), lengths, positions, report))
+    }
+}
+
+/// How [`LubtBuilder`] obtains a topology when none is supplied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopologyStrategy {
+    /// Nearest-neighbor merge (the paper's generator family). Default.
+    #[default]
+    NearestNeighbor,
+    /// Recursive geometric matching (balanced trees).
+    Matching,
+    /// Balanced recursive bisection (H-tree-like structure).
+    Bisection,
+    /// Bound-aware nearest-neighbor merge (the §9 future-work generator):
+    /// pairs clusters by distance *plus* arrival-window compatibility.
+    /// Most useful with heterogeneous per-sink windows.
+    BoundAware,
+}
+
+/// Ergonomic front door to the LUBT pipeline.
+///
+/// Mandatory: sinks and bounds. Optional: a source location (otherwise the
+/// embedding places the driver), an explicit topology (otherwise generated
+/// per [`TopologyStrategy`]), solver backend, Steiner-constraint strategy
+/// and placement policy.
+///
+/// # Example
+///
+/// ```
+/// use lubt_core::{DelayBounds, LubtBuilder};
+/// use lubt_geom::Point;
+/// let sol = LubtBuilder::new(vec![Point::new(0.0, 0.0), Point::new(8.0, 0.0)])
+///     .bounds(DelayBounds::uniform(2, 4.0, 6.0))
+///     .solve()?;
+/// assert!(sol.cost() >= 8.0 - 1e-6); // the sinks are 8 apart
+/// # Ok::<(), lubt_core::LubtError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LubtBuilder {
+    sinks: Vec<Point>,
+    source: Option<Point>,
+    topology: Option<Topology>,
+    strategy: TopologyStrategy,
+    bounds: Option<DelayBounds>,
+    weights: Option<Vec<f64>>,
+    backend: SolverBackend,
+    steiner_mode: SteinerMode,
+    placement: PlacementPolicy,
+}
+
+impl LubtBuilder {
+    /// Starts a builder over the given sink locations.
+    pub fn new(sinks: Vec<Point>) -> Self {
+        LubtBuilder {
+            sinks,
+            source: None,
+            topology: None,
+            strategy: TopologyStrategy::default(),
+            bounds: None,
+            weights: None,
+            backend: SolverBackend::Simplex,
+            steiner_mode: SteinerMode::default_lazy(),
+            placement: PlacementPolicy::ClosestToParent,
+        }
+    }
+
+    /// Pins the source location.
+    #[must_use]
+    pub fn source(mut self, source: Point) -> Self {
+        self.source = Some(source);
+        self
+    }
+
+    /// Uses an explicit topology instead of generating one.
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Selects the generator used when no explicit topology is supplied
+    /// (default: nearest-neighbor merge).
+    #[must_use]
+    pub fn topology_strategy(mut self, strategy: TopologyStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the delay bounds (required).
+    #[must_use]
+    pub fn bounds(mut self, bounds: DelayBounds) -> Self {
+        self.bounds = Some(bounds);
+        self
+    }
+
+    /// Sets per-edge objective weights.
+    #[must_use]
+    pub fn weights(mut self, weights: Vec<f64>) -> Self {
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Selects the LP backend (default: simplex).
+    #[must_use]
+    pub fn backend(mut self, backend: SolverBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Selects the Steiner-constraint strategy (default: lazy separation).
+    #[must_use]
+    pub fn steiner_mode(mut self, mode: SteinerMode) -> Self {
+        self.steiner_mode = mode;
+        self
+    }
+
+    /// Selects the top-down placement policy (default: closest-to-parent).
+    #[must_use]
+    pub fn placement(mut self, policy: PlacementPolicy) -> Self {
+        self.placement = policy;
+        self
+    }
+
+    /// Builds the [`LubtProblem`] without solving (exposes the generated
+    /// topology for inspection or reuse).
+    ///
+    /// # Errors
+    ///
+    /// [`LubtError::Input`] when the pieces are inconsistent or bounds are
+    /// missing.
+    pub fn build(&self) -> Result<LubtProblem, LubtError> {
+        let bounds = self
+            .bounds
+            .clone()
+            .ok_or_else(|| LubtError::Input("bounds are required".to_string()))?;
+        let mode = if self.source.is_some() {
+            SourceMode::Given
+        } else {
+            SourceMode::Free
+        };
+        let topology = match &self.topology {
+            Some(t) => t.clone(),
+            None => match self.strategy {
+                TopologyStrategy::NearestNeighbor => {
+                    nearest_neighbor_topology(&self.sinks, mode)
+                }
+                TopologyStrategy::Matching => {
+                    lubt_topology::matching_topology(&self.sinks, mode)
+                }
+                TopologyStrategy::Bisection => {
+                    lubt_topology::bipartition_topology(&self.sinks, mode)
+                }
+                TopologyStrategy::BoundAware => {
+                    crate::bound_aware_topology(&self.sinks, self.source, &bounds)?
+                }
+            },
+        };
+        let mut p = LubtProblem::new(self.sinks.clone(), self.source, topology, bounds)?;
+        if let Some(w) = &self.weights {
+            p = p.with_weights(w.clone())?;
+        }
+        Ok(p)
+    }
+
+    /// Builds and solves.
+    ///
+    /// # Errors
+    ///
+    /// See [`LubtProblem::solve`].
+    pub fn solve(&self) -> Result<LubtSolution, LubtError> {
+        let problem = self.build()?;
+        let solver = EbfSolver::new()
+            .with_backend(self.backend)
+            .with_steiner_mode(self.steiner_mode);
+        let (lengths, report) = solver.solve(&problem)?;
+        let positions = embed_tree(
+            problem.topology(),
+            problem.sinks(),
+            problem.source(),
+            &lengths,
+            self.placement,
+        )?;
+        Ok(LubtSolution::new(problem, lengths, positions, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_sinks() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(0.0, 10.0),
+            Point::new(10.0, 10.0),
+        ]
+    }
+
+    #[test]
+    fn problem_validation() {
+        let topo = nearest_neighbor_topology(&square_sinks(), SourceMode::Free);
+        // Mismatched bound count.
+        assert!(matches!(
+            LubtProblem::new(square_sinks(), None, topo.clone(), DelayBounds::unbounded(3)),
+            Err(LubtError::Input(_))
+        ));
+        // Mismatched sink count.
+        assert!(matches!(
+            LubtProblem::new(square_sinks()[..2].to_vec(), None, topo.clone(), DelayBounds::unbounded(2)),
+            Err(LubtError::Input(_))
+        ));
+        // Valid.
+        let p = LubtProblem::new(square_sinks(), None, topo, DelayBounds::unbounded(4)).unwrap();
+        assert_eq!(p.source_mode(), SourceMode::Free);
+        assert_eq!(p.radius(), 10.0); // diameter 20 / 2
+    }
+
+    #[test]
+    fn weights_and_zero_edges_validated() {
+        let topo = nearest_neighbor_topology(&square_sinks(), SourceMode::Free);
+        let n = topo.num_nodes();
+        let p = LubtProblem::new(square_sinks(), None, topo, DelayBounds::unbounded(4)).unwrap();
+        assert!(p.clone().with_weights(vec![1.0; n + 1]).is_err());
+        assert!(p.clone().with_weights(vec![-1.0; n]).is_err());
+        assert!(p.clone().with_weights(vec![2.0; n]).is_ok());
+        assert!(p.clone().with_zero_edges(vec![NodeId(0)]).is_err());
+        assert!(p.clone().with_zero_edges(vec![NodeId(n)]).is_err());
+        assert!(p.with_zero_edges(vec![NodeId(n - 1)]).is_ok());
+    }
+
+    #[test]
+    fn builder_requires_bounds() {
+        assert!(matches!(
+            LubtBuilder::new(square_sinks()).build(),
+            Err(LubtError::Input(_))
+        ));
+    }
+
+    #[test]
+    fn builder_generates_topology_matching_source_mode() {
+        let p = LubtBuilder::new(square_sinks())
+            .bounds(DelayBounds::unbounded(4))
+            .build()
+            .unwrap();
+        assert!(p.topology().is_binary(SourceMode::Free));
+
+        let p = LubtBuilder::new(square_sinks())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::unbounded(4))
+            .build()
+            .unwrap();
+        assert!(p.topology().is_binary(SourceMode::Given));
+        assert_eq!(p.radius(), 10.0);
+    }
+
+    #[test]
+    fn topology_strategies_all_solve() {
+        let radius = 10.0; // square diag/... radius with center source is 10
+        for strategy in [
+            TopologyStrategy::NearestNeighbor,
+            TopologyStrategy::Matching,
+            TopologyStrategy::Bisection,
+            TopologyStrategy::BoundAware,
+        ] {
+            let sol = LubtBuilder::new(square_sinks())
+                .source(Point::new(5.0, 5.0))
+                .bounds(DelayBounds::uniform(4, 0.9 * radius, 1.5 * radius))
+                .topology_strategy(strategy)
+                .solve()
+                .unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
+            sol.verify().unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn sink_location_lookup() {
+        let p = LubtBuilder::new(square_sinks())
+            .bounds(DelayBounds::unbounded(4))
+            .build()
+            .unwrap();
+        assert_eq!(p.sink_location(NodeId(3)), Point::new(0.0, 10.0));
+    }
+}

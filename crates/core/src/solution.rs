@@ -1,0 +1,198 @@
+use crate::ebf::EbfReport;
+use crate::verify::verify_solution;
+use crate::{LubtProblem, VerifyError};
+use lubt_geom::{polyline_length, route_with_length, Point};
+
+/// A solved LUBT: optimal edge lengths, an embedding realizing them, and
+/// solve statistics.
+///
+/// All delay/cost queries recompute from the stored lengths — the solution
+/// carries no cached values that could drift from the data.
+///
+/// # Example
+///
+/// ```
+/// use lubt_core::{DelayBounds, LubtBuilder};
+/// use lubt_geom::Point;
+/// let sol = LubtBuilder::new(vec![Point::new(0.0, 0.0), Point::new(8.0, 0.0)])
+///     .source(Point::new(4.0, 0.0))
+///     .bounds(DelayBounds::uniform(2, 4.0, 6.0))
+///     .solve()?;
+/// assert!(sol.skew() <= 2.0 + 1e-9);
+/// let (short, long) = sol.delay_range();
+/// assert!(short >= 4.0 - 1e-6 && long <= 6.0 + 1e-6);
+/// # Ok::<(), lubt_core::LubtError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LubtSolution {
+    problem: LubtProblem,
+    lengths: Vec<f64>,
+    positions: Vec<Point>,
+    report: EbfReport,
+}
+
+impl LubtSolution {
+    pub(crate) fn new(
+        problem: LubtProblem,
+        lengths: Vec<f64>,
+        positions: Vec<Point>,
+        report: EbfReport,
+    ) -> Self {
+        LubtSolution {
+            problem,
+            lengths,
+            positions,
+            report,
+        }
+    }
+
+    /// The problem this solution answers.
+    pub fn problem(&self) -> &LubtProblem {
+        &self.problem
+    }
+
+    /// Optimal edge lengths, indexed by node (entry 0 unused).
+    pub fn edge_lengths(&self) -> &[f64] {
+        &self.lengths
+    }
+
+    /// Placement of every node (source, sinks, Steiner points).
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Solve statistics (LP iterations, separation rounds, row counts).
+    pub fn report(&self) -> &EbfReport {
+        &self.report
+    }
+
+    /// Tree cost: the (unweighted) sum of edge lengths — the quantity
+    /// Tables 1–3 report.
+    pub fn cost(&self) -> f64 {
+        lubt_delay::linear::tree_cost(&self.lengths)
+    }
+
+    /// Weighted objective value (differs from [`LubtSolution::cost`] only
+    /// under §7 edge weights).
+    pub fn weighted_cost(&self) -> f64 {
+        self.lengths
+            .iter()
+            .zip(self.problem.weights())
+            .skip(1)
+            .map(|(l, w)| l * w)
+            .sum()
+    }
+
+    /// Linear-model delay at every node.
+    pub fn node_delays(&self) -> Vec<f64> {
+        lubt_delay::linear::node_delays(self.problem.topology(), &self.lengths)
+    }
+
+    /// Delays of the sinks, in sink order.
+    pub fn sink_delays(&self) -> Vec<f64> {
+        lubt_delay::linear::sink_delays(self.problem.topology(), &self.lengths)
+    }
+
+    /// `(shortest, longest)` sink delay — Table 1's columns.
+    pub fn delay_range(&self) -> (f64, f64) {
+        lubt_delay::skew::delay_range(self.problem.topology(), &self.node_delays())
+    }
+
+    /// Tree skew: longest minus shortest sink delay.
+    pub fn skew(&self) -> f64 {
+        let (lo, hi) = self.delay_range();
+        hi - lo
+    }
+
+    /// Physical wire routes, one rectilinear polyline per edge (edge `i` is
+    /// `routes()[i - 1]`). Elongated edges are materialized by snaking, so
+    /// every polyline's length equals the LP's edge length exactly.
+    pub fn routes(&self) -> Vec<Vec<Point>> {
+        let topo = self.problem.topology();
+        topo.edges()
+            .map(|(child, parent)| {
+                let from = self.positions[parent.index()];
+                let to = self.positions[child.index()];
+                route_with_length(from, to, self.lengths[child.index()])
+                    .expect("verified edges are at least as long as their span")
+            })
+            .collect()
+    }
+
+    /// Total routed wirelength (sums the snaked polylines; equals
+    /// [`LubtSolution::cost`] up to floating-point noise).
+    pub fn routed_wirelength(&self) -> f64 {
+        self.routes().iter().map(|r| polyline_length(r)).sum()
+    }
+
+    /// Independently re-checks the solution against the problem definition:
+    /// pinned locations, physical edge realizability, zero-edge fixing and
+    /// delay windows.
+    ///
+    /// # Errors
+    ///
+    /// The first [`VerifyError`] found.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        verify_solution(&self.problem, &self.lengths, &self.positions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DelayBounds, LubtBuilder};
+
+    fn sol() -> LubtSolution {
+        LubtBuilder::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(0.0, 10.0),
+            Point::new(10.0, 10.0),
+        ])
+        .source(Point::new(5.0, 5.0))
+        .bounds(DelayBounds::uniform(4, 12.0, 14.0))
+        .solve()
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors_are_consistent() {
+        let s = sol();
+        assert_eq!(s.edge_lengths().len(), s.problem().topology().num_nodes());
+        assert_eq!(s.positions().len(), s.problem().topology().num_nodes());
+        assert_eq!(s.sink_delays().len(), 4);
+        let (lo, hi) = s.delay_range();
+        assert!((s.skew() - (hi - lo)).abs() < 1e-12);
+        // Unweighted problem: weighted cost == cost.
+        assert!((s.cost() - s.weighted_cost()).abs() < 1e-9);
+        assert!(s.verify().is_ok());
+    }
+
+    #[test]
+    fn routes_realize_exact_lengths() {
+        let s = sol();
+        let routes = s.routes();
+        assert_eq!(routes.len(), s.problem().topology().num_edges());
+        assert!((s.routed_wirelength() - s.cost()).abs() < 1e-6);
+        // Each route connects parent placement to child placement.
+        for ((child, parent), route) in s.problem().topology().edges().zip(&routes) {
+            assert_eq!(route.first().copied().unwrap(), s.positions()[parent.index()]);
+            assert_eq!(route.last().copied().unwrap(), s.positions()[child.index()]);
+        }
+    }
+
+    #[test]
+    fn bounds_are_active_when_binding() {
+        // With l = u the delays are pinned exactly.
+        let s = LubtBuilder::new(vec![Point::new(0.0, 0.0), Point::new(8.0, 0.0)])
+            .source(Point::new(4.0, 0.0))
+            .bounds(DelayBounds::zero_skew(2, 5.0))
+            .solve()
+            .unwrap();
+        for d in s.sink_delays() {
+            assert!((d - 5.0).abs() < 1e-6);
+        }
+        assert!(s.skew() < 1e-6);
+        assert!(s.verify().is_ok());
+    }
+}

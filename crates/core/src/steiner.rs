@@ -1,0 +1,177 @@
+//! Steiner-constraint machinery (§4.1, §4.6).
+//!
+//! For every pair of sinks `(s_i, s_j)` the EBF requires
+//! `pathlength(s_i, s_j) >= dist(s_i, s_j)` — necessary because separating
+//! the pair would disconnect the tree, and *sufficient* for embeddability by
+//! Theorem 4.1. There are `C(m, 2)` such rows; §4.6 observes most are
+//! redundant. This module provides both the full generator and the
+//! **separation oracle** used for lazy constraint generation: given a
+//! candidate edge-length vector, find the violated pairs in
+//! `O(m^2 log n)` via LCA path-length queries.
+
+use crate::LubtProblem;
+use lubt_delay::linear::{node_delays, path_length};
+use lubt_topology::NodeId;
+
+/// One sink-pair Steiner constraint: `pathlength(a, b) >= dist`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SinkPair {
+    /// First sink node.
+    pub a: NodeId,
+    /// Second sink node.
+    pub b: NodeId,
+    /// Manhattan distance between the sink locations (the row's RHS).
+    pub dist: f64,
+}
+
+/// All `C(m, 2)` Steiner constraints (the §4.3 formulation, before
+/// reduction).
+pub fn all_pair_constraints(problem: &LubtProblem) -> Vec<SinkPair> {
+    let topo = problem.topology();
+    let m = topo.num_sinks();
+    let mut out = Vec::with_capacity(m * (m - 1) / 2);
+    for i in 1..=m {
+        for j in i + 1..=m {
+            let (a, b) = (NodeId(i), NodeId(j));
+            out.push(SinkPair {
+                a,
+                b,
+                dist: problem.sink_location(a).dist(problem.sink_location(b)),
+            });
+        }
+    }
+    out
+}
+
+/// Geometric seed for the lazy scheme: each sink paired with its nearest
+/// other sink (deduplicated). These `<= m` rows anchor the first LP and in
+/// practice already rule out most collapse directions.
+pub fn seed_pairs(problem: &LubtProblem) -> Vec<SinkPair> {
+    let topo = problem.topology();
+    let m = topo.num_sinks();
+    let mut out: Vec<SinkPair> = Vec::with_capacity(m);
+    for i in 1..=m {
+        let pi = problem.sink_location(NodeId(i));
+        let mut best: Option<(usize, f64)> = None;
+        for j in 1..=m {
+            if i == j {
+                continue;
+            }
+            let d = pi.dist(problem.sink_location(NodeId(j)));
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((j, d));
+            }
+        }
+        if let Some((j, d)) = best {
+            let (lo, hi) = (i.min(j), i.max(j));
+            let pair = SinkPair {
+                a: NodeId(lo),
+                b: NodeId(hi),
+                dist: d,
+            };
+            if !out
+                .iter()
+                .any(|p| p.a == pair.a && p.b == pair.b)
+            {
+                out.push(pair);
+            }
+        }
+    }
+    out
+}
+
+/// Separation oracle: every sink pair whose Steiner constraint the given
+/// edge lengths violate by more than `tol`, most violated first.
+///
+/// # Panics
+///
+/// Panics when `lengths.len() != topology.num_nodes()`.
+pub fn violated_pairs(
+    problem: &LubtProblem,
+    lengths: &[f64],
+    tol: f64,
+) -> Vec<(SinkPair, f64)> {
+    let topo = problem.topology();
+    let delays = node_delays(topo, lengths);
+    let m = topo.num_sinks();
+    let mut out = Vec::new();
+    for i in 1..=m {
+        for j in i + 1..=m {
+            let (a, b) = (NodeId(i), NodeId(j));
+            let need = problem.sink_location(a).dist(problem.sink_location(b));
+            let have = path_length(topo, &delays, a, b);
+            let violation = need - have;
+            if violation > tol {
+                out.push((SinkPair { a, b, dist: need }, violation));
+            }
+        }
+    }
+    out.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite violations"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DelayBounds, LubtBuilder};
+    use lubt_geom::Point;
+
+    fn problem() -> LubtProblem {
+        LubtBuilder::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(0.0, 10.0),
+            Point::new(10.0, 10.0),
+        ])
+        .bounds(DelayBounds::unbounded(4))
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn all_pairs_count_and_rhs() {
+        let p = problem();
+        let pairs = all_pair_constraints(&p);
+        assert_eq!(pairs.len(), 6); // C(4,2)
+        let d12 = pairs
+            .iter()
+            .find(|q| q.a == NodeId(1) && q.b == NodeId(2))
+            .unwrap();
+        assert_eq!(d12.dist, 10.0);
+        let d14 = pairs
+            .iter()
+            .find(|q| q.a == NodeId(1) && q.b == NodeId(4))
+            .unwrap();
+        assert_eq!(d14.dist, 20.0);
+    }
+
+    #[test]
+    fn seed_is_deduplicated_nearest_neighbors() {
+        let p = problem();
+        let seeds = seed_pairs(&p);
+        // In a symmetric square every sink's nearest neighbor pairs up;
+        // after dedup at most m pairs survive and each is a side (dist 10).
+        assert!(!seeds.is_empty() && seeds.len() <= 4);
+        for s in &seeds {
+            assert_eq!(s.dist, 10.0);
+        }
+    }
+
+    #[test]
+    fn zero_lengths_violate_everything() {
+        let p = problem();
+        let lengths = vec![0.0; p.topology().num_nodes()];
+        let v = violated_pairs(&p, &lengths, 1e-9);
+        assert_eq!(v.len(), 6);
+        // Sorted descending by violation; diagonals (20) come first.
+        assert!(v[0].1 >= v[v.len() - 1].1);
+        assert_eq!(v[0].1, 20.0);
+    }
+
+    #[test]
+    fn generous_lengths_violate_nothing() {
+        let p = problem();
+        let lengths = vec![100.0; p.topology().num_nodes()];
+        assert!(violated_pairs(&p, &lengths, 1e-9).is_empty());
+    }
+}

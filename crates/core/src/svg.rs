@@ -1,0 +1,271 @@
+//! SVG rendering of solved routing trees — the quickest way to eyeball an
+//! embedding, wire snaking included.
+
+use crate::LubtSolution;
+use lubt_geom::{bounding_box, Point};
+use std::fmt::Write as _;
+
+/// Rendering options for [`render_svg_with`].
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Output width in pixels (height follows the aspect ratio).
+    pub width: f64,
+    /// Margin around the drawing, as a fraction of the diagram size.
+    pub margin: f64,
+    /// Wire color.
+    pub wire_color: String,
+    /// Sink marker color.
+    pub sink_color: String,
+    /// Source marker color.
+    pub source_color: String,
+    /// Steiner-point marker color.
+    pub steiner_color: String,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width: 800.0,
+            margin: 0.05,
+            wire_color: "#1f77b4".to_string(),
+            sink_color: "#2ca02c".to_string(),
+            source_color: "#d62728".to_string(),
+            steiner_color: "#7f7f7f".to_string(),
+        }
+    }
+}
+
+/// Renders a solution with default options.
+///
+/// # Example
+///
+/// ```
+/// use lubt_core::{render_svg, DelayBounds, LubtBuilder};
+/// use lubt_geom::Point;
+/// let sol = LubtBuilder::new(vec![Point::new(0.0, 0.0), Point::new(8.0, 0.0)])
+///     .source(Point::new(4.0, 0.0))
+///     .bounds(DelayBounds::uniform(2, 4.0, 6.0))
+///     .solve()?;
+/// let svg = render_svg(&sol);
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("polyline"));
+/// # Ok::<(), lubt_core::LubtError>(())
+/// ```
+pub fn render_svg(solution: &LubtSolution) -> String {
+    render_svg_with(solution, &SvgOptions::default())
+}
+
+/// Renders a solution to a standalone SVG document.
+///
+/// Wires are drawn as the *snaked* polylines (so elongated edges are
+/// visibly longer), sinks as circles, the source as a square, Steiner
+/// points as small dots. Each element carries a `<title>` tooltip with its
+/// identity and, for wires, the exact LP length.
+pub fn render_svg_with(solution: &LubtSolution, opts: &SvgOptions) -> String {
+    render_tree_svg(
+        solution.problem().topology(),
+        solution.positions(),
+        solution.edge_lengths(),
+        opts,
+    )
+}
+
+/// Renders any embedded tree (topology, placements, edge lengths) — also
+/// usable for the baseline constructions, which are not [`LubtSolution`]s.
+///
+/// Edges whose length exceeds the endpoint span are drawn with their
+/// snaked realization.
+///
+/// # Panics
+///
+/// Panics when `positions`/`lengths` do not match the topology's node
+/// count, or an edge is shorter than its endpoints' distance (unroutable).
+pub fn render_tree_svg(
+    topo: &lubt_topology::Topology,
+    positions: &[Point],
+    lengths: &[f64],
+    opts: &SvgOptions,
+) -> String {
+    assert_eq!(positions.len(), topo.num_nodes());
+    assert_eq!(lengths.len(), topo.num_nodes());
+    let scale_len = 1.0
+        + positions
+            .iter()
+            .map(|p| p.x.abs().max(p.y.abs()))
+            .fold(0.0, f64::max);
+    let routes: Vec<Vec<Point>> = topo
+        .edges()
+        .map(|(child, parent)| {
+            let from = positions[parent.index()];
+            let to = positions[child.index()];
+            // Tolerate solver-level rounding on tight edges.
+            let len = lengths[child.index()].max(from.dist(to) - 1e-9 * scale_len);
+            lubt_geom::route_with_length(from, to, len.max(from.dist(to)))
+                .expect("edges are at least as long as their span")
+        })
+        .collect();
+    let delays = lubt_delay::linear::node_delays(topo, lengths);
+
+    // World bounding box over everything drawn.
+    let all_points = positions
+        .iter()
+        .copied()
+        .chain(routes.iter().flatten().copied());
+    let (lo, hi) = bounding_box(all_points).expect("a solution has nodes");
+    let span_x = (hi.x - lo.x).max(1e-9);
+    let span_y = (hi.y - lo.y).max(1e-9);
+    let margin = opts.margin * span_x.max(span_y);
+    let world_w = span_x + 2.0 * margin;
+    let world_h = span_y + 2.0 * margin;
+    let scale = opts.width / world_w;
+    let height = world_h * scale;
+
+    // SVG y grows downward; flip so the plot is Cartesian.
+    let tx = |p: Point| (p.x - lo.x + margin) * scale;
+    let ty = |p: Point| height - (p.y - lo.y + margin) * scale;
+
+    let marker = (opts.width / 160.0).clamp(2.0, 8.0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" \
+         viewBox=\"0 0 {:.1} {:.1}\">",
+        opts.width, height, opts.width, height
+    );
+    let _ = writeln!(out, "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>");
+
+    // Wires.
+    for ((child, _), route) in topo.edges().zip(&routes) {
+        let pts: Vec<String> = route
+            .iter()
+            .map(|&p| format!("{:.2},{:.2}", tx(p), ty(p)))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  <polyline points=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"{:.2}\">\
+             <title>e{} len {:.3}</title></polyline>",
+            pts.join(" "),
+            opts.wire_color,
+            marker / 3.0,
+            child.index(),
+            lengths[child.index()],
+        );
+    }
+
+    // Steiner points under the sinks/source so pins stay visible.
+    for v in topo.preorder() {
+        if topo.is_steiner(v) {
+            let p = positions[v.index()];
+            let _ = writeln!(
+                out,
+                "  <circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"{:.2}\" fill=\"{}\">\
+                 <title>steiner s{}</title></circle>",
+                tx(p),
+                ty(p),
+                marker / 2.0,
+                opts.steiner_color,
+                v.index(),
+            );
+        }
+    }
+    for s in topo.sinks() {
+        let p = positions[s.index()];
+        let _ = writeln!(
+            out,
+            "  <circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"{:.2}\" fill=\"{}\">\
+             <title>sink s{} delay {:.3}</title></circle>",
+            tx(p),
+            ty(p),
+            marker,
+            opts.sink_color,
+            s.index(),
+            delays[s.index()],
+        );
+    }
+    let src = positions[0];
+    let _ = writeln!(
+        out,
+        "  <rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" fill=\"{}\">\
+         <title>source s0</title></rect>",
+        tx(src) - marker,
+        ty(src) - marker,
+        2.0 * marker,
+        2.0 * marker,
+        opts.source_color,
+    );
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DelayBounds, LubtBuilder};
+
+    fn sample() -> LubtSolution {
+        LubtBuilder::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(5.0, 9.0),
+        ])
+        .source(Point::new(5.0, 3.0))
+        .bounds(DelayBounds::uniform(3, 9.0, 12.0))
+        .solve()
+        .unwrap()
+    }
+
+    #[test]
+    fn structure_is_complete() {
+        let sol = sample();
+        let svg = render_svg(&sol);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One polyline per edge.
+        let polylines = svg.matches("<polyline").count();
+        assert_eq!(polylines, sol.problem().topology().num_edges());
+        // One circle per sink + one per steiner point.
+        let circles = svg.matches("<circle").count();
+        assert_eq!(
+            circles,
+            sol.problem().topology().num_sinks() + sol.problem().topology().num_steiner()
+        );
+        // Exactly one source rectangle (plus the background rect).
+        assert_eq!(svg.matches("<rect").count(), 2);
+        // Tooltips carry identities.
+        assert!(svg.contains("sink s1"));
+        assert!(svg.contains("source s0"));
+    }
+
+    #[test]
+    fn balanced_tags() {
+        let svg = render_svg(&sample());
+        assert_eq!(svg.matches("<title>").count(), svg.matches("</title>").count());
+        assert_eq!(svg.matches("<polyline").count(), svg.matches("</polyline>").count());
+    }
+
+    #[test]
+    fn options_are_respected() {
+        let sol = sample();
+        let opts = SvgOptions {
+            width: 400.0,
+            wire_color: "#123456".to_string(),
+            ..SvgOptions::default()
+        };
+        let svg = render_svg_with(&sol, &opts);
+        assert!(svg.contains("width=\"400\""));
+        assert!(svg.contains("#123456"));
+    }
+
+    #[test]
+    fn degenerate_geometry_renders() {
+        // All sinks on one vertical line: zero x-span must not divide by 0.
+        let sol = LubtBuilder::new(vec![Point::new(5.0, 0.0), Point::new(5.0, 10.0)])
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::uniform(2, 5.0, 8.0))
+            .solve()
+            .unwrap();
+        let svg = render_svg(&sol);
+        assert!(svg.contains("</svg>"));
+        assert!(!svg.contains("NaN"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Independent post-hoc verification of LUBT solutions.
+//!
+//! The checks mirror the problem definition rather than the solver
+//! internals: a verified solution is a valid tree embedding whose delays
+//! (recomputed from scratch) respect the bounds and whose cost matches the
+//! claimed edge lengths.
+
+use crate::LubtProblem;
+#[allow(unused_imports)] // referenced by doc links and tests
+use crate::LubtSolution;
+use lubt_geom::Point;
+use std::error::Error;
+use std::fmt;
+
+/// A specific violated property, reported by [`LubtSolution::verify`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// An edge's claimed length is below the Manhattan distance between
+    /// its endpoints' placements (physically unroutable).
+    EdgeShorterThanDistance {
+        /// Edge identifier (child node index).
+        edge: usize,
+        /// Claimed length.
+        length: f64,
+        /// Realized endpoint distance.
+        distance: f64,
+    },
+    /// A sink's delay violates its window.
+    DelayOutOfBounds {
+        /// Sink node index.
+        sink: usize,
+        /// Recomputed delay.
+        delay: f64,
+        /// Window lower end.
+        lower: f64,
+        /// Window upper end.
+        upper: f64,
+    },
+    /// A sink was not placed at its prescribed location.
+    SinkMoved {
+        /// Sink node index.
+        sink: usize,
+        /// Where it should be.
+        expected: Point,
+        /// Where the embedding put it.
+        actual: Point,
+    },
+    /// The source was not placed at its prescribed location.
+    SourceMoved {
+        /// Where it should be.
+        expected: Point,
+        /// Where the embedding put it.
+        actual: Point,
+    },
+    /// An edge fixed to zero has non-zero length.
+    ZeroEdgeNonZero {
+        /// Edge identifier.
+        edge: usize,
+        /// Its length.
+        length: f64,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::EdgeShorterThanDistance { edge, length, distance } => write!(
+                f,
+                "edge e{edge} has length {length} but its endpoints are {distance} apart"
+            ),
+            VerifyError::DelayOutOfBounds { sink, delay, lower, upper } => write!(
+                f,
+                "sink s{sink} has delay {delay}, outside [{lower}, {upper}]"
+            ),
+            VerifyError::SinkMoved { sink, expected, actual } => {
+                write!(f, "sink s{sink} placed at {actual}, expected {expected}")
+            }
+            VerifyError::SourceMoved { expected, actual } => {
+                write!(f, "source placed at {actual}, expected {expected}")
+            }
+            VerifyError::ZeroEdgeNonZero { edge, length } => {
+                write!(f, "zero-fixed edge e{edge} has length {length}")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Runs every check; returns the first violation found.
+pub(crate) fn verify_solution(
+    problem: &LubtProblem,
+    lengths: &[f64],
+    positions: &[Point],
+) -> Result<(), VerifyError> {
+    let topo = problem.topology();
+    let scale = 1.0 + problem.radius();
+    let tol = 1e-6 * scale;
+
+    // Pinned locations.
+    if let Some(s0) = problem.source() {
+        if s0.dist(positions[0]) > tol {
+            return Err(VerifyError::SourceMoved {
+                expected: s0,
+                actual: positions[0],
+            });
+        }
+    }
+    for s in topo.sinks() {
+        let expected = problem.sink_location(s);
+        if expected.dist(positions[s.index()]) > tol {
+            return Err(VerifyError::SinkMoved {
+                sink: s.index(),
+                expected,
+                actual: positions[s.index()],
+            });
+        }
+    }
+
+    // Physical realizability: every edge at least as long as its endpoints'
+    // separation.
+    for (child, parent) in topo.edges() {
+        let d = positions[child.index()].dist(positions[parent.index()]);
+        if lengths[child.index()] < d - tol {
+            return Err(VerifyError::EdgeShorterThanDistance {
+                edge: child.index(),
+                length: lengths[child.index()],
+                distance: d,
+            });
+        }
+    }
+
+    // Zero-fixed edges.
+    for z in problem.zero_edges() {
+        if lengths[z.index()].abs() > tol {
+            return Err(VerifyError::ZeroEdgeNonZero {
+                edge: z.index(),
+                length: lengths[z.index()],
+            });
+        }
+    }
+
+    // Delay windows, recomputed from the raw lengths.
+    let delays = lubt_delay::linear::node_delays(topo, lengths);
+    for (i, s) in topo.sinks().enumerate() {
+        let d = delays[s.index()];
+        let (l, u) = (problem.bounds().lower(i), problem.bounds().upper(i));
+        if d < l - tol || d > u + tol {
+            return Err(VerifyError::DelayOutOfBounds {
+                sink: s.index(),
+                delay: d,
+                lower: l,
+                upper: u,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Convenience for tests: verify arbitrary (lengths, positions) against a
+/// problem without constructing a [`LubtSolution`].
+pub fn verify_raw(
+    problem: &LubtProblem,
+    lengths: &[f64],
+    positions: &[Point],
+) -> Result<(), VerifyError> {
+    verify_solution(problem, lengths, positions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DelayBounds, LubtBuilder};
+
+    fn solved() -> LubtSolution {
+        LubtBuilder::new(vec![Point::new(0.0, 0.0), Point::new(8.0, 0.0)])
+            .source(Point::new(4.0, 0.0))
+            .bounds(DelayBounds::uniform(2, 4.0, 6.0))
+            .solve()
+            .unwrap()
+    }
+
+    #[test]
+    fn valid_solution_verifies() {
+        assert!(solved().verify().is_ok());
+    }
+
+    #[test]
+    fn tampered_lengths_fail() {
+        let sol = solved();
+        let problem = sol.problem();
+        let mut bad = sol.edge_lengths().to_vec();
+        // Shrink one real edge below its endpoints' distance.
+        let victim = (1..bad.len()).find(|&i| bad[i] > 1.0).unwrap();
+        bad[victim] = 0.01;
+        let err = verify_raw(problem, &bad, sol.positions()).unwrap_err();
+        assert!(matches!(
+            err,
+            VerifyError::EdgeShorterThanDistance { .. } | VerifyError::DelayOutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn tampered_positions_fail() {
+        let sol = solved();
+        let mut bad = sol.positions().to_vec();
+        bad[1] = Point::new(100.0, 100.0); // move a sink
+        let err = verify_raw(sol.problem(), sol.edge_lengths(), &bad).unwrap_err();
+        assert!(matches!(err, VerifyError::SinkMoved { sink: 1, .. }));
+
+        let mut bad = sol.positions().to_vec();
+        bad[0] = Point::new(-5.0, -5.0); // move the source
+        let err = verify_raw(sol.problem(), sol.edge_lengths(), &bad).unwrap_err();
+        assert!(matches!(err, VerifyError::SourceMoved { .. }));
+    }
+
+    #[test]
+    fn bound_violation_detected() {
+        let sol = solved();
+        let mut bad = sol.edge_lengths().to_vec();
+        // Inflate every edge: delays blow through the upper bounds, but
+        // keep geometry realizable (longer is always routable).
+        for l in bad.iter_mut().skip(1) {
+            *l += 100.0;
+        }
+        let err = verify_raw(sol.problem(), &bad, sol.positions()).unwrap_err();
+        assert!(matches!(err, VerifyError::DelayOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = VerifyError::DelayOutOfBounds {
+            sink: 3,
+            delay: 9.0,
+            lower: 1.0,
+            upper: 2.0,
+        };
+        assert!(e.to_string().contains("s3"));
+    }
+}

@@ -1,0 +1,258 @@
+//! The §4.6 zero-skew fast path.
+//!
+//! When every sink shares the same fixed delay (`l = u = t`), the EBF's
+//! inequalities collapse to equalities and "no optimization is necessary":
+//! the optimal edge lengths follow from a single bottom-up merging pass —
+//! exactly the construction of linear-delay zero-skew DME
+//! (Boese-Kahng ASIC'92, reference \[7\]). This module implements that
+//! closed form; the `ablation_zeroskew` bench measures its speedup over the
+//! general LP, and cross-validation tests confirm both produce the same
+//! cost.
+
+use crate::LubtError;
+use lubt_geom::{Point, Trr};
+use lubt_topology::{SourceMode, Topology};
+
+/// Result of the zero-skew construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZeroSkewTree {
+    /// Optimal edge lengths (indexed by node, entry 0 unused).
+    pub edge_lengths: Vec<f64>,
+    /// The realized common sink delay. Equals the requested target when one
+    /// was given; otherwise the minimum achievable for the topology.
+    pub delay: f64,
+}
+
+/// Computes minimum-cost zero-skew edge lengths for a binary topology by
+/// bottom-up merging (no LP).
+///
+/// * `target` — the common delay `t`. `None` picks the minimum achievable
+///   (the natural merge delay; with a given source this plays the role of
+///   the paper's `radius`-delay zero-skew tree).
+///
+/// Embed the result with [`crate::embed_tree`].
+///
+/// # Errors
+///
+/// * [`LubtError::Input`] — non-binary topology (run
+///   [`lubt_topology::split_degree_four`] first) or sink-count mismatch.
+/// * [`LubtError::Infeasible`] — `target` below the minimum achievable
+///   delay.
+pub fn zero_skew_edge_lengths(
+    topo: &Topology,
+    sinks: &[Point],
+    source: Option<Point>,
+    target: Option<f64>,
+) -> Result<ZeroSkewTree, LubtError> {
+    if sinks.len() != topo.num_sinks() {
+        return Err(LubtError::Input(format!(
+            "{} sink locations for {} topology sinks",
+            sinks.len(),
+            topo.num_sinks()
+        )));
+    }
+    let mode = if source.is_some() {
+        SourceMode::Given
+    } else {
+        SourceMode::Free
+    };
+    if !topo.is_binary(mode) {
+        return Err(LubtError::Input(
+            "zero-skew merging requires a binary topology (see split_degree_four)".to_string(),
+        ));
+    }
+
+    let n = topo.num_nodes();
+    let scale = sinks
+        .iter()
+        .copied()
+        .chain(source)
+        .map(|p| p.x.abs().max(p.y.abs()))
+        .fold(1.0, f64::max);
+    let tol = 1e-9 * scale;
+
+    // Bottom-up: merging region (TRR) and balanced delay per node.
+    let mut region: Vec<Option<Trr>> = vec![None; n];
+    let mut delay = vec![0.0f64; n];
+    let mut lengths = vec![0.0; n];
+
+    for v in topo.postorder() {
+        let vi = v.index();
+        if topo.is_sink(v) {
+            region[vi] = Some(Trr::from_point(sinks[vi - 1]));
+            continue;
+        }
+        let kids: Vec<_> = topo.children(v).collect();
+        if kids.is_empty() {
+            continue; // the Given-mode root: handled after the loop
+        }
+        if kids.len() == 1 {
+            // Only the Given-mode root may have a single child.
+            debug_assert_eq!(vi, 0);
+            continue;
+        }
+        let (a, b) = (kids[0], kids[1]);
+        let (ra, rb) = (
+            region[a.index()].expect("postorder"),
+            region[b.index()].expect("postorder"),
+        );
+        let d = ra.dist(&rb);
+        let gap = delay[a.index()] - delay[b.index()];
+        // Balanced split when possible; otherwise the shallow side detours.
+        let (ea, eb) = if gap.abs() <= d {
+            let ea = (d - gap) / 2.0;
+            (ea, d - ea)
+        } else if gap < 0.0 {
+            (-gap, 0.0)
+        } else {
+            (0.0, gap)
+        };
+        lengths[a.index()] = ea;
+        lengths[b.index()] = eb;
+        delay[vi] = delay[a.index()] + ea;
+        debug_assert!((delay[vi] - (delay[b.index()] + eb)).abs() <= tol.max(1e-9));
+        let merged = ra
+            .expanded(ea)
+            .intersect(&rb.expanded(eb))
+            .or_else(|| {
+                // ea + eb == dist can miss the touch by one ulp; retry with
+                // a proportional epsilon.
+                let s = 1e-9 * (1.0 + d.abs());
+                ra.expanded(ea + s).intersect(&rb.expanded(eb + s))
+            })
+            .expect("children reachable within their assigned lengths");
+        region[vi] = Some(merged);
+    }
+
+    // Root treatment.
+    let realized = match source {
+        Some(s0) => {
+            let c = topo
+                .children(topo.root())
+                .next()
+                .expect("Given-mode root has one child");
+            let rc = region[c.index()].expect("computed");
+            let min_root_edge = rc.dist_to_point(s0);
+            let natural = delay[c.index()] + min_root_edge;
+            let t = target.unwrap_or(natural);
+            if t < natural - tol {
+                return Err(LubtError::Infeasible);
+            }
+            lengths[c.index()] = t - delay[c.index()];
+            t
+        }
+        None => {
+            let natural = delay[0];
+            let t = target.unwrap_or(natural);
+            if t < natural - tol {
+                return Err(LubtError::Infeasible);
+            }
+            let extra = t - natural;
+            if extra > 0.0 {
+                // Stretch both root edges equally: every sink delay grows by
+                // `extra`, skew stays zero, and the merge region only grows.
+                for c in topo.children(topo.root()) {
+                    lengths[c.index()] += extra;
+                }
+            }
+            t
+        }
+    };
+
+    Ok(ZeroSkewTree {
+        edge_lengths: lengths,
+        delay: realized,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed::{embed_tree, PlacementPolicy};
+    use lubt_delay::linear::{node_delays, tree_cost};
+    use lubt_topology::{nearest_neighbor_topology, Topology};
+
+    #[test]
+    fn two_sinks_balanced() {
+        let topo = Topology::from_parents(2, &[0, 3, 3, 0]).unwrap();
+        let sinks = vec![Point::new(0.0, 0.0), Point::new(8.0, 0.0)];
+        let src = Point::new(4.0, 2.0);
+        let z = zero_skew_edge_lengths(&topo, &sinks, Some(src), None).unwrap();
+        // Balanced split: e1 = e2 = 4, root edge = dist((4,0), src) = 2.
+        assert!((z.edge_lengths[1] - 4.0).abs() < 1e-9);
+        assert!((z.edge_lengths[2] - 4.0).abs() < 1e-9);
+        assert!((z.edge_lengths[3] - 2.0).abs() < 1e-9);
+        assert!((z.delay - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbalanced_pair_detours() {
+        // Nested: ((s1, s2), s3) with s1, s2 far apart and s3 adjacent.
+        let topo = Topology::from_parents(3, &[0, 4, 4, 5, 5, 0]).unwrap();
+        let sinks = vec![
+            Point::new(0.0, 0.0),
+            Point::new(20.0, 0.0),
+            Point::new(10.0, 1.0),
+        ];
+        let z = zero_skew_edge_lengths(&topo, &sinks, Some(Point::new(10.0, 5.0)), None).unwrap();
+        let d = node_delays(&topo, &z.edge_lengths);
+        // All sinks equal delay.
+        assert!((d[1] - d[2]).abs() < 1e-9);
+        assert!((d[2] - d[3]).abs() < 1e-9);
+        // s3 is close to the (s1,s2) merge point: its edge is elongated.
+        assert!(z.edge_lengths[3] > sinks[2].dist(Point::new(10.0, 0.0)) - 1e-9);
+    }
+
+    #[test]
+    fn skew_is_zero_on_random_instances() {
+        for seed in 0..5u64 {
+            let sinks: Vec<Point> = (0..12)
+                .map(|i| {
+                    let a = ((i * 73 + seed as usize * 131) % 97) as f64;
+                    let b = ((i * 41 + seed as usize * 57) % 89) as f64;
+                    Point::new(a, b)
+                })
+                .collect();
+            let topo = nearest_neighbor_topology(&sinks, SourceMode::Free);
+            let z = zero_skew_edge_lengths(&topo, &sinks, None, None).unwrap();
+            let d = node_delays(&topo, &z.edge_lengths);
+            let (lo, hi) = lubt_delay::skew::delay_range(&topo, &d);
+            assert!(hi - lo < 1e-9, "seed {seed}: skew {}", hi - lo);
+            assert!((hi - z.delay).abs() < 1e-9);
+            // And the lengths embed.
+            let pos = embed_tree(&topo, &sinks, None, &z.edge_lengths, PlacementPolicy::Center);
+            assert!(pos.is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn target_above_natural_elongates() {
+        let topo = Topology::from_parents(2, &[0, 0, 0]).unwrap();
+        let sinks = vec![Point::new(0.0, 0.0), Point::new(8.0, 0.0)];
+        let natural = zero_skew_edge_lengths(&topo, &sinks, None, None).unwrap();
+        assert!((natural.delay - 4.0).abs() < 1e-9);
+        let stretched = zero_skew_edge_lengths(&topo, &sinks, None, Some(6.0)).unwrap();
+        assert!((stretched.delay - 6.0).abs() < 1e-9);
+        assert!((tree_cost(&stretched.edge_lengths) - 12.0).abs() < 1e-9);
+        // Below natural: impossible.
+        assert!(matches!(
+            zero_skew_edge_lengths(&topo, &sinks, None, Some(3.0)),
+            Err(LubtError::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let topo = Topology::from_parents(3, &[0, 4, 4, 4, 0]).unwrap(); // degree-4 steiner
+        let sinks = vec![Point::ORIGIN; 3];
+        assert!(matches!(
+            zero_skew_edge_lengths(&topo, &sinks, Some(Point::ORIGIN), None),
+            Err(LubtError::Input(_))
+        ));
+        let topo = Topology::from_parents(2, &[0, 3, 3, 0]).unwrap();
+        assert!(matches!(
+            zero_skew_edge_lengths(&topo, &[Point::ORIGIN], Some(Point::ORIGIN), None),
+            Err(LubtError::Input(_))
+        ));
+    }
+}

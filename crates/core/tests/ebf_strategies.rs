@@ -1,0 +1,58 @@
+//! Cross-validation of EBF solving strategies on random instances: lazy
+//! separation (incremental dual-simplex session) vs. eager materialization
+//! of all C(m,2) rows must reach the same optimum — the §4.6 reduction is
+//! exact, not approximate.
+
+use lubt_core::{DelayBounds, EbfSolver, LubtProblem, SteinerMode};
+use lubt_delay::linear::tree_cost;
+use lubt_geom::Point;
+use lubt_topology::{nearest_neighbor_topology, SourceMode};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lazy_equals_eager_on_random_instances(
+        sinks in proptest::collection::vec(
+            (0.0..200.0f64, 0.0..200.0f64).prop_map(|(x, y)| Point::new(x, y)),
+            2..10,
+        ),
+        lower_frac in 0.0..1.0f64,
+        width_frac in 0.1..1.0f64,
+        sx in 0.0..200.0f64,
+        sy in 0.0..200.0f64,
+    ) {
+        let m = sinks.len();
+        let source = Point::new(sx, sy);
+        let radius = sinks.iter().map(|s| source.dist(*s)).fold(0.0f64, f64::max);
+        prop_assume!(radius > 1.0);
+        let topo = nearest_neighbor_topology(&sinks, SourceMode::Given);
+        let l = lower_frac * radius;
+        let u = (lower_frac + width_frac).max(1.0) * radius + 1e-9;
+        let problem = LubtProblem::new(
+            sinks.clone(),
+            Some(source),
+            topo,
+            DelayBounds::uniform(m, l.min(u), u),
+        )
+        .expect("valid problem");
+
+        let (lazy, lazy_rep) = EbfSolver::new().solve(&problem).expect("feasible");
+        let (eager, eager_rep) = EbfSolver::new()
+            .with_steiner_mode(SteinerMode::Eager)
+            .solve(&problem)
+            .expect("feasible");
+        let scale = 1.0 + tree_cost(&eager);
+        prop_assert!(
+            (tree_cost(&lazy) - tree_cost(&eager)).abs() / scale < 1e-6,
+            "lazy {} vs eager {}",
+            tree_cost(&lazy),
+            tree_cost(&eager)
+        );
+        // The reduction really reduces: lazy never materializes more rows
+        // than eager.
+        prop_assert!(lazy_rep.steiner_rows <= eager_rep.steiner_rows);
+        prop_assert_eq!(eager_rep.steiner_rows, m * (m - 1) / 2);
+    }
+}

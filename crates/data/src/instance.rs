@@ -1,0 +1,114 @@
+use lubt_geom::{bounding_box, Point};
+
+/// A routing benchmark instance: a named set of sink locations and an
+/// optional source (clock driver) location.
+///
+/// # Example
+///
+/// ```
+/// use lubt_data::Instance;
+/// use lubt_geom::Point;
+///
+/// let inst = Instance::new("toy", Some(Point::new(5.0, 5.0)), vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(10.0, 10.0),
+/// ]);
+/// assert_eq!(inst.radius(), 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Instance name (e.g. `"prim1-synthetic"`).
+    pub name: String,
+    /// Source location, when the benchmark pins it.
+    pub source: Option<Point>,
+    /// Sink locations.
+    pub sinks: Vec<Point>,
+}
+
+impl Instance {
+    /// Creates an instance.
+    pub fn new<S: Into<String>>(name: S, source: Option<Point>, sinks: Vec<Point>) -> Self {
+        Instance {
+            name: name.into(),
+            source,
+            sinks,
+        }
+    }
+
+    /// The paper's *radius*: source-to-farthest-sink distance when the
+    /// source is given (Equation 3), half the sink diameter otherwise
+    /// (Equation 4). Every experimental bound is expressed in this unit.
+    pub fn radius(&self) -> f64 {
+        match self.source {
+            Some(s) => lubt_delay_radius_with_source(s, &self.sinks),
+            None => lubt_geom::diameter(self.sinks.iter().copied()) / 2.0,
+        }
+    }
+
+    /// Axis-aligned bounding box of all points (sinks plus source).
+    pub fn bbox(&self) -> Option<(Point, Point)> {
+        bounding_box(self.sinks.iter().copied().chain(self.source))
+    }
+
+    /// A deterministic subsample of `k` sinks (stride-based, order
+    /// preserving), for scaled-down benchmark runs. Returns a clone when
+    /// `k >= len`.
+    pub fn subsample(&self, k: usize) -> Instance {
+        if k >= self.sinks.len() || k == 0 {
+            return self.clone();
+        }
+        let stride = self.sinks.len() as f64 / k as f64;
+        let sinks = (0..k)
+            .map(|i| self.sinks[(i as f64 * stride) as usize])
+            .collect();
+        Instance {
+            name: format!("{}@{k}", self.name),
+            source: self.source,
+            sinks,
+        }
+    }
+}
+
+// Local copy to avoid a dependency cycle with lubt-delay (which depends on
+// lubt-topology only, but keeping data's dependency surface minimal).
+fn lubt_delay_radius_with_source(source: Point, sinks: &[Point]) -> f64 {
+    sinks.iter().map(|s| source.dist(*s)).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radius_with_and_without_source() {
+        let sinks = vec![Point::new(0.0, 0.0), Point::new(8.0, 0.0)];
+        let with = Instance::new("a", Some(Point::new(0.0, 0.0)), sinks.clone());
+        assert_eq!(with.radius(), 8.0);
+        let without = Instance::new("b", None, sinks);
+        assert_eq!(without.radius(), 4.0);
+    }
+
+    #[test]
+    fn subsample_is_deterministic_and_sized() {
+        let sinks: Vec<Point> = (0..100).map(|i| Point::new(f64::from(i), 0.0)).collect();
+        let inst = Instance::new("big", None, sinks);
+        let s1 = inst.subsample(10);
+        let s2 = inst.subsample(10);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.sinks.len(), 10);
+        assert_eq!(inst.subsample(1000).sinks.len(), 100);
+        assert_eq!(inst.subsample(0).sinks.len(), 100);
+    }
+
+    #[test]
+    fn bbox_includes_source() {
+        let inst = Instance::new(
+            "c",
+            Some(Point::new(-5.0, 0.0)),
+            vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0)],
+        );
+        let (lo, hi) = inst.bbox().unwrap();
+        assert_eq!(lo.x, -5.0);
+        assert_eq!(hi.y, 4.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Plain-text instance interchange format.
+//!
+//! ```text
+//! # anything after '#' is a comment
+//! name prim1-synthetic
+//! source 5000 5000        (optional)
+//! sink 120.5 88.25        (one line per sink)
+//! ```
+//!
+//! Bare `x y` lines are also accepted as sinks for interoperability with
+//! minimal point lists.
+
+use crate::Instance;
+use lubt_geom::Point;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`parse`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseInstanceError {
+    /// A line could not be interpreted.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// No sinks were found.
+    NoSinks,
+}
+
+impl fmt::Display for ParseInstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseInstanceError::BadLine { line, content } => {
+                write!(f, "cannot parse line {line}: {content:?}")
+            }
+            ParseInstanceError::NoSinks => write!(f, "instance contains no sinks"),
+        }
+    }
+}
+
+impl Error for ParseInstanceError {}
+
+/// Serializes an instance to the text format.
+///
+/// # Example
+///
+/// ```
+/// use lubt_data::{io, Instance};
+/// use lubt_geom::Point;
+/// let inst = Instance::new("t", None, vec![Point::new(1.0, 2.0)]);
+/// let text = io::write(&inst);
+/// assert_eq!(io::parse(&text)?, inst);
+/// # Ok::<(), lubt_data::io::ParseInstanceError>(())
+/// ```
+pub fn write(instance: &Instance) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("name {}\n", instance.name));
+    if let Some(s) = instance.source {
+        out.push_str(&format!("source {} {}\n", s.x, s.y));
+    }
+    for p in &instance.sinks {
+        out.push_str(&format!("sink {} {}\n", p.x, p.y));
+    }
+    out
+}
+
+/// Parses the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseInstanceError`] on malformed lines or when no sinks are
+/// present.
+pub fn parse(text: &str) -> Result<Instance, ParseInstanceError> {
+    let mut name = String::from("unnamed");
+    let mut source = None;
+    let mut sinks = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let bad = || ParseInstanceError::BadLine {
+            line: idx + 1,
+            content: raw.to_string(),
+        };
+        let mut it = line.split_whitespace();
+        let head = it.next().ok_or_else(bad)?;
+        let parse_point = |mut it: std::str::SplitWhitespace<'_>| -> Result<Point, ParseInstanceError> {
+            let x: f64 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            let y: f64 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            if it.next().is_some() {
+                return Err(bad());
+            }
+            Ok(Point::new(x, y))
+        };
+        match head {
+            "name" => {
+                name = it.collect::<Vec<_>>().join(" ");
+                if name.is_empty() {
+                    return Err(bad());
+                }
+            }
+            "source" => source = Some(parse_point(it)?),
+            "sink" => sinks.push(parse_point(it)?),
+            _ => {
+                // Bare "x y" line: `head` is the x coordinate.
+                let x: f64 = head.parse().map_err(|_| bad())?;
+                let y: f64 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                if it.next().is_some() {
+                    return Err(bad());
+                }
+                sinks.push(Point::new(x, y));
+            }
+        }
+    }
+    if sinks.is_empty() {
+        return Err(ParseInstanceError::NoSinks);
+    }
+    Ok(Instance::new(name, source, sinks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic;
+
+    #[test]
+    fn round_trip_named_instance() {
+        let inst = synthetic::uniform("roundtrip", 25, 100.0, 5);
+        let parsed = parse(&write(&inst)).unwrap();
+        assert_eq!(parsed.name, inst.name);
+        assert_eq!(parsed.source, inst.source);
+        assert_eq!(parsed.sinks.len(), inst.sinks.len());
+        for (a, b) in parsed.sinks.iter().zip(&inst.sinks) {
+            assert!((a.x - b.x).abs() < 1e-12 && (a.y - b.y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bare_points_and_comments() {
+        let text = "# toy instance\n1 2\n3.5 -4 # trailing comment\n";
+        let inst = parse(text).unwrap();
+        assert_eq!(inst.name, "unnamed");
+        assert_eq!(inst.sinks.len(), 2);
+        assert_eq!(inst.sinks[1], Point::new(3.5, -4.0));
+        assert!(inst.source.is_none());
+    }
+
+    #[test]
+    fn bad_lines_are_reported_with_numbers() {
+        let err = parse("sink 1 2\nnot numbers here\n").unwrap_err();
+        assert!(matches!(err, ParseInstanceError::BadLine { line: 2, .. }));
+        let err = parse("sink 1\n").unwrap_err();
+        assert!(matches!(err, ParseInstanceError::BadLine { line: 1, .. }));
+        let err = parse("sink 1 2 3\n").unwrap_err();
+        assert!(matches!(err, ParseInstanceError::BadLine { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_input_has_no_sinks() {
+        assert_eq!(parse("# nothing\n"), Err(ParseInstanceError::NoSinks));
+    }
+
+    #[test]
+    fn multi_word_names() {
+        let inst = parse("name my test instance\nsink 0 0\n").unwrap();
+        assert_eq!(inst.name, "my test instance");
+    }
+}

@@ -1,0 +1,39 @@
+//! Benchmark instances for LUBT experiments.
+//!
+//! The paper evaluates on `prim1`/`prim2` (Jackson-Srinivasan-Kuh, DAC'90)
+//! and `r1`/`r3` (Tsay, ICCAD'91). Those 1990s coordinate files are not
+//! redistributable here, so this crate provides **seeded synthetic
+//! analogues** with the published sink counts (prim1 = 269, prim2 = 603,
+//! r1 = 267, r3 = 862) and representative die sizes. The paper's claims are
+//! relative (baseline-vs-LUBT on identical topologies and windows, monotone
+//! cost-vs-bound trends, radius-normalized bounds), so they are preserved
+//! under any reasonable sink distribution; see DESIGN.md §5 for the full
+//! substitution argument.
+//!
+//! * [`Instance`] — a named sink set with an optional source location.
+//! * [`synthetic`] — seeded uniform and clustered generators plus the four
+//!   named analogues.
+//! * [`io`] — a small plain-text interchange format.
+//!
+//! # Example
+//!
+//! ```
+//! use lubt_data::synthetic;
+//!
+//! let inst = synthetic::prim1();
+//! assert_eq!(inst.sinks.len(), 269);
+//! assert!(inst.source.is_some());
+//! // Instances are deterministic: same seed, same coordinates.
+//! assert_eq!(inst.sinks, synthetic::prim1().sinks);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod instance;
+pub mod io;
+pub mod stats;
+pub mod synthetic;
+
+pub use instance::Instance;
+pub use stats::{instance_stats, row_based, InstanceStats};

@@ -1,0 +1,150 @@
+//! Instance statistics — quick structural summaries used to sanity-check
+//! that synthetic instances resemble their originals (sink density,
+//! nearest-neighbor spacing, aspect ratio).
+
+use crate::Instance;
+use lubt_geom::Point;
+
+/// Structural summary of an instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceStats {
+    /// Number of sinks.
+    pub sinks: usize,
+    /// Bounding-box width.
+    pub width: f64,
+    /// Bounding-box height.
+    pub height: f64,
+    /// The paper's radius normalization constant.
+    pub radius: f64,
+    /// Minimum nearest-neighbor Manhattan distance.
+    pub nn_min: f64,
+    /// Mean nearest-neighbor Manhattan distance.
+    pub nn_mean: f64,
+    /// Maximum nearest-neighbor Manhattan distance.
+    pub nn_max: f64,
+}
+
+impl InstanceStats {
+    /// Bounding-box aspect ratio `>= 1`.
+    pub fn aspect_ratio(&self) -> f64 {
+        let (a, b) = (self.width.max(self.height), self.width.min(self.height));
+        if b > 0.0 {
+            a / b
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Computes the summary; `None` for instances with fewer than two sinks
+/// (nearest-neighbor spacing is undefined).
+///
+/// # Example
+///
+/// ```
+/// use lubt_data::{stats::instance_stats, synthetic};
+/// let s = instance_stats(&synthetic::prim1()).unwrap();
+/// assert_eq!(s.sinks, 269);
+/// assert!(s.nn_min <= s.nn_mean && s.nn_mean <= s.nn_max);
+/// ```
+pub fn instance_stats(instance: &Instance) -> Option<InstanceStats> {
+    let sinks = &instance.sinks;
+    if sinks.len() < 2 {
+        return None;
+    }
+    let (lo, hi) = lubt_geom::bounding_box(sinks.iter().copied())?;
+    let nn: Vec<f64> = sinks
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            sinks
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, q)| p.dist(*q))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    let nn_min = nn.iter().cloned().fold(f64::INFINITY, f64::min);
+    let nn_max = nn.iter().cloned().fold(0.0, f64::max);
+    let nn_mean = nn.iter().sum::<f64>() / nn.len() as f64;
+    Some(InstanceStats {
+        sinks: sinks.len(),
+        width: hi.x - lo.x,
+        height: hi.y - lo.y,
+        radius: instance.radius(),
+        nn_min,
+        nn_mean,
+        nn_max,
+    })
+}
+
+/// Row-based placement: sinks snapped to standard-cell rows (fixed `y`
+/// pitch, uniform `x`) — the structure real register placements exhibit,
+/// as opposed to the isotropic scatter of [`crate::synthetic::uniform`].
+pub fn row_based(name: &str, num_sinks: usize, die: f64, rows: usize, seed: u64) -> Instance {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = rows.max(1);
+    let pitch = die / rows as f64;
+    let sinks = (0..num_sinks)
+        .map(|_| {
+            let row = rng.gen_range(0..rows);
+            Point::new(
+                rng.gen_range(0.0..die),
+                (row as f64 + 0.5) * pitch,
+            )
+        })
+        .collect();
+    Instance::new(name, Some(Point::new(die / 2.0, die / 2.0)), sinks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic;
+
+    #[test]
+    fn stats_ordering_invariants() {
+        for inst in [
+            synthetic::uniform("u", 40, 500.0, 2),
+            synthetic::clustered("c", 40, 500.0, 4, 2),
+            row_based("r", 40, 500.0, 10, 2),
+        ] {
+            let s = instance_stats(&inst).unwrap();
+            assert!(s.nn_min <= s.nn_mean && s.nn_mean <= s.nn_max);
+            assert!(s.width >= 0.0 && s.height >= 0.0);
+            assert!(s.aspect_ratio() >= 1.0);
+            assert!(s.radius > 0.0);
+        }
+    }
+
+    #[test]
+    fn clustered_is_denser_than_uniform() {
+        let u = instance_stats(&synthetic::uniform("u", 120, 1000.0, 9)).unwrap();
+        let c = instance_stats(&synthetic::clustered("c", 120, 1000.0, 4, 9)).unwrap();
+        // Clustering pulls nearest neighbors closer on average.
+        assert!(c.nn_mean < u.nn_mean, "clustered {} vs uniform {}", c.nn_mean, u.nn_mean);
+    }
+
+    #[test]
+    fn row_based_snaps_to_rows() {
+        let inst = row_based("rows", 60, 1000.0, 8, 5);
+        let pitch = 1000.0 / 8.0;
+        for p in &inst.sinks {
+            let row_pos = (p.y / pitch) - 0.5;
+            assert!((row_pos - row_pos.round()).abs() < 1e-9, "y {} off-row", p.y);
+        }
+        // Deterministic.
+        assert_eq!(inst.sinks, row_based("rows", 60, 1000.0, 8, 5).sinks);
+    }
+
+    #[test]
+    fn degenerate_instances() {
+        let single = Instance::new("one", None, vec![Point::ORIGIN]);
+        assert!(instance_stats(&single).is_none());
+        let rows = row_based("tiny", 3, 100.0, 0, 1); // rows clamped to 1
+        assert_eq!(rows.sinks.len(), 3);
+    }
+}

@@ -1,0 +1,155 @@
+//! Seeded synthetic instance generators, including the named analogues of
+//! the paper's four benchmarks.
+//!
+//! All generators are fully deterministic: the same arguments always
+//! reproduce the same coordinates (fixed `StdRng` seeds), so experiment
+//! outputs are comparable across machines and runs.
+
+use crate::Instance;
+use lubt_geom::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random sinks on a `die x die` square, source at the die center.
+///
+/// # Example
+///
+/// ```
+/// use lubt_data::synthetic::uniform;
+/// let a = uniform("u", 50, 1000.0, 7);
+/// assert_eq!(a.sinks.len(), 50);
+/// assert_eq!(a.sinks, uniform("u", 50, 1000.0, 7).sinks);
+/// ```
+pub fn uniform(name: &str, num_sinks: usize, die: f64, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sinks = (0..num_sinks)
+        .map(|_| Point::new(rng.gen_range(0.0..die), rng.gen_range(0.0..die)))
+        .collect();
+    Instance::new(name, Some(Point::new(die / 2.0, die / 2.0)), sinks)
+}
+
+/// Clustered sinks: `clusters` Gaussian-ish blobs on the die — closer to
+/// the register banks of a real floorplan than a uniform scatter.
+pub fn clustered(
+    name: &str,
+    num_sinks: usize,
+    die: f64,
+    clusters: usize,
+    seed: u64,
+) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clusters = clusters.max(1);
+    let centers: Vec<Point> = (0..clusters)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(0.1 * die..0.9 * die),
+                rng.gen_range(0.1 * die..0.9 * die),
+            )
+        })
+        .collect();
+    let spread = die / (clusters as f64).sqrt() / 4.0;
+    let sinks = (0..num_sinks)
+        .map(|i| {
+            let c = centers[i % clusters];
+            // Sum of two uniforms approximates a triangular (bell-ish)
+            // offset without needing a normal distribution.
+            let dx = rng.gen_range(-spread..spread) + rng.gen_range(-spread..spread);
+            let dy = rng.gen_range(-spread..spread) + rng.gen_range(-spread..spread);
+            Point::new((c.x + dx).clamp(0.0, die), (c.y + dy).clamp(0.0, die))
+        })
+        .collect();
+    Instance::new(name, Some(Point::new(die / 2.0, die / 2.0)), sinks)
+}
+
+/// Synthetic analogue of `prim1` (Jackson-Srinivasan-Kuh DAC'90): 269 sinks.
+pub fn prim1() -> Instance {
+    clustered("prim1-synthetic", 269, 10_000.0, 12, 0x9601)
+}
+
+/// Synthetic analogue of `prim2`: 603 sinks.
+pub fn prim2() -> Instance {
+    clustered("prim2-synthetic", 603, 10_000.0, 24, 0x9602)
+}
+
+/// Synthetic analogue of `r1` (Tsay ICCAD'91): 267 sinks on a larger die.
+pub fn r1() -> Instance {
+    uniform("r1-synthetic", 267, 100_000.0, 0x9603)
+}
+
+/// Synthetic analogue of `r2` (not used in the paper's tables, provided
+/// for scaling studies): 598 sinks.
+pub fn r2() -> Instance {
+    uniform("r2-synthetic", 598, 100_000.0, 0x9605)
+}
+
+/// Synthetic analogue of `r3`: 862 sinks.
+pub fn r3() -> Instance {
+    uniform("r3-synthetic", 862, 100_000.0, 0x9604)
+}
+
+/// Synthetic analogue of `r4`: 1 903 sinks.
+pub fn r4() -> Instance {
+    uniform("r4-synthetic", 1903, 100_000.0, 0x9606)
+}
+
+/// Synthetic analogue of `r5`: 3 101 sinks.
+pub fn r5() -> Instance {
+    uniform("r5-synthetic", 3101, 100_000.0, 0x9607)
+}
+
+/// The four named analogues in the order the paper's tables list them.
+pub fn paper_benchmarks() -> Vec<Instance> {
+    vec![prim1(), prim2(), r1(), r3()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_sink_counts() {
+        assert_eq!(prim1().sinks.len(), 269);
+        assert_eq!(prim2().sinks.len(), 603);
+        assert_eq!(r1().sinks.len(), 267);
+        assert_eq!(r2().sinks.len(), 598);
+        assert_eq!(r3().sinks.len(), 862);
+        assert_eq!(r4().sinks.len(), 1903);
+        assert_eq!(r5().sinks.len(), 3101);
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(prim2().sinks, prim2().sinks);
+        assert_eq!(
+            uniform("x", 10, 50.0, 3).sinks,
+            uniform("x", 10, 50.0, 3).sinks
+        );
+        assert_ne!(
+            uniform("x", 10, 50.0, 3).sinks,
+            uniform("x", 10, 50.0, 4).sinks
+        );
+    }
+
+    #[test]
+    fn points_stay_on_die() {
+        for inst in [clustered("c", 200, 1000.0, 5, 42), uniform("u", 200, 1000.0, 42)] {
+            for p in &inst.sinks {
+                assert!((0.0..=1000.0).contains(&p.x));
+                assert!((0.0..=1000.0).contains(&p.y));
+            }
+        }
+    }
+
+    #[test]
+    fn positive_radius() {
+        for inst in paper_benchmarks() {
+            assert!(inst.radius() > 0.0, "{}", inst.name);
+        }
+    }
+
+    #[test]
+    fn clustered_handles_degenerate_cluster_count() {
+        let inst = clustered("one", 20, 100.0, 0, 1);
+        assert_eq!(inst.sinks.len(), 20);
+    }
+}

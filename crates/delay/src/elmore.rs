@@ -1,0 +1,223 @@
+//! Elmore (RC) delay model — the §7 extension of the EBF.
+//!
+//! With unit wire resistance `r_w` and capacitance `c_w`, the Elmore delay
+//! at sink `s_j` is (Equation 12)
+//!
+//! ```text
+//! delay(s_j) = sum over e_k in path(s0, s_j) of  r_w e_k (c_w e_k / 2 + C_k)
+//! ```
+//!
+//! where `C_k` is the total capacitance of the subtree hanging below edge
+//! `e_k` (downstream wire capacitance plus sink loads). The delay is
+//! *quadratic* in the edge lengths, which makes the bounded-delay EBF a
+//! non-convex program when lower bounds are active; the core crate solves it
+//! by sequential linear programming using the exact gradients provided here.
+
+use lubt_topology::{NodeId, Topology};
+
+/// Electrical parameters of the routing layer plus per-sink load
+/// capacitances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElmoreParams {
+    /// Wire resistance per unit length.
+    pub r_w: f64,
+    /// Wire capacitance per unit length.
+    pub c_w: f64,
+    /// Load capacitance of each sink, indexed by sink order (sink node
+    /// `i + 1` has load `sink_caps[i]`). Missing entries default to 0.
+    pub sink_caps: Vec<f64>,
+}
+
+impl ElmoreParams {
+    /// Uniform parameters: every sink carries the same load.
+    pub fn uniform(r_w: f64, c_w: f64, sink_cap: f64, num_sinks: usize) -> Self {
+        ElmoreParams {
+            r_w,
+            c_w,
+            sink_caps: vec![sink_cap; num_sinks],
+        }
+    }
+
+    fn sink_cap(&self, sink_index0: usize) -> f64 {
+        self.sink_caps.get(sink_index0).copied().unwrap_or(0.0)
+    }
+}
+
+/// Subtree capacitance `C_k` at every node: downstream wire capacitance plus
+/// the sink loads in the subtree. (`C_k` of the paper is the capacitance of
+/// the subtree *rooted at* `s_k`, i.e. excluding edge `e_k` itself — the
+/// half-capacitance of `e_k` appears separately in the delay formula.)
+///
+/// # Panics
+///
+/// Panics when `lengths.len() != topo.num_nodes()`.
+pub fn subtree_caps(topo: &Topology, lengths: &[f64], params: &ElmoreParams) -> Vec<f64> {
+    assert_eq!(lengths.len(), topo.num_nodes());
+    let mut cap = vec![0.0; topo.num_nodes()];
+    for v in topo.postorder() {
+        let mut c = if topo.is_sink(v) {
+            params.sink_cap(v.index() - 1)
+        } else {
+            0.0
+        };
+        for ch in topo.children(v) {
+            c += cap[ch.index()] + params.c_w * lengths[ch.index()];
+        }
+        cap[v.index()] = c;
+    }
+    cap
+}
+
+/// Elmore delay at every node (for internal nodes: the delay to that node).
+///
+/// # Panics
+///
+/// Panics when `lengths.len() != topo.num_nodes()`.
+pub fn node_delays(topo: &Topology, lengths: &[f64], params: &ElmoreParams) -> Vec<f64> {
+    let caps = subtree_caps(topo, lengths, params);
+    let mut d = vec![0.0; topo.num_nodes()];
+    for v in topo.preorder() {
+        if let Some(p) = topo.parent(v) {
+            let e = lengths[v.index()];
+            d[v.index()] = d[p.index()]
+                + params.r_w * e * (params.c_w * e / 2.0 + caps[v.index()]);
+        }
+    }
+    d
+}
+
+/// Exact gradient of `delay(sink)` with respect to every edge length.
+///
+/// For edge `e_t` and sink `s_j` with root-path `P`:
+///
+/// * if `t` in `P`: the direct term `r_w (c_w e_t + C_t)`;
+/// * for every `k` in `P` whose subtree *properly* contains `t` (note `C_k`
+///   excludes `e_k` itself), the load term `r_w c_w e_k` — these `k` are the
+///   edges of `path(s0, lca(j, t))`, minus `e_t` itself when `t` lies on
+///   `P`, so the load contribution is `r_w c_w * wirelength(s0 -> lca)`
+///   with that correction.
+///
+/// Used by the sequential-LP solver for the §7 Elmore EBF.
+///
+/// # Panics
+///
+/// Panics when `lengths.len() != topo.num_nodes()` or `sink` is not a sink.
+pub fn delay_gradient(
+    topo: &Topology,
+    lengths: &[f64],
+    params: &ElmoreParams,
+    sink: NodeId,
+) -> Vec<f64> {
+    assert!(topo.is_sink(sink), "gradient is defined for sinks");
+    let caps = subtree_caps(topo, lengths, params);
+    // Plain wirelength prefix from the root (linear-delay style).
+    let plen = crate::linear::node_delays(topo, lengths);
+
+    let on_path: std::collections::HashSet<usize> = topo
+        .path_to_ancestor(sink, topo.root())
+        .into_iter()
+        .map(NodeId::index)
+        .collect();
+
+    let mut grad = vec![0.0; topo.num_nodes()];
+    for t in 1..topo.num_nodes() {
+        let tn = NodeId(t);
+        let mut g = 0.0;
+        let l = topo.lca(sink, tn);
+        let mut load_upto = plen[l.index()];
+        if on_path.contains(&t) {
+            g += params.r_w * (params.c_w * lengths[t] + caps[t]);
+            // Here lca(j, t) == t; only *proper* ancestors of t contribute
+            // the c_w load term (C_k excludes e_k itself), so stop at the
+            // parent of t.
+            load_upto -= lengths[t];
+        }
+        g += params.r_w * params.c_w * load_upto;
+        grad[t] = g;
+    }
+    grad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> (Topology, Vec<f64>, ElmoreParams) {
+        // s0 -> s7 -> [s5 -> [s1, s2], s6 -> [s3, s4]]
+        let t = Topology::from_parents(4, &[0, 5, 5, 6, 6, 7, 7, 0]).unwrap();
+        let lengths = vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let params = ElmoreParams::uniform(0.1, 0.2, 1.0, 4);
+        (t, lengths, params)
+    }
+
+    #[test]
+    fn caps_accumulate_bottom_up() {
+        let (t, l, p) = sample();
+        let caps = subtree_caps(&t, &l, &p);
+        // Leaf sinks: just their load.
+        assert_eq!(caps[1], 1.0);
+        // s5: loads of s1, s2 plus wire of e1, e2.
+        assert!((caps[5] - (2.0 + 0.2 * 3.0)).abs() < 1e-12);
+        // Root includes everything except e0 (which does not exist).
+        let total_wire: f64 = l.iter().skip(1).sum();
+        assert!((caps[0] - (4.0 + 0.2 * total_wire)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_two_sink_delay() {
+        // s0 -> s3 -> {s1, s2}; e3=2, e1=1, e2=3. r=1, c=1, loads 0.5.
+        let t = Topology::from_parents(2, &[0, 3, 3, 0]).unwrap();
+        let l = vec![0.0, 1.0, 3.0, 2.0];
+        let p = ElmoreParams::uniform(1.0, 1.0, 0.5, 2);
+        let d = node_delays(&t, &l, &p);
+        // C3 = wire(e1) + wire(e2) + loads = 1 + 3 + 1 = 5.
+        // d3 = e3*(e3/2 + C3) = 2*(1 + 5) = 12.
+        assert!((d[3] - 12.0).abs() < 1e-12);
+        // C1 = 0.5; d1 = d3 + 1*(0.5 + 0.5) = 13.
+        assert!((d[1] - 13.0).abs() < 1e-12);
+        // C2 = 0.5; d2 = d3 + 3*(1.5 + 0.5) = 18.
+        assert!((d[2] - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elongation_increases_downstream_and_upstream_delays() {
+        let (t, mut l, p) = sample();
+        let before = node_delays(&t, &l, &p);
+        l[6] += 1.0; // lengthen e6 (above s6)
+        let after = node_delays(&t, &l, &p);
+        // Sinks under s6 get slower.
+        assert!(after[3] > before[3]);
+        // Sinks in the sibling subtree also get slower: e7 now drives more
+        // capacitance.
+        assert!(after[1] > before[1]);
+    }
+
+    proptest! {
+        /// Analytic gradient matches central finite differences.
+        #[test]
+        fn prop_gradient_matches_finite_difference(
+            e in proptest::collection::vec(0.5..5.0f64, 7),
+            sink_idx in 0usize..4,
+        ) {
+            let t = Topology::from_parents(4, &[0, 5, 5, 6, 6, 7, 7, 0]).unwrap();
+            let mut lengths = vec![0.0];
+            lengths.extend(e);
+            let p = ElmoreParams::uniform(0.7, 0.3, 0.9, 4);
+            let sink = NodeId(sink_idx + 1);
+            let grad = delay_gradient(&t, &lengths, &p, sink);
+            let h = 1e-6;
+            for tdx in 1..lengths.len() {
+                let mut up = lengths.clone();
+                up[tdx] += h;
+                let mut dn = lengths.clone();
+                dn[tdx] -= h;
+                let fd = (node_delays(&t, &up, &p)[sink.index()]
+                    - node_delays(&t, &dn, &p)[sink.index()])
+                    / (2.0 * h);
+                prop_assert!((grad[tdx] - fd).abs() < 1e-5,
+                    "edge {}: analytic {} vs fd {}", tdx, grad[tdx], fd);
+            }
+        }
+    }
+}

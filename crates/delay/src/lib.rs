@@ -1,0 +1,38 @@
+//! Delay models for routing trees.
+//!
+//! The LUBT paper's optimality results hold under the **linear delay
+//! model** — the delay to a sink is the total wirelength of its source path
+//! (Equation 1). §7 extends the EBF to the **Elmore delay model**, where
+//! delay is quadratic in the edge lengths; the extension is solved
+//! heuristically by sequential linear programming, which needs the delay
+//! *gradients* this crate also provides.
+//!
+//! * [`linear`] — linear-delay evaluation: per-node delays, tree cost,
+//!   path lengths.
+//! * [`elmore`] — Elmore-delay evaluation with per-sink load capacitances,
+//!   subtree capacitance accumulation, and exact analytic gradients.
+//! * [`skew`] — skew, shortest/longest sink delay, and the paper's *radius*
+//!   normalization (all experimental bounds are expressed in radius units).
+//!
+//! # Example
+//!
+//! ```
+//! use lubt_delay::linear::node_delays;
+//! use lubt_topology::Topology;
+//!
+//! // s0 -> s3 -> {s1, s2}; edge lengths e1=2, e2=3, e3=1.
+//! let topo = Topology::from_parents(2, &[0, 3, 3, 0])?;
+//! let d = node_delays(&topo, &[0.0, 2.0, 3.0, 1.0]);
+//! assert_eq!(d[1], 3.0); // e3 + e1
+//! assert_eq!(d[2], 4.0); // e3 + e2
+//! # Ok::<(), lubt_topology::TopologyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod elmore;
+pub mod linear;
+pub mod skew;
+
+pub use elmore::ElmoreParams;

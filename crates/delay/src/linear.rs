@@ -1,0 +1,105 @@
+//! Linear delay model: `delay(s_i) = sum of edge lengths on path(s0, s_i)`.
+
+use lubt_topology::{NodeId, Topology};
+
+/// Delay (cumulative wirelength from the root) at every node.
+///
+/// `lengths[i]` is the length of edge `e_i` (above node `i`); `lengths[0]`
+/// is ignored. Runs in O(n) by accumulating along a preorder traversal.
+///
+/// # Panics
+///
+/// Panics when `lengths.len() != topo.num_nodes()`.
+pub fn node_delays(topo: &Topology, lengths: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        lengths.len(),
+        topo.num_nodes(),
+        "one length per node (index 0 unused)"
+    );
+    let mut d = vec![0.0; topo.num_nodes()];
+    for v in topo.preorder() {
+        if let Some(p) = topo.parent(v) {
+            d[v.index()] = d[p.index()] + lengths[v.index()];
+        }
+    }
+    d
+}
+
+/// Delays of the sinks only, indexed by sink node (`out[0]` is the delay of
+/// sink node 1, etc.).
+pub fn sink_delays(topo: &Topology, lengths: &[f64]) -> Vec<f64> {
+    let d = node_delays(topo, lengths);
+    topo.sinks().map(|s| d[s.index()]).collect()
+}
+
+/// Total tree cost: the sum of all edge lengths (the EBF objective).
+pub fn tree_cost(lengths: &[f64]) -> f64 {
+    lengths.iter().skip(1).sum()
+}
+
+/// `pathlength(a, b)`: total length of the unique tree path between two
+/// nodes — the quantity the Steiner constraints bound from below.
+///
+/// Computed as `D(a) + D(b) - 2 D(lca(a, b))` from precomputed node delays,
+/// in O(log n).
+pub fn path_length(topo: &Topology, delays: &[f64], a: NodeId, b: NodeId) -> f64 {
+    let l = topo.lca(a, b);
+    delays[a.index()] + delays[b.index()] - 2.0 * delays[l.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Topology, Vec<f64>) {
+        // s0 -> s7 -> [s5 -> [s1, s2], s6 -> [s3, s4]]
+        let t = Topology::from_parents(4, &[0, 5, 5, 6, 6, 7, 7, 0]).unwrap();
+        //            e0   e1   e2   e3   e4   e5   e6   e7
+        let lengths = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0].to_vec();
+        (t, lengths)
+    }
+
+    #[test]
+    fn delays_accumulate_down_the_tree() {
+        let (t, l) = sample();
+        let d = node_delays(&t, &l);
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[7], 7.0);
+        assert_eq!(d[5], 12.0);
+        assert_eq!(d[1], 13.0);
+        assert_eq!(d[4], 17.0);
+    }
+
+    #[test]
+    fn sink_delays_in_order() {
+        let (t, l) = sample();
+        assert_eq!(sink_delays(&t, &l), vec![13.0, 14.0, 16.0, 17.0]);
+    }
+
+    #[test]
+    fn cost_sums_edges() {
+        let (_, l) = sample();
+        assert_eq!(tree_cost(&l), 28.0);
+    }
+
+    #[test]
+    fn path_length_uses_lca() {
+        let (t, l) = sample();
+        let d = node_delays(&t, &l);
+        // s1..s2 via s5: e1 + e2.
+        assert_eq!(path_length(&t, &d, NodeId(1), NodeId(2)), 3.0);
+        // s1..s4 via s7: e1 + e5 + e6 + e4.
+        assert_eq!(path_length(&t, &d, NodeId(1), NodeId(4)), 16.0);
+        // Node to itself.
+        assert_eq!(path_length(&t, &d, NodeId(3), NodeId(3)), 0.0);
+        // Node to its own ancestor.
+        assert_eq!(path_length(&t, &d, NodeId(1), NodeId(7)), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one length per node")]
+    fn wrong_length_vector_panics() {
+        let (t, _) = sample();
+        let _ = node_delays(&t, &[0.0; 3]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Skew and the paper's *radius* normalization.
+//!
+//! All bounds in the paper's experiments (Tables 1–3, Figure 8) are
+//! normalized to the **radius**: the distance from the source to the
+//! farthest sink when the source location is given, or half the sink-set
+//! diameter when it is free.
+
+use lubt_geom::{diameter, Point};
+use lubt_topology::Topology;
+
+/// Skew of a delay assignment: `max sink delay - min sink delay`.
+///
+/// Returns `0` for a single sink.
+///
+/// # Panics
+///
+/// Panics when `node_delays.len() != topo.num_nodes()`.
+pub fn skew(topo: &Topology, node_delays: &[f64]) -> f64 {
+    let (lo, hi) = delay_range(topo, node_delays);
+    hi - lo
+}
+
+/// `(shortest, longest)` sink delay — the columns reported by Table 1.
+///
+/// # Panics
+///
+/// Panics when `node_delays.len() != topo.num_nodes()` or the topology has
+/// no sinks (impossible for a valid [`Topology`]).
+pub fn delay_range(topo: &Topology, node_delays: &[f64]) -> (f64, f64) {
+    assert_eq!(node_delays.len(), topo.num_nodes());
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for s in topo.sinks() {
+        let d = node_delays[s.index()];
+        lo = lo.min(d);
+        hi = hi.max(d);
+    }
+    (lo, hi)
+}
+
+/// Radius with a given source: `max_i dist(source, sink_i)` (Equation 3).
+///
+/// Returns `0` for an empty sink set.
+pub fn radius_with_source(source: Point, sinks: &[Point]) -> f64 {
+    sinks
+        .iter()
+        .map(|s| source.dist(*s))
+        .fold(0.0, f64::max)
+}
+
+/// Radius without a source: half the Manhattan diameter of the sink set
+/// (Equation 4).
+pub fn radius_free(sinks: &[Point]) -> f64 {
+    diameter(sinks.iter().copied()) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Topology, Vec<f64>) {
+        let t = Topology::from_parents(4, &[0, 5, 5, 6, 6, 7, 7, 0]).unwrap();
+        let delays = vec![0.0, 13.0, 14.0, 16.0, 17.0, 12.0, 13.0, 7.0];
+        (t, delays)
+    }
+
+    #[test]
+    fn skew_is_sink_spread() {
+        let (t, d) = sample();
+        assert_eq!(delay_range(&t, &d), (13.0, 17.0));
+        assert_eq!(skew(&t, &d), 4.0);
+    }
+
+    #[test]
+    fn zero_skew_detected() {
+        let t = Topology::from_parents(2, &[0, 3, 3, 0]).unwrap();
+        let d = vec![0.0, 5.0, 5.0, 2.0];
+        assert_eq!(skew(&t, &d), 0.0);
+    }
+
+    #[test]
+    fn radius_with_source_is_farthest_sink() {
+        let src = Point::new(0.0, 0.0);
+        let sinks = [Point::new(1.0, 1.0), Point::new(-4.0, 2.0)];
+        assert_eq!(radius_with_source(src, &sinks), 6.0);
+        assert_eq!(radius_with_source(src, &[]), 0.0);
+    }
+
+    #[test]
+    fn radius_free_is_half_diameter() {
+        let sinks = [Point::new(0.0, 0.0), Point::new(6.0, 2.0)];
+        assert_eq!(radius_free(&sinks), 4.0);
+    }
+}

@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by fallible geometric constructors.
+///
+/// Most geometric queries in this crate return `Option` (e.g. an empty
+/// intersection is a perfectly ordinary outcome); `GeomError` is reserved for
+/// *invalid inputs* that violate a constructor's contract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeomError {
+    /// An interval was requested with `lo > hi`.
+    InvertedInterval {
+        /// Requested lower endpoint.
+        lo: f64,
+        /// Requested upper endpoint.
+        hi: f64,
+    },
+    /// A radius or length argument was negative.
+    NegativeLength(f64),
+    /// A coordinate was NaN or infinite.
+    NonFiniteCoordinate(f64),
+    /// A route was requested shorter than the Manhattan distance between its
+    /// endpoints.
+    RouteTooShort {
+        /// Requested wirelength.
+        requested: f64,
+        /// Manhattan distance between the endpoints (the minimum possible).
+        minimum: f64,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::InvertedInterval { lo, hi } => {
+                write!(f, "interval endpoints are inverted: lo={lo} > hi={hi}")
+            }
+            GeomError::NegativeLength(l) => write!(f, "length must be non-negative, got {l}"),
+            GeomError::NonFiniteCoordinate(c) => {
+                write!(f, "coordinate must be finite, got {c}")
+            }
+            GeomError::RouteTooShort { requested, minimum } => write!(
+                f,
+                "requested wirelength {requested} is below the Manhattan distance {minimum}"
+            ),
+        }
+    }
+}
+
+impl Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let msgs = [
+            GeomError::InvertedInterval { lo: 2.0, hi: 1.0 }.to_string(),
+            GeomError::NegativeLength(-1.0).to_string(),
+            GeomError::NonFiniteCoordinate(f64::NAN).to_string(),
+            GeomError::RouteTooShort {
+                requested: 1.0,
+                minimum: 2.0,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeomError>();
+    }
+}

@@ -1,0 +1,268 @@
+use crate::GeomError;
+use std::fmt;
+
+/// A closed, non-empty 1-D interval `[lo, hi]`.
+///
+/// `Interval` is the workhorse behind both region types: a [`crate::Trr`] is
+/// a pair of intervals in rotated coordinates, an [`crate::Octilinear`]
+/// region is four intervals. The invariant `lo <= hi` is enforced at
+/// construction; operations that can produce an empty result (intersection)
+/// return `Option`.
+///
+/// # Example
+///
+/// ```
+/// use lubt_geom::Interval;
+/// let a = Interval::new(0.0, 4.0)?;
+/// let b = Interval::new(3.0, 9.0)?;
+/// assert_eq!(a.intersect(b), Some(Interval::new(3.0, 4.0)?));
+/// assert_eq!(a.gap(Interval::new(7.0, 8.0)?), 3.0);
+/// # Ok::<(), lubt_geom::GeomError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// Creates the interval `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::InvertedInterval`] when `lo > hi` and
+    /// [`GeomError::NonFiniteCoordinate`] when either endpoint is NaN.
+    /// (Infinite endpoints are allowed: unbounded slabs are legitimate
+    /// octilinear constraints.)
+    pub fn new(lo: f64, hi: f64) -> Result<Self, GeomError> {
+        if lo.is_nan() {
+            return Err(GeomError::NonFiniteCoordinate(lo));
+        }
+        if hi.is_nan() {
+            return Err(GeomError::NonFiniteCoordinate(hi));
+        }
+        if lo > hi {
+            return Err(GeomError::InvertedInterval { lo, hi });
+        }
+        Ok(Interval { lo, hi })
+    }
+
+    /// The degenerate interval `[p, p]`.
+    #[inline]
+    pub fn point(p: f64) -> Self {
+        Interval { lo: p, hi: p }
+    }
+
+    /// The unbounded interval `(-inf, +inf)`.
+    #[inline]
+    pub fn unbounded() -> Self {
+        Interval {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+        }
+    }
+
+    /// Lower endpoint.
+    #[inline]
+    pub fn lo(self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    #[inline]
+    pub fn hi(self) -> f64 {
+        self.hi
+    }
+
+    /// Length `hi - lo` (zero for degenerate intervals).
+    #[inline]
+    pub fn len(self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// `true` when the interval is a single point.
+    #[inline]
+    pub fn is_point(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Midpoint `(lo + hi) / 2`. For half-unbounded intervals this returns
+    /// the finite endpoint; for fully unbounded intervals, `0.0`.
+    #[inline]
+    pub fn center(self) -> f64 {
+        match (self.lo.is_finite(), self.hi.is_finite()) {
+            (true, true) => (self.lo + self.hi) / 2.0,
+            (true, false) => self.lo,
+            (false, true) => self.hi,
+            (false, false) => 0.0,
+        }
+    }
+
+    /// `true` when `x` lies within the interval, with absolute slack `eps`.
+    #[inline]
+    pub fn contains(self, x: f64, eps: f64) -> bool {
+        x >= self.lo - eps && x <= self.hi + eps
+    }
+
+    /// Intersection with `other`, or `None` when they are disjoint.
+    #[inline]
+    pub fn intersect(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// Expands both endpoints outward by `r` (Minkowski sum with `[-r, r]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `r < 0`; shrinking is not a defined
+    /// operation for this type (it could empty the interval).
+    #[inline]
+    pub fn expand(self, r: f64) -> Interval {
+        debug_assert!(r >= 0.0, "expand requires a non-negative radius");
+        Interval {
+            lo: self.lo - r,
+            hi: self.hi + r,
+        }
+    }
+
+    /// Distance between `self` and `other` as sets: `0` when they overlap,
+    /// otherwise the length of the gap separating them.
+    #[inline]
+    pub fn gap(self, other: Interval) -> f64 {
+        (self.lo - other.hi).max(other.lo - self.hi).max(0.0)
+    }
+
+    /// Clamps `x` into the interval: the nearest point of the interval.
+    #[inline]
+    pub fn clamp(self, x: f64) -> f64 {
+        x.max(self.lo).min(self.hi)
+    }
+
+    /// Smallest interval containing both `self` and `other` (convex hull).
+    #[inline]
+    pub fn hull(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(Interval::new(1.0, 0.0).is_err());
+        assert!(Interval::new(f64::NAN, 0.0).is_err());
+        assert!(Interval::new(0.0, f64::NAN).is_err());
+        assert!(Interval::new(0.0, f64::INFINITY).is_ok());
+        assert!(Interval::new(2.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn basic_queries() {
+        let i = Interval::new(-1.0, 3.0).unwrap();
+        assert_eq!(i.len(), 4.0);
+        assert_eq!(i.center(), 1.0);
+        assert!(!i.is_point());
+        assert!(i.contains(3.0, 0.0));
+        assert!(i.contains(3.0000001, 1e-6));
+        assert!(!i.contains(3.1, 1e-6));
+        assert!(Interval::point(5.0).is_point());
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Interval::new(0.0, 2.0).unwrap();
+        let b = Interval::new(2.0, 5.0).unwrap();
+        let c = Interval::new(3.0, 4.0).unwrap();
+        assert_eq!(a.intersect(b), Some(Interval::point(2.0)));
+        assert_eq!(a.intersect(c), None);
+        assert_eq!(b.intersect(c), Some(c));
+    }
+
+    #[test]
+    fn gap_and_expand_duality() {
+        let a = Interval::new(0.0, 1.0).unwrap();
+        let b = Interval::new(4.0, 5.0).unwrap();
+        let g = a.gap(b);
+        assert_eq!(g, 3.0);
+        // Expanding by the gap makes them touch.
+        assert!(a.expand(g).intersect(b).is_some());
+        // Expanding by slightly less keeps them disjoint.
+        assert!(a.expand(g - 1e-9).intersect(b).is_none());
+    }
+
+    #[test]
+    fn clamp_and_hull() {
+        let i = Interval::new(0.0, 2.0).unwrap();
+        assert_eq!(i.clamp(-1.0), 0.0);
+        assert_eq!(i.clamp(1.5), 1.5);
+        assert_eq!(i.clamp(9.0), 2.0);
+        let h = i.hull(Interval::point(7.0));
+        assert_eq!((h.lo(), h.hi()), (0.0, 7.0));
+    }
+
+    #[test]
+    fn unbounded_center_is_finite() {
+        assert_eq!(Interval::unbounded().center(), 0.0);
+        let half = Interval::new(3.0, f64::INFINITY).unwrap();
+        assert_eq!(half.center(), 3.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersection_commutes(
+            a in -100.0..100.0f64, al in 0.0..50.0f64,
+            b in -100.0..100.0f64, bl in 0.0..50.0f64,
+        ) {
+            let x = Interval::new(a, a + al).unwrap();
+            let y = Interval::new(b, b + bl).unwrap();
+            prop_assert_eq!(x.intersect(y), y.intersect(x));
+        }
+
+        #[test]
+        fn prop_gap_zero_iff_intersect(
+            a in -100.0..100.0f64, al in 0.0..50.0f64,
+            b in -100.0..100.0f64, bl in 0.0..50.0f64,
+        ) {
+            let x = Interval::new(a, a + al).unwrap();
+            let y = Interval::new(b, b + bl).unwrap();
+            prop_assert_eq!(x.gap(y) == 0.0, x.intersect(y).is_some());
+        }
+
+        #[test]
+        fn prop_expand_monotone(
+            a in -100.0..100.0f64, al in 0.0..50.0f64, r in 0.0..10.0f64, x in -200.0..200.0f64,
+        ) {
+            let i = Interval::new(a, a + al).unwrap();
+            if i.contains(x, 0.0) {
+                prop_assert!(i.expand(r).contains(x, 0.0));
+            }
+        }
+
+        #[test]
+        fn prop_clamp_is_nearest(
+            a in -100.0..100.0f64, al in 0.0..50.0f64, x in -200.0..200.0f64,
+        ) {
+            let i = Interval::new(a, a + al).unwrap();
+            let c = i.clamp(x);
+            prop_assert!(i.contains(c, 0.0));
+            // No interval point is closer to x than the clamp.
+            for t in [i.lo(), i.center(), i.hi()] {
+                prop_assert!((x - c).abs() <= (x - t).abs() + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Manhattan-plane geometry substrate for LUBT routing-tree construction.
+//!
+//! This crate provides the geometric machinery used by the Edge-Based
+//! Formulation (EBF) of Oh, Pyo and Pedram (DAC 1996) and by the baseline
+//! clock-routing constructions:
+//!
+//! * [`Point`] — a point in the Manhattan (rectilinear) plane, with the
+//!   Manhattan distance as the primary metric.
+//! * [`Interval`] — closed 1-D intervals, the building block of region types.
+//! * [`Trr`] — *Tilted Rectangular Regions*: rectangles rotated 45° from the
+//!   axes. Under the rotation `u = x + y`, `v = x - y` the Manhattan metric
+//!   becomes the Chebyshev metric, so every TRR is an axis-aligned rectangle
+//!   in `(u, v)` space and all TRR algebra (expansion by a radius,
+//!   intersection, distance, nearest point) reduces to interval arithmetic.
+//!   TRRs satisfy the Helly property in the Manhattan plane (Lemma 10.1 of
+//!   the paper), which is the foundation of Theorem 4.1 (sufficiency of the
+//!   Steiner constraints).
+//! * [`Octilinear`] — convex octagonal regions (bounds on `x`, `y`, `x + y`
+//!   and `x - y`), used by the bounded-skew baseline whose feasible merging
+//!   regions are octilinear polygons.
+//! * [`route_with_length`] — rectilinear polyline construction realizing a
+//!   prescribed (possibly elongated) wirelength between two points, used to
+//!   materialize *wire snaking* when the LP elongates an edge.
+//!
+//! # Example
+//!
+//! ```
+//! use lubt_geom::{Point, Trr};
+//!
+//! let a = Point::new(0.0, 0.0);
+//! let b = Point::new(4.0, 2.0);
+//! assert_eq!(a.dist(b), 6.0);
+//!
+//! // All points within Manhattan distance 3 of `a`, and within 4 of `b`:
+//! let ta = Trr::from_center_radius(a, 3.0);
+//! let tb = Trr::from_center_radius(b, 4.0);
+//! let meet = ta.intersect(&tb).expect("regions overlap");
+//! let p = meet.center();
+//! assert!(a.dist(p) <= 3.0 + 1e-9 && b.dist(p) <= 4.0 + 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod interval;
+mod octilinear;
+mod point;
+mod segment;
+mod trr;
+
+pub use error::GeomError;
+pub use interval::Interval;
+pub use octilinear::Octilinear;
+pub use point::{bounding_box, diameter, Point};
+pub use segment::{polyline_length, route_with_length};
+pub use trr::Trr;
+
+/// Absolute tolerance used by containment/feasibility predicates throughout
+/// the geometry layer.
+///
+/// Coordinates in the benchmark instances are O(1e4..1e5); `f64` keeps ~15-16
+/// significant digits, so 1e-6 absolute slack is safely above rounding noise
+/// while far below any meaningful wirelength.
+pub const GEOM_EPS: f64 = 1e-6;

@@ -1,0 +1,580 @@
+use crate::{Interval, Point, Trr, GEOM_EPS};
+use std::fmt;
+
+/// A convex *octilinear* region: the intersection of axis-aligned and ±45°
+/// half-planes, i.e. bounds on `x`, `y`, `u = x + y` and `v = x - y`.
+///
+/// Bounded-skew clock routing works with octilinear merging regions (Cong-Koh
+/// ISCAS'95, Huang-Kahng-Tsao DAC'95 — reference \[9\] of the LUBT paper):
+/// with a non-zero skew budget the feasible locations for a merge point grow
+/// from the zero-skew *merging segment* to an octilinear convex polygon.
+/// This type provides the algebra that baseline needs: expansion by a wire
+/// radius, intersection, set distance and nearest-point queries — all in the
+/// Manhattan metric.
+///
+/// Every [`Trr`] is an `Octilinear` with unbounded `x`/`y` slabs; every
+/// axis-aligned rectangle is an `Octilinear` with unbounded `u`/`v` slabs.
+///
+/// The region is kept in *canonical (closed) form*: each bound is tightened
+/// against the others so that, e.g., the projection onto the `x`-axis is
+/// exactly the stored `x` interval. Empty regions are unrepresentable —
+/// constructors return `Option`.
+///
+/// # Example
+///
+/// ```
+/// use lubt_geom::{Octilinear, Point};
+/// let a = Octilinear::from_point(Point::new(0.0, 0.0)).expanded(2.0);
+/// let b = Octilinear::from_point(Point::new(3.0, 0.0)).expanded(2.0);
+/// let both = a.intersect(&b).expect("overlap");
+/// assert!(both.contains(Point::new(1.5, 0.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Octilinear {
+    x: Interval,
+    y: Interval,
+    u: Interval,
+    v: Interval,
+}
+
+impl Octilinear {
+    /// The region consisting of the single point `p`.
+    pub fn from_point(p: Point) -> Self {
+        Octilinear {
+            x: Interval::point(p.x),
+            y: Interval::point(p.y),
+            u: Interval::point(p.u()),
+            v: Interval::point(p.v()),
+        }
+    }
+
+    /// Converts a TRR (bounds on `u`, `v` only) into canonical octilinear
+    /// form.
+    pub fn from_trr(t: Trr) -> Self {
+        Octilinear::from_slabs(Interval::unbounded(), Interval::unbounded(), t.u(), t.v())
+            .expect("a TRR is never empty")
+    }
+
+    /// Axis-aligned rectangle `[x] × [y]` as an octilinear region.
+    pub fn from_rect(x: Interval, y: Interval) -> Self {
+        Octilinear::from_slabs(x, y, Interval::unbounded(), Interval::unbounded())
+            .expect("a rectangle is never empty")
+    }
+
+    /// General constructor from the four slabs; returns `None` when the
+    /// intersection is empty.
+    pub fn from_slabs(x: Interval, y: Interval, u: Interval, v: Interval) -> Option<Self> {
+        Octilinear { x, y, u, v }.canonicalized()
+    }
+
+    /// Tightens every bound against the others (octagon closure). Returns
+    /// `None` when the region is empty.
+    ///
+    /// The four coordinates `x, y, u = x + y, v = x - y` form a small system
+    /// of two-variable linear relations; each pass applies every derivable
+    /// one-step tightening, so the shortest-path closure is reached after a
+    /// bounded number of passes (we iterate to an exact fixpoint with a hard
+    /// cap as a safety net).
+    fn canonicalized(mut self) -> Option<Self> {
+        // Derived bounds are sums/differences of stored bounds, so rounding
+        // can invert an interval by a few ulps even for non-empty regions;
+        // snap such hairline inversions to their midpoint instead of
+        // declaring the region empty.
+        fn mk(lo: f64, hi: f64) -> Option<Interval> {
+            match Interval::new(lo, hi) {
+                Ok(i) => Some(i),
+                Err(_) => {
+                    let scale = lo.abs().max(hi.abs()).max(1.0);
+                    (lo - hi <= 1e-9 * scale && lo.is_finite() && hi.is_finite())
+                        .then(|| Interval::point((lo + hi) / 2.0))
+                }
+            }
+        }
+        for _ in 0..8 {
+            let (x, y, u, v) = (self.x, self.y, self.u, self.v);
+            let nu = mk(
+                u.lo()
+                    .max(x.lo() + y.lo())
+                    .max(2.0 * x.lo() - v.hi())
+                    .max(v.lo() + 2.0 * y.lo()),
+                u.hi()
+                    .min(x.hi() + y.hi())
+                    .min(2.0 * x.hi() - v.lo())
+                    .min(v.hi() + 2.0 * y.hi()),
+            )?;
+            let nv = mk(
+                v.lo()
+                    .max(x.lo() - y.hi())
+                    .max(2.0 * x.lo() - u.hi())
+                    .max(u.lo() - 2.0 * y.hi()),
+                v.hi()
+                    .min(x.hi() - y.lo())
+                    .min(2.0 * x.hi() - u.lo())
+                    .min(u.hi() - 2.0 * y.lo()),
+            )?;
+            let nx = mk(
+                x.lo()
+                    .max(nu.lo() - y.hi())
+                    .max(nv.lo() + y.lo())
+                    .max((nu.lo() + nv.lo()) / 2.0),
+                x.hi()
+                    .min(nu.hi() - y.lo())
+                    .min(nv.hi() + y.hi())
+                    .min((nu.hi() + nv.hi()) / 2.0),
+            )?;
+            let ny = mk(
+                y.lo()
+                    .max(nu.lo() - nx.hi())
+                    .max(nx.lo() - nv.hi())
+                    .max((nu.lo() - nv.hi()) / 2.0),
+                y.hi()
+                    .min(nu.hi() - nx.lo())
+                    .min(nx.hi() - nv.lo())
+                    .min((nu.hi() - nv.lo()) / 2.0),
+            )?;
+            let next = Octilinear {
+                x: nx,
+                y: ny,
+                u: nu,
+                v: nv,
+            };
+            if next == self {
+                break;
+            }
+            self = next;
+        }
+        Some(self)
+    }
+
+    /// The `x` extent (exact projection, thanks to canonical form).
+    #[inline]
+    pub fn x(self) -> Interval {
+        self.x
+    }
+
+    /// The `y` extent.
+    #[inline]
+    pub fn y(self) -> Interval {
+        self.y
+    }
+
+    /// The `u = x + y` extent.
+    #[inline]
+    pub fn u(self) -> Interval {
+        self.u
+    }
+
+    /// The `v = x - y` extent.
+    #[inline]
+    pub fn v(self) -> Interval {
+        self.v
+    }
+
+    /// All points within Manhattan distance `r` of the region (Minkowski sum
+    /// with the radius-`r` diamond). The octilinear family is closed under
+    /// this operation: every slab bound relaxes by exactly `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `r < 0`.
+    pub fn expanded(self, r: f64) -> Self {
+        Octilinear {
+            x: self.x.expand(r),
+            y: self.y.expand(r),
+            u: self.u.expand(r),
+            v: self.v.expand(r),
+        }
+        .canonicalized()
+        .expect("expansion never empties a region")
+    }
+
+    /// Intersection with `other`, or `None` when disjoint.
+    pub fn intersect(&self, other: &Octilinear) -> Option<Octilinear> {
+        Octilinear {
+            x: self.x.intersect(other.x)?,
+            y: self.y.intersect(other.y)?,
+            u: self.u.intersect(other.u)?,
+            v: self.v.intersect(other.v)?,
+        }
+        .canonicalized()
+    }
+
+    /// Membership with the crate tolerance [`GEOM_EPS`].
+    pub fn contains(&self, p: Point) -> bool {
+        self.x.contains(p.x, GEOM_EPS)
+            && self.y.contains(p.y, GEOM_EPS)
+            && self.u.contains(p.u(), GEOM_EPS)
+            && self.v.contains(p.v(), GEOM_EPS)
+    }
+
+    /// Minimum Manhattan distance between two octilinear regions (zero when
+    /// they intersect).
+    ///
+    /// For this family the L1 set distance has the closed form
+    /// `max(gap_x + gap_y, gap_u, gap_v)`: axis gaps combine additively
+    /// (moving diagonally closes both at once costs their sum) while each
+    /// diagonal gap alone lower-bounds the distance because `|Δu|` and
+    /// `|Δv|` never exceed the L1 distance.
+    pub fn dist(&self, other: &Octilinear) -> f64 {
+        let dx = self.x.gap(other.x);
+        let dy = self.y.gap(other.y);
+        let du = self.u.gap(other.u);
+        let dv = self.v.gap(other.v);
+        (dx + dy).max(du).max(dv)
+    }
+
+    /// Minimum Manhattan distance from `p` to the region.
+    pub fn dist_to_point(&self, p: Point) -> f64 {
+        self.dist(&Octilinear::from_point(p))
+    }
+
+    /// A deterministic interior representative point.
+    pub fn center(self) -> Point {
+        let x = self.x.center();
+        // Feasible y range at this x (non-empty by canonical form).
+        let y_range = self
+            .y
+            .intersect(Interval::new(self.u.lo() - x, self.u.hi() - x).unwrap_or(self.y))
+            .and_then(|r| r.intersect(Interval::new(x - self.v.hi(), x - self.v.lo()).unwrap_or(r)))
+            .unwrap_or(self.y);
+        Point::new(x, y_range.center())
+    }
+
+    /// The point of the region nearest to `p` in the Manhattan metric
+    /// (`p` itself when inside).
+    ///
+    /// Implemented exactly: if `p` is outside, the nearest point lies on the
+    /// boundary; every boundary edge is axis-aligned or ±45°, and the L1
+    /// nearest point on such a segment has a closed form.
+    pub fn closest_point_to(&self, p: Point) -> Point {
+        if self.contains(p) {
+            return p;
+        }
+        let verts = self.vertices();
+        let mut best = verts[0];
+        let mut best_d = p.dist(best);
+        for i in 0..verts.len() {
+            let a = verts[i];
+            let b = verts[(i + 1) % verts.len()];
+            let q = closest_on_segment(a, b, p);
+            let d = p.dist(q);
+            if d < best_d {
+                best_d = d;
+                best = q;
+            }
+        }
+        best
+    }
+
+    /// The (up to eight) boundary vertices in counterclockwise order.
+    /// Degenerate edges produce repeated vertices, which is harmless for the
+    /// nearest-point search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is unbounded (merging regions in the baselines
+    /// are always bounded).
+    pub fn vertices(&self) -> Vec<Point> {
+        let (xl, xh) = (self.x.lo(), self.x.hi());
+        let (yl, yh) = (self.y.lo(), self.y.hi());
+        let (ul, uh) = (self.u.lo(), self.u.hi());
+        let (vl, vh) = (self.v.lo(), self.v.hi());
+        assert!(
+            [xl, xh, yl, yh, ul, uh, vl, vh].iter().all(|c| c.is_finite()),
+            "vertices() requires a bounded octilinear region"
+        );
+        // Walk the eight potentially-tight constraints counterclockwise,
+        // starting at the right edge: x=xh, u=uh, y=yh, v=vl, x=xl, u=ul,
+        // y=yl, v=vh. Consecutive tight pairs meet at these corners:
+        vec![
+            Point::new(xh, uh - xh),       // x=xh ∧ u=uh
+            Point::new(uh - yh, yh),       // u=uh ∧ y=yh
+            Point::new(vl + yh, yh),       // y=yh ∧ v=vl
+            Point::new(xl, xl - vl),       // v=vl ∧ x=xl
+            Point::new(xl, ul - xl),       // x=xl ∧ u=ul
+            Point::new(ul - yl, yl),       // u=ul ∧ y=yl
+            Point::new(vh + yl, yl),       // y=yl ∧ v=vh
+            Point::new(xh, xh - vh),       // v=vh ∧ x=xh
+        ]
+    }
+
+    /// Smallest TRR containing the region (drops the axis slabs).
+    pub fn bounding_trr(self) -> Trr {
+        Trr::from_uv(self.u, self.v)
+    }
+
+    /// The axis-aligned "corridor" between two regions: the bounding box of
+    /// their union. Every L1-shortest connection between the regions is
+    /// monotone in `x` and `y`, hence stays inside this box (note it may
+    /// leave the diagonal `u`/`v` hulls, so those are *not* constrained).
+    /// Bounded-skew merging clips its fattened regions to the corridor so
+    /// that deferred join points remain on genuine shortest paths.
+    pub fn hull(&self, other: &Octilinear) -> Octilinear {
+        Octilinear::from_rect(self.x.hull(other.x), self.y.hull(other.y))
+    }
+}
+
+/// L1-nearest point to `p` on the segment `a..b` (assumed axis-aligned or
+/// ±45°, which is all this crate produces). The L1 distance along such a
+/// segment is piecewise linear in the parameter, so the minimum is attained
+/// at an endpoint or where one coordinate of the segment passes through the
+/// corresponding coordinate of `p`.
+fn closest_on_segment(a: Point, b: Point, p: Point) -> Point {
+    let mut cands = vec![a, b];
+    let dx = b.x - a.x;
+    let dy = b.y - a.y;
+    if dx.abs() > GEOM_EPS {
+        let t = (p.x - a.x) / dx;
+        if (0.0..=1.0).contains(&t) {
+            cands.push(Point::new(p.x, a.y + t * dy));
+        }
+    }
+    if dy.abs() > GEOM_EPS {
+        let t = (p.y - a.y) / dy;
+        if (0.0..=1.0).contains(&t) {
+            cands.push(Point::new(a.x + t * dx, p.y));
+        }
+    }
+    cands
+        .into_iter()
+        .min_by(|q, r| p.dist(*q).partial_cmp(&p.dist(*r)).expect("finite"))
+        .expect("candidate list is never empty")
+}
+
+impl fmt::Display for Octilinear {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Oct{{x: {}, y: {}, u: {}, v: {}}}",
+            self.x, self.y, self.u, self.v
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn oct(p: Point, r: f64) -> Octilinear {
+        Octilinear::from_point(p).expanded(r)
+    }
+
+    #[test]
+    fn point_region_roundtrip() {
+        let p = Point::new(2.0, -3.0);
+        let o = Octilinear::from_point(p);
+        assert!(o.contains(p));
+        assert_eq!(o.center(), p);
+        assert_eq!(o.dist_to_point(Point::new(2.0, 0.0)), 3.0);
+    }
+
+    #[test]
+    fn expanded_point_is_diamond() {
+        let o = oct(Point::ORIGIN, 2.0);
+        assert!(o.contains(Point::new(2.0, 0.0)));
+        assert!(o.contains(Point::new(1.0, 1.0)));
+        assert!(!o.contains(Point::new(1.5, 1.0)));
+    }
+
+    #[test]
+    fn canonicalization_tightens() {
+        // A huge x/y box cut by a narrow u slab: the x/y bounds must shrink.
+        let o = Octilinear::from_slabs(
+            Interval::new(0.0, 10.0).unwrap(),
+            Interval::new(0.0, 10.0).unwrap(),
+            Interval::new(18.0, 19.0).unwrap(),
+            Interval::unbounded(),
+        )
+        .unwrap();
+        assert!(o.x().lo() >= 8.0 - 1e-9);
+        assert!(o.y().lo() >= 8.0 - 1e-9);
+    }
+
+    #[test]
+    fn empty_after_canonicalization() {
+        let o = Octilinear::from_slabs(
+            Interval::new(0.0, 1.0).unwrap(),
+            Interval::new(0.0, 1.0).unwrap(),
+            Interval::new(5.0, 6.0).unwrap(), // u = x + y can be at most 2
+            Interval::unbounded(),
+        );
+        assert!(o.is_none());
+    }
+
+    #[test]
+    fn rect_and_trr_conversions() {
+        let rect = Octilinear::from_rect(
+            Interval::new(0.0, 4.0).unwrap(),
+            Interval::new(0.0, 2.0).unwrap(),
+        );
+        assert!(rect.contains(Point::new(4.0, 2.0)));
+        assert!(!rect.contains(Point::new(4.1, 2.0)));
+        let t = Trr::from_center_radius(Point::ORIGIN, 1.0);
+        let o = Octilinear::from_trr(t);
+        assert!(o.contains(Point::new(1.0, 0.0)));
+        assert!(!o.contains(Point::new(1.0, 0.2)));
+    }
+
+    #[test]
+    fn distance_rect_rect_diagonal() {
+        let a = Octilinear::from_rect(
+            Interval::new(0.0, 1.0).unwrap(),
+            Interval::new(0.0, 1.0).unwrap(),
+        );
+        let b = Octilinear::from_rect(
+            Interval::new(3.0, 4.0).unwrap(),
+            Interval::new(3.0, 4.0).unwrap(),
+        );
+        assert!((a.dist(&b) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_matches_trr_distance() {
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(7.0, 3.0);
+        let (r1, r2) = (2.0, 1.5);
+        let to = oct(p, r1).dist(&oct(q, r2));
+        let tt = Trr::from_center_radius(p, r1).dist(&Trr::from_center_radius(q, r2));
+        assert!((to - tt).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closest_point_on_octagon() {
+        let o = oct(Point::ORIGIN, 2.0);
+        let p = Point::new(4.0, 4.0);
+        let q = o.closest_point_to(p);
+        assert!(o.contains(q));
+        assert!((p.dist(q) - o.dist_to_point(p)).abs() < 1e-9);
+        // Interior point maps to itself.
+        assert_eq!(o.closest_point_to(Point::new(0.5, 0.5)), Point::new(0.5, 0.5));
+    }
+
+    #[test]
+    fn hull_is_the_xy_corridor_only() {
+        // Regression: the zero-skew merging segment of a *diagonal* pair
+        // legitimately leaves the diagonal (u/v) hulls while staying inside
+        // the x/y bounding box — the corridor must not constrain u/v.
+        let a = Octilinear::from_point(Point::new(0.0, 0.0));
+        let b = Octilinear::from_point(Point::new(6.0, 4.0));
+        let hull = a.hull(&b);
+        // Midpoints of monotone shortest paths: (1, 4) goes up then right.
+        assert!(hull.contains(Point::new(1.0, 4.0)));
+        assert!(hull.contains(Point::new(5.0, 0.0)));
+        assert!(hull.contains(Point::new(3.0, 2.0)));
+        // Outside the box: excluded.
+        assert!(!hull.contains(Point::new(-1.0, 2.0)));
+        assert!(!hull.contains(Point::new(3.0, 5.0)));
+        // Both endpoints inside.
+        assert!(hull.contains(Point::new(0.0, 0.0)));
+        assert!(hull.contains(Point::new(6.0, 4.0)));
+    }
+
+    #[test]
+    fn merging_segment_lies_in_hull() {
+        // The balanced merge region of two diamonds is always inside their
+        // corridor (the property the BST construction depends on).
+        for (ax, ay, bx, by) in [
+            (0.0, 0.0, 6.0, 4.0),
+            (0.0, 0.0, 10.0, 0.0),
+            (2.0, 7.0, 9.0, 1.0),
+        ] {
+            let a = Octilinear::from_point(Point::new(ax, ay));
+            let b = Octilinear::from_point(Point::new(bx, by));
+            let d = a.dist(&b);
+            let region = a
+                .expanded(d / 2.0)
+                .intersect(&b.expanded(d / 2.0))
+                .expect("touching");
+            let hull = a.hull(&b);
+            assert!(
+                region.intersect(&hull).is_some(),
+                "({ax},{ay})-({bx},{by}): merging region misses the corridor"
+            );
+            // The region center (a genuine merge point) is in the corridor.
+            assert!(hull.contains(region.center()));
+        }
+    }
+
+    #[test]
+    fn vertices_are_on_boundary() {
+        let o = Octilinear::from_slabs(
+            Interval::new(-2.0, 2.0).unwrap(),
+            Interval::new(-2.0, 2.0).unwrap(),
+            Interval::new(-3.0, 3.0).unwrap(),
+            Interval::new(-3.0, 3.0).unwrap(),
+        )
+        .unwrap();
+        for p in o.vertices() {
+            assert!(o.contains(p), "vertex {p} not in region");
+        }
+    }
+
+    proptest! {
+        /// The closed-form L1 set distance agrees with dense boundary
+        /// sampling.
+        #[test]
+        fn prop_distance_formula_vs_sampling(
+            ax in -30.0..30.0f64, ay in -30.0..30.0f64, ar in 0.5..10.0f64,
+            aw in 0.0..8.0f64, ah in 0.0..8.0f64,
+            bx in -30.0..30.0f64, by in -30.0..30.0f64, br in 0.5..10.0f64,
+        ) {
+            // Region A: a box expanded into an octagon; region B: a diamond.
+            let a = Octilinear::from_rect(
+                Interval::new(ax, ax + aw).unwrap(),
+                Interval::new(ay, ay + ah).unwrap(),
+            ).expanded(ar);
+            let b = oct(Point::new(bx, by), br);
+            let d = a.dist(&b);
+            // Sample along B's boundary; nearest A-point computed exactly.
+            let verts = b.vertices();
+            let mut sampled = f64::INFINITY;
+            for i in 0..verts.len() {
+                let (s, e) = (verts[i], verts[(i + 1) % verts.len()]);
+                for k in 0..=20 {
+                    let t = k as f64 / 20.0;
+                    let q = Point::new(s.x + t * (e.x - s.x), s.y + t * (e.y - s.y));
+                    let nearest = a.closest_point_to(q);
+                    sampled = sampled.min(q.dist(nearest));
+                }
+            }
+            // Formula is a true minimum: never above the sampled value, and
+            // sampling (20 subdivisions) gets within a generous tolerance.
+            prop_assert!(d <= sampled + 1e-6);
+            prop_assert!(sampled - d <= (br.max(ar)) / 4.0 + 1e-6);
+        }
+
+        /// Intersection is sound: points in both regions lie in the
+        /// intersection, and the intersection is contained in both.
+        #[test]
+        fn prop_intersection_sound(
+            ax in -20.0..20.0f64, ay in -20.0..20.0f64, ar in 0.5..15.0f64,
+            bx in -20.0..20.0f64, by in -20.0..20.0f64, br in 0.5..15.0f64,
+        ) {
+            let a = oct(Point::new(ax, ay), ar);
+            let b = oct(Point::new(bx, by), br);
+            match a.intersect(&b) {
+                Some(c) => {
+                    let m = c.center();
+                    prop_assert!(a.contains(m) && b.contains(m));
+                }
+                None => prop_assert!(a.dist(&b) > -1e-9),
+            }
+        }
+
+        /// dist/expand duality, mirroring the TRR property.
+        #[test]
+        fn prop_expand_distance_duality(
+            ax in -20.0..20.0f64, ay in -20.0..20.0f64, ar in 0.5..10.0f64,
+            bx in -20.0..20.0f64, by in -20.0..20.0f64, br in 0.5..10.0f64,
+        ) {
+            let a = oct(Point::new(ax, ay), ar);
+            let b = oct(Point::new(bx, by), br);
+            let d = a.dist(&b);
+            prop_assert!(a.expanded(d + 1e-9).intersect(&b).is_some());
+            if d > 1e-6 {
+                prop_assert!(a.expanded(d - 1e-6).intersect(&b).is_none());
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+use std::fmt;
+
+/// A point in the Manhattan plane.
+///
+/// `Point` is a passive value type: both coordinates are public and every
+/// finite `f64` pair is a valid point. The primary metric is [`Point::dist`],
+/// the Manhattan (L1) distance; the Euclidean distance is provided only for
+/// the §4.7 counterexample showing the EBF method does *not* transfer to the
+/// Euclidean metric.
+///
+/// # Example
+///
+/// ```
+/// use lubt_geom::Point;
+/// let p = Point::new(1.0, 2.0);
+/// let q = Point::new(4.0, 0.0);
+/// assert_eq!(p.dist(q), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Manhattan (L1) distance to `other`; this is the routing metric of the
+    /// paper.
+    #[inline]
+    pub fn dist(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean (L2) distance to `other`. Used only to demonstrate that the
+    /// Steiner constraints are *not* sufficient in the Euclidean metric
+    /// (§4.7 of the paper).
+    #[inline]
+    pub fn dist_euclid(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Rotated coordinate `u = x + y`. In `(u, v)` space the Manhattan
+    /// metric becomes Chebyshev, which makes TRR algebra interval
+    /// arithmetic.
+    #[inline]
+    pub fn u(self) -> f64 {
+        self.x + self.y
+    }
+
+    /// Rotated coordinate `v = x - y`.
+    #[inline]
+    pub fn v(self) -> f64 {
+        self.x - self.y
+    }
+
+    /// Reconstructs a point from rotated coordinates `(u, v)`.
+    #[inline]
+    pub fn from_uv(u: f64, v: f64) -> Self {
+        Point::new((u + v) / 2.0, (u - v) / 2.0)
+    }
+
+    /// Midpoint of the straight segment `self..other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// `true` when both coordinates are finite (not NaN, not infinite).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// Axis-aligned bounding box `(min, max)` of a non-empty point set.
+///
+/// Returns `None` for an empty iterator.
+///
+/// # Example
+///
+/// ```
+/// use lubt_geom::{bounding_box, Point};
+/// let pts = [Point::new(1.0, 5.0), Point::new(3.0, -2.0)];
+/// let (lo, hi) = bounding_box(pts).unwrap();
+/// assert_eq!((lo.x, lo.y, hi.x, hi.y), (1.0, -2.0, 3.0, 5.0));
+/// ```
+pub fn bounding_box<I: IntoIterator<Item = Point>>(points: I) -> Option<(Point, Point)> {
+    let mut it = points.into_iter();
+    let first = it.next()?;
+    let mut lo = first;
+    let mut hi = first;
+    for p in it {
+        lo.x = lo.x.min(p.x);
+        lo.y = lo.y.min(p.y);
+        hi.x = hi.x.max(p.x);
+        hi.y = hi.y.max(p.y);
+    }
+    Some((lo, hi))
+}
+
+/// Manhattan diameter of a point set: the largest pairwise Manhattan
+/// distance. The paper defines the *radius* of a source-less instance as half
+/// of this diameter.
+///
+/// Computed in `O(n)` using the rotated-coordinate identity
+/// `L1(p, q) = max(|Δu|, |Δv|)`: the diameter is the larger of the `u`-spread
+/// and the `v`-spread.
+///
+/// Returns `0.0` for sets with fewer than two points.
+///
+/// # Example
+///
+/// ```
+/// use lubt_geom::{diameter, Point};
+/// let pts = [Point::new(0.0, 0.0), Point::new(3.0, 4.0), Point::new(1.0, 1.0)];
+/// assert_eq!(diameter(pts.iter().copied()), 7.0);
+/// ```
+pub fn diameter<I: IntoIterator<Item = Point>>(points: I) -> f64 {
+    let mut u_lo = f64::INFINITY;
+    let mut u_hi = f64::NEG_INFINITY;
+    let mut v_lo = f64::INFINITY;
+    let mut v_hi = f64::NEG_INFINITY;
+    let mut n = 0usize;
+    for p in points {
+        u_lo = u_lo.min(p.u());
+        u_hi = u_hi.max(p.u());
+        v_lo = v_lo.min(p.v());
+        v_hi = v_hi.max(p.v());
+        n += 1;
+    }
+    if n < 2 {
+        0.0
+    } else {
+        (u_hi - u_lo).max(v_hi - v_lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance_basics() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, -4.0);
+        assert_eq!(a.dist(b), 7.0);
+        assert_eq!(b.dist(a), 7.0);
+        assert_eq!(a.dist(a), 0.0);
+    }
+
+    #[test]
+    fn euclidean_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.dist_euclid(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotated_roundtrip() {
+        let p = Point::new(1.25, -7.5);
+        let q = Point::from_uv(p.u(), p.v());
+        assert!((p.x - q.x).abs() < 1e-12 && (p.y - q.y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_is_chebyshev_in_uv() {
+        let p = Point::new(2.0, 3.0);
+        let q = Point::new(-1.0, 5.0);
+        let cheb = (p.u() - q.u()).abs().max((p.v() - q.v()).abs());
+        assert!((p.dist(q) - cheb).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(4.0, 6.0);
+        let m = p.midpoint(q);
+        assert_eq!(m, Point::new(2.0, 3.0));
+        assert!((p.dist(m) - q.dist(m)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_box_empty_and_single() {
+        assert!(bounding_box(std::iter::empty::<Point>()).is_none());
+        let (lo, hi) = bounding_box([Point::new(2.0, 3.0)]).unwrap();
+        assert_eq!(lo, hi);
+    }
+
+    #[test]
+    fn diameter_matches_bruteforce() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 1.0),
+            Point::new(-3.0, 8.0),
+            Point::new(5.0, -6.0),
+        ];
+        let mut best = 0.0f64;
+        for i in 0..pts.len() {
+            for j in i + 1..pts.len() {
+                best = best.max(pts[i].dist(pts[j]));
+            }
+        }
+        assert!((diameter(pts.iter().copied()) - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diameter_degenerate() {
+        assert_eq!(diameter(std::iter::empty::<Point>()), 0.0);
+        assert_eq!(diameter([Point::new(5.0, 5.0)]), 0.0);
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (1.0, 2.0).into();
+        assert_eq!(p, Point::new(1.0, 2.0));
+    }
+}

@@ -1,0 +1,165 @@
+use crate::{GeomError, Point, GEOM_EPS};
+
+/// Total Manhattan length of a rectilinear polyline.
+///
+/// # Example
+///
+/// ```
+/// use lubt_geom::{polyline_length, Point};
+/// let path = [Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(2.0, 3.0)];
+/// assert_eq!(polyline_length(&path), 5.0);
+/// ```
+pub fn polyline_length(points: &[Point]) -> f64 {
+    points.windows(2).map(|w| w[0].dist(w[1])).sum()
+}
+
+/// Constructs a rectilinear polyline from `from` to `to` whose total
+/// Manhattan length is exactly `length`.
+///
+/// The EBF determines *edge lengths*, and an optimal solution may assign an
+/// edge more wire than the distance between its endpoints (`e_i` is
+/// *elongated*, in the paper's terminology). Physical routing then realizes
+/// the surplus by *snaking* the wire. This function materializes such a
+/// route: an L-shaped backbone plus, when `length > dist(from, to)`, a
+/// perpendicular detour of depth `(length - dist) / 2`.
+///
+/// # Errors
+///
+/// Returns [`GeomError::RouteTooShort`] when `length < dist(from, to) - eps`
+/// and [`GeomError::NegativeLength`] for negative `length`.
+///
+/// # Example
+///
+/// ```
+/// use lubt_geom::{polyline_length, route_with_length, Point};
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 1.0);
+/// let path = route_with_length(a, b, 10.0)?;
+/// assert!((polyline_length(&path) - 10.0).abs() < 1e-9);
+/// assert_eq!(*path.first().unwrap(), a);
+/// assert_eq!(*path.last().unwrap(), b);
+/// # Ok::<(), lubt_geom::GeomError>(())
+/// ```
+pub fn route_with_length(from: Point, to: Point, length: f64) -> Result<Vec<Point>, GeomError> {
+    if length < 0.0 {
+        return Err(GeomError::NegativeLength(length));
+    }
+    let d = from.dist(to);
+    if length < d - GEOM_EPS {
+        return Err(GeomError::RouteTooShort {
+            requested: length,
+            minimum: d,
+        });
+    }
+    let surplus = (length - d).max(0.0);
+
+    // Degenerate edge with no surplus: a single point (or the two coincident
+    // endpoints).
+    if d <= GEOM_EPS && surplus <= GEOM_EPS {
+        return Ok(vec![from, to]);
+    }
+
+    let mut path = vec![from];
+    if surplus > GEOM_EPS {
+        // Detour first: walk `surplus / 2` away from the target along one
+        // axis and come back, so the added wire is exactly `surplus`.
+        let detour = surplus / 2.0;
+        // Detour along the axis with *less* forward travel, to keep the
+        // route visually compact; direction away from `to`.
+        let (dx, dy) = (to.x - from.x, to.y - from.y);
+        if dx.abs() >= dy.abs() {
+            let dir = if dy >= 0.0 { -1.0 } else { 1.0 };
+            path.push(Point::new(from.x, from.y + dir * detour));
+            path.push(Point::new(from.x, from.y));
+        } else {
+            let dir = if dx >= 0.0 { -1.0 } else { 1.0 };
+            path.push(Point::new(from.x + dir * detour, from.y));
+            path.push(Point::new(from.x, from.y));
+        }
+    }
+    // L-shaped backbone: horizontal then vertical.
+    if (to.x - from.x).abs() > GEOM_EPS && (to.y - from.y).abs() > GEOM_EPS {
+        path.push(Point::new(to.x, from.y));
+    }
+    path.push(to);
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tight_route_is_l_shape() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(4.0, 3.0);
+        let path = route_with_length(a, b, 7.0).unwrap();
+        assert_eq!(path.len(), 3);
+        assert!((polyline_length(&path) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn straight_route_has_no_bend() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(4.0, 0.0);
+        let path = route_with_length(a, b, 4.0).unwrap();
+        assert_eq!(path, vec![a, b]);
+    }
+
+    #[test]
+    fn elongated_route_realizes_exact_length() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(1.0, 5.0);
+        let path = route_with_length(a, b, 9.0).unwrap();
+        assert!((polyline_length(&path) - 9.0).abs() < 1e-12);
+        assert_eq!(*path.first().unwrap(), a);
+        assert_eq!(*path.last().unwrap(), b);
+    }
+
+    #[test]
+    fn degenerate_edge_with_surplus_snakes() {
+        let a = Point::new(2.0, 2.0);
+        let path = route_with_length(a, a, 6.0).unwrap();
+        assert!((polyline_length(&path) - 6.0).abs() < 1e-12);
+        assert_eq!(*path.first().unwrap(), a);
+        assert_eq!(*path.last().unwrap(), a);
+    }
+
+    #[test]
+    fn too_short_is_rejected() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(5.0, 0.0);
+        assert!(matches!(
+            route_with_length(a, b, 3.0),
+            Err(GeomError::RouteTooShort { .. })
+        ));
+        assert!(matches!(
+            route_with_length(a, b, -1.0),
+            Err(GeomError::NegativeLength(_))
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_route_length_exact(
+            ax in -50.0..50.0f64, ay in -50.0..50.0f64,
+            bx in -50.0..50.0f64, by in -50.0..50.0f64,
+            extra in 0.0..100.0f64,
+        ) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let len = a.dist(b) + extra;
+            let path = route_with_length(a, b, len).unwrap();
+            prop_assert!((polyline_length(&path) - len).abs() < 1e-9);
+            prop_assert_eq!(*path.first().unwrap(), a);
+            prop_assert_eq!(*path.last().unwrap(), b);
+            // Rectilinear: every leg is axis-aligned.
+            for w in path.windows(2) {
+                let horiz = (w[0].y - w[1].y).abs() < 1e-12;
+                let vert = (w[0].x - w[1].x).abs() < 1e-12;
+                prop_assert!(horiz || vert);
+            }
+        }
+    }
+}

@@ -1,0 +1,399 @@
+use crate::{Interval, Point, GEOM_EPS};
+use std::fmt;
+
+/// A *Tilted Rectangular Region* (TRR): a rectangle whose sides are at ±45°
+/// to the axes of the Manhattan plane.
+///
+/// TRRs are the feasible-region currency of the DME-style embedder (§5 of
+/// the paper): the locus of points within Manhattan distance `r` of a point
+/// is a "diamond" (a square TRR), the locus within `r` of a TRR is again a
+/// TRR, and intersections of TRRs are TRRs. Crucially, TRRs enjoy the
+/// **Helly property** in the Manhattan plane (Lemma 10.1): if a family of
+/// TRRs intersects pairwise, it has a common point. This is what makes the
+/// pairwise Steiner constraints of the EBF *sufficient* (Theorem 4.1) — and
+/// it is false for disks in the Euclidean plane, which is why the EBF method
+/// does not transfer to the Euclidean metric (§4.7).
+///
+/// # Representation
+///
+/// Internally a TRR is an axis-aligned rectangle in the rotated coordinates
+/// `u = x + y`, `v = x - y`, where the Manhattan metric becomes the Chebyshev
+/// metric. Expansion, intersection, distance and nearest-point queries all
+/// reduce to [`Interval`] arithmetic.
+///
+/// Degenerate TRRs are first-class: a zero-width TRR is a ±45° line segment
+/// (a zero-skew *merging segment*), and a TRR that is a single point is used
+/// for sink locations.
+///
+/// # Example
+///
+/// ```
+/// use lubt_geom::{Point, Trr};
+/// let sink = Trr::from_point(Point::new(10.0, 0.0));
+/// // Every location reachable with 5 units of wire from the sink:
+/// let reach = sink.expanded(5.0);
+/// assert!(reach.contains(Point::new(12.0, 3.0)));
+/// assert!(!reach.contains(Point::new(12.0, 4.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trr {
+    u: Interval,
+    v: Interval,
+}
+
+impl Trr {
+    /// TRR consisting of the single point `p`.
+    #[inline]
+    pub fn from_point(p: Point) -> Self {
+        Trr {
+            u: Interval::point(p.u()),
+            v: Interval::point(p.v()),
+        }
+    }
+
+    /// Square TRR of all points within Manhattan distance `radius` of
+    /// `center` (a "diamond" in `x, y` space — the Manhattan analogue of a
+    /// circle).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `radius < 0`.
+    #[inline]
+    pub fn from_center_radius(center: Point, radius: f64) -> Self {
+        Trr::from_point(center).expanded(radius)
+    }
+
+    /// Builds a TRR directly from rotated-coordinate intervals.
+    ///
+    /// This is the low-level constructor; most callers want
+    /// [`Trr::from_point`] / [`Trr::from_center_radius`].
+    #[inline]
+    pub fn from_uv(u: Interval, v: Interval) -> Self {
+        Trr { u, v }
+    }
+
+    /// The `u = x + y` extent.
+    #[inline]
+    pub fn u(self) -> Interval {
+        self.u
+    }
+
+    /// The `v = x - y` extent.
+    #[inline]
+    pub fn v(self) -> Interval {
+        self.v
+    }
+
+    /// `TRR(self, r)`: all points within Manhattan distance `r` of this TRR
+    /// (Minkowski sum with the radius-`r` diamond).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `r < 0`.
+    #[inline]
+    pub fn expanded(self, r: f64) -> Trr {
+        Trr {
+            u: self.u.expand(r),
+            v: self.v.expand(r),
+        }
+    }
+
+    /// Intersection with `other`, or `None` when the regions are disjoint.
+    #[inline]
+    pub fn intersect(&self, other: &Trr) -> Option<Trr> {
+        Some(Trr {
+            u: self.u.intersect(other.u)?,
+            v: self.v.intersect(other.v)?,
+        })
+    }
+
+    /// Minimum Manhattan distance between the two regions (zero when they
+    /// intersect).
+    ///
+    /// In rotated coordinates this is the Chebyshev distance between
+    /// rectangles: the larger of the per-axis gaps.
+    #[inline]
+    pub fn dist(&self, other: &Trr) -> f64 {
+        self.u.gap(other.u).max(self.v.gap(other.v))
+    }
+
+    /// Minimum Manhattan distance from `p` to the region (zero when inside).
+    #[inline]
+    pub fn dist_to_point(&self, p: Point) -> f64 {
+        self.dist(&Trr::from_point(p))
+    }
+
+    /// Membership test with the crate-wide tolerance [`GEOM_EPS`].
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.contains_with_eps(p, GEOM_EPS)
+    }
+
+    /// Membership test with an explicit absolute tolerance.
+    #[inline]
+    pub fn contains_with_eps(&self, p: Point, eps: f64) -> bool {
+        self.u.contains(p.u(), eps) && self.v.contains(p.v(), eps)
+    }
+
+    /// A deterministic representative interior point (the center).
+    #[inline]
+    pub fn center(self) -> Point {
+        Point::from_uv(self.u.center(), self.v.center())
+    }
+
+    /// The point of the region nearest to `p` in the Manhattan metric
+    /// (`p` itself when `p` is inside).
+    #[inline]
+    pub fn closest_point_to(&self, p: Point) -> Point {
+        Point::from_uv(self.u.clamp(p.u()), self.v.clamp(p.v()))
+    }
+
+    /// Width: the length of the *shorter* pair of sides. Zero-width TRRs are
+    /// line segments (the merging segments of zero-skew DME).
+    ///
+    /// Note that side lengths in `x, y` space are the interval lengths
+    /// divided by √2; we report rotated-space lengths consistently since
+    /// only comparisons against zero matter to the algorithms.
+    #[inline]
+    pub fn width(self) -> f64 {
+        self.u.len().min(self.v.len())
+    }
+
+    /// `true` when the region degenerates to a ±45° segment or a point.
+    #[inline]
+    pub fn is_segment(self) -> bool {
+        self.u.is_point() || self.v.is_point()
+    }
+
+    /// `true` when the region is a single point.
+    #[inline]
+    pub fn is_point(self) -> bool {
+        self.u.is_point() && self.v.is_point()
+    }
+
+    /// `true` when every side has the same length (the Manhattan analogue of
+    /// a circle; it has a center and a radius).
+    #[inline]
+    pub fn is_square(self) -> bool {
+        (self.u.len() - self.v.len()).abs() <= GEOM_EPS
+    }
+
+    /// Radius of a square TRR: Manhattan distance from the center to the
+    /// boundary. For non-square TRRs this is the *inradius*.
+    #[inline]
+    pub fn radius(self) -> f64 {
+        self.width() / 2.0
+    }
+
+    /// The four corners in `(x, y)` space, in counterclockwise order
+    /// starting from the corner with maximal `u` (the "east" vertex of the
+    /// diamond). Degenerate TRRs repeat corners.
+    pub fn corners(self) -> [Point; 4] {
+        [
+            Point::from_uv(self.u.hi(), self.v.center()),
+            Point::from_uv(self.u.center(), self.v.lo()),
+            Point::from_uv(self.u.lo(), self.v.center()),
+            Point::from_uv(self.u.center(), self.v.hi()),
+        ]
+    }
+
+    /// Intersects a non-empty family of TRRs, returning `None` as soon as
+    /// the running intersection becomes empty.
+    ///
+    /// By the Helly property (Lemma 10.1), the result is non-empty whenever
+    /// all *pairs* intersect — see `common_intersection` tests.
+    pub fn intersect_all<I: IntoIterator<Item = Trr>>(regions: I) -> Option<Trr> {
+        let mut it = regions.into_iter();
+        let mut acc = it.next()?;
+        for r in it {
+            acc = acc.intersect(&r)?;
+        }
+        Some(acc)
+    }
+}
+
+impl fmt::Display for Trr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TRR{{u: {}, v: {}}}", self.u, self.v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn diamond(x: f64, y: f64, r: f64) -> Trr {
+        Trr::from_center_radius(Point::new(x, y), r)
+    }
+
+    #[test]
+    fn point_trr_roundtrip() {
+        let p = Point::new(3.0, -2.0);
+        let t = Trr::from_point(p);
+        assert!(t.is_point());
+        assert_eq!(t.center(), p);
+        assert!(t.contains(p));
+    }
+
+    #[test]
+    fn diamond_contains_exactly_ball() {
+        let c = Point::new(1.0, 1.0);
+        let t = Trr::from_center_radius(c, 2.0);
+        assert!(t.contains(Point::new(3.0, 1.0)));
+        assert!(t.contains(Point::new(2.0, 2.0)));
+        assert!(!t.contains(Point::new(3.0, 1.1)));
+        assert!(t.is_square());
+        assert!((t.radius() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expansion_matches_distance() {
+        // TRR(A, r) contains p  <=>  dist(A, {p}) <= r
+        let a = diamond(0.0, 0.0, 1.0);
+        let p = Point::new(4.0, 0.0);
+        let d = a.dist_to_point(p);
+        assert!((d - 3.0).abs() < 1e-12);
+        assert!(a.expanded(d).contains(p));
+        assert!(!a.expanded(d - 1e-3).contains_with_eps(p, 1e-9));
+    }
+
+    #[test]
+    fn intersection_of_two_diamonds() {
+        // Figure 6 flavour: two sinks with wire budgets meeting halfway.
+        let fa = diamond(0.0, 0.0, 3.0);
+        let fb = diamond(6.0, 0.0, 3.0);
+        let meet = fa.intersect(&fb).expect("should touch");
+        // They meet exactly at (3, 0).
+        assert!(meet.contains(Point::new(3.0, 0.0)));
+        assert!(meet.is_segment() || meet.width() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_diamonds() {
+        let a = diamond(0.0, 0.0, 1.0);
+        let b = diamond(10.0, 0.0, 2.0);
+        assert!(a.intersect(&b).is_none());
+        assert!((a.dist(&b) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tsay_style_merging_segment_is_trr() {
+        // A zero-width TRR is still a TRR (paper, §5).
+        let seg = Trr::from_uv(Interval::point(2.0), Interval::new(-1.0, 1.0).unwrap());
+        assert!(seg.is_segment());
+        assert!(!seg.is_point());
+        let grown = seg.expanded(1.0);
+        assert!(!grown.is_segment());
+        assert_eq!(grown.width(), 2.0);
+    }
+
+    #[test]
+    fn closest_point_is_inside_and_nearest() {
+        let t = diamond(0.0, 0.0, 2.0);
+        let p = Point::new(5.0, 1.0);
+        let q = t.closest_point_to(p);
+        assert!(t.contains(q));
+        assert!((p.dist(q) - t.dist_to_point(p)).abs() < 1e-9);
+        // Interior points map to themselves.
+        let inside = Point::new(0.5, 0.5);
+        assert_eq!(t.closest_point_to(inside), inside);
+    }
+
+    #[test]
+    fn corners_lie_on_boundary() {
+        let t = diamond(1.0, 2.0, 3.0);
+        for c in t.corners() {
+            assert!(t.contains(c));
+            assert!((t.center().dist(c) - 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn intersect_all_short_circuits() {
+        let family = vec![
+            diamond(0.0, 0.0, 2.0),
+            diamond(2.0, 0.0, 2.0),
+            diamond(1.0, 1.0, 2.0),
+        ];
+        let common = Trr::intersect_all(family).unwrap();
+        assert!(common.contains(Point::new(1.0, 0.5)));
+        assert!(Trr::intersect_all(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn helly_failure_needs_disjoint_pair() {
+        // Three diamonds that pairwise intersect MUST share a common point
+        // (Lemma 10.1) - contrast with three circles in Euclidean space.
+        let a = diamond(0.0, 0.0, 2.0);
+        let b = diamond(3.0, 0.0, 2.0);
+        let c = diamond(1.5, 2.0, 2.0);
+        assert!(a.intersect(&b).is_some());
+        assert!(b.intersect(&c).is_some());
+        assert!(a.intersect(&c).is_some());
+        assert!(Trr::intersect_all([a, b, c]).is_some());
+    }
+
+    proptest! {
+        /// Randomized Helly-property check (Lemma 10.1): pairwise
+        /// intersection of diamonds implies common intersection.
+        #[test]
+        fn prop_helly_property(
+            centers in proptest::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 2..8),
+            radii in proptest::collection::vec(1.0..40.0f64, 8),
+        ) {
+            let trrs: Vec<Trr> = centers
+                .iter()
+                .zip(radii.iter())
+                .map(|(&(x, y), &r)| diamond(x, y, r))
+                .collect();
+            let pairwise = (0..trrs.len()).all(|i| {
+                (i + 1..trrs.len()).all(|j| trrs[i].intersect(&trrs[j]).is_some())
+            });
+            if pairwise {
+                prop_assert!(Trr::intersect_all(trrs.iter().copied()).is_some());
+            }
+        }
+
+        /// dist(A, B) is exactly the smallest r with TRR(A, r) ∩ B != ∅.
+        #[test]
+        fn prop_distance_expansion_duality(
+            ax in -50.0..50.0f64, ay in -50.0..50.0f64, ar in 0.0..20.0f64,
+            bx in -50.0..50.0f64, by in -50.0..50.0f64, br in 0.0..20.0f64,
+        ) {
+            let a = diamond(ax, ay, ar);
+            let b = diamond(bx, by, br);
+            let d = a.dist(&b);
+            prop_assert!(a.expanded(d + 1e-9).intersect(&b).is_some());
+            if d > 1e-6 {
+                prop_assert!(a.expanded(d - 1e-6).intersect(&b).is_none());
+            }
+        }
+
+        /// The closest point really achieves the set distance.
+        #[test]
+        fn prop_closest_point_achieves_distance(
+            ax in -50.0..50.0f64, ay in -50.0..50.0f64, ar in 0.0..20.0f64,
+            px in -80.0..80.0f64, py in -80.0..80.0f64,
+        ) {
+            let a = diamond(ax, ay, ar);
+            let p = Point::new(px, py);
+            let q = a.closest_point_to(p);
+            prop_assert!(a.contains(q));
+            prop_assert!((p.dist(q) - a.dist_to_point(p)).abs() < 1e-9);
+        }
+
+        /// Distance between diamonds matches the center formula
+        /// max(0, dist(centers) - r1 - r2).
+        #[test]
+        fn prop_diamond_distance_formula(
+            ax in -50.0..50.0f64, ay in -50.0..50.0f64, ar in 0.0..20.0f64,
+            bx in -50.0..50.0f64, by in -50.0..50.0f64, br in 0.0..20.0f64,
+        ) {
+            let a = diamond(ax, ay, ar);
+            let b = diamond(bx, by, br);
+            let expect = (Point::new(ax, ay).dist(Point::new(bx, by)) - ar - br).max(0.0);
+            prop_assert!((a.dist(&b) - expect).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the LP layer.
+///
+/// Infeasibility and unboundedness of a well-formed model are *not* errors:
+/// they are reported as [`crate::Status`] values. `LpError` covers malformed
+/// input and numerical breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The model has no variables.
+    EmptyModel,
+    /// A coefficient, bound or right-hand side was NaN or infinite.
+    NonFiniteInput {
+        /// Human-readable location of the offending value.
+        what: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A constraint referenced a variable that does not belong to the model.
+    UnknownVariable {
+        /// Index of the unknown variable.
+        index: usize,
+        /// Number of variables in the model.
+        model_vars: usize,
+    },
+    /// The solver exceeded its iteration limit without converging.
+    IterationLimit {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// A factorization failed (severely ill-conditioned system).
+    NumericalBreakdown(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::EmptyModel => write!(f, "model has no variables"),
+            LpError::NonFiniteInput { what, value } => {
+                write!(f, "non-finite value {value} in {what}")
+            }
+            LpError::UnknownVariable { index, model_vars } => write!(
+                f,
+                "variable index {index} out of range for model with {model_vars} variables"
+            ),
+            LpError::IterationLimit { limit } => {
+                write!(f, "iteration limit {limit} reached without convergence")
+            }
+            LpError::NumericalBreakdown(msg) => write!(f, "numerical breakdown: {msg}"),
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(LpError::EmptyModel.to_string().contains("no variables"));
+        assert!(LpError::IterationLimit { limit: 7 }.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LpError>();
+    }
+}

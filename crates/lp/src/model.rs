@@ -1,0 +1,356 @@
+use crate::LpError;
+use std::fmt;
+
+/// Handle to a decision variable of a [`Model`].
+///
+/// `Var`s are created by [`Model::add_var`] and are only meaningful for the
+/// model that created them; using them across models is caught at solve
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// Positional index of the variable within its model (also the index of
+    /// its value in [`crate::Solution::values`]).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Cmp::Le => "<=",
+            Cmp::Ge => ">=",
+            Cmp::Eq => "==",
+        })
+    }
+}
+
+/// A sparse linear expression `sum(coef * var)`.
+///
+/// Duplicate variables are allowed and combine additively.
+///
+/// # Example
+///
+/// ```
+/// use lubt_lp::{LinExpr, Model};
+/// let mut m = Model::new();
+/// let x = m.add_var(0.0, 1.0);
+/// let y = m.add_var(0.0, 1.0);
+/// let expr = LinExpr::new().with_term(x, 2.0).with_term(y, -1.0);
+/// assert_eq!(expr.terms().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    terms: Vec<(Var, f64)>,
+}
+
+impl LinExpr {
+    /// Creates an empty expression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an expression from `(variable, coefficient)` pairs.
+    pub fn from_terms<I: IntoIterator<Item = (Var, f64)>>(terms: I) -> Self {
+        LinExpr {
+            terms: terms.into_iter().collect(),
+        }
+    }
+
+    /// Adds a term in place.
+    pub fn add_term(&mut self, var: Var, coef: f64) -> &mut Self {
+        self.terms.push((var, coef));
+        self
+    }
+
+    /// Adds a term, builder style.
+    #[must_use]
+    pub fn with_term(mut self, var: Var, coef: f64) -> Self {
+        self.terms.push((var, coef));
+        self
+    }
+
+    /// The raw `(variable, coefficient)` pairs (duplicates possible).
+    pub fn terms(&self) -> &[(Var, f64)] {
+        &self.terms
+    }
+
+    /// Evaluates the expression against a dense value vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of range for `values`.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.terms.iter().map(|&(v, c)| c * values[v.0]).sum()
+    }
+}
+
+impl FromIterator<(Var, f64)> for LinExpr {
+    fn from_iter<I: IntoIterator<Item = (Var, f64)>>(iter: I) -> Self {
+        LinExpr::from_terms(iter)
+    }
+}
+
+impl Extend<(Var, f64)> for LinExpr {
+    fn extend<I: IntoIterator<Item = (Var, f64)>>(&mut self, iter: I) {
+        self.terms.extend(iter);
+    }
+}
+
+/// One linear constraint `expr cmp rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    pub(crate) expr: LinExpr,
+    pub(crate) cmp: Cmp,
+    pub(crate) rhs: f64,
+}
+
+impl Constraint {
+    /// The left-hand-side expression.
+    pub fn expr(&self) -> &LinExpr {
+        &self.expr
+    }
+
+    /// The comparison sense.
+    pub fn cmp(&self) -> Cmp {
+        self.cmp
+    }
+
+    /// The right-hand side.
+    pub fn rhs(&self) -> f64 {
+        self.rhs
+    }
+}
+
+/// A minimization LP: `min c'x` subject to linear constraints and
+/// per-variable lower bounds.
+///
+/// All variables carry a finite lower bound (default use cases in LUBT use
+/// `0`, wire lengths being non-negative); upper bounds, when needed, are
+/// expressed as explicit constraints.
+///
+/// # Example
+///
+/// See the crate-level example.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Model {
+    pub(crate) costs: Vec<f64>,
+    pub(crate) lower: Vec<f64>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl Model {
+    /// Creates an empty minimization model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a variable with lower bound `lower` and objective coefficient
+    /// `cost`; returns its handle.
+    pub fn add_var(&mut self, lower: f64, cost: f64) -> Var {
+        self.costs.push(cost);
+        self.lower.push(lower);
+        Var(self.costs.len() - 1)
+    }
+
+    /// Adds `n` variables sharing the same lower bound and cost; returns
+    /// their handles in order.
+    pub fn add_vars(&mut self, n: usize, lower: f64, cost: f64) -> Vec<Var> {
+        (0..n).map(|_| self.add_var(lower, cost)).collect()
+    }
+
+    /// Adds the constraint `expr cmp rhs`.
+    pub fn add_constraint(&mut self, expr: LinExpr, cmp: Cmp, rhs: f64) {
+        self.constraints.push(Constraint { expr, cmp, rhs });
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The constraints in insertion order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Objective coefficient of `var`.
+    pub fn cost(&self, var: Var) -> f64 {
+        self.costs[var.0]
+    }
+
+    /// Lower bound of `var`.
+    pub fn lower_bound(&self, var: Var) -> f64 {
+        self.lower[var.0]
+    }
+
+    /// Objective value of a dense assignment.
+    pub fn objective_value(&self, values: &[f64]) -> f64 {
+        self.costs.iter().zip(values).map(|(c, x)| c * x).sum()
+    }
+
+    /// Checks that `values` satisfies every constraint and lower bound
+    /// within `eps`; returns the index of the first violated constraint (or
+    /// `usize::MAX` for a bound violation) as the error payload.
+    pub fn check_feasible(&self, values: &[f64], eps: f64) -> Result<(), usize> {
+        for (i, (x, lb)) in values.iter().zip(&self.lower).enumerate() {
+            if *x < *lb - eps {
+                let _ = i;
+                return Err(usize::MAX);
+            }
+        }
+        for (i, c) in self.constraints.iter().enumerate() {
+            let lhs = c.expr.eval(values);
+            let ok = match c.cmp {
+                Cmp::Le => lhs <= c.rhs + eps,
+                Cmp::Ge => lhs >= c.rhs - eps,
+                Cmp::Eq => (lhs - c.rhs).abs() <= eps,
+            };
+            if !ok {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the model: at least one variable, all inputs finite, all
+    /// constraint variables in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns the corresponding [`LpError`] on the first violation found.
+    pub fn validate(&self) -> Result<(), LpError> {
+        if self.costs.is_empty() {
+            return Err(LpError::EmptyModel);
+        }
+        for (i, c) in self.costs.iter().enumerate() {
+            if !c.is_finite() {
+                return Err(LpError::NonFiniteInput {
+                    what: format!("objective coefficient of x{i}"),
+                    value: *c,
+                });
+            }
+        }
+        for (i, l) in self.lower.iter().enumerate() {
+            if !l.is_finite() {
+                return Err(LpError::NonFiniteInput {
+                    what: format!("lower bound of x{i}"),
+                    value: *l,
+                });
+            }
+        }
+        for (ci, c) in self.constraints.iter().enumerate() {
+            if !c.rhs.is_finite() {
+                return Err(LpError::NonFiniteInput {
+                    what: format!("rhs of constraint {ci}"),
+                    value: c.rhs,
+                });
+            }
+            for &(v, coef) in c.expr.terms() {
+                if v.0 >= self.costs.len() {
+                    return Err(LpError::UnknownVariable {
+                        index: v.0,
+                        model_vars: self.costs.len(),
+                    });
+                }
+                if !coef.is_finite() {
+                    return Err(LpError::NonFiniteInput {
+                        what: format!("coefficient of {v} in constraint {ci}"),
+                        value: coef,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let y = m.add_var(-5.0, 2.0);
+        m.add_constraint(LinExpr::from_terms([(x, 1.0), (y, 1.0)]), Cmp::Ge, 3.0);
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constraints(), 1);
+        assert_eq!(m.cost(y), 2.0);
+        assert_eq!(m.lower_bound(y), -5.0);
+        assert_eq!(m.objective_value(&[1.0, 1.0]), 3.0);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn expr_duplicates_combine_in_eval() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let e = LinExpr::from_terms([(x, 1.0), (x, 2.0)]);
+        assert_eq!(e.eval(&[10.0]), 30.0);
+    }
+
+    #[test]
+    fn validation_catches_problems() {
+        let m = Model::new();
+        assert_eq!(m.validate(), Err(LpError::EmptyModel));
+
+        let mut m = Model::new();
+        let _ = m.add_var(0.0, f64::NAN);
+        assert!(matches!(m.validate(), Err(LpError::NonFiniteInput { .. })));
+
+        let mut m = Model::new();
+        let _x = m.add_var(0.0, 1.0);
+        m.add_constraint(LinExpr::from_terms([(Var(7), 1.0)]), Cmp::Le, 1.0);
+        assert!(matches!(m.validate(), Err(LpError::UnknownVariable { .. })));
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        m.add_constraint(LinExpr::from_terms([(x, 1.0)]), Cmp::Le, 5.0);
+        m.add_constraint(LinExpr::from_terms([(x, 1.0)]), Cmp::Ge, 2.0);
+        assert!(m.check_feasible(&[3.0], 1e-9).is_ok());
+        assert_eq!(m.check_feasible(&[6.0], 1e-9), Err(0));
+        assert_eq!(m.check_feasible(&[1.0], 1e-9), Err(1));
+        assert_eq!(m.check_feasible(&[-1.0], 1e-9), Err(usize::MAX));
+    }
+
+    #[test]
+    fn collect_into_expr() {
+        let mut m = Model::new();
+        let vars = m.add_vars(3, 0.0, 1.0);
+        let e: LinExpr = vars.iter().map(|&v| (v, 1.0)).collect();
+        assert_eq!(e.terms().len(), 3);
+        let mut e2 = LinExpr::new();
+        e2.extend(vars.iter().map(|&v| (v, 2.0)));
+        assert_eq!(e2.eval(&[1.0, 1.0, 1.0]), 6.0);
+    }
+}

@@ -1,0 +1,995 @@
+// Index-based loops are the natural idiom for the dense kernels here.
+#![allow(clippy::needless_range_loop)]
+
+use crate::linalg::SquareMatrix;
+use crate::standard::StandardForm;
+use crate::{LpError, LpSolve, Model, Solution, Status};
+
+/// Opaque warm-start token: the optimal basis of a previous solve, reusable
+/// after the model has *grown* (same variables, rows only appended — the
+/// lazy-separation pattern of the EBF).
+///
+/// Obtained from [`SimplexSolver::solve_warm`]; feeding it back turns the
+/// re-solve into a **dual simplex** run that starts from the old optimum
+/// and only repairs the newly violated rows.
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    basis: Vec<usize>,
+    num_vars: usize,
+    num_rows: usize,
+}
+
+/// Two-phase primal simplex on a dense tableau.
+///
+/// * **Phase 1** minimizes the sum of artificial variables to find a basic
+///   feasible solution (or certify infeasibility).
+/// * **Phase 2** minimizes the true objective; a costless entering column
+///   with no blocking row certifies unboundedness.
+///
+/// Pricing is Dantzig's most-negative-reduced-cost rule; after a long run of
+/// degenerate (non-improving) pivots the solver permanently switches to
+/// Bland's smallest-index rule, which guarantees termination.
+///
+/// Constraint duals are recovered exactly from the final basis by solving
+/// `B' y = c_B` with a dense LU factorization.
+///
+/// # Example
+///
+/// See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct SimplexSolver {
+    max_iterations: usize,
+    stall_limit: usize,
+}
+
+impl Default for SimplexSolver {
+    fn default() -> Self {
+        SimplexSolver {
+            max_iterations: 200_000,
+            stall_limit: 1_000,
+        }
+    }
+}
+
+impl SimplexSolver {
+    /// Creates a solver with default limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the hard pivot limit (default 200 000).
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the number of consecutive non-improving pivots tolerated before
+    /// switching to Bland's rule (default 1 000).
+    #[must_use]
+    pub fn with_stall_limit(mut self, stall_limit: usize) -> Self {
+        self.stall_limit = stall_limit;
+        self
+    }
+}
+
+const PIVOT_TOL: f64 = 1e-9;
+const COST_TOL: f64 = 1e-9;
+
+/// Dense simplex tableau: `m` constraint rows over `width` columns, the last
+/// column being the right-hand side, plus one objective (reduced-cost) row.
+pub(crate) struct Tableau {
+    pub(crate) m: usize,
+    /// Total structural + artificial columns (rhs excluded).
+    pub(crate) cols: usize,
+    pub(crate) width: usize,
+    pub(crate) rows: Vec<f64>,
+    pub(crate) obj: Vec<f64>,
+    pub(crate) basis: Vec<usize>,
+    /// Columns barred from entering (artificials in phase 2).
+    pub(crate) blocked: Vec<bool>,
+}
+
+impl Tableau {
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.rows[r * self.width + c]
+    }
+
+    pub(crate) fn rhs(&self, r: usize) -> f64 {
+        self.at(r, self.width - 1)
+    }
+
+    /// A zero-row tableau whose reduced costs are the raw objective —
+    /// the optimal tableau of an unconstrained non-negative-cost model.
+    pub(crate) fn from_costs(costs: &[f64]) -> Tableau {
+        let cols = costs.len();
+        let mut obj = costs.to_vec();
+        obj.push(0.0);
+        Tableau {
+            m: 0,
+            cols,
+            width: cols + 1,
+            rows: Vec::new(),
+            obj,
+            basis: Vec::new(),
+            blocked: vec![false; cols],
+        }
+    }
+
+    /// Single-row convenience over [`Tableau::append_rows`].
+    #[cfg(test)]
+    pub(crate) fn append_row(&mut self, raw: &[(usize, f64)], rhs: f64) {
+        self.append_rows(&[(raw.to_vec(), rhs)]);
+    }
+
+    /// Appends a batch of equality rows `raw·x + s = rhs` (each with a
+    /// fresh slack `s` carrying +1) to an optimal tableau, eliminating the
+    /// current basic variables so the tableau stays in basis coordinates.
+    /// Every new row's slack joins the basis (duals start at zero, so dual
+    /// feasibility is preserved). One re-layout covers the whole batch.
+    ///
+    /// Each `raw` holds `(structural column, coefficient)` pairs — new rows
+    /// never reference each other's slacks, so their eliminations are
+    /// independent and only run against the pre-existing basic rows.
+    pub(crate) fn append_rows(&mut self, batch: &[(Vec<(usize, f64)>, f64)]) {
+        if batch.is_empty() {
+            return;
+        }
+        let k = batch.len();
+        let old_width = self.width;
+        let old_cols = self.cols;
+        let new_cols = old_cols + k;
+        let new_width = new_cols + 1;
+
+        // Re-layout existing rows with the widened stride.
+        let mut rows = Vec::with_capacity((self.m + k) * new_width);
+        for r in 0..self.m {
+            let row = &self.rows[r * old_width..(r + 1) * old_width];
+            rows.extend_from_slice(&row[..old_cols]);
+            rows.extend(std::iter::repeat_n(0.0, k)); // new slack columns
+            rows.push(row[old_width - 1]); // rhs
+        }
+        for (i, (raw, rhs)) in batch.iter().enumerate() {
+            let mut new_row = vec![0.0; new_width];
+            for &(c, v) in raw {
+                debug_assert!(c < old_cols, "raw row references a slack column");
+                new_row[c] = v;
+            }
+            new_row[old_cols + i] = 1.0;
+            new_row[new_width - 1] = *rhs;
+            // Eliminate the pre-existing basic variables (row reduction
+            // against each basic row's unit column).
+            for r in 0..self.m {
+                let b = self.basis[r];
+                let f = new_row[b];
+                if f.abs() <= 1e-13 {
+                    continue;
+                }
+                let row = &rows[r * new_width..(r + 1) * new_width];
+                for (nv, rv) in new_row.iter_mut().zip(row) {
+                    *nv -= f * rv;
+                }
+                new_row[b] = 0.0;
+            }
+            rows.extend_from_slice(&new_row);
+        }
+
+        // Objective row: unchanged entries, zeros for the new slacks.
+        let mut obj = Vec::with_capacity(new_width);
+        obj.extend_from_slice(&self.obj[..old_cols]);
+        obj.extend(std::iter::repeat_n(0.0, k));
+        obj.push(self.obj[old_width - 1]);
+
+        self.rows = rows;
+        self.obj = obj;
+        self.cols = new_cols;
+        self.width = new_width;
+        for i in 0..k {
+            self.basis.push(old_cols + i);
+            self.blocked.push(false);
+        }
+        self.m += k;
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let w = self.width;
+        let pivot = self.at(row, col);
+        debug_assert!(pivot.abs() > PIVOT_TOL);
+        let inv = 1.0 / pivot;
+        for c in 0..w {
+            self.rows[row * w + c] *= inv;
+        }
+        // Exact unity on the pivot to avoid drift.
+        self.rows[row * w + col] = 1.0;
+        for r in 0..self.m {
+            if r == row {
+                continue;
+            }
+            let f = self.at(r, col);
+            if f.abs() <= 1e-13 {
+                continue;
+            }
+            for c in 0..w {
+                let sub = f * self.rows[row * w + c];
+                self.rows[r * w + c] -= sub;
+            }
+            self.rows[r * w + col] = 0.0;
+        }
+        let f = self.obj[col];
+        if f.abs() > 1e-13 {
+            for c in 0..w {
+                self.obj[c] -= f * self.rows[row * w + c];
+            }
+            self.obj[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Entering column under the current pricing rule, or `None` at
+    /// optimality.
+    fn choose_entering(&self, bland: bool) -> Option<usize> {
+        if bland {
+            (0..self.cols).find(|&j| !self.blocked[j] && self.obj[j] < -COST_TOL)
+        } else {
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..self.cols {
+                if self.blocked[j] {
+                    continue;
+                }
+                let r = self.obj[j];
+                if r < -COST_TOL && best.is_none_or(|(_, br)| r < br) {
+                    best = Some((j, r));
+                }
+            }
+            best.map(|(j, _)| j)
+        }
+    }
+
+    /// Leaving row by the minimum-ratio test; `None` means the column is
+    /// unblocked (unbounded direction).
+    fn choose_leaving(&self, col: usize) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for r in 0..self.m {
+            let a = self.at(r, col);
+            if a > PIVOT_TOL {
+                let ratio = self.rhs(r) / a;
+                let better = match best {
+                    None => true,
+                    Some((br, bratio)) => {
+                        ratio < bratio - 1e-12
+                            || ((ratio - bratio).abs() <= 1e-12 && self.basis[r] < self.basis[br])
+                    }
+                };
+                if better {
+                    best = Some((r, ratio));
+                }
+            }
+        }
+        best.map(|(r, _)| r)
+    }
+}
+
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+}
+
+fn run_phase(
+    t: &mut Tableau,
+    iters: &mut usize,
+    max_iterations: usize,
+    stall_limit: usize,
+) -> Result<PhaseOutcome, LpError> {
+    let mut bland = false;
+    let mut stall = 0usize;
+    let mut last_obj = f64::INFINITY;
+    loop {
+        if *iters >= max_iterations {
+            return Err(LpError::IterationLimit {
+                limit: max_iterations,
+            });
+        }
+        let Some(col) = t.choose_entering(bland) else {
+            return Ok(PhaseOutcome::Optimal);
+        };
+        let Some(row) = t.choose_leaving(col) else {
+            return Ok(PhaseOutcome::Unbounded);
+        };
+        t.pivot(row, col);
+        *iters += 1;
+        let obj = t.obj[t.width - 1];
+        if obj < last_obj - 1e-12 {
+            stall = 0;
+            last_obj = obj;
+        } else {
+            stall += 1;
+            if stall > stall_limit {
+                bland = true;
+            }
+        }
+    }
+}
+
+enum DualOutcome {
+    PrimalFeasible,
+    Infeasible,
+}
+
+/// Dual simplex: starting from a dual-feasible tableau (all reduced costs
+/// non-negative) with possibly negative basic values, pivots until the
+/// basis is primal feasible (optimal) or a row certifies infeasibility.
+fn run_dual_phase(
+    t: &mut Tableau,
+    iters: &mut usize,
+    max_iterations: usize,
+) -> Result<DualOutcome, LpError> {
+    let feas_tol = {
+        let max_rhs = (0..t.m).fold(0.0f64, |a, r| a.max(t.rhs(r).abs()));
+        1e-7 * (1.0 + max_rhs)
+    };
+    let mut bland = false;
+    let mut stall = 0usize;
+    loop {
+        if *iters >= max_iterations {
+            return Err(LpError::IterationLimit {
+                limit: max_iterations,
+            });
+        }
+        // Leaving row: most negative basic value (Bland: smallest index).
+        let mut leave: Option<(usize, f64)> = None;
+        for r in 0..t.m {
+            let v = t.rhs(r);
+            if v < -feas_tol {
+                let better = match leave {
+                    None => true,
+                    Some((lr, lv)) => {
+                        if bland {
+                            t.basis[r] < t.basis[lr]
+                        } else {
+                            v < lv
+                        }
+                    }
+                };
+                if better {
+                    leave = Some((r, v));
+                }
+            }
+        }
+        let Some((row, _)) = leave else {
+            return Ok(DualOutcome::PrimalFeasible);
+        };
+        // Entering column: dual ratio test over negative row entries.
+        let mut enter: Option<(usize, f64)> = None;
+        for j in 0..t.cols {
+            if t.blocked[j] {
+                continue;
+            }
+            let a = t.at(row, j);
+            if a < -PIVOT_TOL {
+                let ratio = t.obj[j] / (-a);
+                let better = match enter {
+                    None => true,
+                    Some((ej, er)) => {
+                        if bland {
+                            ratio < er - 1e-12 || ((ratio - er).abs() <= 1e-12 && j < ej)
+                        } else {
+                            ratio < er
+                        }
+                    }
+                };
+                if better {
+                    enter = Some((j, ratio));
+                }
+            }
+        }
+        let Some((col, _)) = enter else {
+            // Row reads `(non-negative combination) = negative`: empty
+            // feasible region.
+            return Ok(DualOutcome::Infeasible);
+        };
+        t.pivot(row, col);
+        *iters += 1;
+        stall += 1;
+        if stall > 1_000 {
+            bland = true;
+        }
+    }
+}
+
+/// Dual simplex to primal feasibility, then a primal clean-up phase; the
+/// combined re-optimization used by warm starts and incremental sessions.
+pub(crate) fn dual_then_primal(
+    t: &mut Tableau,
+    iters: &mut usize,
+    max_iterations: usize,
+) -> Result<Status, LpError> {
+    match run_dual_phase(t, iters, max_iterations)? {
+        DualOutcome::Infeasible => return Ok(Status::Infeasible),
+        DualOutcome::PrimalFeasible => {}
+    }
+    match run_phase(t, iters, max_iterations, 1_000)? {
+        PhaseOutcome::Unbounded => Ok(Status::Unbounded),
+        PhaseOutcome::Optimal => Ok(Status::Optimal),
+    }
+}
+
+impl LpSolve for SimplexSolver {
+    fn solve(&self, model: &Model) -> Result<Solution, LpError> {
+        self.solve_cold(model).map(|(s, _)| s)
+    }
+}
+
+impl SimplexSolver {
+    /// Solves, optionally starting from a previous optimal basis.
+    ///
+    /// With `warm = Some(..)` and a model that merely *appended rows* since
+    /// that basis was produced, the solver reconstructs the old basis,
+    /// seeds the new rows with their slacks, and runs the **dual simplex**
+    /// — usually a handful of pivots instead of a full two-phase solve.
+    /// Falls back to a cold solve whenever the token does not fit (changed
+    /// variables, equality rows without slacks, singular basis).
+    ///
+    /// Returns the solution together with a token for the *next* warm
+    /// start (absent when the final basis is not reusable).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`LpSolve::solve`].
+    pub fn solve_warm(
+        &self,
+        model: &Model,
+        warm: Option<&WarmStart>,
+    ) -> Result<(Solution, Option<WarmStart>), LpError> {
+        if let Some(w) = warm {
+            model.validate()?;
+            let sf = StandardForm::build(model);
+            if let Some(result) = self.try_warm(model, &sf, w)? {
+                return Ok(result);
+            }
+        }
+        self.solve_cold(model)
+    }
+
+    /// Attempts the warm path; `Ok(None)` means "fall back to cold".
+    fn try_warm(
+        &self,
+        model: &Model,
+        sf: &StandardForm,
+        warm: &WarmStart,
+    ) -> Result<Option<(Solution, Option<WarmStart>)>, LpError> {
+        if warm.num_vars != model.num_vars() || warm.num_rows > sf.m || sf.m == 0 {
+            return Ok(None);
+        }
+        // Old basis entries must reference columns that still exist with
+        // the same meaning: structural variables (stable) or slacks of the
+        // prefix rows (stable because slack columns are assigned in row
+        // order and old rows are a prefix).
+        let mut basis = warm.basis.clone();
+        if basis.len() != warm.num_rows || basis.iter().any(|&c| c >= sf.n) {
+            return Ok(None);
+        }
+        for i in warm.num_rows..sf.m {
+            let sc = sf.slack_col[i];
+            if sc == usize::MAX {
+                return Ok(None); // appended equality row: no slack to seed
+            }
+            basis.push(sc);
+        }
+
+        // Rebuild the tableau as B^{-1}[A | b] with the reduced-cost row.
+        let m = sf.m;
+        let mut bmat = SquareMatrix::zeros(m);
+        for (k, &col) in basis.iter().enumerate() {
+            for r in 0..m {
+                *bmat.at_mut(r, k) = sf.at(r, col);
+            }
+        }
+        let Some(lu) = bmat.into_lu() else {
+            return Ok(None);
+        };
+        let width = sf.n + 1;
+        let mut t = Tableau {
+            m,
+            cols: sf.n,
+            width,
+            rows: vec![0.0; m * width],
+            obj: vec![0.0; width],
+            basis: basis.clone(),
+            blocked: vec![false; sf.n],
+        };
+        let cb: Vec<f64> = basis.iter().map(|&c| sf.c[c]).collect();
+        let mut col_buf = vec![0.0; m];
+        for j in 0..sf.n {
+            for r in 0..m {
+                col_buf[r] = sf.at(r, j);
+            }
+            let x = lu.solve(&col_buf);
+            let mut red = sf.c[j];
+            for r in 0..m {
+                t.rows[r * width + j] = x[r];
+                red -= cb[r] * x[r];
+            }
+            t.obj[j] = red;
+        }
+        let xb = lu.solve(&sf.b);
+        let mut objval = 0.0;
+        for r in 0..m {
+            t.rows[r * width + width - 1] = xb[r];
+            objval += cb[r] * xb[r];
+        }
+        t.obj[width - 1] = -objval;
+
+        // Dual feasibility is structurally guaranteed (the appended rows
+        // take dual value zero), but verify numerically and clip noise.
+        let dual_tol = 1e-7 * (1.0 + sf.c.iter().fold(0.0f64, |a, &c| a.max(c.abs())));
+        for j in 0..sf.n {
+            if t.obj[j] < -dual_tol {
+                return Ok(None);
+            }
+            if t.obj[j] < 0.0 {
+                t.obj[j] = 0.0;
+            }
+        }
+
+        let mut iters = 0usize;
+        match run_dual_phase(&mut t, &mut iters, self.max_iterations)? {
+            DualOutcome::Infeasible => {
+                return Ok(Some((Solution::infeasible(model.num_vars(), iters), None)))
+            }
+            DualOutcome::PrimalFeasible => {}
+        }
+        // Re-optimize (normally zero pivots: dual pivots preserve
+        // optimality of the reduced costs).
+        match run_phase(&mut t, &mut iters, self.max_iterations, self.stall_limit)? {
+            PhaseOutcome::Unbounded => {
+                return Ok(Some((Solution::unbounded(model.num_vars(), iters), None)))
+            }
+            PhaseOutcome::Optimal => {}
+        }
+
+        let mut x_std = vec![0.0; sf.n];
+        for r in 0..m {
+            if t.basis[r] < sf.n {
+                x_std[t.basis[r]] = t.rhs(r).max(0.0);
+            }
+        }
+        let x = sf.recover(&x_std);
+        let objective = model.objective_value(&x);
+        let duals = recover_duals(sf, &t.basis).map(|y| sf.recover_duals(&y));
+        let next = WarmStart {
+            basis: t.basis.clone(),
+            num_vars: model.num_vars(),
+            num_rows: sf.m,
+        };
+        Ok(Some((
+            Solution::new(Status::Optimal, x, objective, duals, iters),
+            Some(next),
+        )))
+    }
+
+    fn solve_cold(&self, model: &Model) -> Result<(Solution, Option<WarmStart>), LpError> {
+        self.solve_full(model).map(|(s, w, _)| (s, w))
+    }
+
+    /// Like [`LpSolve::solve`], additionally handing back the final optimal
+    /// tableau for incremental growth (see [`crate::SimplexSession`]).
+    pub(crate) fn solve_keeping_tableau(
+        &self,
+        model: &Model,
+    ) -> Result<(Solution, Option<Tableau>), LpError> {
+        self.solve_full(model).map(|(s, _, t)| (s, t))
+    }
+
+    pub(crate) fn max_iterations(&self) -> usize {
+        self.max_iterations
+    }
+
+    fn solve_full(
+        &self,
+        model: &Model,
+    ) -> Result<(Solution, Option<WarmStart>, Option<Tableau>), LpError> {
+        model.validate()?;
+        let sf = StandardForm::build(model);
+        let m = sf.m;
+
+        // Constraint-free models: every variable sits at its lower bound
+        // unless a negative cost makes the LP unbounded.
+        if m == 0 {
+            if model.costs.iter().any(|&c| c < -COST_TOL) {
+                return Ok((Solution::unbounded(model.num_vars(), 0), None, None));
+            }
+            let x = sf.recover(&vec![0.0; sf.n]);
+            let obj = model.objective_value(&x);
+            return Ok((
+                Solution::new(Status::Optimal, x, obj, Some(vec![]), 0),
+                None,
+                Some(Tableau::from_costs(&sf.c)),
+            ));
+        }
+
+        // Decide per row whether its slack can seed the basis (+1 column) or
+        // an artificial is required.
+        let mut art_of_row: Vec<Option<usize>> = vec![None; m];
+        let mut n_art = 0usize;
+        for i in 0..m {
+            let sc = sf.slack_col[i];
+            let usable = sc != usize::MAX && (sf.at(i, sc) - 1.0).abs() < 1e-12;
+            if !usable {
+                art_of_row[i] = Some(sf.n + n_art);
+                n_art += 1;
+            }
+        }
+        let cols = sf.n + n_art;
+        let width = cols + 1;
+
+        let mut t = Tableau {
+            m,
+            cols,
+            width,
+            rows: vec![0.0; m * width],
+            obj: vec![0.0; width],
+            basis: vec![0; m],
+            blocked: vec![false; cols],
+        };
+        for i in 0..m {
+            for j in 0..sf.n {
+                t.rows[i * width + j] = sf.at(i, j);
+            }
+            if let Some(aj) = art_of_row[i] {
+                t.rows[i * width + aj] = 1.0;
+                t.basis[i] = aj;
+            } else {
+                t.basis[i] = sf.slack_col[i];
+            }
+            t.rows[i * width + width - 1] = sf.b[i];
+        }
+
+        let mut iters = 0usize;
+
+        // ---- Phase 1: minimize the artificial sum. ----
+        if n_art > 0 {
+            for j in sf.n..cols {
+                t.obj[j] = 1.0;
+            }
+            // Reduce against the initial (artificial) basis.
+            for i in 0..m {
+                if art_of_row[i].is_some() {
+                    for c in 0..width {
+                        t.obj[c] -= t.rows[i * width + c];
+                    }
+                }
+            }
+            match run_phase(&mut t, &mut iters, self.max_iterations, self.stall_limit)? {
+                PhaseOutcome::Optimal => {}
+                PhaseOutcome::Unbounded => {
+                    // Phase-1 objective is bounded below by 0; cannot happen.
+                    return Err(LpError::NumericalBreakdown(
+                        "phase-1 unbounded".to_string(),
+                    ));
+                }
+            }
+            let feas_tol = 1e-7 * (1.0 + sf.b.iter().cloned().fold(0.0, f64::max));
+            if -t.obj[width - 1] > feas_tol {
+                return Ok((Solution::infeasible(model.num_vars(), iters), None, None));
+            }
+            // Drive artificials out of the basis where possible (degenerate
+            // pivots); rows where no structural column remains are redundant
+            // and keep their zero-valued artificial.
+            for r in 0..m {
+                if t.basis[r] >= sf.n {
+                    if let Some(c) = (0..sf.n).find(|&c| t.at(r, c).abs() > 1e-7) {
+                        t.pivot(r, c);
+                    }
+                }
+            }
+            for j in sf.n..cols {
+                t.blocked[j] = true;
+            }
+        }
+
+        // ---- Phase 2: true objective. ----
+        t.obj.iter_mut().for_each(|v| *v = 0.0);
+        t.obj[..sf.n].copy_from_slice(&sf.c);
+        for i in 0..m {
+            let b = t.basis[i];
+            let cb = if b < sf.n { sf.c[b] } else { 0.0 };
+            if cb != 0.0 {
+                for c in 0..width {
+                    t.obj[c] -= cb * t.rows[i * width + c];
+                }
+            }
+        }
+        match run_phase(&mut t, &mut iters, self.max_iterations, self.stall_limit)? {
+            PhaseOutcome::Unbounded => {
+                Ok((Solution::unbounded(model.num_vars(), iters), None, None))
+            }
+            PhaseOutcome::Optimal => {
+                let mut x_std = vec![0.0; sf.n];
+                for r in 0..m {
+                    if t.basis[r] < sf.n {
+                        x_std[t.basis[r]] = t.rhs(r).max(0.0);
+                    }
+                }
+                let x = sf.recover(&x_std);
+                let objective = model.objective_value(&x);
+                let duals = recover_duals(&sf, &t.basis).map(|y| sf.recover_duals(&y));
+                // A basis free of artificial columns can seed a future
+                // warm start after rows are appended.
+                let warm = t
+                    .basis
+                    .iter()
+                    .all(|&c| c < sf.n)
+                    .then(|| WarmStart {
+                        basis: t.basis.clone(),
+                        num_vars: model.num_vars(),
+                        num_rows: sf.m,
+                    });
+                Ok((
+                    Solution::new(Status::Optimal, x, objective, duals, iters),
+                    warm,
+                    Some(t),
+                ))
+            }
+        }
+    }
+}
+
+/// Solves `B' y = c_B` for the duals, where `B` is the final basis matrix
+/// drawn from the *original* standard-form columns (identity columns for
+/// residual artificials).
+fn recover_duals(sf: &StandardForm, basis: &[usize]) -> Option<Vec<f64>> {
+    let m = sf.m;
+    let mut bt = SquareMatrix::zeros(m);
+    let mut cb = vec![0.0; m];
+    for (k, &col) in basis.iter().enumerate() {
+        if col < sf.n {
+            for r in 0..m {
+                *bt.at_mut(k, r) = sf.at(r, col); // B' row k = column of A
+            }
+            cb[k] = sf.c[col];
+        } else {
+            // Residual artificial of some row i: identity column e_i, cost 0.
+            // Its row index is recoverable by searching; artificials were
+            // assigned in row order during construction.
+            let art_index = col - sf.n;
+            // Count rows with artificials to find which row this one is.
+            let mut seen = 0usize;
+            let mut row_i = usize::MAX;
+            for i in 0..m {
+                let sc = sf.slack_col[i];
+                let usable = sc != usize::MAX && (sf.at(i, sc) - 1.0).abs() < 1e-12;
+                if !usable {
+                    if seen == art_index {
+                        row_i = i;
+                        break;
+                    }
+                    seen += 1;
+                }
+            }
+            if row_i == usize::MAX {
+                return None;
+            }
+            *bt.at_mut(k, row_i) = 1.0;
+            cb[k] = 0.0;
+        }
+    }
+    bt.lu_solve(cb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, LinExpr};
+
+    fn expr(terms: &[(crate::Var, f64)]) -> LinExpr {
+        LinExpr::from_terms(terms.iter().copied())
+    }
+
+    #[test]
+    fn simple_2d_optimum() {
+        // min -x - 2y s.t. x + y <= 4, y <= 2  => x=2, y=2, obj=-6
+        let mut m = Model::new();
+        let x = m.add_var(0.0, -1.0);
+        let y = m.add_var(0.0, -2.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Cmp::Le, 4.0);
+        m.add_constraint(expr(&[(y, 1.0)]), Cmp::Le, 2.0);
+        let s = SimplexSolver::new().solve(&m).unwrap();
+        assert!(s.is_optimal());
+        assert!((s.objective() + 6.0).abs() < 1e-7);
+        assert!((s.value(x) - 2.0).abs() < 1e-7);
+        assert!((s.value(y) - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ge_constraints_need_phase1() {
+        // min x + y s.t. x + y >= 5, x - y >= 1 => x=3, y=2 obj=5
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let y = m.add_var(0.0, 1.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Cmp::Ge, 5.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, -1.0)]), Cmp::Ge, 1.0);
+        let s = SimplexSolver::new().solve(&m).unwrap();
+        assert!(s.is_optimal());
+        assert!((s.objective() - 5.0).abs() < 1e-7);
+        // Optimum is the whole edge x+y=5 with x>=3; check feasibility and
+        // objective rather than a unique point.
+        assert!(m.check_feasible(s.values(), 1e-7).is_ok());
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min 2x + 3y s.t. x + y == 4, x - y == 0 => x=y=2, obj=10
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 2.0);
+        let y = m.add_var(0.0, 3.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Cmp::Eq, 4.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, -1.0)]), Cmp::Eq, 0.0);
+        let s = SimplexSolver::new().solve(&m).unwrap();
+        assert!(s.is_optimal());
+        assert!((s.objective() - 10.0).abs() < 1e-7);
+        assert!((s.value(x) - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        m.add_constraint(expr(&[(x, 1.0)]), Cmp::Ge, 5.0);
+        m.add_constraint(expr(&[(x, 1.0)]), Cmp::Le, 3.0);
+        let s = SimplexSolver::new().solve(&m).unwrap();
+        assert_eq!(s.status(), Status::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, -1.0);
+        let y = m.add_var(0.0, 0.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, -1.0)]), Cmp::Le, 1.0);
+        let s = SimplexSolver::new().solve(&m).unwrap();
+        assert_eq!(s.status(), Status::Unbounded);
+    }
+
+    #[test]
+    fn no_constraints_sits_at_lower_bounds() {
+        let mut m = Model::new();
+        let x = m.add_var(2.0, 1.0);
+        let y = m.add_var(-1.0, 3.0);
+        let s = SimplexSolver::new().solve(&m).unwrap();
+        assert!(s.is_optimal());
+        assert_eq!(s.value(x), 2.0);
+        assert_eq!(s.value(y), -1.0);
+        assert!((s.objective() - (2.0 - 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_constraints_unbounded_with_negative_cost() {
+        let mut m = Model::new();
+        let _x = m.add_var(0.0, -1.0);
+        let s = SimplexSolver::new().solve(&m).unwrap();
+        assert_eq!(s.status(), Status::Unbounded);
+    }
+
+    #[test]
+    fn shifted_lower_bounds() {
+        // min x s.t. x >= -3 with lb(x) = -5 => x = -3.
+        let mut m = Model::new();
+        let x = m.add_var(-5.0, 1.0);
+        m.add_constraint(expr(&[(x, 1.0)]), Cmp::Ge, -3.0);
+        let s = SimplexSolver::new().solve(&m).unwrap();
+        assert!((s.value(x) + 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality() {
+        // min x + 2y s.t. x + y >= 3 (dual y1), x <= 2 (dual y2)
+        // Optimum x=2, y=1, obj=4. Duals: y1=2 (from y column), x column:
+        // y1 + y2 = 1 -> y2 = -1.
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let y = m.add_var(0.0, 2.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Cmp::Ge, 3.0);
+        m.add_constraint(expr(&[(x, 1.0)]), Cmp::Le, 2.0);
+        let s = SimplexSolver::new().solve(&m).unwrap();
+        assert!((s.objective() - 4.0).abs() < 1e-7);
+        let duals = s.duals().expect("simplex provides duals");
+        // Strong duality: b'y == optimal objective.
+        let dual_obj = 3.0 * duals[0] + 2.0 * duals[1];
+        assert!((dual_obj - s.objective()).abs() < 1e-6, "duals {duals:?}");
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Highly degenerate: many redundant constraints through the origin.
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let y = m.add_var(0.0, 1.0);
+        for k in 1..20 {
+            m.add_constraint(expr(&[(x, 1.0), (y, k as f64)]), Cmp::Ge, 0.0);
+        }
+        m.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Cmp::Ge, 1.0);
+        let s = SimplexSolver::new().solve(&m).unwrap();
+        assert!(s.is_optimal());
+        assert!((s.objective() - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn redundant_equalities_are_handled() {
+        // Duplicate equality rows leave a residual artificial in the basis.
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let y = m.add_var(0.0, 1.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Cmp::Eq, 2.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Cmp::Eq, 2.0);
+        let s = SimplexSolver::new().solve(&m).unwrap();
+        assert!(s.is_optimal());
+        assert!((s.objective() - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn tableau_from_costs_is_dual_feasible() {
+        let t = Tableau::from_costs(&[1.0, 2.5, 0.0]);
+        assert_eq!(t.m, 0);
+        assert_eq!(t.cols, 3);
+        assert!(t.obj[..3].iter().all(|&c| c >= 0.0));
+        assert_eq!(t.obj[t.width - 1], 0.0);
+    }
+
+    #[test]
+    fn append_then_dual_phase_reaches_the_constrained_optimum() {
+        // min x + 2y starting unconstrained (optimum 0), then append
+        // -x - y + s = -3  (i.e. x + y >= 3): dual simplex must land on
+        // x = 3, y = 0.
+        let mut t = Tableau::from_costs(&[1.0, 2.0]);
+        t.append_row(&[(0, -1.0), (1, -1.0)], -3.0);
+        assert_eq!(t.m, 1);
+        assert!(t.rhs(0) < 0.0, "appended row starts primal infeasible");
+        let mut iters = 0;
+        let status = dual_then_primal(&mut t, &mut iters, 1000).unwrap();
+        assert_eq!(status, Status::Optimal);
+        // Basis holds x (column 0) at value 3.
+        assert_eq!(t.basis, vec![0]);
+        assert!((t.rhs(0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_append_matches_sequential() {
+        let mk = || Tableau::from_costs(&[1.0, 1.0, 1.0]);
+        let rows: Vec<(Vec<(usize, f64)>, f64)> = vec![
+            (vec![(0, -1.0), (1, -1.0)], -4.0),
+            (vec![(1, -1.0), (2, -1.0)], -5.0),
+        ];
+        let mut batched = mk();
+        batched.append_rows(&rows);
+        let mut seq = mk();
+        for (raw, rhs) in &rows {
+            seq.append_row(raw, *rhs);
+        }
+        let mut it_b = 0;
+        let mut it_s = 0;
+        let st_b = dual_then_primal(&mut batched, &mut it_b, 1000).unwrap();
+        let st_s = dual_then_primal(&mut seq, &mut it_s, 1000).unwrap();
+        assert_eq!(st_b, Status::Optimal);
+        assert_eq!(st_s, Status::Optimal);
+        // Same optimal objective (the obj row's rhs is -objective).
+        assert!(
+            (batched.obj[batched.width - 1] - seq.obj[seq.width - 1]).abs() < 1e-9,
+            "batched {} vs sequential {}",
+            batched.obj[batched.width - 1],
+            seq.obj[seq.width - 1]
+        );
+    }
+
+    #[test]
+    fn dual_phase_detects_empty_region() {
+        // x >= 2 and x <= 1 via appended rows on a cost-1 variable.
+        let mut t = Tableau::from_costs(&[1.0]);
+        t.append_rows(&[
+            (vec![(0, -1.0)], -2.0), // x >= 2
+            (vec![(0, 1.0)], 1.0),   // x <= 1
+        ]);
+        let mut iters = 0;
+        let status = dual_then_primal(&mut t, &mut iters, 1000).unwrap();
+        assert_eq!(status, Status::Infeasible);
+    }
+}

@@ -1,0 +1,123 @@
+use crate::builder::ClusterId;
+use crate::{MergeTreeBuilder, SourceMode, Topology};
+use lubt_geom::Point;
+
+/// Balanced recursive-bisection topology generation
+/// (Jackson-Srinivasan-Kuh DAC'90 "means and medians" family).
+///
+/// The sink set is split at the median of its wider spread dimension
+/// (x or y), each half is partitioned recursively, and the two halves merge
+/// under a Steiner point. The result is a balanced full binary tree whose
+/// subtrees are geometrically contiguous — the classic H-tree-like global
+/// structure.
+///
+/// # Panics
+///
+/// Panics when `sinks` is empty.
+///
+/// # Example
+///
+/// ```
+/// use lubt_geom::Point;
+/// use lubt_topology::{bipartition_topology, SourceMode};
+/// let sinks: Vec<Point> = (0..4).map(|i| Point::new(f64::from(i), 0.0)).collect();
+/// let t = bipartition_topology(&sinks, SourceMode::Free);
+/// // Left pair {0,1} and right pair {2,3} form the two halves.
+/// assert_eq!(t.parent(t.sink_node(0)), t.parent(t.sink_node(1)));
+/// assert_eq!(t.parent(t.sink_node(2)), t.parent(t.sink_node(3)));
+/// ```
+pub fn bipartition_topology(sinks: &[Point], mode: SourceMode) -> Topology {
+    assert!(!sinks.is_empty(), "need at least one sink");
+    let m = sinks.len();
+    let mut b = MergeTreeBuilder::new(m);
+    let mut indices: Vec<usize> = (0..m).collect();
+    let top = partition(&mut b, sinks, &mut indices);
+    b.finish(top, mode).expect("bisection covers every sink once")
+}
+
+fn partition(b: &mut MergeTreeBuilder, sinks: &[Point], idx: &mut [usize]) -> ClusterId {
+    if idx.len() == 1 {
+        return b.sink(idx[0]);
+    }
+    // Split along the dimension with the larger spread.
+    let (min_x, max_x) = idx
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &i| {
+            (lo.min(sinks[i].x), hi.max(sinks[i].x))
+        });
+    let (min_y, max_y) = idx
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &i| {
+            (lo.min(sinks[i].y), hi.max(sinks[i].y))
+        });
+    if max_x - min_x >= max_y - min_y {
+        idx.sort_by(|&a, &b| {
+            (sinks[a].x, sinks[a].y)
+                .partial_cmp(&(sinks[b].x, sinks[b].y))
+                .expect("finite coordinates")
+        });
+    } else {
+        idx.sort_by(|&a, &b| {
+            (sinks[a].y, sinks[a].x)
+                .partial_cmp(&(sinks[b].y, sinks[b].x))
+                .expect("finite coordinates")
+        });
+    }
+    let mid = idx.len() / 2;
+    let (left, right) = idx.split_at_mut(mid);
+    let l = partition(b, sinks, left);
+    let r = partition(b, sinks, right);
+    b.merge(l, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_contiguously_partitioned() {
+        let sinks: Vec<Point> = (0..16)
+            .map(|i| Point::new(f64::from(i % 4) * 10.0, f64::from(i / 4) * 10.0))
+            .collect();
+        let t = bipartition_topology(&sinks, SourceMode::Given);
+        assert!(t.is_binary(SourceMode::Given));
+        assert!(t.all_sinks_are_leaves());
+        for s in t.sinks() {
+            assert_eq!(t.depth(s), 5); // source -> 4 levels of bisection
+        }
+    }
+
+    #[test]
+    fn odd_sizes_and_duplicates() {
+        let sinks = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 1.0),
+            Point::new(9.0, 9.0),
+            Point::new(2.0, 8.0),
+        ];
+        let t = bipartition_topology(&sinks, SourceMode::Free);
+        assert_eq!(t.num_sinks(), 5);
+        assert!(t.is_binary(SourceMode::Free));
+    }
+
+    #[test]
+    fn single_sink() {
+        let t = bipartition_topology(&[Point::new(1.0, 2.0)], SourceMode::Given);
+        assert_eq!(t.num_nodes(), 2);
+    }
+
+    #[test]
+    fn splits_wider_dimension_first() {
+        // Much wider in y: the first split separates bottom from top.
+        let sinks = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 100.0),
+            Point::new(1.0, 100.0),
+        ];
+        let t = bipartition_topology(&sinks, SourceMode::Free);
+        assert_eq!(t.parent(t.sink_node(0)), t.parent(t.sink_node(1)));
+        assert_eq!(t.parent(t.sink_node(2)), t.parent(t.sink_node(3)));
+    }
+}

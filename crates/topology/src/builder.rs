@@ -1,0 +1,249 @@
+use crate::{NodeId, SourceMode, Topology, TopologyError};
+
+/// Handle to a cluster (a sink or a previously merged subtree) inside a
+/// [`MergeTreeBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClusterId(usize);
+
+impl ClusterId {
+    /// Dense handle index: sinks occupy `0..num_sinks`, merge clusters
+    /// follow in creation order. Useful for algorithms carrying per-cluster
+    /// side tables (edge lengths, merge regions).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Bottom-up constructor of full binary merge-tree topologies.
+///
+/// Every topology generator in this crate works the same way: start from
+/// the `m` sinks as singleton clusters, repeatedly [`MergeTreeBuilder::merge`]
+/// two clusters under a fresh Steiner point, and [`MergeTreeBuilder::finish`]
+/// with the final cluster. The builder then assigns the paper's node
+/// numbering (root 0, sinks `1..=m`, Steiner `m+1..`) and produces a
+/// validated [`Topology`].
+///
+/// # Example
+///
+/// ```
+/// use lubt_topology::{MergeTreeBuilder, SourceMode};
+/// let mut b = MergeTreeBuilder::new(3);
+/// let s01 = b.merge(b.sink(0), b.sink(1));
+/// let top = b.merge(s01, b.sink(2));
+/// let topo = b.finish(top, SourceMode::Given)?;
+/// assert_eq!(topo.num_sinks(), 3);
+/// assert!(topo.is_binary(SourceMode::Given));
+/// # Ok::<(), lubt_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MergeTreeBuilder {
+    num_sinks: usize,
+    /// Children of each merge node, indexed by `cluster - num_sinks`.
+    merges: Vec<(usize, usize)>,
+}
+
+impl MergeTreeBuilder {
+    /// Starts a builder over `num_sinks` sinks (indexed `0..num_sinks`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_sinks == 0`.
+    pub fn new(num_sinks: usize) -> Self {
+        assert!(num_sinks > 0, "a merge tree needs at least one sink");
+        MergeTreeBuilder {
+            num_sinks,
+            merges: Vec::new(),
+        }
+    }
+
+    /// Handle for sink `index` (0-based; sink `index` becomes node
+    /// `index + 1` of the finished topology).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= num_sinks`.
+    pub fn sink(&self, index: usize) -> ClusterId {
+        assert!(index < self.num_sinks, "sink index out of range");
+        ClusterId(index)
+    }
+
+    /// Merges two clusters under a fresh Steiner point and returns its
+    /// handle.
+    pub fn merge(&mut self, a: ClusterId, b: ClusterId) -> ClusterId {
+        self.merges.push((a.0, b.0));
+        ClusterId(self.num_sinks + self.merges.len() - 1)
+    }
+
+    /// Finalizes the tree with `top` as the last remaining cluster.
+    ///
+    /// With [`SourceMode::Given`] a dedicated source node 0 is added above
+    /// `top`; with [`SourceMode::Free`] the top merge point itself becomes
+    /// node 0 (the paper's source-free normal form, root of degree two).
+    /// A single-sink tree is always finished in `Given` shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NotATree`] when `top` does not contain every
+    /// sink exactly once (some sink unmerged, or a cluster reused).
+    pub fn finish(self, top: ClusterId, mode: SourceMode) -> Result<Topology, TopologyError> {
+        self.finish_with_map(top, mode).map(|(t, _)| t)
+    }
+
+    /// Like [`MergeTreeBuilder::finish`], but also returns the mapping from
+    /// every cluster handle to its node in the finished topology (`None`
+    /// for clusters not under `top`). Needed by algorithms that carry
+    /// per-cluster data (edge lengths, merge regions) into the tree.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MergeTreeBuilder::finish`].
+    pub fn finish_with_map(
+        self,
+        top: ClusterId,
+        mode: SourceMode,
+    ) -> Result<(Topology, Vec<Option<NodeId>>), TopologyError> {
+        let m = self.num_sinks;
+        let n_merge = self.merges.len();
+        let total_clusters = m + n_merge;
+        if top.0 >= total_clusters {
+            return Err(TopologyError::NotATree);
+        }
+
+        // Check coverage: descending from `top` must visit every cluster at
+        // most once and every sink exactly once.
+        let mut visited = vec![false; total_clusters];
+        let mut stack = vec![top.0];
+        let mut sink_count = 0usize;
+        while let Some(c) = stack.pop() {
+            if visited[c] {
+                return Err(TopologyError::NotATree);
+            }
+            visited[c] = true;
+            if c < m {
+                sink_count += 1;
+            } else {
+                let (a, b) = self.merges[c - m];
+                stack.push(a);
+                stack.push(b);
+            }
+        }
+        if sink_count != m {
+            return Err(TopologyError::NotATree);
+        }
+
+        // Assign final NodeIds. Sinks: cluster i -> node i+1. Merge
+        // clusters: `top` becomes node 0 in Free mode, the rest take
+        // m+1.. in construction order.
+        let free_top = mode == SourceMode::Free && top.0 >= m;
+        let mut node_of = vec![usize::MAX; total_clusters];
+        for (i, slot) in node_of.iter_mut().enumerate().take(m) {
+            *slot = i + 1;
+        }
+        let mut next = m + 1;
+        for (c, slot) in node_of.iter_mut().enumerate().skip(m) {
+            if !visited[c] {
+                continue;
+            }
+            if free_top && c == top.0 {
+                *slot = 0;
+            } else {
+                *slot = next;
+                next += 1;
+            }
+        }
+
+        let num_nodes = next;
+        let mut parents = vec![0usize; num_nodes];
+        for c in m..total_clusters {
+            if !visited[c] {
+                continue;
+            }
+            let (a, b) = self.merges[c - m];
+            parents[node_of[a]] = node_of[c];
+            parents[node_of[b]] = node_of[c];
+        }
+        if !free_top {
+            // Dedicated source above the top cluster (also the single-sink
+            // degenerate case where `top` is a sink).
+            parents[node_of[top.0]] = 0;
+        }
+        let map = node_of
+            .iter()
+            .map(|&v| (v != usize::MAX).then_some(NodeId(v)))
+            .collect();
+        Topology::from_parents(m, &parents).map(|t| (t, map))
+    }
+}
+
+impl Topology {
+    /// Convenience: the node of sink `index` (0-based input ordering).
+    pub fn sink_node(&self, index: usize) -> NodeId {
+        debug_assert!(index < self.num_sinks());
+        NodeId(index + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_four_sink_tree() {
+        let mut b = MergeTreeBuilder::new(4);
+        let l = b.merge(b.sink(0), b.sink(1));
+        let r = b.merge(b.sink(2), b.sink(3));
+        let top = b.merge(l, r);
+
+        let given = b.clone().finish(top, SourceMode::Given).unwrap();
+        assert_eq!(given.num_nodes(), 8); // source + 4 sinks + 3 steiner
+        assert!(given.is_binary(SourceMode::Given));
+        assert!(given.all_sinks_are_leaves());
+
+        let free = b.finish(top, SourceMode::Free).unwrap();
+        assert_eq!(free.num_nodes(), 7); // top merge point is the root
+        assert!(free.is_binary(SourceMode::Free));
+    }
+
+    #[test]
+    fn single_sink() {
+        let b = MergeTreeBuilder::new(1);
+        let t = b.clone().finish(b.sink(0), SourceMode::Given).unwrap();
+        assert_eq!(t.num_nodes(), 2);
+        assert_eq!(t.parent(NodeId(1)), Some(NodeId(0)));
+        // Free mode degenerates to Given for a bare sink.
+        let b = MergeTreeBuilder::new(1);
+        let t = b.clone().finish(b.sink(0), SourceMode::Free).unwrap();
+        assert_eq!(t.num_nodes(), 2);
+    }
+
+    #[test]
+    fn skewed_tree() {
+        let mut b = MergeTreeBuilder::new(3);
+        let c = b.merge(b.sink(2), b.sink(1));
+        let top = b.merge(c, b.sink(0));
+        let t = b.finish(top, SourceMode::Free).unwrap();
+        assert_eq!(t.num_nodes(), 5);
+        // Sinks keep their identity: sink 2 is node 3.
+        assert_eq!(t.sink_node(2), NodeId(3));
+        assert!(t.is_leaf(NodeId(3)));
+    }
+
+    #[test]
+    fn incomplete_or_reused_clusters_rejected() {
+        // Sink 2 never merged.
+        let mut b = MergeTreeBuilder::new(3);
+        let top = b.merge(b.sink(0), b.sink(1));
+        assert!(b.finish(top, SourceMode::Given).is_err());
+
+        // Sink 0 used twice.
+        let mut b = MergeTreeBuilder::new(2);
+        let top = b.merge(b.sink(0), b.sink(0));
+        assert!(b.finish(top, SourceMode::Given).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sink")]
+    fn zero_sinks_panics() {
+        let _ = MergeTreeBuilder::new(0);
+    }
+}

@@ -1,0 +1,59 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or transforming topologies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A parent index referenced a node outside the tree.
+    ParentOutOfRange {
+        /// The child node.
+        node: usize,
+        /// Its (invalid) parent index.
+        parent: usize,
+        /// Total node count.
+        nodes: usize,
+    },
+    /// The parent relation contains a cycle or disconnected component.
+    NotATree,
+    /// The root (node 0) was given a parent.
+    RootHasParent,
+    /// More sinks were declared than nodes exist.
+    TooManySinks {
+        /// Declared sink count.
+        sinks: usize,
+        /// Total node count.
+        nodes: usize,
+    },
+    /// Fewer than one sink.
+    NoSinks,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::ParentOutOfRange { node, parent, nodes } => write!(
+                f,
+                "node {node} has parent {parent}, out of range for {nodes} nodes"
+            ),
+            TopologyError::NotATree => write!(f, "parent relation is not a rooted tree"),
+            TopologyError::RootHasParent => write!(f, "root node 0 must not have a parent"),
+            TopologyError::TooManySinks { sinks, nodes } => {
+                write!(f, "{sinks} sinks declared but only {nodes} nodes exist")
+            }
+            TopologyError::NoSinks => write!(f, "a topology needs at least one sink"),
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_render() {
+        assert!(TopologyError::NotATree.to_string().contains("tree"));
+        assert!(TopologyError::NoSinks.to_string().contains("sink"));
+    }
+}

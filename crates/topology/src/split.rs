@@ -1,0 +1,146 @@
+use crate::{NodeId, SourceMode, Topology, TopologyError};
+
+/// Result of [`split_degree_four`]: the binarized topology plus the list of
+/// edges whose length must be *fixed to zero* in the EBF (the paper sets the
+/// splitting edge's length to 0 so the transformation cannot change the
+/// optimum).
+#[derive(Debug, Clone)]
+pub struct SplitResult {
+    /// The transformed topology (every Steiner point of degree 3).
+    pub topology: Topology,
+    /// Edge identifiers (child nodes) of the inserted zero-length edges.
+    pub zero_edges: Vec<NodeId>,
+}
+
+/// §3 normalization: splits Steiner points of degree 4 (or more) so that
+/// every Steiner point has exactly one parent and two children, inserting
+/// zero-length edges between the split halves.
+///
+/// Sinks keep their node numbers; new Steiner points are appended after the
+/// existing nodes. A root with too many children (more than 1 for
+/// [`SourceMode::Given`], more than 2 for [`SourceMode::Free`]) is
+/// normalized the same way.
+///
+/// # Errors
+///
+/// Propagates [`TopologyError`] if the rebuilt parent array is somehow
+/// invalid (cannot happen for valid inputs).
+///
+/// # Example
+///
+/// ```
+/// use lubt_topology::{split_degree_four, SourceMode, Topology};
+/// // A Steiner point (node 4) with three children: degree 4.
+/// let t = Topology::from_parents(3, &[0, 4, 4, 4, 0])?;
+/// let r = split_degree_four(&t, SourceMode::Given)?;
+/// assert!(r.topology.is_binary(SourceMode::Given));
+/// assert_eq!(r.zero_edges.len(), 1);
+/// # Ok::<(), lubt_topology::TopologyError>(())
+/// ```
+pub fn split_degree_four(
+    topo: &Topology,
+    mode: SourceMode,
+) -> Result<SplitResult, TopologyError> {
+    let n = topo.num_nodes();
+    // Work on a mutable children representation; `usize::MAX` marks no
+    // parent.
+    let mut parents: Vec<usize> = (0..n)
+        .map(|i| topo.parent(NodeId(i)).map_or(0, NodeId::index))
+        .collect();
+    let mut children: Vec<Vec<usize>> = (0..n)
+        .map(|i| topo.children(NodeId(i)).map(NodeId::index).collect())
+        .collect();
+    let mut zero_edges = Vec::new();
+
+    let root_cap = match mode {
+        SourceMode::Given => 1,
+        SourceMode::Free => 2,
+    };
+
+    // Process every node; appending new nodes extends the loop naturally.
+    let mut v = 0;
+    while v < children.len() {
+        let cap = if v == 0 { root_cap } else { 2 };
+        while children[v].len() > cap {
+            // Detach the last two children and hang them under a fresh
+            // Steiner point joined to `v` by a zero-length edge — exactly
+            // the S -> (S1, S2) split of Figure 2, iterated for higher
+            // degrees.
+            let c2 = children[v].pop().expect("len > cap >= 1");
+            let c1 = children[v].pop().expect("len > cap >= 1");
+            let fresh = children.len();
+            children.push(vec![c1, c2]);
+            parents.push(v);
+            parents[c1] = fresh;
+            parents[c2] = fresh;
+            children[v].push(fresh);
+            zero_edges.push(NodeId(fresh));
+        }
+        v += 1;
+    }
+
+    let topology = Topology::from_parents(topo.num_sinks(), &parents)?;
+    Ok(SplitResult {
+        topology,
+        zero_edges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_four_steiner_is_split_once() {
+        // Root -> S4 -> {s1, s2, s3}.
+        let t = Topology::from_parents(3, &[0, 4, 4, 4, 0]).unwrap();
+        let r = split_degree_four(&t, SourceMode::Given).unwrap();
+        assert!(r.topology.is_binary(SourceMode::Given));
+        assert_eq!(r.zero_edges.len(), 1);
+        assert_eq!(r.topology.num_nodes(), t.num_nodes() + 1);
+        assert!(r.topology.all_sinks_are_leaves());
+        // Sinks keep their numbering.
+        for s in 1..=3 {
+            assert!(r.topology.is_sink(NodeId(s)));
+        }
+    }
+
+    #[test]
+    fn star_of_many_children() {
+        // Root directly over 5 sinks (degree 5 root, Given mode).
+        let t = Topology::from_parents(5, &[0, 0, 0, 0, 0, 0]).unwrap();
+        let r = split_degree_four(&t, SourceMode::Given).unwrap();
+        assert!(r.topology.is_binary(SourceMode::Given));
+        // 5 -> 1 children requires 4 fresh Steiner points.
+        assert_eq!(r.zero_edges.len(), 4);
+    }
+
+    #[test]
+    fn already_binary_is_untouched() {
+        let t = Topology::from_parents(2, &[0, 3, 3, 0]).unwrap();
+        let r = split_degree_four(&t, SourceMode::Given).unwrap();
+        assert_eq!(r.topology.num_nodes(), t.num_nodes());
+        assert!(r.zero_edges.is_empty());
+    }
+
+    #[test]
+    fn free_mode_keeps_two_root_children() {
+        // Root with 3 children in source-free mode: one split.
+        let t = Topology::from_parents(3, &[0, 0, 0, 0]).unwrap();
+        let r = split_degree_four(&t, SourceMode::Free).unwrap();
+        assert!(r.topology.is_binary(SourceMode::Free));
+        assert_eq!(r.zero_edges.len(), 1);
+    }
+
+    #[test]
+    fn deep_cascade() {
+        // Degree-6 Steiner point: needs a chain of splits.
+        let t = Topology::from_parents(5, &[0, 6, 6, 6, 6, 6, 0]).unwrap();
+        let r = split_degree_four(&t, SourceMode::Given).unwrap();
+        assert!(r.topology.is_binary(SourceMode::Given));
+        assert_eq!(r.zero_edges.len(), 3);
+        // Every sink still reachable, still a leaf.
+        assert!(r.topology.all_sinks_are_leaves());
+        assert_eq!(r.topology.sinks_under(NodeId(0)).len(), 5);
+    }
+}

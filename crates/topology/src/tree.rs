@@ -1,0 +1,464 @@
+use crate::TopologyError;
+use std::fmt;
+
+/// Identifier of a node of a [`Topology`].
+///
+/// Following the paper's convention, node `0` is the root/source `s0`,
+/// nodes `1..=m` are the sinks `s1..sm`, and nodes `m+1..` are Steiner
+/// points. Because every non-root node `s_i` owns exactly one edge `e_i`
+/// (the edge to its parent), `NodeId` doubles as the *edge identifier*:
+/// edge `i` is the edge above node `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The root/source node `s0`.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Positional index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Whether the source location participates in the problem.
+///
+/// The paper distinguishes trees whose source position is *given*
+/// (`radius = dist(source, farthest sink)`, root has one child) from trees
+/// whose source is *free* (`radius = diameter / 2`, root is itself the top
+/// merge point with two children).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceMode {
+    /// The source location is part of the input; node 0 carries it and has a
+    /// single child.
+    Given,
+    /// The source location is to be chosen by the embedding; node 0 is the
+    /// top merge point (two children).
+    Free,
+}
+
+/// An immutable rooted tree topology over source, sinks and Steiner points.
+///
+/// Invariants enforced at construction:
+///
+/// * node 0 is the root and has no parent;
+/// * every other node has exactly one parent and the relation is acyclic
+///   and connected (a tree);
+/// * there is at least one sink.
+///
+/// *Not* enforced (checked by [`Topology::all_sinks_are_leaves`] because the
+/// paper discusses both cases): sinks being leaves. Lemma 3.1 guarantees
+/// LUBT feasibility only when they are.
+///
+/// # Example
+///
+/// ```
+/// use lubt_topology::{NodeId, Topology};
+/// // s0 -> s3 -> {s1, s2}: one Steiner point over two sinks.
+/// let t = Topology::from_parents(2, &[0, 3, 3, 0])?;
+/// assert_eq!(t.num_nodes(), 4);
+/// assert_eq!(t.parent(NodeId(1)), Some(NodeId(3)));
+/// assert_eq!(t.lca(NodeId(1), NodeId(2)), NodeId(3));
+/// # Ok::<(), lubt_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    num_sinks: usize,
+    parent: Vec<usize>, // parent[0] unused
+    children: Vec<Vec<usize>>,
+    depth: Vec<usize>,
+    /// Binary-lifting ancestor table: `up[k][v]` = 2^k-th ancestor of `v`.
+    up: Vec<Vec<usize>>,
+    postorder: Vec<usize>,
+}
+
+impl Topology {
+    /// Builds a topology from a parent array.
+    ///
+    /// `parents[i]` is the parent of node `i` for `i >= 1`; `parents[0]` is
+    /// ignored. `num_sinks` declares nodes `1..=num_sinks` as sinks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TopologyError`] when the parent relation is not a rooted
+    /// tree, references out-of-range nodes, or the sink count is invalid.
+    pub fn from_parents(num_sinks: usize, parents: &[usize]) -> Result<Self, TopologyError> {
+        let n = parents.len();
+        if num_sinks == 0 {
+            return Err(TopologyError::NoSinks);
+        }
+        if num_sinks >= n {
+            return Err(TopologyError::TooManySinks {
+                sinks: num_sinks,
+                nodes: n,
+            });
+        }
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, &p) in parents.iter().enumerate().skip(1) {
+            if p >= n {
+                return Err(TopologyError::ParentOutOfRange {
+                    node: i,
+                    parent: p,
+                    nodes: n,
+                });
+            }
+            if p == i {
+                return Err(TopologyError::NotATree);
+            }
+            children[p].push(i);
+        }
+
+        // BFS from the root: all nodes must be reached exactly once.
+        let mut depth = vec![usize::MAX; n];
+        depth[0] = 0;
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        let mut seen = 1usize;
+        let mut postorder = Vec::with_capacity(n);
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &c in &children[v] {
+                if depth[c] != usize::MAX {
+                    return Err(TopologyError::NotATree);
+                }
+                depth[c] = depth[v] + 1;
+                seen += 1;
+                queue.push_back(c);
+            }
+        }
+        if seen != n {
+            return Err(TopologyError::NotATree);
+        }
+        // Postorder = reverse BFS order works for "children before parent"
+        // only if BFS layers are monotone, which they are: any node appears
+        // after its parent in `order`, so the reverse visits children first.
+        postorder.extend(order.iter().rev().copied());
+
+        // Binary lifting table.
+        let levels = (usize::BITS - n.leading_zeros()) as usize;
+        let mut up = vec![vec![0usize; n]; levels.max(1)];
+        up[0][1..n].copy_from_slice(&parents[1..n]);
+        up[0][0] = 0;
+        for k in 1..up.len() {
+            for v in 0..n {
+                up[k][v] = up[k - 1][up[k - 1][v]];
+            }
+        }
+
+        let mut parent = parents.to_vec();
+        parent[0] = usize::MAX;
+        Ok(Topology {
+            num_sinks,
+            parent,
+            children,
+            depth,
+            up,
+            postorder,
+        })
+    }
+
+    /// Total node count (source + sinks + Steiner points).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Number of sinks `m`.
+    #[inline]
+    pub fn num_sinks(&self) -> usize {
+        self.num_sinks
+    }
+
+    /// Number of Steiner points.
+    #[inline]
+    pub fn num_steiner(&self) -> usize {
+        self.num_nodes() - self.num_sinks - 1
+    }
+
+    /// Number of edges (`num_nodes - 1`); edge `i` sits above node `i`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_nodes() - 1
+    }
+
+    /// The root node `s0`.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId::ROOT
+    }
+
+    /// `true` for nodes `1..=m`.
+    #[inline]
+    pub fn is_sink(&self, v: NodeId) -> bool {
+        (1..=self.num_sinks).contains(&v.0)
+    }
+
+    /// `true` for Steiner nodes (`m+1..`).
+    #[inline]
+    pub fn is_steiner(&self, v: NodeId) -> bool {
+        v.0 > self.num_sinks
+    }
+
+    /// Parent of `v`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        (v.0 != 0).then(|| NodeId(self.parent[v.0]))
+    }
+
+    /// Children of `v`, in insertion order.
+    #[inline]
+    pub fn children(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children[v.0].iter().map(|&c| NodeId(c))
+    }
+
+    /// Number of children of `v`.
+    #[inline]
+    pub fn num_children(&self, v: NodeId) -> usize {
+        self.children[v.0].len()
+    }
+
+    /// `true` when `v` has no children.
+    #[inline]
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        self.children[v.0].is_empty()
+    }
+
+    /// Depth of `v` (root has depth 0).
+    #[inline]
+    pub fn depth(&self, v: NodeId) -> usize {
+        self.depth[v.0]
+    }
+
+    /// All sink nodes `1..=m`.
+    pub fn sinks(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (1..=self.num_sinks).map(NodeId)
+    }
+
+    /// All nodes in an order where every child precedes its parent.
+    pub fn postorder(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.postorder.iter().map(|&v| NodeId(v))
+    }
+
+    /// All nodes in an order where every parent precedes its children.
+    pub fn preorder(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.postorder.iter().rev().map(|&v| NodeId(v))
+    }
+
+    /// All edges as `(child, parent)` pairs; the edge's identifier is the
+    /// child's `NodeId`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (1..self.num_nodes()).map(|i| (NodeId(i), NodeId(self.parent[i])))
+    }
+
+    /// Lowest common ancestor of `a` and `b` in O(log n).
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let (mut a, mut b) = (a.0, b.0);
+        if self.depth[a] < self.depth[b] {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let mut diff = self.depth[a] - self.depth[b];
+        let mut k = 0;
+        while diff > 0 {
+            if diff & 1 == 1 {
+                a = self.up[k][a];
+            }
+            diff >>= 1;
+            k += 1;
+        }
+        if a == b {
+            return NodeId(a);
+        }
+        for k in (0..self.up.len()).rev() {
+            if self.up[k][a] != self.up[k][b] {
+                a = self.up[k][a];
+                b = self.up[k][b];
+            }
+        }
+        NodeId(self.parent[a])
+    }
+
+    /// Edges on the path from `v` up to (excluding) `ancestor`, identified
+    /// by their child nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ancestor` is not actually an ancestor of `v`.
+    pub fn path_to_ancestor(&self, v: NodeId, ancestor: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = v.0;
+        while cur != ancestor.0 {
+            assert_ne!(cur, 0, "{ancestor} is not an ancestor of {v}");
+            out.push(NodeId(cur));
+            cur = self.parent[cur];
+        }
+        out
+    }
+
+    /// Edges on the unique tree path between `a` and `b`.
+    pub fn path_between(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        let l = self.lca(a, b);
+        let mut p = self.path_to_ancestor(a, l);
+        p.extend(self.path_to_ancestor(b, l));
+        p
+    }
+
+    /// `true` when every sink is a leaf — the precondition of Lemma 3.1
+    /// (guaranteed LUBT feasibility for any bounds).
+    pub fn all_sinks_are_leaves(&self) -> bool {
+        self.sinks().all(|s| self.is_leaf(s))
+    }
+
+    /// `true` when the topology is in the §3 normal form: every Steiner
+    /// point has exactly two children, and the root has one child
+    /// ([`SourceMode::Given`]) or two ([`SourceMode::Free`]).
+    pub fn is_binary(&self, mode: SourceMode) -> bool {
+        let root_ok = match mode {
+            SourceMode::Given => self.num_children(self.root()) == 1,
+            SourceMode::Free => self.num_children(self.root()) == 2,
+        };
+        root_ok
+            && (self.num_sinks + 1..self.num_nodes())
+                .all(|v| self.children[v].len() == 2)
+    }
+
+    /// Sinks contained in the subtree rooted at `v`, in ascending order.
+    pub fn sinks_under(&self, v: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![v.0];
+        while let Some(x) = stack.pop() {
+            if (1..=self.num_sinks).contains(&x) {
+                out.push(NodeId(x));
+            }
+            stack.extend(self.children[x].iter().copied());
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// s0 -> s7(st) -> [s5(st) -> [s1, s2], s6(st) -> [s3, s4]]
+    fn sample() -> Topology {
+        Topology::from_parents(4, &[0, 5, 5, 6, 6, 7, 7, 0]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_queries() {
+        let t = sample();
+        assert_eq!(t.num_nodes(), 8);
+        assert_eq!(t.num_sinks(), 4);
+        assert_eq!(t.num_steiner(), 3);
+        assert_eq!(t.num_edges(), 7);
+        assert!(t.is_sink(NodeId(3)));
+        assert!(t.is_steiner(NodeId(6)));
+        assert!(!t.is_sink(NodeId(0)));
+        assert_eq!(t.parent(NodeId(5)), Some(NodeId(7)));
+        assert_eq!(t.parent(NodeId(0)), None);
+        assert_eq!(t.num_children(NodeId(7)), 2);
+        assert!(t.all_sinks_are_leaves());
+        assert!(t.is_binary(SourceMode::Given));
+        assert!(!t.is_binary(SourceMode::Free));
+    }
+
+    #[test]
+    fn depth_and_lca() {
+        let t = sample();
+        assert_eq!(t.depth(NodeId(0)), 0);
+        assert_eq!(t.depth(NodeId(7)), 1);
+        assert_eq!(t.depth(NodeId(1)), 3);
+        assert_eq!(t.lca(NodeId(1), NodeId(2)), NodeId(5));
+        assert_eq!(t.lca(NodeId(1), NodeId(3)), NodeId(7));
+        assert_eq!(t.lca(NodeId(1), NodeId(7)), NodeId(7));
+        assert_eq!(t.lca(NodeId(4), NodeId(4)), NodeId(4));
+        assert_eq!(t.lca(NodeId(0), NodeId(3)), NodeId(0));
+    }
+
+    #[test]
+    fn paths() {
+        let t = sample();
+        assert_eq!(
+            t.path_to_ancestor(NodeId(1), NodeId(0)),
+            vec![NodeId(1), NodeId(5), NodeId(7)]
+        );
+        let p = t.path_between(NodeId(1), NodeId(4));
+        // Edges: e1, e5 up to lca 7; e4, e6 on the other side.
+        assert_eq!(p.len(), 4);
+        assert!(p.contains(&NodeId(1)) && p.contains(&NodeId(5)));
+        assert!(p.contains(&NodeId(4)) && p.contains(&NodeId(6)));
+        assert!(t.path_between(NodeId(2), NodeId(2)).is_empty());
+    }
+
+    #[test]
+    fn traversal_orders() {
+        let t = sample();
+        let post: Vec<usize> = t.postorder().map(NodeId::index).collect();
+        let pos = |v: usize| post.iter().position(|&x| x == v).unwrap();
+        for (c, p) in t.edges() {
+            assert!(pos(c.0) < pos(p.0), "child {c} after parent {p}");
+        }
+        let pre: Vec<usize> = t.preorder().map(NodeId::index).collect();
+        assert_eq!(pre[0], 0);
+    }
+
+    #[test]
+    fn sinks_under_subtrees() {
+        let t = sample();
+        assert_eq!(t.sinks_under(NodeId(5)), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(t.sinks_under(NodeId(7)).len(), 4);
+        assert_eq!(t.sinks_under(NodeId(3)), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert_eq!(
+            Topology::from_parents(0, &[0, 0]).unwrap_err(),
+            TopologyError::NoSinks
+        );
+        assert!(matches!(
+            Topology::from_parents(3, &[0, 0, 0]).unwrap_err(),
+            TopologyError::TooManySinks { .. }
+        ));
+        assert!(matches!(
+            Topology::from_parents(1, &[0, 9]).unwrap_err(),
+            TopologyError::ParentOutOfRange { .. }
+        ));
+        // Cycle: 1 -> 2 -> 1 disconnected from root.
+        assert_eq!(
+            Topology::from_parents(1, &[0, 2, 1]).unwrap_err(),
+            TopologyError::NotATree
+        );
+        // Self-loop.
+        assert_eq!(
+            Topology::from_parents(1, &[0, 1]).unwrap_err(),
+            TopologyError::NotATree
+        );
+    }
+
+    #[test]
+    fn non_leaf_sink_detected() {
+        // s2 is the parent of s1: a sink with a child (Figure 1(a) shape).
+        let t = Topology::from_parents(2, &[0, 2, 0]).unwrap();
+        assert!(!t.all_sinks_are_leaves());
+    }
+
+    #[test]
+    fn deep_chain_lca() {
+        // Chain of 64 nodes to exercise multi-level lifting.
+        let n = 64;
+        let parents: Vec<usize> = (0..n).map(|i: usize| i.saturating_sub(1)).collect();
+        let t = Topology::from_parents(1, &parents).unwrap();
+        assert_eq!(t.lca(NodeId(63), NodeId(40)), NodeId(40));
+        assert_eq!(t.depth(NodeId(63)), 63);
+        assert_eq!(t.path_to_ancestor(NodeId(63), NodeId(60)).len(), 3);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests over the topology generators: any sink set must yield a
+//! valid, binary, sink-leaf topology, deterministically.
+
+use lubt_geom::Point;
+use lubt_topology::{
+    bipartition_topology, matching_topology, nearest_neighbor_topology, SourceMode, Topology,
+};
+use proptest::prelude::*;
+
+fn sink_set() -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec(
+        (-500.0..500.0f64, -500.0..500.0f64).prop_map(|(x, y)| Point::new(x, y)),
+        1..40,
+    )
+}
+
+fn check_valid(topo: &Topology, m: usize, mode: SourceMode) {
+    assert_eq!(topo.num_sinks(), m);
+    assert!(topo.all_sinks_are_leaves());
+    if m >= 2 {
+        assert!(topo.is_binary(mode));
+        let expected_nodes = match mode {
+            SourceMode::Given => 2 * m,      // root + m sinks + (m-1) merges
+            SourceMode::Free => 2 * m - 1,   // top merge is the root
+        };
+        assert_eq!(topo.num_nodes(), expected_nodes);
+    }
+    // Every sink is reachable from the root.
+    assert_eq!(topo.sinks_under(topo.root()).len(), m);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nearest_neighbor_always_valid(sinks in sink_set()) {
+        for mode in [SourceMode::Given, SourceMode::Free] {
+            let t = nearest_neighbor_topology(&sinks, mode);
+            check_valid(&t, sinks.len(), mode);
+        }
+    }
+
+    #[test]
+    fn matching_always_valid(sinks in sink_set()) {
+        for mode in [SourceMode::Given, SourceMode::Free] {
+            let t = matching_topology(&sinks, mode);
+            check_valid(&t, sinks.len(), mode);
+        }
+    }
+
+    #[test]
+    fn bipartition_always_valid(sinks in sink_set()) {
+        for mode in [SourceMode::Given, SourceMode::Free] {
+            let t = bipartition_topology(&sinks, mode);
+            check_valid(&t, sinks.len(), mode);
+        }
+    }
+
+    /// Generators are pure functions of their input.
+    #[test]
+    fn generators_are_deterministic(sinks in sink_set()) {
+        let a = nearest_neighbor_topology(&sinks, SourceMode::Free);
+        let b = nearest_neighbor_topology(&sinks, SourceMode::Free);
+        prop_assert_eq!(a, b);
+        let a = matching_topology(&sinks, SourceMode::Given);
+        let b = matching_topology(&sinks, SourceMode::Given);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Matching trees are balanced: depth within one of ceil(log2 m) below
+    /// the merge root.
+    #[test]
+    fn matching_depth_is_logarithmic(sinks in proptest::collection::vec(
+        (-100.0..100.0f64, -100.0..100.0f64).prop_map(|(x, y)| Point::new(x, y)), 2..33)) {
+        let t = matching_topology(&sinks, SourceMode::Free);
+        let m = sinks.len();
+        let max_depth = t.sinks().map(|s| t.depth(s)).max().unwrap();
+        let log2 = (usize::BITS - (m - 1).leading_zeros()) as usize;
+        prop_assert!(max_depth <= log2 + 1, "m={m}: depth {max_depth} > log {log2} + 1");
+    }
+
+    /// LCA is consistent with paths: lca lies on the path between any two
+    /// sinks and the path decomposes through it.
+    #[test]
+    fn lca_path_consistency(sinks in proptest::collection::vec(
+        (-100.0..100.0f64, -100.0..100.0f64).prop_map(|(x, y)| Point::new(x, y)), 2..20)) {
+        let t = nearest_neighbor_topology(&sinks, SourceMode::Given);
+        let snodes: Vec<_> = t.sinks().collect();
+        for (k, &a) in snodes.iter().enumerate() {
+            let b = snodes[(k + 1) % snodes.len()];
+            if a == b { continue; }
+            let l = t.lca(a, b);
+            let pa = t.path_to_ancestor(a, l);
+            let pb = t.path_to_ancestor(b, l);
+            let joint = t.path_between(a, b);
+            prop_assert_eq!(pa.len() + pb.len(), joint.len());
+        }
+    }
+}

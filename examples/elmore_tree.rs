@@ -1,0 +1,77 @@
+//! The §7 Elmore-delay extension: bounded RC delays via sequential linear
+//! programming.
+//!
+//! Solves a small clock net under the Elmore model twice — once with only
+//! an upper bound (convex, reliable) and once with a lower bound that
+//! forces deliberate wire elongation (the non-convex case the paper
+//! delegates to a general NLP method).
+//!
+//! ```text
+//! cargo run --release --example elmore_tree
+//! ```
+
+use lubt::core::{DelayBounds, ElmoreEbf, LubtBuilder, LubtError};
+use lubt::delay::elmore::node_delays;
+use lubt::delay::ElmoreParams;
+use lubt::geom::Point;
+
+fn main() -> Result<(), LubtError> {
+    let sinks = vec![
+        Point::new(0.0, 0.0),
+        Point::new(20.0, 0.0),
+        Point::new(0.0, 16.0),
+        Point::new(20.0, 16.0),
+        Point::new(10.0, 30.0),
+    ];
+    let source = Point::new(10.0, 8.0);
+    let m = sinks.len();
+    let params = ElmoreParams::uniform(0.05, 0.2, 1.0, m);
+
+    // Probe: Elmore delays of the minimum-wirelength tree set the scale.
+    let relaxed = LubtBuilder::new(sinks.clone())
+        .source(source)
+        .bounds(DelayBounds::unbounded(m))
+        .build()?;
+    let (lengths, _) = lubt::core::EbfSolver::new().solve(&relaxed)?;
+    let d = node_delays(relaxed.topology(), &lengths, &params);
+    let dmax = relaxed
+        .topology()
+        .sinks()
+        .map(|s| d[s.index()])
+        .fold(0.0f64, f64::max);
+    println!("min-wirelength tree: cost {:.1}, max Elmore delay {dmax:.2}", lubt::delay::linear::tree_cost(&lengths));
+
+    // Convex case: cap the Elmore delay 20% above the probe.
+    let capped = LubtBuilder::new(sinks.clone())
+        .source(source)
+        .bounds(DelayBounds::upper_only(m, 1.2 * dmax))
+        .build()?;
+    let solver = ElmoreEbf::new(params.clone());
+    let (lengths, report) = solver.solve(&capped)?;
+    println!(
+        "\nupper-bounded   : cost {:.1}, residual violation {:.2e}, {} SLP iterations",
+        report.cost, report.violation, report.iterations
+    );
+    let d = node_delays(capped.topology(), &lengths, &params);
+    for s in capped.topology().sinks() {
+        println!("  sink {s}: Elmore delay {:.2}", d[s.index()]);
+    }
+
+    // Non-convex case: every sink must be *at least* 1.5x the probe delay
+    // (deliberate slow-down, e.g. short-path fixing without buffers, §1).
+    let windowed = LubtBuilder::new(sinks)
+        .source(source)
+        .bounds(DelayBounds::uniform(m, 1.5 * dmax, 3.0 * dmax))
+        .build()?;
+    let (lengths, report) = solver.solve(&windowed)?;
+    println!(
+        "\nlower+upper     : cost {:.1}, residual violation {:.2e}, {} SLP iterations",
+        report.cost, report.violation, report.iterations
+    );
+    let d = node_delays(windowed.topology(), &lengths, &params);
+    for s in windowed.topology().sinks() {
+        println!("  sink {s}: Elmore delay {:.2}", d[s.index()]);
+    }
+    println!("\nThe lower bound forces wire elongation in place of delay buffers.");
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Upper-bounded global routing (`l = 0`, finite `u`) — the §4.3 regime
+//! that \[9\] cannot produce at all.
+//!
+//! Sweeps the delay cap `u` and shows the classic cost/performance
+//! trade-off between the two extremes the paper names: the shortest-path
+//! tree (minimum delay, maximum wire) and the unconstrained Steiner tree
+//! (minimum wire, unbounded delay).
+//!
+//! ```text
+//! cargo run --release --example global_routing
+//! ```
+
+use lubt::baselines::star_wirelength;
+use lubt::core::{DelayBounds, LubtBuilder, LubtError};
+use lubt::data::synthetic;
+
+fn main() -> Result<(), LubtError> {
+    let inst = synthetic::r1().subsample(28);
+    let source = inst.source.expect("synthetic instances pin the source");
+    let radius = inst.radius();
+    let m = inst.sinks.len();
+    println!("instance {} ({m} sinks, radius {radius:.0})", inst.name);
+    println!(
+        "shortest-path tree (u = radius lower limit): cost {:.0}\n",
+        star_wirelength(source, &inst.sinks)
+    );
+
+    println!("{:>8}  {:>12}  {:>14}", "u / R", "tree cost", "longest delay/R");
+    let mut last = f64::INFINITY;
+    for cap in [1.0, 1.1, 1.25, 1.5, 2.0, 3.0, f64::INFINITY] {
+        let bounds = if cap.is_finite() {
+            DelayBounds::upper_only(m, cap * radius)
+        } else {
+            DelayBounds::unbounded(m)
+        };
+        let sol = LubtBuilder::new(inst.sinks.clone())
+            .source(source)
+            .bounds(bounds)
+            .solve()?;
+        sol.verify()?;
+        let (_, longest) = sol.delay_range();
+        println!(
+            "{:>8}  {:>12.0}  {:>14.3}",
+            if cap.is_finite() { format!("{cap:.2}") } else { "inf".into() },
+            sol.cost(),
+            longest / radius
+        );
+        assert!(
+            sol.cost() <= last + 1e-6 * radius,
+            "loosening the cap must never cost more"
+        );
+        last = sol.cost();
+    }
+    println!("\nTightening the delay cap buys performance with wirelength —");
+    println!("at u = radius every sink is on a shortest path.");
+    Ok(())
+}

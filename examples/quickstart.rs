@@ -1,0 +1,65 @@
+//! Quickstart: solve a small LUBT instance end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a routing tree over nine sinks whose source-to-sink delays all
+//! fall in a prescribed `[l, u]` window, prints the optimal edge lengths,
+//! the realized delays and the physical wire routes.
+
+use lubt::core::{DelayBounds, LubtBuilder, LubtError};
+use lubt::geom::Point;
+
+fn main() -> Result<(), LubtError> {
+    // A 3x3 grid of sinks, source at the lower-left corner.
+    let sinks: Vec<Point> = (0..9)
+        .map(|i| Point::new(f64::from(i % 3) * 10.0, f64::from(i / 3) * 10.0))
+        .collect();
+    let source = Point::new(-5.0, -5.0);
+
+    // Radius = distance to the farthest sink; bounds are chosen relative
+    // to it, as in the paper's experiments.
+    let radius = sinks
+        .iter()
+        .map(|s| source.dist(*s))
+        .fold(0.0f64, f64::max);
+    println!("radius = {radius}");
+
+    let solution = LubtBuilder::new(sinks)
+        .source(source)
+        .bounds(DelayBounds::uniform(9, 1.1 * radius, 1.3 * radius))
+        .solve()?;
+    solution.verify()?;
+
+    println!("tree cost          = {:.2}", solution.cost());
+    println!("routed wirelength  = {:.2}", solution.routed_wirelength());
+    let (short, long) = solution.delay_range();
+    println!(
+        "delay window       = [{:.2}, {:.2}]  (required [{:.2}, {:.2}])",
+        short,
+        long,
+        1.1 * radius,
+        1.3 * radius
+    );
+    println!("skew               = {:.4}", solution.skew());
+    println!(
+        "LP: {} pivots, {} separation rounds, {}/{} Steiner rows used",
+        solution.report().lp_iterations,
+        solution.report().separation_rounds,
+        solution.report().steiner_rows,
+        solution.report().total_pairs
+    );
+
+    println!("\nedge lengths (node: length):");
+    for (i, len) in solution.edge_lengths().iter().enumerate().skip(1) {
+        println!("  e{i}: {len:.2}");
+    }
+
+    println!("\nwire routes (parent -> child polylines):");
+    for route in solution.routes() {
+        let pts: Vec<String> = route.iter().map(|p| format!("({:.1},{:.1})", p.x, p.y)).collect();
+        println!("  {}", pts.join(" -> "));
+    }
+    Ok(())
+}

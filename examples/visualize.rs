@@ -1,0 +1,61 @@
+//! Writes side-by-side SVGs of the three constructions on the same net:
+//! exact zero-skew DME, the bounded-skew baseline, and LUBT on the
+//! baseline's window — open the files in any browser to compare the
+//! geometry (snaked wires are drawn with their real elongation).
+//!
+//! ```text
+//! cargo run --release --example visualize [out_dir]
+//! ```
+
+use lubt::baselines::{bounded_skew_tree, zero_skew_tree};
+use lubt::core::{render_svg, render_tree_svg, DelayBounds, LubtBuilder, SvgOptions};
+use lubt::data::synthetic;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let inst = synthetic::prim1().subsample(40);
+    let src = inst.source.expect("synthetic instances pin the source");
+    let radius = inst.radius();
+    let opts = SvgOptions::default();
+
+    // 1. Zero-skew DME.
+    let zst = zero_skew_tree(&inst.sinks, Some(src), None, None)?;
+    let path = format!("{out_dir}/tree_zero_skew.svg");
+    std::fs::write(
+        &path,
+        render_tree_svg(&zst.topology, &zst.positions, &zst.edge_lengths, &opts),
+    )?;
+    println!("{path}: zero-skew DME, cost {:.0}, skew {:.2e}", zst.cost(), zst.skew());
+
+    // 2. Bounded-skew baseline at 0.5 x radius.
+    let bst = bounded_skew_tree(&inst.sinks, Some(src), 0.5 * radius)?;
+    let path = format!("{out_dir}/tree_bounded_skew.svg");
+    std::fs::write(
+        &path,
+        render_tree_svg(&bst.topology, &bst.positions, &bst.edge_lengths, &opts),
+    )?;
+    println!(
+        "{path}: bounded-skew baseline, cost {:.0}, skew {:.0}",
+        bst.cost(),
+        bst.skew()
+    );
+
+    // 3. LUBT on the baseline's own topology and window.
+    let (short, long) = bst.delay_range();
+    let sol = LubtBuilder::new(inst.sinks.clone())
+        .source(src)
+        .topology(bst.topology.clone())
+        .bounds(DelayBounds::uniform(inst.sinks.len(), short, long))
+        .solve()?;
+    sol.verify()?;
+    let path = format!("{out_dir}/tree_lubt.svg");
+    std::fs::write(&path, render_svg(&sol))?;
+    println!(
+        "{path}: LUBT, cost {:.0} ({:.1}% below baseline), window [{:.2}R, {:.2}R]",
+        sol.cost(),
+        100.0 * (bst.cost() - sol.cost()) / bst.cost(),
+        short / radius,
+        long / radius
+    );
+    Ok(())
+}

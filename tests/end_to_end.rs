@@ -1,0 +1,173 @@
+//! Cross-crate integration tests: the full LUBT pipeline against the
+//! baselines, on seeded synthetic instances.
+
+use lubt::baselines::{bounded_skew_tree, star_wirelength, zero_skew_tree};
+use lubt::core::{DelayBounds, EbfSolver, LubtBuilder, LubtError, LubtProblem};
+use lubt::data::synthetic;
+use lubt::delay::linear::tree_cost;
+use lubt::geom::diameter;
+
+/// Table 1 protocol, strict form: LUBT on the baseline's topology and
+/// window never costs more than the baseline.
+#[test]
+fn lubt_undercuts_baseline_on_its_own_window() {
+    let inst = synthetic::prim1().subsample(20);
+    let radius = inst.radius();
+    for skew_norm in [0.0, 0.1, 0.5, 2.0] {
+        let bst = bounded_skew_tree(&inst.sinks, inst.source, skew_norm * radius).unwrap();
+        let (short, long) = bst.delay_range();
+        let problem = LubtProblem::new(
+            inst.sinks.clone(),
+            inst.source,
+            bst.topology.clone(),
+            DelayBounds::uniform(inst.sinks.len(), short, long),
+        )
+        .unwrap();
+        let (lengths, _) = EbfSolver::new().solve(&problem).unwrap();
+        let lubt_cost = tree_cost(&lengths);
+        let tol = 1e-6 * (1.0 + bst.cost());
+        assert!(
+            lubt_cost <= bst.cost() + tol,
+            "skew {skew_norm}: LUBT {lubt_cost} > baseline {}",
+            bst.cost()
+        );
+    }
+}
+
+/// §4.6 cross-validation: the zero-skew closed form and the general LP at
+/// `l = u` agree on cost (both are optimal for the same problem).
+#[test]
+fn zero_skew_closed_form_matches_lp() {
+    let inst = synthetic::r1().subsample(16);
+    let src = inst.source.unwrap();
+    let zst = zero_skew_tree(&inst.sinks, Some(src), None, None).unwrap();
+    let problem = LubtProblem::new(
+        inst.sinks.clone(),
+        Some(src),
+        zst.topology.clone(),
+        DelayBounds::zero_skew(inst.sinks.len(), zst.delay),
+    )
+    .unwrap();
+    let (lengths, _) = EbfSolver::new().solve(&problem).unwrap();
+    let lp_cost = tree_cost(&lengths);
+    let scale = 1.0 + zst.cost();
+    assert!(
+        (lp_cost - zst.cost()).abs() / scale < 1e-6,
+        "closed form {} vs LP {}",
+        zst.cost(),
+        lp_cost
+    );
+}
+
+/// Cost is monotone in the bounds: relaxing the window never increases the
+/// optimum (Theorem 4.2 corollary).
+#[test]
+fn cost_is_monotone_in_window() {
+    let inst = synthetic::prim2().subsample(18);
+    let src = inst.source.unwrap();
+    let radius = inst.radius();
+    let topo = lubt::topology::nearest_neighbor_topology(
+        &inst.sinks,
+        lubt::topology::SourceMode::Given,
+    );
+    let mut last = f64::INFINITY;
+    // Successively wider windows around the radius.
+    for half_width in [0.0, 0.05, 0.15, 0.4, 1.0] {
+        let l = (1.0 - half_width) * 1.2 * radius;
+        let u = (1.0 + half_width) * 1.2 * radius;
+        let problem = LubtProblem::new(
+            inst.sinks.clone(),
+            Some(src),
+            topo.clone(),
+            DelayBounds::uniform(inst.sinks.len(), l, u),
+        )
+        .unwrap();
+        let (lengths, _) = EbfSolver::new().solve(&problem).unwrap();
+        let cost = tree_cost(&lengths);
+        assert!(
+            cost <= last + 1e-6 * (1.0 + last.min(1e18)),
+            "window +-{half_width}: cost {cost} > previous {last}"
+        );
+        last = cost;
+    }
+}
+
+/// The unconstrained optimum is sandwiched between the trivial bounds:
+/// diameter <= cost <= star wirelength.
+#[test]
+fn steiner_optimum_respects_trivial_bounds() {
+    let inst = synthetic::r3().subsample(15);
+    let src = inst.source.unwrap();
+    let sol = LubtBuilder::new(inst.sinks.clone())
+        .source(src)
+        .bounds(DelayBounds::unbounded(inst.sinks.len()))
+        .solve()
+        .unwrap();
+    sol.verify().unwrap();
+    let diam = diameter(inst.sinks.iter().copied());
+    assert!(sol.cost() >= diam - 1e-6);
+    assert!(sol.cost() <= star_wirelength(src, &inst.sinks) + 1e-6);
+}
+
+/// Infeasibility is certified, not mis-solved: a delay cap below the
+/// source-sink distance (violating Equation 3) must return
+/// `LubtError::Infeasible`.
+#[test]
+fn equation_3_violations_are_certified_infeasible() {
+    let inst = synthetic::prim1().subsample(10);
+    let src = inst.source.unwrap();
+    let radius = inst.radius();
+    let r = LubtBuilder::new(inst.sinks.clone())
+        .source(src)
+        .bounds(DelayBounds::upper_only(inst.sinks.len(), 0.5 * radius))
+        .solve();
+    assert!(matches!(r, Err(LubtError::Infeasible)));
+}
+
+/// Full pipeline on every synthetic benchmark at small scale: solve,
+/// verify, and confirm the routed wirelength equals the LP cost.
+#[test]
+fn all_benchmarks_solve_and_verify() {
+    for inst in synthetic::paper_benchmarks() {
+        let inst = inst.subsample(12);
+        let radius = inst.radius();
+        let sol = LubtBuilder::new(inst.sinks.clone())
+            .source(inst.source.unwrap())
+            .bounds(DelayBounds::uniform(
+                inst.sinks.len(),
+                0.9 * radius,
+                1.4 * radius,
+            ))
+            .solve()
+            .unwrap_or_else(|e| panic!("{}: {e}", inst.name));
+        sol.verify().unwrap_or_else(|e| panic!("{}: {e}", inst.name));
+        assert!(
+            (sol.routed_wirelength() - sol.cost()).abs() < 1e-6 * (1.0 + sol.cost()),
+            "{}: routed {} vs cost {}",
+            inst.name,
+            sol.routed_wirelength(),
+            sol.cost()
+        );
+    }
+}
+
+/// Weighted objectives (§7): scaling all weights leaves the solution
+/// essentially unchanged, while skewed weights shift wire away from the
+/// heavy edges.
+#[test]
+fn weighted_objective_scales_and_shifts() {
+    let inst = synthetic::prim2().subsample(10);
+    let src = inst.source.unwrap();
+    let radius = inst.radius();
+    let base = LubtBuilder::new(inst.sinks.clone())
+        .source(src)
+        .bounds(DelayBounds::uniform(inst.sinks.len(), 0.8 * radius, 1.3 * radius))
+        .build()
+        .unwrap();
+    let (l1, _) = EbfSolver::new().solve(&base).unwrap();
+    let n = base.topology().num_nodes();
+    // Uniform scaling: same optimum (cost function scaled by 3).
+    let scaled = base.clone().with_weights(vec![3.0; n]).unwrap();
+    let (l2, _) = EbfSolver::new().solve(&scaled).unwrap();
+    assert!((tree_cost(&l1) - tree_cost(&l2)).abs() < 1e-5 * (1.0 + tree_cost(&l1)));
+}

@@ -1,0 +1,161 @@
+//! Tests pinned to the paper's worked figures and counterexamples.
+
+use lubt::core::{
+    embed_tree, verify_raw, DelayBounds, EbfSolver, LubtError, LubtProblem, PlacementPolicy,
+};
+use lubt::geom::Point;
+use lubt::topology::Topology;
+
+/// Figure 1: the same three sinks under three topologies. With bounds
+/// `l = 0, u = 6` (the figure's numbers), topology (a) — where sink s2 is
+/// an *internal* node on the path to s1 — is infeasible, while the
+/// leaf-sink topologies (b) and (c) admit solutions (Lemma 3.1).
+#[test]
+fn figure_1_topology_feasibility() {
+    // Geometry in the spirit of the figure: both sinks individually within
+    // the bound of the source (Equation 3 holds), but the detour through
+    // s2 overshoots it.
+    let s0 = Point::new(0.0, 0.0);
+    let sinks = vec![Point::new(0.0, 5.0), Point::new(3.0, 0.0)]; // s1, s2
+    let bounds = DelayBounds::upper_only(2, 6.0);
+
+    // (a) s0 -> s2 -> s1: sink s2 is internal. delay(s1) >= dist(s0,s2) +
+    // dist(s2,s1) = 3 + 8 = 11 > 6.
+    let topo_a = Topology::from_parents(2, &[0, 2, 0]).unwrap();
+    let p_a = LubtProblem::new(sinks.clone(), Some(s0), topo_a, bounds.clone()).unwrap();
+    assert!(matches!(
+        EbfSolver::new().solve(&p_a),
+        Err(LubtError::Infeasible)
+    ));
+
+    // (b) a Steiner point above both sinks: feasible.
+    let topo_b = Topology::from_parents(2, &[0, 3, 3, 0]).unwrap();
+    let p_b = LubtProblem::new(sinks.clone(), Some(s0), topo_b, bounds.clone()).unwrap();
+    let (lengths, _) = EbfSolver::new().solve(&p_b).unwrap();
+    let pos = embed_tree(
+        p_b.topology(),
+        p_b.sinks(),
+        p_b.source(),
+        &lengths,
+        PlacementPolicy::ClosestToParent,
+    )
+    .unwrap();
+    verify_raw(&p_b, &lengths, &pos).unwrap();
+
+    // (c) both sinks directly under the source (after degree splitting this
+    // is the star): also feasible.
+    let topo_c = Topology::from_parents(2, &[0, 0, 0]).unwrap();
+    let p_c = LubtProblem::new(sinks, Some(s0), topo_c, bounds).unwrap();
+    assert!(EbfSolver::new().solve(&p_c).is_ok());
+}
+
+/// §4.5-style worked example: five sinks, one window `[4, 6] x` scale,
+/// source-free full binary topology. The optimal cost must satisfy the
+/// formulation's constraints when re-measured from the embedding.
+#[test]
+fn section_4_5_five_point_example() {
+    let sinks = vec![
+        Point::new(0.0, 0.0),
+        Point::new(8.0, 2.0),
+        Point::new(3.0, 6.0),
+        Point::new(5.0, 6.0),
+        Point::new(1.0, 4.0),
+    ];
+    // Build a full binary topology (every sink a leaf), source free.
+    let topo =
+        lubt::topology::nearest_neighbor_topology(&sinks, lubt::topology::SourceMode::Free);
+    assert!(topo.all_sinks_are_leaves());
+    let radius = lubt::delay::skew::radius_free(&sinks);
+    // The paper's [4, 6] on a radius-6 instance ~ [0.67, 1.0] normalized.
+    let problem = LubtProblem::new(
+        sinks,
+        None,
+        topo,
+        DelayBounds::uniform(5, 0.67 * radius, 1.0 * radius),
+    )
+    .unwrap();
+    let (lengths, report) = EbfSolver::new().solve(&problem).unwrap();
+    assert_eq!(report.total_pairs, 10); // C(5,2), as in the paper's listing
+    let pos = embed_tree(
+        problem.topology(),
+        problem.sinks(),
+        None,
+        &lengths,
+        PlacementPolicy::Center,
+    )
+    .unwrap();
+    verify_raw(&problem, &lengths, &pos).unwrap();
+}
+
+/// §4.7: the EBF guarantee is a Manhattan-metric property. For the unit
+/// equilateral triangle, `e1 = e2 = e3 = 1/2` satisfies the *Euclidean*
+/// Steiner constraints but admits no embedding; under the Manhattan metric
+/// those lengths do not even satisfy the constraints, and the embedder
+/// rejects them.
+#[test]
+fn section_4_7_euclidean_counterexample() {
+    let topo = Topology::from_parents(3, &[0, 0, 0, 0]).unwrap();
+    let sinks = vec![
+        Point::new(0.0, 0.0),
+        Point::new(1.0, 0.0),
+        Point::new(0.5, 0.866_025_403_784_438_6),
+    ];
+    // Euclidean pairwise distances are all 1, so e_i = 1/2 meets the
+    // Euclidean version of Equation 6...
+    for i in 0..3 {
+        for j in i + 1..3 {
+            assert!((sinks[i].dist_euclid(sinks[j]) - 1.0).abs() < 1e-12);
+        }
+    }
+    // ...but there is no feasible root position (Manhattan *or* Euclidean).
+    let lengths = vec![0.0, 0.5, 0.5, 0.5];
+    assert!(matches!(
+        embed_tree(&topo, &sinks, None, &lengths, PlacementPolicy::Center),
+        Err(LubtError::Embedding { .. })
+    ));
+
+    // The EBF itself, run on the true Manhattan distances, produces
+    // embeddable lengths — Theorem 4.1 at work.
+    let problem = LubtProblem::new(
+        sinks.clone(),
+        None,
+        topo.clone(),
+        DelayBounds::unbounded(3),
+    )
+    .unwrap();
+    let (lengths, _) = EbfSolver::new().solve(&problem).unwrap();
+    assert!(embed_tree(&topo, &sinks, None, &lengths, PlacementPolicy::Center).is_ok());
+}
+
+/// §3 / Figure 2: a degree-4 Steiner point is split with a zero-length
+/// edge, and the split problem solves to the same optimal cost.
+#[test]
+fn figure_2_degree_four_split_preserves_optimum() {
+    let sinks = vec![
+        Point::new(0.0, 0.0),
+        Point::new(10.0, 0.0),
+        Point::new(5.0, 8.0),
+    ];
+    let s0 = Point::new(5.0, 3.0);
+    // Star topology: one Steiner point with three children (degree 4).
+    let star = Topology::from_parents(3, &[0, 4, 4, 4, 0]).unwrap();
+    let split = lubt::topology::split_degree_four(&star, lubt::topology::SourceMode::Given)
+        .unwrap();
+    assert!(split.topology.is_binary(lubt::topology::SourceMode::Given));
+
+    let bounds = DelayBounds::upper_only(3, 20.0);
+    let p_star = LubtProblem::new(sinks.clone(), Some(s0), star, bounds.clone()).unwrap();
+    let p_split = LubtProblem::new(sinks, Some(s0), split.topology, bounds)
+        .unwrap()
+        .with_zero_edges(split.zero_edges)
+        .unwrap();
+
+    let (l1, _) = EbfSolver::new().solve(&p_star).unwrap();
+    let (l2, _) = EbfSolver::new().solve(&p_split).unwrap();
+    let c1 = lubt::delay::linear::tree_cost(&l1);
+    let c2 = lubt::delay::linear::tree_cost(&l2);
+    assert!(
+        (c1 - c2).abs() < 1e-6 * (1.0 + c1),
+        "star {c1} vs split {c2}"
+    );
+}

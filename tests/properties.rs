@@ -1,0 +1,173 @@
+//! Property-based tests over the whole pipeline: random instances, random
+//! feasible windows — every solution must verify and satisfy the paper's
+//! structural theorems.
+
+use lubt::core::{DelayBounds, LubtBuilder};
+use lubt::delay::linear::{node_delays, path_length};
+use lubt::geom::Point;
+use proptest::prelude::*;
+
+fn sink_set() -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec(
+        (0.0..100.0f64, 0.0..100.0f64).prop_map(|(x, y)| Point::new(x, y)),
+        2..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any feasible window produces a solution that passes independent
+    /// verification, and whose embedding satisfies every pairwise Steiner
+    /// constraint when re-measured geometrically.
+    #[test]
+    fn solutions_verify_and_satisfy_steiner(
+        sinks in sink_set(),
+        lower_frac in 0.0..1.2f64,
+        width_frac in 0.05..1.0f64,
+        sx in 0.0..100.0f64,
+        sy in 0.0..100.0f64,
+    ) {
+        let m = sinks.len();
+        let source = Point::new(sx, sy);
+        let radius = sinks.iter().map(|s| source.dist(*s)).fold(0.0f64, f64::max);
+        prop_assume!(radius > 1.0);
+        // Window guaranteed feasible: u >= radius (Equation 3).
+        let l = lower_frac * radius;
+        let u = (lower_frac + width_frac).max(1.0) * radius + 1e-9;
+        let sol = LubtBuilder::new(sinks.clone())
+            .source(source)
+            .bounds(DelayBounds::uniform(m, l.min(u), u))
+            .solve()
+            .expect("window above the radius is feasible (Lemma 3.1)");
+        prop_assert!(sol.verify().is_ok(), "verify failed: {:?}", sol.verify());
+
+        // Steiner sufficiency check from the embedding itself.
+        let topo = sol.problem().topology();
+        let delays = node_delays(topo, sol.edge_lengths());
+        for i in 1..=m {
+            for j in i + 1..=m {
+                let a = lubt::topology::NodeId(i);
+                let b = lubt::topology::NodeId(j);
+                let need = sinks[i - 1].dist(sinks[j - 1]);
+                let have = path_length(topo, &delays, a, b);
+                prop_assert!(
+                    have >= need - 1e-6 * (1.0 + need),
+                    "pair ({i},{j}): path {have} < dist {need}"
+                );
+            }
+        }
+    }
+
+    /// Zero-skew windows produce genuinely zero-skew embeddings.
+    #[test]
+    fn zero_skew_windows_have_zero_skew(
+        sinks in sink_set(),
+        sx in 0.0..100.0f64,
+        sy in 0.0..100.0f64,
+        target_frac in 1.0..2.0f64,
+    ) {
+        let m = sinks.len();
+        let source = Point::new(sx, sy);
+        let radius = sinks.iter().map(|s| source.dist(*s)).fold(0.0f64, f64::max);
+        prop_assume!(radius > 1.0);
+        let sol = LubtBuilder::new(sinks)
+            .source(source)
+            .bounds(DelayBounds::zero_skew(m, target_frac * radius + 1e-9))
+            .solve()
+            .expect("target above radius is feasible");
+        prop_assert!(sol.skew() < 1e-6 * radius, "skew {}", sol.skew());
+        prop_assert!(sol.verify().is_ok());
+    }
+
+    /// §4.6 equivalence as a property: the zero-skew closed form and the
+    /// general LP at `l = u` agree on cost for random instances.
+    #[test]
+    fn zero_skew_closed_form_equals_lp(
+        sinks in proptest::collection::vec(
+            (0.0..60.0f64, 0.0..60.0f64).prop_map(|(x, y)| Point::new(x, y)),
+            2..8,
+        ),
+        sx in 0.0..60.0f64,
+        sy in 0.0..60.0f64,
+    ) {
+        let src = Point::new(sx, sy);
+        let radius = sinks.iter().map(|s| src.dist(*s)).fold(0.0f64, f64::max);
+        prop_assume!(radius > 1.0);
+        let topo = lubt::topology::nearest_neighbor_topology(
+            &sinks,
+            lubt::topology::SourceMode::Given,
+        );
+        let zst = lubt::core::zero_skew_edge_lengths(&topo, &sinks, Some(src), None)
+            .expect("natural zero-skew always exists");
+        let closed_cost = lubt::delay::linear::tree_cost(&zst.edge_lengths);
+        let problem = lubt::core::LubtProblem::new(
+            sinks.clone(),
+            Some(src),
+            topo,
+            DelayBounds::zero_skew(sinks.len(), zst.delay),
+        )
+        .expect("valid problem");
+        let (lengths, _) = lubt::core::EbfSolver::new().solve(&problem).expect("feasible");
+        let lp_cost = lubt::delay::linear::tree_cost(&lengths);
+        let scale = 1.0 + closed_cost;
+        prop_assert!(
+            (closed_cost - lp_cost).abs() / scale < 1e-6,
+            "closed form {closed_cost} vs LP {lp_cost}"
+        );
+    }
+
+    /// The two LP backends agree on the optimal cost.
+    #[test]
+    fn backends_agree_on_random_instances(
+        sinks in proptest::collection::vec(
+            (0.0..50.0f64, 0.0..50.0f64).prop_map(|(x, y)| Point::new(x, y)),
+            2..8,
+        ),
+    ) {
+        let m = sinks.len();
+        let radius = lubt::delay::skew::radius_free(&sinks);
+        prop_assume!(radius > 1.0);
+        let mk = |backend| {
+            LubtBuilder::new(sinks.clone())
+                .bounds(DelayBounds::uniform(m, 0.8 * radius, 1.5 * radius))
+                .backend(backend)
+                .solve()
+        };
+        let simplex = mk(lubt::core::SolverBackend::Simplex).expect("feasible");
+        let ipm = mk(lubt::core::SolverBackend::InteriorPoint).expect("feasible");
+        let scale = 1.0 + simplex.cost();
+        prop_assert!(
+            (simplex.cost() - ipm.cost()).abs() / scale < 1e-4,
+            "simplex {} vs interior point {}",
+            simplex.cost(),
+            ipm.cost()
+        );
+    }
+
+    /// Both placement policies yield verifiable embeddings of the same
+    /// LP optimum.
+    #[test]
+    fn placement_policies_both_verify(
+        sinks in sink_set(),
+        sx in 0.0..100.0f64,
+        sy in 0.0..100.0f64,
+    ) {
+        let m = sinks.len();
+        let source = Point::new(sx, sy);
+        let radius = sinks.iter().map(|s| source.dist(*s)).fold(0.0f64, f64::max);
+        prop_assume!(radius > 1.0);
+        for policy in [
+            lubt::core::PlacementPolicy::ClosestToParent,
+            lubt::core::PlacementPolicy::Center,
+        ] {
+            let sol = LubtBuilder::new(sinks.clone())
+                .source(source)
+                .bounds(DelayBounds::uniform(m, 0.5 * radius, 1.4 * radius))
+                .placement(policy)
+                .solve()
+                .expect("feasible");
+            prop_assert!(sol.verify().is_ok(), "{policy:?}: {:?}", sol.verify());
+        }
+    }
+}

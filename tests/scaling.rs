@@ -1,0 +1,59 @@
+//! Medium-scale end-to-end checks (beyond the proptest sizes): the full
+//! pipeline must stay exact and verifiable as instances grow.
+
+use lubt::baselines::bounded_skew_tree;
+use lubt::core::{analyze, DelayBounds, LubtBuilder, LubtProblem};
+use lubt::data::synthetic;
+
+#[test]
+fn sixty_four_sink_pipeline_verifies() {
+    let inst = synthetic::prim2().subsample(64);
+    let src = inst.source.unwrap();
+    let radius = inst.radius();
+    let sol = LubtBuilder::new(inst.sinks.clone())
+        .source(src)
+        .bounds(DelayBounds::uniform(64, 0.8 * radius, 1.2 * radius))
+        .solve()
+        .unwrap();
+    sol.verify().unwrap();
+
+    // Structural sanity at scale.
+    let a = analyze(&sol);
+    assert_eq!(a.edges.len(), sol.problem().topology().num_edges());
+    assert_eq!(a.tight + a.elongated + a.degenerate, a.edges.len());
+    assert!((a.total_cost - sol.cost()).abs() < 1e-9);
+    // Lazy separation really reduced the constraint set.
+    assert!(sol.report().steiner_rows < sol.report().total_pairs / 2);
+    // Routed wirelength equals the LP cost.
+    assert!((sol.routed_wirelength() - sol.cost()).abs() < 1e-5 * (1.0 + sol.cost()));
+}
+
+#[test]
+fn table1_protocol_invariant_at_scale() {
+    // LUBT on the baseline's own window never costs more, at a size well
+    // beyond the property-test range.
+    let inst = synthetic::r1().subsample(72);
+    let src = inst.source.unwrap();
+    let radius = inst.radius();
+    for skew in [0.1, 1.0] {
+        let bst = bounded_skew_tree(&inst.sinks, Some(src), skew * radius).unwrap();
+        let (short, long) = bst.delay_range();
+        let problem = LubtProblem::new(
+            inst.sinks.clone(),
+            Some(src),
+            bst.topology.clone(),
+            DelayBounds::uniform(inst.sinks.len(), short, long),
+        )
+        .unwrap();
+        let (lengths, report) = lubt::core::EbfSolver::new().solve(&problem).unwrap();
+        let cost = lubt::delay::linear::tree_cost(&lengths);
+        assert!(
+            cost <= bst.cost() + 1e-6 * (1.0 + bst.cost()),
+            "skew {skew}: {cost} > {}",
+            bst.cost()
+        );
+        // The separation loop converged (did not hit the materialize-all
+        // safety net, which would show as steiner_rows == total_pairs).
+        assert!(report.steiner_rows < report.total_pairs);
+    }
+}
