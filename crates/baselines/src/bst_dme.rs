@@ -155,8 +155,7 @@ fn split_window(a: &Cluster, b: &Cluster, d: f64, skew_bound: f64) -> Split {
     // Preferred split: balance the window centers (zero-skew flavour).
     let balanced = ((b.lo + b.hi) - (a.lo + a.hi)) / 2.0;
     let x_star = balanced.clamp(x_lo, x_hi);
-    let base_width = (a.hi + (d + x_star) / 2.0)
-        .max(b.hi + (d - x_star) / 2.0)
+    let base_width = (a.hi + (d + x_star) / 2.0).max(b.hi + (d - x_star) / 2.0)
         - (a.lo + (d + x_star) / 2.0).min(b.lo + (d - x_star) / 2.0);
     // Spread the window as far as the leftover skew slack allows; every
     // unit of spread is a unit of region fattening.
@@ -270,8 +269,9 @@ pub fn bounded_skew_tree(
         }
         best
     };
-    let mut nn: Vec<Option<(usize, f64)>> =
-        (0..clusters.len()).map(|i| nearest_of(&clusters, i)).collect();
+    let mut nn: Vec<Option<(usize, f64)>> = (0..clusters.len())
+        .map(|i| nearest_of(&clusters, i))
+        .collect();
 
     let mut live = m;
     while live > 1 {
@@ -309,9 +309,7 @@ pub fn bounded_skew_tree(
             .expect("reach_a + reach_b >= dist implies overlap");
         // Clip to the corridor between the children: points off every
         // shortest connection would cost phantom wire later.
-        let region = raw
-            .intersect(&a.region.hull(&b.region))
-            .unwrap_or(raw);
+        let region = raw.intersect(&a.region.hull(&b.region)).unwrap_or(raw);
         debug_assert!(region.x().lo().is_finite() && region.x().hi().is_finite()
             && region.y().lo().is_finite() && region.y().hi().is_finite(),
             "non-finite region: split reach_a={} reach_b={} d={d} a.window=[{},{}] b.window=[{},{}]",
@@ -415,7 +413,11 @@ pub fn bounded_skew_tree(
     let feasible_wrt_parent = |v: lubt_topology::NodeId, pp: Point| -> Option<Octilinear> {
         let region = region_of_node[v.index()]?;
         if reaches[v.index()].is_finite() {
-            debug_assert!(reaches[v.index()] >= 0.0, "node {v}: negative reach {}", reaches[v.index()]);
+            debug_assert!(
+                reaches[v.index()] >= 0.0,
+                "node {v}: negative reach {}",
+                reaches[v.index()]
+            );
             let ball = Octilinear::from_point(pp).expanded(reaches[v.index()]);
             Some(region.intersect(&ball).unwrap_or_else(|| {
                 // Numeric touch miss: collapse to the nearest point.
@@ -431,15 +433,23 @@ pub fn bounded_skew_tree(
         }
         let parent = topology.parent(v).expect("non-root");
         let pp = positions[parent.index()];
-        debug_assert!(pp.is_finite(), "parent {} of {v} has non-finite position", parent);
+        debug_assert!(
+            pp.is_finite(),
+            "parent {} of {v} has non-finite position",
+            parent
+        );
         positions[v.index()] = match feasible_wrt_parent(v, pp) {
             // Seed at the balanced representative (good global geometry),
             // constrained to the feasible set.
             Some(f) => f.closest_point_to(rep_of_node[v.index()]),
             None => pp,
         };
-        debug_assert!(positions[v.index()].is_finite(),
-            "node {v}: non-finite placement, reach {} rep {}", reaches[v.index()], rep_of_node[v.index()]);
+        debug_assert!(
+            positions[v.index()].is_finite(),
+            "node {v}: non-finite placement, reach {} rep {}",
+            reaches[v.index()],
+            rep_of_node[v.index()]
+        );
     }
 
     // Median refinement: sweep internal nodes toward the component-wise
@@ -473,12 +483,10 @@ pub fn bounded_skew_tree(
             );
             // Feasibility: own region, parent reach, children reaches.
             let mut feasible = match topology.parent(v) {
-                Some(parent) => {
-                    match feasible_wrt_parent(v, positions[parent.index()]) {
-                        Some(f) => f,
-                        None => continue,
-                    }
-                }
+                Some(parent) => match feasible_wrt_parent(v, positions[parent.index()]) {
+                    Some(f) => f,
+                    None => continue,
+                },
                 None => region_of_node[v.index()].expect("checked above"),
             };
             let mut ok = true;
@@ -486,8 +494,8 @@ pub fn bounded_skew_tree(
                 if !reaches[c.index()].is_finite() {
                     continue;
                 }
-                let ball = Octilinear::from_point(positions[c.index()])
-                    .expanded(reaches[c.index()]);
+                let ball =
+                    Octilinear::from_point(positions[c.index()]).expanded(reaches[c.index()]);
                 match feasible.intersect(&ball) {
                     Some(f) => feasible = f,
                     None => {
@@ -538,11 +546,7 @@ mod tests {
         let sinks = scatter(20, 1);
         for b in [0.0, 5.0, 25.0, 100.0, f64::INFINITY] {
             let bst = bounded_skew_tree(&sinks, Some(Point::new(100.0, 100.0)), b).unwrap();
-            assert!(
-                bst.skew() <= b + 1e-6,
-                "bound {b}: skew {}",
-                bst.skew()
-            );
+            assert!(bst.skew() <= b + 1e-6, "bound {b}: skew {}", bst.skew());
             // Edges realizable.
             for (c, p) in bst.topology.edges() {
                 let d = bst.positions[c.index()].dist(bst.positions[p.index()]);
@@ -596,8 +600,7 @@ mod tests {
                 .collect();
             for bound in [0.0, 1000.0, 50_000.0] {
                 let bst =
-                    bounded_skew_tree(&sinks, Some(Point::new(50_000.0, 50_000.0)), bound)
-                        .unwrap();
+                    bounded_skew_tree(&sinks, Some(Point::new(50_000.0, 50_000.0)), bound).unwrap();
                 assert!(
                     bst.skew() <= bound + 1e-5,
                     "seed {seed} bound {bound}: skew {}",

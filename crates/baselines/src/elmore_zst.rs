@@ -49,14 +49,7 @@ impl ElmoreZst {
 /// (delay `ta`, cap `ca`) and cluster `b`: returns `(ea, eb)` with
 /// `ea + eb = d` when an interior balance point exists, or an elongated
 /// pair otherwise.
-fn elmore_split(
-    ta: f64,
-    ca: f64,
-    tb: f64,
-    cb: f64,
-    d: f64,
-    params: &ElmoreParams,
-) -> (f64, f64) {
+fn elmore_split(ta: f64, ca: f64, tb: f64, cb: f64, d: f64, params: &ElmoreParams) -> (f64, f64) {
     let (r, c) = (params.r_w, params.c_w);
     // Balance: ta + r x (c x / 2 + ca) = tb + r (d-x) (c (d-x) / 2 + cb).
     let denom = r * (c * d + ca + cb);
@@ -159,11 +152,7 @@ pub fn elmore_zero_skew_tree(
         let vi = v.index();
         if topology.is_sink(v) {
             region[vi] = Some(Trr::from_point(sinks[vi - 1]));
-            cap[vi] = params
-                .sink_caps
-                .get(vi - 1)
-                .copied()
-                .unwrap_or(0.0);
+            cap[vi] = params.sink_caps.get(vi - 1).copied().unwrap_or(0.0);
             continue;
         }
         let kids: Vec<NodeId> = topology.children(v).collect();
@@ -196,12 +185,10 @@ pub fn elmore_zero_skew_tree(
             .ok_or(LubtError::Embedding { node: vi })?;
         region[vi] = Some(merged);
         cap[vi] = cap[a.index()] + cap[b.index()] + params.c_w * (ea + eb);
-        delay[vi] = delay[a.index()]
-            + params.r_w * ea * (params.c_w * ea / 2.0 + cap[a.index()]);
+        delay[vi] = delay[a.index()] + params.r_w * ea * (params.c_w * ea / 2.0 + cap[a.index()]);
         debug_assert!(
             (delay[vi]
-                - (delay[b.index()]
-                    + params.r_w * eb * (params.c_w * eb / 2.0 + cap[b.index()])))
+                - (delay[b.index()] + params.r_w * eb * (params.c_w * eb / 2.0 + cap[b.index()])))
             .abs()
                 < 1e-6 * (1.0 + delay[vi]),
             "merge at s{vi} is unbalanced"
@@ -219,8 +206,7 @@ pub fn elmore_zero_skew_tree(
             let rc = region[c0.index()].expect("computed");
             let e = rc.dist_to_point(s0);
             lengths[c0.index()] = e;
-            delay[c0.index()]
-                + params.r_w * e * (params.c_w * e / 2.0 + cap[c0.index()])
+            delay[c0.index()] + params.r_w * e * (params.c_w * e / 2.0 + cap[c0.index()])
         }
         None => delay[0],
     };
@@ -262,8 +248,7 @@ mod tests {
         let sinks = [Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
         let mut params = ElmoreParams::uniform(1.0, 1.0, 1.0, 2);
         params.sink_caps[1] = 10.0; // sink 2 is heavy
-        let zst =
-            elmore_zero_skew_tree(&sinks, Some(Point::new(5.0, 5.0)), None, params).unwrap();
+        let zst = elmore_zero_skew_tree(&sinks, Some(Point::new(5.0, 5.0)), None, params).unwrap();
         assert!(zst.skew() < 1e-9 * (1.0 + zst.delay), "skew {}", zst.skew());
         // Wire toward the light sink 1 is longer than toward heavy sink 2.
         assert!(
@@ -301,13 +286,8 @@ mod tests {
         ];
         let params = ElmoreParams::uniform(0.2, 0.5, 1.0, 3);
         let topo = Topology::from_parents(3, &[0, 4, 4, 5, 5, 0]).unwrap();
-        let zst = elmore_zero_skew_tree(
-            &sinks,
-            Some(Point::new(30.0, 10.0)),
-            Some(topo),
-            params,
-        )
-        .unwrap();
+        let zst = elmore_zero_skew_tree(&sinks, Some(Point::new(30.0, 10.0)), Some(topo), params)
+            .unwrap();
         assert!(zst.skew() < 1e-6 * (1.0 + zst.delay), "skew {}", zst.skew());
         // Sink 3's edge is elongated beyond its geometric span.
         let span = zst.positions[3].dist(zst.positions[5]);
@@ -332,8 +312,7 @@ mod tests {
         let sinks = [Point::new(0.0, 0.0), Point::new(20.0, 0.0)];
         let mut params = ElmoreParams::uniform(1.0, 0.5, 0.1, 2);
         params.sink_caps[0] = 20.0;
-        let e =
-            elmore_zero_skew_tree(&sinks, Some(Point::new(10.0, 10.0)), None, params).unwrap();
+        let e = elmore_zero_skew_tree(&sinks, Some(Point::new(10.0, 10.0)), None, params).unwrap();
         let l = crate::zero_skew_tree(&sinks, Some(Point::new(10.0, 10.0)), None, None).unwrap();
         // Linear splits 10/10; Elmore favors the loaded sink.
         assert!((l.edge_lengths[1] - 10.0).abs() < 1e-9);

@@ -142,8 +142,7 @@ mod tests {
     fn target_stretches_cost() {
         let sinks = scatter(8, 9);
         let natural = zero_skew_tree(&sinks, None, None, None).unwrap();
-        let stretched =
-            zero_skew_tree(&sinks, None, None, Some(natural.delay * 1.5)).unwrap();
+        let stretched = zero_skew_tree(&sinks, None, None, Some(natural.delay * 1.5)).unwrap();
         assert!(stretched.cost() > natural.cost());
         assert!(stretched.skew() < 1e-9);
         assert!((stretched.delay - natural.delay * 1.5).abs() < 1e-9);

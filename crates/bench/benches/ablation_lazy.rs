@@ -8,10 +8,8 @@ use lubt_data::synthetic;
 fn problem(m: usize) -> LubtProblem {
     let inst = synthetic::prim1().subsample(m);
     let radius = inst.radius();
-    let topo = lubt_topology::nearest_neighbor_topology(
-        &inst.sinks,
-        lubt_topology::SourceMode::Given,
-    );
+    let topo =
+        lubt_topology::nearest_neighbor_topology(&inst.sinks, lubt_topology::SourceMode::Given);
     LubtProblem::new(
         inst.sinks.clone(),
         inst.source,

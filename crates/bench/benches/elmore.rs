@@ -22,8 +22,7 @@ fn bench_elmore(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("zst_elmore", m), &inst, |b, inst| {
             b.iter(|| {
-                elmore_zero_skew_tree(&inst.sinks, Some(src), None, params.clone())
-                    .expect("valid")
+                elmore_zero_skew_tree(&inst.sinks, Some(src), None, params.clone()).expect("valid")
             })
         });
 

@@ -9,11 +9,7 @@ use lubt_lp::{Cmp, LinExpr, LpSolve, Model, SimplexSession, SimplexSolver, Var};
 /// batches of rows over `n` variables.
 type GrowthBatches = Vec<Vec<(Vec<usize>, f64)>>;
 
-fn schedule(
-    n: usize,
-    rounds: usize,
-    per_round: usize,
-) -> (Model, Vec<Var>, GrowthBatches) {
+fn schedule(n: usize, rounds: usize, per_round: usize) -> (Model, Vec<Var>, GrowthBatches) {
     let mut m = Model::new();
     let vars = m.add_vars(n, 0.0, 1.0);
     m.add_constraint(

@@ -59,7 +59,10 @@ fn describe(scale: Option<usize>) -> String {
 }
 
 fn run_table1(scale: Option<usize>) {
-    println!("== Table 1: baseline [9]-style BST vs LUBT ({})", describe(scale));
+    println!(
+        "== Table 1: baseline [9]-style BST vs LUBT ({})",
+        describe(scale)
+    );
     println!("   (all bounds normalized to the radius)\n");
     let mut rows = Vec::new();
     for inst in instances::paper_benchmarks(scale) {
@@ -73,7 +76,10 @@ fn run_table1(scale: Option<usize>) {
 }
 
 fn run_table2(scale: Option<usize>) {
-    println!("== Table 2: same skew, shifted [l, u] windows ({})\n", describe(scale));
+    println!(
+        "== Table 2: same skew, shifted [l, u] windows ({})\n",
+        describe(scale)
+    );
     let mut rows = Vec::new();
     for name in ["prim1", "prim2"] {
         let inst = instances::by_name(name, scale).expect("known benchmark");
@@ -90,7 +96,10 @@ fn run_table2(scale: Option<usize>) {
 }
 
 fn run_table3(scale: Option<usize>) {
-    println!("== Table 3: assorted bound combinations ({})\n", describe(scale));
+    println!(
+        "== Table 3: assorted bound combinations ({})\n",
+        describe(scale)
+    );
     let mut rows = Vec::new();
     for inst in instances::paper_benchmarks(scale) {
         match table3::run(&inst, &table3::PAPER_WINDOWS) {
@@ -114,7 +123,10 @@ fn run_timing() {
 }
 
 fn run_figure8(scale: Option<usize>) {
-    println!("== Figure 8: cost vs [l, u] trade-off on prim2 ({})\n", describe(scale));
+    println!(
+        "== Figure 8: cost vs [l, u] trade-off on prim2 ({})\n",
+        describe(scale)
+    );
     let inst = instances::by_name("prim2", scale).expect("known benchmark");
     match figure8::run(&inst, &figure8::DEFAULT_WIDTHS, &figure8::default_lowers()) {
         Ok(points) => {

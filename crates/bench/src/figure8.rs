@@ -66,7 +66,7 @@ pub fn run(
                     lower: l,
                     cost: lubt_delay::linear::tree_cost(&lengths),
                 }),
-                Err(LubtError::Infeasible) => continue,
+                Err(LubtError::Infeasible | LubtError::Rejected(_)) => continue,
                 Err(e) => return Err(e),
             }
         }
@@ -95,7 +95,13 @@ pub fn to_text(points: &[CurvePoint]) -> String {
 pub fn to_csv(points: &[CurvePoint]) -> String {
     let mut out = String::from("width,lower,upper,cost\n");
     for p in points {
-        out.push_str(&format!("{},{},{},{}\n", p.width, p.lower, p.lower + p.width, p.cost));
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            p.width,
+            p.lower,
+            p.lower + p.width,
+            p.cost
+        ));
     }
     out
 }
@@ -119,7 +125,12 @@ mod tests {
             .iter()
             .find(|p| (p.width - 1.0).abs() < 1e-9 && p.lower.abs() < 1e-9);
         if let (Some(t), Some(l)) = (tight, loose) {
-            assert!(l.cost <= t.cost + 1e-6, "loose {} > tight {}", l.cost, t.cost);
+            assert!(
+                l.cost <= t.cost + 1e-6,
+                "loose {} > tight {}",
+                l.cost,
+                t.cost
+            );
         }
     }
 

@@ -13,8 +13,7 @@ use lubt_core::{DelayBounds, EbfSolver, LubtError, LubtProblem};
 use lubt_data::Instance;
 
 /// The skew bounds of Table 1, normalized to the radius.
-pub const PAPER_SKEW_BOUNDS: [f64; 8] =
-    [0.0, 0.01, 0.05, 0.1, 0.5, 1.0, 2.0, f64::INFINITY];
+pub const PAPER_SKEW_BOUNDS: [f64; 8] = [0.0, 0.01, 0.05, 0.1, 0.5, 1.0, 2.0, f64::INFINITY];
 
 /// One row of Table 1.
 #[derive(Debug, Clone)]
@@ -64,7 +63,11 @@ pub fn run(instance: &Instance, skew_bounds: &[f64]) -> Result<Vec<Table1Row>, L
         rows.push(Table1Row {
             bench: instance.name.clone(),
             skew_bound: sb,
-            shortest: if sb.is_infinite() { 0.0 } else { short / radius },
+            shortest: if sb.is_infinite() {
+                0.0
+            } else {
+                short / radius
+            },
             longest: if sb.is_infinite() {
                 f64::INFINITY
             } else {

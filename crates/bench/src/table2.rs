@@ -81,7 +81,9 @@ pub fn run(instance: &Instance, skew: f64, offsets: &[f64]) -> Result<Vec<Table2
                 cost: lubt_delay::linear::tree_cost(&lengths),
                 from_baseline,
             }),
-            Err(LubtError::Infeasible) => continue, // window below the radius
+            // Window below the radius: either the lint hook or the LP
+            // certifies it, depending on where the sweep point lands.
+            Err(LubtError::Infeasible | LubtError::Rejected(_)) => continue,
             Err(e) => return Err(e),
         }
     }

@@ -63,7 +63,7 @@ pub fn run(instance: &Instance, windows: &[(f64, f64)]) -> Result<Vec<Table3Row>
                 upper: u,
                 cost: lubt_delay::linear::tree_cost(&lengths),
             }),
-            Err(LubtError::Infeasible) => continue,
+            Err(LubtError::Infeasible | LubtError::Rejected(_)) => continue,
             Err(e) => return Err(e),
         }
     }
@@ -104,11 +104,7 @@ mod tests {
     #[test]
     fn tightening_lower_bound_raises_cost() {
         let inst = synthetic::prim2().subsample(12);
-        let rows = run(
-            &inst,
-            &[(0.99, 1.0), (0.90, 1.0), (0.50, 1.0), (0.0, 2.0)],
-        )
-        .unwrap();
+        let rows = run(&inst, &[(0.99, 1.0), (0.90, 1.0), (0.50, 1.0), (0.0, 2.0)]).unwrap();
         assert_eq!(rows.len(), 4);
         // Paper's trend: as the window tightens toward zero skew the cost
         // rises; the loosest window is the cheapest.

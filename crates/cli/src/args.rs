@@ -18,9 +18,7 @@ pub fn parse(argv: &[String]) -> Parsed {
     while i < argv.len() {
         let a = &argv[i];
         if let Some(key) = a.strip_prefix("--") {
-            let next_is_value = argv
-                .get(i + 1)
-                .is_some_and(|n| !n.starts_with("--"));
+            let next_is_value = argv.get(i + 1).is_some_and(|n| !n.starts_with("--"));
             if next_is_value {
                 out.flags.insert(key.to_string(), argv[i + 1].clone());
                 i += 2;

@@ -11,6 +11,8 @@ use lubt_topology::{bipartition_topology, matching_topology, SourceMode, Topolog
 const USAGE: &str = "usage:
   lubt solve <input> --lower L --upper U [--absolute] \
 [--topology nn|matching|bisect|aware] [--backend simplex|ipm] [--svg out.svg] [--json out.json]
+  lubt lint <input> [--lower L] [--upper U] [--absolute] \
+[--topology nn|matching|bisect|aware] [--json [out.json]]
   lubt zeroskew <input> [--target T] [--absolute] [--svg out.svg]
   lubt bst <input> --skew S [--absolute]
   lubt gen <prim1|prim2|r1|r3|uniform|clustered> [--sinks N] [--seed K] [--die D] [--out file]
@@ -25,6 +27,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let parsed = parse(argv);
     match parsed.positional.first().map(String::as_str) {
         Some("solve") => cmd_solve(&parsed),
+        Some("lint") => cmd_lint(&parsed),
         Some("zeroskew") => cmd_zeroskew(&parsed),
         Some("bst") => cmd_bst(&parsed),
         Some("gen") => cmd_gen(&parsed),
@@ -41,8 +44,7 @@ fn load_instance(parsed: &Parsed) -> Result<Instance, String> {
         .positional
         .get(1)
         .ok_or_else(|| format!("missing <input>\n{USAGE}"))?;
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     data_io::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
@@ -63,6 +65,31 @@ fn write_svg(parsed: &Parsed, svg: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves the `--topology` flag (`None` = builder's nearest-neighbor
+/// default). Shared by `solve` and `lint` so both analyze the same tree.
+fn choose_topology(
+    parsed: &Parsed,
+    inst: &Instance,
+    bounds: &DelayBounds,
+) -> Result<Option<Topology>, String> {
+    let mode = if inst.source.is_some() {
+        SourceMode::Given
+    } else {
+        SourceMode::Free
+    };
+    match parsed.get("topology").unwrap_or("nn") {
+        "nn" => Ok(None), // builder default
+        "matching" => Ok(Some(matching_topology(&inst.sinks, mode))),
+        "bisect" => Ok(Some(bipartition_topology(&inst.sinks, mode))),
+        "aware" => Ok(Some(
+            bound_aware_topology(&inst.sinks, inst.source, bounds).map_err(|e| e.to_string())?,
+        )),
+        other => Err(format!(
+            "unknown topology {other:?} (nn|matching|bisect|aware)"
+        )),
+    }
+}
+
 fn cmd_solve(parsed: &Parsed) -> Result<(), String> {
     let inst = load_instance(parsed)?;
     let radius = inst.radius();
@@ -78,21 +105,7 @@ fn cmd_solve(parsed: &Parsed) -> Result<(), String> {
         to_absolute(upper, radius, absolute),
     );
 
-    let mode = if inst.source.is_some() {
-        SourceMode::Given
-    } else {
-        SourceMode::Free
-    };
-    let topology: Option<Topology> = match parsed.get("topology").unwrap_or("nn") {
-        "nn" => None, // builder default
-        "matching" => Some(matching_topology(&inst.sinks, mode)),
-        "bisect" => Some(bipartition_topology(&inst.sinks, mode)),
-        "aware" => Some(
-            bound_aware_topology(&inst.sinks, inst.source, &bounds)
-                .map_err(|e| e.to_string())?,
-        ),
-        other => return Err(format!("unknown topology {other:?} (nn|matching|bisect|aware)")),
-    };
+    let topology = choose_topology(parsed, &inst, &bounds)?;
     let backend = match parsed.get("backend").unwrap_or("simplex") {
         "simplex" => SolverBackend::Simplex,
         "ipm" => SolverBackend::InteriorPoint,
@@ -109,7 +122,9 @@ fn cmd_solve(parsed: &Parsed) -> Result<(), String> {
         builder = builder.topology(t);
     }
     let solution = builder.solve().map_err(|e| e.to_string())?;
-    solution.verify().map_err(|e| format!("verification failed: {e}"))?;
+    solution
+        .verify()
+        .map_err(|e| format!("verification failed: {e}"))?;
 
     let (short, long) = solution.delay_range();
     println!("instance        {}", inst.name);
@@ -148,6 +163,69 @@ fn cmd_solve(parsed: &Parsed) -> Result<(), String> {
     write_svg(parsed, &render_svg(&solution))
 }
 
+/// `lubt lint <input>`: static analysis without solving. Prints every
+/// diagnostic (human-readable, or JSON with `--json`), exits non-zero when
+/// any deny-level finding proves the instance unusable.
+fn cmd_lint(parsed: &Parsed) -> Result<(), String> {
+    let inst = load_instance(parsed)?;
+    let radius = inst.radius();
+    let m = inst.sinks.len();
+    let absolute = parsed.has("absolute");
+    // A bare `--lower`/`--upper` parses as a switch; silently falling back
+    // to the default window would report "clean" for bounds never applied.
+    for key in ["lower", "upper"] {
+        if parsed.has(key) && parsed.get(key).is_none() {
+            return Err(format!("--{key} requires a value"));
+        }
+    }
+    let lower = to_absolute(parsed.get_f64("lower")?.unwrap_or(0.0), radius, absolute);
+    let upper = match parsed.get_f64("upper")? {
+        Some(u) => to_absolute(u, radius, absolute),
+        None => f64::INFINITY,
+    };
+    let bounds = DelayBounds::from_pairs(vec![(lower, upper); m]).map_err(|e| e.to_string())?;
+
+    let topology = choose_topology(parsed, &inst, &bounds)?;
+    let mut builder = LubtBuilder::new(inst.sinks.clone()).bounds(bounds);
+    if let Some(src) = inst.source {
+        builder = builder.source(src);
+    }
+    if let Some(t) = topology {
+        builder = builder.topology(t);
+    }
+    let problem = builder.build().map_err(|e| e.to_string())?;
+    let diags = problem.lint();
+
+    if parsed.has("json") || parsed.get("json").is_some() {
+        let json = lubt_lint::diagnostics_to_json(&diags);
+        match parsed.get("json") {
+            Some(path) => {
+                std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("json written to {path}");
+            }
+            None => println!("{json}"),
+        }
+    } else {
+        println!("instance        {}", inst.name);
+        println!("sinks           {m}");
+        if diags.is_empty() {
+            println!("lint            clean");
+        }
+        for d in &diags {
+            println!("{d}");
+        }
+    }
+
+    let denials = diags.iter().filter(|d| d.is_deny()).count();
+    if denials > 0 {
+        Err(format!(
+            "{denials} deny-level lint finding(s): no LUBT exists for these bounds and topology"
+        ))
+    } else {
+        Ok(())
+    }
+}
+
 fn cmd_zeroskew(parsed: &Parsed) -> Result<(), String> {
     let inst = load_instance(parsed)?;
     let radius = inst.radius();
@@ -155,11 +233,14 @@ fn cmd_zeroskew(parsed: &Parsed) -> Result<(), String> {
     let target = parsed
         .get_f64("target")?
         .map(|t| to_absolute(t, radius, absolute));
-    let zst = zero_skew_tree(&inst.sinks, inst.source, None, target)
-        .map_err(|e| e.to_string())?;
+    let zst = zero_skew_tree(&inst.sinks, inst.source, None, target).map_err(|e| e.to_string())?;
     println!("instance        {}", inst.name);
     println!("tree cost       {:.3}", zst.cost());
-    println!("common delay    {:.3}  ({:.3}R)", zst.delay, zst.delay / radius);
+    println!(
+        "common delay    {:.3}  ({:.3}R)",
+        zst.delay,
+        zst.delay / radius
+    );
     println!("skew            {:.3e}", zst.skew());
     if parsed.get("svg").is_some() {
         let svg = lubt_core::render_tree_svg(
@@ -180,8 +261,12 @@ fn cmd_bst(parsed: &Parsed) -> Result<(), String> {
     let skew = parsed
         .get_f64("skew")?
         .ok_or_else(|| format!("--skew is required\n{USAGE}"))?;
-    let bst = bounded_skew_tree(&inst.sinks, inst.source, to_absolute(skew, radius, absolute))
-        .map_err(|e| e.to_string())?;
+    let bst = bounded_skew_tree(
+        &inst.sinks,
+        inst.source,
+        to_absolute(skew, radius, absolute),
+    )
+    .map_err(|e| e.to_string())?;
     let (short, long) = bst.delay_range();
     println!("instance        {}", inst.name);
     println!("skew budget     {:.3}", bst.skew_bound);
@@ -214,9 +299,7 @@ fn cmd_gen(parsed: &Parsed) -> Result<(), String> {
         "r4" => synthetic::r4(),
         "r5" => synthetic::r5(),
         "uniform" => synthetic::uniform("uniform-cli", sinks.unwrap_or(64), die, seed),
-        "clustered" => {
-            synthetic::clustered("clustered-cli", sinks.unwrap_or(64), die, 8, seed)
-        }
+        "clustered" => synthetic::clustered("clustered-cli", sinks.unwrap_or(64), die, 8, seed),
         other => return Err(format!("unknown generator {other:?}\n{USAGE}")),
     };
     let inst = match sinks {

@@ -3,6 +3,7 @@
 //! ```text
 //! lubt solve <input> --lower 0.9 --upper 1.3 [--absolute] [--topology nn|matching|bisect|aware]
 //!                     [--backend simplex|ipm] [--svg out.svg]
+//! lubt lint <input> [--lower L] [--upper U] [--absolute] [--json [out.json]]
 //! lubt zeroskew <input> [--target T] [--svg out.svg]
 //! lubt bst <input> --skew 0.1 [--absolute]
 //! lubt gen <prim1|prim2|r1|r3|uniform|clustered> [--sinks N] [--seed K] [--die D] [--out file]

@@ -38,20 +38,16 @@ fn gen_solve_roundtrip_with_svg() {
     // Generate a small instance.
     let out = lubt()
         .args([
-            "gen",
-            "uniform",
-            "--sinks",
-            "12",
-            "--seed",
-            "7",
-            "--die",
-            "1000",
-            "--out",
+            "gen", "uniform", "--sinks", "12", "--seed", "7", "--die", "1000", "--out",
         ])
         .arg(&pts)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // Solve it with a normalized window and write an SVG.
     let out = lubt()
@@ -61,7 +57,11 @@ fn gen_solve_roundtrip_with_svg() {
         .arg(&svg)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("tree cost"));
     assert!(text.contains("delay window"));
@@ -83,7 +83,11 @@ fn zeroskew_and_bst_commands() {
     assert!(out.status.success());
 
     let out = lubt().args(["zeroskew"]).arg(&pts).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("common delay"));
 
@@ -93,7 +97,11 @@ fn zeroskew_and_bst_commands() {
         .args(["--skew", "0.1"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("realized skew"));
 
@@ -120,6 +128,77 @@ fn infeasible_window_reports_cleanly() {
     assert!(!out.status.success());
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("no LUBT exists"), "stderr: {err}");
+
+    let _ = std::fs::remove_file(&pts);
+}
+
+#[test]
+fn lint_reports_deny_findings_with_nonzero_exit() {
+    let pts = tmp("inst5.pts");
+    let out = lubt()
+        .args(["gen", "uniform", "--sinks", "6", "--seed", "1", "--out"])
+        .arg(&pts)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // u = 0.5R violates Equation 3: deny-level finding, non-zero exit,
+    // and the offending sinks named on stdout.
+    let out = lubt()
+        .args(["lint"])
+        .arg(&pts)
+        .args(["--upper", "0.5"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("error[sink-reachability]"), "stdout: {text}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("no LUBT exists"), "stderr: {err}");
+
+    let _ = std::fs::remove_file(&pts);
+}
+
+#[test]
+fn lint_clean_instance_exits_zero_and_emits_json() {
+    let pts = tmp("inst6.pts");
+    let out = lubt()
+        .args(["gen", "uniform", "--sinks", "6", "--seed", "1", "--out"])
+        .arg(&pts)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Generous window: no findings, exit 0.
+    let out = lubt()
+        .args(["lint"])
+        .arg(&pts)
+        .args(["--lower", "0.9", "--upper", "1.5"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("lint            clean"), "stdout: {text}");
+
+    // JSON mode on an infeasible window: the array carries the pass slug.
+    let out = lubt()
+        .args(["lint"])
+        .arg(&pts)
+        .args(["--upper", "0.5", "--json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.trim_start().starts_with('['), "stdout: {text}");
+    assert!(
+        text.contains("\"pass\": \"sink-reachability\""),
+        "stdout: {text}"
+    );
+    assert!(text.contains("\"level\": \"error\""), "stdout: {text}");
 
     let _ = std::fs::remove_file(&pts);
 }
@@ -153,7 +232,11 @@ fn alternate_topologies_and_backend() {
         .args(["--upper", "1.5", "--backend", "ipm"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let _ = std::fs::remove_file(&pts);
 }

@@ -106,6 +106,16 @@ impl DelayBounds {
         self.upper[i]
     }
 
+    /// All lower bounds, in sink order (the view lint passes consume).
+    pub fn lowers(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// All upper bounds, in sink order.
+    pub fn uppers(&self) -> &[f64] {
+        &self.upper
+    }
+
     /// The loosest skew the bounds still allow: `max u_i - min l_i`.
     pub fn max_skew(&self) -> f64 {
         let max_u = self.upper.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -155,6 +165,8 @@ mod tests {
         let b = DelayBounds::from_pairs(vec![(1.0, 2.0), (0.0, 5.0)]).unwrap();
         assert_eq!(b.len(), 2);
         assert_eq!(b.max_skew(), 5.0);
+        assert_eq!(b.lowers(), &[1.0, 0.0]);
+        assert_eq!(b.uppers(), &[2.0, 5.0]);
         assert!(DelayBounds::from_pairs(vec![(3.0, 2.0)]).is_err());
         assert!(DelayBounds::from_pairs(vec![(-1.0, 2.0)]).is_err());
         assert!(DelayBounds::from_pairs(vec![(f64::NAN, 2.0)]).is_err());

@@ -82,6 +82,7 @@ pub struct EbfSolver {
     backend: SolverBackend,
     steiner_mode: SteinerMode,
     violation_tol: f64,
+    prelint: bool,
 }
 
 impl Default for EbfSolver {
@@ -90,8 +91,71 @@ impl Default for EbfSolver {
             backend: SolverBackend::Simplex,
             steiner_mode: SteinerMode::default_lazy(),
             violation_tol: 1e-6,
+            prelint: true,
         }
     }
+}
+
+/// Assembles the base EBF model: one variable per edge (cost = weight),
+/// zero-edge equality rows, and the per-sink delay window rows of §4.2.
+/// No Steiner rows. Returns the model plus the edge-variable table
+/// (variable `j - 1` is the edge of node `j`).
+fn base_model(problem: &LubtProblem) -> (Model, Vec<Var>) {
+    let topo = problem.topology();
+    let n_nodes = topo.num_nodes();
+    let m = topo.num_sinks();
+
+    let mut model = Model::new();
+    let edge_vars: Vec<Var> = (1..n_nodes)
+        .map(|j| model.add_var(0.0, problem.weights()[j]))
+        .collect();
+    let var_of = |node: NodeId| edge_vars[node.index() - 1];
+
+    // Zero-fixed edges (degree-4 splitting).
+    for &z in problem.zero_edges() {
+        model.add_constraint(LinExpr::from_terms([(var_of(z), 1.0)]), Cmp::Eq, 0.0);
+    }
+
+    // Delay constraints (§4.2): l_i <= sum(path) <= u_i, plus the
+    // source-sink Steiner constraint when the source location is given
+    // (the root then acts as a fixed point: sum(path) >= dist(s0, s_i)).
+    for i in 1..=m {
+        let sink = NodeId(i);
+        let path = topo.path_to_ancestor(sink, topo.root());
+        let expr = || LinExpr::from_terms(path.iter().map(|&e| (var_of(e), 1.0)));
+        let l = problem.bounds().lower(i - 1);
+        let u = problem.bounds().upper(i - 1);
+        let mut effective_lower = l;
+        if let Some(src) = problem.source() {
+            effective_lower = effective_lower.max(src.dist(problem.sink_location(sink)));
+        }
+        if effective_lower > 0.0 {
+            model.add_constraint(expr(), Cmp::Ge, effective_lower);
+        }
+        if u.is_finite() {
+            model.add_constraint(expr(), Cmp::Le, u);
+        }
+    }
+
+    (model, edge_vars)
+}
+
+/// The LP a lazy EBF solve starts from: the base model plus the
+/// nearest-neighbor seed Steiner rows.
+///
+/// This is what [`crate::LubtProblem::lint`] hands to the
+/// `model-conditioning` pass, so the linter sees the same rows the solver
+/// would — without running a single pivot.
+pub fn ebf_model(problem: &LubtProblem) -> Model {
+    let (mut model, edge_vars) = base_model(problem);
+    let topo = problem.topology();
+    let var_of = |node: NodeId| edge_vars[node.index() - 1];
+    for pair in seed_pairs(problem) {
+        let path = topo.path_between(pair.a, pair.b);
+        let expr = LinExpr::from_terms(path.iter().map(|&e| (var_of(e), 1.0)));
+        model.add_constraint(expr, Cmp::Ge, pair.dist);
+    }
+    model
 }
 
 impl EbfSolver {
@@ -121,53 +185,44 @@ impl EbfSolver {
         self
     }
 
+    /// Enables or disables the pre-solve lint hook (on by default). When
+    /// enabled, instance-level lint passes run before the LP is built and a
+    /// deny-level finding short-circuits into [`LubtError::Rejected`]
+    /// carrying the diagnostics; disabled, a hopeless instance falls
+    /// through to the LP's bare [`LubtError::Infeasible`] certificate.
+    #[must_use]
+    pub fn with_prelint(mut self, enabled: bool) -> Self {
+        self.prelint = enabled;
+        self
+    }
+
     /// Solves the EBF for `problem`.
     ///
     /// # Errors
     ///
+    /// * [`LubtError::Rejected`] — the pre-solve lint hook proved the
+    ///   instance infeasible (e.g. `u_i` below the source-to-sink
+    ///   distance) before any LP was built; the diagnostics name the
+    ///   offending sinks. See [`EbfSolver::with_prelint`].
     /// * [`LubtError::Infeasible`] — the LP has no feasible point, which by
     ///   Theorem 4.2 certifies that no LUBT exists for this topology and
     ///   bounds (the paper's "we immediately know the existence of a
     ///   solution" remark).
     /// * [`LubtError::Lp`] — backend failure (iteration limit, numerics).
     pub fn solve(&self, problem: &LubtProblem) -> Result<(Vec<f64>, EbfReport), LubtError> {
+        if self.prelint {
+            let diags = problem.prelint_diagnostics();
+            if lubt_lint::has_deny(&diags) {
+                return Err(LubtError::Rejected(diags));
+            }
+        }
+
         let topo = problem.topology();
         let n_nodes = topo.num_nodes();
         let m = topo.num_sinks();
 
-        let mut model = Model::new();
-        // Variable j-1 is edge e_j (edge of node j).
-        let edge_vars: Vec<Var> = (1..n_nodes)
-            .map(|j| model.add_var(0.0, problem.weights()[j]))
-            .collect();
+        let (mut model, edge_vars) = base_model(problem);
         let var_of = |node: NodeId| edge_vars[node.index() - 1];
-
-        // Zero-fixed edges (degree-4 splitting).
-        for &z in problem.zero_edges() {
-            model.add_constraint(LinExpr::from_terms([(var_of(z), 1.0)]), Cmp::Eq, 0.0);
-        }
-
-        // Delay constraints (§4.2): l_i <= sum(path) <= u_i, plus the
-        // source-sink Steiner constraint when the source location is given
-        // (the root then acts as a fixed point: sum(path) >= dist(s0, s_i)).
-        for i in 1..=m {
-            let sink = NodeId(i);
-            let path = topo.path_to_ancestor(sink, topo.root());
-            let expr =
-                || LinExpr::from_terms(path.iter().map(|&e| (var_of(e), 1.0)));
-            let l = problem.bounds().lower(i - 1);
-            let u = problem.bounds().upper(i - 1);
-            let mut effective_lower = l;
-            if let Some(src) = problem.source() {
-                effective_lower = effective_lower.max(src.dist(problem.sink_location(sink)));
-            }
-            if effective_lower > 0.0 {
-                model.add_constraint(expr(), Cmp::Ge, effective_lower);
-            }
-            if u.is_finite() {
-                model.add_constraint(expr(), Cmp::Le, u);
-            }
-        }
 
         let add_steiner_row = |model: &mut Model, pair: &SinkPair| {
             let path = topo.path_between(pair.a, pair.b);
@@ -241,11 +296,9 @@ impl EbfSolver {
                             Status::Optimal => {}
                             Status::Infeasible => return Err(LubtError::Infeasible),
                             Status::Unbounded => {
-                                return Err(LubtError::Lp(
-                                    lubt_lp::LpError::NumericalBreakdown(
-                                        "EBF objective cannot be unbounded".to_string(),
-                                    ),
-                                ))
+                                return Err(LubtError::Lp(lubt_lp::LpError::NumericalBreakdown(
+                                    "EBF objective cannot be unbounded".to_string(),
+                                )))
                             }
                         }
                         lp_iterations = sol.iterations();
@@ -364,17 +417,53 @@ mod tests {
     }
 
     #[test]
-    fn infeasible_upper_bound_is_certified() {
+    fn infeasible_upper_bound_is_rejected_before_the_lp() {
         // Radius is 10; u = 5 < dist(source, sinks) has no solution (Eq 3).
+        // The pre-solve lint hook catches this without building the LP.
+        let p = LubtBuilder::new(square())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::upper_only(4, 5.0))
+            .build()
+            .unwrap();
+        match EbfSolver::new().solve(&p) {
+            Err(LubtError::Rejected(diags)) => {
+                assert!(diags.iter().any(|d| d.pass == "sink-reachability"));
+                assert!(lubt_lint::has_deny(&diags));
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_upper_bound_is_certified_by_the_lp_without_prelint() {
+        // Same instance with the hook disabled: the LP itself certifies
+        // infeasibility (Theorem 4.2).
         let p = LubtBuilder::new(square())
             .source(Point::new(5.0, 5.0))
             .bounds(DelayBounds::upper_only(4, 5.0))
             .build()
             .unwrap();
         assert!(matches!(
-            EbfSolver::new().solve(&p),
+            EbfSolver::new().with_prelint(false).solve(&p),
             Err(LubtError::Infeasible)
         ));
+    }
+
+    #[test]
+    fn ebf_model_matches_the_lazy_seed_row_count() {
+        let p = LubtBuilder::new(square())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::uniform(4, 12.0, 15.0))
+            .build()
+            .unwrap();
+        let model = ebf_model(&p);
+        assert_eq!(model.num_vars(), p.topology().num_nodes() - 1);
+        // Per sink: one Ge row (effective lower > 0) and one Le row, plus
+        // the seed Steiner rows the lazy solve starts from.
+        let m = p.topology().num_sinks();
+        let seeds = crate::steiner::seed_pairs(&p).len();
+        assert_eq!(model.num_constraints(), 2 * m + seeds);
+        assert!(model.validate().is_ok());
     }
 
     #[test]
@@ -420,7 +509,9 @@ mod tests {
         let n = p.topology().num_nodes();
         let mut w = vec![1.0; n];
         // Find the longest edge and penalize it.
-        let longest = (1..n).max_by(|&a, &b| base[a].partial_cmp(&base[b]).unwrap()).unwrap();
+        let longest = (1..n)
+            .max_by(|&a, &b| base[a].partial_cmp(&base[b]).unwrap())
+            .unwrap();
         w[longest] = 50.0;
         let p2 = p.clone().with_weights(w).unwrap();
         let (heavy, _) = EbfSolver::new().solve(&p2).unwrap();

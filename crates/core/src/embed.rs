@@ -167,8 +167,14 @@ mod tests {
         // e1 = e2 = 4 forces the Steiner point to (4, 0); e3 = 3 reaches
         // the source exactly.
         let lengths = vec![0.0, 4.0, 4.0, 3.0];
-        let pos = embed_tree(&topo, &sinks, Some(source), &lengths, PlacementPolicy::ClosestToParent)
-            .unwrap();
+        let pos = embed_tree(
+            &topo,
+            &sinks,
+            Some(source),
+            &lengths,
+            PlacementPolicy::ClosestToParent,
+        )
+        .unwrap();
         assert_eq!(pos[0], source);
         assert_eq!(pos[1], sinks[0]);
         assert_eq!(pos[2], sinks[1]);
@@ -193,8 +199,22 @@ mod tests {
     fn closest_to_parent_is_tighter_than_center() {
         let (topo, sinks, source) = two_sink_instance();
         let lengths = vec![0.0, 7.0, 7.0, 6.0];
-        let near = embed_tree(&topo, &sinks, Some(source), &lengths, PlacementPolicy::ClosestToParent).unwrap();
-        let center = embed_tree(&topo, &sinks, Some(source), &lengths, PlacementPolicy::Center).unwrap();
+        let near = embed_tree(
+            &topo,
+            &sinks,
+            Some(source),
+            &lengths,
+            PlacementPolicy::ClosestToParent,
+        )
+        .unwrap();
+        let center = embed_tree(
+            &topo,
+            &sinks,
+            Some(source),
+            &lengths,
+            PlacementPolicy::Center,
+        )
+        .unwrap();
         assert!(near[3].dist(source) <= center[3].dist(source) + 1e-9);
     }
 
@@ -204,13 +224,25 @@ mod tests {
         // e1 + e2 = 6 < dist(s1, s2) = 8: Steiner constraint violated.
         let lengths = vec![0.0, 3.0, 3.0, 5.0];
         assert!(matches!(
-            embed_tree(&topo, &sinks, Some(source), &lengths, PlacementPolicy::Center),
+            embed_tree(
+                &topo,
+                &sinks,
+                Some(source),
+                &lengths,
+                PlacementPolicy::Center
+            ),
             Err(LubtError::Embedding { .. })
         ));
         // Steiner fine but the root edge cannot reach the source.
         let lengths = vec![0.0, 4.0, 4.0, 1.0];
         assert!(matches!(
-            embed_tree(&topo, &sinks, Some(source), &lengths, PlacementPolicy::Center),
+            embed_tree(
+                &topo,
+                &sinks,
+                Some(source),
+                &lengths,
+                PlacementPolicy::Center
+            ),
             Err(LubtError::Embedding { node: 0 })
         ));
     }
@@ -231,7 +263,13 @@ mod tests {
         // Just barely short of meeting, within the slack budget.
         let eps = 1e-11;
         let lengths = vec![0.0, 4.0 - eps, 4.0 - eps, 3.0 + 2.0 * eps];
-        let pos = embed_tree(&topo, &sinks, Some(source), &lengths, PlacementPolicy::ClosestToParent);
+        let pos = embed_tree(
+            &topo,
+            &sinks,
+            Some(source),
+            &lengths,
+            PlacementPolicy::ClosestToParent,
+        );
         assert!(pos.is_ok());
     }
 

@@ -13,6 +13,12 @@ pub enum LubtError {
     /// feasible point. Thanks to Theorem 4.2, this is a *certificate* —
     /// no LUBT exists for the given topology and bounds.
     Infeasible,
+    /// The pre-solve lint hook found deny-level problems: the instance is
+    /// provably unusable (infeasible windows, broken invariants) and no LP
+    /// was built. Each diagnostic names the pass and the offending nodes.
+    /// Disable via [`crate::EbfSolver::with_prelint`] to fall through to
+    /// the LP's own [`LubtError::Infeasible`] certificate.
+    Rejected(Vec<lubt_lint::Diagnostic>),
     /// The underlying LP solver failed (iteration limit, numerical
     /// breakdown).
     Lp(lubt_lp::LpError),
@@ -34,12 +40,29 @@ impl fmt::Display for LubtError {
         match self {
             LubtError::Input(msg) => write!(f, "invalid problem input: {msg}"),
             LubtError::Infeasible => {
-                write!(f, "no LUBT exists for this topology and bounds (LP infeasible)")
+                write!(
+                    f,
+                    "no LUBT exists for this topology and bounds (LP infeasible)"
+                )
+            }
+            LubtError::Rejected(diags) => {
+                write!(
+                    f,
+                    "no LUBT exists for these bounds; rejected before solving by {} lint finding(s):",
+                    diags.iter().filter(|d| d.is_deny()).count()
+                )?;
+                for d in diags.iter().filter(|d| d.is_deny()) {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
             }
             LubtError::Lp(e) => write!(f, "lp solver failure: {e}"),
             LubtError::Topology(e) => write!(f, "topology error: {e}"),
             LubtError::Embedding { node } => {
-                write!(f, "feasible region of node s{node} is empty during embedding")
+                write!(
+                    f,
+                    "feasible region of node s{node} is empty during embedding"
+                )
             }
             LubtError::Verify(e) => write!(f, "solution verification failed: {e}"),
         }
@@ -86,5 +109,28 @@ mod tests {
         assert!(Error::source(&e).is_some());
         assert!(LubtError::Infeasible.to_string().contains("no LUBT"));
         assert!(Error::source(&LubtError::Infeasible).is_none());
+    }
+
+    #[test]
+    fn rejected_renders_deny_diagnostics() {
+        let deny = lubt_lint::Diagnostic {
+            pass: "sink-reachability",
+            level: lubt_lint::Level::Deny,
+            message: "sink 1 is unreachable".to_string(),
+            targets: vec![lubt_lint::Target::Sink(1)],
+            help: None,
+        };
+        let warn = lubt_lint::Diagnostic {
+            pass: "degenerate-topology",
+            level: lubt_lint::Level::Warn,
+            message: "noise".to_string(),
+            targets: vec![],
+            help: None,
+        };
+        let text = LubtError::Rejected(vec![deny, warn]).to_string();
+        assert!(text.contains("no LUBT exists"));
+        assert!(text.contains("1 lint finding(s)"));
+        assert!(text.contains("sink-reachability"));
+        assert!(!text.contains("noise"));
     }
 }

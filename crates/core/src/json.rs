@@ -62,7 +62,11 @@ pub fn solution_to_json(solution: &LubtSolution) -> String {
             num(p.y),
             num(delays[v.index()])
         );
-        out.push_str(if v.index() + 1 < topo.num_nodes() { ",\n" } else { "\n" });
+        out.push_str(if v.index() + 1 < topo.num_nodes() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     out.push_str("  ],\n");
 

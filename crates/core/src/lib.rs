@@ -70,7 +70,7 @@ mod zero_skew;
 
 pub use analysis::{analyze, EdgeKind, EdgeStat, TreeAnalysis};
 pub use bounds::DelayBounds;
-pub use ebf::{EbfReport, EbfSolver, SolverBackend, SteinerMode};
+pub use ebf::{ebf_model, EbfReport, EbfSolver, SolverBackend, SteinerMode};
 pub use elmore_ebf::{ElmoreEbf, ElmoreReport};
 pub use embed::{embed_tree, PlacementPolicy};
 pub use error::LubtError;

@@ -173,13 +173,63 @@ impl LubtProblem {
         }
     }
 
+    /// The borrowed view lint passes consume, with an optional LP model
+    /// attached for the `model-conditioning` pass.
+    fn lint_input<'a>(&'a self, model: Option<&'a lubt_lp::Model>) -> lubt_lint::LintInput<'a> {
+        lubt_lint::LintInput {
+            sinks: &self.sinks,
+            source: self.source,
+            topology: &self.topology,
+            source_mode: self.source_mode(),
+            lower: self.bounds.lowers(),
+            upper: self.bounds.uppers(),
+            model,
+        }
+    }
+
+    /// Statically analyzes the problem with the default lint registry,
+    /// including the model-level passes over the same LP a lazy EBF solve
+    /// would start from ([`crate::ebf_model`]). Nothing is solved.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lubt_core::{DelayBounds, LubtBuilder};
+    /// use lubt_geom::Point;
+    /// let p = LubtBuilder::new(vec![Point::new(0.0, 0.0), Point::new(8.0, 0.0)])
+    ///     .source(Point::new(4.0, 0.0))
+    ///     .bounds(DelayBounds::upper_only(2, 3.0)) // below the radius 4
+    ///     .build()?;
+    /// let diags = p.lint();
+    /// assert!(lubt_lint::has_deny(&diags));
+    /// # Ok::<(), lubt_core::LubtError>(())
+    /// ```
+    pub fn lint(&self) -> Vec<lubt_lint::Diagnostic> {
+        self.lint_with(&lubt_lint::LintRegistry::default())
+    }
+
+    /// Statically analyzes the problem with a caller-configured registry
+    /// (pass levels overridden, passes disabled, extra passes added).
+    pub fn lint_with(&self, registry: &lubt_lint::LintRegistry) -> Vec<lubt_lint::Diagnostic> {
+        let model = crate::ebf::ebf_model(self);
+        registry.run(&self.lint_input(Some(&model)))
+    }
+
+    /// Instance-level diagnostics only (no LP assembled): what the
+    /// pre-solve hook in [`EbfSolver::solve`] consults. Cheap — O(m^2)
+    /// distance arithmetic at worst.
+    pub(crate) fn prelint_diagnostics(&self) -> Vec<lubt_lint::Diagnostic> {
+        lubt_lint::LintRegistry::default().run(&self.lint_input(None))
+    }
+
     /// Solves with the default pipeline: lazy-constraint EBF on the simplex
     /// backend, then geometric embedding with closest-to-parent placement.
     ///
     /// # Errors
     ///
-    /// [`LubtError::Infeasible`] when no LUBT exists for these bounds and
-    /// topology; solver/embedding errors otherwise.
+    /// [`LubtError::Rejected`] when the pre-solve lint hook proves no LUBT
+    /// exists, [`LubtError::Infeasible`] when the LP certifies it;
+    /// solver/embedding errors otherwise.
     pub fn solve(&self) -> Result<LubtSolution, LubtError> {
         let (lengths, report) = EbfSolver::new().solve(self)?;
         let positions = embed_tree(
@@ -333,12 +383,8 @@ impl LubtBuilder {
         let topology = match &self.topology {
             Some(t) => t.clone(),
             None => match self.strategy {
-                TopologyStrategy::NearestNeighbor => {
-                    nearest_neighbor_topology(&self.sinks, mode)
-                }
-                TopologyStrategy::Matching => {
-                    lubt_topology::matching_topology(&self.sinks, mode)
-                }
+                TopologyStrategy::NearestNeighbor => nearest_neighbor_topology(&self.sinks, mode),
+                TopologyStrategy::Matching => lubt_topology::matching_topology(&self.sinks, mode),
                 TopologyStrategy::Bisection => {
                     lubt_topology::bipartition_topology(&self.sinks, mode)
                 }
@@ -394,12 +440,22 @@ mod tests {
         let topo = nearest_neighbor_topology(&square_sinks(), SourceMode::Free);
         // Mismatched bound count.
         assert!(matches!(
-            LubtProblem::new(square_sinks(), None, topo.clone(), DelayBounds::unbounded(3)),
+            LubtProblem::new(
+                square_sinks(),
+                None,
+                topo.clone(),
+                DelayBounds::unbounded(3)
+            ),
             Err(LubtError::Input(_))
         ));
         // Mismatched sink count.
         assert!(matches!(
-            LubtProblem::new(square_sinks()[..2].to_vec(), None, topo.clone(), DelayBounds::unbounded(2)),
+            LubtProblem::new(
+                square_sinks()[..2].to_vec(),
+                None,
+                topo.clone(),
+                DelayBounds::unbounded(2)
+            ),
             Err(LubtError::Input(_))
         ));
         // Valid.

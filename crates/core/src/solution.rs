@@ -176,7 +176,10 @@ mod tests {
         assert!((s.routed_wirelength() - s.cost()).abs() < 1e-6);
         // Each route connects parent placement to child placement.
         for ((child, parent), route) in s.problem().topology().edges().zip(&routes) {
-            assert_eq!(route.first().copied().unwrap(), s.positions()[parent.index()]);
+            assert_eq!(
+                route.first().copied().unwrap(),
+                s.positions()[parent.index()]
+            );
             assert_eq!(route.last().copied().unwrap(), s.positions()[child.index()]);
         }
     }

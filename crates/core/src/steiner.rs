@@ -69,10 +69,7 @@ pub fn seed_pairs(problem: &LubtProblem) -> Vec<SinkPair> {
                 b: NodeId(hi),
                 dist: d,
             };
-            if !out
-                .iter()
-                .any(|p| p.a == pair.a && p.b == pair.b)
-            {
+            if !out.iter().any(|p| p.a == pair.a && p.b == pair.b) {
                 out.push(pair);
             }
         }
@@ -86,11 +83,7 @@ pub fn seed_pairs(problem: &LubtProblem) -> Vec<SinkPair> {
 /// # Panics
 ///
 /// Panics when `lengths.len() != topology.num_nodes()`.
-pub fn violated_pairs(
-    problem: &LubtProblem,
-    lengths: &[f64],
-    tol: f64,
-) -> Vec<(SinkPair, f64)> {
+pub fn violated_pairs(problem: &LubtProblem, lengths: &[f64], tol: f64) -> Vec<(SinkPair, f64)> {
     let topo = problem.topology();
     let delays = node_delays(topo, lengths);
     let m = topo.num_sinks();

@@ -132,7 +132,10 @@ pub fn render_tree_svg(
          viewBox=\"0 0 {:.1} {:.1}\">",
         opts.width, height, opts.width, height
     );
-    let _ = writeln!(out, "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>");
+    let _ = writeln!(
+        out,
+        "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>"
+    );
 
     // Wires.
     for ((child, _), route) in topo.edges().zip(&routes) {
@@ -239,8 +242,14 @@ mod tests {
     #[test]
     fn balanced_tags() {
         let svg = render_svg(&sample());
-        assert_eq!(svg.matches("<title>").count(), svg.matches("</title>").count());
-        assert_eq!(svg.matches("<polyline").count(), svg.matches("</polyline>").count());
+        assert_eq!(
+            svg.matches("<title>").count(),
+            svg.matches("</title>").count()
+        );
+        assert_eq!(
+            svg.matches("<polyline").count(),
+            svg.matches("</polyline>").count()
+        );
     }
 
     #[test]

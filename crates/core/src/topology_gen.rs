@@ -122,8 +122,9 @@ pub fn bound_aware_topology(
         }
         best
     };
-    let mut nn: Vec<Option<(usize, f64)>> =
-        (0..clusters.len()).map(|i| nearest_of(&clusters, i)).collect();
+    let mut nn: Vec<Option<(usize, f64)>> = (0..clusters.len())
+        .map(|i| nearest_of(&clusters, i))
+        .collect();
 
     let mut live = m;
     while live > 1 {
@@ -237,8 +238,7 @@ mod tests {
             tree_cost(&lengths)
         };
         let nn = solve_on(nearest_neighbor_topology(&sinks, SourceMode::Given));
-        let aware =
-            solve_on(bound_aware_topology(&sinks, Some(src), &bounds).unwrap());
+        let aware = solve_on(bound_aware_topology(&sinks, Some(src), &bounds).unwrap());
         assert!(aware <= nn * 1.15 + 1e-6, "aware {aware} vs nn {nn}");
     }
 

@@ -64,15 +64,28 @@ pub enum VerifyError {
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VerifyError::EdgeShorterThanDistance { edge, length, distance } => write!(
+            VerifyError::EdgeShorterThanDistance {
+                edge,
+                length,
+                distance,
+            } => write!(
                 f,
                 "edge e{edge} has length {length} but its endpoints are {distance} apart"
             ),
-            VerifyError::DelayOutOfBounds { sink, delay, lower, upper } => write!(
+            VerifyError::DelayOutOfBounds {
+                sink,
+                delay,
+                lower,
+                upper,
+            } => write!(
                 f,
                 "sink s{sink} has delay {delay}, outside [{lower}, {upper}]"
             ),
-            VerifyError::SinkMoved { sink, expected, actual } => {
+            VerifyError::SinkMoved {
+                sink,
+                expected,
+                actual,
+            } => {
                 write!(f, "sink s{sink} placed at {actual}, expected {expected}")
             }
             VerifyError::SourceMoved { expected, actual } => {
@@ -86,6 +99,46 @@ impl fmt::Display for VerifyError {
 }
 
 impl Error for VerifyError {}
+
+impl VerifyError {
+    /// Renders the verification failure through the same structured
+    /// [`Diagnostic`](lubt_lint::Diagnostic) type the lint passes use, so
+    /// CLI and JSON consumers see one schema for "instance rejected up
+    /// front" and "solution failed post-hoc checks". The pass slug is
+    /// `"verify"` and the level is always deny.
+    pub fn to_diagnostic(&self) -> lubt_lint::Diagnostic {
+        use lubt_lint::{Diagnostic, Level, Target};
+        let (targets, help) = match self {
+            VerifyError::EdgeShorterThanDistance { edge, .. } => (
+                vec![Target::Edge(*edge)],
+                "the embedding cannot route this edge within its claimed length",
+            ),
+            VerifyError::DelayOutOfBounds { sink, .. } => (
+                vec![Target::Sink(*sink)],
+                "recomputed delay violates the sink's window",
+            ),
+            VerifyError::SinkMoved { sink, .. } => (
+                vec![Target::Sink(*sink)],
+                "sink locations are inputs and must not move",
+            ),
+            VerifyError::SourceMoved { .. } => (
+                vec![Target::Node(0)],
+                "the given source location must not move",
+            ),
+            VerifyError::ZeroEdgeNonZero { edge, .. } => (
+                vec![Target::Edge(*edge)],
+                "edges fixed by degree-4 splitting must stay at length zero",
+            ),
+        };
+        Diagnostic {
+            pass: "verify",
+            level: Level::Deny,
+            message: self.to_string(),
+            targets,
+            help: Some(help.to_string()),
+        }
+    }
+}
 
 /// Runs every check; returns the first violation found.
 pub(crate) fn verify_solution(
@@ -236,5 +289,36 @@ mod tests {
             upper: 2.0,
         };
         assert!(e.to_string().contains("s3"));
+    }
+
+    #[test]
+    fn verify_errors_render_as_diagnostics() {
+        use lubt_lint::{Level, Target};
+        let d = VerifyError::DelayOutOfBounds {
+            sink: 3,
+            delay: 9.0,
+            lower: 1.0,
+            upper: 2.0,
+        }
+        .to_diagnostic();
+        assert_eq!(d.pass, "verify");
+        assert_eq!(d.level, Level::Deny);
+        assert_eq!(d.targets, vec![Target::Sink(3)]);
+        assert!(d.message.contains("s3"));
+
+        let d = VerifyError::SourceMoved {
+            expected: Point::new(0.0, 0.0),
+            actual: Point::new(1.0, 0.0),
+        }
+        .to_diagnostic();
+        assert_eq!(d.targets, vec![Target::Node(0)]);
+        assert!(d.is_deny());
+
+        let d = VerifyError::ZeroEdgeNonZero {
+            edge: 7,
+            length: 2.0,
+        }
+        .to_diagnostic();
+        assert_eq!(d.targets, vec![Target::Edge(7)]);
     }
 }

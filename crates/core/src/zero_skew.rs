@@ -220,7 +220,13 @@ mod tests {
             assert!(hi - lo < 1e-9, "seed {seed}: skew {}", hi - lo);
             assert!((hi - z.delay).abs() < 1e-9);
             // And the lengths embed.
-            let pos = embed_tree(&topo, &sinks, None, &z.edge_lengths, PlacementPolicy::Center);
+            let pos = embed_tree(
+                &topo,
+                &sinks,
+                None,
+                &z.edge_lengths,
+                PlacementPolicy::Center,
+            );
             assert!(pos.is_ok(), "seed {seed}");
         }
     }

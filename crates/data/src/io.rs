@@ -87,14 +87,15 @@ pub fn parse(text: &str) -> Result<Instance, ParseInstanceError> {
         };
         let mut it = line.split_whitespace();
         let head = it.next().ok_or_else(bad)?;
-        let parse_point = |mut it: std::str::SplitWhitespace<'_>| -> Result<Point, ParseInstanceError> {
-            let x: f64 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
-            let y: f64 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
-            if it.next().is_some() {
-                return Err(bad());
-            }
-            Ok(Point::new(x, y))
-        };
+        let parse_point =
+            |mut it: std::str::SplitWhitespace<'_>| -> Result<Point, ParseInstanceError> {
+                let x: f64 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                let y: f64 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                if it.next().is_some() {
+                    return Err(bad());
+                }
+                Ok(Point::new(x, y))
+            };
         match head {
             "name" => {
                 name = it.collect::<Vec<_>>().join(" ");

@@ -91,10 +91,7 @@ pub fn row_based(name: &str, num_sinks: usize, die: f64, rows: usize, seed: u64)
     let sinks = (0..num_sinks)
         .map(|_| {
             let row = rng.gen_range(0..rows);
-            Point::new(
-                rng.gen_range(0.0..die),
-                (row as f64 + 0.5) * pitch,
-            )
+            Point::new(rng.gen_range(0.0..die), (row as f64 + 0.5) * pitch)
         })
         .collect();
     Instance::new(name, Some(Point::new(die / 2.0, die / 2.0)), sinks)
@@ -125,7 +122,12 @@ mod tests {
         let u = instance_stats(&synthetic::uniform("u", 120, 1000.0, 9)).unwrap();
         let c = instance_stats(&synthetic::clustered("c", 120, 1000.0, 4, 9)).unwrap();
         // Clustering pulls nearest neighbors closer on average.
-        assert!(c.nn_mean < u.nn_mean, "clustered {} vs uniform {}", c.nn_mean, u.nn_mean);
+        assert!(
+            c.nn_mean < u.nn_mean,
+            "clustered {} vs uniform {}",
+            c.nn_mean,
+            u.nn_mean
+        );
     }
 
     #[test]
@@ -134,7 +136,11 @@ mod tests {
         let pitch = 1000.0 / 8.0;
         for p in &inst.sinks {
             let row_pos = (p.y / pitch) - 0.5;
-            assert!((row_pos - row_pos.round()).abs() < 1e-9, "y {} off-row", p.y);
+            assert!(
+                (row_pos - row_pos.round()).abs() < 1e-9,
+                "y {} off-row",
+                p.y
+            );
         }
         // Deterministic.
         assert_eq!(inst.sinks, row_based("rows", 60, 1000.0, 8, 5).sinks);

@@ -30,13 +30,7 @@ pub fn uniform(name: &str, num_sinks: usize, die: f64, seed: u64) -> Instance {
 
 /// Clustered sinks: `clusters` Gaussian-ish blobs on the die — closer to
 /// the register banks of a real floorplan than a uniform scatter.
-pub fn clustered(
-    name: &str,
-    num_sinks: usize,
-    die: f64,
-    clusters: usize,
-    seed: u64,
-) -> Instance {
+pub fn clustered(name: &str, num_sinks: usize, die: f64, clusters: usize, seed: u64) -> Instance {
     let mut rng = StdRng::seed_from_u64(seed);
     let clusters = clusters.max(1);
     let centers: Vec<Point> = (0..clusters)
@@ -132,7 +126,10 @@ mod tests {
 
     #[test]
     fn points_stay_on_die() {
-        for inst in [clustered("c", 200, 1000.0, 5, 42), uniform("u", 200, 1000.0, 42)] {
+        for inst in [
+            clustered("c", 200, 1000.0, 5, 42),
+            uniform("u", 200, 1000.0, 42),
+        ] {
             for p in &inst.sinks {
                 assert!((0.0..=1000.0).contains(&p.x));
                 assert!((0.0..=1000.0).contains(&p.y));

@@ -79,8 +79,7 @@ pub fn node_delays(topo: &Topology, lengths: &[f64], params: &ElmoreParams) -> V
     for v in topo.preorder() {
         if let Some(p) = topo.parent(v) {
             let e = lengths[v.index()];
-            d[v.index()] = d[p.index()]
-                + params.r_w * e * (params.c_w * e / 2.0 + caps[v.index()]);
+            d[v.index()] = d[p.index()] + params.r_w * e * (params.c_w * e / 2.0 + caps[v.index()]);
         }
     }
     d

@@ -42,10 +42,7 @@ pub fn delay_range(topo: &Topology, node_delays: &[f64]) -> (f64, f64) {
 ///
 /// Returns `0` for an empty sink set.
 pub fn radius_with_source(source: Point, sinks: &[Point]) -> f64 {
-    sinks
-        .iter()
-        .map(|s| source.dist(*s))
-        .fold(0.0, f64::max)
+    sinks.iter().map(|s| source.dist(*s)).fold(0.0, f64::max)
 }
 
 /// Radius without a source: half the Manhattan diameter of the sink set

@@ -280,21 +280,23 @@ impl Octilinear {
         let (ul, uh) = (self.u.lo(), self.u.hi());
         let (vl, vh) = (self.v.lo(), self.v.hi());
         assert!(
-            [xl, xh, yl, yh, ul, uh, vl, vh].iter().all(|c| c.is_finite()),
+            [xl, xh, yl, yh, ul, uh, vl, vh]
+                .iter()
+                .all(|c| c.is_finite()),
             "vertices() requires a bounded octilinear region"
         );
         // Walk the eight potentially-tight constraints counterclockwise,
         // starting at the right edge: x=xh, u=uh, y=yh, v=vl, x=xl, u=ul,
         // y=yl, v=vh. Consecutive tight pairs meet at these corners:
         vec![
-            Point::new(xh, uh - xh),       // x=xh ∧ u=uh
-            Point::new(uh - yh, yh),       // u=uh ∧ y=yh
-            Point::new(vl + yh, yh),       // y=yh ∧ v=vl
-            Point::new(xl, xl - vl),       // v=vl ∧ x=xl
-            Point::new(xl, ul - xl),       // x=xl ∧ u=ul
-            Point::new(ul - yl, yl),       // u=ul ∧ y=yl
-            Point::new(vh + yl, yl),       // y=yl ∧ v=vh
-            Point::new(xh, xh - vh),       // v=vh ∧ x=xh
+            Point::new(xh, uh - xh), // x=xh ∧ u=uh
+            Point::new(uh - yh, yh), // u=uh ∧ y=yh
+            Point::new(vl + yh, yh), // y=yh ∧ v=vl
+            Point::new(xl, xl - vl), // v=vl ∧ x=xl
+            Point::new(xl, ul - xl), // x=xl ∧ u=ul
+            Point::new(ul - yl, yl), // u=ul ∧ y=yl
+            Point::new(vh + yl, yl), // y=yl ∧ v=vh
+            Point::new(xh, xh - vh), // v=vh ∧ x=xh
         ]
     }
 
@@ -447,7 +449,10 @@ mod tests {
         assert!(o.contains(q));
         assert!((p.dist(q) - o.dist_to_point(p)).abs() < 1e-9);
         // Interior point maps to itself.
-        assert_eq!(o.closest_point_to(Point::new(0.5, 0.5)), Point::new(0.5, 0.5));
+        assert_eq!(
+            o.closest_point_to(Point::new(0.5, 0.5)),
+            Point::new(0.5, 0.5)
+        );
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! The structured diagnostic type shared by every lint pass (and, through
+//! `lubt-core`, by post-hoc solution verification).
+
+use std::fmt;
+
+/// Severity of a lint pass, clippy-style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// The pass is disabled; it does not run at all.
+    Allow,
+    /// The finding is reported but does not reject the instance.
+    Warn,
+    /// The finding proves the instance unusable (infeasible LP, broken
+    /// invariant); solving must not be attempted.
+    Deny,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Level::Allow => "allow",
+            Level::Warn => "warning",
+            Level::Deny => "error",
+        })
+    }
+}
+
+/// What a diagnostic points at: problem entities (by node index) or LP
+/// entities (by row id in the linted model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// A sink, by its node index in the topology (`1..=m`).
+    Sink(usize),
+    /// Any tree node (source, sink or Steiner), by node index.
+    Node(usize),
+    /// An edge, identified by its child node index.
+    Edge(usize),
+    /// An unordered pair of sinks, by node indices.
+    SinkPair(usize, usize),
+    /// A row (constraint) of the linted LP model, by 0-based index.
+    Row(usize),
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Sink(i) => write!(f, "s{i}"),
+            Target::Node(i) => write!(f, "n{i}"),
+            Target::Edge(i) => write!(f, "e{i}"),
+            Target::SinkPair(i, j) => write!(f, "(s{i}, s{j})"),
+            Target::Row(r) => write!(f, "row{r}"),
+        }
+    }
+}
+
+/// One finding of one lint pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Slug of the pass that produced the finding (e.g.
+    /// `"sink-reachability"`).
+    pub pass: &'static str,
+    /// Effective severity the finding was emitted at.
+    pub level: Level,
+    /// Human-readable description of the specific violation.
+    pub message: String,
+    /// The entities the finding points at.
+    pub targets: Vec<Target>,
+    /// Optional remediation hint.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// `true` when this finding rejects the instance.
+    pub fn is_deny(&self) -> bool {
+        self.level == Level::Deny
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.level, self.pass, self.message)?;
+        if !self.targets.is_empty() {
+            write!(f, " (at ")?;
+            for (k, t) in self.targets.iter().enumerate() {
+                if k > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            write!(f, ")")?;
+        }
+        if let Some(h) = &self.help {
+            write!(f, "\n  help: {h}")?;
+        }
+        Ok(())
+    }
+}
+
+/// `true` when any diagnostic in `diags` is deny-level.
+pub fn has_deny(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(Diagnostic::is_deny)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn target_json(t: &Target) -> String {
+    match t {
+        Target::Sink(i) => format!("{{\"kind\": \"sink\", \"node\": {i}}}"),
+        Target::Node(i) => format!("{{\"kind\": \"node\", \"node\": {i}}}"),
+        Target::Edge(i) => format!("{{\"kind\": \"edge\", \"node\": {i}}}"),
+        Target::SinkPair(i, j) => {
+            format!("{{\"kind\": \"sink_pair\", \"nodes\": [{i}, {j}]}}")
+        }
+        Target::Row(r) => format!("{{\"kind\": \"row\", \"row\": {r}}}"),
+    }
+}
+
+/// Serializes diagnostics as a self-contained JSON array (stable schema for
+/// downstream tooling; mirrors the hand-rolled style of
+/// `lubt_core::solution_to_json`).
+pub fn diagnostics_to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[\n");
+    for (k, d) in diags.iter().enumerate() {
+        out.push_str("  {");
+        out.push_str(&format!("\"pass\": \"{}\", ", d.pass));
+        out.push_str(&format!("\"level\": \"{}\", ", d.level));
+        out.push_str(&format!("\"message\": \"{}\", ", json_escape(&d.message)));
+        out.push_str("\"targets\": [");
+        for (i, t) in d.targets.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&target_json(t));
+        }
+        out.push(']');
+        if let Some(h) = &d.help {
+            out.push_str(&format!(", \"help\": \"{}\"", json_escape(h)));
+        }
+        out.push('}');
+        if k + 1 < diags.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            pass: "sink-reachability",
+            level: Level::Deny,
+            message: "sink s2 cannot be reached".to_string(),
+            targets: vec![Target::Sink(2), Target::SinkPair(1, 2)],
+            help: Some("raise u_2".to_string()),
+        }
+    }
+
+    #[test]
+    fn display_renders_level_pass_targets_and_help() {
+        let text = sample().to_string();
+        assert!(text.contains("error[sink-reachability]"));
+        assert!(text.contains("s2"));
+        assert!(text.contains("(s1, s2)"));
+        assert!(text.contains("help: raise u_2"));
+    }
+
+    #[test]
+    fn deny_detection() {
+        let d = sample();
+        assert!(d.is_deny());
+        assert!(has_deny(std::slice::from_ref(&d)));
+        let warn = Diagnostic {
+            level: Level::Warn,
+            ..d
+        };
+        assert!(!has_deny(&[warn]));
+        assert!(!has_deny(&[]));
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let json = diagnostics_to_json(&[sample()]);
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"pass\": \"sink-reachability\""));
+        assert!(json.contains("\"level\": \"error\""));
+        assert!(json.contains("\"kind\": \"sink_pair\""));
+        assert!(json.contains("\"help\""));
+        assert_eq!(diagnostics_to_json(&[]), "[\n]");
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let d = Diagnostic {
+            pass: "x",
+            level: Level::Warn,
+            message: "quote \" backslash \\ newline \n tab \t".to_string(),
+            targets: vec![],
+            help: None,
+        };
+        let json = diagnostics_to_json(&[d]);
+        assert!(json.contains("quote \\\" backslash \\\\ newline \\n tab \\t"));
+    }
+
+    #[test]
+    fn level_ordering_matches_severity() {
+        assert!(Level::Deny > Level::Warn);
+        assert!(Level::Warn > Level::Allow);
+    }
+}

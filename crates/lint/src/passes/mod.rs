@@ -1,0 +1,13 @@
+//! The built-in lint passes.
+
+mod model_conditioning;
+mod sink_reachability;
+mod topology_shape;
+mod window_conflict;
+mod zero_skew;
+
+pub use model_conditioning::ModelConditioning;
+pub use sink_reachability::SinkReachability;
+pub use topology_shape::TopologyShape;
+pub use window_conflict::WindowConflict;
+pub use zero_skew::ZeroSkewConsistency;

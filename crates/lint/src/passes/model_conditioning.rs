@@ -1,0 +1,147 @@
+//! `model-conditioning`: numerical smells in the generated LP.
+//!
+//! Presolve removes *bit-identical* canonicalized rows and resolves empty
+//! rows; this pass flags what slips past it or what presolve fixes only at
+//! a cost: rows with no terms, duplicate rows (same sorted term list,
+//! comparator and rhs), coefficient magnitudes spread over more than
+//! [`MAGNITUDE_RATIO_LIMIT`] (a classic source of simplex pivot noise), and
+//! right-hand sides beyond [`RHS_LIMIT`]. Runs only when a model is
+//! attached to the [`LintInput`].
+
+use crate::diagnostic::{Diagnostic, Level, Target};
+use crate::registry::{LintInput, LintPass};
+use std::collections::HashMap;
+
+/// Max tolerated ratio between the largest and smallest nonzero coefficient
+/// magnitude across the whole model.
+pub const MAGNITUDE_RATIO_LIMIT: f64 = 1e8;
+
+/// Max tolerated right-hand-side magnitude.
+pub const RHS_LIMIT: f64 = 1e12;
+
+/// See the module docs.
+pub struct ModelConditioning;
+
+/// Canonical row identity: sorted `(var, coefficient-bits)` terms, a
+/// comparator tag, and the rhs bits. Bit-exact, like presolve's dedup.
+type RowSignature = (Vec<(usize, u64)>, i8, u64);
+
+impl LintPass for ModelConditioning {
+    fn slug(&self) -> &'static str {
+        "model-conditioning"
+    }
+
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+
+    fn description(&self) -> &'static str {
+        "LP smells: empty rows, duplicate rows, mixed coefficient magnitudes, oversized right-hand sides"
+    }
+
+    fn check(&self, input: &LintInput<'_>, level: Level, out: &mut Vec<Diagnostic>) {
+        let Some(model) = input.model else {
+            return;
+        };
+
+        let mut signatures: HashMap<RowSignature, usize> = HashMap::new();
+        let mut min_mag = f64::INFINITY;
+        let mut max_mag: f64 = 0.0;
+        let mut min_row = 0usize;
+        let mut max_row = 0usize;
+
+        for (r, c) in model.constraints().iter().enumerate() {
+            if c.expr().terms().is_empty() {
+                out.push(Diagnostic {
+                    pass: self.slug(),
+                    level,
+                    message: format!(
+                        "row {r} has no terms (0 {:?} {}); it is either vacuous or an \
+                         infeasibility left for presolve to trip over",
+                        c.cmp(),
+                        c.rhs()
+                    ),
+                    targets: vec![Target::Row(r)],
+                    help: Some("drop the row at generation time".to_string()),
+                });
+                continue;
+            }
+
+            let mut sig: Vec<(usize, u64)> = c
+                .expr()
+                .terms()
+                .iter()
+                .map(|&(v, coef)| (v.index(), coef.to_bits()))
+                .collect();
+            sig.sort_unstable();
+            let cmp_tag = match c.cmp() {
+                lubt_lp::Cmp::Le => -1i8,
+                lubt_lp::Cmp::Eq => 0,
+                lubt_lp::Cmp::Ge => 1,
+            };
+            match signatures.entry((sig, cmp_tag, c.rhs().to_bits())) {
+                std::collections::hash_map::Entry::Occupied(first) => {
+                    out.push(Diagnostic {
+                        pass: self.slug(),
+                        level,
+                        message: format!("row {r} duplicates row {}", first.get()),
+                        targets: vec![Target::Row(*first.get()), Target::Row(r)],
+                        help: Some(
+                            "the generator emitted the same constraint twice; deduplicate \
+                             before presolve"
+                                .to_string(),
+                        ),
+                    });
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(r);
+                }
+            }
+
+            for &(_, coef) in c.expr().terms() {
+                let mag = coef.abs();
+                if mag == 0.0 {
+                    continue;
+                }
+                if mag < min_mag {
+                    min_mag = mag;
+                    min_row = r;
+                }
+                if mag > max_mag {
+                    max_mag = mag;
+                    max_row = r;
+                }
+            }
+
+            if c.rhs().abs() > RHS_LIMIT {
+                out.push(Diagnostic {
+                    pass: self.slug(),
+                    level,
+                    message: format!(
+                        "row {r} has right-hand side {} beyond {RHS_LIMIT:e}",
+                        c.rhs()
+                    ),
+                    targets: vec![Target::Row(r)],
+                    help: Some("rescale the instance coordinates or delay units".to_string()),
+                });
+            }
+        }
+
+        if max_mag > 0.0 && min_mag.is_finite() && max_mag / min_mag > MAGNITUDE_RATIO_LIMIT {
+            out.push(Diagnostic {
+                pass: self.slug(),
+                level,
+                message: format!(
+                    "coefficient magnitudes span {min_mag:e} (row {min_row}) to {max_mag:e} \
+                     (row {max_row}), a ratio beyond {MAGNITUDE_RATIO_LIMIT:e}"
+                ),
+                targets: vec![Target::Row(min_row), Target::Row(max_row)],
+                help: Some(
+                    "rescale variables or units; simplex pivots lose precision across such \
+                     spreads"
+                        .to_string(),
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! `sink-reachability`: per-sink window sanity.
+//!
+//! Every source-to-sink path in any routing tree has length at least the
+//! Manhattan distance `dist(s_0, s_i)`, so `u_i < dist(s_0, s_i)` makes the
+//! instance infeasible regardless of topology. Likewise an inverted window
+//! `l_i > u_i` admits no delay at all. Both findings are LP-free
+//! infeasibility certificates, hence deny by default.
+
+use crate::diagnostic::{Diagnostic, Level, Target};
+use crate::registry::{LintInput, LintPass};
+use lubt_geom::GEOM_EPS;
+
+/// See the module docs.
+pub struct SinkReachability;
+
+impl LintPass for SinkReachability {
+    fn slug(&self) -> &'static str {
+        "sink-reachability"
+    }
+
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+
+    fn description(&self) -> &'static str {
+        "per-sink windows that no routing tree can satisfy: u_i below the source-to-sink distance, or l_i > u_i"
+    }
+
+    fn check(&self, input: &LintInput<'_>, level: Level, out: &mut Vec<Diagnostic>) {
+        for (i, (&l, &u)) in input.lower.iter().zip(input.upper).enumerate() {
+            let node = i + 1;
+            if l > u + GEOM_EPS {
+                out.push(Diagnostic {
+                    pass: self.slug(),
+                    level,
+                    message: format!(
+                        "sink {node} has an empty delay window: l = {l} exceeds u = {u}"
+                    ),
+                    targets: vec![Target::Sink(node)],
+                    help: Some("swap or widen the bounds so that l <= u".to_string()),
+                });
+            }
+            if let Some(src) = input.source {
+                let d = src.dist(input.sinks[i]);
+                if u < d - GEOM_EPS {
+                    out.push(Diagnostic {
+                        pass: self.slug(),
+                        level,
+                        message: format!(
+                            "sink {node} is unreachable: upper bound u = {u} is below the \
+                             source-to-sink Manhattan distance {d}"
+                        ),
+                        targets: vec![Target::Sink(node)],
+                        help: Some(format!("any routing tree gives sink {node} delay >= {d}; raise u to at least that")),
+                    });
+                }
+            }
+        }
+    }
+}

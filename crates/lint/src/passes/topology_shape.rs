@@ -1,0 +1,123 @@
+//! `degenerate-topology`: shapes that are legal trees but waste LP work or
+//! signal an upstream bug.
+//!
+//! * Steiner nodes with one child are pure pass-throughs: their edge
+//!   variables can be merged with the child's (an extra LP column and row
+//!   for nothing).
+//! * Steiner leaves contribute no sink and no routing; they should have
+//!   been pruned.
+//! * Internal (non-leaf) sinks void Lemma 3.1's feasibility guarantee.
+//! * Duplicate sink locations make the pairwise Steiner constraint between
+//!   them vacuous and usually indicate duplicated input rows.
+//! * A root with the wrong child count for the declared source mode means
+//!   the topology builder and the embedder disagree about node 0.
+
+use crate::diagnostic::{Diagnostic, Level, Target};
+use crate::registry::{LintInput, LintPass};
+use lubt_geom::GEOM_EPS;
+use lubt_topology::{NodeId, SourceMode};
+
+/// See the module docs.
+pub struct TopologyShape;
+
+impl LintPass for TopologyShape {
+    fn slug(&self) -> &'static str {
+        "degenerate-topology"
+    }
+
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+
+    fn description(&self) -> &'static str {
+        "unary Steiner chains, Steiner leaves, internal sinks, duplicate sink locations, and root arity mismatching the source mode"
+    }
+
+    fn check(&self, input: &LintInput<'_>, level: Level, out: &mut Vec<Diagnostic>) {
+        let topo = input.topology;
+        for v in 0..topo.num_nodes() {
+            let node = NodeId(v);
+            if topo.is_steiner(node) {
+                match topo.num_children(node) {
+                    0 => out.push(Diagnostic {
+                        pass: self.slug(),
+                        level,
+                        message: format!("Steiner node {v} is a leaf: it routes nothing"),
+                        targets: vec![Target::Node(v)],
+                        help: Some("prune the node and its edge from the topology".to_string()),
+                    }),
+                    1 => out.push(Diagnostic {
+                        pass: self.slug(),
+                        level,
+                        message: format!(
+                            "Steiner node {v} has a single child: a unary chain adds an LP \
+                             variable and row without branching"
+                        ),
+                        targets: vec![Target::Node(v), Target::Edge(v)],
+                        help: Some(
+                            "contract the node into its child's edge before building the model"
+                                .to_string(),
+                        ),
+                    }),
+                    _ => {}
+                }
+            } else if topo.is_sink(node) && !topo.is_leaf(node) {
+                out.push(Diagnostic {
+                    pass: self.slug(),
+                    level,
+                    message: format!(
+                        "sink {v} is an internal node; Lemma 3.1 guarantees LUBT feasibility \
+                         only for leaf sinks"
+                    ),
+                    targets: vec![Target::Sink(v)],
+                    help: Some(
+                        "re-hang the subtree below a Steiner point co-located with the sink"
+                            .to_string(),
+                    ),
+                });
+            }
+        }
+
+        let expected_root_children = match input.source_mode {
+            SourceMode::Given => 1,
+            SourceMode::Free => 2,
+        };
+        let got = topo.num_children(topo.root());
+        if got != expected_root_children {
+            out.push(Diagnostic {
+                pass: self.slug(),
+                level,
+                message: format!(
+                    "root has {got} children but source mode {:?} expects \
+                     {expected_root_children}",
+                    input.source_mode
+                ),
+                targets: vec![Target::Node(0)],
+                help: None,
+            });
+        }
+
+        let m = input.sinks.len();
+        for i in 0..m {
+            for j in i + 1..m {
+                if input.sinks[i].dist(input.sinks[j]) <= GEOM_EPS {
+                    let (a, b) = (i + 1, j + 1);
+                    out.push(Diagnostic {
+                        pass: self.slug(),
+                        level,
+                        message: format!(
+                            "sinks {a} and {b} share the location ({}, {})",
+                            input.sinks[i].x, input.sinks[i].y
+                        ),
+                        targets: vec![Target::SinkPair(a, b)],
+                        help: Some(
+                            "merge duplicate sinks (intersect their delay windows) before \
+                             building the tree"
+                                .to_string(),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

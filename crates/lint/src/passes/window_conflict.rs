@@ -1,0 +1,56 @@
+//! `pairwise-window-conflict`: two sinks whose upper bounds cannot both
+//! hold.
+//!
+//! In any routing tree the tree path between sinks `s_i` and `s_j` has
+//! length `delay_i + delay_j - 2 * delay(lca)` which is at most
+//! `delay_i + delay_j`, and by the Steiner constraints (Theorem 4.1) it is
+//! at least `dist(s_i, s_j)`. So `u_i + u_j < dist(s_i, s_j)` proves the
+//! instance infeasible before any LP is built — the pairwise analogue of
+//! the per-sink reachability check.
+
+use crate::diagnostic::{Diagnostic, Level, Target};
+use crate::registry::{LintInput, LintPass};
+use lubt_geom::GEOM_EPS;
+
+/// See the module docs.
+pub struct WindowConflict;
+
+impl LintPass for WindowConflict {
+    fn slug(&self) -> &'static str {
+        "pairwise-window-conflict"
+    }
+
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+
+    fn description(&self) -> &'static str {
+        "sink pairs with u_i + u_j below their Manhattan distance, which no tree can satisfy"
+    }
+
+    fn check(&self, input: &LintInput<'_>, level: Level, out: &mut Vec<Diagnostic>) {
+        let m = input.sinks.len();
+        for i in 0..m {
+            for j in i + 1..m {
+                let d = input.sinks[i].dist(input.sinks[j]);
+                let budget = input.upper[i] + input.upper[j];
+                if budget < d - GEOM_EPS {
+                    let (a, b) = (i + 1, j + 1);
+                    out.push(Diagnostic {
+                        pass: self.slug(),
+                        level,
+                        message: format!(
+                            "sinks {a} and {b} conflict: u_{a} + u_{b} = {budget} is below \
+                             their Manhattan distance {d}"
+                        ),
+                        targets: vec![Target::SinkPair(a, b)],
+                        help: Some(format!(
+                            "the tree path between the two sinks is at least {d} long and is \
+                             bounded by the sum of their delays; raise one of the upper bounds"
+                        )),
+                    });
+                }
+            }
+        }
+    }
+}

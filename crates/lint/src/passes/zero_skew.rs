@@ -1,0 +1,105 @@
+//! `zero-skew-consistency`: checks specific to the `l = u` regime (§4.6).
+//!
+//! When every window is zero-width the LUBT problem degenerates to exact
+//! target-delay (zero-skew when all targets coincide) routing. Feasibility
+//! then has a closed characterization: with a common target `t`, any tree
+//! needs `t >= max_i dist(s_0, s_i)` (reachability) and
+//! `2t >= max_{i,j} dist(s_i, s_j)` (every sink pair shares the budget of
+//! the path through their merge point). The pass consolidates violations of
+//! the pairwise condition into a single deny naming the minimum feasible
+//! target, and — when the instance *is* consistent — emits a warn-level
+//! performance hint that the §4.6 closed form solves it without the LP.
+
+use crate::diagnostic::{Diagnostic, Level, Target};
+use crate::registry::{LintInput, LintPass};
+use lubt_geom::GEOM_EPS;
+
+/// See the module docs.
+pub struct ZeroSkewConsistency;
+
+impl LintPass for ZeroSkewConsistency {
+    fn slug(&self) -> &'static str {
+        "zero-skew-consistency"
+    }
+
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+
+    fn description(&self) -> &'static str {
+        "in the l = u regime: a common target below the closed-form minimum (deny), or LP use where the \u{a7}4.6 closed form suffices (warn)"
+    }
+
+    fn check(&self, input: &LintInput<'_>, level: Level, out: &mut Vec<Diagnostic>) {
+        let m = input.sinks.len();
+        if m == 0 {
+            return;
+        }
+        let zero_width = input
+            .lower
+            .iter()
+            .zip(input.upper)
+            .all(|(&l, &u)| (u - l).abs() <= GEOM_EPS);
+        if !zero_width {
+            return;
+        }
+        let t = input.upper[0];
+        let common_target = input.upper.iter().all(|&u| (u - t).abs() <= GEOM_EPS);
+        if !common_target {
+            return;
+        }
+
+        // Minimum feasible common target: half the sink diameter, and the
+        // source eccentricity when the source location is given.
+        let mut min_t: f64 = 0.0;
+        let mut witness: Vec<Target> = Vec::new();
+        for i in 0..m {
+            for j in i + 1..m {
+                let half = input.sinks[i].dist(input.sinks[j]) / 2.0;
+                if half > min_t {
+                    min_t = half;
+                    witness = vec![Target::SinkPair(i + 1, j + 1)];
+                }
+            }
+        }
+        if let Some(src) = input.source {
+            for (i, &s) in input.sinks.iter().enumerate() {
+                let d = src.dist(s);
+                if d > min_t {
+                    min_t = d;
+                    witness = vec![Target::Sink(i + 1)];
+                }
+            }
+        }
+
+        if t < min_t - GEOM_EPS {
+            out.push(Diagnostic {
+                pass: self.slug(),
+                level,
+                message: format!(
+                    "zero-skew target t = {t} is below the closed-form minimum feasible \
+                     target {min_t}"
+                ),
+                targets: witness,
+                help: Some(format!(
+                    "with l = u = t for every sink, feasibility requires t >= {min_t}; \
+                     raise the target or widen the windows"
+                )),
+            });
+        } else {
+            // Consistent exact zero-skew: the LP is overkill.
+            out.push(Diagnostic {
+                pass: self.slug(),
+                level: Level::Warn.min(level),
+                message: format!(
+                    "all {m} sinks share the exact zero-skew target t = {t}; the \u{a7}4.6 \
+                     closed form solves this regime directly"
+                ),
+                targets: Vec::new(),
+                help: Some(
+                    "prefer the zero-skew construction over the LP for l = u instances".to_string(),
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Pass registry: the list of lint passes, their effective levels, and the
+//! driver that runs them over a [`LintInput`].
+
+use crate::diagnostic::{Diagnostic, Level};
+use crate::passes;
+use lubt_geom::Point;
+use lubt_lp::Model;
+use lubt_topology::{SourceMode, Topology};
+
+/// A borrowed view of everything the lint passes may inspect.
+///
+/// Deliberately *not* `lubt_core::LubtProblem`: the lint crate sits below
+/// `lubt-core` in the dependency graph so that core can run lints as a
+/// pre-solve hook. Core (and the CLI) assemble this view from a problem;
+/// tests can assemble it from raw parts.
+#[derive(Debug, Clone, Copy)]
+pub struct LintInput<'a> {
+    /// Sink locations; index `i` is topology node `i + 1`.
+    pub sinks: &'a [Point],
+    /// Source location when the source is part of the input
+    /// ([`SourceMode::Given`]); `None` when the embedding chooses it.
+    pub source: Option<Point>,
+    /// The routing-tree topology under analysis.
+    pub topology: &'a Topology,
+    /// How node 0 is interpreted (drives the binary-shape check).
+    pub source_mode: SourceMode,
+    /// Per-sink lower delay bounds `l_i`; index `i` is node `i + 1`.
+    pub lower: &'a [f64],
+    /// Per-sink upper delay bounds `u_i`; index `i` is node `i + 1`.
+    pub upper: &'a [f64],
+    /// The generated EBF LP model, when available. Model-level passes are
+    /// skipped when `None`.
+    pub model: Option<&'a Model>,
+}
+
+/// One named static-analysis pass.
+pub trait LintPass {
+    /// Stable kebab-case identifier (shown in diagnostics, used for level
+    /// overrides).
+    fn slug(&self) -> &'static str;
+    /// Level the pass fires at unless overridden.
+    fn default_level(&self) -> Level;
+    /// One-line description of what the pass detects.
+    fn description(&self) -> &'static str;
+    /// Runs the pass, appending findings (emitted at `level`) to `out`.
+    fn check(&self, input: &LintInput<'_>, level: Level, out: &mut Vec<Diagnostic>);
+}
+
+/// An ordered collection of lint passes with per-pass level overrides.
+pub struct LintRegistry {
+    passes: Vec<Box<dyn LintPass>>,
+    overrides: Vec<(&'static str, Level)>,
+}
+
+impl LintRegistry {
+    /// Registry with no passes; populate via [`LintRegistry::register`].
+    pub fn empty() -> Self {
+        LintRegistry {
+            passes: Vec::new(),
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Adds a pass at the end of the run order.
+    pub fn register(&mut self, pass: Box<dyn LintPass>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Overrides the level of the pass with the given slug. `Level::Allow`
+    /// disables the pass entirely. Unknown slugs are ignored (the override
+    /// simply never matches).
+    pub fn set_level(&mut self, slug: &'static str, level: Level) -> &mut Self {
+        if let Some(entry) = self.overrides.iter_mut().find(|(s, _)| *s == slug) {
+            entry.1 = level;
+        } else {
+            self.overrides.push((slug, level));
+        }
+        self
+    }
+
+    /// Effective level for a pass: the override when present, the pass's
+    /// default otherwise.
+    pub fn level_of(&self, pass: &dyn LintPass) -> Level {
+        self.overrides
+            .iter()
+            .find(|(s, _)| *s == pass.slug())
+            .map(|(_, l)| *l)
+            .unwrap_or_else(|| pass.default_level())
+    }
+
+    /// `(slug, effective level, description)` for every registered pass, in
+    /// run order.
+    pub fn describe(&self) -> Vec<(&'static str, Level, &'static str)> {
+        self.passes
+            .iter()
+            .map(|p| (p.slug(), self.level_of(p.as_ref()), p.description()))
+            .collect()
+    }
+
+    /// Runs every enabled pass over `input`, collecting all findings.
+    pub fn run(&self, input: &LintInput<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for pass in &self.passes {
+            let level = self.level_of(pass.as_ref());
+            if level == Level::Allow {
+                continue;
+            }
+            pass.check(input, level, &mut out);
+        }
+        out
+    }
+}
+
+impl Default for LintRegistry {
+    /// The standard registry: all five built-in passes at their default
+    /// levels.
+    fn default() -> Self {
+        let mut r = LintRegistry::empty();
+        r.register(Box::new(passes::SinkReachability))
+            .register(Box::new(passes::WindowConflict))
+            .register(Box::new(passes::ZeroSkewConsistency))
+            .register(Box::new(passes::TopologyShape))
+            .register(Box::new(passes::ModelConditioning));
+        r
+    }
+}
+
+impl std::fmt::Debug for LintRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LintRegistry")
+            .field(
+                "passes",
+                &self.passes.iter().map(|p| p.slug()).collect::<Vec<_>>(),
+            )
+            .field("overrides", &self.overrides)
+            .finish()
+    }
+}
+
+/// Runs the default registry over `input`.
+pub fn lint(input: &LintInput<'_>) -> Vec<Diagnostic> {
+    LintRegistry::default().run(input)
+}

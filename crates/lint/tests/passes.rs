@@ -1,0 +1,366 @@
+//! Positive (pass fires) and negative (pass stays silent) coverage for each
+//! built-in lint pass, plus registry-level behavior.
+
+use lubt_geom::Point;
+use lubt_lint::{has_deny, lint, Diagnostic, Level, LintInput, LintRegistry, Target};
+use lubt_lp::{Cmp, LinExpr, Model};
+use lubt_topology::{bipartition_topology, SourceMode, Topology};
+
+/// Two sinks under one Steiner point, root in `Given` mode — the smallest
+/// clean binary topology.
+fn clean_topology() -> Topology {
+    Topology::from_parents(2, &[0, 3, 3, 0]).unwrap()
+}
+
+fn clean_sinks() -> [Point; 2] {
+    [Point::new(0.0, 0.0), Point::new(8.0, 0.0)]
+}
+
+/// A feasible, well-shaped two-sink instance; the baseline every negative
+/// test perturbs.
+fn input<'a>(
+    sinks: &'a [Point],
+    topology: &'a Topology,
+    lower: &'a [f64],
+    upper: &'a [f64],
+) -> LintInput<'a> {
+    LintInput {
+        sinks,
+        source: Some(Point::new(4.0, 0.0)),
+        topology,
+        source_mode: SourceMode::Given,
+        lower,
+        upper,
+        model: None,
+    }
+}
+
+fn diags_of<'d>(diags: &'d [Diagnostic], pass: &str) -> Vec<&'d Diagnostic> {
+    diags.iter().filter(|d| d.pass == pass).collect()
+}
+
+// --- sink-reachability ---------------------------------------------------
+
+#[test]
+fn reachability_fires_on_upper_below_source_distance() {
+    let sinks = clean_sinks();
+    let topo = clean_topology();
+    // dist(source, s1) = 4 but u_1 = 3.
+    let diags = lint(&input(&sinks, &topo, &[0.0, 0.0], &[3.0, 10.0]));
+    let hits = diags_of(&diags, "sink-reachability");
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].level, Level::Deny);
+    assert_eq!(hits[0].targets, vec![Target::Sink(1)]);
+}
+
+#[test]
+fn reachability_fires_on_inverted_window() {
+    let sinks = clean_sinks();
+    let topo = clean_topology();
+    let diags = lint(&input(&sinks, &topo, &[0.0, 9.0], &[10.0, 7.0]));
+    let hits = diags_of(&diags, "sink-reachability");
+    assert_eq!(hits.len(), 1);
+    assert!(hits[0].message.contains("empty delay window"));
+    assert_eq!(hits[0].targets, vec![Target::Sink(2)]);
+}
+
+#[test]
+fn reachability_silent_on_feasible_windows() {
+    let sinks = clean_sinks();
+    let topo = clean_topology();
+    let diags = lint(&input(&sinks, &topo, &[0.0, 0.0], &[10.0, 10.0]));
+    assert!(diags_of(&diags, "sink-reachability").is_empty());
+}
+
+#[test]
+fn reachability_skips_distance_check_without_source() {
+    let sinks = clean_sinks();
+    let topo = clean_topology();
+    let mut inp = input(&sinks, &topo, &[0.0, 0.0], &[0.5, 10.0]);
+    inp.source = None;
+    inp.source_mode = SourceMode::Free;
+    // u_1 = 0.5 would be unreachable from any plausible source, but with the
+    // source free there is no distance to check against.
+    let diags = lint(&inp);
+    assert!(diags_of(&diags, "sink-reachability").is_empty());
+}
+
+// --- pairwise-window-conflict -------------------------------------------
+
+#[test]
+fn window_conflict_fires_when_budgets_cannot_cover_distance() {
+    // With a *given* source the triangle inequality makes every pairwise
+    // conflict also a per-sink one, so the pass earns its keep in free-source
+    // mode: dist(s1, s2) = 8 but u_1 + u_2 = 4 + 3.5 = 7.5, and there is no
+    // source distance for sink-reachability to check.
+    let sinks = clean_sinks();
+    let topo = Topology::from_parents(2, &[0, 0, 0]).unwrap();
+    let mut inp = input(&sinks, &topo, &[0.0, 0.0], &[4.0, 3.5]);
+    inp.source = None;
+    inp.source_mode = SourceMode::Free;
+    let diags = lint(&inp);
+    let hits = diags_of(&diags, "pairwise-window-conflict");
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].level, Level::Deny);
+    assert_eq!(hits[0].targets, vec![Target::SinkPair(1, 2)]);
+    assert!(diags_of(&diags, "sink-reachability").is_empty());
+}
+
+#[test]
+fn window_conflict_silent_when_budgets_suffice() {
+    let sinks = clean_sinks();
+    let topo = clean_topology();
+    let diags = lint(&input(&sinks, &topo, &[0.0, 0.0], &[4.0, 4.0]));
+    assert!(diags_of(&diags, "pairwise-window-conflict").is_empty());
+}
+
+// --- zero-skew-consistency ----------------------------------------------
+
+#[test]
+fn zero_skew_denies_target_below_closed_form_minimum() {
+    let sinks = clean_sinks();
+    let topo = clean_topology();
+    // l = u = 3 for both sinks; the minimum feasible common target is 4
+    // (source eccentricity and half the sink diameter).
+    let diags = lint(&input(&sinks, &topo, &[3.0, 3.0], &[3.0, 3.0]));
+    let hits = diags_of(&diags, "zero-skew-consistency");
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].level, Level::Deny);
+    assert!(hits[0].message.contains("minimum feasible"));
+}
+
+#[test]
+fn zero_skew_hints_closed_form_on_consistent_instance() {
+    let sinks = clean_sinks();
+    let topo = clean_topology();
+    let diags = lint(&input(&sinks, &topo, &[5.0, 5.0], &[5.0, 5.0]));
+    let hits = diags_of(&diags, "zero-skew-consistency");
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].level, Level::Warn);
+    assert!(hits[0].message.contains("closed form"));
+    assert!(!has_deny(&diags));
+}
+
+#[test]
+fn zero_skew_silent_on_wide_windows() {
+    let sinks = clean_sinks();
+    let topo = clean_topology();
+    let diags = lint(&input(&sinks, &topo, &[0.0, 0.0], &[10.0, 10.0]));
+    assert!(diags_of(&diags, "zero-skew-consistency").is_empty());
+}
+
+#[test]
+fn zero_skew_silent_on_distinct_targets() {
+    let sinks = clean_sinks();
+    let topo = clean_topology();
+    // Zero-width but different per-sink targets: not the common-target
+    // regime the consolidated check covers.
+    let diags = lint(&input(&sinks, &topo, &[4.0, 6.0], &[4.0, 6.0]));
+    assert!(diags_of(&diags, "zero-skew-consistency").is_empty());
+}
+
+// --- degenerate-topology ------------------------------------------------
+
+#[test]
+fn topology_shape_fires_on_unary_steiner_chain() {
+    let sinks = [Point::new(1.0, 1.0)];
+    // 0 -> 2 -> 1: Steiner node 2 has a single child.
+    let topo = Topology::from_parents(1, &[0, 2, 0]).unwrap();
+    let mut inp = input(&sinks, &topo, &[0.0], &[100.0]);
+    inp.source = Some(Point::new(0.0, 0.0));
+    let diags = lint(&inp);
+    let hits = diags_of(&diags, "degenerate-topology");
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].level, Level::Warn);
+    assert!(hits[0].message.contains("single child"));
+    assert!(hits[0].targets.contains(&Target::Node(2)));
+}
+
+#[test]
+fn topology_shape_fires_on_steiner_leaf_and_root_arity() {
+    let sinks = [Point::new(1.0, 1.0)];
+    // Root has two children in Given mode; Steiner node 2 is a leaf.
+    let topo = Topology::from_parents(1, &[0, 0, 0]).unwrap();
+    let mut inp = input(&sinks, &topo, &[0.0], &[100.0]);
+    inp.source = Some(Point::new(0.0, 0.0));
+    let diags = lint(&inp);
+    let hits = diags_of(&diags, "degenerate-topology");
+    assert!(hits.iter().any(|d| d.message.contains("leaf")));
+    assert!(hits
+        .iter()
+        .any(|d| d.message.contains("root has 2 children")));
+}
+
+#[test]
+fn topology_shape_fires_on_internal_sink() {
+    let sinks = [Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+    // Sink 2 hangs below sink 1.
+    let topo = Topology::from_parents(2, &[0, 0, 1]).unwrap();
+    let mut inp = input(&sinks, &topo, &[0.0, 0.0], &[100.0, 100.0]);
+    inp.source = Some(Point::new(0.0, 0.0));
+    let diags = lint(&inp);
+    let hits = diags_of(&diags, "degenerate-topology");
+    assert!(hits
+        .iter()
+        .any(|d| d.message.contains("internal node") && d.targets == vec![Target::Sink(1)]));
+}
+
+#[test]
+fn topology_shape_fires_on_duplicate_sink_locations() {
+    let sinks = [Point::new(3.0, 3.0), Point::new(3.0, 3.0)];
+    let topo = clean_topology();
+    let mut inp = input(&sinks, &topo, &[0.0, 0.0], &[100.0, 100.0]);
+    inp.source = Some(Point::new(0.0, 0.0));
+    let diags = lint(&inp);
+    let hits = diags_of(&diags, "degenerate-topology");
+    assert!(hits
+        .iter()
+        .any(|d| d.message.contains("share the location")
+            && d.targets == vec![Target::SinkPair(1, 2)]));
+}
+
+#[test]
+fn topology_shape_silent_on_clean_binary_tree() {
+    let sinks = clean_sinks();
+    let topo = clean_topology();
+    let diags = lint(&input(&sinks, &topo, &[0.0, 0.0], &[10.0, 10.0]));
+    assert!(diags_of(&diags, "degenerate-topology").is_empty());
+}
+
+// --- model-conditioning -------------------------------------------------
+
+fn two_var_model() -> (Model, lubt_lp::Var, lubt_lp::Var) {
+    let mut m = Model::new();
+    let x = m.add_var(0.0, 1.0);
+    let y = m.add_var(0.0, 1.0);
+    (m, x, y)
+}
+
+#[test]
+fn model_conditioning_fires_on_empty_and_duplicate_rows() {
+    let (mut model, x, y) = two_var_model();
+    model.add_constraint(LinExpr::new(), Cmp::Ge, 3.0);
+    let row = LinExpr::new().with_term(x, 1.0).with_term(y, 1.0);
+    model.add_constraint(row.clone(), Cmp::Ge, 2.0);
+    model.add_constraint(row, Cmp::Ge, 2.0);
+    let sinks = clean_sinks();
+    let topo = clean_topology();
+    let mut inp = input(&sinks, &topo, &[0.0, 0.0], &[10.0, 10.0]);
+    inp.model = Some(&model);
+    let diags = lint(&inp);
+    let hits = diags_of(&diags, "model-conditioning");
+    assert!(hits
+        .iter()
+        .any(|d| d.message.contains("no terms") && d.targets == vec![Target::Row(0)]));
+    assert!(hits.iter().any(|d| d.message.contains("duplicates row")
+        && d.targets == vec![Target::Row(1), Target::Row(2)]));
+}
+
+#[test]
+fn model_conditioning_fires_on_magnitude_spread_and_huge_rhs() {
+    let (mut model, x, y) = two_var_model();
+    model.add_constraint(LinExpr::new().with_term(x, 1e-5), Cmp::Ge, 1.0);
+    model.add_constraint(LinExpr::new().with_term(y, 1e5), Cmp::Le, 1e13);
+    let sinks = clean_sinks();
+    let topo = clean_topology();
+    let mut inp = input(&sinks, &topo, &[0.0, 0.0], &[10.0, 10.0]);
+    inp.model = Some(&model);
+    let diags = lint(&inp);
+    let hits = diags_of(&diags, "model-conditioning");
+    assert!(hits
+        .iter()
+        .any(|d| d.message.contains("coefficient magnitudes span")));
+    assert!(hits.iter().any(|d| d.message.contains("right-hand side")));
+}
+
+#[test]
+fn model_conditioning_silent_on_clean_model_and_without_model() {
+    let (mut model, x, y) = two_var_model();
+    model.add_constraint(
+        LinExpr::new().with_term(x, 1.0).with_term(y, 1.0),
+        Cmp::Ge,
+        2.0,
+    );
+    model.add_constraint(LinExpr::new().with_term(x, 1.0), Cmp::Le, 5.0);
+    let sinks = clean_sinks();
+    let topo = clean_topology();
+    let mut inp = input(&sinks, &topo, &[0.0, 0.0], &[10.0, 10.0]);
+    inp.model = Some(&model);
+    assert!(diags_of(&lint(&inp), "model-conditioning").is_empty());
+    inp.model = None;
+    assert!(diags_of(&lint(&inp), "model-conditioning").is_empty());
+}
+
+// --- registry behavior ---------------------------------------------------
+
+#[test]
+fn allow_override_silences_a_pass() {
+    let sinks = clean_sinks();
+    let topo = clean_topology();
+    let inp = input(&sinks, &topo, &[0.0, 0.0], &[3.0, 10.0]);
+    assert!(has_deny(&lint(&inp)));
+    let mut registry = LintRegistry::default();
+    registry.set_level("sink-reachability", Level::Allow);
+    assert!(registry.run(&inp).is_empty());
+}
+
+#[test]
+fn warn_override_downgrades_a_deny_pass() {
+    let sinks = clean_sinks();
+    let topo = clean_topology();
+    let inp = input(&sinks, &topo, &[0.0, 0.0], &[3.0, 10.0]);
+    let mut registry = LintRegistry::default();
+    registry.set_level("sink-reachability", Level::Warn);
+    let diags = registry.run(&inp);
+    let hits = diags_of(&diags, "sink-reachability");
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].level, Level::Warn);
+    assert!(!has_deny(&diags));
+}
+
+#[test]
+fn describe_lists_all_builtin_passes_in_run_order() {
+    let registry = LintRegistry::default();
+    let slugs: Vec<&str> = registry.describe().iter().map(|(s, _, _)| *s).collect();
+    assert_eq!(
+        slugs,
+        vec![
+            "sink-reachability",
+            "pairwise-window-conflict",
+            "zero-skew-consistency",
+            "degenerate-topology",
+            "model-conditioning",
+        ]
+    );
+}
+
+// --- realistic instances stay clean --------------------------------------
+
+#[test]
+fn table1_style_synthetic_instances_lint_clean() {
+    for (name, inst) in [
+        ("prim1", lubt_data::synthetic::prim1()),
+        (
+            "uniform",
+            lubt_data::synthetic::uniform("u64", 64, 1000.0, 42),
+        ),
+    ] {
+        let topo = bipartition_topology(&inst.sinks, SourceMode::Given);
+        let r = inst.radius();
+        let lower = vec![0.0; inst.sinks.len()];
+        let upper = vec![2.5 * r; inst.sinks.len()];
+        let diags = lint(&LintInput {
+            sinks: &inst.sinks,
+            source: inst.source,
+            topology: &topo,
+            source_mode: SourceMode::Given,
+            lower: &lower,
+            upper: &upper,
+            model: None,
+        });
+        assert!(
+            diags.is_empty(),
+            "expected no lint findings on {name}, got: {diags:?}"
+        );
+    }
+}

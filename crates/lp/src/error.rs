@@ -61,7 +61,9 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(LpError::EmptyModel.to_string().contains("no variables"));
-        assert!(LpError::IterationLimit { limit: 7 }.to_string().contains('7'));
+        assert!(LpError::IterationLimit { limit: 7 }
+            .to_string()
+            .contains('7'));
     }
 
     #[test]

@@ -183,19 +183,24 @@ impl LpSolve for InteriorPointSolver {
             let ax = mat_vec(&sf, &x);
             let rp: Vec<f64> = sf.b.iter().zip(&ax).map(|(b, a)| b - a).collect();
             let aty = mat_t_vec(&sf, &y);
-            let rd: Vec<f64> = sf
-                .c
-                .iter()
-                .zip(&aty)
-                .zip(&s)
-                .map(|((c, a), sv)| c - a - sv)
-                .collect();
+            let rd: Vec<f64> =
+                sf.c.iter()
+                    .zip(&aty)
+                    .zip(&s)
+                    .map(|((c, a), sv)| c - a - sv)
+                    .collect();
             let mu: f64 = x.iter().zip(&s).map(|(a, b)| a * b).sum::<f64>() / n as f64;
             if std::env::var("LP_IPM_TRACE").is_ok() {
                 let cx: f64 = sf.c.iter().zip(&x).map(|(c, xv)| c * xv).sum();
                 let by: f64 = sf.b.iter().zip(&y).map(|(b, yv)| b * yv).sum();
-                eprintln!("it {iterations}: rp {:.2e} rd {:.2e} mu {:.2e} cx {:.6e} by {:.6e}",
-                    norm_inf(&rp), norm_inf(&rd), mu, cx, by);
+                eprintln!(
+                    "it {iterations}: rp {:.2e} rd {:.2e} mu {:.2e} cx {:.6e} by {:.6e}",
+                    norm_inf(&rp),
+                    norm_inf(&rd),
+                    mu,
+                    cx,
+                    by
+                );
             }
 
             // Residuals on degenerate LPs (duplicated EBF rows) stall two
@@ -381,7 +386,9 @@ mod tests {
             .collect();
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
         };
         for r in 0..15 {

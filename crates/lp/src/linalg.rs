@@ -283,7 +283,11 @@ mod tests {
     fn lu_factors_solve_multiple_rhs() {
         let m = from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 4.0]]);
         let lu = m.clone().into_lu().unwrap();
-        for b in [vec![1.0, 0.0, 0.0], vec![3.0, 5.0, 5.0], vec![-1.0, 2.0, 7.0]] {
+        for b in [
+            vec![1.0, 0.0, 0.0],
+            vec![3.0, 5.0, 5.0],
+            vec![-1.0, 2.0, 7.0],
+        ] {
             let x = lu.solve(&b);
             for i in 0..3 {
                 let mut s = 0.0;

@@ -37,10 +37,7 @@ fn canonical_terms(expr: &LinExpr) -> Vec<(Var, f64)> {
     for &(v, c) in expr.terms() {
         *combined.entry(v).or_insert(0.0) += c;
     }
-    let mut terms: Vec<(Var, f64)> = combined
-        .into_iter()
-        .filter(|&(_, c)| c != 0.0)
-        .collect();
+    let mut terms: Vec<(Var, f64)> = combined.into_iter().filter(|&(_, c)| c != 0.0).collect();
     terms.sort_by_key(|&(v, _)| v);
     terms
 }
@@ -168,7 +165,10 @@ mod tests {
         m.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Cmp::Le, 10.0);
         m.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Cmp::Le, 9.0);
         match presolve(&m) {
-            Presolved::Reduced { model, rows_removed } => {
+            Presolved::Reduced {
+                model,
+                rows_removed,
+            } => {
                 assert_eq!(model.num_constraints(), 2);
                 assert_eq!(rows_removed, 2);
                 let ge = model
@@ -207,7 +207,11 @@ mod tests {
         let _x = m.add_var(0.0, 1.0);
         m.add_constraint(LinExpr::new(), Cmp::Le, 5.0); // 0 <= 5: drop
         m.add_constraint(LinExpr::new(), Cmp::Ge, -1.0); // 0 >= -1: drop
-        let Presolved::Reduced { model, rows_removed } = presolve(&m) else {
+        let Presolved::Reduced {
+            model,
+            rows_removed,
+        } = presolve(&m)
+        else {
             panic!("feasible");
         };
         assert_eq!(model.num_constraints(), 0);
@@ -243,7 +247,11 @@ mod tests {
         m.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Cmp::Ge, 1.0); // dominated
         m.add_constraint(expr(&[(y, 1.0)]), Cmp::Le, 2.0);
         m.add_constraint(expr(&[(y, 1.0)]), Cmp::Le, 2.0); // duplicate
-        let Presolved::Reduced { model, rows_removed } = presolve(&m) else {
+        let Presolved::Reduced {
+            model,
+            rows_removed,
+        } = presolve(&m)
+        else {
             panic!("feasible");
         };
         assert_eq!(rows_removed, 2);

@@ -289,9 +289,7 @@ mod tests {
         let x = m.add_var(0.0, 1.0);
         m.add_constraint(expr(&[(x, 1.0)]), Cmp::Ge, 1.0);
         let mut s = SimplexSession::start(m).unwrap();
-        assert!(s
-            .add_constraint(expr(&[(x, 1.0)]), Cmp::Eq, 2.0)
-            .is_err());
+        assert!(s.add_constraint(expr(&[(x, 1.0)]), Cmp::Eq, 2.0).is_err());
     }
 
     #[test]

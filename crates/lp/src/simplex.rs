@@ -663,9 +663,7 @@ impl SimplexSolver {
                 PhaseOutcome::Optimal => {}
                 PhaseOutcome::Unbounded => {
                     // Phase-1 objective is bounded below by 0; cannot happen.
-                    return Err(LpError::NumericalBreakdown(
-                        "phase-1 unbounded".to_string(),
-                    ));
+                    return Err(LpError::NumericalBreakdown("phase-1 unbounded".to_string()));
                 }
             }
             let feas_tol = 1e-7 * (1.0 + sf.b.iter().cloned().fold(0.0, f64::max));
@@ -715,15 +713,11 @@ impl SimplexSolver {
                 let duals = recover_duals(&sf, &t.basis).map(|y| sf.recover_duals(&y));
                 // A basis free of artificial columns can seed a future
                 // warm start after rows are appended.
-                let warm = t
-                    .basis
-                    .iter()
-                    .all(|&c| c < sf.n)
-                    .then(|| WarmStart {
-                        basis: t.basis.clone(),
-                        num_vars: model.num_vars(),
-                        num_rows: sf.m,
-                    });
+                let warm = t.basis.iter().all(|&c| c < sf.n).then(|| WarmStart {
+                    basis: t.basis.clone(),
+                    num_vars: model.num_vars(),
+                    num_rows: sf.m,
+                });
                 Ok((
                     Solution::new(Status::Optimal, x, objective, duals, iters),
                     warm,

@@ -51,7 +51,13 @@ impl Solution {
     }
 
     pub(crate) fn infeasible(num_vars: usize, iterations: usize) -> Self {
-        Solution::new(Status::Infeasible, vec![0.0; num_vars], f64::NAN, None, iterations)
+        Solution::new(
+            Status::Infeasible,
+            vec![0.0; num_vars],
+            f64::NAN,
+            None,
+            iterations,
+        )
     }
 
     pub(crate) fn unbounded(num_vars: usize, iterations: usize) -> Self {

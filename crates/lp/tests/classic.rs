@@ -35,7 +35,11 @@ fn beale_cycling_example_terminates_at_optimum() {
     m.add_constraint(expr(&[(x6, 1.0)]), Cmp::Le, 1.0);
     let s = SimplexSolver::new().solve(&m).unwrap();
     assert_eq!(s.status(), Status::Optimal);
-    assert!((s.objective() + 0.05).abs() < 1e-9, "objective {}", s.objective());
+    assert!(
+        (s.objective() + 0.05).abs() < 1e-9,
+        "objective {}",
+        s.objective()
+    );
     assert!((s.value(x6) - 1.0).abs() < 1e-9);
 }
 
@@ -53,7 +57,11 @@ fn klee_minty(n: usize) -> (Model, f64) {
             terms.push((v, 2.0f64.powi((i - j + 1) as i32)));
         }
         terms.push((vars[i], 1.0));
-        m.add_constraint(LinExpr::from_terms(terms), Cmp::Le, 5.0f64.powi(i as i32 + 1));
+        m.add_constraint(
+            LinExpr::from_terms(terms),
+            Cmp::Le,
+            5.0f64.powi(i as i32 + 1),
+        );
     }
     (m, -(5.0f64.powi(n as i32)))
 }
@@ -93,11 +101,7 @@ fn transportation_problem() {
     let costs = [[2.0, 3.0, 1.0], [5.0, 4.0, 8.0]];
     let mut x = Vec::new();
     for row in &costs {
-        x.push(
-            row.iter()
-                .map(|&c| m.add_var(0.0, c))
-                .collect::<Vec<_>>(),
-        );
+        x.push(row.iter().map(|&c| m.add_var(0.0, c)).collect::<Vec<_>>());
     }
     let supply = [20.0, 30.0];
     let demand = [10.0, 25.0, 15.0];
@@ -111,7 +115,11 @@ fn transportation_problem() {
     }
     let s = SimplexSolver::new().solve(&m).unwrap();
     assert_eq!(s.status(), Status::Optimal);
-    assert!((s.objective() - 150.0).abs() < 1e-7, "objective {}", s.objective());
+    assert!(
+        (s.objective() - 150.0).abs() < 1e-7,
+        "objective {}",
+        s.objective()
+    );
     // Flow conservation in the solution.
     for (i, &sup) in supply.iter().enumerate() {
         let shipped: f64 = x[i].iter().map(|&v| s.value(v)).sum();

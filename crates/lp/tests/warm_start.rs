@@ -42,11 +42,17 @@ fn warm_resolve_matches_cold_on_growing_model() {
             warm_sol.objective(),
             cold_sol.objective()
         );
-        assert!(m.check_feasible(warm_sol.values(), 1e-6).is_ok(), "row {idx}");
+        assert!(
+            m.check_feasible(warm_sol.values(), 1e-6).is_ok(),
+            "row {idx}"
+        );
         // Warm restarts should be much cheaper than the cold solve once
         // the model has some size (not asserted strictly — just recorded
         // via iteration counts staying small).
-        assert!(warm_sol.iterations() <= cold_sol.iterations() + 5, "row {idx}");
+        assert!(
+            warm_sol.iterations() <= cold_sol.iterations() + 5,
+            "row {idx}"
+        );
         warm = next;
         assert!(warm.is_some(), "row {idx}: basis should stay reusable");
     }

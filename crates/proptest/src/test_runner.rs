@@ -1,0 +1,71 @@
+//! Configuration, RNG and case outcome types backing the [`crate::proptest!`]
+//! expansion.
+
+/// How many accepted cases a property test runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases that must pass (rejections via
+    /// [`crate::prop_assume!`] do not count).
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running exactly `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the inputs; try another sample.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+/// Deterministic xorshift64* generator seeded from the test's name, so a
+/// failing case number identifies a reproducible input without storing
+/// seeds anywhere.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream from an arbitrary string (FNV-1a hash).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h | 1 }
+    }
+
+    /// Folds extra entropy into the stream (used when configs should
+    /// produce distinct sequences).
+    #[must_use]
+    pub fn with_extra_entropy(mut self, extra: u64) -> Self {
+        self.state ^= extra.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.state |= 1;
+        self
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}

@@ -1,0 +1,188 @@
+//! Workspace-local stand-in for the tiny slice of the `rand` crate that
+//! LUBT uses: a seedable deterministic generator and `gen_range` over
+//! half-open numeric ranges.
+//!
+//! The build environment is fully offline, so third-party crates cannot be
+//! fetched; this shim keeps the public call sites (`StdRng::seed_from_u64`,
+//! `rng.gen_range(a..b)`) source-compatible. Streams differ from upstream
+//! `rand`, but every consumer in this workspace only relies on determinism
+//! per seed, not on specific values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// A source of `u64` randomness.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types usable as the argument of [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The sampled value type.
+    type Value;
+    /// Draws one value from `self` using `rng`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Value;
+}
+
+impl SampleRange for Range<f64> {
+    type Value = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = self.start + (self.end - self.start) * unit;
+        // Guard against floating-point rounding landing exactly on `end`.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Value = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Value = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i64 - self.start as i64) as u64;
+                (self.start as i64 + (rng.next_u64() % span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_sample_range!(i32, i64);
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from a half-open range.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Value
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        (0.0..1.0).sample_from(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's deterministic generator: SplitMix64 seeding into a
+    /// xorshift64* stream. Fast, tiny state, adequate for test-instance
+    /// synthesis (not cryptographic).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // One SplitMix64 round decorrelates small consecutive seeds.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            StdRng {
+                state: z | 1, // xorshift state must be non-zero
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0.0..10.0), b.gen_range(0.0..10.0));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let alike = (0..32).filter(|_| a.gen_range(0u64..1000) == c.gen_range(0u64..1000));
+        assert!(alike.count() < 32, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(-3.0..7.5);
+            assert!((-3.0..7.5).contains(&f));
+            let u = rng.gen_range(2usize..9);
+            assert!((2..9).contains(&u));
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+            let b = rng.gen_range(0u8..3);
+            assert!(b < 3);
+        }
+    }
+
+    #[test]
+    fn covers_the_range() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(5usize..5);
+    }
+}

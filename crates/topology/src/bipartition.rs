@@ -32,7 +32,8 @@ pub fn bipartition_topology(sinks: &[Point], mode: SourceMode) -> Topology {
     let mut b = MergeTreeBuilder::new(m);
     let mut indices: Vec<usize> = (0..m).collect();
     let top = partition(&mut b, sinks, &mut indices);
-    b.finish(top, mode).expect("bisection covers every sink once")
+    b.finish(top, mode)
+        .expect("bisection covers every sink once")
 }
 
 fn partition(b: &mut MergeTreeBuilder, sinks: &[Point], idx: &mut [usize]) -> ClusterId {

@@ -31,7 +31,11 @@ pub enum TopologyError {
 impl fmt::Display for TopologyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TopologyError::ParentOutOfRange { node, parent, nodes } => write!(
+            TopologyError::ParentOutOfRange {
+                node,
+                parent,
+                nodes,
+            } => write!(
                 f,
                 "node {node} has parent {parent}, out of range for {nodes} nodes"
             ),

@@ -72,7 +72,8 @@ pub fn matching_topology(sinks: &[Point], mode: SourceMode) -> Topology {
     }
 
     let top = level[0].0;
-    b.finish(top, mode).expect("matching covers every sink once")
+    b.finish(top, mode)
+        .expect("matching covers every sink once")
 }
 
 #[cfg(test)]
@@ -93,7 +94,9 @@ mod tests {
 
     #[test]
     fn odd_count_still_valid() {
-        let sinks: Vec<Point> = (0..7).map(|i| Point::new(f64::from(i), f64::from(i * i % 5))).collect();
+        let sinks: Vec<Point> = (0..7)
+            .map(|i| Point::new(f64::from(i), f64::from(i * i % 5)))
+            .collect();
         let t = matching_topology(&sinks, SourceMode::Given);
         assert_eq!(t.num_sinks(), 7);
         assert!(t.all_sinks_are_leaves());

@@ -118,12 +118,7 @@ pub fn nearest_neighbor_topology(sinks: &[Point], mode: SourceMode) -> Topology 
         }
         live -= 1;
 
-        fn merge_clusters(
-            b: &mut MergeTreeBuilder,
-            a: Cluster,
-            c: Cluster,
-            d: f64,
-        ) -> Cluster {
+        fn merge_clusters(b: &mut MergeTreeBuilder, a: Cluster, c: Cluster, d: f64) -> Cluster {
             let handle = b.merge(a.handle, c.handle);
             let gap = (a.delay - c.delay).abs();
             if gap <= d {

@@ -37,10 +37,7 @@ pub struct SplitResult {
 /// assert_eq!(r.zero_edges.len(), 1);
 /// # Ok::<(), lubt_topology::TopologyError>(())
 /// ```
-pub fn split_degree_four(
-    topo: &Topology,
-    mode: SourceMode,
-) -> Result<SplitResult, TopologyError> {
+pub fn split_degree_four(topo: &Topology, mode: SourceMode) -> Result<SplitResult, TopologyError> {
     let n = topo.num_nodes();
     // Work on a mutable children representation; `usize::MAX` marks no
     // parent.

@@ -323,9 +323,7 @@ impl Topology {
             SourceMode::Given => self.num_children(self.root()) == 1,
             SourceMode::Free => self.num_children(self.root()) == 2,
         };
-        root_ok
-            && (self.num_sinks + 1..self.num_nodes())
-                .all(|v| self.children[v].len() == 2)
+        root_ok && (self.num_sinks + 1..self.num_nodes()).all(|v| self.children[v].len() == 2)
     }
 
     /// Sinks contained in the subtree rooted at `v`, in ascending order.

@@ -20,8 +20,8 @@ fn check_valid(topo: &Topology, m: usize, mode: SourceMode) {
     if m >= 2 {
         assert!(topo.is_binary(mode));
         let expected_nodes = match mode {
-            SourceMode::Given => 2 * m,      // root + m sinks + (m-1) merges
-            SourceMode::Free => 2 * m - 1,   // top merge is the root
+            SourceMode::Given => 2 * m,    // root + m sinks + (m-1) merges
+            SourceMode::Free => 2 * m - 1, // top merge is the root
         };
         assert_eq!(topo.num_nodes(), expected_nodes);
     }

@@ -16,7 +16,11 @@ use lubt::data::synthetic;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let inst = synthetic::prim1().subsample(32);
     let radius = inst.radius();
-    println!("instance {} ({} sinks, radius {radius:.1})", inst.name, inst.sinks.len());
+    println!(
+        "instance {} ({} sinks, radius {radius:.1})",
+        inst.name,
+        inst.sinks.len()
+    );
 
     let zst = zero_skew_tree(&inst.sinks, inst.source, None, None)?;
     println!(
@@ -26,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         zst.skew()
     );
 
-    println!("\n{:>10}  {:>12}  {:>12}  {:>9}  {:>12}", "skew/R", "BST cost", "LUBT cost", "saving", "window/R");
+    println!(
+        "\n{:>10}  {:>12}  {:>12}  {:>9}  {:>12}",
+        "skew/R", "BST cost", "LUBT cost", "saving", "window/R"
+    );
     for skew_norm in [0.0, 0.05, 0.1, 0.25, 0.5, 1.0] {
         let bst = bounded_skew_tree(&inst.sinks, inst.source, skew_norm * radius)?;
         let (short, long) = bst.delay_range();

@@ -39,7 +39,10 @@ fn main() -> Result<(), LubtError> {
         .sinks()
         .map(|s| d[s.index()])
         .fold(0.0f64, f64::max);
-    println!("min-wirelength tree: cost {:.1}, max Elmore delay {dmax:.2}", lubt::delay::linear::tree_cost(&lengths));
+    println!(
+        "min-wirelength tree: cost {:.1}, max Elmore delay {dmax:.2}",
+        lubt::delay::linear::tree_cost(&lengths)
+    );
 
     // Convex case: cap the Elmore delay 20% above the probe.
     let capped = LubtBuilder::new(sinks.clone())

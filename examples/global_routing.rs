@@ -25,7 +25,10 @@ fn main() -> Result<(), LubtError> {
         star_wirelength(source, &inst.sinks)
     );
 
-    println!("{:>8}  {:>12}  {:>14}", "u / R", "tree cost", "longest delay/R");
+    println!(
+        "{:>8}  {:>12}  {:>14}",
+        "u / R", "tree cost", "longest delay/R"
+    );
     let mut last = f64::INFINITY;
     for cap in [1.0, 1.1, 1.25, 1.5, 2.0, 3.0, f64::INFINITY] {
         let bounds = if cap.is_finite() {
@@ -41,7 +44,11 @@ fn main() -> Result<(), LubtError> {
         let (_, longest) = sol.delay_range();
         println!(
             "{:>8}  {:>12.0}  {:>14.3}",
-            if cap.is_finite() { format!("{cap:.2}") } else { "inf".into() },
+            if cap.is_finite() {
+                format!("{cap:.2}")
+            } else {
+                "inf".into()
+            },
             sol.cost(),
             longest / radius
         );

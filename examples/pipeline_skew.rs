@@ -21,7 +21,10 @@ fn main() -> Result<(), LubtError> {
         sinks.push(Point::new(f64::from(i % 2) * 8.0, f64::from(i / 2) * 10.0));
     }
     for i in 0..6 {
-        sinks.push(Point::new(60.0 + f64::from(i % 2) * 8.0, f64::from(i / 2) * 10.0));
+        sinks.push(Point::new(
+            60.0 + f64::from(i % 2) * 8.0,
+            f64::from(i / 2) * 10.0,
+        ));
     }
     let source = Point::new(35.0, -10.0);
     let radius = sinks.iter().map(|s| source.dist(*s)).fold(0.0f64, f64::max);
@@ -59,7 +62,19 @@ fn main() -> Result<(), LubtError> {
     );
 
     let delays = per_sink.sink_delays();
-    println!("\nstage A arrivals: {:?}", &delays[..6].iter().map(|d| (d / radius * 100.0).round() / 100.0).collect::<Vec<_>>());
-    println!("stage B arrivals: {:?}", &delays[6..].iter().map(|d| (d / radius * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "\nstage A arrivals: {:?}",
+        &delays[..6]
+            .iter()
+            .map(|d| (d / radius * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "stage B arrivals: {:?}",
+        &delays[6..]
+            .iter()
+            .map(|d| (d / radius * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
     Ok(())
 }

@@ -20,10 +20,7 @@ fn main() -> Result<(), LubtError> {
 
     // Radius = distance to the farthest sink; bounds are chosen relative
     // to it, as in the paper's experiments.
-    let radius = sinks
-        .iter()
-        .map(|s| source.dist(*s))
-        .fold(0.0f64, f64::max);
+    let radius = sinks.iter().map(|s| source.dist(*s)).fold(0.0f64, f64::max);
     println!("radius = {radius}");
 
     let solution = LubtBuilder::new(sinks)
@@ -58,7 +55,10 @@ fn main() -> Result<(), LubtError> {
 
     println!("\nwire routes (parent -> child polylines):");
     for route in solution.routes() {
-        let pts: Vec<String> = route.iter().map(|p| format!("({:.1},{:.1})", p.x, p.y)).collect();
+        let pts: Vec<String> = route
+            .iter()
+            .map(|p| format!("({:.1},{:.1})", p.x, p.y))
+            .collect();
         println!("  {}", pts.join(" -> "));
     }
     Ok(())

@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &path,
         render_tree_svg(&zst.topology, &zst.positions, &zst.edge_lengths, &opts),
     )?;
-    println!("{path}: zero-skew DME, cost {:.0}, skew {:.2e}", zst.cost(), zst.skew());
+    println!(
+        "{path}: zero-skew DME, cost {:.0}, skew {:.2e}",
+        zst.cost(),
+        zst.skew()
+    );
 
     // 2. Bounded-skew baseline at 0.5 x radius.
     let bst = bounded_skew_tree(&inst.sinks, Some(src), 0.5 * radius)?;

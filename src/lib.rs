@@ -11,6 +11,7 @@
 //! * [`topology`] — rooted routing-tree topologies and generators.
 //! * [`delay`] — linear and Elmore delay models.
 //! * [`core`] — the Edge-Based Formulation (EBF) and the geometric embedder.
+//! * [`lint`] — clippy-style static analysis of instances and LP models.
 //! * [`baselines`] — zero-skew DME, bounded-skew DME, shortest-path tree.
 //! * [`data`] — benchmark instances (synthetic prim1/prim2/r1/r3 analogues).
 //!
@@ -40,5 +41,6 @@ pub use lubt_core as core;
 pub use lubt_data as data;
 pub use lubt_delay as delay;
 pub use lubt_geom as geom;
+pub use lubt_lint as lint;
 pub use lubt_lp as lp;
 pub use lubt_topology as topology;

@@ -66,10 +66,8 @@ fn cost_is_monotone_in_window() {
     let inst = synthetic::prim2().subsample(18);
     let src = inst.source.unwrap();
     let radius = inst.radius();
-    let topo = lubt::topology::nearest_neighbor_topology(
-        &inst.sinks,
-        lubt::topology::SourceMode::Given,
-    );
+    let topo =
+        lubt::topology::nearest_neighbor_topology(&inst.sinks, lubt::topology::SourceMode::Given);
     let mut last = f64::INFINITY;
     // Successively wider windows around the radius.
     for half_width in [0.0, 0.05, 0.15, 0.4, 1.0] {
@@ -110,10 +108,11 @@ fn steiner_optimum_respects_trivial_bounds() {
 }
 
 /// Infeasibility is certified, not mis-solved: a delay cap below the
-/// source-sink distance (violating Equation 3) must return
-/// `LubtError::Infeasible`.
+/// source-sink distance (violating Equation 3) is now caught by the
+/// pre-solve lint hook, which names the unreachable sinks without ever
+/// building the LP.
 #[test]
-fn equation_3_violations_are_certified_infeasible() {
+fn equation_3_violations_are_rejected_with_diagnostics() {
     let inst = synthetic::prim1().subsample(10);
     let src = inst.source.unwrap();
     let radius = inst.radius();
@@ -121,7 +120,14 @@ fn equation_3_violations_are_certified_infeasible() {
         .source(src)
         .bounds(DelayBounds::upper_only(inst.sinks.len(), 0.5 * radius))
         .solve();
-    assert!(matches!(r, Err(LubtError::Infeasible)));
+    match r {
+        Err(LubtError::Rejected(diags)) => {
+            assert!(diags
+                .iter()
+                .any(|d| d.pass == "sink-reachability" && d.is_deny()));
+        }
+        other => panic!("expected Rejected with diagnostics, got {other:?}"),
+    }
 }
 
 /// Full pipeline on every synthetic benchmark at small scale: solve,
@@ -140,7 +146,8 @@ fn all_benchmarks_solve_and_verify() {
             ))
             .solve()
             .unwrap_or_else(|e| panic!("{}: {e}", inst.name));
-        sol.verify().unwrap_or_else(|e| panic!("{}: {e}", inst.name));
+        sol.verify()
+            .unwrap_or_else(|e| panic!("{}: {e}", inst.name));
         assert!(
             (sol.routed_wirelength() - sol.cost()).abs() < 1e-6 * (1.0 + sol.cost()),
             "{}: routed {} vs cost {}",
@@ -161,7 +168,11 @@ fn weighted_objective_scales_and_shifts() {
     let radius = inst.radius();
     let base = LubtBuilder::new(inst.sinks.clone())
         .source(src)
-        .bounds(DelayBounds::uniform(inst.sinks.len(), 0.8 * radius, 1.3 * radius))
+        .bounds(DelayBounds::uniform(
+            inst.sinks.len(),
+            0.8 * radius,
+            1.3 * radius,
+        ))
         .build()
         .unwrap();
     let (l1, _) = EbfSolver::new().solve(&base).unwrap();

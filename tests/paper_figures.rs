@@ -62,8 +62,7 @@ fn section_4_5_five_point_example() {
         Point::new(1.0, 4.0),
     ];
     // Build a full binary topology (every sink a leaf), source free.
-    let topo =
-        lubt::topology::nearest_neighbor_topology(&sinks, lubt::topology::SourceMode::Free);
+    let topo = lubt::topology::nearest_neighbor_topology(&sinks, lubt::topology::SourceMode::Free);
     assert!(topo.all_sinks_are_leaves());
     let radius = lubt::delay::skew::radius_free(&sinks);
     // The paper's [4, 6] on a radius-6 instance ~ [0.67, 1.0] normalized.
@@ -116,13 +115,8 @@ fn section_4_7_euclidean_counterexample() {
 
     // The EBF itself, run on the true Manhattan distances, produces
     // embeddable lengths — Theorem 4.1 at work.
-    let problem = LubtProblem::new(
-        sinks.clone(),
-        None,
-        topo.clone(),
-        DelayBounds::unbounded(3),
-    )
-    .unwrap();
+    let problem =
+        LubtProblem::new(sinks.clone(), None, topo.clone(), DelayBounds::unbounded(3)).unwrap();
     let (lengths, _) = EbfSolver::new().solve(&problem).unwrap();
     assert!(embed_tree(&topo, &sinks, None, &lengths, PlacementPolicy::Center).is_ok());
 }
@@ -139,8 +133,8 @@ fn figure_2_degree_four_split_preserves_optimum() {
     let s0 = Point::new(5.0, 3.0);
     // Star topology: one Steiner point with three children (degree 4).
     let star = Topology::from_parents(3, &[0, 4, 4, 4, 0]).unwrap();
-    let split = lubt::topology::split_degree_four(&star, lubt::topology::SourceMode::Given)
-        .unwrap();
+    let split =
+        lubt::topology::split_degree_four(&star, lubt::topology::SourceMode::Given).unwrap();
     assert!(split.topology.is_binary(lubt::topology::SourceMode::Given));
 
     let bounds = DelayBounds::upper_only(3, 20.0);
