@@ -9,7 +9,7 @@
 
 use crate::table::{num, render};
 use lubt_baselines::bounded_skew_tree;
-use lubt_core::{DelayBounds, EbfSolver, LubtError, LubtProblem};
+use lubt_core::{BatchSolver, DelayBounds, LubtError, LubtProblem};
 use lubt_data::Instance;
 
 /// The skew bounds of Table 1, normalized to the radius.
@@ -40,8 +40,27 @@ pub struct Table1Row {
 /// instances — all windows are realized by the baseline, so the EBF is
 /// feasible by construction).
 pub fn run(instance: &Instance, skew_bounds: &[f64]) -> Result<Vec<Table1Row>, LubtError> {
+    run_with_threads(instance, skew_bounds, 0)
+}
+
+/// [`run`] with the per-skew-bound EBF solves pushed through a
+/// [`BatchSolver`] on `threads` workers (`0` = all cores). The rows are
+/// identical for every thread count — batching only reclaims the
+/// wall-clock the skew sweep spends in independent LP solves.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_with_threads(
+    instance: &Instance,
+    skew_bounds: &[f64],
+    threads: usize,
+) -> Result<Vec<Table1Row>, LubtError> {
     let radius = instance.radius();
-    let mut rows = Vec::new();
+    // Phase 1 (sequential): baselines, whose topologies and realized delay
+    // windows define the EBF instances.
+    let mut baselines = Vec::with_capacity(skew_bounds.len());
+    let mut problems = Vec::with_capacity(skew_bounds.len());
     for &sb in skew_bounds {
         let bst = bounded_skew_tree(&instance.sinks, instance.source, sb * radius)?;
         let (short, long) = bst.delay_range();
@@ -52,14 +71,23 @@ pub fn run(instance: &Instance, skew_bounds: &[f64]) -> Result<Vec<Table1Row>, L
         } else {
             DelayBounds::uniform(instance.sinks.len(), short, long)
         };
-        let problem = LubtProblem::new(
+        problems.push(LubtProblem::new(
             instance.sinks.clone(),
             instance.source,
             bst.topology.clone(),
             bounds,
-        )?;
-        let (lengths, _) = EbfSolver::new().solve(&problem)?;
-        let lubt_cost = lubt_delay::linear::tree_cost(&lengths);
+        )?);
+        baselines.push((sb, short, long, bst.cost()));
+    }
+
+    // Phase 2 (parallel): one independent EBF solve per skew bound.
+    let solved = BatchSolver::new()
+        .with_threads(threads)
+        .solve_ebf_all(&problems);
+
+    let mut rows = Vec::with_capacity(skew_bounds.len());
+    for ((sb, short, long, baseline_cost), result) in baselines.into_iter().zip(solved) {
+        let (lengths, _) = result?;
         rows.push(Table1Row {
             bench: instance.name.clone(),
             skew_bound: sb,
@@ -73,8 +101,8 @@ pub fn run(instance: &Instance, skew_bounds: &[f64]) -> Result<Vec<Table1Row>, L
             } else {
                 long / radius
             },
-            baseline_cost: bst.cost(),
-            lubt_cost,
+            baseline_cost,
+            lubt_cost: lubt_delay::linear::tree_cost(&lengths),
         });
     }
     Ok(rows)
@@ -139,6 +167,21 @@ mod tests {
         }
         // Looser skew gives cheaper trees on both sides.
         assert!(rows[2].lubt_cost <= rows[0].lubt_cost + 1e-6);
+    }
+
+    #[test]
+    fn threads_do_not_change_the_table() {
+        let inst = synthetic::prim1().subsample(12);
+        let bounds = [0.1, 1.0, f64::INFINITY];
+        let base = run_with_threads(&inst, &bounds, 1).unwrap();
+        for threads in [2, 4, 0] {
+            let rows = run_with_threads(&inst, &bounds, threads).unwrap();
+            assert_eq!(rows.len(), base.len());
+            for (a, b) in base.iter().zip(rows.iter()) {
+                assert_eq!(a.lubt_cost.to_bits(), b.lubt_cost.to_bits());
+                assert_eq!(a.baseline_cost.to_bits(), b.baseline_cost.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -3,7 +3,8 @@
 use crate::args::{parse, Parsed};
 use lubt_baselines::{bounded_skew_tree, zero_skew_tree};
 use lubt_core::{
-    analyze, bound_aware_topology, render_svg, DelayBounds, LubtBuilder, SolverBackend,
+    analyze, bound_aware_topology, render_svg, BatchSolver, DelayBounds, EbfSolver, LubtBuilder,
+    SolverBackend,
 };
 use lubt_data::{io as data_io, synthetic, Instance};
 use lubt_topology::{bipartition_topology, matching_topology, SourceMode, Topology};
@@ -11,6 +12,8 @@ use lubt_topology::{bipartition_topology, matching_topology, SourceMode, Topolog
 const USAGE: &str = "usage:
   lubt solve <input> --lower L --upper U [--absolute] \
 [--topology nn|matching|bisect|aware] [--backend simplex|ipm] [--svg out.svg] [--json out.json]
+  lubt batch <input>... --lower L --upper U [--absolute] \
+[--topology nn|matching|bisect|aware] [--backend simplex|ipm] [--threads N] [--json out.json]
   lubt lint <input> [--lower L] [--upper U] [--absolute] \
 [--topology nn|matching|bisect|aware] [--json [out.json]]
   lubt zeroskew <input> [--target T] [--absolute] [--svg out.svg]
@@ -27,6 +30,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let parsed = parse(argv);
     match parsed.positional.first().map(String::as_str) {
         Some("solve") => cmd_solve(&parsed),
+        Some("batch") => cmd_batch(&parsed),
         Some("lint") => cmd_lint(&parsed),
         Some("zeroskew") => cmd_zeroskew(&parsed),
         Some("bst") => cmd_bst(&parsed),
@@ -146,6 +150,9 @@ fn cmd_solve(parsed: &Parsed) -> Result<(), String> {
         solution.report().steiner_rows,
         solution.report().total_pairs
     );
+    if let Some(d) = solution.report().truncation_diagnostic() {
+        println!("{d}");
+    }
     let stats = analyze(&solution);
     println!(
         "edges           {} tight, {} elongated, {} degenerate; snaked surplus {:.3} ({:.1}% of wire)",
@@ -161,6 +168,138 @@ fn cmd_solve(parsed: &Parsed) -> Result<(), String> {
         println!("json written to {path}");
     }
     write_svg(parsed, &render_svg(&solution))
+}
+
+/// `lubt batch <input>...`: solves many instances through the
+/// work-stealing pool. One delay window (shared, per-instance radius
+/// normalized unless `--absolute`) applies to every input. Output carries
+/// no timings and the per-instance solves are bit-for-bit independent of
+/// `--threads`, so two runs differing only in thread count print identical
+/// bytes. Exits non-zero when any instance fails.
+fn cmd_batch(parsed: &Parsed) -> Result<(), String> {
+    let inputs = &parsed.positional[1..];
+    if inputs.is_empty() {
+        return Err(format!("missing <input>...\n{USAGE}"));
+    }
+    if parsed.has("threads") && parsed.get("threads").is_none() {
+        return Err("--threads requires a value".to_string());
+    }
+    let threads = match parsed.get_usize("threads")? {
+        Some(0) => {
+            return Err(
+                "--threads must be at least 1 (omit the flag to use every core)".to_string(),
+            )
+        }
+        Some(n) => n,
+        None => lubt_par::available_parallelism(),
+    };
+    let absolute = parsed.has("absolute");
+    let lower = parsed.get_f64("lower")?.unwrap_or(0.0);
+    let upper = parsed
+        .get_f64("upper")?
+        .ok_or_else(|| format!("--upper is required\n{USAGE}"))?;
+    let backend = match parsed.get("backend").unwrap_or("simplex") {
+        "simplex" => SolverBackend::Simplex,
+        "ipm" => SolverBackend::InteriorPoint,
+        other => return Err(format!("unknown backend {other:?} (simplex|ipm)")),
+    };
+
+    // Assemble every problem up front (cheap), then hand the whole slice to
+    // the pool: the parallelism budget is spent across instances.
+    let mut names = Vec::with_capacity(inputs.len());
+    let mut problems = Vec::with_capacity(inputs.len());
+    for path in inputs {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let inst = data_io::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+        let radius = inst.radius();
+        let bounds = DelayBounds::uniform(
+            inst.sinks.len(),
+            to_absolute(lower, radius, absolute),
+            to_absolute(upper, radius, absolute),
+        );
+        let topology = choose_topology(parsed, &inst, &bounds)?;
+        let mut builder = LubtBuilder::new(inst.sinks.clone()).bounds(bounds);
+        if let Some(src) = inst.source {
+            builder = builder.source(src);
+        }
+        if let Some(t) = topology {
+            builder = builder.topology(t);
+        }
+        names.push(inst.name.clone());
+        problems.push(builder.build().map_err(|e| format!("{path}: {e}"))?);
+    }
+
+    let results = BatchSolver::new()
+        .with_solver(EbfSolver::new().with_backend(backend))
+        .with_threads(threads)
+        .solve_all(&problems);
+
+    let mut failures = 0usize;
+    let mut json = String::from("{\n  \"instances\": [\n");
+    for (k, (name, result)) in names.iter().zip(&results).enumerate() {
+        match result {
+            Ok(solution) => {
+                if let Err(e) = solution.verify() {
+                    failures += 1;
+                    println!("{name}  verification failed: {e}");
+                    let _ = std::fmt::Write::write_fmt(
+                        &mut json,
+                        format_args!(
+                            "    {{\"name\": {name:?}, \"status\": \"error\", \
+                             \"error\": \"verification failed\"}}"
+                        ),
+                    );
+                } else {
+                    println!(
+                        "{name}  cost {:.3}  skew {:.6}  rounds {}  rows {}/{}",
+                        solution.cost(),
+                        solution.skew(),
+                        solution.report().separation_rounds,
+                        solution.report().steiner_rows,
+                        solution.report().total_pairs
+                    );
+                    if let Some(d) = solution.report().truncation_diagnostic() {
+                        println!("{d}");
+                    }
+                    let _ = std::fmt::Write::write_fmt(
+                        &mut json,
+                        format_args!(
+                            "    {{\"name\": {name:?}, \"status\": \"ok\", \"solution\": {}}}",
+                            lubt_core::solution_to_json(solution).trim_end()
+                        ),
+                    );
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                println!("{name}  error: {e}");
+                let _ = std::fmt::Write::write_fmt(
+                    &mut json,
+                    format_args!(
+                        "    {{\"name\": {name:?}, \"status\": \"error\", \"error\": {:?}}}",
+                        e.to_string()
+                    ),
+                );
+            }
+        }
+        json.push_str(if k + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    println!("{}/{} solved", results.len() - failures, results.len());
+
+    if let Some(path) = parsed.get("json") {
+        std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("json written to {path}");
+    }
+
+    if failures > 0 {
+        Err(format!(
+            "{failures} of {} instance(s) failed",
+            results.len()
+        ))
+    } else {
+        Ok(())
+    }
 }
 
 /// `lubt lint <input>`: static analysis without solving. Prints every

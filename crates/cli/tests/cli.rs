@@ -203,6 +203,123 @@ fn lint_clean_instance_exits_zero_and_emits_json() {
     let _ = std::fs::remove_file(&pts);
 }
 
+/// Generates `count` small instances and returns their paths.
+fn gen_batch(tag: &str, count: usize, sinks: usize) -> Vec<PathBuf> {
+    (0..count)
+        .map(|k| {
+            let pts = tmp(&format!("{tag}-{k}.pts"));
+            let out = lubt()
+                .args([
+                    "gen",
+                    if k % 2 == 0 { "uniform" } else { "clustered" },
+                    "--sinks",
+                ])
+                .arg(sinks.to_string())
+                .args(["--seed"])
+                .arg((k + 1).to_string())
+                .args(["--out"])
+                .arg(&pts)
+                .output()
+                .unwrap();
+            assert!(out.status.success());
+            pts
+        })
+        .collect()
+}
+
+#[test]
+fn batch_rejects_zero_threads() {
+    let pts = gen_batch("batch-zero", 1, 6);
+    let out = lubt()
+        .args(["batch"])
+        .args(&pts)
+        .args(["--upper", "1.5", "--threads", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("--threads must be at least 1"),
+        "stderr: {err}"
+    );
+    for p in pts {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn batch_output_is_identical_across_thread_counts() {
+    let pts = gen_batch("batch-det", 12, 8);
+    let json1 = tmp("batch-det-1.json");
+    let json8 = tmp("batch-det-8.json");
+    let run = |threads: &str, json: &PathBuf| {
+        let out = lubt()
+            .args(["batch"])
+            .args(&pts)
+            .args(["--lower", "0.9", "--upper", "1.5", "--threads", threads])
+            .args(["--json"])
+            .arg(json)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "threads {threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let stdout1 = run("1", &json1);
+    let stdout8 = run("8", &json8);
+    // The JSON path differs between invocations, so strip its report line
+    // before comparing; everything else must match byte for byte.
+    let strip = |bytes: &[u8]| -> String {
+        String::from_utf8(bytes.to_vec())
+            .unwrap()
+            .lines()
+            .filter(|l| !l.starts_with("json written to"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&stdout1), strip(&stdout8));
+    let j1 = std::fs::read(&json1).unwrap();
+    let j8 = std::fs::read(&json8).unwrap();
+    assert_eq!(j1, j8, "batch JSON differs between 1 and 8 threads");
+    assert!(String::from_utf8(j1)
+        .unwrap()
+        .contains("\"status\": \"ok\""));
+    for p in pts {
+        let _ = std::fs::remove_file(p);
+    }
+    let _ = std::fs::remove_file(&json1);
+    let _ = std::fs::remove_file(&json8);
+}
+
+#[test]
+fn batch_mixed_feasibility_exits_nonzero_but_reports_every_instance() {
+    let pts = gen_batch("batch-mixed", 3, 6);
+    // u = 0.5R is infeasible for every instance (Equation 3), but the batch
+    // must still report all of them before failing.
+    let out = lubt()
+        .args(["batch"])
+        .args(&pts)
+        .args(["--upper", "0.5", "--threads", "2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        text.matches("error:").count(),
+        3,
+        "every instance reported: {text}"
+    );
+    assert!(text.contains("0/3 solved"), "stdout: {text}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("3 of 3 instance(s) failed"), "stderr: {err}");
+    for p in pts {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
 #[test]
 fn alternate_topologies_and_backend() {
     let pts = tmp("inst4.pts");

@@ -1,0 +1,206 @@
+//! Batched solving: many independent LUBT instances pushed through the
+//! work-stealing pool of `lubt-par`.
+//!
+//! Each instance is one job; the pool load-balances across workers while
+//! the result vector keeps input order. Per-instance solves use a
+//! single-threaded separation oracle (the parallelism budget is spent
+//! across instances, not inside one), so the answer for every instance is
+//! bit-for-bit the same as a standalone [`EbfSolver::solve`] /
+//! [`crate::LubtProblem::solve`] call — thread count only changes
+//! wall-clock time.
+
+use crate::ebf::{EbfReport, EbfSolver};
+use crate::embed::{embed_tree, PlacementPolicy};
+use crate::{LubtError, LubtProblem, LubtSolution};
+
+/// Solves a slice of independent [`LubtProblem`]s in parallel.
+///
+/// # Example
+///
+/// ```
+/// use lubt_core::{BatchSolver, DelayBounds, LubtBuilder};
+/// use lubt_geom::Point;
+/// let problems: Vec<_> = (0..4)
+///     .map(|k| {
+///         let d = 8.0 + k as f64;
+///         LubtBuilder::new(vec![Point::new(0.0, 0.0), Point::new(d, 0.0)])
+///             .bounds(DelayBounds::uniform(2, d / 2.0, d))
+///             .build()
+///     })
+///     .collect::<Result<_, _>>()?;
+/// let results = BatchSolver::new().with_threads(2).solve_all(&problems);
+/// assert_eq!(results.len(), 4);
+/// for r in &results {
+///     assert!(r.as_ref().unwrap().verify().is_ok());
+/// }
+/// # Ok::<(), lubt_core::LubtError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchSolver {
+    solver: EbfSolver,
+    placement: PlacementPolicy,
+    threads: usize,
+}
+
+impl Default for BatchSolver {
+    fn default() -> Self {
+        BatchSolver {
+            solver: EbfSolver::new(),
+            placement: PlacementPolicy::ClosestToParent,
+            threads: 0,
+        }
+    }
+}
+
+impl BatchSolver {
+    /// A batch solver with the default EBF configuration, closest-to-parent
+    /// placement, and one worker per available core.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (`0` = all available cores, `1` = solve the
+    /// batch sequentially on the calling thread).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Replaces the per-instance EBF solver configuration.
+    #[must_use]
+    pub fn with_solver(mut self, solver: EbfSolver) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Selects the top-down placement policy used by
+    /// [`BatchSolver::solve_all`].
+    #[must_use]
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// The configured worker count (`0` = all cores).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Solves and embeds every instance; `results[i]` answers
+    /// `problems[i]`.
+    pub fn solve_all(&self, problems: &[LubtProblem]) -> Vec<Result<LubtSolution, LubtError>> {
+        lubt_par::parallel_map(self.threads, problems.len(), 1, |i| {
+            let problem = &problems[i];
+            let (lengths, report) = self.solver.solve(problem)?;
+            let positions = embed_tree(
+                problem.topology(),
+                problem.sinks(),
+                problem.source(),
+                &lengths,
+                self.placement,
+            )?;
+            Ok(LubtSolution::new(
+                problem.clone(),
+                lengths,
+                positions,
+                report,
+            ))
+        })
+    }
+
+    /// LP layer only: optimal edge lengths and solve statistics per
+    /// instance, no geometric embedding. What `lubt-bench` table
+    /// reproduction consumes.
+    #[allow(clippy::type_complexity)]
+    pub fn solve_ebf_all(
+        &self,
+        problems: &[LubtProblem],
+    ) -> Vec<Result<(Vec<f64>, EbfReport), LubtError>> {
+        lubt_par::parallel_map(self.threads, problems.len(), 1, |i| {
+            self.solver.solve(&problems[i])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DelayBounds, LubtBuilder};
+    use lubt_geom::Point;
+
+    fn mixed_batch() -> Vec<LubtProblem> {
+        // Instance k = 2 sinks 2(k+4) apart; every other one gets an
+        // impossible upper bound so the batch mixes Ok and Err.
+        (0..8)
+            .map(|k| {
+                let d = 2.0 * (k + 4) as f64;
+                let upper = if k % 2 == 0 { d } else { d / 8.0 };
+                LubtBuilder::new(vec![Point::new(0.0, 0.0), Point::new(d, 0.0)])
+                    .source(Point::new(d / 2.0, 0.0))
+                    .bounds(DelayBounds::upper_only(2, upper))
+                    .build()
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_keep_input_order_and_errors() {
+        let problems = mixed_batch();
+        let results = BatchSolver::new().with_threads(4).solve_all(&problems);
+        assert_eq!(results.len(), problems.len());
+        for (k, r) in results.iter().enumerate() {
+            if k % 2 == 0 {
+                let sol = r.as_ref().unwrap();
+                assert!(sol.verify().is_ok());
+                assert!((sol.cost() - 2.0 * (k + 4) as f64).abs() < 1e-6);
+            } else {
+                assert!(r.is_err(), "instance {k} should be infeasible");
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_any_result() {
+        let problems = mixed_batch();
+        let base = BatchSolver::new().with_threads(1).solve_all(&problems);
+        for threads in [2, 8, 0] {
+            let other = BatchSolver::new()
+                .with_threads(threads)
+                .solve_all(&problems);
+            for (b, o) in base.iter().zip(other.iter()) {
+                match (b, o) {
+                    (Ok(x), Ok(y)) => {
+                        assert_eq!(x.edge_lengths(), y.edge_lengths());
+                        assert_eq!(x.positions(), y.positions());
+                        assert_eq!(x.report(), y.report());
+                    }
+                    (Err(_), Err(_)) => {}
+                    _ => panic!("threads={threads}: Ok/Err mismatch"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ebf_only_path_matches_the_standalone_solver() {
+        let problems = mixed_batch();
+        let batch = BatchSolver::new().with_threads(2).solve_ebf_all(&problems);
+        for (p, r) in problems.iter().zip(batch.iter()) {
+            match (EbfSolver::new().solve(p), r) {
+                (Ok((lengths, report)), Ok((bl, br))) => {
+                    assert_eq!(&lengths, bl);
+                    assert_eq!(&report, br);
+                }
+                (Err(_), Err(_)) => {}
+                _ => panic!("batch and standalone disagree on feasibility"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(BatchSolver::new().solve_all(&[]).is_empty());
+    }
+}

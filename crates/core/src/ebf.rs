@@ -1,7 +1,7 @@
 //! EBF assembly and solving (§4): objective, delay rows, Steiner rows, and
 //! the lazy-separation loop that implements the §4.6 constraint reduction.
 
-use crate::steiner::{all_pair_constraints, seed_pairs, violated_pairs, SinkPair};
+use crate::steiner::{all_pair_constraints, seed_pairs, violated_pairs_with_threads, SinkPair};
 use crate::{LubtError, LubtProblem};
 use lubt_lp::{Cmp, InteriorPointSolver, LinExpr, LpSolve, Model, SimplexSolver, Status, Var};
 use lubt_topology::NodeId;
@@ -56,6 +56,38 @@ pub struct EbfReport {
     pub steiner_rows: usize,
     /// Total available sink-pair rows `C(m, 2)`, for reduction ratios.
     pub total_pairs: usize,
+    /// `true` when lazy separation hit `max_rounds` without converging and
+    /// fell back to materializing every pair constraint. The answer is
+    /// still optimal (the full row set is exact), but the configured lazy
+    /// budget was too small — previously this happened silently.
+    pub truncated: bool,
+}
+
+impl EbfReport {
+    /// A warn-level note in the `lubt-lint` diagnostic schema when the
+    /// lazy budget was exhausted ([`EbfReport::truncated`]); `None` for a
+    /// converged solve. The CLI prints this after `lubt solve` / `lubt
+    /// batch` so a silent fallback becomes a visible finding.
+    pub fn truncation_diagnostic(&self) -> Option<lubt_lint::Diagnostic> {
+        if !self.truncated {
+            return None;
+        }
+        Some(lubt_lint::Diagnostic {
+            pass: "lazy-truncation",
+            level: lubt_lint::Level::Warn,
+            message: format!(
+                "lazy Steiner separation did not converge within {} round(s); \
+                 all {} pair constraints were materialized as a fallback",
+                self.separation_rounds.saturating_sub(1),
+                self.total_pairs
+            ),
+            targets: Vec::new(),
+            help: Some(
+                "raise SteinerMode::Lazy { max_rounds, batch } or use SteinerMode::Eager"
+                    .to_string(),
+            ),
+        })
+    }
 }
 
 /// The Edge-Based Formulation solver: builds the LP of §4.3 and solves it,
@@ -83,6 +115,7 @@ pub struct EbfSolver {
     steiner_mode: SteinerMode,
     violation_tol: f64,
     prelint: bool,
+    threads: usize,
 }
 
 impl Default for EbfSolver {
@@ -92,6 +125,7 @@ impl Default for EbfSolver {
             steiner_mode: SteinerMode::default_lazy(),
             violation_tol: 1e-6,
             prelint: true,
+            threads: 1,
         }
     }
 }
@@ -185,6 +219,24 @@ impl EbfSolver {
         self
     }
 
+    /// Sets the worker count of the parallel separation oracle (`0` = all
+    /// available cores, default `1` = the exact sequential scan).
+    ///
+    /// Thanks to the canonical cut-merge order of
+    /// [`crate::steiner::violated_pairs_with_threads`], the solve is
+    /// bit-for-bit identical for every value — this knob only changes how
+    /// fast the `O(m^2)` oracle runs between LP re-solves.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured oracle worker count (`0` = all cores).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Enables or disables the pre-solve lint hook (on by default). When
     /// enabled, instance-level lint passes run before the LP is built and a
     /// deny-level finding short-circuits into [`LubtError::Rejected`]
@@ -271,6 +323,7 @@ impl EbfSolver {
                         separation_rounds: 1,
                         steiner_rows,
                         total_pairs,
+                        truncated: false,
                     },
                 ))
             }
@@ -290,6 +343,7 @@ impl EbfSolver {
                     };
                     let mut session = lubt_lp::SimplexSession::start(model)?;
                     let mut rounds = 0usize;
+                    let mut truncated = false;
                     loop {
                         let sol = session.resolve()?;
                         match sol.status() {
@@ -304,7 +358,12 @@ impl EbfSolver {
                         lp_iterations = sol.iterations();
                         rounds += 1;
                         let lengths = extract(sol);
-                        let violated = violated_pairs(problem, &lengths, self.violation_tol);
+                        let violated = violated_pairs_with_threads(
+                            problem,
+                            &lengths,
+                            self.violation_tol,
+                            self.threads,
+                        );
                         if violated.is_empty() {
                             return Ok((
                                 lengths,
@@ -313,11 +372,13 @@ impl EbfSolver {
                                     separation_rounds: rounds,
                                     steiner_rows,
                                     total_pairs,
+                                    truncated,
                                 },
                             ));
                         }
                         let cuts: Vec<SinkPair> = if rounds >= max_rounds {
                             // Safety net: materialize everything.
+                            truncated = true;
                             all_pair_constraints(problem)
                         } else {
                             violated.into_iter().take(batch).map(|(p, _)| p).collect()
@@ -334,7 +395,12 @@ impl EbfSolver {
                     lp_iterations += sol.iterations();
                     rounds += 1;
                     let lengths = extract(&sol);
-                    let violated = violated_pairs(problem, &lengths, self.violation_tol);
+                    let violated = violated_pairs_with_threads(
+                        problem,
+                        &lengths,
+                        self.violation_tol,
+                        self.threads,
+                    );
                     if violated.is_empty() {
                         return Ok((
                             lengths,
@@ -343,6 +409,7 @@ impl EbfSolver {
                                 separation_rounds: rounds,
                                 steiner_rows,
                                 total_pairs,
+                                truncated: false,
                             },
                         ));
                     }
@@ -361,6 +428,7 @@ impl EbfSolver {
                                 separation_rounds: rounds + 1,
                                 steiner_rows,
                                 total_pairs,
+                                truncated: true,
                             },
                         ));
                     }
@@ -528,6 +596,65 @@ mod tests {
         let p = p.with_zero_edges(vec![NodeId(n - 1)]).unwrap();
         let (lengths, _) = EbfSolver::new().solve(&p).unwrap();
         assert!(lengths[n - 1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_lazy_budget_sets_truncated_and_warns() {
+        // One round with a one-cut batch cannot converge on a square with
+        // bounds; the safety net materializes every pair and must say so.
+        let p = LubtBuilder::new(square())
+            .bounds(DelayBounds::uniform(4, 10.0, 14.0))
+            .build()
+            .unwrap();
+        let (lengths, report) = EbfSolver::new()
+            .with_steiner_mode(SteinerMode::Lazy {
+                max_rounds: 1,
+                batch: 1,
+            })
+            .solve(&p)
+            .unwrap();
+        assert!(report.truncated, "safety net fired, report must say so");
+        assert!(report.steiner_rows > report.total_pairs);
+        let diag = report.truncation_diagnostic().expect("warn note expected");
+        assert_eq!(diag.pass, "lazy-truncation");
+        assert_eq!(diag.level, lubt_lint::Level::Warn);
+        // The fallback is exact: same optimum as an eager solve.
+        let (eager, _) = EbfSolver::new()
+            .with_steiner_mode(SteinerMode::Eager)
+            .solve(&p)
+            .unwrap();
+        assert!((tree_cost(&lengths) - tree_cost(&eager)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn converged_solve_is_not_truncated() {
+        let p = LubtBuilder::new(square())
+            .bounds(DelayBounds::uniform(4, 10.0, 14.0))
+            .build()
+            .unwrap();
+        let (_, report) = EbfSolver::new().solve(&p).unwrap();
+        assert!(!report.truncated);
+        assert!(report.truncation_diagnostic().is_none());
+        let (_, eager) = EbfSolver::new()
+            .with_steiner_mode(SteinerMode::Eager)
+            .solve(&p)
+            .unwrap();
+        assert!(!eager.truncated);
+    }
+
+    #[test]
+    fn oracle_threads_do_not_change_the_solution_bits() {
+        let p = LubtBuilder::new(square())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::uniform(4, 12.0, 15.0))
+            .build()
+            .unwrap();
+        let (base_lengths, base_report) = EbfSolver::new().solve(&p).unwrap();
+        for threads in [2, 4, 8, 0] {
+            let (lengths, report) = EbfSolver::new().with_threads(threads).solve(&p).unwrap();
+            assert_eq!(lengths, base_lengths, "threads={threads}");
+            assert_eq!(report, base_report, "threads={threads}");
+        }
     }
 
     #[test]

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod batch;
 mod bounds;
 mod ebf;
 mod elmore_ebf;
@@ -69,6 +70,7 @@ mod verify;
 mod zero_skew;
 
 pub use analysis::{analyze, EdgeKind, EdgeStat, TreeAnalysis};
+pub use batch::BatchSolver;
 pub use bounds::DelayBounds;
 pub use ebf::{ebf_model, EbfReport, EbfSolver, SolverBackend, SteinerMode};
 pub use elmore_ebf::{ElmoreEbf, ElmoreReport};
@@ -77,7 +79,7 @@ pub use error::LubtError;
 pub use json::solution_to_json;
 pub use problem::{LubtBuilder, LubtProblem, TopologyStrategy};
 pub use solution::LubtSolution;
-pub use steiner::{all_pair_constraints, violated_pairs, SinkPair};
+pub use steiner::{all_pair_constraints, violated_pairs, violated_pairs_with_threads, SinkPair};
 pub use svg::{render_svg, render_svg_with, render_tree_svg, SvgOptions};
 pub use topology_gen::bound_aware_topology;
 pub use verify::{verify_raw, VerifyError};

@@ -288,6 +288,7 @@ pub struct LubtBuilder {
     backend: SolverBackend,
     steiner_mode: SteinerMode,
     placement: PlacementPolicy,
+    threads: usize,
 }
 
 impl LubtBuilder {
@@ -303,6 +304,7 @@ impl LubtBuilder {
             backend: SolverBackend::Simplex,
             steiner_mode: SteinerMode::default_lazy(),
             placement: PlacementPolicy::ClosestToParent,
+            threads: 1,
         }
     }
 
@@ -363,6 +365,15 @@ impl LubtBuilder {
         self
     }
 
+    /// Sets the separation-oracle worker count (`0` = all available cores,
+    /// default `1`). The solution is identical for every value — see
+    /// [`EbfSolver::with_threads`].
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Builds the [`LubtProblem`] without solving (exposes the generated
     /// topology for inspection or reuse).
     ///
@@ -409,7 +420,8 @@ impl LubtBuilder {
         let problem = self.build()?;
         let solver = EbfSolver::new()
             .with_backend(self.backend)
-            .with_steiner_mode(self.steiner_mode);
+            .with_steiner_mode(self.steiner_mode)
+            .with_threads(self.threads);
         let (lengths, report) = solver.solve(&problem)?;
         let positions = embed_tree(
             problem.topology(),

@@ -84,11 +84,32 @@ pub fn seed_pairs(problem: &LubtProblem) -> Vec<SinkPair> {
 ///
 /// Panics when `lengths.len() != topology.num_nodes()`.
 pub fn violated_pairs(problem: &LubtProblem, lengths: &[f64], tol: f64) -> Vec<(SinkPair, f64)> {
+    violated_pairs_with_threads(problem, lengths, tol, 1)
+}
+
+/// [`violated_pairs`] with the `O(m^2)` pair triangle partitioned across
+/// `threads` workers (`0` = all cores, `1` = the exact sequential scan).
+///
+/// Determinism contract: each worker scans whole rows of the triangle into
+/// a private buffer; buffers merge in ascending row order, reproducing the
+/// serial enumeration exactly, and the final most-violated-first sort is
+/// stable — so the returned cut sequence is **identical for every thread
+/// count**. The lazy EBF loop depends on this: the cuts added each round
+/// fix the simplex pivot sequence, hence the solution bits.
+///
+/// # Panics
+///
+/// Panics when `lengths.len() != topology.num_nodes()`.
+pub fn violated_pairs_with_threads(
+    problem: &LubtProblem,
+    lengths: &[f64],
+    tol: f64,
+    threads: usize,
+) -> Vec<(SinkPair, f64)> {
     let topo = problem.topology();
     let delays = node_delays(topo, lengths);
     let m = topo.num_sinks();
-    let mut out = Vec::new();
-    for i in 1..=m {
+    let scan_row = |i: usize, out: &mut Vec<(SinkPair, f64)>| {
         for j in i + 1..=m {
             let (a, b) = (NodeId(i), NodeId(j));
             let need = problem.sink_location(a).dist(problem.sink_location(b));
@@ -98,7 +119,11 @@ pub fn violated_pairs(problem: &LubtProblem, lengths: &[f64], tol: f64) -> Vec<(
                 out.push((SinkPair { a, b, dist: need }, violation));
             }
         }
-    }
+    };
+    // Row i holds m - i pairs; the grain keeps several chunks per worker
+    // so stealing can even out the ragged triangle.
+    let grain = (m / lubt_par::resolve_threads(threads).max(1) / 4).max(1);
+    let mut out = lubt_par::parallel_flat_map(threads, m, grain, |row, buf| scan_row(row + 1, buf));
     out.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite violations"));
     out
 }
@@ -166,5 +191,34 @@ mod tests {
         let p = problem();
         let lengths = vec![100.0; p.topology().num_nodes()];
         assert!(violated_pairs(&p, &lengths, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn parallel_oracle_matches_serial_exactly() {
+        // A deliberately asymmetric sink cloud so violations are all
+        // distinct and any merge-order slip would reorder the result.
+        let sinks: Vec<Point> = (0..23)
+            .map(|i| {
+                let k = i as f64;
+                Point::new((k * 37.0) % 101.0, (k * k * 13.0) % 89.0)
+            })
+            .collect();
+        let m = sinks.len();
+        let p = LubtBuilder::new(sinks)
+            .bounds(DelayBounds::unbounded(m))
+            .build()
+            .unwrap();
+        let lengths = vec![0.5; p.topology().num_nodes()];
+        let serial = violated_pairs(&p, &lengths, 1e-9);
+        assert!(!serial.is_empty());
+        for threads in [2, 3, 4, 8, 0] {
+            let par = violated_pairs_with_threads(&p, &lengths, 1e-9, threads);
+            assert_eq!(par.len(), serial.len(), "threads={threads}");
+            for (a, b) in serial.iter().zip(par.iter()) {
+                assert_eq!(a.0.a, b.0.a, "threads={threads}");
+                assert_eq!(a.0.b, b.0.b, "threads={threads}");
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "threads={threads}");
+            }
+        }
     }
 }

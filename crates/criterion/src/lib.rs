@@ -93,13 +93,17 @@ fn report(group: Option<&str>, id: &str, bencher: &mut Bencher) {
 pub struct BenchmarkGroup<'c> {
     name: String,
     sample_size: usize,
+    test_mode: bool,
     _criterion: &'c mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timing samples per benchmark.
+    /// Sets the number of timing samples per benchmark (ignored in
+    /// `--test` mode, which always runs a single sample).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        if !self.test_mode {
+            self.sample_size = n.max(1);
+        }
         self
     }
 
@@ -144,25 +148,47 @@ impl BenchmarkGroup<'_> {
 }
 
 /// The benchmark harness entry object.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Reads the process arguments, honoring upstream's `--test` flag
+    /// (`cargo bench -- --test`): run every benchmark exactly once as a
+    /// smoke test instead of collecting timing samples. This is what CI
+    /// uses to exercise the bench suite cheaply.
+    fn default() -> Self {
+        Criterion {
+            sample_size: 0,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
 }
 
 impl Criterion {
     /// Default number of timing samples per benchmark.
     const DEFAULT_SAMPLES: usize = 10;
 
-    /// Starts a [`BenchmarkGroup`].
-    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        let sample_size = if self.sample_size == 0 {
+    fn effective_samples(&self) -> usize {
+        if self.test_mode {
+            1
+        } else if self.sample_size == 0 {
             Self::DEFAULT_SAMPLES
         } else {
             self.sample_size
-        };
+        }
+    }
+
+    /// Starts a [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.effective_samples();
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             name: name.into(),
             sample_size,
+            test_mode,
             _criterion: self,
         }
     }
@@ -175,11 +201,7 @@ impl Criterion {
         let mut b = Bencher {
             samples: Vec::new(),
             iters_per_sample: 1,
-            target_samples: if self.sample_size == 0 {
-                Self::DEFAULT_SAMPLES
-            } else {
-                self.sample_size
-            },
+            target_samples: self.effective_samples(),
         };
         routine(&mut b);
         report(None, name, &mut b);
@@ -233,6 +255,28 @@ mod tests {
         }
         c.bench_function("standalone", |b| b.iter(|| 2 + 2));
         assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn test_mode_forces_one_sample() {
+        let c = Criterion {
+            sample_size: 50,
+            test_mode: true,
+        };
+        assert_eq!(c.effective_samples(), 1);
+        let c = Criterion {
+            sample_size: 0,
+            test_mode: false,
+        };
+        assert_eq!(c.effective_samples(), Criterion::DEFAULT_SAMPLES);
+        // Groups inherit the override and ignore sample_size() requests.
+        let mut c = Criterion {
+            sample_size: 0,
+            test_mode: true,
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(100);
+        assert_eq!(g.sample_size, 1);
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Deterministic chunked data-parallel iteration (scoped, borrow-friendly).
+//!
+//! The index range `0..n` is cut into fixed chunks; every worker owns a
+//! contiguous run of chunk ids in a deque and steals from the front of
+//! other deques when its own runs dry (owner pops the back). Each chunk's
+//! output goes into its own buffer tagged with the chunk id, and after the
+//! scoped join the buffers are concatenated in ascending chunk order —
+//! so the output sequence is exactly the serial `for i in 0..n` order, no
+//! matter which worker ran which chunk or in what interleaving.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One worker's claim loop: own deque from the back, steal from the front
+/// of the others. Returns `(chunk_id, buffer)` pairs in claim order.
+fn claim_loop<T, F>(
+    worker: usize,
+    deques: &[Mutex<VecDeque<usize>>],
+    chunk: usize,
+    n: usize,
+    f: &F,
+) -> Vec<(usize, Vec<T>)>
+where
+    T: Send,
+    F: Fn(usize, &mut Vec<T>) + Sync,
+{
+    let k = deques.len();
+    let mut out = Vec::new();
+    loop {
+        let mut claimed = None;
+        for offset in 0..k {
+            let victim = (worker + offset) % k;
+            let mut q = deques[victim].lock().expect("chunk deque poisoned");
+            claimed = if offset == 0 {
+                q.pop_back()
+            } else {
+                q.pop_front()
+            };
+            if claimed.is_some() {
+                break;
+            }
+        }
+        let Some(id) = claimed else { return out };
+        let mut buf = Vec::new();
+        for i in id * chunk..((id + 1) * chunk).min(n) {
+            f(i, &mut buf);
+        }
+        out.push((id, buf));
+    }
+}
+
+/// Runs `f(i, &mut buf)` for every `i in 0..n`, appending any number of
+/// outputs per index, across `threads` workers (`0` = all cores) with
+/// chunks of `grain` indices as the stealing unit.
+///
+/// The concatenated output is in index order and **independent of the
+/// thread count**: `threads = 1` takes the exact sequential path, and any
+/// other count merges per-chunk buffers canonically.
+///
+/// # Example
+///
+/// ```
+/// // Flat-map the upper triangle row by row.
+/// let pairs = lubt_par::parallel_flat_map(4, 4, 1, |i, out| {
+///     for j in i + 1..4 {
+///         out.push((i, j));
+///     }
+/// });
+/// assert_eq!(pairs, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+/// ```
+pub fn parallel_flat_map<T, F>(threads: usize, n: usize, grain: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut Vec<T>) + Sync,
+{
+    let chunk = grain.max(1);
+    let num_chunks = n.div_ceil(chunk);
+    let threads = crate::resolve_threads(threads).min(num_chunks.max(1));
+    if threads <= 1 {
+        let mut out = Vec::new();
+        for i in 0..n {
+            f(i, &mut out);
+        }
+        return out;
+    }
+
+    // Contiguous runs of chunk ids per worker: worker w owns chunks
+    // [w*per .. (w+1)*per), the remainder spread over the first workers.
+    let per = num_chunks / threads;
+    let extra = num_chunks % threads;
+    let mut start = 0;
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..threads)
+        .map(|w| {
+            let len = per + usize::from(w < extra);
+            let run = (start..start + len).collect();
+            start += len;
+            Mutex::new(run)
+        })
+        .collect();
+
+    let mut tagged: Vec<(usize, Vec<T>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let deques = &deques;
+                let f = &f;
+                scope.spawn(move || claim_loop(w, deques, chunk, n, f))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(part) => part,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    // Canonical merge: ascending chunk id reproduces serial order.
+    tagged.sort_by_key(|(id, _)| *id);
+    tagged.into_iter().flat_map(|(_, buf)| buf).collect()
+}
+
+/// Maps `f` over `0..n`, returning one output per index in index order.
+/// Same determinism contract and parameters as [`parallel_flat_map`].
+///
+/// # Example
+///
+/// ```
+/// let doubled = lubt_par::parallel_map(0, 5, 2, |i| 2 * i);
+/// assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+/// ```
+pub fn parallel_map<T, F>(threads: usize, n: usize, grain: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_flat_map(threads, n, grain, |i, out| out.push(f(i)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_for_every_thread_count() {
+        let serial: Vec<usize> = (0..257).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 3, 4, 8, 33] {
+            for grain in [1, 2, 7, 64, 1000] {
+                let par = parallel_map(threads, 257, grain, |i| i * 3 + 1);
+                assert_eq!(par, serial, "threads={threads} grain={grain}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_map_preserves_ragged_row_order() {
+        let rows = 40;
+        let serial: Vec<(usize, usize)> = (0..rows)
+            .flat_map(|i| (i + 1..rows).map(move |j| (i, j)))
+            .collect();
+        let par = parallel_flat_map(4, rows, 3, |i, out| {
+            for j in i + 1..rows {
+                out.push((i, j));
+            }
+        });
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(parallel_map(4, 0, 8, |i| i).is_empty());
+        assert_eq!(parallel_map(8, 1, 8, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let err = std::panic::catch_unwind(|| {
+            parallel_map(4, 64, 1, |i| {
+                assert!(i != 17, "hit the poisoned index");
+                i
+            })
+        });
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,275 @@
+//! A persistent work-stealing thread pool for `'static` jobs.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Everything the workers share. Jobs live in per-worker deques; the
+/// owner pops from the back (LIFO, cache-warm), thieves pop from the
+/// front (FIFO, oldest work first).
+struct Shared {
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Jobs pushed but not yet claimed by any worker.
+    queued: AtomicUsize,
+    /// Jobs pushed but not yet finished running.
+    pending: AtomicUsize,
+    /// `true` once the pool is shutting down. Guards [`Shared::work_cv`].
+    shutdown: Mutex<bool>,
+    work_cv: Condvar,
+    /// Guards [`Shared::idle_cv`]; signalled whenever `pending` hits zero.
+    idle: Mutex<()>,
+    idle_cv: Condvar,
+    /// First panic message captured from a job, resurfaced by
+    /// [`Pool::wait`].
+    panicked: Mutex<Option<String>>,
+}
+
+impl Shared {
+    /// Claims one job: the worker's own deque from the back, then every
+    /// other deque from the front.
+    fn find_job(&self, worker: usize) -> Option<Job> {
+        let k = self.queues.len();
+        for offset in 0..k {
+            let victim = (worker + offset) % k;
+            let mut q = self.queues[victim].lock().expect("queue poisoned");
+            let job = if offset == 0 {
+                q.pop_back()
+            } else {
+                q.pop_front()
+            };
+            if let Some(job) = job {
+                self.queued.fetch_sub(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn run_job(&self, job: Job) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "job panicked with a non-string payload".to_string());
+            let mut slot = self.panicked.lock().expect("panic slot poisoned");
+            slot.get_or_insert(msg);
+        }
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.idle.lock().expect("idle lock poisoned");
+            self.idle_cv.notify_all();
+        }
+    }
+
+    fn worker_loop(&self, id: usize) {
+        loop {
+            if let Some(job) = self.find_job(id) {
+                self.run_job(job);
+                continue;
+            }
+            let guard = self.shutdown.lock().expect("shutdown lock poisoned");
+            if *guard && self.queued.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            if self.queued.load(Ordering::Acquire) == 0 {
+                // The timeout is a belt-and-braces guard against a missed
+                // wakeup; spurious wakeups just rescan the deques.
+                let _ = self
+                    .work_cv
+                    .wait_timeout(guard, Duration::from_millis(1))
+                    .expect("shutdown lock poisoned");
+            }
+        }
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+///
+/// Workers are spawned at construction and parked on a condvar when idle,
+/// so repeated [`Pool::spawn`] / [`Pool::wait`] cycles reuse the same OS
+/// threads — the "repeated spawn/join under contention" pattern the stress
+/// tests exercise. Dropping the pool drains every queued job, then joins
+/// the workers.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+/// let pool = lubt_par::Pool::new(4);
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..100 {
+///     let hits = Arc::clone(&hits);
+///     pool.spawn(move || {
+///         hits.fetch_add(1, Ordering::Relaxed);
+///     });
+/// }
+/// pool.wait();
+/// assert_eq!(hits.load(Ordering::Relaxed), 100);
+/// ```
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Round-robin submission cursor.
+    next: AtomicUsize,
+}
+
+impl Pool {
+    /// Spawns a pool with `threads` workers (`0` means one per available
+    /// core).
+    pub fn new(threads: usize) -> Pool {
+        let threads = crate::resolve_threads(threads);
+        let shared = Arc::new(Shared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
+            shutdown: Mutex::new(false),
+            work_cv: Condvar::new(),
+            idle: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            panicked: Mutex::new(None),
+        });
+        let workers = (0..threads)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("lubt-par-{id}"))
+                    .spawn(move || shared.worker_loop(id))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            workers,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job on the next worker's deque (round robin; idle
+    /// workers steal it if the target is busy).
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        let target = self.next.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        self.shared.queued.fetch_add(1, Ordering::Release);
+        self.shared.queues[target]
+            .lock()
+            .expect("queue poisoned")
+            .push_back(Box::new(job));
+        let _guard = self.shared.shutdown.lock().expect("shutdown lock poisoned");
+        self.shared.work_cv.notify_one();
+    }
+
+    /// Blocks until every spawned job has finished (the "join" half of
+    /// spawn/join).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic captured from a job since the last call.
+    pub fn wait(&self) {
+        let mut guard = self.shared.idle.lock().expect("idle lock poisoned");
+        while self.shared.pending.load(Ordering::Acquire) > 0 {
+            guard = self
+                .shared
+                .idle_cv
+                .wait_timeout(guard, Duration::from_millis(1))
+                .expect("idle lock poisoned")
+                .0;
+        }
+        drop(guard);
+        let msg = self
+            .shared
+            .panicked
+            .lock()
+            .expect("panic slot poisoned")
+            .take();
+        if let Some(msg) = msg {
+            panic!("lubt-par pool job panicked: {msg}");
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut guard = self.shared.shutdown.lock().expect("shutdown lock poisoned");
+            *guard = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.workers.len())
+            .field("pending", &self.shared.pending.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_every_job_once() {
+        let pool = Pool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            pool.spawn(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn wait_resurfaces_job_panics() {
+        let pool = Pool::new(2);
+        pool.spawn(|| panic!("boom"));
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| pool.wait()))
+            .expect_err("wait must re-raise the job panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("boom"), "{msg}");
+        // The pool stays usable after a panic was drained.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        pool.spawn(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = Pool::new(2);
+            for _ in 0..32 {
+                let counter = Arc::clone(&counter);
+                pool.spawn(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+    }
+}

@@ -8,6 +8,7 @@
 //!
 //! * [`geom`] — Manhattan geometry: points, TRRs, octilinear regions.
 //! * [`lp`] — linear programming: simplex and interior-point solvers.
+//! * [`par`] — work-stealing thread pool and deterministic parallel loops.
 //! * [`topology`] — rooted routing-tree topologies and generators.
 //! * [`delay`] — linear and Elmore delay models.
 //! * [`core`] — the Edge-Based Formulation (EBF) and the geometric embedder.
@@ -43,4 +44,5 @@ pub use lubt_delay as delay;
 pub use lubt_geom as geom;
 pub use lubt_lint as lint;
 pub use lubt_lp as lp;
+pub use lubt_par as par;
 pub use lubt_topology as topology;

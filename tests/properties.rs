@@ -145,6 +145,59 @@ proptest! {
         );
     }
 
+    /// Differential test of the parallel separation oracle: solving the
+    /// same instance with 1, 2 and 8 oracle threads must produce the same
+    /// Solution JSON byte for byte — the cut sequence fixes the simplex
+    /// pivot sequence, so any divergence means the parallel merge order
+    /// broke the determinism contract.
+    #[test]
+    fn oracle_thread_count_never_changes_the_solution(
+        sinks in sink_set(),
+        sx in 0.0..100.0f64,
+        sy in 0.0..100.0f64,
+        lower_frac in 0.0..1.0f64,
+    ) {
+        let m = sinks.len();
+        let source = Point::new(sx, sy);
+        let radius = sinks.iter().map(|s| source.dist(*s)).fold(0.0f64, f64::max);
+        prop_assume!(radius > 1.0);
+        let solve = |threads: usize| {
+            LubtBuilder::new(sinks.clone())
+                .source(source)
+                .bounds(DelayBounds::uniform(m, lower_frac * radius, 1.5 * radius))
+                .threads(threads)
+                .solve()
+                .expect("window above the radius is feasible")
+        };
+        let base = solve(1);
+        let base_json = lubt::core::solution_to_json(&base);
+        for threads in [2usize, 8] {
+            let other = solve(threads);
+            let other_json = lubt::core::solution_to_json(&other);
+            if base_json != other_json {
+                // Name the first diverging edge before failing.
+                let diverged = base
+                    .edge_lengths()
+                    .iter()
+                    .zip(other.edge_lengths())
+                    .enumerate()
+                    .find(|(_, (a, b))| a.to_bits() != b.to_bits());
+                match diverged {
+                    Some((edge, (a, b))) => prop_assert!(
+                        false,
+                        "threads={threads}: first diverging edge e_{edge}: \
+                         {a} (1 thread) vs {b} ({threads} threads)"
+                    ),
+                    None => prop_assert!(
+                        false,
+                        "threads={threads}: JSON differs but edge lengths agree \
+                         (embedding or report divergence)"
+                    ),
+                }
+            }
+        }
+    }
+
     /// Both placement policies yield verifiable embeddings of the same
     /// LP optimum.
     #[test]
