@@ -11,9 +11,11 @@ use lubt_topology::{bipartition_topology, matching_topology, SourceMode, Topolog
 
 const USAGE: &str = "usage:
   lubt solve <input> --lower L --upper U [--absolute] \
-[--topology nn|matching|bisect|aware] [--backend simplex|ipm] [--svg out.svg] [--json out.json]
+[--topology nn|matching|bisect|aware] [--backend simplex|ipm] [--max-lp-iterations N] \
+[--svg out.svg] [--json out.json] [--trace-json [out.json]]
   lubt batch <input>... --lower L --upper U [--absolute] \
-[--topology nn|matching|bisect|aware] [--backend simplex|ipm] [--threads N] [--json out.json]
+[--topology nn|matching|bisect|aware] [--backend simplex|ipm] [--threads N] \
+[--max-lp-iterations N] [--json out.json] [--metrics [out.json]]
   lubt lint <input> [--lower L] [--upper U] [--absolute] \
 [--topology nn|matching|bisect|aware] [--json [out.json]]
   lubt zeroskew <input> [--target T] [--absolute] [--svg out.svg]
@@ -58,6 +60,43 @@ fn to_absolute(value: f64, radius: f64, absolute: bool) -> f64 {
         value
     } else {
         value * radius
+    }
+}
+
+/// True when `--{key}` appeared at all — bare switch or with a value.
+fn wants(parsed: &Parsed, key: &str) -> bool {
+    parsed.has(key) || parsed.get(key).is_some()
+}
+
+/// Emits a JSON document for an optional-value flag: `--{key} path` writes
+/// the file, a bare `--{key}` prints to stdout (the `lint --json`
+/// convention).
+fn emit_json(parsed: &Parsed, key: &str, label: &str, json: &str) -> Result<(), String> {
+    match parsed.get(key) {
+        Some(path) => {
+            std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("{label} written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+/// Reads `--max-lp-iterations`, rejecting a bare switch (a silently
+/// ignored budget is worse than no budget).
+fn lp_budget(parsed: &Parsed) -> Result<Option<usize>, String> {
+    if parsed.has("max-lp-iterations") && parsed.get("max-lp-iterations").is_none() {
+        return Err("--max-lp-iterations requires a value".to_string());
+    }
+    parsed.get_usize("max-lp-iterations")
+}
+
+/// Renders a solver failure, appending the lint-style diagnostic when the
+/// error carries one (e.g. LP iteration-limit exhaustion).
+fn render_lubt_error(e: &lubt_core::LubtError) -> String {
+    match e.diagnostic() {
+        Some(d) => format!("{e}\n{d}"),
+        None => e.to_string(),
     }
 }
 
@@ -125,7 +164,27 @@ fn cmd_solve(parsed: &Parsed) -> Result<(), String> {
     if let Some(t) = topology {
         builder = builder.topology(t);
     }
-    let solution = builder.solve().map_err(|e| e.to_string())?;
+    if let Some(limit) = lp_budget(parsed)? {
+        builder = builder.max_lp_iterations(limit);
+    }
+
+    let tracing = wants(parsed, "trace-json");
+    let (solution_result, trace) = if tracing {
+        let (r, t) = builder.solve_traced();
+        (r, Some(t))
+    } else {
+        (builder.solve(), None)
+    };
+    let solution = match solution_result {
+        Ok(s) => s,
+        Err(e) => {
+            // The trace matters most on failure: emit it before bailing.
+            if let Some(trace) = &trace {
+                emit_json(parsed, "trace-json", "trace", &trace.to_json())?;
+            }
+            return Err(render_lubt_error(&e));
+        }
+    };
     solution
         .verify()
         .map_err(|e| format!("verification failed: {e}"))?;
@@ -166,6 +225,9 @@ fn cmd_solve(parsed: &Parsed) -> Result<(), String> {
         std::fs::write(path, lubt_core::solution_to_json(&solution))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("json written to {path}");
+    }
+    if let Some(trace) = &trace {
+        emit_json(parsed, "trace-json", "trace", &trace.to_json())?;
     }
     write_svg(parsed, &render_svg(&solution))
 }
@@ -229,10 +291,19 @@ fn cmd_batch(parsed: &Parsed) -> Result<(), String> {
         problems.push(builder.build().map_err(|e| format!("{path}: {e}"))?);
     }
 
-    let results = BatchSolver::new()
-        .with_solver(EbfSolver::new().with_backend(backend))
-        .with_threads(threads)
-        .solve_all(&problems);
+    let mut solver = EbfSolver::new().with_backend(backend);
+    if let Some(limit) = lp_budget(parsed)? {
+        solver = solver.with_max_lp_iterations(limit);
+    }
+    let batch = BatchSolver::new().with_solver(solver).with_threads(threads);
+    // Only the metrics document (timings, scheduling counters) may vary
+    // with `--threads`; results and the default stdout stay byte-identical.
+    let (results, trace) = if wants(parsed, "metrics") {
+        let (r, t) = batch.solve_all_traced(&problems);
+        (r, Some(t))
+    } else {
+        (batch.solve_all(&problems), None)
+    };
 
     let mut failures = 0usize;
     let mut json = String::from("{\n  \"instances\": [\n");
@@ -273,6 +344,9 @@ fn cmd_batch(parsed: &Parsed) -> Result<(), String> {
             Err(e) => {
                 failures += 1;
                 println!("{name}  error: {e}");
+                if let Some(d) = e.diagnostic() {
+                    println!("{d}");
+                }
                 let _ = std::fmt::Write::write_fmt(
                     &mut json,
                     format_args!(
@@ -290,6 +364,9 @@ fn cmd_batch(parsed: &Parsed) -> Result<(), String> {
     if let Some(path) = parsed.get("json") {
         std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("json written to {path}");
+    }
+    if let Some(trace) = &trace {
+        emit_json(parsed, "metrics", "metrics", &trace.to_json())?;
     }
 
     if failures > 0 {

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! lubt solve <input> --lower 0.9 --upper 1.3 [--absolute] [--topology nn|matching|bisect|aware]
-//!                     [--backend simplex|ipm] [--svg out.svg]
+//!                     [--backend simplex|ipm] [--max-lp-iterations N] [--svg out.svg]
+//!                     [--trace-json [out.json]]
+//! lubt batch <input>... --lower L --upper U [--threads N] [--metrics [out.json]]
 //! lubt lint <input> [--lower L] [--upper U] [--absolute] [--json [out.json]]
 //! lubt zeroskew <input> [--target T] [--svg out.svg]
 //! lubt bst <input> --skew 0.1 [--absolute]

@@ -321,6 +321,172 @@ fn batch_mixed_feasibility_exits_nonzero_but_reports_every_instance() {
 }
 
 #[test]
+fn solve_trace_json_is_valid_and_reports_the_solve() {
+    let pts = tmp("trace1.pts");
+    let out = lubt()
+        .args(["gen", "uniform", "--sinks", "8", "--seed", "2", "--out"])
+        .arg(&pts)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // `--trace-json out.json` writes the trace to a file.
+    let trace_path = tmp("trace1.json");
+    let out = lubt()
+        .args(["solve"])
+        .arg(&pts)
+        .args(["--lower", "0.9", "--upper", "1.4", "--trace-json"])
+        .arg(&trace_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("tree cost"));
+    assert!(text.contains("trace written to"), "stdout: {text}");
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    lubt_obs::json::validate(&trace).expect("trace JSON must be strictly valid");
+    for key in [
+        "\"schema\": \"lubt-trace-v1\"",
+        "simplex.pivots",
+        "ebf.rounds",
+        "embed.fr_constructions",
+        "time.lp",
+    ] {
+        assert!(trace.contains(key), "trace missing {key}: {trace}");
+    }
+
+    // A bare `--trace-json` prints the trace to stdout after the report.
+    let out = lubt()
+        .args(["solve"])
+        .arg(&pts)
+        .args(["--lower", "0.9", "--upper", "1.4", "--trace-json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    let json_start = text.find("{\n").expect("trace JSON on stdout");
+    lubt_obs::json::validate(&text[json_start..]).expect("stdout trace must be strictly valid");
+
+    let _ = std::fs::remove_file(&pts);
+    let _ = std::fs::remove_file(&trace_path);
+}
+
+#[test]
+fn solve_iteration_limit_fails_with_diagnostic_but_still_writes_the_trace() {
+    let pts = tmp("limit1.pts");
+    let out = lubt()
+        .args(["gen", "uniform", "--sinks", "8", "--seed", "4", "--out"])
+        .arg(&pts)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let trace_path = tmp("limit1.json");
+    let out = lubt()
+        .args(["solve"])
+        .arg(&pts)
+        .args([
+            "--lower",
+            "0.9",
+            "--upper",
+            "1.4",
+            "--max-lp-iterations",
+            "2",
+        ])
+        .args(["--trace-json"])
+        .arg(&trace_path)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("iteration limit 2"), "stderr: {err}");
+    assert!(err.contains("error[iteration-limit]"), "stderr: {err}");
+    // The trace survives the failed solve and records the exhaustion.
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    lubt_obs::json::validate(&trace).expect("failure trace must be strictly valid");
+    assert!(
+        trace.contains("simplex.iteration_limit_hits"),
+        "trace: {trace}"
+    );
+
+    // A bare `--max-lp-iterations` is rejected, not silently ignored.
+    let out = lubt()
+        .args(["solve"])
+        .arg(&pts)
+        .args(["--upper", "1.4", "--max-lp-iterations"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("--max-lp-iterations requires a value"),
+        "stderr: {err}"
+    );
+
+    let _ = std::fs::remove_file(&pts);
+    let _ = std::fs::remove_file(&trace_path);
+}
+
+#[test]
+fn batch_metrics_are_valid_json_and_leave_the_report_deterministic() {
+    let pts = gen_batch("batch-metrics", 6, 8);
+    let run = |threads: &str, metrics: &PathBuf| {
+        let out = lubt()
+            .args(["batch"])
+            .args(&pts)
+            .args(["--lower", "0.9", "--upper", "1.5", "--threads", threads])
+            .args(["--metrics"])
+            .arg(metrics)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "threads {threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let m1 = tmp("batch-metrics-1.json");
+    let m8 = tmp("batch-metrics-8.json");
+    let stdout1 = run("1", &m1);
+    let stdout8 = run("8", &m8);
+
+    // Timings and scheduling counters live in the metrics file; the report
+    // on stdout stays byte-identical across thread counts.
+    let strip = |bytes: &[u8]| -> String {
+        String::from_utf8(bytes.to_vec())
+            .unwrap()
+            .lines()
+            .filter(|l| !l.starts_with("metrics written to"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&stdout1), strip(&stdout8));
+
+    for path in [&m1, &m8] {
+        let metrics = std::fs::read_to_string(path).unwrap();
+        lubt_obs::json::validate(&metrics).expect("metrics must be strictly valid JSON");
+        for key in ["batch.instances", "batch.solved", "simplex.solves"] {
+            assert!(metrics.contains(key), "metrics missing {key}: {metrics}");
+        }
+    }
+
+    for p in pts {
+        let _ = std::fs::remove_file(p);
+    }
+    let _ = std::fs::remove_file(&m1);
+    let _ = std::fs::remove_file(&m8);
+}
+
+#[test]
 fn alternate_topologies_and_backend() {
     let pts = tmp("inst4.pts");
     let out = lubt()

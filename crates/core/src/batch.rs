@@ -10,8 +10,10 @@
 //! wall-clock time.
 
 use crate::ebf::{EbfReport, EbfSolver};
-use crate::embed::{embed_tree, PlacementPolicy};
+use crate::embed::{embed_tree_traced, PlacementPolicy};
 use crate::{LubtError, LubtProblem, LubtSolution};
+use lubt_obs::{Recorder, SolveTrace, TraceRecorder};
+use std::sync::Arc;
 
 /// Solves a slice of independent [`LubtProblem`]s in parallel.
 ///
@@ -90,15 +92,55 @@ impl BatchSolver {
     /// Solves and embeds every instance; `results[i]` answers
     /// `problems[i]`.
     pub fn solve_all(&self, problems: &[LubtProblem]) -> Vec<Result<LubtSolution, LubtError>> {
-        lubt_par::parallel_map(self.threads, problems.len(), 1, |i| {
+        self.solve_all_recorded(problems, lubt_obs::noop())
+    }
+
+    /// [`BatchSolver::solve_all`] with batch-level metrics accumulated into
+    /// a fresh recorder, returned as a [`SolveTrace`] alongside the
+    /// results: every instance's `ebf.*`/`simplex.*`/`embed.*` counters
+    /// summed into one trace, the `par.*` scheduling counters of the batch
+    /// loop itself, plus `batch.instances`, `batch.solved`, `batch.failed`.
+    ///
+    /// The results are bit-for-bit identical to [`BatchSolver::solve_all`]
+    /// for every thread count; only the trace (timings, scheduling
+    /// counters) varies between runs.
+    #[allow(clippy::type_complexity)]
+    pub fn solve_all_traced(
+        &self,
+        problems: &[LubtProblem],
+    ) -> (Vec<Result<LubtSolution, LubtError>>, SolveTrace) {
+        let rec = Arc::new(TraceRecorder::new());
+        let results = self.solve_all_recorded(problems, Arc::clone(&rec) as Arc<dyn Recorder>);
+        rec.incr("batch.instances", problems.len() as u64);
+        let solved = results.iter().filter(|r| r.is_ok()).count() as u64;
+        rec.incr("batch.solved", solved);
+        rec.incr("batch.failed", problems.len() as u64 - solved);
+        (results, rec.snapshot())
+    }
+
+    fn solve_all_recorded(
+        &self,
+        problems: &[LubtProblem],
+        rec: Arc<dyn Recorder>,
+    ) -> Vec<Result<LubtSolution, LubtError>> {
+        // Per-instance solves share the batch recorder: the trace
+        // aggregates over the whole batch. Counter increments commute, so
+        // aggregation order cannot leak into the (Eq-compared) results.
+        let solver = if rec.enabled() {
+            self.solver.clone().with_recorder(Arc::clone(&rec))
+        } else {
+            self.solver.clone()
+        };
+        lubt_par::parallel_map_traced(self.threads, problems.len(), 1, &*rec, |i| {
             let problem = &problems[i];
-            let (lengths, report) = self.solver.solve(problem)?;
-            let positions = embed_tree(
+            let (lengths, report) = solver.solve(problem)?;
+            let positions = embed_tree_traced(
                 problem.topology(),
                 problem.sinks(),
                 problem.source(),
                 &lengths,
                 self.placement,
+                &*rec,
             )?;
             Ok(LubtSolution::new(
                 problem.clone(),
@@ -202,5 +244,50 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         assert!(BatchSolver::new().solve_all(&[]).is_empty());
+    }
+
+    #[test]
+    fn traced_batch_matches_untraced_results_and_counts() {
+        let problems = mixed_batch();
+        let plain = BatchSolver::new().with_threads(2).solve_all(&problems);
+        let (traced, trace) = BatchSolver::new()
+            .with_threads(2)
+            .solve_all_traced(&problems);
+        for (p, t) in plain.iter().zip(traced.iter()) {
+            match (p, t) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(x.edge_lengths(), y.edge_lengths());
+                    assert_eq!(x.positions(), y.positions());
+                    assert_eq!(x.report(), y.report());
+                }
+                (Err(_), Err(_)) => {}
+                _ => panic!("tracing changed feasibility"),
+            }
+        }
+        assert_eq!(trace.counter("batch.instances"), 8);
+        assert_eq!(trace.counter("batch.solved"), 4);
+        assert_eq!(trace.counter("batch.failed"), 4);
+        // The batch loop itself is one traced parallel loop over the 8
+        // instances; the per-instance separation oracles add their own
+        // `par.*` jobs on top.
+        assert!(trace.counter("par.loops") >= 1);
+        assert!(trace.counter("par.jobs") >= 8);
+        // The per-instance solves fed the same trace: LP and embedder
+        // counters aggregate across the whole batch.
+        assert!(trace.counter("simplex.solves") >= 4);
+        assert!(trace.counter("embed.fr_constructions") >= 4);
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_all_cores() {
+        // `0` is the documented "all cores" sentinel on every library
+        // entry point; it must never panic or deadlock, even for tiny
+        // batches.
+        let problems = mixed_batch();
+        let results = BatchSolver::new().with_threads(0).solve_all(&problems[..2]);
+        assert_eq!(results.len(), 2);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert_eq!(BatchSolver::new().with_threads(0).threads(), 0);
     }
 }

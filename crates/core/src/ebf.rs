@@ -1,10 +1,12 @@
 //! EBF assembly and solving (§4): objective, delay rows, Steiner rows, and
 //! the lazy-separation loop that implements the §4.6 constraint reduction.
 
-use crate::steiner::{all_pair_constraints, seed_pairs, violated_pairs_with_threads, SinkPair};
+use crate::steiner::{all_pair_constraints, seed_pairs, SinkPair};
 use crate::{LubtError, LubtProblem};
 use lubt_lp::{Cmp, InteriorPointSolver, LinExpr, LpSolve, Model, SimplexSolver, Status, Var};
+use lubt_obs::{PhaseTimer, Recorder, SolveTrace, TraceRecorder};
 use lubt_topology::NodeId;
+use std::sync::Arc;
 
 /// LP backend selection — the paper used LOQO (interior point) and noted
 /// the simplex-vs-interior-point trade-off; both are available here.
@@ -116,6 +118,8 @@ pub struct EbfSolver {
     violation_tol: f64,
     prelint: bool,
     threads: usize,
+    max_lp_iterations: Option<usize>,
+    recorder: Arc<dyn Recorder>,
 }
 
 impl Default for EbfSolver {
@@ -126,6 +130,8 @@ impl Default for EbfSolver {
             violation_tol: 1e-6,
             prelint: true,
             threads: 1,
+            max_lp_iterations: None,
+            recorder: lubt_obs::noop(),
         }
     }
 }
@@ -237,6 +243,72 @@ impl EbfSolver {
         self.threads
     }
 
+    /// Caps the pivot count of every LP (re-)solve. `None` (the default)
+    /// keeps each backend's own default limit. When a solve exhausts the
+    /// cap, [`EbfSolver::solve`] fails with
+    /// [`LubtError::Lp`]([`lubt_lp::LpError::IterationLimit`]) —
+    /// [`LubtError::diagnostic`] renders that as a lint-style finding.
+    #[must_use]
+    pub fn with_max_lp_iterations(mut self, limit: usize) -> Self {
+        self.max_lp_iterations = Some(limit);
+        self
+    }
+
+    /// Sends solve-path instrumentation (`ebf.*` separation counters,
+    /// `simplex.*` pivot counters, `par.*` oracle scheduling counters,
+    /// `time.*` phase timers) to `recorder`. The default is a no-op sink;
+    /// [`EbfSolver::solve_traced`] wires a [`TraceRecorder`] for you.
+    ///
+    /// Recording never changes the solve: the recorder observes the pivot
+    /// and cut sequence, it does not influence it.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The simplex backend configured with this solver's recorder and
+    /// iteration cap.
+    fn simplex(&self) -> SimplexSolver {
+        let mut s = SimplexSolver::new().with_recorder(Arc::clone(&self.recorder));
+        if let Some(limit) = self.max_lp_iterations {
+            s = s.with_max_iterations(limit);
+        }
+        s
+    }
+
+    /// The interior-point backend configured with this solver's iteration
+    /// cap (the IPM reports no per-pivot counters).
+    fn interior(&self) -> InteriorPointSolver {
+        let mut s = InteriorPointSolver::new();
+        if let Some(limit) = self.max_lp_iterations {
+            s = s.with_max_iterations(limit);
+        }
+        s
+    }
+
+    /// Like [`EbfSolver::solve`], but every phase of the solve is recorded
+    /// into a fresh [`TraceRecorder`] and the resulting [`SolveTrace`] is
+    /// returned **alongside** the result — including on failure, so an
+    /// iteration-limit or infeasibility exit still yields the counters
+    /// accumulated up to that point.
+    ///
+    /// The trace is deliberately *not* part of [`EbfReport`]: reports are
+    /// compared bit-for-bit in the thread-count determinism tests, while a
+    /// trace carries wall-clock timings and scheduling counters that
+    /// legitimately differ between runs (see `DESIGN.md` §10).
+    pub fn solve_traced(
+        &self,
+        problem: &LubtProblem,
+    ) -> (Result<(Vec<f64>, EbfReport), LubtError>, SolveTrace) {
+        let rec = Arc::new(TraceRecorder::new());
+        let traced = self
+            .clone()
+            .with_recorder(Arc::clone(&rec) as Arc<dyn Recorder>);
+        let result = traced.solve(problem);
+        (result, rec.snapshot())
+    }
+
     /// Enables or disables the pre-solve lint hook (on by default). When
     /// enabled, instance-level lint passes run before the LP is built and a
     /// deny-level finding short-circuits into [`LubtError::Rejected`]
@@ -285,11 +357,13 @@ impl EbfSolver {
         let total_pairs = m * (m - 1) / 2;
         let mut lp_iterations = 0usize;
         let mut steiner_rows = 0usize;
+        let rec: &dyn Recorder = &*self.recorder;
 
         let solve_once = |model: &Model| -> Result<lubt_lp::Solution, LubtError> {
+            let _t = PhaseTimer::new(rec, "time.lp");
             let sol = match self.backend {
-                SolverBackend::Simplex => SimplexSolver::new().solve(model)?,
-                SolverBackend::InteriorPoint => InteriorPointSolver::new().solve(model)?,
+                SolverBackend::Simplex => self.simplex().solve(model)?,
+                SolverBackend::InteriorPoint => self.interior().solve(model)?,
             };
             match sol.status() {
                 Status::Optimal => Ok(sol),
@@ -298,6 +372,27 @@ impl EbfSolver {
                     "EBF objective cannot be unbounded (non-negative costs)".to_string(),
                 ))),
             }
+        };
+
+        // One separation round's worth of oracle bookkeeping: round count,
+        // residual violation mass (sum of all current violations — how far
+        // from Steiner-feasible the incumbent lengths are), and a bounded
+        // per-round event line.
+        let note_round = |rounds: usize, violated: &[(SinkPair, f64)]| {
+            if !rec.enabled() {
+                return;
+            }
+            rec.incr("ebf.rounds", 1);
+            rec.record_max("ebf.peak_violations", violated.len() as u64);
+            let mass: f64 = violated.iter().map(|(_, v)| v).sum();
+            rec.gauge("ebf.residual_violation_mass", mass);
+            rec.event(
+                "ebf.round",
+                &format!(
+                    "round {rounds}: {} violated pair(s), residual mass {mass:.6}",
+                    violated.len()
+                ),
+            );
         };
 
         let extract = |sol: &lubt_lp::Solution| -> Vec<f64> {
@@ -313,6 +408,10 @@ impl EbfSolver {
                 for pair in all_pair_constraints(problem) {
                     add_steiner_row(&mut model, &pair);
                     steiner_rows += 1;
+                }
+                if rec.enabled() {
+                    rec.incr("ebf.rounds", 1);
+                    rec.incr("ebf.eager_rows", steiner_rows as u64);
                 }
                 let sol = solve_once(&model)?;
                 lp_iterations += sol.iterations();
@@ -332,6 +431,9 @@ impl EbfSolver {
                     add_steiner_row(&mut model, &pair);
                     steiner_rows += 1;
                 }
+                if rec.enabled() {
+                    rec.incr("ebf.seed_rows", steiner_rows as u64);
+                }
                 // On the simplex backend, the growing model lives in an
                 // incremental session: each separation round only appends
                 // rows, which the dual simplex repairs from the previous
@@ -341,11 +443,14 @@ impl EbfSolver {
                         let path = topo.path_between(pair.a, pair.b);
                         LinExpr::from_terms(path.iter().map(|&e| (var_of(e), 1.0)))
                     };
-                    let mut session = lubt_lp::SimplexSession::start(model)?;
+                    let mut session = lubt_lp::SimplexSession::start_with(model, self.simplex())?;
                     let mut rounds = 0usize;
                     let mut truncated = false;
                     loop {
-                        let sol = session.resolve()?;
+                        let sol = {
+                            let _t = PhaseTimer::new(rec, "time.lp");
+                            session.resolve()?
+                        };
                         match sol.status() {
                             Status::Optimal => {}
                             Status::Infeasible => return Err(LubtError::Infeasible),
@@ -358,12 +463,17 @@ impl EbfSolver {
                         lp_iterations = sol.iterations();
                         rounds += 1;
                         let lengths = extract(sol);
-                        let violated = violated_pairs_with_threads(
-                            problem,
-                            &lengths,
-                            self.violation_tol,
-                            self.threads,
-                        );
+                        let violated = {
+                            let _t = PhaseTimer::new(rec, "time.separation");
+                            crate::steiner::violated_pairs_traced(
+                                problem,
+                                &lengths,
+                                self.violation_tol,
+                                self.threads,
+                                rec,
+                            )
+                        };
+                        note_round(rounds, &violated);
                         if violated.is_empty() {
                             return Ok((
                                 lengths,
@@ -379,6 +489,16 @@ impl EbfSolver {
                         let cuts: Vec<SinkPair> = if rounds >= max_rounds {
                             // Safety net: materialize everything.
                             truncated = true;
+                            if rec.enabled() {
+                                rec.incr("ebf.truncations", 1);
+                                rec.event(
+                                    "ebf.truncation",
+                                    &format!(
+                                        "lazy budget exhausted after {rounds} round(s); \
+                                         materializing all {total_pairs} pair constraints"
+                                    ),
+                                );
+                            }
                             all_pair_constraints(problem)
                         } else {
                             violated.into_iter().take(batch).map(|(p, _)| p).collect()
@@ -386,6 +506,9 @@ impl EbfSolver {
                         for pair in cuts {
                             session.add_constraint(steiner_expr(&pair), Cmp::Ge, pair.dist)?;
                             steiner_rows += 1;
+                            if rec.enabled() {
+                                rec.incr("ebf.cuts_added", 1);
+                            }
                         }
                     }
                 }
@@ -395,12 +518,17 @@ impl EbfSolver {
                     lp_iterations += sol.iterations();
                     rounds += 1;
                     let lengths = extract(&sol);
-                    let violated = violated_pairs_with_threads(
-                        problem,
-                        &lengths,
-                        self.violation_tol,
-                        self.threads,
-                    );
+                    let violated = {
+                        let _t = PhaseTimer::new(rec, "time.separation");
+                        crate::steiner::violated_pairs_traced(
+                            problem,
+                            &lengths,
+                            self.violation_tol,
+                            self.threads,
+                            rec,
+                        )
+                    };
+                    note_round(rounds, &violated);
                     if violated.is_empty() {
                         return Ok((
                             lengths,
@@ -415,6 +543,16 @@ impl EbfSolver {
                     }
                     if rounds >= max_rounds {
                         // Safety net: materialize everything and solve once.
+                        if rec.enabled() {
+                            rec.incr("ebf.truncations", 1);
+                            rec.event(
+                                "ebf.truncation",
+                                &format!(
+                                    "lazy budget exhausted after {rounds} round(s); \
+                                     materializing all {total_pairs} pair constraints"
+                                ),
+                            );
+                        }
                         for pair in all_pair_constraints(problem) {
                             add_steiner_row(&mut model, &pair);
                             steiner_rows += 1;
@@ -435,6 +573,9 @@ impl EbfSolver {
                     for (pair, _) in violated.into_iter().take(batch) {
                         add_steiner_row(&mut model, &pair);
                         steiner_rows += 1;
+                        if rec.enabled() {
+                            rec.incr("ebf.cuts_added", 1);
+                        }
                     }
                 }
             }
@@ -655,6 +796,126 @@ mod tests {
             assert_eq!(lengths, base_lengths, "threads={threads}");
             assert_eq!(report, base_report, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn solve_traced_reports_rounds_cuts_pivots_and_timings() {
+        let p = LubtBuilder::new(square())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::uniform(4, 12.0, 15.0))
+            .build()
+            .unwrap();
+        let (result, trace) = EbfSolver::new().solve_traced(&p);
+        let (lengths, report) = result.unwrap();
+        // Tracing must not change the solve.
+        let (plain_lengths, plain_report) = EbfSolver::new().solve(&p).unwrap();
+        assert_eq!(lengths, plain_lengths);
+        assert_eq!(report, plain_report);
+        // Separation accounting lines up with the report.
+        assert_eq!(trace.counter("ebf.rounds"), report.separation_rounds as u64);
+        assert_eq!(
+            trace.counter("ebf.seed_rows") + trace.counter("ebf.cuts_added"),
+            report.steiner_rows as u64
+        );
+        // LP accounting: the session cold-starts once (a full solve), then
+        // re-solves incrementally once per cut-adding round.
+        assert!(trace.counter("simplex.solves") >= 1);
+        assert_eq!(
+            trace.counter("simplex.resolves"),
+            report.separation_rounds as u64 - 1
+        );
+        assert!(trace.counter("simplex.pivots") >= 1);
+        assert!(trace.gauge("simplex.limit_fraction").is_some());
+        // Wall-clock phases were timed (values are run-dependent, presence
+        // is not).
+        assert!(trace.timings_ns.contains_key("time.lp"));
+        assert!(trace.timings_ns.contains_key("time.separation"));
+        // Per-round events landed in the bounded log.
+        assert!(trace.events.iter().any(|e| e.key == "ebf.round"));
+    }
+
+    #[test]
+    fn traced_truncation_is_counted() {
+        let p = LubtBuilder::new(square())
+            .bounds(DelayBounds::uniform(4, 10.0, 14.0))
+            .build()
+            .unwrap();
+        let (result, trace) = EbfSolver::new()
+            .with_steiner_mode(SteinerMode::Lazy {
+                max_rounds: 1,
+                batch: 1,
+            })
+            .solve_traced(&p);
+        assert!(result.unwrap().1.truncated);
+        assert_eq!(trace.counter("ebf.truncations"), 1);
+        assert!(trace.events.iter().any(|e| e.key == "ebf.truncation"));
+    }
+
+    #[test]
+    fn lp_iteration_limit_propagates_with_diagnostic_and_trace() {
+        let p = LubtBuilder::new(square())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::uniform(4, 12.0, 15.0))
+            .build()
+            .unwrap();
+        let (result, trace) = EbfSolver::new().with_max_lp_iterations(1).solve_traced(&p);
+        let err = result.expect_err("one pivot cannot solve this instance");
+        assert!(
+            matches!(
+                err,
+                LubtError::Lp(lubt_lp::LpError::IterationLimit { limit: 1 })
+            ),
+            "{err:?}"
+        );
+        // Satellite contract: the exhaustion surfaces as a lint-style
+        // diagnostic, like truncation does.
+        let diag = err.diagnostic().expect("iteration limit maps to a finding");
+        assert_eq!(diag.pass, "iteration-limit");
+        assert_eq!(diag.level, lubt_lint::Level::Deny);
+        assert!(diag.message.contains('1'));
+        // ... and the trace still carries the counters up to the failure.
+        assert!(trace.counter("simplex.iteration_limit_hits") >= 1);
+        // A generous limit solves fine and stays far from the cap.
+        let (result, trace) = EbfSolver::new()
+            .with_max_lp_iterations(100_000)
+            .solve_traced(&p);
+        assert!(result.is_ok());
+        let frac = trace.gauge("simplex.limit_fraction").unwrap();
+        assert!(frac > 0.0 && frac < 0.01, "limit proximity {frac}");
+    }
+
+    #[test]
+    fn interior_point_respects_the_iteration_cap() {
+        let p = LubtBuilder::new(square())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::uniform(4, 12.0, 15.0))
+            .build()
+            .unwrap();
+        let err = EbfSolver::new()
+            .with_backend(SolverBackend::InteriorPoint)
+            .with_max_lp_iterations(1)
+            .solve(&p)
+            .expect_err("one IPM step cannot converge");
+        assert!(matches!(
+            err,
+            LubtError::Lp(lubt_lp::LpError::IterationLimit { limit: 1 })
+        ));
+    }
+
+    #[test]
+    fn zero_threads_solves_like_one_thread() {
+        // `with_threads(0)` = all cores; the library clamps instead of
+        // rejecting (only the CLI flag rejects a literal 0).
+        let p = LubtBuilder::new(square())
+            .bounds(DelayBounds::uniform(4, 10.0, 14.0))
+            .build()
+            .unwrap();
+        let solver = EbfSolver::new().with_threads(0);
+        assert_eq!(solver.threads(), 0);
+        let (lengths, report) = solver.solve(&p).unwrap();
+        let (base_lengths, base_report) = EbfSolver::new().solve(&p).unwrap();
+        assert_eq!(lengths, base_lengths);
+        assert_eq!(report, base_report);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::LubtError;
 use lubt_geom::{Point, Trr};
+use lubt_obs::{NoopRecorder, PhaseTimer, Recorder};
 use lubt_topology::Topology;
 
 /// Where to place a node inside its feasible intersection.
@@ -51,8 +52,33 @@ pub fn embed_tree(
     lengths: &[f64],
     policy: PlacementPolicy,
 ) -> Result<Vec<Point>, LubtError> {
+    embed_tree_traced(topo, sinks, source, lengths, policy, &NoopRecorder)
+}
+
+/// [`embed_tree`] with construction counters sent to `rec`:
+///
+/// * `embed.fr_constructions` — feasible regions built bottom-up;
+/// * `embed.trr_expansions` — child-region TRR expansions feeding those
+///   intersections (two per binary merge);
+/// * `embed.degenerate_intersections` — feasible regions that collapsed to
+///   a single point (zero placement freedom, the tight zero-skew case);
+/// * `embed.slack_rescues` — intersections that were empty in exact
+///   arithmetic and only succeeded after the numeric-slack expansion
+///   (LP rounding absorbed);
+/// * `time.embed` — wall-clock for the whole embedding.
+///
+/// The recorder observes the embedding, it never changes placements.
+pub fn embed_tree_traced(
+    topo: &Topology,
+    sinks: &[Point],
+    source: Option<Point>,
+    lengths: &[f64],
+    policy: PlacementPolicy,
+    rec: &dyn Recorder,
+) -> Result<Vec<Point>, LubtError> {
     assert_eq!(lengths.len(), topo.num_nodes(), "one length per node");
     assert_eq!(sinks.len(), topo.num_sinks(), "one location per sink");
+    let _t = PhaseTimer::new(rec, "time.embed");
 
     // Numeric slack proportional to the coordinate scale.
     let scale = sinks
@@ -73,6 +99,9 @@ pub fn embed_tree(
         let vi = v.index();
         if topo.is_sink(v) {
             fr[vi] = Some(Trr::from_point(sinks[vi - 1]));
+            if rec.enabled() {
+                rec.incr("embed.fr_constructions", 1);
+            }
             continue;
         }
         // Root with a given source is handled after the loop; its region
@@ -82,9 +111,12 @@ pub fn embed_tree(
             let child_trr = fr[c.index()]
                 .expect("postorder visits children first")
                 .expanded(lengths[c.index()]);
+            if rec.enabled() {
+                rec.incr("embed.trr_expansions", 1);
+            }
             region = Some(match region {
                 None => child_trr,
-                Some(r) => intersect_with_slack(&r, &child_trr, slack)
+                Some(r) => intersect_with_slack(&r, &child_trr, slack, rec)
                     .ok_or(LubtError::Embedding { node: vi })?,
             });
         }
@@ -92,7 +124,14 @@ pub fn embed_tree(
         // region is unconstrained from below; collapse to the parent later
         // by treating it as "anywhere", represented by... it cannot happen
         // in validated binary topologies; treat as an input error.
-        fr[vi] = Some(region.ok_or(LubtError::Embedding { node: vi })?);
+        let region = region.ok_or(LubtError::Embedding { node: vi })?;
+        if rec.enabled() {
+            rec.incr("embed.fr_constructions", 1);
+            if region.is_point() {
+                rec.incr("embed.degenerate_intersections", 1);
+            }
+        }
+        fr[vi] = Some(region);
     }
 
     // ---- Top-down: placements. ----
@@ -123,7 +162,10 @@ pub fn embed_tree(
         let pp = pos[parent.index()];
         let region = fr[vi].expect("region computed");
         let reach = Trr::from_center_radius(pp, lengths[vi]);
-        let cand = intersect_with_slack(&region, &reach, slack)
+        if rec.enabled() {
+            rec.incr("embed.trr_expansions", 1);
+        }
+        let cand = intersect_with_slack(&region, &reach, slack, rec)
             .ok_or(LubtError::Embedding { node: vi })?;
         pos[vi] = match policy {
             PlacementPolicy::ClosestToParent => cand.closest_point_to(pp),
@@ -135,13 +177,17 @@ pub fn embed_tree(
 
 /// Intersection that tolerates LP-level rounding: when the exact
 /// intersection is empty but the regions are within `slack` of one another,
-/// both are expanded by the (tiny) gap and the intersection retried.
-fn intersect_with_slack(a: &Trr, b: &Trr, slack: f64) -> Option<Trr> {
+/// both are expanded by the (tiny) gap and the intersection retried (a
+/// "slack rescue", counted on `rec`).
+fn intersect_with_slack(a: &Trr, b: &Trr, slack: f64, rec: &dyn Recorder) -> Option<Trr> {
     if let Some(r) = a.intersect(b) {
         return Some(r);
     }
     let gap = a.dist(b);
     (gap <= slack).then(|| {
+        if rec.enabled() {
+            rec.incr("embed.slack_rescues", 1);
+        }
         a.expanded(gap / 2.0 + f64::EPSILON)
             .intersect(&b.expanded(gap / 2.0 + f64::EPSILON))
             .expect("expanded by the measured gap")
@@ -271,6 +317,59 @@ mod tests {
             PlacementPolicy::ClosestToParent,
         );
         assert!(pos.is_ok());
+    }
+
+    #[test]
+    fn traced_embedding_counts_regions_and_degeneracy() {
+        let (topo, sinks, source) = two_sink_instance();
+        // Tight zero-skew lengths: every feasible region collapses to a
+        // point, so the degenerate counter must fire.
+        let lengths = vec![0.0, 4.0, 4.0, 3.0];
+        let rec = lubt_obs::TraceRecorder::new();
+        let traced = embed_tree_traced(
+            &topo,
+            &sinks,
+            Some(source),
+            &lengths,
+            PlacementPolicy::ClosestToParent,
+            &rec,
+        )
+        .unwrap();
+        let plain = embed_tree(
+            &topo,
+            &sinks,
+            Some(source),
+            &lengths,
+            PlacementPolicy::ClosestToParent,
+        )
+        .unwrap();
+        assert_eq!(traced, plain, "recording must not move placements");
+        let t = rec.snapshot();
+        // One feasible region per node (2 sinks + 1 Steiner; the pinned
+        // root contributes no bottom-up region of its own here: its region
+        // comes from its single child's TRR).
+        assert_eq!(t.counter("embed.fr_constructions"), 4);
+        assert!(t.counter("embed.trr_expansions") >= 3);
+        assert!(t.counter("embed.degenerate_intersections") >= 1);
+        assert!(t.timings_ns.contains_key("time.embed"));
+    }
+
+    #[test]
+    fn traced_embedding_counts_slack_rescues() {
+        let (topo, sinks, source) = two_sink_instance();
+        let eps = 1e-11;
+        let lengths = vec![0.0, 4.0 - eps, 4.0 - eps, 3.0 + 2.0 * eps];
+        let rec = lubt_obs::TraceRecorder::new();
+        embed_tree_traced(
+            &topo,
+            &sinks,
+            Some(source),
+            &lengths,
+            PlacementPolicy::ClosestToParent,
+            &rec,
+        )
+        .unwrap();
+        assert!(rec.snapshot().counter("embed.slack_rescues") >= 1);
     }
 
     #[test]

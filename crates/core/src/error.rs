@@ -35,6 +35,36 @@ pub enum LubtError {
     Verify(VerifyError),
 }
 
+impl LubtError {
+    /// Renders solver-failure modes that have an actionable configuration
+    /// knob as a lint-schema [`lubt_lint::Diagnostic`], mirroring
+    /// [`crate::EbfReport::truncation_diagnostic`]. Today that is the LP
+    /// iteration limit ([`lubt_lp::LpError::IterationLimit`]), which the
+    /// CLI surfaces after a failed `lubt solve` / `lubt batch` instead of
+    /// leaving a bare error string. Returns `None` for every other error.
+    pub fn diagnostic(&self) -> Option<lubt_lint::Diagnostic> {
+        match self {
+            LubtError::Lp(lubt_lp::LpError::IterationLimit { limit }) => {
+                Some(lubt_lint::Diagnostic {
+                    pass: "iteration-limit",
+                    level: lubt_lint::Level::Deny,
+                    message: format!(
+                        "LP solver exhausted its iteration limit of {limit} pivot(s) \
+                         without converging; the solve was abandoned"
+                    ),
+                    targets: Vec::new(),
+                    help: Some(
+                        "raise the cap via EbfSolver::with_max_lp_iterations \
+                         (or remove it to restore the backend default)"
+                            .to_string(),
+                    ),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for LubtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

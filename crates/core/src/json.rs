@@ -105,21 +105,19 @@ pub fn solution_to_json(solution: &LubtSolution) -> String {
     out
 }
 
-/// JSON has no infinity literal; unbounded caps serialize as `null`.
+/// JSON has no infinity literal; unbounded caps serialize as `null`
+/// (as does any other non-finite value — see [`num`]).
 fn json_upper(u: f64) -> String {
-    if u.is_finite() {
-        num(u)
-    } else {
-        "null".to_string()
-    }
+    num(u)
 }
 
+/// Every numeric field goes through this total formatter: finite values
+/// print compactly, non-finite values (`NaN`, `±inf` — e.g. degenerate
+/// statistics on pathological instances) become `null` instead of the
+/// bare `NaN`/`inf` tokens `format!("{x}")` would emit, which no JSON
+/// parser accepts.
 fn num(x: f64) -> String {
-    if x == x.trunc() && x.abs() < 1e15 {
-        format!("{}", x as i64)
-    } else {
-        format!("{x}")
-    }
+    lubt_obs::json::json_f64(x)
 }
 
 #[cfg(test)]
@@ -160,6 +158,39 @@ mod tests {
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(!json.contains("inf"));
         assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn document_is_strictly_valid_json() {
+        let sol = sample();
+        lubt_obs::json::validate(&solution_to_json(&sol)).expect("solution JSON must parse");
+    }
+
+    #[test]
+    fn non_finite_values_serialize_as_null_not_bare_tokens() {
+        // Tamper with a solved instance: NaN and infinite edge lengths
+        // poison the delays, spans, cost, and surplus statistics. Every
+        // one of those fields must degrade to `null`, never to the bare
+        // `NaN`/`inf` tokens `format!` would produce.
+        let sol = sample();
+        let n = sol.problem().topology().num_nodes();
+        let mut lengths = sol.edge_lengths().to_vec();
+        lengths[1] = f64::NAN;
+        lengths[n - 1] = f64::INFINITY;
+        let mut positions = sol.positions().to_vec();
+        positions[1] = Point::new(f64::NAN, f64::NEG_INFINITY);
+        let tampered = crate::LubtSolution::new(
+            sol.problem().clone(),
+            lengths,
+            positions,
+            sol.report().clone(),
+        );
+        let json = solution_to_json(&tampered);
+        lubt_obs::json::validate(&json)
+            .unwrap_or_else(|e| panic!("tampered solution JSON must still parse: {e}\n{json}"));
+        assert!(json.contains("null"));
+        assert!(!json.contains("NaN"), "{json}");
+        assert!(!json.contains("inf"), "{json}");
     }
 
     #[test]

@@ -74,12 +74,15 @@ pub use batch::BatchSolver;
 pub use bounds::DelayBounds;
 pub use ebf::{ebf_model, EbfReport, EbfSolver, SolverBackend, SteinerMode};
 pub use elmore_ebf::{ElmoreEbf, ElmoreReport};
-pub use embed::{embed_tree, PlacementPolicy};
+pub use embed::{embed_tree, embed_tree_traced, PlacementPolicy};
 pub use error::LubtError;
 pub use json::solution_to_json;
 pub use problem::{LubtBuilder, LubtProblem, TopologyStrategy};
 pub use solution::LubtSolution;
-pub use steiner::{all_pair_constraints, violated_pairs, violated_pairs_with_threads, SinkPair};
+pub use steiner::{
+    all_pair_constraints, violated_pairs, violated_pairs_traced, violated_pairs_with_threads,
+    SinkPair,
+};
 pub use svg::{render_svg, render_svg_with, render_tree_svg, SvgOptions};
 pub use topology_gen::bound_aware_topology;
 pub use verify::{verify_raw, VerifyError};

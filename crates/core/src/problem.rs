@@ -1,8 +1,10 @@
 use crate::ebf::{EbfSolver, SolverBackend, SteinerMode};
-use crate::embed::{embed_tree, PlacementPolicy};
+use crate::embed::{embed_tree, embed_tree_traced, PlacementPolicy};
 use crate::{DelayBounds, LubtError, LubtSolution};
 use lubt_geom::Point;
+use lubt_obs::{Recorder, SolveTrace, TraceRecorder};
 use lubt_topology::{nearest_neighbor_topology, NodeId, SourceMode, Topology};
+use std::sync::Arc;
 
 /// A fully specified LUBT instance: sink locations, optional source
 /// location, rooted topology, per-sink delay bounds, and (optionally)
@@ -241,6 +243,30 @@ impl LubtProblem {
         )?;
         Ok(LubtSolution::new(self.clone(), lengths, positions, report))
     }
+
+    /// [`LubtProblem::solve`] with the whole pipeline — LP, separation
+    /// oracle, embedder — recorded into a [`SolveTrace`], returned
+    /// alongside the result (also on failure, with whatever counters had
+    /// accumulated). The solution itself is bit-for-bit identical to the
+    /// untraced path; see `DESIGN.md` §10 for what in the trace is and is
+    /// not deterministic.
+    pub fn solve_traced(&self) -> (Result<LubtSolution, LubtError>, SolveTrace) {
+        let rec = Arc::new(TraceRecorder::new());
+        let result = (|| {
+            let solver = EbfSolver::new().with_recorder(Arc::clone(&rec) as Arc<dyn Recorder>);
+            let (lengths, report) = solver.solve(self)?;
+            let positions = embed_tree_traced(
+                &self.topology,
+                &self.sinks,
+                self.source,
+                &lengths,
+                PlacementPolicy::ClosestToParent,
+                &*rec,
+            )?;
+            Ok(LubtSolution::new(self.clone(), lengths, positions, report))
+        })();
+        (result, rec.snapshot())
+    }
 }
 
 /// How [`LubtBuilder`] obtains a topology when none is supplied.
@@ -289,6 +315,7 @@ pub struct LubtBuilder {
     steiner_mode: SteinerMode,
     placement: PlacementPolicy,
     threads: usize,
+    max_lp_iterations: Option<usize>,
 }
 
 impl LubtBuilder {
@@ -305,6 +332,7 @@ impl LubtBuilder {
             steiner_mode: SteinerMode::default_lazy(),
             placement: PlacementPolicy::ClosestToParent,
             threads: 1,
+            max_lp_iterations: None,
         }
     }
 
@@ -374,6 +402,16 @@ impl LubtBuilder {
         self
     }
 
+    /// Caps the pivot count of every LP (re-)solve — see
+    /// [`EbfSolver::with_max_lp_iterations`]. Exhaustion fails the solve
+    /// with a [`lubt_lp::LpError::IterationLimit`] that
+    /// [`LubtError::diagnostic`] renders as a lint-style finding.
+    #[must_use]
+    pub fn max_lp_iterations(mut self, limit: usize) -> Self {
+        self.max_lp_iterations = Some(limit);
+        self
+    }
+
     /// Builds the [`LubtProblem`] without solving (exposes the generated
     /// topology for inspection or reuse).
     ///
@@ -417,18 +455,36 @@ impl LubtBuilder {
     ///
     /// See [`LubtProblem::solve`].
     pub fn solve(&self) -> Result<LubtSolution, LubtError> {
+        self.solve_recorded(lubt_obs::noop())
+    }
+
+    /// [`LubtBuilder::solve`] with the configured pipeline recorded into a
+    /// [`SolveTrace`], returned alongside the result (also on failure).
+    /// This is what `lubt solve --trace-json` calls.
+    pub fn solve_traced(&self) -> (Result<LubtSolution, LubtError>, SolveTrace) {
+        let rec = Arc::new(TraceRecorder::new());
+        let result = self.solve_recorded(Arc::clone(&rec) as Arc<dyn Recorder>);
+        (result, rec.snapshot())
+    }
+
+    fn solve_recorded(&self, rec: Arc<dyn Recorder>) -> Result<LubtSolution, LubtError> {
         let problem = self.build()?;
-        let solver = EbfSolver::new()
+        let mut solver = EbfSolver::new()
             .with_backend(self.backend)
             .with_steiner_mode(self.steiner_mode)
-            .with_threads(self.threads);
+            .with_threads(self.threads)
+            .with_recorder(Arc::clone(&rec));
+        if let Some(limit) = self.max_lp_iterations {
+            solver = solver.with_max_lp_iterations(limit);
+        }
         let (lengths, report) = solver.solve(&problem)?;
-        let positions = embed_tree(
+        let positions = embed_tree_traced(
             problem.topology(),
             problem.sinks(),
             problem.source(),
             &lengths,
             self.placement,
+            &*rec,
         )?;
         Ok(LubtSolution::new(problem, lengths, positions, report))
     }
@@ -531,6 +587,47 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
             sol.verify().unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
         }
+    }
+
+    #[test]
+    fn builder_zero_threads_is_clamped_to_all_cores() {
+        // `threads(0)` is the library's "all cores" sentinel (matching
+        // BatchSolver and EbfSolver); only the CLI rejects a literal 0.
+        let sol = LubtBuilder::new(square_sinks())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::uniform(4, 10.0, 14.0))
+            .threads(0)
+            .solve()
+            .unwrap();
+        let base = LubtBuilder::new(square_sinks())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::uniform(4, 10.0, 14.0))
+            .threads(1)
+            .solve()
+            .unwrap();
+        assert_eq!(sol.edge_lengths(), base.edge_lengths());
+        assert_eq!(sol.positions(), base.positions());
+    }
+
+    #[test]
+    fn traced_solve_matches_untraced_and_fills_the_trace() {
+        let builder = LubtBuilder::new(square_sinks())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::uniform(4, 10.0, 14.0));
+        let plain = builder.solve().unwrap();
+        let (traced, trace) = builder.solve_traced();
+        let traced = traced.unwrap();
+        assert_eq!(plain.edge_lengths(), traced.edge_lengths());
+        assert_eq!(plain.positions(), traced.positions());
+        assert_eq!(plain.report(), traced.report());
+        assert!(!trace.is_empty());
+        assert!(trace.counter("ebf.rounds") >= 1);
+        assert!(trace.counter("embed.fr_constructions") >= 4);
+
+        let problem = builder.build().unwrap();
+        let (from_problem, trace2) = problem.solve_traced();
+        assert_eq!(from_problem.unwrap().edge_lengths(), plain.edge_lengths());
+        assert!(trace2.counter("ebf.rounds") >= 1);
     }
 
     #[test]

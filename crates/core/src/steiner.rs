@@ -106,6 +106,21 @@ pub fn violated_pairs_with_threads(
     tol: f64,
     threads: usize,
 ) -> Vec<(SinkPair, f64)> {
+    violated_pairs_traced(problem, lengths, tol, threads, &lubt_obs::NoopRecorder)
+}
+
+/// [`violated_pairs_with_threads`] with the oracle's `par.*` scheduling
+/// counters (worker claims, steals, queue high-water) sent to `rec`. The
+/// returned cut sequence keeps the same thread-count-independence
+/// guarantee; only the counters — which describe scheduling, not results —
+/// vary between runs.
+pub fn violated_pairs_traced(
+    problem: &LubtProblem,
+    lengths: &[f64],
+    tol: f64,
+    threads: usize,
+    rec: &dyn lubt_obs::Recorder,
+) -> Vec<(SinkPair, f64)> {
     let topo = problem.topology();
     let delays = node_delays(topo, lengths);
     let m = topo.num_sinks();
@@ -123,7 +138,9 @@ pub fn violated_pairs_with_threads(
     // Row i holds m - i pairs; the grain keeps several chunks per worker
     // so stealing can even out the ragged triangle.
     let grain = (m / lubt_par::resolve_threads(threads).max(1) / 4).max(1);
-    let mut out = lubt_par::parallel_flat_map(threads, m, grain, |row, buf| scan_row(row + 1, buf));
+    let mut out = lubt_par::parallel_flat_map_traced(threads, m, grain, rec, |row, buf| {
+        scan_row(row + 1, buf)
+    });
     out.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite violations"));
     out
 }

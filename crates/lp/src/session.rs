@@ -11,6 +11,10 @@
 // Index-based loops are the natural idiom for the dense kernels here.
 #![allow(clippy::needless_range_loop)]
 
+use std::sync::Arc;
+
+use lubt_obs::Recorder;
+
 use crate::model::{Cmp, LinExpr, Model};
 use crate::simplex::{dual_then_primal, SimplexSolver, Tableau};
 use crate::standard::StandardForm;
@@ -51,6 +55,7 @@ pub struct SimplexSession {
     /// Cached solution of the current tableau.
     solution: Solution,
     max_iterations: usize,
+    recorder: Arc<dyn Recorder>,
     infeasible: bool,
 }
 
@@ -64,7 +69,13 @@ impl SimplexSession {
     ///   errors — query [`SimplexSession::solution`] for the status, but
     ///   such sessions cannot be grown.
     pub fn start(model: Model) -> Result<Self, LpError> {
-        let solver = SimplexSolver::new();
+        Self::start_with(model, SimplexSolver::new())
+    }
+
+    /// Like [`SimplexSession::start`], but the cold solve and every later
+    /// [`SimplexSession::resolve`] inherit `solver`'s pivot budget and
+    /// recorder.
+    pub fn start_with(model: Model, solver: SimplexSolver) -> Result<Self, LpError> {
         let (solution, tableau) = solver.solve_keeping_tableau(&model)?;
         let sf = StandardForm::build(&model);
         let infeasible = solution.status() != Status::Optimal;
@@ -76,6 +87,7 @@ impl SimplexSession {
             pending: Vec::new(),
             solution,
             max_iterations: solver.max_iterations(),
+            recorder: Arc::clone(solver.recorder()),
             infeasible,
         })
     }
@@ -172,7 +184,24 @@ impl SimplexSession {
             .collect();
         self.t.append_rows(&batch);
         let mut iters = self.solution.iterations();
-        match dual_then_primal(&mut self.t, &mut iters, self.max_iterations)? {
+        if self.recorder.enabled() {
+            self.recorder.incr("simplex.resolves", 1);
+        }
+        let status = dual_then_primal(
+            &mut self.t,
+            &mut iters,
+            self.max_iterations,
+            &*self.recorder,
+        )?;
+        if self.recorder.enabled() {
+            self.recorder
+                .record_max("simplex.peak_pivots", iters as u64);
+            self.recorder.gauge(
+                "simplex.limit_fraction",
+                iters as f64 / self.max_iterations.max(1) as f64,
+            );
+        }
+        match status {
             Status::Optimal => {
                 let n_orig = self.model.num_vars();
                 let mut x = vec![0.0; n_orig];

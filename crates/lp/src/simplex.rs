@@ -1,6 +1,10 @@
 // Index-based loops are the natural idiom for the dense kernels here.
 #![allow(clippy::needless_range_loop)]
 
+use std::sync::Arc;
+
+use lubt_obs::Recorder;
+
 use crate::linalg::SquareMatrix;
 use crate::standard::StandardForm;
 use crate::{LpError, LpSolve, Model, Solution, Status};
@@ -40,6 +44,7 @@ pub struct WarmStart {
 pub struct SimplexSolver {
     max_iterations: usize,
     stall_limit: usize,
+    recorder: Arc<dyn Recorder>,
 }
 
 impl Default for SimplexSolver {
@@ -47,6 +52,7 @@ impl Default for SimplexSolver {
         SimplexSolver {
             max_iterations: 200_000,
             stall_limit: 1_000,
+            recorder: lubt_obs::noop(),
         }
     }
 }
@@ -70,6 +76,33 @@ impl SimplexSolver {
     pub fn with_stall_limit(mut self, stall_limit: usize) -> Self {
         self.stall_limit = stall_limit;
         self
+    }
+
+    /// Routes `simplex.*` instrumentation (pivot counts, degenerate pivots,
+    /// Bland-rule activations, iteration-limit proximity) into `recorder`.
+    /// The default is the no-op recorder.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    pub(crate) fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
+    }
+
+    /// Solve-level counters, shared by the cold, warm, and session paths.
+    fn note_solve(&self, iterations: usize) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        self.recorder.incr("simplex.solves", 1);
+        self.recorder
+            .record_max("simplex.peak_pivots", iterations as u64);
+        self.recorder.gauge(
+            "simplex.limit_fraction",
+            iterations as f64 / self.max_iterations.max(1) as f64,
+        );
     }
 }
 
@@ -279,35 +312,52 @@ fn run_phase(
     iters: &mut usize,
     max_iterations: usize,
     stall_limit: usize,
+    rec: &dyn Recorder,
 ) -> Result<PhaseOutcome, LpError> {
-    let mut bland = false;
-    let mut stall = 0usize;
-    let mut last_obj = f64::INFINITY;
-    loop {
-        if *iters >= max_iterations {
-            return Err(LpError::IterationLimit {
-                limit: max_iterations,
-            });
-        }
-        let Some(col) = t.choose_entering(bland) else {
-            return Ok(PhaseOutcome::Optimal);
-        };
-        let Some(row) = t.choose_leaving(col) else {
-            return Ok(PhaseOutcome::Unbounded);
-        };
-        t.pivot(row, col);
-        *iters += 1;
-        let obj = t.obj[t.width - 1];
-        if obj < last_obj - 1e-12 {
-            stall = 0;
-            last_obj = obj;
-        } else {
-            stall += 1;
-            if stall > stall_limit {
-                bland = true;
+    let start = *iters;
+    let mut degenerate = 0u64;
+    let mut activations = 0u64;
+    let out = (|| {
+        let mut bland = false;
+        let mut stall = 0usize;
+        let mut last_obj = f64::INFINITY;
+        loop {
+            if *iters >= max_iterations {
+                return Err(LpError::IterationLimit {
+                    limit: max_iterations,
+                });
+            }
+            let Some(col) = t.choose_entering(bland) else {
+                return Ok(PhaseOutcome::Optimal);
+            };
+            let Some(row) = t.choose_leaving(col) else {
+                return Ok(PhaseOutcome::Unbounded);
+            };
+            t.pivot(row, col);
+            *iters += 1;
+            let obj = t.obj[t.width - 1];
+            if obj < last_obj - 1e-12 {
+                stall = 0;
+                last_obj = obj;
+            } else {
+                degenerate += 1;
+                stall += 1;
+                if stall > stall_limit && !bland {
+                    bland = true;
+                    activations += 1;
+                }
             }
         }
+    })();
+    if rec.enabled() {
+        rec.incr("simplex.pivots", (*iters - start) as u64);
+        rec.incr("simplex.degenerate_pivots", degenerate);
+        rec.incr("simplex.bland_activations", activations);
+        if out.is_err() {
+            rec.incr("simplex.iteration_limit_hits", 1);
+        }
     }
+    out
 }
 
 enum DualOutcome {
@@ -322,6 +372,26 @@ fn run_dual_phase(
     t: &mut Tableau,
     iters: &mut usize,
     max_iterations: usize,
+    rec: &dyn Recorder,
+) -> Result<DualOutcome, LpError> {
+    let start = *iters;
+    let mut activations = 0u64;
+    let out = run_dual_phase_inner(t, iters, max_iterations, &mut activations);
+    if rec.enabled() {
+        rec.incr("simplex.dual_pivots", (*iters - start) as u64);
+        rec.incr("simplex.bland_activations", activations);
+        if out.is_err() {
+            rec.incr("simplex.iteration_limit_hits", 1);
+        }
+    }
+    out
+}
+
+fn run_dual_phase_inner(
+    t: &mut Tableau,
+    iters: &mut usize,
+    max_iterations: usize,
+    activations: &mut u64,
 ) -> Result<DualOutcome, LpError> {
     let feas_tol = {
         let max_rhs = (0..t.m).fold(0.0f64, |a, r| a.max(t.rhs(r).abs()));
@@ -390,8 +460,9 @@ fn run_dual_phase(
         t.pivot(row, col);
         *iters += 1;
         stall += 1;
-        if stall > 1_000 {
+        if stall > 1_000 && !bland {
             bland = true;
+            *activations += 1;
         }
     }
 }
@@ -402,12 +473,13 @@ pub(crate) fn dual_then_primal(
     t: &mut Tableau,
     iters: &mut usize,
     max_iterations: usize,
+    rec: &dyn Recorder,
 ) -> Result<Status, LpError> {
-    match run_dual_phase(t, iters, max_iterations)? {
+    match run_dual_phase(t, iters, max_iterations, rec)? {
         DualOutcome::Infeasible => return Ok(Status::Infeasible),
         DualOutcome::PrimalFeasible => {}
     }
-    match run_phase(t, iters, max_iterations, 1_000)? {
+    match run_phase(t, iters, max_iterations, 1_000, rec)? {
         PhaseOutcome::Unbounded => Ok(Status::Unbounded),
         PhaseOutcome::Optimal => Ok(Status::Optimal),
     }
@@ -532,17 +604,26 @@ impl SimplexSolver {
         }
 
         let mut iters = 0usize;
-        match run_dual_phase(&mut t, &mut iters, self.max_iterations)? {
+        let rec = &*self.recorder;
+        match run_dual_phase(&mut t, &mut iters, self.max_iterations, rec)? {
             DualOutcome::Infeasible => {
-                return Ok(Some((Solution::infeasible(model.num_vars(), iters), None)))
+                self.note_solve(iters);
+                return Ok(Some((Solution::infeasible(model.num_vars(), iters), None)));
             }
             DualOutcome::PrimalFeasible => {}
         }
         // Re-optimize (normally zero pivots: dual pivots preserve
         // optimality of the reduced costs).
-        match run_phase(&mut t, &mut iters, self.max_iterations, self.stall_limit)? {
+        match run_phase(
+            &mut t,
+            &mut iters,
+            self.max_iterations,
+            self.stall_limit,
+            rec,
+        )? {
             PhaseOutcome::Unbounded => {
-                return Ok(Some((Solution::unbounded(model.num_vars(), iters), None)))
+                self.note_solve(iters);
+                return Ok(Some((Solution::unbounded(model.num_vars(), iters), None)));
             }
             PhaseOutcome::Optimal => {}
         }
@@ -561,6 +642,7 @@ impl SimplexSolver {
             num_vars: model.num_vars(),
             num_rows: sf.m,
         };
+        self.note_solve(iters);
         Ok(Some((
             Solution::new(Status::Optimal, x, objective, duals, iters),
             Some(next),
@@ -659,7 +741,13 @@ impl SimplexSolver {
                     }
                 }
             }
-            match run_phase(&mut t, &mut iters, self.max_iterations, self.stall_limit)? {
+            match run_phase(
+                &mut t,
+                &mut iters,
+                self.max_iterations,
+                self.stall_limit,
+                &*self.recorder,
+            )? {
                 PhaseOutcome::Optimal => {}
                 PhaseOutcome::Unbounded => {
                     // Phase-1 objective is bounded below by 0; cannot happen.
@@ -668,6 +756,7 @@ impl SimplexSolver {
             }
             let feas_tol = 1e-7 * (1.0 + sf.b.iter().cloned().fold(0.0, f64::max));
             if -t.obj[width - 1] > feas_tol {
+                self.note_solve(iters);
                 return Ok((Solution::infeasible(model.num_vars(), iters), None, None));
             }
             // Drive artificials out of the basis where possible (degenerate
@@ -697,8 +786,15 @@ impl SimplexSolver {
                 }
             }
         }
-        match run_phase(&mut t, &mut iters, self.max_iterations, self.stall_limit)? {
+        match run_phase(
+            &mut t,
+            &mut iters,
+            self.max_iterations,
+            self.stall_limit,
+            &*self.recorder,
+        )? {
             PhaseOutcome::Unbounded => {
+                self.note_solve(iters);
                 Ok((Solution::unbounded(model.num_vars(), iters), None, None))
             }
             PhaseOutcome::Optimal => {
@@ -718,6 +814,7 @@ impl SimplexSolver {
                     num_vars: model.num_vars(),
                     num_rows: sf.m,
                 });
+                self.note_solve(iters);
                 Ok((
                     Solution::new(Status::Optimal, x, objective, duals, iters),
                     warm,
@@ -939,7 +1036,7 @@ mod tests {
         assert_eq!(t.m, 1);
         assert!(t.rhs(0) < 0.0, "appended row starts primal infeasible");
         let mut iters = 0;
-        let status = dual_then_primal(&mut t, &mut iters, 1000).unwrap();
+        let status = dual_then_primal(&mut t, &mut iters, 1000, &lubt_obs::NoopRecorder).unwrap();
         assert_eq!(status, Status::Optimal);
         // Basis holds x (column 0) at value 3.
         assert_eq!(t.basis, vec![0]);
@@ -961,8 +1058,9 @@ mod tests {
         }
         let mut it_b = 0;
         let mut it_s = 0;
-        let st_b = dual_then_primal(&mut batched, &mut it_b, 1000).unwrap();
-        let st_s = dual_then_primal(&mut seq, &mut it_s, 1000).unwrap();
+        let st_b =
+            dual_then_primal(&mut batched, &mut it_b, 1000, &lubt_obs::NoopRecorder).unwrap();
+        let st_s = dual_then_primal(&mut seq, &mut it_s, 1000, &lubt_obs::NoopRecorder).unwrap();
         assert_eq!(st_b, Status::Optimal);
         assert_eq!(st_s, Status::Optimal);
         // Same optimal objective (the obj row's rhs is -objective).
@@ -975,6 +1073,42 @@ mod tests {
     }
 
     #[test]
+    fn recorder_sees_pivots_solves_and_limit_fraction() {
+        let rec = Arc::new(lubt_obs::TraceRecorder::new());
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let y = m.add_var(0.0, 1.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Cmp::Ge, 5.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, -1.0)]), Cmp::Ge, 1.0);
+        let solver = SimplexSolver::new().with_recorder(rec.clone());
+        let s = solver.solve(&m).unwrap();
+        assert!(s.is_optimal());
+        let t = rec.snapshot();
+        assert_eq!(t.counter("simplex.solves"), 1);
+        assert!(t.counter("simplex.pivots") >= 1, "{t:?}");
+        assert_eq!(t.maximum("simplex.peak_pivots"), s.iterations() as u64);
+        let frac = t.gauge("simplex.limit_fraction").unwrap();
+        assert!(frac > 0.0 && frac < 1.0, "fraction {frac}");
+    }
+
+    #[test]
+    fn iteration_limit_exhaustion_is_counted() {
+        let rec = Arc::new(lubt_obs::TraceRecorder::new());
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let y = m.add_var(0.0, 1.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Cmp::Ge, 5.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, -1.0)]), Cmp::Ge, 1.0);
+        let solver = SimplexSolver::new()
+            .with_max_iterations(1)
+            .with_recorder(rec.clone());
+        let err = solver.solve(&m).unwrap_err();
+        assert!(matches!(err, LpError::IterationLimit { limit: 1 }));
+        let t = rec.snapshot();
+        assert!(t.counter("simplex.iteration_limit_hits") >= 1, "{t:?}");
+    }
+
+    #[test]
     fn dual_phase_detects_empty_region() {
         // x >= 2 and x <= 1 via appended rows on a cost-1 variable.
         let mut t = Tableau::from_costs(&[1.0]);
@@ -983,7 +1117,7 @@ mod tests {
             (vec![(0, 1.0)], 1.0),   // x <= 1
         ]);
         let mut iters = 0;
-        let status = dual_then_primal(&mut t, &mut iters, 1000).unwrap();
+        let status = dual_then_primal(&mut t, &mut iters, 1000, &lubt_obs::NoopRecorder).unwrap();
         assert_eq!(status, Status::Infeasible);
     }
 }

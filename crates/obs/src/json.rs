@@ -1,0 +1,365 @@
+//! Strict JSON toolkit: a total number formatter and a
+//! tolerant-of-nothing RFC 8259 validator.
+//!
+//! Every hand-built JSON emitter in the workspace formats floats through
+//! [`json_f64`] (non-finite → `null`, so no document can ever carry a
+//! bare `NaN`/`inf` token), and the test suites re-parse every emitted
+//! document with [`validate`].
+
+use std::fmt;
+
+/// Formats an `f64` as a JSON value. Total: non-finite values become
+/// `null` instead of the bare `NaN`/`inf` tokens `format!` would produce.
+/// Integral values inside the exactly-representable range print without a
+/// fractional part, matching the workspace's historical output.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(lubt_obs::json::json_f64(2.0), "2");
+/// assert_eq!(lubt_obs::json::json_f64(2.5), "2.5");
+/// assert_eq!(lubt_obs::json::json_f64(f64::NAN), "null");
+/// assert_eq!(lubt_obs::json::json_f64(f64::INFINITY), "null");
+/// ```
+pub fn json_f64(x: f64) -> String {
+    if !x.is_finite() {
+        "null".to_string()
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Escapes a string for embedding between JSON quotes.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Where and why a document failed [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// What the validator expected or rejected.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Maximum nesting depth [`validate`] accepts before bailing out; keeps
+/// the recursive-descent parser safe on adversarial input.
+const MAX_DEPTH: usize = 256;
+
+/// Validates that `text` is exactly one strict RFC 8259 JSON document.
+///
+/// Rejects everything the lenient parsers people usually reach for let
+/// through: bare `NaN`/`Infinity` tokens, trailing commas, single quotes,
+/// comments, unescaped control characters, leading zeros, trailing
+/// garbage after the top-level value.
+pub fn validate(text: &str) -> Result<(), JsonError> {
+    let bytes = text.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    p.value(0)?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(p.err("trailing data after the top-level value"));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<(), JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than 256 levels"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string(),
+            Some(b't') => self.expect_literal("true"),
+            Some(b'f') => self.expect_literal("false"),
+            Some(b'n') => self.expect_literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("expected a JSON value")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<(), JsonError> {
+        self.pos += 1; // consume `{`
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("object keys must be strings"));
+            }
+            self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected `:` after object key"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    self.skip_ws();
+                    if self.peek() == Some(b'}') {
+                        return Err(self.err("trailing comma in object"));
+                    }
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<(), JsonError> {
+        self.pos += 1; // consume `[`
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    self.skip_ws();
+                    if self.peek() == Some(b']') {
+                        return Err(self.err("trailing comma in array"));
+                    }
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), JsonError> {
+        self.pos += 1; // consume opening quote
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
+                                    _ => return Err(self.err("\\u escape needs four hex digits")),
+                                }
+                            }
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), JsonError> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` alone, or a nonzero digit followed by more.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(self.err("leading zeros are not allowed"));
+                }
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected a digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit after the decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit in the exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatter_is_total() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NEG_INFINITY), "null");
+        assert_eq!(json_f64(0.0), "0");
+        assert_eq!(json_f64(-3.0), "-3");
+        assert_eq!(json_f64(0.125), "0.125");
+        assert_eq!(json_f64(1e16), "10000000000000000");
+        // Every output is itself a valid JSON value.
+        for x in [f64::NAN, f64::INFINITY, -0.0, 1.5e-12, 9.9e200] {
+            validate(&json_f64(x)).unwrap();
+        }
+    }
+
+    #[test]
+    fn accepts_valid_documents() {
+        for doc in [
+            "null",
+            "true",
+            "-0.5e+3",
+            "\"hi \\u0041\\n\"",
+            "[]",
+            "{}",
+            "[1, 2, [3, {\"a\": null}]]",
+            "{\"k\": \"v\", \"n\": [1.5, -2e-7]}",
+            "  {\"pad\": 0}  ",
+        ] {
+            validate(doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_lenient_extensions() {
+        for doc in [
+            "NaN",
+            "inf",
+            "Infinity",
+            "-inf",
+            "{\"x\": NaN}",
+            "[1, Infinity]",
+            "[1,]",
+            "{\"a\": 1,}",
+            "{'a': 1}",
+            "{a: 1}",
+            "01",
+            "1.",
+            ".5",
+            "+1",
+            "1e",
+            "// comment\n1",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "\"ctrl \u{0}\"",
+            "{\"a\": 1} extra",
+            "{\"a\"}",
+            "",
+            "[",
+        ] {
+            assert!(validate(doc).is_err(), "accepted invalid doc: {doc:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        assert!(validate(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        validate(&ok).unwrap();
+    }
+
+    #[test]
+    fn escape_roundtrips_through_validation() {
+        let nasty = "quote\" back\\ newline\n tab\t ctrl\u{1} unicode✓";
+        let doc = format!("\"{}\"", json_escape(nasty));
+        validate(&doc).unwrap();
+    }
+}

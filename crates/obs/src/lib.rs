@@ -1,0 +1,49 @@
+//! Solve-trace observability for the LUBT workspace.
+//!
+//! Every stage of the pipeline — simplex pivoting, lazy cut separation,
+//! geometric embedding, work-stealing batch scheduling — reports what it
+//! did through the [`Recorder`] trait defined here. The crate is
+//! dependency-free and deliberately tiny: a recorder is a sink for
+//! monotonic counters, running maxima, gauges, per-phase wall-clock
+//! timers, and a bounded event log.
+//!
+//! Two recorders ship with the crate:
+//!
+//! * [`NoopRecorder`] — the default everywhere; every call is a no-op and
+//!   [`Recorder::enabled`] returns `false` so hot paths can skip even the
+//!   bookkeeping needed to produce a value.
+//! * [`TraceRecorder`] — accumulates everything behind a mutex and
+//!   snapshots into a [`SolveTrace`], the serializable artifact behind
+//!   `lubt solve --trace-json` and `lubt batch --metrics`.
+//!
+//! # Determinism carve-out
+//!
+//! The workspace guarantees byte-identical default output across thread
+//! counts (DESIGN.md §9). Traces respect that split structurally: counter,
+//! maximum, and gauge totals from deterministic phases reproduce across
+//! runs, while wall-clock timings (and scheduling-dependent keys such as
+//! `par.*` steal counts) live in clearly separated sections of the JSON
+//! document and are exempt from the contract. The default (untraced)
+//! output never contains a trace at all.
+//!
+//! # Example
+//!
+//! ```
+//! use lubt_obs::{Recorder, TraceRecorder};
+//! let rec = TraceRecorder::new();
+//! rec.incr("simplex.pivots", 42);
+//! rec.record_max("simplex.peak_pivots", 42);
+//! let trace = rec.snapshot();
+//! assert_eq!(trace.counter("simplex.pivots"), 42);
+//! lubt_obs::json::validate(&trace.to_json()).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod recorder;
+mod trace;
+
+pub use recorder::{noop, NoopRecorder, PhaseTimer, Recorder, TraceRecorder};
+pub use trace::{SolveTrace, TraceEvent};

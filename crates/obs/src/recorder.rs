@@ -1,0 +1,260 @@
+//! The [`Recorder`] trait and the two recorders shipped with the crate.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::trace::{SolveTrace, TraceEvent};
+
+/// Sink for solve-path instrumentation.
+///
+/// Implementations must be cheap and thread-safe: the simplex inner loop,
+/// the separation oracle, and every pool worker call into the same
+/// recorder concurrently. Keys are dotted paths (`"simplex.pivots"`,
+/// `"ebf.rounds"`, `"par.worker3.steals"`); the instrumented code owns the
+/// namespace, the recorder just accumulates.
+///
+/// The `Debug` supertrait keeps `#[derive(Debug)]` working on solver
+/// structs that hold an `Arc<dyn Recorder>`.
+pub trait Recorder: Send + Sync + std::fmt::Debug {
+    /// `true` when the recorder actually stores anything. Hot paths may
+    /// skip formatting work (per-worker keys, event messages) when this
+    /// is `false`.
+    fn enabled(&self) -> bool;
+
+    /// Adds `delta` to the monotonic counter `key`.
+    fn incr(&self, key: &str, delta: u64);
+
+    /// Raises the running maximum `key` to at least `value`.
+    fn record_max(&self, key: &str, value: u64);
+
+    /// Sets the gauge `key` to `value` (last write wins).
+    fn gauge(&self, key: &str, value: f64);
+
+    /// Adds `nanos` of wall-clock time to the phase timer `key`.
+    ///
+    /// Timings are reported in a separate section of the trace document
+    /// and are exempt from the determinism contract.
+    fn add_time(&self, key: &str, nanos: u64);
+
+    /// Appends a message to the bounded event log. Once the log is full
+    /// further events are counted but dropped.
+    fn event(&self, key: &str, message: &str);
+}
+
+/// Shared handle to the recorder that ignores everything.
+pub fn noop() -> Arc<dyn Recorder> {
+    Arc::new(NoopRecorder)
+}
+
+/// The default recorder: every call is a no-op, [`Recorder::enabled`] is
+/// `false`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn incr(&self, _key: &str, _delta: u64) {}
+    fn record_max(&self, _key: &str, _value: u64) {}
+    fn gauge(&self, _key: &str, _value: f64) {}
+    fn add_time(&self, _key: &str, _nanos: u64) {}
+    fn event(&self, _key: &str, _message: &str) {}
+}
+
+/// How many events a [`TraceRecorder`] keeps before it starts dropping
+/// (the drop count is reported in the trace).
+pub const DEFAULT_EVENT_CAP: usize = 256;
+
+#[derive(Debug, Default)]
+struct TraceInner {
+    counters: BTreeMap<String, u64>,
+    maxima: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    timings_ns: BTreeMap<String, u64>,
+    events: Vec<TraceEvent>,
+    events_dropped: u64,
+}
+
+/// Accumulating recorder behind a mutex; snapshots into a [`SolveTrace`].
+///
+/// Contention is not a concern at the granularity the workspace records
+/// (per solve phase / per round / per worker-exit), so a plain mutex over
+/// `BTreeMap`s keeps the crate dependency-free and the key order sorted
+/// for stable JSON output.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    inner: Mutex<TraceInner>,
+    event_cap: usize,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceRecorder {
+    /// An empty recorder with the default event cap.
+    pub fn new() -> Self {
+        Self::with_event_cap(DEFAULT_EVENT_CAP)
+    }
+
+    /// An empty recorder keeping at most `cap` events.
+    pub fn with_event_cap(cap: usize) -> Self {
+        TraceRecorder {
+            inner: Mutex::new(TraceInner::default()),
+            event_cap: cap,
+        }
+    }
+
+    /// Copies the current state into an immutable [`SolveTrace`].
+    pub fn snapshot(&self) -> SolveTrace {
+        let inner = self.inner.lock().expect("trace recorder poisoned");
+        SolveTrace {
+            counters: inner.counters.clone(),
+            maxima: inner.maxima.clone(),
+            gauges: inner.gauges.clone(),
+            timings_ns: inner.timings_ns.clone(),
+            events: inner.events.clone(),
+            events_dropped: inner.events_dropped,
+        }
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn incr(&self, key: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("trace recorder poisoned");
+        let slot = inner.counters.entry(key.to_string()).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    fn record_max(&self, key: &str, value: u64) {
+        let mut inner = self.inner.lock().expect("trace recorder poisoned");
+        let slot = inner.maxima.entry(key.to_string()).or_insert(0);
+        *slot = (*slot).max(value);
+    }
+
+    fn gauge(&self, key: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("trace recorder poisoned");
+        inner.gauges.insert(key.to_string(), value);
+    }
+
+    fn add_time(&self, key: &str, nanos: u64) {
+        let mut inner = self.inner.lock().expect("trace recorder poisoned");
+        let slot = inner.timings_ns.entry(key.to_string()).or_insert(0);
+        *slot = slot.saturating_add(nanos);
+    }
+
+    fn event(&self, key: &str, message: &str) {
+        let mut inner = self.inner.lock().expect("trace recorder poisoned");
+        if inner.events.len() < self.event_cap {
+            inner.events.push(TraceEvent {
+                key: key.to_string(),
+                message: message.to_string(),
+            });
+        } else {
+            inner.events_dropped += 1;
+        }
+    }
+}
+
+/// Guard that adds the elapsed wall-clock time to a phase timer on drop.
+///
+/// # Example
+///
+/// ```
+/// use lubt_obs::{PhaseTimer, TraceRecorder};
+/// let rec = TraceRecorder::new();
+/// {
+///     let _t = PhaseTimer::new(&rec, "time.demo");
+///     // ... timed work ...
+/// }
+/// assert!(rec.snapshot().timings_ns.contains_key("time.demo"));
+/// ```
+pub struct PhaseTimer<'a> {
+    rec: &'a dyn Recorder,
+    key: &'a str,
+    start: Instant,
+}
+
+impl<'a> PhaseTimer<'a> {
+    /// Starts timing `key` against `rec`.
+    pub fn new(rec: &'a dyn Recorder, key: &'a str) -> Self {
+        PhaseTimer {
+            rec,
+            key,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for PhaseTimer<'_> {
+    fn drop(&mut self) {
+        let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.rec.add_time(self.key, nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_maxima_track() {
+        let rec = TraceRecorder::new();
+        rec.incr("a", 2);
+        rec.incr("a", 3);
+        rec.record_max("m", 7);
+        rec.record_max("m", 4);
+        rec.gauge("g", 0.5);
+        rec.gauge("g", 0.25);
+        let t = rec.snapshot();
+        assert_eq!(t.counter("a"), 5);
+        assert_eq!(t.maximum("m"), 7);
+        assert_eq!(t.gauge("g"), Some(0.25));
+        assert_eq!(t.counter("missing"), 0);
+    }
+
+    #[test]
+    fn event_log_is_bounded() {
+        let rec = TraceRecorder::with_event_cap(2);
+        for i in 0..5 {
+            rec.event("k", &format!("event {i}"));
+        }
+        let t = rec.snapshot();
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.events_dropped, 3);
+    }
+
+    #[test]
+    fn noop_records_nothing_and_reports_disabled() {
+        let rec = NoopRecorder;
+        assert!(!rec.enabled());
+        rec.incr("a", 1);
+        rec.event("k", "m");
+        // Nothing to snapshot; the contract is just that calls are cheap
+        // and side-effect free.
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads() {
+        let rec = Arc::new(TraceRecorder::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rec = Arc::clone(&rec);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        rec.incr("hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.snapshot().counter("hits"), 400);
+    }
+}

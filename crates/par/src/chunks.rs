@@ -11,21 +11,33 @@
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
+use lubt_obs::{NoopRecorder, Recorder};
+
+/// What one worker did, reported after the scoped join so the recorder
+/// sees per-worker steal counts without any hot-loop trait calls.
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkerStats {
+    claims: u64,
+    steals: u64,
+}
+
 /// One worker's claim loop: own deque from the back, steal from the front
-/// of the others. Returns `(chunk_id, buffer)` pairs in claim order.
+/// of the others. Returns `(chunk_id, buffer)` pairs in claim order plus
+/// the worker's claim/steal tally.
 fn claim_loop<T, F>(
     worker: usize,
     deques: &[Mutex<VecDeque<usize>>],
     chunk: usize,
     n: usize,
     f: &F,
-) -> Vec<(usize, Vec<T>)>
+) -> (Vec<(usize, Vec<T>)>, WorkerStats)
 where
     T: Send,
     F: Fn(usize, &mut Vec<T>) + Sync,
 {
     let k = deques.len();
     let mut out = Vec::new();
+    let mut stats = WorkerStats::default();
     loop {
         let mut claimed = None;
         for offset in 0..k {
@@ -37,10 +49,16 @@ where
                 q.pop_front()
             };
             if claimed.is_some() {
+                stats.claims += 1;
+                if offset > 0 {
+                    stats.steals += 1;
+                }
                 break;
             }
         }
-        let Some(id) = claimed else { return out };
+        let Some(id) = claimed else {
+            return (out, stats);
+        };
         let mut buf = Vec::new();
         for i in id * chunk..((id + 1) * chunk).min(n) {
             f(i, &mut buf);
@@ -73,9 +91,35 @@ where
     T: Send,
     F: Fn(usize, &mut Vec<T>) + Sync,
 {
+    parallel_flat_map_traced(threads, n, grain, &NoopRecorder, f)
+}
+
+/// [`parallel_flat_map`] with `par.*` instrumentation: per-worker steal
+/// counts (`par.worker<w>.steals`), aggregate claims/steals, and the
+/// initial queue high-water mark go into `rec`.
+///
+/// Scheduling counters are inherently nondeterministic across runs and
+/// thread counts; the *output* keeps the same determinism contract as
+/// [`parallel_flat_map`].
+pub fn parallel_flat_map_traced<T, F>(
+    threads: usize,
+    n: usize,
+    grain: usize,
+    rec: &dyn Recorder,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut Vec<T>) + Sync,
+{
     let chunk = grain.max(1);
     let num_chunks = n.div_ceil(chunk);
     let threads = crate::resolve_threads(threads).min(num_chunks.max(1));
+    if rec.enabled() {
+        rec.incr("par.jobs", n as u64);
+        rec.incr("par.loops", 1);
+        rec.record_max("par.workers", threads as u64);
+    }
     if threads <= 1 {
         let mut out = Vec::new();
         for i in 0..n {
@@ -97,7 +141,16 @@ where
             Mutex::new(run)
         })
         .collect();
+    if rec.enabled() {
+        // The deepest initial deque is this loop's queue high-water mark:
+        // chunks only ever leave the deques after this point.
+        rec.record_max(
+            "par.queue_high_water",
+            (per + usize::from(extra > 0)) as u64,
+        );
+    }
 
+    let mut worker_stats = vec![WorkerStats::default(); threads];
     let mut tagged: Vec<(usize, Vec<T>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
@@ -108,12 +161,23 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| match h.join() {
-                Ok(part) => part,
+            .zip(worker_stats.iter_mut())
+            .flat_map(|(h, slot)| match h.join() {
+                Ok((part, stats)) => {
+                    *slot = stats;
+                    part
+                }
                 Err(payload) => std::panic::resume_unwind(payload),
             })
             .collect()
     });
+    if rec.enabled() {
+        for (w, stats) in worker_stats.iter().enumerate() {
+            rec.incr(&format!("par.worker{w}.steals"), stats.steals);
+            rec.incr("par.claims", stats.claims);
+            rec.incr("par.steals", stats.steals);
+        }
+    }
 
     // Canonical merge: ascending chunk id reproduces serial order.
     tagged.sort_by_key(|(id, _)| *id);
@@ -135,6 +199,22 @@ where
     F: Fn(usize) -> T + Sync,
 {
     parallel_flat_map(threads, n, grain, |i, out| out.push(f(i)))
+}
+
+/// [`parallel_map`] with the same `par.*` instrumentation as
+/// [`parallel_flat_map_traced`].
+pub fn parallel_map_traced<T, F>(
+    threads: usize,
+    n: usize,
+    grain: usize,
+    rec: &dyn Recorder,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_flat_map_traced(threads, n, grain, rec, |i, out| out.push(f(i)))
 }
 
 #[cfg(test)]
@@ -170,6 +250,26 @@ mod tests {
     fn empty_and_tiny_inputs() {
         assert!(parallel_map(4, 0, 8, |i| i).is_empty());
         assert_eq!(parallel_map(8, 1, 8, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn traced_loop_matches_untraced_and_reports_claims() {
+        let rec = lubt_obs::TraceRecorder::new();
+        let serial: Vec<usize> = (0..100).map(|i| i + 1).collect();
+        let par = parallel_map_traced(4, 100, 4, &rec, |i| i + 1);
+        assert_eq!(par, serial);
+        let t = rec.snapshot();
+        assert_eq!(t.counter("par.jobs"), 100);
+        // 100 jobs / grain 4 = 25 chunks, each claimed exactly once.
+        assert_eq!(t.counter("par.claims"), 25);
+        assert_eq!(t.maximum("par.workers"), 4);
+        assert!(t.maximum("par.queue_high_water") >= 25 / 4);
+        // Steals are scheduling-dependent; the aggregate must equal the
+        // per-worker sum.
+        let per_worker: u64 = (0..4)
+            .map(|w| t.counter(&format!("par.worker{w}.steals")))
+            .sum();
+        assert_eq!(t.counter("par.steals"), per_worker);
     }
 
     #[test]

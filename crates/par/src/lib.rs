@@ -36,7 +36,7 @@
 mod chunks;
 mod pool;
 
-pub use chunks::{parallel_flat_map, parallel_map};
+pub use chunks::{parallel_flat_map, parallel_flat_map_traced, parallel_map, parallel_map_traced};
 pub use pool::Pool;
 
 /// Number of hardware threads available to this process (at least 1).

@@ -7,6 +7,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use lubt_obs::Recorder;
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Everything the workers share. Jobs live in per-worker deques; the
@@ -27,6 +29,8 @@ struct Shared {
     /// First panic message captured from a job, resurfaced by
     /// [`Pool::wait`].
     panicked: Mutex<Option<String>>,
+    /// Sink for `pool.*` scheduling counters (no-op by default).
+    recorder: Arc<dyn Recorder>,
 }
 
 impl Shared {
@@ -44,6 +48,14 @@ impl Shared {
             };
             if let Some(job) = job {
                 self.queued.fetch_sub(1, Ordering::Relaxed);
+                if self.recorder.enabled() {
+                    self.recorder.incr("pool.claims", 1);
+                    if offset > 0 {
+                        self.recorder.incr("pool.steals", 1);
+                        self.recorder
+                            .incr(&format!("pool.worker{worker}.steals"), 1);
+                    }
+                }
                 return Some(job);
             }
         }
@@ -123,6 +135,13 @@ impl Pool {
     /// Spawns a pool with `threads` workers (`0` means one per available
     /// core).
     pub fn new(threads: usize) -> Pool {
+        Self::with_recorder(threads, lubt_obs::noop())
+    }
+
+    /// Like [`Pool::new`], but scheduling counters (`pool.claims`,
+    /// aggregate and per-worker `pool.steals`, `pool.queue_high_water`)
+    /// go into `recorder`.
+    pub fn with_recorder(threads: usize, recorder: Arc<dyn Recorder>) -> Pool {
         let threads = crate::resolve_threads(threads);
         let shared = Arc::new(Shared {
             queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -133,6 +152,7 @@ impl Pool {
             idle: Mutex::new(()),
             idle_cv: Condvar::new(),
             panicked: Mutex::new(None),
+            recorder,
         });
         let workers = (0..threads)
             .map(|id| {
@@ -160,7 +180,13 @@ impl Pool {
     pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
         let target = self.next.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
         self.shared.pending.fetch_add(1, Ordering::AcqRel);
-        self.shared.queued.fetch_add(1, Ordering::Release);
+        let queued = self.shared.queued.fetch_add(1, Ordering::Release) + 1;
+        if self.shared.recorder.enabled() {
+            self.shared.recorder.incr("pool.spawned", 1);
+            self.shared
+                .recorder
+                .record_max("pool.queue_high_water", queued as u64);
+        }
         self.shared.queues[target]
             .lock()
             .expect("queue poisoned")
@@ -256,6 +282,29 @@ mod tests {
         });
         pool.wait();
         assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn recorder_sees_spawns_claims_and_high_water() {
+        let rec = Arc::new(lubt_obs::TraceRecorder::new());
+        let pool = Pool::with_recorder(2, rec.clone());
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let counter = Arc::clone(&counter);
+            pool.spawn(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+        let t = rec.snapshot();
+        assert_eq!(t.counter("pool.spawned"), 16);
+        assert_eq!(t.counter("pool.claims"), 16);
+        assert!(t.maximum("pool.queue_high_water") >= 1);
+        let per_worker: u64 = (0..2)
+            .map(|w| t.counter(&format!("pool.worker{w}.steals")))
+            .sum();
+        assert_eq!(t.counter("pool.steals"), per_worker);
     }
 
     #[test]

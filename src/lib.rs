@@ -6,6 +6,7 @@
 //!
 //! # Crate map
 //!
+//! * [`obs`] — solve-trace observability: recorders, counters, timers.
 //! * [`geom`] — Manhattan geometry: points, TRRs, octilinear regions.
 //! * [`lp`] — linear programming: simplex and interior-point solvers.
 //! * [`par`] — work-stealing thread pool and deterministic parallel loops.
@@ -44,5 +45,6 @@ pub use lubt_delay as delay;
 pub use lubt_geom as geom;
 pub use lubt_lint as lint;
 pub use lubt_lp as lp;
+pub use lubt_obs as obs;
 pub use lubt_par as par;
 pub use lubt_topology as topology;

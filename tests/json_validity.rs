@@ -1,0 +1,90 @@
+//! Every JSON document the workspace can emit must be strictly valid
+//! RFC 8259 — no `NaN`/`Infinity` bare tokens, no trailing commas — across
+//! feasible, infeasible and lazy-truncated solves. Parsed with the strict
+//! validator of `lubt::obs::json`, the same one CI runs against the CLI
+//! output.
+
+use lubt::core::{solution_to_json, BatchSolver, DelayBounds, EbfSolver, LubtBuilder, SteinerMode};
+use lubt::geom::Point;
+use lubt::obs::json::validate;
+
+fn square() -> Vec<Point> {
+    vec![
+        Point::new(0.0, 0.0),
+        Point::new(10.0, 0.0),
+        Point::new(0.0, 10.0),
+        Point::new(10.0, 10.0),
+    ]
+}
+
+/// Strict parse plus a belt-and-braces scan for the bare tokens a naive
+/// `format!("{x}")` of a non-finite f64 would leak.
+fn assert_strict(doc: &str, what: &str) {
+    validate(doc).unwrap_or_else(|e| panic!("{what} is not strict JSON: {e}\n{doc}"));
+    for token in ["NaN", "Infinity", "inf,", "inf}"] {
+        assert!(!doc.contains(token), "{what} leaks {token:?}:\n{doc}");
+    }
+}
+
+#[test]
+fn feasible_solution_and_trace_are_strict_json() {
+    let builder = LubtBuilder::new(square())
+        .source(Point::new(5.0, 5.0))
+        .bounds(DelayBounds::uniform(4, 12.0, 15.0));
+    let solution = builder.solve().unwrap();
+    assert_strict(&solution_to_json(&solution), "feasible solution JSON");
+
+    let (result, trace) = builder.solve_traced();
+    assert!(result.is_ok());
+    assert_strict(&trace.to_json(), "feasible solve trace");
+    assert!(trace.counter("simplex.solves") >= 1);
+}
+
+#[test]
+fn infeasible_solve_still_yields_a_strict_trace() {
+    // Upper bound below the source-sink distance: Equation 3 certificate.
+    let builder = LubtBuilder::new(square())
+        .source(Point::new(5.0, 5.0))
+        .bounds(DelayBounds::uniform(4, 0.0, 2.0));
+    let (result, trace) = builder.solve_traced();
+    assert!(result.is_err(), "window is infeasible by construction");
+    assert_strict(&trace.to_json(), "infeasible solve trace");
+}
+
+#[test]
+fn lazy_truncated_solution_and_trace_are_strict_json() {
+    let problem = LubtBuilder::new(square())
+        .bounds(DelayBounds::uniform(4, 10.0, 14.0))
+        .build()
+        .unwrap();
+    let truncating = EbfSolver::new().with_steiner_mode(SteinerMode::Lazy {
+        max_rounds: 1,
+        batch: 1,
+    });
+    let (results, trace) = BatchSolver::new()
+        .with_solver(truncating)
+        .with_threads(1)
+        .solve_all_traced(std::slice::from_ref(&problem));
+    let solution = results[0].as_ref().unwrap();
+    assert!(solution.report().truncated, "safety net must have fired");
+    assert_strict(&solution_to_json(solution), "truncated solution JSON");
+    assert_strict(&trace.to_json(), "truncated batch trace");
+    assert_eq!(trace.counter("ebf.truncations"), 1);
+}
+
+#[test]
+fn lint_diagnostics_are_strict_json() {
+    let problem = LubtBuilder::new(square())
+        .bounds(DelayBounds::uniform(4, 0.0, 2.0))
+        .build()
+        .unwrap();
+    let diags = problem.lint();
+    assert!(
+        !diags.is_empty(),
+        "bounds are unreachable, lint must object"
+    );
+    assert_strict(
+        &lubt::lint::diagnostics_to_json(&diags),
+        "lint diagnostics JSON",
+    );
+}
