@@ -30,6 +30,8 @@
 
 pub mod figure8;
 pub mod instances;
+pub mod report;
+pub mod suite;
 pub mod table;
 pub mod table1;
 pub mod table2;

@@ -1,0 +1,428 @@
+//! The pinned `lubt bench` suite: a fixed, seeded set of instances solved
+//! under both LP backends, folded into an [`AggregateTrace`], and written
+//! as a schema-versioned benchmark document.
+//!
+//! The suite is the unit of the performance trajectory: every run solves
+//! the *same* instances (fixed generators, fixed seeds, fixed delay
+//! windows), so two `BENCH_*.json` files from different commits are
+//! directly comparable. The document keeps the DESIGN.md §9 split at the
+//! top level — everything under `"deterministic"` must be byte-identical
+//! across thread counts and machines, and `lubt report` compares it
+//! exactly; machine metadata and wall-clock timings live under
+//! `"determinism_exempt"` and only ever gate on ratios.
+//!
+//! Every run re-solves the suite at one worker *and* at the configured
+//! thread count and refuses to emit a document if the deterministic
+//! halves disagree, so a benchmark file is also a determinism audit.
+
+use std::collections::BTreeMap;
+
+use lubt_core::{BatchSolver, DelayBounds, EbfSolver, LubtProblem, SolverBackend};
+use lubt_data::{synthetic, Instance};
+use lubt_obs::json::{json_escape, json_f64};
+use lubt_obs::{AggregateTrace, PhaseTimer, TraceRecorder};
+use lubt_topology::{nearest_neighbor_topology, SourceMode};
+
+/// Schema tag of the benchmark document.
+pub const BENCH_SCHEMA: &str = "lubt-bench-v1";
+
+/// Name of the pinned instance set; bump when instances/seeds change so
+/// `lubt report` can refuse cross-suite comparisons.
+pub const SUITE_NAME: &str = "pinned-v1";
+
+/// Die side for every generated instance.
+const DIE: f64 = 1000.0;
+
+/// Delay window as fractions of the instance radius: `[0.9 R, 1.4 R]`
+/// exercises both the lower-bound (snaking) and upper-bound machinery.
+const LOWER_FRAC: f64 = 0.9;
+const UPPER_FRAC: f64 = 1.4;
+
+/// Suite configuration (sizes, thread count, backend cap).
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Label recorded in the document (e.g. `seed`, `ci`, `local`).
+    pub label: String,
+    /// Worker count for the parallel leg of the determinism check
+    /// (`0` = all cores). The single-threaded leg always runs.
+    pub threads: usize,
+    /// Sink counts; each size yields one uniform and one clustered
+    /// instance.
+    pub sizes: Vec<usize>,
+    /// Largest sink count the dense interior-point backend runs at.
+    pub interior_cap: usize,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            label: "local".to_string(),
+            threads: 0,
+            sizes: vec![6, 10, 16],
+            interior_cap: 12,
+        }
+    }
+}
+
+/// One solved (instance, backend) pair — a row of the benchmark table.
+/// Every field is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceRow {
+    /// Pinned instance name (e.g. `u10`, `c16`).
+    pub name: String,
+    /// LP backend (`simplex` | `interior`).
+    pub backend: &'static str,
+    /// Sink count.
+    pub sinks: usize,
+    /// Optimal tree cost (sum of edge lengths).
+    pub cost: f64,
+    /// LP pivots / interior-point steps across all re-solves.
+    pub lp_iterations: usize,
+    /// Lazy separation rounds.
+    pub separation_rounds: usize,
+    /// Steiner rows materialized, out of `C(m, 2)`.
+    pub steiner_rows: usize,
+    /// Total available pair rows.
+    pub total_pairs: usize,
+    /// `true` when lazy separation fell back to the full row set.
+    pub truncated: bool,
+}
+
+/// One completed suite run, ready to serialize.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// Label from the config.
+    pub label: String,
+    /// Sink counts solved.
+    pub sizes: Vec<usize>,
+    /// Interior-point size cap used.
+    pub interior_cap: usize,
+    /// Per-(instance, backend) rows, in pinned order.
+    pub rows: Vec<InstanceRow>,
+    /// Fold of every per-solve trace (from the parallel leg; the
+    /// deterministic half is verified identical to the serial leg).
+    pub aggregate: AggregateTrace,
+    /// Resolved worker count of the parallel leg.
+    pub threads: usize,
+    /// Wall-clock per backend and leg (`time.suite.<backend>.threads<n>`),
+    /// determinism-exempt.
+    pub suite_wall_ns: BTreeMap<String, u64>,
+}
+
+/// The pinned instances for `sizes`: one uniform scatter and one
+/// 3-cluster blob per size, seeds derived from the size alone.
+pub fn pinned_instances(sizes: &[usize]) -> Vec<Instance> {
+    let mut out = Vec::new();
+    for &m in sizes {
+        out.push(synthetic::uniform(
+            &format!("u{m}"),
+            m,
+            DIE,
+            0xD1E0 + m as u64,
+        ));
+        out.push(synthetic::clustered(
+            &format!("c{m}"),
+            m,
+            DIE,
+            3,
+            0xC1A0 + m as u64,
+        ));
+    }
+    out
+}
+
+/// One planned solve: the problem plus its row metadata.
+struct Entry {
+    name: String,
+    backend: SolverBackend,
+    backend_label: &'static str,
+    sinks: usize,
+    problem: LubtProblem,
+}
+
+fn plan(config: &SuiteConfig) -> Result<Vec<Entry>, String> {
+    let mut entries = Vec::new();
+    for inst in pinned_instances(&config.sizes) {
+        let radius = inst.radius();
+        let m = inst.sinks.len();
+        let topo = nearest_neighbor_topology(&inst.sinks, SourceMode::Given);
+        let problem = LubtProblem::new(
+            inst.sinks.clone(),
+            inst.source,
+            topo,
+            DelayBounds::uniform(m, LOWER_FRAC * radius, UPPER_FRAC * radius),
+        )
+        .map_err(|e| format!("suite instance {}: {e}", inst.name))?;
+        let mut backends = vec![(SolverBackend::Simplex, "simplex")];
+        if m <= config.interior_cap {
+            backends.push((SolverBackend::InteriorPoint, "interior"));
+        }
+        for (backend, backend_label) in backends {
+            entries.push(Entry {
+                name: inst.name.clone(),
+                backend,
+                backend_label,
+                sinks: m,
+                problem: problem.clone(),
+            });
+        }
+    }
+    Ok(entries)
+}
+
+/// Solves every entry at `threads` workers, one [`BatchSolver`] batch per
+/// backend, and returns the rows (in entry order) plus the merged
+/// aggregate. Wall clock per backend goes into `wall` under
+/// `time.suite.<backend>.threads<threads>`.
+fn solve_entries(
+    entries: &[Entry],
+    threads: usize,
+    wall: &mut BTreeMap<String, u64>,
+) -> Result<(Vec<InstanceRow>, AggregateTrace), String> {
+    let mut rows: Vec<Option<InstanceRow>> = vec![None; entries.len()];
+    let mut aggregate = AggregateTrace::new();
+    for (backend, label) in [
+        (SolverBackend::Simplex, "simplex"),
+        (SolverBackend::InteriorPoint, "interior"),
+    ] {
+        let indices: Vec<usize> = (0..entries.len())
+            .filter(|&i| entries[i].backend == backend)
+            .collect();
+        if indices.is_empty() {
+            continue;
+        }
+        let problems: Vec<LubtProblem> = indices
+            .iter()
+            .map(|&i| entries[i].problem.clone())
+            .collect();
+        let batch = BatchSolver::new()
+            .with_threads(threads)
+            .with_solver(EbfSolver::new().with_backend(backend));
+        let rec = TraceRecorder::new();
+        let key = format!("time.suite.{label}.threads{threads}");
+        let (results, _traces, agg) = {
+            let _t = PhaseTimer::new(&rec, &key);
+            batch.solve_all_aggregated(&problems)
+        };
+        wall.insert(key.clone(), rec.snapshot().timing_ns(&key));
+        aggregate.merge(&agg);
+        for (&i, result) in indices.iter().zip(results) {
+            let entry = &entries[i];
+            let solution = result
+                .map_err(|e| format!("suite solve {}/{}: {e}", entry.name, entry.backend_label))?;
+            let report = solution.report();
+            rows[i] = Some(InstanceRow {
+                name: entry.name.clone(),
+                backend: entry.backend_label,
+                sinks: entry.sinks,
+                cost: solution.cost(),
+                lp_iterations: report.lp_iterations,
+                separation_rounds: report.separation_rounds,
+                steiner_rows: report.steiner_rows,
+                total_pairs: report.total_pairs,
+                truncated: report.truncated,
+            });
+        }
+    }
+    let rows = rows
+        .into_iter()
+        .collect::<Option<Vec<_>>>()
+        .expect("every entry belongs to exactly one backend batch");
+    Ok((rows, aggregate))
+}
+
+/// Runs the pinned suite: serial leg, parallel leg, determinism
+/// cross-check, and the fold into one [`BenchRun`].
+///
+/// # Errors
+///
+/// Fails on solver errors and on any deterministic divergence between
+/// the serial and parallel legs (which would indicate a §9 contract
+/// violation — the run must not be published as a baseline).
+pub fn run(config: &SuiteConfig) -> Result<BenchRun, String> {
+    let entries = plan(config)?;
+    let mut wall = BTreeMap::new();
+    let (serial_rows, serial_agg) = solve_entries(&entries, 1, &mut wall)?;
+    let threads = lubt_par::resolve_threads(config.threads);
+    let (rows, aggregate) = if threads == 1 {
+        (serial_rows, serial_agg)
+    } else {
+        let (par_rows, par_agg) = solve_entries(&entries, threads, &mut wall)?;
+        if par_rows != serial_rows {
+            return Err(format!(
+                "determinism violation: instance rows differ between 1 and {threads} workers"
+            ));
+        }
+        if par_agg.deterministic_json("") != serial_agg.deterministic_json("") {
+            return Err(format!(
+                "determinism violation: aggregate deterministic halves differ \
+                 between 1 and {threads} workers"
+            ));
+        }
+        // Keep the parallel leg's aggregate: the deterministic half is
+        // provably identical and the exempt half shows real scheduling.
+        (par_rows, par_agg)
+    };
+    Ok(BenchRun {
+        label: config.label.clone(),
+        sizes: config.sizes.clone(),
+        interior_cap: config.interior_cap,
+        rows,
+        aggregate,
+        threads,
+        suite_wall_ns: wall,
+    })
+}
+
+impl BenchRun {
+    /// Serializes the run as one strict-JSON `lubt-bench-v1` document.
+    ///
+    /// Layout contract: the whole `"deterministic"` member — rows and
+    /// aggregate — is byte-identical across thread counts; machine
+    /// metadata, worker counts and wall-clock totals are confined to
+    /// `"determinism_exempt"`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": \"{BENCH_SCHEMA}\",\n"));
+        s.push_str(&format!("  \"label\": \"{}\",\n", json_escape(&self.label)));
+        s.push_str("  \"suite\": {\n");
+        s.push_str(&format!("    \"name\": \"{SUITE_NAME}\",\n"));
+        s.push_str(&format!(
+            "    \"sizes\": [{}],\n",
+            self.sizes
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        s.push_str(&format!("    \"die\": {},\n", json_f64(DIE)));
+        s.push_str(&format!(
+            "    \"window\": {{\"lower_frac\": {}, \"upper_frac\": {}}},\n",
+            json_f64(LOWER_FRAC),
+            json_f64(UPPER_FRAC)
+        ));
+        s.push_str(&format!(
+            "    \"interior_cap\": {}\n  }},\n",
+            self.interior_cap
+        ));
+
+        s.push_str("  \"deterministic\": {\n    \"instances\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"name\": \"{}\", \"backend\": \"{}\", \"sinks\": {}, \
+                 \"cost\": {}, \"lp_iterations\": {}, \"separation_rounds\": {}, \
+                 \"steiner_rows\": {}, \"total_pairs\": {}, \"truncated\": {}}}{}\n",
+                json_escape(&r.name),
+                r.backend,
+                r.sinks,
+                json_f64(r.cost),
+                r.lp_iterations,
+                r.separation_rounds,
+                r.steiner_rows,
+                r.total_pairs,
+                r.truncated,
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("    ],\n");
+        s.push_str(&format!("    \"solves\": {},\n", self.aggregate.solves));
+        s.push_str("    \"aggregate\": ");
+        s.push_str(&self.aggregate.deterministic_json("    "));
+        s.push_str("\n  },\n");
+
+        s.push_str("  \"determinism_exempt\": {\n");
+        s.push_str(&format!(
+            "    \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \
+             \"available_parallelism\": {}, \"threads\": {}}},\n",
+            json_escape(std::env::consts::OS),
+            json_escape(std::env::consts::ARCH),
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            self.threads
+        ));
+        s.push_str("    \"suite_wall_ns\": {");
+        let mut first = true;
+        for (k, v) in &self.suite_wall_ns {
+            s.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            s.push_str(&format!("      \"{}\": {v}", json_escape(k)));
+        }
+        if !first {
+            s.push_str("\n    ");
+        }
+        s.push_str("},\n");
+        s.push_str("    \"aggregate\": ");
+        s.push_str(&self.aggregate.exempt_json("    "));
+        s.push_str("\n  }\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lubt_obs::json::validate;
+
+    fn tiny() -> SuiteConfig {
+        SuiteConfig {
+            label: "test".to_string(),
+            threads: 2,
+            sizes: vec![5, 8],
+            interior_cap: 6,
+        }
+    }
+
+    #[test]
+    fn pinned_instances_are_reproducible_and_named() {
+        let a = pinned_instances(&[5, 8]);
+        let b = pinned_instances(&[5, 8]);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0].name, "u5");
+        assert_eq!(a[1].name, "c5");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.sinks, y.sinks, "{} regenerated differently", x.name);
+        }
+    }
+
+    #[test]
+    fn suite_runs_and_serializes_strict_json_with_split_sections() {
+        let run = run(&tiny()).unwrap();
+        // 2 sizes × 2 instances, interior only at m = 5 ⇒ 4 + 2 rows.
+        assert_eq!(run.rows.len(), 6);
+        assert_eq!(run.aggregate.solves, 6);
+        assert!(run.rows.iter().all(|r| r.cost > 0.0));
+        let doc = run.to_json();
+        validate(&doc).unwrap_or_else(|e| panic!("invalid bench JSON: {e}\n{doc}"));
+        let det = doc.find("\"deterministic\"").unwrap();
+        let exempt = doc.find("\"determinism_exempt\"").unwrap();
+        assert!(det < exempt);
+        // Wall clock, worker counts and machine facts never leak into the
+        // comparable half.
+        let det_half = &doc[det..exempt];
+        assert!(!det_half.contains("time."));
+        assert!(!det_half.contains("threads"));
+        assert!(!det_half.contains("machine"));
+        assert!(doc[exempt..].contains("suite_wall_ns"));
+    }
+
+    #[test]
+    fn deterministic_half_is_identical_across_runs() {
+        let a = run(&tiny()).unwrap();
+        let b = run(&tiny()).unwrap();
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(
+            a.aggregate.deterministic_json(""),
+            b.aggregate.deterministic_json("")
+        );
+        let det_a = extract_deterministic(&a.to_json());
+        let det_b = extract_deterministic(&b.to_json());
+        assert_eq!(det_a, det_b, "deterministic section must be byte-stable");
+    }
+
+    /// The substring between `"deterministic"` and `"determinism_exempt"`.
+    fn extract_deterministic(doc: &str) -> String {
+        let start = doc.find("\"deterministic\"").unwrap();
+        let end = doc.find("\"determinism_exempt\"").unwrap();
+        doc[start..end].to_string()
+    }
+}

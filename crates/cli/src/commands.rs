@@ -15,7 +15,10 @@ const USAGE: &str = "usage:
 [--svg out.svg] [--json out.json] [--trace-json [out.json]]
   lubt batch <input>... --lower L --upper U [--absolute] \
 [--topology nn|matching|bisect|aware] [--backend simplex|ipm] [--threads N] \
-[--max-lp-iterations N] [--json out.json] [--metrics [out.json]]
+[--max-lp-iterations N] [--json out.json] [--metrics [out.json]] [--metrics-prom [out.prom]]
+  lubt bench [--label L] [--threads N] [--sizes A,B,C] [--interior-cap K] [--out file]
+  lubt report --baseline A.json --current B.json [--timing-threshold F] \
+[--ignore-timings] [--json [out.json]]
   lubt lint <input> [--lower L] [--upper U] [--absolute] \
 [--topology nn|matching|bisect|aware] [--json [out.json]]
   lubt zeroskew <input> [--target T] [--absolute] [--svg out.svg]
@@ -33,6 +36,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     match parsed.positional.first().map(String::as_str) {
         Some("solve") => cmd_solve(&parsed),
         Some("batch") => cmd_batch(&parsed),
+        Some("bench") => cmd_bench(&parsed),
+        Some("report") => cmd_report(&parsed),
         Some("lint") => cmd_lint(&parsed),
         Some("zeroskew") => cmd_zeroskew(&parsed),
         Some("bst") => cmd_bst(&parsed),
@@ -78,6 +83,42 @@ fn emit_json(parsed: &Parsed, key: &str, label: &str, json: &str) -> Result<(), 
             println!("{label} written to {path}");
         }
         None => println!("{json}"),
+    }
+    Ok(())
+}
+
+/// Emits a diagnostic document for an optional-value flag, keeping stdout
+/// clean: `--{key} path` writes the file (confirmation on stdout), a bare
+/// `--{key}` prints the document to **stderr**. Metrics documents carry
+/// timings and scheduling counters that legitimately vary with `--threads`,
+/// so routing them through stdout would break the byte-identity contract
+/// on the default stream.
+fn emit_diagnostic(parsed: &Parsed, key: &str, label: &str, text: &str) -> Result<(), String> {
+    match parsed.get(key) {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("{label} written to {path}");
+        }
+        None => eprint!("{text}"),
+    }
+    Ok(())
+}
+
+/// Surfaces a bounded-log overflow as a warning on stderr: a truncated
+/// event log silently weakens any trace-based diagnosis.
+fn warn_dropped_events(trace: &lubt_obs::SolveTrace) {
+    if let Some(note) = trace.events_dropped_note() {
+        eprintln!("{note}");
+    }
+}
+
+/// Rejects a value-carrying flag that appeared bare (`--sizes` with
+/// nothing after it would otherwise be silently ignored).
+fn reject_bare(parsed: &Parsed, keys: &[&str]) -> Result<(), String> {
+    for key in keys {
+        if parsed.has(key) && parsed.get(key).is_none() {
+            return Err(format!("--{key} requires a value"));
+        }
     }
     Ok(())
 }
@@ -181,6 +222,7 @@ fn cmd_solve(parsed: &Parsed) -> Result<(), String> {
             // The trace matters most on failure: emit it before bailing.
             if let Some(trace) = &trace {
                 emit_json(parsed, "trace-json", "trace", &trace.to_json())?;
+                warn_dropped_events(trace);
             }
             return Err(render_lubt_error(&e));
         }
@@ -228,6 +270,7 @@ fn cmd_solve(parsed: &Parsed) -> Result<(), String> {
     }
     if let Some(trace) = &trace {
         emit_json(parsed, "trace-json", "trace", &trace.to_json())?;
+        warn_dropped_events(trace);
     }
     write_svg(parsed, &render_svg(&solution))
 }
@@ -296,9 +339,9 @@ fn cmd_batch(parsed: &Parsed) -> Result<(), String> {
         solver = solver.with_max_lp_iterations(limit);
     }
     let batch = BatchSolver::new().with_solver(solver).with_threads(threads);
-    // Only the metrics document (timings, scheduling counters) may vary
+    // Only the metrics documents (timings, scheduling counters) may vary
     // with `--threads`; results and the default stdout stay byte-identical.
-    let (results, trace) = if wants(parsed, "metrics") {
+    let (results, trace) = if wants(parsed, "metrics") || wants(parsed, "metrics-prom") {
         let (r, t) = batch.solve_all_traced(&problems);
         (r, Some(t))
     } else {
@@ -366,13 +409,124 @@ fn cmd_batch(parsed: &Parsed) -> Result<(), String> {
         println!("json written to {path}");
     }
     if let Some(trace) = &trace {
-        emit_json(parsed, "metrics", "metrics", &trace.to_json())?;
+        if wants(parsed, "metrics") {
+            emit_diagnostic(parsed, "metrics", "metrics", &trace.to_json())?;
+        }
+        if wants(parsed, "metrics-prom") {
+            emit_diagnostic(
+                parsed,
+                "metrics-prom",
+                "prometheus metrics",
+                &trace.to_prometheus(),
+            )?;
+        }
+        warn_dropped_events(trace);
     }
 
     if failures > 0 {
         Err(format!(
             "{failures} of {} instance(s) failed",
             results.len()
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// `lubt bench`: runs the pinned benchmark suite (both LP backends, a
+/// serial and a parallel leg with a built-in determinism cross-check) and
+/// writes the schema-versioned `lubt-bench-v1` document, default
+/// `BENCH_<label>.json`. The document's `"deterministic"` section is
+/// byte-identical across thread counts and machines; wall clock and
+/// machine facts live under `"determinism_exempt"`.
+fn cmd_bench(parsed: &Parsed) -> Result<(), String> {
+    reject_bare(
+        parsed,
+        &["label", "threads", "sizes", "interior-cap", "out"],
+    )?;
+    let mut config = lubt_bench::suite::SuiteConfig {
+        label: parsed.get("label").unwrap_or("local").to_string(),
+        ..lubt_bench::suite::SuiteConfig::default()
+    };
+    match parsed.get_usize("threads")? {
+        Some(0) => {
+            return Err(
+                "--threads must be at least 1 (omit the flag to use every core)".to_string(),
+            )
+        }
+        Some(n) => config.threads = n,
+        None => {}
+    }
+    if let Some(csv) = parsed.get("sizes") {
+        config.sizes = csv
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("--sizes expects integers, got {s:?}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if config.sizes.is_empty() {
+            return Err("--sizes must name at least one size".to_string());
+        }
+    }
+    if let Some(cap) = parsed.get_usize("interior-cap")? {
+        config.interior_cap = cap;
+    }
+    let run = lubt_bench::suite::run(&config)?;
+    let out = parsed
+        .get("out")
+        .map_or_else(|| format!("BENCH_{}.json", run.label), String::from);
+    std::fs::write(&out, run.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "bench \"{}\": {} solves over {} instance/backend rows (sizes {:?}, {} worker(s)); \
+         written to {out}",
+        run.label,
+        run.aggregate.solves,
+        run.rows.len(),
+        run.sizes,
+        run.threads
+    );
+    Ok(())
+}
+
+/// `lubt report`: diffs two benchmark documents and exits non-zero when
+/// the current run regressed. Deterministic counters compare exactly;
+/// wall-clock totals compare against `--timing-threshold` (default 25%
+/// slack) unless `--ignore-timings`.
+fn cmd_report(parsed: &Parsed) -> Result<(), String> {
+    reject_bare(parsed, &["baseline", "current", "timing-threshold"])?;
+    let baseline_path = parsed
+        .get("baseline")
+        .ok_or_else(|| format!("--baseline is required\n{USAGE}"))?;
+    let current_path = parsed
+        .get("current")
+        .ok_or_else(|| format!("--current is required\n{USAGE}"))?;
+    let baseline = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
+    let current = std::fs::read_to_string(current_path)
+        .map_err(|e| format!("cannot read {current_path}: {e}"))?;
+    let mut opts = lubt_bench::report::ReportOptions {
+        ignore_timings: parsed.has("ignore-timings"),
+        ..lubt_bench::report::ReportOptions::default()
+    };
+    if let Some(t) = parsed.get_f64("timing-threshold")? {
+        if t <= 0.0 || t.is_nan() {
+            return Err("--timing-threshold must be positive".to_string());
+        }
+        opts.timing_threshold = t;
+    }
+    let report = lubt_bench::report::compare(&baseline, &current, &opts)?;
+    if wants(parsed, "json") {
+        emit_json(parsed, "json", "report", &report.to_json())?;
+    } else {
+        print!("{}", report.to_text());
+    }
+    if report.failed() {
+        Err(format!(
+            "benchmark regression: {} deterministic, {} timing (see report above)",
+            report.regressions(),
+            report.timing_regressions()
         ))
     } else {
         Ok(())

@@ -5,6 +5,9 @@
 //!                     [--backend simplex|ipm] [--max-lp-iterations N] [--svg out.svg]
 //!                     [--trace-json [out.json]]
 //! lubt batch <input>... --lower L --upper U [--threads N] [--metrics [out.json]]
+//!                       [--metrics-prom [out.prom]]
+//! lubt bench [--label L] [--threads N] [--sizes A,B,C] [--out file]
+//! lubt report --baseline A.json --current B.json [--ignore-timings] [--json [out.json]]
 //! lubt lint <input> [--lower L] [--upper U] [--absolute] [--json [out.json]]
 //! lubt zeroskew <input> [--target T] [--svg out.svg]
 //! lubt bst <input> --skew 0.1 [--absolute]

@@ -523,3 +523,211 @@ fn alternate_topologies_and_backend() {
 
     let _ = std::fs::remove_file(&pts);
 }
+
+#[test]
+fn batch_bare_metrics_go_to_stderr_and_leave_stdout_identical() {
+    let pts = gen_batch("batch-stderr", 4, 8);
+    let run = |threads: &str| {
+        let out = lubt()
+            .args(["batch"])
+            .args(&pts)
+            .args(["--lower", "0.9", "--upper", "1.5", "--threads", threads])
+            .args(["--metrics", "--metrics-prom"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "threads {threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (out.stdout, out.stderr)
+    };
+    let (stdout1, stderr1) = run("1");
+    let (stdout8, _) = run("8");
+    // With no output path the metrics documents land on stderr, so the
+    // default stdout keeps the byte-identity contract even while tracing.
+    assert_eq!(
+        stdout1, stdout8,
+        "stdout must not carry thread-dependent metrics"
+    );
+    let stdout = String::from_utf8(stdout1).unwrap();
+    assert!(!stdout.contains("lubt-trace-v1"), "stdout: {stdout}");
+    let stderr = String::from_utf8(stderr1).unwrap();
+    assert!(
+        stderr.contains("\"schema\": \"lubt-trace-v1\""),
+        "stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("# TYPE lubt_simplex_pivots_total counter"),
+        "stderr: {stderr}"
+    );
+    for p in pts {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn batch_metrics_prom_file_is_a_prometheus_exposition() {
+    let pts = gen_batch("batch-prom", 3, 8);
+    let prom = tmp("batch.prom");
+    let out = lubt()
+        .args(["batch"])
+        .args(&pts)
+        .args(["--lower", "0.9", "--upper", "1.5", "--threads", "2"])
+        .args(["--metrics-prom"])
+        .arg(&prom)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("prometheus metrics written to"),
+        "stdout: {text}"
+    );
+    let exposition = std::fs::read_to_string(&prom).unwrap();
+    for needle in [
+        "# HELP lubt_simplex_pivots_total",
+        "# TYPE lubt_simplex_pivots_total counter",
+        "lubt_batch_instances_total 3",
+        "lubt_time_lp_seconds_total",
+    ] {
+        assert!(
+            exposition.contains(needle),
+            "exposition missing {needle}:\n{exposition}"
+        );
+    }
+    for p in pts {
+        let _ = std::fs::remove_file(p);
+    }
+    let _ = std::fs::remove_file(&prom);
+}
+
+/// The `"deterministic"` member of a bench document, as raw bytes.
+fn deterministic_section(doc: &str) -> &str {
+    let start = doc
+        .find("\"deterministic\"")
+        .expect("deterministic section");
+    let end = doc.find("\"determinism_exempt\"").expect("exempt section");
+    &doc[start..end]
+}
+
+#[test]
+fn bench_deterministic_section_is_byte_identical_across_thread_counts() {
+    let a = tmp("bench-t1.json");
+    let b = tmp("bench-t8.json");
+    let run = |threads: &str, out_path: &PathBuf| {
+        let out = lubt()
+            .args([
+                "bench",
+                "--label",
+                "cli-test",
+                "--sizes",
+                "5",
+                "--interior-cap",
+                "5",
+            ])
+            .args(["--threads", threads, "--out"])
+            .arg(out_path)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "threads {threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("bench \"cli-test\""), "stdout: {text}");
+    };
+    run("1", &a);
+    run("8", &b);
+    let doc_a = std::fs::read_to_string(&a).unwrap();
+    let doc_b = std::fs::read_to_string(&b).unwrap();
+    lubt_obs::json::validate(&doc_a).expect("bench document must be strict JSON");
+    assert!(doc_a.contains("\"schema\": \"lubt-bench-v1\""), "{doc_a}");
+    assert_eq!(
+        deterministic_section(&doc_a),
+        deterministic_section(&doc_b),
+        "deterministic section must not depend on --threads"
+    );
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+}
+
+#[test]
+fn report_passes_on_identical_runs_and_fails_on_a_perturbed_counter() {
+    let base = tmp("report-base.json");
+    let out = lubt()
+        .args([
+            "bench",
+            "--label",
+            "base",
+            "--sizes",
+            "5",
+            "--interior-cap",
+            "4",
+        ])
+        .args(["--threads", "2", "--out"])
+        .arg(&base)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Identical documents pass with a zero exit.
+    let out = lubt()
+        .args(["report", "--baseline"])
+        .arg(&base)
+        .args(["--current"])
+        .arg(&base)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("verdict: PASS"), "stdout: {text}");
+
+    // Bump one deterministic work counter in a copy: the gate must fail.
+    let doc = std::fs::read_to_string(&base).unwrap();
+    let needle = "\"lp_iterations\": ";
+    let at = doc.find(needle).expect("bench rows carry lp_iterations") + needle.len();
+    let digits: String = doc[at..].chars().take_while(char::is_ascii_digit).collect();
+    let bumped: u64 = digits.parse::<u64>().unwrap() + 1;
+    let perturbed_doc = format!("{}{}{}", &doc[..at], bumped, &doc[at + digits.len()..]);
+    let perturbed = tmp("report-perturbed.json");
+    std::fs::write(&perturbed, &perturbed_doc).unwrap();
+
+    let json_out = tmp("report-delta.json");
+    let out = lubt()
+        .args(["report", "--baseline"])
+        .arg(&base)
+        .args(["--current"])
+        .arg(&perturbed)
+        .args(["--json"])
+        .arg(&json_out)
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "a regressed counter must exit nonzero"
+    );
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("benchmark regression"), "stderr: {err}");
+    let delta = std::fs::read_to_string(&json_out).unwrap();
+    lubt_obs::json::validate(&delta).expect("report JSON must be strictly valid");
+    assert!(delta.contains("\"failed\": true"), "{delta}");
+    assert!(delta.contains("lp_iterations"), "{delta}");
+
+    let _ = std::fs::remove_file(&base);
+    let _ = std::fs::remove_file(&perturbed);
+    let _ = std::fs::remove_file(&json_out);
+}

@@ -12,7 +12,7 @@
 use crate::ebf::{EbfReport, EbfSolver};
 use crate::embed::{embed_tree_traced, PlacementPolicy};
 use crate::{LubtError, LubtProblem, LubtSolution};
-use lubt_obs::{Recorder, SolveTrace, TraceRecorder};
+use lubt_obs::{AggregateTrace, Recorder, SolveTrace, TraceRecorder};
 use std::sync::Arc;
 
 /// Solves a slice of independent [`LubtProblem`]s in parallel.
@@ -116,6 +116,84 @@ impl BatchSolver {
         rec.incr("batch.solved", solved);
         rec.incr("batch.failed", problems.len() as u64 - solved);
         (results, rec.snapshot())
+    }
+
+    /// [`BatchSolver::solve_all`] with one *private* [`TraceRecorder`] per
+    /// instance, returning the per-instance traces alongside an
+    /// [`AggregateTrace`] folding all of them plus the batch loop's own
+    /// scheduling counters.
+    ///
+    /// This is the aggregation hook behind `lubt bench`: unlike
+    /// [`BatchSolver::solve_all_traced`], which sums every instance into
+    /// one shared recorder, each solve here records in isolation, so the
+    /// fold can also build per-solve histograms (pivots per instance,
+    /// rounds per instance, …). Because instances are solved
+    /// single-threaded inside the pool, `traces[i]` — and therefore the
+    /// deterministic half of the aggregate — is bit-for-bit independent
+    /// of the thread count; only timings and the aggregate's
+    /// determinism-exempt section vary.
+    #[allow(clippy::type_complexity)]
+    pub fn solve_all_aggregated(
+        &self,
+        problems: &[LubtProblem],
+    ) -> (
+        Vec<Result<LubtSolution, LubtError>>,
+        Vec<SolveTrace>,
+        AggregateTrace,
+    ) {
+        // The outer pool records into its own recorder so scheduling noise
+        // never lands inside a per-instance trace.
+        let pool_rec = TraceRecorder::new();
+        let outcomes = lubt_par::parallel_map_traced(
+            self.threads,
+            problems.len(),
+            1,
+            &pool_rec,
+            |i| -> (Result<LubtSolution, LubtError>, SolveTrace) {
+                let rec = Arc::new(TraceRecorder::new());
+                let solver = self
+                    .solver
+                    .clone()
+                    .with_recorder(Arc::clone(&rec) as Arc<dyn Recorder>);
+                let problem = &problems[i];
+                let result = solver.solve(problem).and_then(|(lengths, report)| {
+                    let positions = embed_tree_traced(
+                        problem.topology(),
+                        problem.sinks(),
+                        problem.source(),
+                        &lengths,
+                        self.placement,
+                        &*rec,
+                    )?;
+                    Ok(LubtSolution::new(
+                        problem.clone(),
+                        lengths,
+                        positions,
+                        report,
+                    ))
+                });
+                (result, rec.snapshot())
+            },
+        );
+        let mut results = Vec::with_capacity(outcomes.len());
+        let mut traces = Vec::with_capacity(outcomes.len());
+        let mut aggregate = AggregateTrace::new();
+        for (result, trace) in outcomes {
+            aggregate.fold(&trace);
+            results.push(result);
+            traces.push(trace);
+        }
+        // Fold the batch loop's own scheduling counters last; the fold is
+        // order-independent, so this cannot perturb the deterministic half.
+        let solved = results.iter().filter(|r| r.is_ok()).count() as u64;
+        pool_rec.incr("batch.instances", problems.len() as u64);
+        pool_rec.incr("batch.solved", solved);
+        pool_rec.incr("batch.failed", problems.len() as u64 - solved);
+        let mut pool_agg = AggregateTrace::new();
+        pool_agg.fold(&pool_rec.snapshot());
+        pool_agg.solves = 0; // the pool snapshot is bookkeeping, not a solve
+        aggregate.merge(&pool_agg);
+        (results, traces, aggregate)
     }
 
     fn solve_all_recorded(
@@ -276,6 +354,60 @@ mod tests {
         // counters aggregate across the whole batch.
         assert!(trace.counter("simplex.solves") >= 4);
         assert!(trace.counter("embed.fr_constructions") >= 4);
+    }
+
+    #[test]
+    fn aggregated_batch_matches_plain_results_and_folds_solver_counters() {
+        let problems = mixed_batch();
+        let plain = BatchSolver::new().with_threads(2).solve_all(&problems);
+        let (results, traces, agg) = BatchSolver::new()
+            .with_threads(2)
+            .solve_all_aggregated(&problems);
+        assert_eq!(results.len(), problems.len());
+        assert_eq!(traces.len(), problems.len());
+        for (p, t) in plain.iter().zip(results.iter()) {
+            match (p, t) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(x.edge_lengths(), y.edge_lengths());
+                    assert_eq!(x.positions(), y.positions());
+                    assert_eq!(x.report(), y.report());
+                }
+                (Err(_), Err(_)) => {}
+                _ => panic!("aggregation changed feasibility"),
+            }
+        }
+        // One fold per instance plus the batch bookkeeping counters.
+        assert_eq!(agg.solves, problems.len() as u64);
+        assert_eq!(agg.counter("batch.instances"), 8);
+        assert_eq!(agg.counter("batch.solved"), 4);
+        assert_eq!(agg.counter("batch.failed"), 4);
+        // The per-solve histogram has one sample per instance that reached
+        // the LP (infeasible ones may be rejected by the pre-solve lint).
+        assert!(agg.histogram("simplex.solves").unwrap().count() >= 4);
+        // Scheduling keys stay in the exempt section of the aggregate.
+        assert_eq!(agg.counter("par.jobs"), 0);
+        assert!(agg.sched_counters.contains_key("par.jobs"));
+    }
+
+    #[test]
+    fn aggregated_deterministic_half_is_thread_count_invariant() {
+        let problems = mixed_batch();
+        let (_, traces1, agg1) = BatchSolver::new()
+            .with_threads(1)
+            .solve_all_aggregated(&problems);
+        let (_, traces8, agg8) = BatchSolver::new()
+            .with_threads(8)
+            .solve_all_aggregated(&problems);
+        for (a, b) in traces1.iter().zip(traces8.iter()) {
+            assert_eq!(a.counters, b.counters, "per-instance counters diverged");
+            assert_eq!(a.maxima, b.maxima);
+            assert_eq!(a.events, b.events);
+        }
+        assert_eq!(agg1.counters, agg8.counters);
+        assert_eq!(agg1.maxima, agg8.maxima);
+        assert_eq!(agg1.histograms, agg8.histograms);
+        assert_eq!(agg1.events, agg8.events);
+        assert_eq!(agg1.events_dropped, agg8.events_dropped);
     }
 
     #[test]

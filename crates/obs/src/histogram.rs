@@ -1,0 +1,306 @@
+//! [`Histogram`]: a deterministic log-bucketed distribution summary.
+//!
+//! The aggregation layer folds one counter value per solve into a
+//! histogram so a benchmark file can report "p50/p99 simplex pivots per
+//! instance" without storing every sample. Buckets are powers of two
+//! (bucket `b` holds the values whose bit length is `b`, bucket 0 holds
+//! exactly `0`), so recording is a shift-free bit-length computation, the
+//! bucket layout is identical on every platform and thread count, and
+//! [`Histogram::merge`] is a plain component-wise sum — commutative and
+//! associative, which is what makes aggregate traces independent of the
+//! order instances finish in.
+
+use crate::json::json_escape;
+
+/// Number of buckets: bit lengths `0..=64`.
+const BUCKETS: usize = 65;
+
+/// Deterministic log₂-bucketed histogram over `u64` samples.
+///
+/// # Example
+///
+/// ```
+/// use lubt_obs::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [1, 2, 3, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.max(), Some(100));
+/// assert!(h.percentile(0.5).unwrap() <= h.percentile(0.99).unwrap());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// `buckets[b]` counts samples with bit length `b` (i.e. in
+    /// `[2^(b-1), 2^b - 1]`; bucket 0 counts exact zeros).
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Index of the bucket `value` falls into (its bit length).
+    fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `b`.
+    fn bucket_upper(b: usize) -> u64 {
+        if b >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Non-empty buckets as `(bit_length, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (b, c))
+            .collect()
+    }
+
+    /// Cumulative count of samples in buckets `0..=b`.
+    pub fn cumulative_le(&self, b: usize) -> u64 {
+        self.buckets[..=b.min(BUCKETS - 1)].iter().sum()
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) as the upper bound of
+    /// the bucket holding the rank-`⌈q·count⌉` sample, clamped into
+    /// `[min, max]` so `percentile(0.0) == min()` and
+    /// `percentile(1.0) == max()`. `None` when empty.
+    ///
+    /// Deterministic (pure bucket arithmetic) and monotone in `q`.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_upper(b).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Adds every sample of `other` into `self`.
+    ///
+    /// Component-wise sums and min/max, so for any histograms `a ⊕ b = b
+    /// ⊕ a` and `(a ⊕ b) ⊕ c = a ⊕ (b ⊕ c)`: aggregation cannot observe
+    /// the order solves completed in.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (slot, &c) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *slot += c;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Serializes the histogram as one strict-JSON object: exact summary
+    /// statistics, the standard quantiles, and the non-empty buckets as
+    /// `[bit_length, count]` pairs.
+    pub fn to_json(&self) -> String {
+        let quantile = |q: f64| match self.percentile(q) {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        };
+        let opt = |v: Option<u64>| match v {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        };
+        let buckets: Vec<String> = self
+            .nonzero_buckets()
+            .into_iter()
+            .map(|(b, c)| format!("[{b}, {c}]"))
+            .collect();
+        format!(
+            "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+             \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [{}]}}",
+            self.count,
+            self.sum,
+            opt(self.min()),
+            opt(self.max()),
+            quantile(0.50),
+            quantile(0.90),
+            quantile(0.99),
+            buckets.join(", ")
+        )
+    }
+
+    /// Appends this histogram to a Prometheus exposition under metric
+    /// `name` (cumulative `_bucket{le=...}` series plus `_sum`/`_count`,
+    /// the classic histogram type).
+    pub(crate) fn push_prometheus(&self, out: &mut String, name: &str, help_key: &str) {
+        out.push_str(&format!(
+            "# HELP {name} Per-solve distribution of \"{}\"\n# TYPE {name} histogram\n",
+            json_escape(help_key)
+        ));
+        for (b, _) in self.nonzero_buckets() {
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{}\"}} {}\n",
+                Self::bucket_upper(b),
+                self.cumulative_le(b)
+            ));
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", self.count));
+        out.push_str(&format!("{name}_sum {}\n", self.sum));
+        out.push_str(&format!("{name}_count {}\n", self.count));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+
+    #[test]
+    fn empty_histogram_has_no_statistics() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.percentile(0.5), None);
+        validate(&h.to_json()).unwrap();
+        assert!(h.to_json().contains("\"min\": null"));
+    }
+
+    #[test]
+    fn bucketing_follows_bit_length() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper(0), 0);
+        assert_eq!(Histogram::bucket_upper(3), 7);
+        assert_eq!(Histogram::bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_hit_exact_extremes_and_stay_monotone() {
+        let mut h = Histogram::new();
+        for v in [3, 9, 17, 1000, 0] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), Some(0));
+        assert_eq!(h.percentile(1.0), Some(1000));
+        let mut last = 0;
+        for i in 0..=100 {
+            let p = h.percentile(i as f64 / 100.0).unwrap();
+            assert!(p >= last, "percentile dipped at q={i}%");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let samples = [5u64, 0, 123, 9, 9, 1 << 40, 77];
+        let mut all = Histogram::new();
+        for v in samples {
+            all.record(v);
+        }
+        let (left, right) = samples.split_at(3);
+        let (mut a, mut b) = (Histogram::new(), Histogram::new());
+        left.iter().for_each(|&v| a.record(v));
+        right.iter().for_each(|&v| b.record(v));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab, all);
+    }
+
+    #[test]
+    fn json_is_strict_and_carries_buckets() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 3, 100] {
+            h.record(v);
+        }
+        let doc = h.to_json();
+        validate(&doc).unwrap_or_else(|e| panic!("invalid histogram JSON: {e}\n{doc}"));
+        assert!(doc.contains("\"count\": 4"));
+        assert!(doc.contains("\"sum\": 106"));
+        assert!(doc.contains("[7, 1]"), "100 has bit length 7: {doc}");
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 3, 100] {
+            h.record(v);
+        }
+        let mut out = String::new();
+        h.push_prometheus(&mut out, "lubt_demo_pivots", "demo.pivots");
+        assert!(out.contains("# TYPE lubt_demo_pivots histogram"));
+        assert!(out.contains("lubt_demo_pivots_bucket{le=\"1\"} 1"));
+        assert!(out.contains("lubt_demo_pivots_bucket{le=\"3\"} 3"));
+        assert!(out.contains("lubt_demo_pivots_bucket{le=\"127\"} 4"));
+        assert!(out.contains("lubt_demo_pivots_bucket{le=\"+Inf\"} 4"));
+        assert!(out.contains("lubt_demo_pivots_count 4"));
+    }
+}

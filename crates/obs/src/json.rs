@@ -1,10 +1,12 @@
-//! Strict JSON toolkit: a total number formatter and a
-//! tolerant-of-nothing RFC 8259 validator.
+//! Strict JSON toolkit: a total number formatter, a tolerant-of-nothing
+//! RFC 8259 validator, and a small value parser.
 //!
 //! Every hand-built JSON emitter in the workspace formats floats through
 //! [`json_f64`] (non-finite → `null`, so no document can ever carry a
 //! bare `NaN`/`inf` token), and the test suites re-parse every emitted
-//! document with [`validate`].
+//! document with [`validate`]. Consumers that need the parsed values —
+//! `lubt report` diffing two `BENCH_*.json` files — go through [`parse`],
+//! which applies exactly the same strictness rules.
 
 use std::fmt;
 
@@ -69,6 +71,105 @@ impl std::error::Error for JsonError {}
 /// the recursive-descent parser safe on adversarial input.
 const MAX_DEPTH: usize = 256;
 
+/// A parsed JSON value, as produced by [`parse`].
+///
+/// Objects keep their key order in a plain pair vector — the documents
+/// this crate emits are small and sorted, so ordered linear lookup beats
+/// pulling in a map and keeps round-trip diffs readable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Num(f64),
+    /// A string, with escapes resolved.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in document order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member `key` of an object, `None` for other kinds or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Walks a `.`-free key path through nested objects.
+    pub fn get_path(&self, path: &[&str]) -> Option<&Value> {
+        path.iter().try_fold(self, |v, k| v.get(k))
+    }
+
+    /// The number, if this is a [`Value::Num`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact unsigned integer (integral, in the `f64`
+    /// exactly-representable range).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(x) if *x >= 0.0 && *x == x.trunc() && *x < 9.007_199_254_740_992e15 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a [`Value::Arr`].
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is a [`Value::Obj`].
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+}
+
+/// Parses exactly one strict RFC 8259 JSON document into a [`Value`].
+///
+/// Same grammar as [`validate`]; the only difference is that the values
+/// are kept.
+///
+/// # Errors
+///
+/// Returns the first offending byte offset and reason.
+pub fn parse(text: &str) -> Result<Value, JsonError> {
+    let bytes = text.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(p.err("trailing data after the top-level value"));
+    }
+    Ok(value)
+}
+
 /// Validates that `text` is exactly one strict RFC 8259 JSON document.
 ///
 /// Rejects everything the lenient parsers people usually reach for let
@@ -76,15 +177,7 @@ const MAX_DEPTH: usize = 256;
 /// comments, unescaped control characters, leading zeros, trailing
 /// garbage after the top-level value.
 pub fn validate(text: &str) -> Result<(), JsonError> {
-    let bytes = text.as_bytes();
-    let mut p = Parser { bytes, pos: 0 };
-    p.skip_ws();
-    p.value(0)?;
-    p.skip_ws();
-    if p.pos != bytes.len() {
-        return Err(p.err("trailing data after the top-level value"));
-    }
-    Ok(())
+    parse(text).map(|_| ())
 }
 
 struct Parser<'a> {
@@ -110,52 +203,54 @@ impl Parser<'_> {
         }
     }
 
-    fn expect_literal(&mut self, lit: &str) -> Result<(), JsonError> {
+    fn expect_literal(&mut self, lit: &str, value: Value) -> Result<Value, JsonError> {
         if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
             self.pos += lit.len();
-            Ok(())
+            Ok(value)
         } else {
             Err(self.err(&format!("expected `{lit}`")))
         }
     }
 
-    fn value(&mut self, depth: usize) -> Result<(), JsonError> {
+    fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
         if depth > MAX_DEPTH {
             return Err(self.err("nesting deeper than 256 levels"));
         }
         match self.peek() {
             Some(b'{') => self.object(depth),
             Some(b'[') => self.array(depth),
-            Some(b'"') => self.string(),
-            Some(b't') => self.expect_literal("true"),
-            Some(b'f') => self.expect_literal("false"),
-            Some(b'n') => self.expect_literal("null"),
-            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.expect_literal("true", Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Value::Bool(false)),
+            Some(b'n') => self.expect_literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number().map(Value::Num),
             Some(_) => Err(self.err("expected a JSON value")),
             None => Err(self.err("unexpected end of input")),
         }
     }
 
-    fn object(&mut self, depth: usize) -> Result<(), JsonError> {
+    fn object(&mut self, depth: usize) -> Result<Value, JsonError> {
         self.pos += 1; // consume `{`
         self.skip_ws();
+        let mut pairs = Vec::new();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(());
+            return Ok(Value::Obj(pairs));
         }
         loop {
             self.skip_ws();
             if self.peek() != Some(b'"') {
                 return Err(self.err("object keys must be strings"));
             }
-            self.string()?;
+            let key = self.string()?;
             self.skip_ws();
             if self.peek() != Some(b':') {
                 return Err(self.err("expected `:` after object key"));
             }
             self.pos += 1;
             self.skip_ws();
-            self.value(depth + 1)?;
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
             self.skip_ws();
             match self.peek() {
                 Some(b',') => {
@@ -167,23 +262,24 @@ impl Parser<'_> {
                 }
                 Some(b'}') => {
                     self.pos += 1;
-                    return Ok(());
+                    return Ok(Value::Obj(pairs));
                 }
                 _ => return Err(self.err("expected `,` or `}` in object")),
             }
         }
     }
 
-    fn array(&mut self, depth: usize) -> Result<(), JsonError> {
+    fn array(&mut self, depth: usize) -> Result<Value, JsonError> {
         self.pos += 1; // consume `[`
         self.skip_ws();
+        let mut items = Vec::new();
         if self.peek() == Some(b']') {
             self.pos += 1;
-            return Ok(());
+            return Ok(Value::Arr(items));
         }
         loop {
             self.skip_ws();
-            self.value(depth + 1)?;
+            items.push(self.value(depth + 1)?);
             self.skip_ws();
             match self.peek() {
                 Some(b',') => {
@@ -195,36 +291,91 @@ impl Parser<'_> {
                 }
                 Some(b']') => {
                     self.pos += 1;
-                    return Ok(());
+                    return Ok(Value::Arr(items));
                 }
                 _ => return Err(self.err("expected `,` or `]` in array")),
             }
         }
     }
 
-    fn string(&mut self) -> Result<(), JsonError> {
+    /// Reads four hex digits of a `\u` escape as a code unit.
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut unit = 0u32;
+        for _ in 0..4 {
+            match self.peek() {
+                Some(c) if c.is_ascii_hexdigit() => {
+                    unit = unit * 16 + (c as char).to_digit(16).unwrap();
+                    self.pos += 1;
+                }
+                _ => return Err(self.err("\\u escape needs four hex digits")),
+            }
+        }
+        Ok(unit)
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
         self.pos += 1; // consume opening quote
+        let mut out = String::new();
         loop {
             match self.peek() {
                 None => return Err(self.err("unterminated string")),
                 Some(b'"') => {
                     self.pos += 1;
-                    return Ok(());
+                    return Ok(out);
                 }
                 Some(b'\\') => {
                     self.pos += 1;
                     match self.peek() {
-                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                        Some(c @ (b'"' | b'\\' | b'/')) => {
+                            out.push(c as char);
+                            self.pos += 1;
+                        }
+                        Some(b'b') => {
+                            out.push('\u{8}');
+                            self.pos += 1;
+                        }
+                        Some(b'f') => {
+                            out.push('\u{c}');
+                            self.pos += 1;
+                        }
+                        Some(b'n') => {
+                            out.push('\n');
+                            self.pos += 1;
+                        }
+                        Some(b'r') => {
+                            out.push('\r');
+                            self.pos += 1;
+                        }
+                        Some(b't') => {
+                            out.push('\t');
                             self.pos += 1;
                         }
                         Some(b'u') => {
                             self.pos += 1;
-                            for _ in 0..4 {
-                                match self.peek() {
-                                    Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
-                                    _ => return Err(self.err("\\u escape needs four hex digits")),
+                            let unit = self.hex4()?;
+                            // Combine a valid surrogate pair; a lone
+                            // surrogate stays *valid* (the grammar allows
+                            // any \uXXXX) but decodes to U+FFFD.
+                            let c = if (0xD800..0xDC00).contains(&unit)
+                                && self.bytes[self.pos..].starts_with(b"\\u")
+                            {
+                                let mark = self.pos;
+                                self.pos += 2;
+                                let low = self.hex4()?;
+                                if (0xDC00..0xE000).contains(&low) {
+                                    let combined =
+                                        0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(combined).unwrap_or('\u{FFFD}')
+                                } else {
+                                    // Not a low surrogate: leave it for the
+                                    // next loop iteration to decode.
+                                    self.pos = mark;
+                                    '\u{FFFD}'
                                 }
-                            }
+                            } else {
+                                char::from_u32(unit).unwrap_or('\u{FFFD}')
+                            };
+                            out.push(c);
                         }
                         _ => return Err(self.err("invalid escape sequence")),
                     }
@@ -232,12 +383,31 @@ impl Parser<'_> {
                 Some(c) if c < 0x20 => {
                     return Err(self.err("unescaped control character in string"))
                 }
-                Some(_) => self.pos += 1,
+                Some(c) if c < 0x80 => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: the input is a &str, so decoding
+                    // from the current boundary cannot fail.
+                    let ch = self.as_str_from(self.pos);
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
             }
         }
     }
 
-    fn number(&mut self) -> Result<(), JsonError> {
+    /// The `char` starting at byte offset `at` (must be a boundary).
+    fn as_str_from(&self, at: usize) -> char {
+        std::str::from_utf8(&self.bytes[at..])
+            .ok()
+            .and_then(|s| s.chars().next())
+            .unwrap_or('\u{FFFD}')
+    }
+
+    fn number(&mut self) -> Result<f64, JsonError> {
+        let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
@@ -277,7 +447,9 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        Ok(())
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        text.parse()
+            .map_err(|_| self.err("number out of representable range"))
     }
 }
 
@@ -361,5 +533,36 @@ mod tests {
         let nasty = "quote\" back\\ newline\n tab\t ctrl\u{1} unicode✓";
         let doc = format!("\"{}\"", json_escape(nasty));
         validate(&doc).unwrap();
+    }
+
+    #[test]
+    fn parse_builds_the_value_tree() {
+        let v = parse("{\"a\": [1, 2.5, null], \"b\": {\"c\": \"hi\\n\", \"d\": true}}").unwrap();
+        assert_eq!(v.get_path(&["b", "c"]).unwrap().as_str(), Some("hi\n"));
+        assert_eq!(v.get_path(&["b", "d"]), Some(&Value::Bool(true)));
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[1].as_u64(), None, "2.5 is not an exact integer");
+        assert_eq!(arr[2], Value::Null);
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.get("a").unwrap().get("x"), None, "arrays have no keys");
+    }
+
+    #[test]
+    fn parse_resolves_escapes_including_surrogate_pairs() {
+        let v = parse("\"\\u0041\\uD83D\\uDE00\\t\"").unwrap();
+        assert_eq!(v.as_str(), Some("A😀\t"));
+        // A lone surrogate stays valid (grammar-level) but decodes to the
+        // replacement character, matching the validator's acceptance.
+        let v = parse("\"\\uD800x\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{FFFD}x"));
+    }
+
+    #[test]
+    fn escape_format_parse_roundtrips_exactly() {
+        let nasty = "quote\" back\\ newline\n tab\t ctrl\u{1} unicode✓";
+        let doc = format!("\"{}\"", json_escape(nasty));
+        assert_eq!(parse(&doc).unwrap().as_str(), Some(nasty));
     }
 }

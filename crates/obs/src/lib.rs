@@ -16,6 +16,14 @@
 //!   snapshots into a [`SolveTrace`], the serializable artifact behind
 //!   `lubt solve --trace-json` and `lubt batch --metrics`.
 //!
+//! Above the per-solve layer sits the aggregation layer: a deterministic
+//! log-bucketed [`Histogram`] and an [`AggregateTrace`] that folds many
+//! [`SolveTrace`]s into suite-level counters, maxima and per-solve
+//! distributions — the data model behind `lubt bench` / `lubt report`
+//! benchmark files. Both traces also render as Prometheus text
+//! expositions (see [`prometheus`]) so the same counters are scrapeable
+//! when LUBT runs as a service.
+//!
 //! # Determinism carve-out
 //!
 //! The workspace guarantees byte-identical default output across thread
@@ -41,9 +49,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod aggregate;
+mod histogram;
 pub mod json;
+pub mod prometheus;
 mod recorder;
 mod trace;
 
-pub use recorder::{noop, NoopRecorder, PhaseTimer, Recorder, TraceRecorder};
+pub use aggregate::{is_determinism_exempt_key, AggregateTrace, DETERMINISM_EXEMPT_PREFIXES};
+pub use histogram::Histogram;
+pub use recorder::{noop, NoopRecorder, PhaseTimer, Recorder, TraceRecorder, DEFAULT_EVENT_CAP};
 pub use trace::{SolveTrace, TraceEvent};

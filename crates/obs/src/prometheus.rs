@@ -1,0 +1,72 @@
+//! Prometheus text-format helpers shared by [`crate::SolveTrace`] and
+//! [`crate::AggregateTrace`].
+//!
+//! Naming convention (DESIGN.md §11): every dotted recorder key maps to
+//! one metric family `lubt_<key with non-alphanumerics → '_'>` plus a
+//! kind suffix — counters get `_total`, running maxima `_max`, phase
+//! timers `_seconds_total` (converted from nanoseconds), per-solve
+//! histograms `_per_solve`. The original dotted key is preserved in the
+//! `# HELP` line so dashboards can be traced back to DESIGN.md's key
+//! tables.
+
+/// Maps a dotted recorder key to a Prometheus metric name body:
+/// `lubt_` + the key with every non-`[a-zA-Z0-9_]` byte replaced by `_`
+/// (a leading digit additionally gets a `_` prefix).
+pub fn metric_name(key: &str) -> String {
+    let mut out = String::with_capacity(key.len() + 5);
+    out.push_str("lubt_");
+    for (i, c) in key.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Formats an `f64` sample value the way the exposition format expects:
+/// non-finite values become the `NaN` / `+Inf` / `-Inf` tokens Prometheus
+/// defines (unlike JSON, the text format has them).
+pub fn sample_f64(x: f64) -> String {
+    if x.is_nan() {
+        "NaN".to_string()
+    } else if x == f64::INFINITY {
+        "+Inf".to_string()
+    } else if x == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Appends one single-sample metric family (`HELP` + `TYPE` + sample).
+pub(crate) fn push_sample(out: &mut String, name: &str, mtype: &str, help: &str, value: &str) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} {mtype}\n{name} {value}\n"
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(metric_name("simplex.pivots"), "lubt_simplex_pivots");
+        assert_eq!(metric_name("par.worker3.steals"), "lubt_par_worker3_steals");
+        assert_eq!(metric_name("weird key/x"), "lubt_weird_key_x");
+        assert_eq!(metric_name("9lives"), "lubt__9lives");
+    }
+
+    #[test]
+    fn non_finite_samples_use_prometheus_tokens() {
+        assert_eq!(sample_f64(f64::NAN), "NaN");
+        assert_eq!(sample_f64(f64::INFINITY), "+Inf");
+        assert_eq!(sample_f64(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(sample_f64(1.5), "1.5");
+    }
+}

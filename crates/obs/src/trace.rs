@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 
 use crate::json::{json_escape, json_f64};
+use crate::prometheus::{metric_name, push_sample, sample_f64};
 
 /// One entry of the bounded event log.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +56,22 @@ impl SolveTrace {
     /// Total wall-clock nanoseconds recorded under `key`.
     pub fn timing_ns(&self, key: &str) -> u64 {
         self.timings_ns.get(key).copied().unwrap_or(0)
+    }
+
+    /// A warn-level human-readable note when the bounded event log
+    /// overflowed and dropped events, `None` otherwise. The CLI prints
+    /// this next to its trace/metrics reports so a silently clipped log
+    /// becomes a visible finding (the JSON document alone buries it).
+    pub fn events_dropped_note(&self) -> Option<String> {
+        (self.events_dropped > 0).then(|| {
+            format!(
+                "warning[trace-events-dropped]: event log overflowed; {} event(s) \
+                 dropped after the first {} (raise the recorder's event cap \
+                 to keep them)",
+                self.events_dropped,
+                self.events.len()
+            )
+        })
     }
 
     /// `true` when nothing at all was recorded.
@@ -123,6 +140,58 @@ impl SolveTrace {
         s.push_str("}\n  }\n}\n");
         s
     }
+
+    /// Renders the trace in the Prometheus text exposition format:
+    /// counters as `<name>_total`, maxima as `<name>_max` gauges, gauges
+    /// verbatim, phase timers as `<name>_seconds_total`, plus the event
+    /// drop counter. Naming rules live in [`crate::prometheus`].
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (key, &v) in &self.counters {
+            push_sample(
+                &mut out,
+                &format!("{}_total", metric_name(key)),
+                "counter",
+                &format!("Counter \"{}\"", json_escape(key)),
+                &v.to_string(),
+            );
+        }
+        for (key, &v) in &self.maxima {
+            push_sample(
+                &mut out,
+                &format!("{}_max", metric_name(key)),
+                "gauge",
+                &format!("Running maximum \"{}\"", json_escape(key)),
+                &v.to_string(),
+            );
+        }
+        for (key, &v) in &self.gauges {
+            push_sample(
+                &mut out,
+                &metric_name(key),
+                "gauge",
+                &format!("Gauge \"{}\"", json_escape(key)),
+                &sample_f64(v),
+            );
+        }
+        for (key, &ns) in &self.timings_ns {
+            push_sample(
+                &mut out,
+                &format!("{}_seconds_total", metric_name(key)),
+                "counter",
+                &format!("Wall-clock total of phase \"{}\"", json_escape(key)),
+                &sample_f64(ns as f64 / 1e9),
+            );
+        }
+        push_sample(
+            &mut out,
+            "lubt_trace_events_dropped_total",
+            "counter",
+            "Events discarded by the bounded log",
+            &self.events_dropped.to_string(),
+        );
+        out
+    }
 }
 
 fn push_sep(s: &mut String, first: &mut bool) {
@@ -190,6 +259,30 @@ mod tests {
         // Deterministic sections come before the timings section.
         assert!(doc.find("\"counters\"").unwrap() < timings_at);
         assert!(doc.find("\"events\"").unwrap() < timings_at);
+    }
+
+    #[test]
+    fn prometheus_rendering_covers_every_kind() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE lubt_simplex_pivots_total counter"));
+        assert!(text.contains("lubt_simplex_pivots_total 120"));
+        assert!(text.contains("# TYPE lubt_pool_queue_high_water_max gauge"));
+        assert!(text.contains("lubt_time_lp_seconds_total 0.001234567"));
+        // Non-finite gauges use the exposition tokens, never bare JSON-isms.
+        assert!(text.contains("lubt_ebf_residual_violation NaN"));
+        assert!(text.contains("lubt_trace_events_dropped_total 0"));
+    }
+
+    #[test]
+    fn events_dropped_note_only_fires_on_overflow() {
+        assert_eq!(sample().events_dropped_note(), None);
+        let rec = TraceRecorder::with_event_cap(1);
+        rec.event("k", "kept");
+        rec.event("k", "dropped");
+        rec.event("k", "dropped too");
+        let note = rec.snapshot().events_dropped_note().expect("overflowed");
+        assert!(note.contains("warning[trace-events-dropped]"), "{note}");
+        assert!(note.contains("2 event(s)"), "{note}");
     }
 
     #[test]

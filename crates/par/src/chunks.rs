@@ -273,6 +273,24 @@ mod tests {
     }
 
     #[test]
+    fn every_scheduling_key_is_determinism_exempt() {
+        // The aggregation layer (lubt_obs::AggregateTrace) quarantines
+        // scheduling counters by key prefix; every key this crate emits
+        // must fall under one of the exempt prefixes or nondeterministic
+        // steal counts would leak into exact cross-run comparisons.
+        let rec = lubt_obs::TraceRecorder::new();
+        let _ = parallel_map_traced(4, 100, 4, &rec, |i| i);
+        let t = rec.snapshot();
+        assert!(!t.counters.is_empty());
+        for key in t.counters.keys().chain(t.maxima.keys()) {
+            assert!(
+                lubt_obs::is_determinism_exempt_key(key),
+                "scheduling key {key:?} is not covered by the exemption contract"
+            );
+        }
+    }
+
+    #[test]
     fn worker_panic_propagates() {
         let err = std::panic::catch_unwind(|| {
             parallel_map(4, 64, 1, |i| {

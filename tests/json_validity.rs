@@ -88,3 +88,65 @@ fn lint_diagnostics_are_strict_json() {
         "lint diagnostics JSON",
     );
 }
+
+/// A Prometheus text-exposition sample line must be `<name> <value>` with
+/// a `lubt_`-prefixed metric name and a parseable (or canonical
+/// non-finite) value; everything else must be a `# HELP` / `# TYPE`
+/// comment.
+fn assert_prometheus(exposition: &str, what: &str) {
+    assert!(!exposition.is_empty(), "{what} is empty");
+    for line in exposition.lines() {
+        if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("{what}: malformed sample line {line:?}"));
+        let bare = name.split('{').next().unwrap();
+        assert!(
+            bare.starts_with("lubt_")
+                && bare.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "{what}: bad metric name in {line:?}"
+        );
+        assert!(
+            value.parse::<f64>().is_ok() || ["+Inf", "-Inf", "NaN"].contains(&value),
+            "{what}: bad sample value in {line:?}"
+        );
+    }
+}
+
+#[test]
+fn bench_document_report_and_prometheus_expositions_are_strict() {
+    let run = lubt_bench::suite::run(&lubt_bench::suite::SuiteConfig {
+        label: "json-validity".to_string(),
+        threads: 2,
+        sizes: vec![5],
+        interior_cap: 5,
+    })
+    .expect("pinned suite solves");
+    let doc = run.to_json();
+    assert_strict(&doc, "bench document");
+    assert!(doc.contains("\"schema\": \"lubt-bench-v1\""));
+    assert_strict(&run.aggregate.to_json(), "aggregate trace JSON");
+
+    let report =
+        lubt_bench::report::compare(&doc, &doc, &lubt_bench::report::ReportOptions::default())
+            .expect("a document compares to itself");
+    assert!(!report.failed());
+    assert_strict(&report.to_json(), "report JSON");
+
+    assert_prometheus(&run.aggregate.to_prometheus(), "aggregate exposition");
+}
+
+#[test]
+fn solve_trace_prometheus_exposition_is_well_formed() {
+    let builder = LubtBuilder::new(square())
+        .source(Point::new(5.0, 5.0))
+        .bounds(DelayBounds::uniform(4, 12.0, 15.0));
+    let (result, trace) = builder.solve_traced();
+    assert!(result.is_ok());
+    let exposition = trace.to_prometheus();
+    assert_prometheus(&exposition, "solve trace exposition");
+    assert!(exposition.contains("lubt_simplex_pivots_total"));
+    assert!(exposition.contains("lubt_time_lp_seconds_total"));
+}

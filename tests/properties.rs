@@ -224,3 +224,89 @@ proptest! {
         }
     }
 }
+
+/// Builds a histogram over `vals`.
+fn hist(vals: &[u64]) -> lubt::obs::Histogram {
+    let mut h = lubt::obs::Histogram::new();
+    for &v in vals {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Histogram merge is commutative and associative — the property that
+    /// makes `AggregateTrace` folds independent of completion order.
+    #[test]
+    fn histogram_merge_is_commutative_and_associative(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..40),
+        b in proptest::collection::vec(0u64..1_000, 0..40),
+        c in proptest::collection::vec(0u64..40, 0..40),
+    ) {
+        let (ha, hb, hc) = (hist(&a), hist(&b), hist(&c));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+    }
+
+    /// Percentiles are monotone in `q` and always land inside the observed
+    /// `[min, max]` range, despite the log-bucket approximation.
+    #[test]
+    fn histogram_percentiles_are_monotone_and_bounded(
+        vals in proptest::collection::vec(0u64..1_000_000_000, 1..80),
+        qs in proptest::collection::vec(0.0..1.0f64, 2..6),
+    ) {
+        let h = hist(&vals);
+        let mut qs = qs;
+        qs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let ps: Vec<u64> = qs
+            .iter()
+            .map(|&q| h.percentile(q).expect("non-empty histogram"))
+            .collect();
+        for w in ps.windows(2) {
+            prop_assert!(w[0] <= w[1], "percentiles not monotone: {ps:?} for {qs:?}");
+        }
+        let lo = *vals.iter().min().unwrap();
+        let hi = *vals.iter().max().unwrap();
+        for &p in &ps {
+            prop_assert!((lo..=hi).contains(&p), "percentile {p} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Sharding the recordings over real worker threads and merging the
+    /// shard histograms reproduces the serial histogram exactly, whatever
+    /// the shard count — bucket contents cannot depend on scheduling.
+    #[test]
+    fn histogram_is_sharding_invariant_across_thread_counts(
+        vals in proptest::collection::vec(0u64..1_000_000_000, 1..120),
+        shards in 1usize..8,
+    ) {
+        let serial = hist(&vals);
+        let chunk = vals.len().div_ceil(shards);
+        let parts: Vec<lubt::obs::Histogram> = std::thread::scope(|scope| {
+            vals.chunks(chunk)
+                .map(|part| scope.spawn(move || hist(part)))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|handle| handle.join().expect("shard worker"))
+                .collect()
+        });
+        // Merge in reverse completion order for good measure.
+        let mut merged = lubt::obs::Histogram::new();
+        for part in parts.iter().rev() {
+            merged.merge(part);
+        }
+        prop_assert_eq!(merged, serial);
+    }
+}
