@@ -185,16 +185,19 @@ fn str_at<'a>(doc: &'a Value, path: &[&str]) -> Result<&'a str, String> {
         .ok_or_else(|| format!("missing string at {}", path.join(".")))
 }
 
-/// Flattens `"deterministic".aggregate.{counters,maxima}` into
-/// `counters.<key>` / `maxima.<key>` entries, plus events totals.
-fn deterministic_scalars(doc: &Value) -> Result<BTreeMap<String, u64>, String> {
+/// Flattens `<root>.aggregate.{counters,maxima}` into `counters.<key>` /
+/// `maxima.<key>` entries, plus events and solve totals.
+fn scalars_under(doc: &Value, root: &[&str]) -> Result<BTreeMap<String, u64>, String> {
+    let path = |tail: &str| -> String { format!("{}.{tail}", root.join(".")) };
+    let mut agg_path = root.to_vec();
+    agg_path.push("aggregate");
     let agg = doc
-        .get_path(&["deterministic", "aggregate"])
-        .ok_or("missing deterministic.aggregate")?;
+        .get_path(&agg_path)
+        .ok_or_else(|| format!("missing {}", path("aggregate")))?;
     let mut out = BTreeMap::new();
     for section in ["counters", "maxima"] {
         let Some(pairs) = agg.get(section).and_then(Value::as_object) else {
-            return Err(format!("missing deterministic.aggregate.{section}"));
+            return Err(format!("missing {}.{section}", path("aggregate")));
         };
         for (k, v) in pairs {
             let n = v
@@ -208,13 +211,63 @@ fn deterministic_scalars(doc: &Value) -> Result<BTreeMap<String, u64>, String> {
             out.insert(key.to_string(), n);
         }
     }
-    if let Some(n) = doc
-        .get_path(&["deterministic", "solves"])
-        .and_then(Value::as_u64)
-    {
+    let mut solves_path = root.to_vec();
+    solves_path.push("solves");
+    if let Some(n) = doc.get_path(&solves_path).and_then(Value::as_u64) {
         out.insert("solves".to_string(), n);
     }
     Ok(out)
+}
+
+fn deterministic_scalars(doc: &Value) -> Result<BTreeMap<String, u64>, String> {
+    scalars_under(doc, &["deterministic"])
+}
+
+/// The `"deterministic".extended` scalars, when the document carries the
+/// section (documents predating the revised backend do not).
+fn extended_scalars(doc: &Value) -> Result<Option<BTreeMap<String, u64>>, String> {
+    if doc.get_path(&["deterministic", "extended"]).is_none() {
+        return Ok(None);
+    }
+    scalars_under(doc, &["deterministic", "extended"]).map(Some)
+}
+
+/// Exact comparison of two scalar maps under a subject prefix; shared by
+/// the core and extended aggregates.
+fn compare_scalars(
+    report: &mut Report,
+    prefix: &str,
+    base: &BTreeMap<String, u64>,
+    cur: &BTreeMap<String, u64>,
+) {
+    for (key, &bv) in base {
+        match cur.get(key) {
+            Some(&cv) if cv == bv => report.unchanged += 1,
+            Some(&cv) => report.findings.push(Finding {
+                severity: if cv > bv {
+                    Severity::Regression
+                } else {
+                    Severity::Improvement
+                },
+                subject: format!("{prefix} {key}"),
+                detail: format!("{bv} -> {cv} ({})", pct(bv as f64, cv as f64)),
+            }),
+            None => report.findings.push(Finding {
+                severity: Severity::Regression,
+                subject: format!("{prefix} {key}"),
+                detail: "present in baseline, missing in current".to_string(),
+            }),
+        }
+    }
+    for key in cur.keys() {
+        if !base.contains_key(key) {
+            report.findings.push(Finding {
+                severity: Severity::Note,
+                subject: format!("{prefix} {key}"),
+                detail: "new in current (absent from baseline)".to_string(),
+            });
+        }
+    }
 }
 
 /// Indexes instance rows by `name/backend`; values are the row's numeric
@@ -355,33 +408,23 @@ pub fn compare(baseline: &str, current: &str, opts: &ReportOptions) -> Result<Re
     // Aggregate deterministic scalars: exact comparison.
     let base_scalars = deterministic_scalars(&base)?;
     let cur_scalars = deterministic_scalars(&cur)?;
-    for (key, &bv) in &base_scalars {
-        match cur_scalars.get(key) {
-            Some(&cv) if cv == bv => report.unchanged += 1,
-            Some(&cv) => report.findings.push(Finding {
-                severity: if cv > bv {
-                    Severity::Regression
-                } else {
-                    Severity::Improvement
-                },
-                subject: format!("aggregate {key}"),
-                detail: format!("{bv} -> {cv} ({})", pct(bv as f64, cv as f64)),
-            }),
-            None => report.findings.push(Finding {
-                severity: Severity::Regression,
-                subject: format!("aggregate {key}"),
-                detail: "present in baseline, missing in current".to_string(),
-            }),
-        }
-    }
-    for key in cur_scalars.keys() {
-        if !base_scalars.contains_key(key) {
-            report.findings.push(Finding {
-                severity: Severity::Note,
-                subject: format!("aggregate {key}"),
-                detail: "new in current (absent from baseline)".to_string(),
-            });
-        }
+    compare_scalars(&mut report, "aggregate", &base_scalars, &cur_scalars);
+
+    // Extended scope (revised backend, --full sizes): exact comparison
+    // when both documents carry it; one-sided presence is structural.
+    match (extended_scalars(&base)?, extended_scalars(&cur)?) {
+        (Some(b), Some(c)) => compare_scalars(&mut report, "extended", &b, &c),
+        (None, Some(_)) => report.findings.push(Finding {
+            severity: Severity::Note,
+            subject: "extended".to_string(),
+            detail: "current carries an extended scope the baseline predates".to_string(),
+        }),
+        (Some(_), None) => report.findings.push(Finding {
+            severity: Severity::Regression,
+            subject: "extended".to_string(),
+            detail: "present in baseline, missing in current".to_string(),
+        }),
+        (None, None) => {}
     }
 
     // Wall clock: ratio comparison with slack; only keys present in both
@@ -430,6 +473,7 @@ mod tests {
             threads: 1,
             sizes: vec![5],
             interior_cap: 4,
+            full: false,
         })
         .unwrap()
         .to_json()
@@ -505,6 +549,30 @@ mod tests {
         .unwrap();
         assert_eq!(ungated.timing_regressions(), 1);
         assert!(!ungated.failed());
+    }
+
+    #[test]
+    fn baseline_without_extended_scope_still_passes() {
+        // A baseline recorded before the revised backend existed has no
+        // "deterministic".extended member; a current run that carries one
+        // must compare clean (structural note, no regression) — this is
+        // the BENCH_seed.json gate after the kernel landed.
+        let d = doc();
+        let start = d.find(",\n    \"extended\"").expect("extended member");
+        let end = d
+            .find("\n  },\n  \"determinism_exempt\"")
+            .expect("deterministic close");
+        let old = format!("{}{}", &d[..start], &d[end..]);
+        validate(&old).unwrap();
+        let report = compare(&old, &d, &ReportOptions::default()).unwrap();
+        assert!(!report.failed(), "{}", report.to_text());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.severity == Severity::Note && f.subject == "extended"));
+        // The reverse direction loses coverage and must fail.
+        let report = compare(&d, &old, &ReportOptions::default()).unwrap();
+        assert!(report.failed());
     }
 
     #[test]

@@ -38,6 +38,10 @@ const DIE: f64 = 1000.0;
 const LOWER_FRAC: f64 = 0.9;
 const UPPER_FRAC: f64 = 1.4;
 
+/// Sink counts of the large `--full` instances, where the sparse kernel's
+/// advantage over the dense tableau is actually measurable.
+pub const FULL_SIZES: [usize; 2] = [256, 512];
+
 /// Suite configuration (sizes, thread count, backend cap).
 #[derive(Debug, Clone)]
 pub struct SuiteConfig {
@@ -51,6 +55,10 @@ pub struct SuiteConfig {
     pub sizes: Vec<usize>,
     /// Largest sink count the dense interior-point backend runs at.
     pub interior_cap: usize,
+    /// When `true`, also solves the [`FULL_SIZES`] instances (dense and
+    /// revised simplex) so kernel speedups are measurable; off by default
+    /// to keep the CI bench gate fast.
+    pub full: bool,
 }
 
 impl Default for SuiteConfig {
@@ -60,6 +68,7 @@ impl Default for SuiteConfig {
             threads: 0,
             sizes: vec![6, 10, 16],
             interior_cap: 12,
+            full: false,
         }
     }
 }
@@ -99,9 +108,15 @@ pub struct BenchRun {
     pub interior_cap: usize,
     /// Per-(instance, backend) rows, in pinned order.
     pub rows: Vec<InstanceRow>,
-    /// Fold of every per-solve trace (from the parallel leg; the
-    /// deterministic half is verified identical to the serial leg).
+    /// Fold of the **core** solves — the seed-era scope (dense simplex and
+    /// capped interior point at the base sizes), kept separate so its
+    /// deterministic half stays exactly comparable against baselines
+    /// recorded before the revised backend and `--full` sizes existed.
     pub aggregate: AggregateTrace,
+    /// Fold of the **extended** solves (revised backend, `--full`
+    /// instances); compared exactly only between documents that both
+    /// carry it.
+    pub extended: AggregateTrace,
     /// Resolved worker count of the parallel leg.
     pub threads: usize,
     /// Wall-clock per backend and leg (`time.suite.<backend>.threads<n>`),
@@ -136,35 +151,75 @@ struct Entry {
     name: String,
     backend: SolverBackend,
     backend_label: &'static str,
+    /// Batch/wall-clock group; also decides the aggregate fold (see
+    /// [`GROUPS`]).
+    group: &'static str,
     sinks: usize,
     problem: LubtProblem,
+}
+
+/// The batch groups in solve order: `(group name, backend, core)`. `core`
+/// groups fold into the seed-comparable aggregate; the rest fold into
+/// `extended`.
+const GROUPS: [(&str, SolverBackend, bool); 5] = [
+    ("simplex", SolverBackend::Simplex, true),
+    ("interior", SolverBackend::InteriorPoint, true),
+    ("revised", SolverBackend::Revised, false),
+    ("simplex-full", SolverBackend::Simplex, false),
+    ("revised-full", SolverBackend::Revised, false),
+];
+
+fn planned_problem(inst: &Instance) -> Result<LubtProblem, String> {
+    let radius = inst.radius();
+    let m = inst.sinks.len();
+    let topo = nearest_neighbor_topology(&inst.sinks, SourceMode::Given);
+    LubtProblem::new(
+        inst.sinks.clone(),
+        inst.source,
+        topo,
+        DelayBounds::uniform(m, LOWER_FRAC * radius, UPPER_FRAC * radius),
+    )
+    .map_err(|e| format!("suite instance {}: {e}", inst.name))
 }
 
 fn plan(config: &SuiteConfig) -> Result<Vec<Entry>, String> {
     let mut entries = Vec::new();
     for inst in pinned_instances(&config.sizes) {
-        let radius = inst.radius();
         let m = inst.sinks.len();
-        let topo = nearest_neighbor_topology(&inst.sinks, SourceMode::Given);
-        let problem = LubtProblem::new(
-            inst.sinks.clone(),
-            inst.source,
-            topo,
-            DelayBounds::uniform(m, LOWER_FRAC * radius, UPPER_FRAC * radius),
-        )
-        .map_err(|e| format!("suite instance {}: {e}", inst.name))?;
-        let mut backends = vec![(SolverBackend::Simplex, "simplex")];
+        let problem = planned_problem(&inst)?;
+        let mut backends = vec![(SolverBackend::Simplex, "simplex", "simplex")];
         if m <= config.interior_cap {
-            backends.push((SolverBackend::InteriorPoint, "interior"));
+            backends.push((SolverBackend::InteriorPoint, "interior", "interior"));
         }
-        for (backend, backend_label) in backends {
+        backends.push((SolverBackend::Revised, "revised", "revised"));
+        for (backend, backend_label, group) in backends {
             entries.push(Entry {
                 name: inst.name.clone(),
                 backend,
                 backend_label,
+                group,
                 sinks: m,
                 problem: problem.clone(),
             });
+        }
+    }
+    if config.full {
+        for inst in pinned_instances(&FULL_SIZES) {
+            let m = inst.sinks.len();
+            let problem = planned_problem(&inst)?;
+            for (backend, backend_label, group) in [
+                (SolverBackend::Simplex, "simplex", "simplex-full"),
+                (SolverBackend::Revised, "revised", "revised-full"),
+            ] {
+                entries.push(Entry {
+                    name: inst.name.clone(),
+                    backend,
+                    backend_label,
+                    group,
+                    sinks: m,
+                    problem: problem.clone(),
+                });
+            }
         }
     }
     Ok(entries)
@@ -178,19 +233,18 @@ fn solve_entries(
     entries: &[Entry],
     threads: usize,
     wall: &mut BTreeMap<String, u64>,
-) -> Result<(Vec<InstanceRow>, AggregateTrace), String> {
+) -> Result<(Vec<InstanceRow>, AggregateTrace, AggregateTrace), String> {
     let mut rows: Vec<Option<InstanceRow>> = vec![None; entries.len()];
     let mut aggregate = AggregateTrace::new();
-    for (backend, label) in [
-        (SolverBackend::Simplex, "simplex"),
-        (SolverBackend::InteriorPoint, "interior"),
-    ] {
+    let mut extended = AggregateTrace::new();
+    for (label, backend, core) in GROUPS {
         let indices: Vec<usize> = (0..entries.len())
-            .filter(|&i| entries[i].backend == backend)
+            .filter(|&i| entries[i].group == label)
             .collect();
         if indices.is_empty() {
             continue;
         }
+        debug_assert!(indices.iter().all(|&i| entries[i].backend == backend));
         let problems: Vec<LubtProblem> = indices
             .iter()
             .map(|&i| entries[i].problem.clone())
@@ -205,7 +259,11 @@ fn solve_entries(
             batch.solve_all_aggregated(&problems)
         };
         wall.insert(key.clone(), rec.snapshot().timing_ns(&key));
-        aggregate.merge(&agg);
+        if core {
+            aggregate.merge(&agg);
+        } else {
+            extended.merge(&agg);
+        }
         for (&i, result) in indices.iter().zip(results) {
             let entry = &entries[i];
             let solution = result
@@ -227,8 +285,8 @@ fn solve_entries(
     let rows = rows
         .into_iter()
         .collect::<Option<Vec<_>>>()
-        .expect("every entry belongs to exactly one backend batch");
-    Ok((rows, aggregate))
+        .expect("every entry belongs to exactly one batch group");
+    Ok((rows, aggregate, extended))
 }
 
 /// Runs the pinned suite: serial leg, parallel leg, determinism
@@ -242,26 +300,28 @@ fn solve_entries(
 pub fn run(config: &SuiteConfig) -> Result<BenchRun, String> {
     let entries = plan(config)?;
     let mut wall = BTreeMap::new();
-    let (serial_rows, serial_agg) = solve_entries(&entries, 1, &mut wall)?;
+    let (serial_rows, serial_agg, serial_ext) = solve_entries(&entries, 1, &mut wall)?;
     let threads = lubt_par::resolve_threads(config.threads);
-    let (rows, aggregate) = if threads == 1 {
-        (serial_rows, serial_agg)
+    let (rows, aggregate, extended) = if threads == 1 {
+        (serial_rows, serial_agg, serial_ext)
     } else {
-        let (par_rows, par_agg) = solve_entries(&entries, threads, &mut wall)?;
+        let (par_rows, par_agg, par_ext) = solve_entries(&entries, threads, &mut wall)?;
         if par_rows != serial_rows {
             return Err(format!(
                 "determinism violation: instance rows differ between 1 and {threads} workers"
             ));
         }
-        if par_agg.deterministic_json("") != serial_agg.deterministic_json("") {
+        if par_agg.deterministic_json("") != serial_agg.deterministic_json("")
+            || par_ext.deterministic_json("") != serial_ext.deterministic_json("")
+        {
             return Err(format!(
                 "determinism violation: aggregate deterministic halves differ \
                  between 1 and {threads} workers"
             ));
         }
-        // Keep the parallel leg's aggregate: the deterministic half is
-        // provably identical and the exempt half shows real scheduling.
-        (par_rows, par_agg)
+        // Keep the parallel leg's aggregates: the deterministic halves are
+        // provably identical and the exempt halves show real scheduling.
+        (par_rows, par_agg, par_ext)
     };
     Ok(BenchRun {
         label: config.label.clone(),
@@ -269,6 +329,7 @@ pub fn run(config: &SuiteConfig) -> Result<BenchRun, String> {
         interior_cap: config.interior_cap,
         rows,
         aggregate,
+        extended,
         threads,
         suite_wall_ns: wall,
     })
@@ -329,7 +390,16 @@ impl BenchRun {
         s.push_str(&format!("    \"solves\": {},\n", self.aggregate.solves));
         s.push_str("    \"aggregate\": ");
         s.push_str(&self.aggregate.deterministic_json("    "));
-        s.push_str("\n  },\n");
+        // Extended scope (revised backend, --full sizes) is its own
+        // member so the core aggregate above stays exactly comparable
+        // against pre-revised baselines.
+        s.push_str(",\n    \"extended\": {\n");
+        s.push_str(&format!(
+            "      \"solves\": {},\n      \"aggregate\": ",
+            self.extended.solves
+        ));
+        s.push_str(&self.extended.deterministic_json("      "));
+        s.push_str("\n    }\n  },\n");
 
         s.push_str("  \"determinism_exempt\": {\n");
         s.push_str(&format!(
@@ -353,6 +423,8 @@ impl BenchRun {
         s.push_str("},\n");
         s.push_str("    \"aggregate\": ");
         s.push_str(&self.aggregate.exempt_json("    "));
+        s.push_str(",\n    \"extended_aggregate\": ");
+        s.push_str(&self.extended.exempt_json("    "));
         s.push_str("\n  }\n}\n");
         s
     }
@@ -369,6 +441,7 @@ mod tests {
             threads: 2,
             sizes: vec![5, 8],
             interior_cap: 6,
+            full: false,
         }
     }
 
@@ -387,10 +460,34 @@ mod tests {
     #[test]
     fn suite_runs_and_serializes_strict_json_with_split_sections() {
         let run = run(&tiny()).unwrap();
-        // 2 sizes × 2 instances, interior only at m = 5 ⇒ 4 + 2 rows.
-        assert_eq!(run.rows.len(), 6);
+        // 2 sizes × 2 instances with simplex + revised everywhere and
+        // interior only at m = 5 ⇒ 8 + 2 rows; the 4 revised solves fold
+        // into the extended aggregate, not the seed-comparable core.
+        assert_eq!(run.rows.len(), 10);
         assert_eq!(run.aggregate.solves, 6);
+        assert_eq!(run.extended.solves, 4);
+        assert_eq!(run.extended.counter("lp.solves"), 4);
+        assert_eq!(run.aggregate.counter("lp.solves"), 0);
+        assert_eq!(run.extended.counter("simplex.solves"), 0);
         assert!(run.rows.iter().all(|r| r.cost > 0.0));
+        // The revised rows must agree with their dense twins exactly on
+        // the LP-level facts (same pivot rules, same certificates).
+        for r in run.rows.iter().filter(|r| r.backend == "revised") {
+            let dense = run
+                .rows
+                .iter()
+                .find(|d| d.backend == "simplex" && d.name == r.name)
+                .expect("every revised row has a dense twin");
+            assert!(
+                (dense.cost - r.cost).abs() <= 1e-6 * (1.0 + dense.cost.abs()),
+                "{}: dense {} vs revised {}",
+                r.name,
+                dense.cost,
+                r.cost
+            );
+            assert_eq!(dense.separation_rounds, r.separation_rounds, "{}", r.name);
+            assert_eq!(dense.steiner_rows, r.steiner_rows, "{}", r.name);
+        }
         let doc = run.to_json();
         validate(&doc).unwrap_or_else(|e| panic!("invalid bench JSON: {e}\n{doc}"));
         let det = doc.find("\"deterministic\"").unwrap();
@@ -402,7 +499,34 @@ mod tests {
         assert!(!det_half.contains("time."));
         assert!(!det_half.contains("threads"));
         assert!(!det_half.contains("machine"));
+        assert!(det_half.contains("\"extended\""));
         assert!(doc[exempt..].contains("suite_wall_ns"));
+    }
+
+    #[test]
+    fn full_plan_adds_large_instances_without_touching_core() {
+        let base = plan(&tiny()).unwrap();
+        let full = plan(&SuiteConfig {
+            full: true,
+            ..tiny()
+        })
+        .unwrap();
+        // The core prefix is unchanged; the full entries append after it.
+        assert_eq!(full.len(), base.len() + 2 * FULL_SIZES.len() * 2);
+        for (a, b) in base.iter().zip(&full) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.group, b.group);
+        }
+        let tail = &full[base.len()..];
+        assert!(tail
+            .iter()
+            .all(|e| e.group == "simplex-full" || e.group == "revised-full"));
+        assert!(tail.iter().any(|e| e.name == "u256"));
+        assert!(tail.iter().any(|e| e.name == "c512"));
+        assert!(GROUPS
+            .iter()
+            .filter(|(_, _, core)| !core)
+            .all(|(g, _, _)| g.starts_with("revised") || g.ends_with("-full")));
     }
 
     #[test]

@@ -11,12 +11,12 @@ use lubt_topology::{bipartition_topology, matching_topology, SourceMode, Topolog
 
 const USAGE: &str = "usage:
   lubt solve <input> --lower L --upper U [--absolute] \
-[--topology nn|matching|bisect|aware] [--backend simplex|ipm] [--max-lp-iterations N] \
-[--svg out.svg] [--json out.json] [--trace-json [out.json]]
+[--topology nn|matching|bisect|aware] [--lp-backend simplex|ipm|revised] \
+[--max-lp-iterations N] [--svg out.svg] [--json out.json] [--trace-json [out.json]]
   lubt batch <input>... --lower L --upper U [--absolute] \
-[--topology nn|matching|bisect|aware] [--backend simplex|ipm] [--threads N] \
+[--topology nn|matching|bisect|aware] [--lp-backend simplex|ipm|revised] [--threads N] \
 [--max-lp-iterations N] [--json out.json] [--metrics [out.json]] [--metrics-prom [out.prom]]
-  lubt bench [--label L] [--threads N] [--sizes A,B,C] [--interior-cap K] [--out file]
+  lubt bench [--label L] [--threads N] [--sizes A,B,C] [--interior-cap K] [--full] [--out file]
   lubt report --baseline A.json --current B.json [--timing-threshold F] \
 [--ignore-timings] [--json [out.json]]
   lubt lint <input> [--lower L] [--upper U] [--absolute] \
@@ -149,6 +149,22 @@ fn write_svg(parsed: &Parsed, svg: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves the LP backend from `--lp-backend` (or its original spelling
+/// `--backend`; `--lp-backend` wins when both appear). Shared by `solve`
+/// and `batch`.
+fn choose_backend(parsed: &Parsed) -> Result<SolverBackend, String> {
+    match parsed
+        .get("lp-backend")
+        .or_else(|| parsed.get("backend"))
+        .unwrap_or("simplex")
+    {
+        "simplex" => Ok(SolverBackend::Simplex),
+        "ipm" => Ok(SolverBackend::InteriorPoint),
+        "revised" => Ok(SolverBackend::Revised),
+        other => Err(format!("unknown backend {other:?} (simplex|ipm|revised)")),
+    }
+}
+
 /// Resolves the `--topology` flag (`None` = builder's nearest-neighbor
 /// default). Shared by `solve` and `lint` so both analyze the same tree.
 fn choose_topology(
@@ -190,11 +206,7 @@ fn cmd_solve(parsed: &Parsed) -> Result<(), String> {
     );
 
     let topology = choose_topology(parsed, &inst, &bounds)?;
-    let backend = match parsed.get("backend").unwrap_or("simplex") {
-        "simplex" => SolverBackend::Simplex,
-        "ipm" => SolverBackend::InteriorPoint,
-        other => return Err(format!("unknown backend {other:?} (simplex|ipm)")),
-    };
+    let backend = choose_backend(parsed)?;
 
     let mut builder = LubtBuilder::new(inst.sinks.clone())
         .bounds(bounds)
@@ -303,11 +315,7 @@ fn cmd_batch(parsed: &Parsed) -> Result<(), String> {
     let upper = parsed
         .get_f64("upper")?
         .ok_or_else(|| format!("--upper is required\n{USAGE}"))?;
-    let backend = match parsed.get("backend").unwrap_or("simplex") {
-        "simplex" => SolverBackend::Simplex,
-        "ipm" => SolverBackend::InteriorPoint,
-        other => return Err(format!("unknown backend {other:?} (simplex|ipm)")),
-    };
+    let backend = choose_backend(parsed)?;
 
     // Assemble every problem up front (cheap), then hand the whole slice to
     // the pool: the parallelism budget is spent across instances.
@@ -473,6 +481,7 @@ fn cmd_bench(parsed: &Parsed) -> Result<(), String> {
     if let Some(cap) = parsed.get_usize("interior-cap")? {
         config.interior_cap = cap;
     }
+    config.full = parsed.has("full");
     let run = lubt_bench::suite::run(&config)?;
     let out = parsed
         .get("out")

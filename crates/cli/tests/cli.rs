@@ -525,6 +525,68 @@ fn alternate_topologies_and_backend() {
 }
 
 #[test]
+fn revised_backend_via_cli_solves_batches_and_rejects_unknown() {
+    // Usage advertises the new backend and the bench --full switch.
+    let help = lubt().arg("help").output().unwrap();
+    let text = String::from_utf8(help.stdout).unwrap();
+    assert!(text.contains("--lp-backend simplex|ipm|revised"), "{text}");
+    assert!(text.contains("--full"), "{text}");
+
+    let pts = gen_batch("revised-cli", 4, 8);
+    let out = lubt()
+        .args(["solve"])
+        .arg(&pts[0])
+        .args([
+            "--lower",
+            "0.9",
+            "--upper",
+            "1.5",
+            "--lp-backend",
+            "revised",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Batch output through the revised backend must stay byte-identical
+    // across thread counts (the determinism contract at the binary level).
+    let run = |threads: &str| {
+        let out = lubt()
+            .args(["batch"])
+            .args(&pts)
+            .args(["--lower", "0.9", "--upper", "1.5"])
+            .args(["--lp-backend", "revised", "--threads", threads])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "threads {threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    assert_eq!(run("1"), run("8"), "revised batch differs across threads");
+
+    let out = lubt()
+        .args(["solve"])
+        .arg(&pts[0])
+        .args(["--upper", "1.5", "--lp-backend", "bogus"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown backend"), "stderr: {err}");
+
+    for p in pts {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
 fn batch_bare_metrics_go_to_stderr_and_leave_stdout_identical() {
     let pts = gen_batch("batch-stderr", 4, 8);
     let run = |threads: &str| {

@@ -3,7 +3,9 @@
 
 use crate::steiner::{all_pair_constraints, seed_pairs, SinkPair};
 use crate::{LubtError, LubtProblem};
-use lubt_lp::{Cmp, InteriorPointSolver, LinExpr, LpSolve, Model, SimplexSolver, Status, Var};
+use lubt_lp::{
+    Cmp, InteriorPointSolver, LinExpr, LpSolve, Model, RevisedSolver, SimplexSolver, Status, Var,
+};
 use lubt_obs::{PhaseTimer, Recorder, SolveTrace, TraceRecorder};
 use lubt_topology::NodeId;
 use std::sync::Arc;
@@ -17,6 +19,10 @@ pub enum SolverBackend {
     Simplex,
     /// Mehrotra predictor-corrector interior point.
     InteriorPoint,
+    /// Sparse revised simplex: same pivot rules and certificates as
+    /// [`SolverBackend::Simplex`] but the Steiner rows stay sparse and only
+    /// the basis factorization is kept — the fast path on large instances.
+    Revised,
 }
 
 /// Steiner-constraint strategy.
@@ -277,6 +283,16 @@ impl EbfSolver {
         s
     }
 
+    /// The revised-simplex backend configured with this solver's recorder
+    /// and iteration cap.
+    fn revised(&self) -> RevisedSolver {
+        let mut s = RevisedSolver::new().with_recorder(Arc::clone(&self.recorder));
+        if let Some(limit) = self.max_lp_iterations {
+            s = s.with_max_iterations(limit);
+        }
+        s
+    }
+
     /// The interior-point backend configured with this solver's iteration
     /// cap (the IPM reports no per-pivot counters).
     fn interior(&self) -> InteriorPointSolver {
@@ -364,6 +380,7 @@ impl EbfSolver {
             let sol = match self.backend {
                 SolverBackend::Simplex => self.simplex().solve(model)?,
                 SolverBackend::InteriorPoint => self.interior().solve(model)?,
+                SolverBackend::Revised => self.revised().solve(model)?,
             };
             match sol.status() {
                 Status::Optimal => Ok(sol),
@@ -434,16 +451,26 @@ impl EbfSolver {
                 if rec.enabled() {
                     rec.incr("ebf.seed_rows", steiner_rows as u64);
                 }
-                // On the simplex backend, the growing model lives in an
-                // incremental session: each separation round only appends
-                // rows, which the dual simplex repairs from the previous
-                // optimum instead of re-solving cold.
-                if self.backend == SolverBackend::Simplex {
+                // On the simplex backends (dense and revised), the growing
+                // model lives in an incremental session: each separation
+                // round only appends rows, which the dual simplex repairs
+                // from the previous optimum instead of re-solving cold.
+                if matches!(
+                    self.backend,
+                    SolverBackend::Simplex | SolverBackend::Revised
+                ) {
                     let steiner_expr = |pair: &SinkPair| {
                         let path = topo.path_between(pair.a, pair.b);
                         LinExpr::from_terms(path.iter().map(|&e| (var_of(e), 1.0)))
                     };
-                    let mut session = lubt_lp::SimplexSession::start_with(model, self.simplex())?;
+                    let mut session = match self.backend {
+                        SolverBackend::Simplex => GrowingSession::Dense(Box::new(
+                            lubt_lp::SimplexSession::start_with(model, self.simplex())?,
+                        )),
+                        _ => GrowingSession::Revised(Box::new(
+                            lubt_lp::RevisedSession::start_with(model, self.revised())?,
+                        )),
+                    };
                     let mut rounds = 0usize;
                     let mut truncated = false;
                     loop {
@@ -583,6 +610,34 @@ impl EbfSolver {
     }
 }
 
+/// The two incremental LP sessions behind one surface, so the lazy
+/// separation loop is written once.
+enum GrowingSession {
+    Dense(Box<lubt_lp::SimplexSession>),
+    Revised(Box<lubt_lp::RevisedSession>),
+}
+
+impl GrowingSession {
+    fn resolve(&mut self) -> Result<&lubt_lp::Solution, lubt_lp::LpError> {
+        match self {
+            GrowingSession::Dense(s) => s.resolve(),
+            GrowingSession::Revised(s) => s.resolve(),
+        }
+    }
+
+    fn add_constraint(
+        &mut self,
+        expr: LinExpr,
+        cmp: Cmp,
+        rhs: f64,
+    ) -> Result<(), lubt_lp::LpError> {
+        match self {
+            GrowingSession::Dense(s) => s.add_constraint(expr, cmp, rhs),
+            GrowingSession::Revised(s) => s.add_constraint(expr, cmp, rhs),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -705,6 +760,69 @@ mod tests {
             .unwrap();
         let scale = 1.0 + tree_cost(&l1).abs();
         assert!((tree_cost(&l1) - tree_cost(&l2)).abs() / scale < 1e-5);
+    }
+
+    #[test]
+    fn revised_backend_matches_dense_simplex() {
+        let p = LubtBuilder::new(square())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::uniform(4, 10.0, 14.0))
+            .build()
+            .unwrap();
+        let (dense, dr) = EbfSolver::new().solve(&p).unwrap();
+        let (revised, rr) = EbfSolver::new()
+            .with_backend(SolverBackend::Revised)
+            .solve(&p)
+            .unwrap();
+        assert!((tree_cost(&dense) - tree_cost(&revised)).abs() < 1e-6);
+        assert_eq!(dr.separation_rounds, rr.separation_rounds);
+        assert_eq!(dr.steiner_rows, rr.steiner_rows);
+        // Eager mode exercises the cold two-phase path instead of the
+        // incremental session.
+        let (eager, _) = EbfSolver::new()
+            .with_backend(SolverBackend::Revised)
+            .with_steiner_mode(SteinerMode::Eager)
+            .solve(&p)
+            .unwrap();
+        assert!((tree_cost(&dense) - tree_cost(&eager)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn revised_backend_is_thread_deterministic() {
+        let p = LubtBuilder::new(square())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::uniform(4, 12.0, 15.0))
+            .build()
+            .unwrap();
+        let solver = || EbfSolver::new().with_backend(SolverBackend::Revised);
+        let (base_lengths, base_report) = solver().solve(&p).unwrap();
+        for threads in [2, 8] {
+            let (lengths, report) = solver().with_threads(threads).solve(&p).unwrap();
+            assert_eq!(lengths, base_lengths, "threads={threads}");
+            assert_eq!(report, base_report, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn revised_backend_traces_lp_counters() {
+        let p = LubtBuilder::new(square())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::uniform(4, 12.0, 15.0))
+            .build()
+            .unwrap();
+        let (result, trace) = EbfSolver::new()
+            .with_backend(SolverBackend::Revised)
+            .solve_traced(&p);
+        let (_, report) = result.unwrap();
+        assert_eq!(trace.counter("lp.solves"), 1);
+        assert_eq!(
+            trace.counter("lp.resolves"),
+            report.separation_rounds as u64 - 1
+        );
+        assert!(trace.counter("lp.priced_columns") > 0, "{trace:?}");
+        // The revised backend must not touch the dense backend's keys.
+        assert_eq!(trace.counter("simplex.solves"), 0);
+        assert_eq!(trace.counter("simplex.pivots"), 0);
     }
 
     #[test]

@@ -1,0 +1,392 @@
+//! Product-form basis factorization for the revised simplex.
+//!
+//! The factorization represents `B^{-1}` as an ordered list of sparse
+//! operators applied left to right:
+//!
+//! * a **base** Gauss–Jordan product form `E_k ... E_1 B = P` built from
+//!   the basis columns (singleton columns — slacks, surpluses,
+//!   artificials — are pivoted first so only the structural "bump"
+//!   creates fill), followed by the permutation extraction `P`;
+//! * one **pivot eta** per simplex basis change (`B_new^{-1} = E ·
+//!   B_old^{-1}`);
+//! * one **append block** per incremental row batch: appending `k` rows
+//!   whose fresh slacks enter the basis gives `B_new = [[B, 0], [C, I]]`,
+//!   whose inverse `[[B^{-1}, 0], [-C·B^{-1}, I]]` is applied without
+//!   touching the existing factors at all — the sparse analogue of
+//!   `Tableau::append_rows`, but `O(nnz(C))` instead of a full re-layout.
+//!
+//! `ftran` applies the operators in order (`x = B^{-1} v`), `btran`
+//! applies their transposes in reverse (`y = B^{-T} v`). Every eta stores
+//! its column sorted by row index so floating-point accumulation order —
+//! and therefore the solve's bit pattern — is deterministic.
+
+use crate::sparse::SparseCol;
+
+/// Pivot tolerance of the Gauss–Jordan factorization.
+const FACTOR_TOL: f64 = 1e-11;
+
+/// Pivot etas tolerated since the last refactorization before
+/// [`Factor::needs_refactor`] fires. Short enough to bound both the
+/// per-ftran eta work and accumulated floating-point drift.
+const ETA_REFRESH: usize = 64;
+
+/// A Gauss–Jordan eta: the transformed pivot column `w` split into the
+/// pivot entry `wr` (row `r`) and the remaining nonzeros `w` (sorted).
+#[derive(Debug, Clone)]
+struct Eta {
+    r: usize,
+    wr: f64,
+    w: Vec<(usize, f64)>,
+}
+
+impl Eta {
+    /// `v <- E v` where `E` maps `w` to the unit vector `e_r`.
+    #[inline]
+    fn ftran(&self, v: &mut [f64]) {
+        let t = v[self.r];
+        if t != 0.0 {
+            let t = t / self.wr;
+            for &(i, wi) in &self.w {
+                v[i] -= wi * t;
+            }
+            v[self.r] = t;
+        }
+    }
+
+    /// `v <- E' v`: only component `r` changes.
+    #[inline]
+    fn btran(&self, v: &mut [f64]) {
+        let mut s = v[self.r];
+        for &(i, wi) in &self.w {
+            s -= wi * v[i];
+        }
+        v[self.r] = s / self.wr;
+    }
+}
+
+/// A post-base update operator.
+#[derive(Debug, Clone)]
+enum Update {
+    /// Pivot eta in basis-position space.
+    Eta(Eta),
+    /// `k` appended rows with slack pivots: `rows[k']` holds the appended
+    /// row's coefficients on the *basis positions* `0..base` (sorted).
+    Append { base: usize, rows: Vec<SparseCol> },
+}
+
+/// The basis factorization: base Gauss–Jordan product form plus pivot-eta
+/// and append-block updates. See the module docs for the operator algebra.
+#[derive(Debug, Clone)]
+pub(crate) struct Factor {
+    /// Current basis dimension.
+    dim: usize,
+    /// Dimension covered by the base factorization.
+    base_dim: usize,
+    base_etas: Vec<Eta>,
+    /// `perm[pos]` = pivot row of the base column at position `pos`.
+    perm: Vec<usize>,
+    updates: Vec<Update>,
+    /// Pivot etas accumulated since the base was (re)built.
+    pivot_etas: usize,
+}
+
+impl Factor {
+    /// Factorizes the basis given as sparse columns (position order).
+    /// Returns `None` when the basis is singular.
+    pub fn build<C: AsRef<[(usize, f64)]>>(cols: &[C]) -> Option<Factor> {
+        let dim = cols.len();
+        let mut base_etas: Vec<Eta> = Vec::with_capacity(dim);
+        let mut perm = vec![usize::MAX; dim];
+        let mut row_used = vec![false; dim];
+        let mut scratch = vec![0.0; dim];
+        let mut touched: Vec<usize> = Vec::new();
+
+        // Singleton columns first (their etas are pure scalings and create
+        // no fill), then the structural bump, both in ascending position
+        // order — a fixed, deterministic elimination order.
+        let mut order: Vec<usize> = (0..dim).filter(|&p| cols[p].as_ref().len() == 1).collect();
+        order.extend((0..dim).filter(|&p| cols[p].as_ref().len() != 1));
+
+        for &pos in &order {
+            for &(i, v) in cols[pos].as_ref() {
+                if scratch[i] == 0.0 {
+                    touched.push(i);
+                }
+                scratch[i] += v;
+            }
+            // Transform by the etas recorded so far. Each eta only acts
+            // when its pivot row is populated; new fill rows are tracked.
+            for e in &base_etas {
+                let t = scratch[e.r];
+                if t != 0.0 {
+                    let t = t / e.wr;
+                    for &(i, wi) in &e.w {
+                        if scratch[i] == 0.0 {
+                            touched.push(i);
+                        }
+                        scratch[i] -= wi * t;
+                    }
+                    scratch[e.r] = t;
+                }
+            }
+            // Pivot row: largest |value| among unused rows, smallest row
+            // index on ties (order-independent, hence deterministic even
+            // though `touched` is unordered).
+            let mut pivot: Option<(usize, f64)> = None;
+            for &i in &touched {
+                let a = scratch[i].abs();
+                if row_used[i] || a <= FACTOR_TOL {
+                    continue;
+                }
+                let better = match pivot {
+                    None => true,
+                    Some((pi, pa)) => a > pa || (a == pa && i < pi),
+                };
+                if better {
+                    pivot = Some((i, a));
+                }
+            }
+            let Some((r, _)) = pivot else {
+                return None; // singular
+            };
+            let wr = scratch[r];
+            let mut w: Vec<(usize, f64)> = Vec::new();
+            for &i in &touched {
+                if i != r && scratch[i] != 0.0 {
+                    w.push((i, scratch[i]));
+                }
+                scratch[i] = 0.0;
+            }
+            touched.clear();
+            w.sort_unstable_by_key(|&(i, _)| i);
+            row_used[r] = true;
+            perm[pos] = r;
+            base_etas.push(Eta { r, wr, w });
+        }
+
+        Some(Factor {
+            dim,
+            base_dim: dim,
+            base_etas,
+            perm,
+            updates: Vec::new(),
+            pivot_etas: 0,
+        })
+    }
+
+    /// Current basis dimension.
+    #[cfg(test)]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of update operators since the last (re)build — the
+    /// `lp.eta_len` observable.
+    pub fn eta_len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// `true` once enough pivot etas have accumulated that a fresh
+    /// factorization is cheaper (and numerically safer) than applying them.
+    pub fn needs_refactor(&self) -> bool {
+        self.pivot_etas >= ETA_REFRESH
+    }
+
+    /// Records a simplex basis change: the entering column's ftran image
+    /// `w` (dense) replaces basis position `pos`.
+    pub fn push_pivot(&mut self, pos: usize, w: &[f64]) {
+        debug_assert_eq!(w.len(), self.dim);
+        let mut col: Vec<(usize, f64)> = Vec::new();
+        for (i, &v) in w.iter().enumerate() {
+            if i != pos && v != 0.0 {
+                col.push((i, v));
+            }
+        }
+        self.updates.push(Update::Eta(Eta {
+            r: pos,
+            wr: w[pos],
+            w: col,
+        }));
+        self.pivot_etas += 1;
+    }
+
+    /// Records an appended row block whose fresh slacks enter the basis:
+    /// `rows[k']` holds row `k'`'s coefficients on the current basis
+    /// positions (sorted by position). The basis dimension grows by
+    /// `rows.len()`.
+    pub fn push_append(&mut self, rows: Vec<SparseCol>) {
+        let k = rows.len();
+        self.updates.push(Update::Append {
+            base: self.dim,
+            rows,
+        });
+        self.dim += k;
+    }
+
+    /// `v <- B^{-1} v`. `scratch` is caller-owned storage reused across
+    /// calls (resized as needed).
+    pub fn ftran(&self, v: &mut [f64], scratch: &mut Vec<f64>) {
+        debug_assert_eq!(v.len(), self.dim);
+        for e in &self.base_etas {
+            e.ftran(v);
+        }
+        // Permutation extraction: x[pos] = v[perm[pos]].
+        scratch.clear();
+        scratch.extend_from_slice(&v[..self.base_dim]);
+        for pos in 0..self.base_dim {
+            v[pos] = scratch[self.perm[pos]];
+        }
+        for u in &self.updates {
+            match u {
+                Update::Eta(e) => e.ftran(v),
+                Update::Append { base, rows } => {
+                    for (k, row) in rows.iter().enumerate() {
+                        let mut s = 0.0;
+                        for &(i, ci) in row {
+                            s += ci * v[i];
+                        }
+                        v[base + k] -= s;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `v <- B^{-T} v`: the transposed operators applied in reverse.
+    pub fn btran(&self, v: &mut [f64], scratch: &mut Vec<f64>) {
+        debug_assert_eq!(v.len(), self.dim);
+        for u in self.updates.iter().rev() {
+            match u {
+                Update::Eta(e) => e.btran(v),
+                Update::Append { base, rows } => {
+                    for (k, row) in rows.iter().enumerate() {
+                        let f = v[base + k];
+                        if f != 0.0 {
+                            for &(i, ci) in row {
+                                v[i] -= ci * f;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Transposed extraction: scatter, then transposed etas in reverse.
+        scratch.resize(self.base_dim, 0.0);
+        for pos in 0..self.base_dim {
+            scratch[self.perm[pos]] = v[pos];
+        }
+        for e in self.base_etas.iter().rev() {
+            e.btran(scratch);
+        }
+        v[..self.base_dim].copy_from_slice(scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_cols(a: &[&[f64]]) -> Vec<SparseCol> {
+        let dim = a.len();
+        (0..dim)
+            .map(|j| {
+                (0..dim)
+                    .filter(|&i| a[i][j] != 0.0)
+                    .map(|i| (i, a[i][j]))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn mat_vec(a: &[&[f64]], x: &[f64]) -> Vec<f64> {
+        a.iter()
+            .map(|row| row.iter().zip(x).map(|(r, v)| r * v).sum())
+            .collect()
+    }
+
+    fn mat_t_vec(a: &[&[f64]], x: &[f64]) -> Vec<f64> {
+        let n = a.len();
+        (0..n)
+            .map(|j| (0..n).map(|i| a[i][j] * x[i]).sum())
+            .collect()
+    }
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn ftran_btran_invert_a_dense_basis() {
+        let a: &[&[f64]] = &[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 4.0]];
+        let f = Factor::build(&dense_cols(a)).unwrap();
+        let x = vec![1.0, -2.0, 0.5];
+        let mut scratch = Vec::new();
+
+        let mut v = mat_vec(a, &x); // v = A x  =>  ftran(v) == x
+        f.ftran(&mut v, &mut scratch);
+        assert_close(&v, &x);
+
+        let mut v = mat_t_vec(a, &x); // v = A' x  =>  btran(v) == x
+        f.btran(&mut v, &mut scratch);
+        assert_close(&v, &x);
+    }
+
+    #[test]
+    fn singular_basis_is_rejected() {
+        let a: &[&[f64]] = &[&[1.0, 2.0], &[2.0, 4.0]];
+        assert!(Factor::build(&dense_cols(a)).is_none());
+    }
+
+    #[test]
+    fn pivot_eta_tracks_a_column_replacement() {
+        let a: &[&[f64]] = &[&[1.0, 1.0], &[0.0, 2.0]];
+        let mut f = Factor::build(&dense_cols(a)).unwrap();
+        let mut scratch = Vec::new();
+        // Replace position 0 with column q = (3, 1)'.
+        let mut w = vec![3.0, 1.0];
+        f.ftran(&mut w, &mut scratch);
+        f.push_pivot(0, &w);
+        // New basis: [[3, 1], [1, 2]].
+        let b2: &[&[f64]] = &[&[3.0, 1.0], &[1.0, 2.0]];
+        let x = vec![0.5, -1.5];
+        let mut v = mat_vec(b2, &x);
+        f.ftran(&mut v, &mut scratch);
+        assert_close(&v, &x);
+        let mut v = mat_t_vec(b2, &x);
+        f.btran(&mut v, &mut scratch);
+        assert_close(&v, &x);
+    }
+
+    #[test]
+    fn append_block_matches_the_block_inverse() {
+        // B = [[2, 0], [1, 1]]; appended row contributes C = (5, 7) and a
+        // unit slack, so B_new = [[B, 0], [C, 1]].
+        let b0: &[&[f64]] = &[&[2.0, 0.0], &[1.0, 1.0]];
+        let mut f = Factor::build(&dense_cols(b0)).unwrap();
+        f.push_append(vec![vec![(0, 5.0), (1, 7.0)]]);
+        assert_eq!(f.dim(), 3);
+        let b1: &[&[f64]] = &[&[2.0, 0.0, 0.0], &[1.0, 1.0, 0.0], &[5.0, 7.0, 1.0]];
+        let mut scratch = Vec::new();
+        let x = vec![1.0, 2.0, -1.0];
+        let mut v = mat_vec(b1, &x);
+        f.ftran(&mut v, &mut scratch);
+        assert_close(&v, &x);
+        let mut v = mat_t_vec(b1, &x);
+        f.btran(&mut v, &mut scratch);
+        assert_close(&v, &x);
+    }
+
+    #[test]
+    fn refactor_trigger_fires_after_enough_pivots() {
+        let a: &[&[f64]] = &[&[1.0, 0.0], &[0.0, 1.0]];
+        let mut f = Factor::build(&dense_cols(a)).unwrap();
+        assert!(!f.needs_refactor());
+        for _ in 0..ETA_REFRESH {
+            f.push_pivot(0, &[1.0, 0.0]);
+        }
+        assert!(f.needs_refactor());
+        assert_eq!(f.eta_len(), ETA_REFRESH);
+    }
+}

@@ -10,6 +10,10 @@
 //! * [`InteriorPointSolver`] — a Mehrotra predictor-corrector primal-dual
 //!   interior-point method (the algorithm family LOQO belongs to), solving
 //!   the normal equations with a dense Cholesky factorization.
+//! * [`RevisedSolver`] — a sparse revised simplex sharing the dense
+//!   backend's pivot rules and [`WarmStart`] token format, but storing the
+//!   constraint matrix column-sparse and keeping only a product-form basis
+//!   factorization; the fast path for large Steiner-row LPs.
 //!
 //! Problems are described with the [`Model`] builder and solved through the
 //! [`LpSolve`] trait.
@@ -36,14 +40,17 @@
 #![warn(missing_docs)]
 
 mod error;
+mod factor;
 mod interior;
 mod linalg;
 mod lp_format;
 mod model;
 mod presolve;
+mod revised;
 mod session;
 mod simplex;
 mod solution;
+mod sparse;
 mod standard;
 
 pub use error::LpError;
@@ -51,6 +58,7 @@ pub use interior::InteriorPointSolver;
 pub use lp_format::write_lp;
 pub use model::{Cmp, LinExpr, Model, Var};
 pub use presolve::{presolve, Presolved};
+pub use revised::{RevisedSession, RevisedSolver};
 pub use session::SimplexSession;
 pub use simplex::{SimplexSolver, WarmStart};
 pub use solution::{Solution, Status};

@@ -1,0 +1,1412 @@
+//! Sparse **revised simplex**: the same two-phase primal / dual-repair
+//! algorithm as [`crate::SimplexSolver`], but operating on the sparse
+//! column store of [`crate::sparse::SparseForm`] with only the basis
+//! factorization ([`crate::factor::Factor`]) in memory — no tableau.
+//!
+//! Per iteration the kernel performs one BTRAN (`y = B^{-T} c_B`), a
+//! partial-pricing scan of candidate columns (`d_j = c_j - y·a_j` via
+//! sparse dots), one FTRAN (`w = B^{-1} a_q`), the ratio test, and a
+//! product-form eta update — `O(nnz)` work where the dense tableau pivot
+//! pays `O(m · n)`. Pricing uses a cyclic candidate window with a
+//! most-negative rule and smallest-index tie-break, falling back to
+//! Bland's rule after a degenerate stall; every choice is a deterministic
+//! function of the pivot history, so solves are bit-identical across
+//! machines and thread counts.
+//!
+//! Counters (routed through the solver's [`Recorder`]): `lp.pivots`,
+//! `lp.dual_pivots`, `lp.priced_columns`, `lp.refactorizations`,
+//! `lp.eta_len` (high-water update-list length), `lp.solves`,
+//! `lp.resolves`, `lp.peak_pivots`, and the `lp.limit_fraction` gauge —
+//! deliberately disjoint from the dense backend's `simplex.*` keys so
+//! bench documents can hold both without aliasing.
+
+// Index-based loops are the natural idiom for the dense work vectors here.
+#![allow(clippy::needless_range_loop)]
+
+use std::sync::Arc;
+
+use lubt_obs::Recorder;
+
+use crate::factor::Factor;
+use crate::model::{Cmp, LinExpr, Model};
+use crate::simplex::WarmStart;
+use crate::sparse::SparseForm;
+use crate::{LpError, LpSolve, Solution, Status};
+
+const PIVOT_TOL: f64 = 1e-9;
+/// Slack on the minimum-ratio cutoff in the two-pass (Harris-style) ratio
+/// tests: among rows whose ratio lands within this band of the minimum, the
+/// largest pivot element wins. Pivoting on the biggest eligible element keeps
+/// the eta file trustworthy at scale, where a bare `PIVOT_TOL` acceptance can
+/// select noise-level entries and silently drive the basis singular.
+const RATIO_TOL: f64 = 1e-9;
+const COST_TOL: f64 = 1e-9;
+/// Minimum partial-pricing window (columns priced per entering choice).
+const PRICE_WINDOW_MIN: usize = 64;
+
+/// Sparse revised-simplex solver over the same [`Model`]/[`Solution`]
+/// surface as the dense backends.
+///
+/// # Example
+///
+/// ```
+/// use lubt_lp::{Cmp, LinExpr, LpSolve, Model, RevisedSolver, Status};
+/// let mut m = Model::new();
+/// let x = m.add_var(0.0, 1.0);
+/// let y = m.add_var(0.0, 2.0);
+/// m.add_constraint(LinExpr::from_terms([(x, 1.0), (y, 1.0)]), Cmp::Ge, 3.0);
+/// let sol = RevisedSolver::new().solve(&m)?;
+/// assert_eq!(sol.status(), Status::Optimal);
+/// assert!((sol.objective() - 3.0).abs() < 1e-7);
+/// # Ok::<(), lubt_lp::LpError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RevisedSolver {
+    max_iterations: usize,
+    stall_limit: usize,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl Default for RevisedSolver {
+    fn default() -> Self {
+        RevisedSolver {
+            max_iterations: 200_000,
+            stall_limit: 1_000,
+            recorder: lubt_obs::noop(),
+        }
+    }
+}
+
+impl RevisedSolver {
+    /// Creates a solver with default limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the hard pivot limit (default 200 000).
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the number of consecutive non-improving pivots tolerated before
+    /// switching to Bland's rule (default 1 000).
+    #[must_use]
+    pub fn with_stall_limit(mut self, stall_limit: usize) -> Self {
+        self.stall_limit = stall_limit;
+        self
+    }
+
+    /// Routes `lp.*` instrumentation into `recorder` (default: no-op).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    pub(crate) fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
+    }
+
+    pub(crate) fn max_iterations(&self) -> usize {
+        self.max_iterations
+    }
+
+    fn note_solve(&self, iterations: usize) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        self.recorder.incr("lp.solves", 1);
+        self.recorder
+            .record_max("lp.peak_pivots", iterations as u64);
+        self.recorder.gauge(
+            "lp.limit_fraction",
+            iterations as f64 / self.max_iterations.max(1) as f64,
+        );
+    }
+
+    /// Solves, optionally starting from a previous optimal basis — the
+    /// revised-form counterpart of
+    /// [`crate::SimplexSolver::solve_warm`], accepting the **same**
+    /// [`WarmStart`] tokens (both backends number standard-form columns
+    /// identically).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`LpSolve::solve`].
+    pub fn solve_warm(
+        &self,
+        model: &Model,
+        warm: Option<&WarmStart>,
+    ) -> Result<(Solution, Option<WarmStart>), LpError> {
+        if let Some(w) = warm {
+            model.validate()?;
+            let sf = SparseForm::build(model);
+            if let Some(result) = self.try_warm(model, sf, w)? {
+                return Ok(result);
+            }
+        }
+        self.solve_full(model).map(|(s, w, _)| (s, w))
+    }
+
+    /// Attempts the warm path; `Ok(None)` means "fall back to cold".
+    fn try_warm(
+        &self,
+        model: &Model,
+        sf: SparseForm,
+        warm: &WarmStart,
+    ) -> Result<Option<(Solution, Option<WarmStart>)>, LpError> {
+        if warm.num_vars != model.num_vars() || warm.num_rows > sf.m || sf.m == 0 {
+            return Ok(None);
+        }
+        let mut basis = warm.basis.clone();
+        if basis.len() != warm.num_rows || basis.iter().any(|&c| c >= sf.n) {
+            return Ok(None);
+        }
+        for i in warm.num_rows..sf.m {
+            let sc = sf.slack_col[i];
+            if sc == usize::MAX {
+                return Ok(None); // appended equality row: no slack to seed
+            }
+            basis.push(sc);
+        }
+        let Some(mut kernel) = Kernel::from_basis(sf, basis) else {
+            return Ok(None); // singular basis
+        };
+        // Verify dual feasibility of the token's basis; noisy tokens fall
+        // back to a cold solve, like the dense path.
+        let dual_tol = 1e-7 * (1.0 + kernel.sf.c.iter().fold(0.0f64, |a, &c| a.max(c.abs())));
+        let y = kernel.duals(false);
+        for j in 0..kernel.sf.n {
+            if kernel.cost(j, false) - kernel.dot_col(j, &y) < -dual_tol {
+                return Ok(None);
+            }
+        }
+
+        let mut iters = 0usize;
+        match kernel.dual_then_primal(
+            &mut iters,
+            self.max_iterations,
+            self.stall_limit,
+            &*self.recorder,
+        )? {
+            Status::Infeasible => {
+                self.note_solve(iters);
+                return Ok(Some((Solution::infeasible(model.num_vars(), iters), None)));
+            }
+            Status::Unbounded => {
+                self.note_solve(iters);
+                return Ok(Some((Solution::unbounded(model.num_vars(), iters), None)));
+            }
+            Status::Optimal => {}
+        }
+        let (x, objective, duals) = kernel.extract(model);
+        let next = WarmStart {
+            basis: kernel.basis.clone(),
+            num_vars: model.num_vars(),
+            num_rows: kernel.sf.m,
+        };
+        self.note_solve(iters);
+        Ok(Some((
+            Solution::new(Status::Optimal, x, objective, duals, iters),
+            Some(next),
+        )))
+    }
+
+    /// Like [`LpSolve::solve`], additionally handing back the live kernel
+    /// for incremental growth (see [`RevisedSession`]).
+    fn solve_keeping_kernel(&self, model: &Model) -> Result<(Solution, Option<Kernel>), LpError> {
+        self.solve_full(model).map(|(s, _, k)| (s, k))
+    }
+
+    fn solve_full(
+        &self,
+        model: &Model,
+    ) -> Result<(Solution, Option<WarmStart>, Option<Kernel>), LpError> {
+        model.validate()?;
+        let sf = SparseForm::build(model);
+        let m = sf.m;
+
+        // Constraint-free models: every variable sits at its lower bound
+        // unless a negative cost makes the LP unbounded.
+        if m == 0 {
+            if model.costs.iter().any(|&c| c < -COST_TOL) {
+                return Ok((Solution::unbounded(model.num_vars(), 0), None, None));
+            }
+            let x = sf.recover(&vec![0.0; sf.n]);
+            let obj = model.objective_value(&x);
+            let kernel = Kernel::from_basis(sf, Vec::new()).expect("empty basis is nonsingular");
+            return Ok((
+                Solution::new(Status::Optimal, x, obj, Some(vec![]), 0),
+                None,
+                Some(kernel),
+            ));
+        }
+
+        // Seed the basis with usable (+1) slacks, artificials elsewhere —
+        // the same rule and artificial numbering as the dense backend.
+        let mut basis = Vec::with_capacity(m);
+        let mut art_rows = Vec::new();
+        for i in 0..m {
+            let sc = sf.slack_col[i];
+            let usable = sc != usize::MAX && (sf.at(i, sc) - 1.0).abs() < 1e-12;
+            if usable {
+                basis.push(sc);
+            } else {
+                basis.push(sf.n + art_rows.len());
+                art_rows.push(i);
+            }
+        }
+        let n_art = art_rows.len();
+        let mut kernel = Kernel::from_parts(sf, basis, art_rows)
+            .ok_or_else(|| LpError::NumericalBreakdown("singular seed basis".to_string()))?;
+
+        let mut iters = 0usize;
+        let rec = &*self.recorder;
+
+        // ---- Phase 1: minimize the artificial sum. ----
+        if n_art > 0 {
+            match kernel.primal(true, &mut iters, self.max_iterations, self.stall_limit, rec)? {
+                PhaseOutcome::Optimal => {}
+                PhaseOutcome::Unbounded => {
+                    // Phase-1 objective is bounded below by 0; cannot happen.
+                    return Err(LpError::NumericalBreakdown("phase-1 unbounded".to_string()));
+                }
+            }
+            let feas_tol = 1e-7 * (1.0 + kernel.sf.b.iter().cloned().fold(0.0, f64::max));
+            if kernel.objective(true) > feas_tol {
+                self.note_solve(iters);
+                return Ok((Solution::infeasible(model.num_vars(), iters), None, None));
+            }
+            kernel.drive_out_artificials(rec)?;
+        }
+
+        // ---- Phase 2: true objective. ----
+        match kernel.primal(
+            false,
+            &mut iters,
+            self.max_iterations,
+            self.stall_limit,
+            rec,
+        )? {
+            PhaseOutcome::Unbounded => {
+                self.note_solve(iters);
+                Ok((Solution::unbounded(model.num_vars(), iters), None, None))
+            }
+            PhaseOutcome::Optimal => {
+                let (x, objective, duals) = kernel.extract(model);
+                let warm = kernel
+                    .basis
+                    .iter()
+                    .all(|&c| c < kernel.sf.n)
+                    .then(|| WarmStart {
+                        basis: kernel.basis.clone(),
+                        num_vars: model.num_vars(),
+                        num_rows: kernel.sf.m,
+                    });
+                self.note_solve(iters);
+                Ok((
+                    Solution::new(Status::Optimal, x, objective, duals, iters),
+                    warm,
+                    Some(kernel),
+                ))
+            }
+        }
+    }
+}
+
+impl LpSolve for RevisedSolver {
+    fn solve(&self, model: &Model) -> Result<Solution, LpError> {
+        self.solve_full(model).map(|(s, _, _)| s)
+    }
+}
+
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+}
+
+enum DualOutcome {
+    PrimalFeasible,
+    Infeasible,
+}
+
+/// The live revised-simplex state: sparse form, basis, factorization,
+/// basic values, and the partial-pricing cursor.
+struct Kernel {
+    sf: SparseForm,
+    basis: Vec<usize>,
+    /// Row of each artificial column (`sf.n + t` ↦ `art_rows[t]`).
+    art_rows: Vec<usize>,
+    /// `in_basis[j]` ⟺ structural/slack column `j` is basic. Membership is
+    /// tracked explicitly because at scale the reduced cost of a basic
+    /// column computed through a long eta file is noise, not an exact
+    /// zero — pricing one back in would duplicate a basis column and make
+    /// the next refactorization singular.
+    in_basis: Vec<bool>,
+    factor: Factor,
+    x_b: Vec<f64>,
+    cursor: usize,
+    scratch: Vec<f64>,
+}
+
+impl Kernel {
+    fn from_basis(sf: SparseForm, basis: Vec<usize>) -> Option<Kernel> {
+        Kernel::from_parts(sf, basis, Vec::new())
+    }
+
+    fn from_parts(sf: SparseForm, basis: Vec<usize>, art_rows: Vec<usize>) -> Option<Kernel> {
+        let mut in_basis = vec![false; sf.n];
+        for &j in &basis {
+            if j < sf.n {
+                in_basis[j] = true;
+            }
+        }
+        let mut kernel = Kernel {
+            sf,
+            basis,
+            art_rows,
+            in_basis,
+            factor: Factor::build::<Vec<(usize, f64)>>(&[]).expect("empty factor"),
+            x_b: Vec::new(),
+            cursor: 0,
+            scratch: Vec::new(),
+        };
+        kernel.rebuild_factor().ok()?;
+        Some(kernel)
+    }
+
+    /// Total columns: structural + slack + artificial.
+    fn n_total(&self) -> usize {
+        self.sf.n + self.art_rows.len()
+    }
+
+    /// Artificials and columns that are already basic never enter.
+    fn enterable(&self, j: usize) -> bool {
+        j < self.sf.n && !self.in_basis[j]
+    }
+
+    fn cost(&self, j: usize, phase1: bool) -> f64 {
+        if phase1 {
+            if j >= self.sf.n {
+                1.0
+            } else {
+                0.0
+            }
+        } else if j >= self.sf.n {
+            0.0
+        } else {
+            self.sf.c[j]
+        }
+    }
+
+    /// Objective of the current basic solution under the phase costs.
+    fn objective(&self, phase1: bool) -> f64 {
+        self.basis
+            .iter()
+            .zip(&self.x_b)
+            .map(|(&j, &x)| self.cost(j, phase1) * x)
+            .sum()
+    }
+
+    /// Dense image of column `j` (length `m`).
+    fn dense_col(&self, j: usize) -> Vec<f64> {
+        let mut v = vec![0.0; self.sf.m];
+        if j < self.sf.n {
+            for &(i, c) in &self.sf.cols[j] {
+                v[i] = c;
+            }
+        } else {
+            v[self.art_rows[j - self.sf.n]] = 1.0;
+        }
+        v
+    }
+
+    /// Sparse dot `y · a_j`.
+    fn dot_col(&self, j: usize, y: &[f64]) -> f64 {
+        if j < self.sf.n {
+            self.sf.cols[j].iter().map(|&(i, c)| c * y[i]).sum()
+        } else {
+            y[self.art_rows[j - self.sf.n]]
+        }
+    }
+
+    /// Simplex multipliers `y = B^{-T} c_B` under the phase costs.
+    fn duals(&mut self, phase1: bool) -> Vec<f64> {
+        let mut y = vec![0.0; self.sf.m];
+        for (pos, &j) in self.basis.iter().enumerate() {
+            y[pos] = self.cost(j, phase1);
+        }
+        self.factor.btran(&mut y, &mut self.scratch);
+        y
+    }
+
+    /// Rebuilds the factorization from the current basis columns and
+    /// recomputes the basic values from scratch.
+    fn rebuild_factor(&mut self) -> Result<(), LpError> {
+        let cols: Vec<Vec<(usize, f64)>> = self
+            .basis
+            .iter()
+            .map(|&j| {
+                if j < self.sf.n {
+                    self.sf.cols[j].clone()
+                } else {
+                    vec![(self.art_rows[j - self.sf.n], 1.0)]
+                }
+            })
+            .collect();
+        self.factor = Factor::build(&cols)
+            .ok_or_else(|| LpError::NumericalBreakdown("singular basis".to_string()))?;
+        self.x_b = self.sf.b.clone();
+        let mut x = std::mem::take(&mut self.x_b);
+        self.factor.ftran(&mut x, &mut self.scratch);
+        self.x_b = x;
+        Ok(())
+    }
+
+    /// Executes the basis change `basis[pos] <- enter` given the entering
+    /// column's ftran image `w`, refactorizing when the eta file is long.
+    fn pivot(
+        &mut self,
+        pos: usize,
+        enter: usize,
+        w: &[f64],
+        rec: &dyn Recorder,
+    ) -> Result<(), LpError> {
+        let t = self.x_b[pos] / w[pos];
+        for i in 0..self.sf.m {
+            if i != pos && w[i] != 0.0 {
+                self.x_b[i] -= w[i] * t;
+            }
+        }
+        self.x_b[pos] = t;
+        self.factor.push_pivot(pos, w);
+        debug_assert!(enter < self.sf.n, "artificials never enter");
+        let leaving = self.basis[pos];
+        if leaving < self.sf.n {
+            self.in_basis[leaving] = false;
+        }
+        self.in_basis[enter] = true;
+        self.basis[pos] = enter;
+        if rec.enabled() {
+            rec.record_max("lp.eta_len", self.factor.eta_len() as u64);
+        }
+        if self.factor.needs_refactor() {
+            self.rebuild_factor()?;
+            if rec.enabled() {
+                rec.incr("lp.refactorizations", 1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Entering column under partial pricing (or Bland's rule), pricing
+    /// `d_j = c_j - y·a_j` by sparse dots. Returns `None` at optimality.
+    fn price(&mut self, y: &[f64], phase1: bool, bland: bool, rec: &dyn Recorder) -> Option<usize> {
+        let n_t = self.n_total();
+        let mut priced = 0u64;
+        let chosen = if bland {
+            let mut found = None;
+            for j in 0..n_t {
+                if !self.enterable(j) {
+                    continue;
+                }
+                priced += 1;
+                if self.cost(j, phase1) - self.dot_col(j, y) < -COST_TOL {
+                    found = Some(j);
+                    break;
+                }
+            }
+            found
+        } else {
+            // Cyclic candidate window: price at least `window` columns
+            // starting at the cursor, keep going until one is eligible (or
+            // the whole cycle is exhausted), take the most negative with a
+            // smallest-index tie-break.
+            let window = (n_t / 8).max(PRICE_WINDOW_MIN);
+            let mut best: Option<(usize, f64)> = None;
+            let mut j = if n_t == 0 { 0 } else { self.cursor % n_t };
+            for step in 0..n_t {
+                if self.enterable(j) {
+                    priced += 1;
+                    let d = self.cost(j, phase1) - self.dot_col(j, y);
+                    if d < -COST_TOL {
+                        let better = match best {
+                            None => true,
+                            Some((bj, bd)) => d < bd || (d == bd && j < bj),
+                        };
+                        if better {
+                            best = Some((j, d));
+                        }
+                    }
+                }
+                j = if j + 1 == n_t { 0 } else { j + 1 };
+                if step + 1 >= window && best.is_some() {
+                    break;
+                }
+            }
+            self.cursor = j;
+            best.map(|(j, _)| j)
+        };
+        if rec.enabled() {
+            rec.incr("lp.priced_columns", priced);
+        }
+        chosen
+    }
+
+    /// Leaving position by a two-pass minimum-ratio test: the first pass
+    /// finds the minimum ratio, the second admits rows within `RATIO_TOL` of
+    /// it and takes the largest pivot element (smallest basis column on
+    /// exact magnitude ties, keeping the sequence deterministic).
+    fn choose_leaving(&self, w: &[f64]) -> Option<usize> {
+        let mut theta = f64::INFINITY;
+        for i in 0..self.sf.m {
+            if w[i] > PIVOT_TOL {
+                theta = theta.min(self.x_b[i] / w[i]);
+            }
+        }
+        if theta == f64::INFINITY {
+            return None;
+        }
+        let cutoff = theta + RATIO_TOL * (1.0 + theta.abs());
+        let mut best: Option<usize> = None;
+        for i in 0..self.sf.m {
+            let a = w[i];
+            if a > PIVOT_TOL && self.x_b[i] / a <= cutoff {
+                let better = match best {
+                    None => true,
+                    Some(bi) => a > w[bi] || (a == w[bi] && self.basis[i] < self.basis[bi]),
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+        }
+        best
+    }
+
+    /// Primal simplex loop under the phase costs.
+    fn primal(
+        &mut self,
+        phase1: bool,
+        iters: &mut usize,
+        max_iterations: usize,
+        stall_limit: usize,
+        rec: &dyn Recorder,
+    ) -> Result<PhaseOutcome, LpError> {
+        let start = *iters;
+        let mut degenerate = 0u64;
+        let mut activations = 0u64;
+        let out = (|| {
+            let mut bland = false;
+            let mut stall = 0usize;
+            let mut last_obj = f64::INFINITY;
+            loop {
+                if *iters >= max_iterations {
+                    return Err(LpError::IterationLimit {
+                        limit: max_iterations,
+                    });
+                }
+                let y = self.duals(phase1);
+                let Some(enter) = self.price(&y, phase1, bland, rec) else {
+                    return Ok(PhaseOutcome::Optimal);
+                };
+                let mut w = self.dense_col(enter);
+                let mut scratch = std::mem::take(&mut self.scratch);
+                self.factor.ftran(&mut w, &mut scratch);
+                self.scratch = scratch;
+                let Some(pos) = self.choose_leaving(&w) else {
+                    return Ok(PhaseOutcome::Unbounded);
+                };
+                self.pivot(pos, enter, &w, rec)?;
+                *iters += 1;
+                let obj = self.objective(phase1);
+                if obj < last_obj - 1e-12 {
+                    stall = 0;
+                    last_obj = obj;
+                } else {
+                    degenerate += 1;
+                    stall += 1;
+                    if stall > stall_limit && !bland {
+                        bland = true;
+                        activations += 1;
+                    }
+                }
+            }
+        })();
+        if rec.enabled() {
+            rec.incr("lp.pivots", (*iters - start) as u64);
+            rec.incr("lp.degenerate_pivots", degenerate);
+            rec.incr("lp.bland_activations", activations);
+            if out.is_err() {
+                rec.incr("lp.iteration_limit_hits", 1);
+            }
+        }
+        out
+    }
+
+    /// Dual simplex from a dual-feasible basis with possibly negative
+    /// basic values, mirroring the dense `run_dual_phase`.
+    fn dual(
+        &mut self,
+        iters: &mut usize,
+        max_iterations: usize,
+        rec: &dyn Recorder,
+    ) -> Result<DualOutcome, LpError> {
+        let start = *iters;
+        let mut activations = 0u64;
+        let out = (|| {
+            let feas_tol = {
+                let max_b = self.x_b.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+                1e-7 * (1.0 + max_b)
+            };
+            let mut bland = false;
+            let mut stall = 0usize;
+            loop {
+                if *iters >= max_iterations {
+                    return Err(LpError::IterationLimit {
+                        limit: max_iterations,
+                    });
+                }
+                // Leaving row: most negative basic value (Bland: smallest
+                // basis column index).
+                let mut leave: Option<(usize, f64)> = None;
+                for i in 0..self.sf.m {
+                    let v = self.x_b[i];
+                    if v < -feas_tol {
+                        let better = match leave {
+                            None => true,
+                            Some((li, lv)) => {
+                                if bland {
+                                    self.basis[i] < self.basis[li]
+                                } else {
+                                    v < lv
+                                }
+                            }
+                        };
+                        if better {
+                            leave = Some((i, v));
+                        }
+                    }
+                }
+                let Some((pos, _)) = leave else {
+                    return Ok(DualOutcome::PrimalFeasible);
+                };
+                // Row pos of B^{-1}A via one BTRAN of e_pos, then the dual
+                // ratio test over negative entries.
+                let mut rho = vec![0.0; self.sf.m];
+                rho[pos] = 1.0;
+                let mut scratch = std::mem::take(&mut self.scratch);
+                self.factor.btran(&mut rho, &mut scratch);
+                self.scratch = scratch;
+                let y = self.duals(false);
+                // (column, row entry, dual ratio) of every eligible column.
+                let mut cands: Vec<(usize, f64, f64)> = Vec::new();
+                for j in 0..self.n_total() {
+                    if !self.enterable(j) {
+                        continue;
+                    }
+                    let a = self.dot_col(j, &rho);
+                    if a < -PIVOT_TOL {
+                        let d = self.cost(j, false) - self.dot_col(j, &y);
+                        cands.push((j, a, d / (-a)));
+                    }
+                }
+                let enter = if bland {
+                    let mut best: Option<(usize, f64)> = None;
+                    for &(j, _, ratio) in &cands {
+                        let better = match best {
+                            None => true,
+                            Some((ej, er)) => {
+                                ratio < er - 1e-12 || ((ratio - er).abs() <= 1e-12 && j < ej)
+                            }
+                        };
+                        if better {
+                            best = Some((j, ratio));
+                        }
+                    }
+                    best.map(|(j, _)| j)
+                } else {
+                    // Two-pass test mirroring `choose_leaving`: largest
+                    // magnitude among ratios within `RATIO_TOL` of the
+                    // minimum, smallest column on exact ties.
+                    let theta = cands.iter().fold(f64::INFINITY, |t, c| t.min(c.2));
+                    let cutoff = theta + RATIO_TOL * (1.0 + theta.abs());
+                    let mut best: Option<(usize, f64)> = None;
+                    for &(j, a, ratio) in &cands {
+                        if ratio <= cutoff {
+                            let better = match best {
+                                None => true,
+                                Some((ej, ea)) => a < ea || (a == ea && j < ej),
+                            };
+                            if better {
+                                best = Some((j, a));
+                            }
+                        }
+                    }
+                    best.map(|(j, _)| j)
+                };
+                let Some(enter) = enter else {
+                    // Row reads `(non-negative combination) = negative`:
+                    // empty feasible region.
+                    return Ok(DualOutcome::Infeasible);
+                };
+                let mut w = self.dense_col(enter);
+                let mut scratch = std::mem::take(&mut self.scratch);
+                self.factor.ftran(&mut w, &mut scratch);
+                self.scratch = scratch;
+                self.pivot(pos, enter, &w, rec)?;
+                *iters += 1;
+                stall += 1;
+                if stall > 1_000 && !bland {
+                    bland = true;
+                    activations += 1;
+                }
+            }
+        })();
+        if rec.enabled() {
+            rec.incr("lp.dual_pivots", (*iters - start) as u64);
+            rec.incr("lp.bland_activations", activations);
+            if out.is_err() {
+                rec.incr("lp.iteration_limit_hits", 1);
+            }
+        }
+        out
+    }
+
+    /// Dual repair followed by a primal clean-up — the warm/incremental
+    /// re-optimization.
+    fn dual_then_primal(
+        &mut self,
+        iters: &mut usize,
+        max_iterations: usize,
+        stall_limit: usize,
+        rec: &dyn Recorder,
+    ) -> Result<Status, LpError> {
+        match self.dual(iters, max_iterations, rec)? {
+            DualOutcome::Infeasible => return Ok(Status::Infeasible),
+            DualOutcome::PrimalFeasible => {}
+        }
+        match self.primal(false, iters, max_iterations, stall_limit, rec)? {
+            PhaseOutcome::Unbounded => Ok(Status::Unbounded),
+            PhaseOutcome::Optimal => Ok(Status::Optimal),
+        }
+    }
+
+    /// Pivots residual artificials out of the basis where a structural
+    /// column is available (degenerate pivots); redundant rows keep their
+    /// zero-valued artificial, which stays barred from re-entering.
+    fn drive_out_artificials(&mut self, rec: &dyn Recorder) -> Result<(), LpError> {
+        for pos in 0..self.sf.m {
+            if self.basis[pos] < self.sf.n {
+                continue;
+            }
+            let mut rho = vec![0.0; self.sf.m];
+            rho[pos] = 1.0;
+            let mut scratch = std::mem::take(&mut self.scratch);
+            self.factor.btran(&mut rho, &mut scratch);
+            self.scratch = scratch;
+            let replacement =
+                (0..self.sf.n).find(|&j| self.enterable(j) && self.dot_col(j, &rho).abs() > 1e-7);
+            if let Some(j) = replacement {
+                let mut w = self.dense_col(j);
+                let mut scratch = std::mem::take(&mut self.scratch);
+                self.factor.ftran(&mut w, &mut scratch);
+                self.scratch = scratch;
+                self.pivot(pos, j, &w, rec)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Recovers the original-space solution, objective, and duals.
+    fn extract(&mut self, model: &Model) -> (Vec<f64>, f64, Option<Vec<f64>>) {
+        let mut x_std = vec![0.0; self.sf.n];
+        for (pos, &j) in self.basis.iter().enumerate() {
+            if j < self.sf.n {
+                x_std[j] = self.x_b[pos].max(0.0);
+            }
+        }
+        let x = self.sf.recover(&x_std);
+        let objective = model.objective_value(&x);
+        let y = self.duals(false);
+        let duals = Some(self.sf.recover_duals(&y));
+        (x, objective, duals)
+    }
+}
+
+/// A combined-and-sorted appended row: coefficients over shifted
+/// variables, sense, shifted right-hand side.
+type PendingRow = (Vec<(usize, f64)>, Cmp, f64);
+
+/// Incremental revised-simplex session: the sparse counterpart of
+/// [`crate::SimplexSession`], with the same grow-by-appending-rows
+/// surface. Each appended batch becomes a single `O(nnz)` append-block
+/// operator on the basis factorization — no tableau re-layout, no
+/// re-elimination against existing rows.
+///
+/// # Example
+///
+/// ```
+/// use lubt_lp::{Cmp, LinExpr, Model, RevisedSession};
+/// let mut m = Model::new();
+/// let x = m.add_var(0.0, 1.0);
+/// let y = m.add_var(0.0, 1.0);
+/// m.add_constraint(LinExpr::from_terms([(x, 1.0), (y, 1.0)]), Cmp::Ge, 4.0);
+///
+/// let mut session = RevisedSession::start(m)?;
+/// assert!((session.solution().objective() - 4.0).abs() < 1e-7);
+/// session.add_constraint(LinExpr::from_terms([(x, 1.0)]), Cmp::Ge, 3.0)?;
+/// let sol = session.resolve()?;
+/// assert!((sol.objective() - 4.0).abs() < 1e-7);
+/// # Ok::<(), lubt_lp::LpError>(())
+/// ```
+pub struct RevisedSession {
+    model: Model,
+    /// Live kernel, kept at an optimal basis between resolves (absent when
+    /// the session can no longer be grown).
+    kernel: Option<Kernel>,
+    pending: Vec<PendingRow>,
+    solution: Solution,
+    max_iterations: usize,
+    stall_limit: usize,
+    recorder: Arc<dyn Recorder>,
+    infeasible: bool,
+}
+
+impl RevisedSession {
+    /// Cold-solves `model` and retains the kernel for incremental growth.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::SimplexSession::start`].
+    pub fn start(model: Model) -> Result<Self, LpError> {
+        Self::start_with(model, RevisedSolver::new())
+    }
+
+    /// Like [`RevisedSession::start`], but the cold solve and every later
+    /// [`RevisedSession::resolve`] inherit `solver`'s limits and recorder.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::SimplexSession::start`].
+    pub fn start_with(model: Model, solver: RevisedSolver) -> Result<Self, LpError> {
+        let (solution, kernel) = solver.solve_keeping_kernel(&model)?;
+        let infeasible = solution.status() != Status::Optimal;
+        Ok(RevisedSession {
+            model,
+            kernel,
+            pending: Vec::new(),
+            solution,
+            max_iterations: solver.max_iterations(),
+            stall_limit: solver.stall_limit,
+            recorder: Arc::clone(solver.recorder()),
+            infeasible,
+        })
+    }
+
+    /// The model as grown so far.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The solution of the most recent (re)solve.
+    pub fn solution(&self) -> &Solution {
+        &self.solution
+    }
+
+    /// Appends an inequality row (`Le` or `Ge`). Takes effect at the next
+    /// [`RevisedSession::resolve`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::SimplexSession::add_constraint`].
+    pub fn add_constraint(&mut self, expr: LinExpr, cmp: Cmp, rhs: f64) -> Result<(), LpError> {
+        if cmp == Cmp::Eq {
+            return Err(LpError::NumericalBreakdown(
+                "incremental sessions accept only inequality rows (equalities need artificials)"
+                    .to_string(),
+            ));
+        }
+        if !rhs.is_finite() {
+            return Err(LpError::NonFiniteInput {
+                what: "appended row rhs".to_string(),
+                value: rhs,
+            });
+        }
+        let shift = self
+            .kernel
+            .as_ref()
+            .map(|k| k.sf.shift.clone())
+            .unwrap_or_else(|| self.model.lower.clone());
+        let mut combined: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+        let mut shifted_rhs = rhs;
+        for &(v, c) in expr.terms() {
+            if v.index() >= self.model.num_vars() {
+                return Err(LpError::UnknownVariable {
+                    index: v.index(),
+                    model_vars: self.model.num_vars(),
+                });
+            }
+            if !c.is_finite() {
+                return Err(LpError::NonFiniteInput {
+                    what: "appended row coefficient".to_string(),
+                    value: c,
+                });
+            }
+            *combined.entry(v.index()).or_insert(0.0) += c;
+            shifted_rhs -= c * shift[v.index()];
+        }
+        let mut terms: Vec<(usize, f64)> =
+            combined.into_iter().filter(|&(_, c)| c != 0.0).collect();
+        terms.sort_by_key(|&(i, _)| i);
+        self.model.add_constraint(expr, cmp, rhs);
+        self.pending.push((terms, cmp, shifted_rhs));
+        Ok(())
+    }
+
+    /// Integrates all pending rows as one append block and re-optimizes
+    /// with the dual simplex.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::SimplexSession::resolve`].
+    pub fn resolve(&mut self) -> Result<&Solution, LpError> {
+        if self.infeasible {
+            self.pending.clear();
+            return Ok(&self.solution);
+        }
+        if self.pending.is_empty() {
+            return Ok(&self.solution);
+        }
+        // A residual artificial in the basis (redundant equality row in the
+        // seed model) would be aliased by the appended slack's column id;
+        // re-solve the grown model cold instead — `add_constraint` already
+        // recorded every pending row in `self.model`.
+        let has_artificials = self
+            .kernel
+            .as_ref()
+            .is_none_or(|k| k.basis.iter().any(|&j| j >= k.sf.n));
+        if has_artificials {
+            self.pending.clear();
+            if self.recorder.enabled() {
+                self.recorder.incr("lp.resolves", 1);
+            }
+            let solver = RevisedSolver::new()
+                .with_max_iterations(self.max_iterations)
+                .with_stall_limit(self.stall_limit)
+                .with_recorder(Arc::clone(&self.recorder));
+            let (solution, kernel) = solver.solve_keeping_kernel(&self.model)?;
+            self.infeasible = solution.status() != Status::Optimal;
+            self.solution = solution;
+            self.kernel = kernel;
+            return Ok(&self.solution);
+        }
+        let kernel = self
+            .kernel
+            .as_mut()
+            .expect("an optimal session always holds a kernel");
+        let batch: Vec<(Vec<(usize, f64)>, f64)> = std::mem::take(&mut self.pending)
+            .into_iter()
+            .map(|(terms, cmp, rhs)| {
+                // Orient the row so its slack carries +1: `sum <= rhs`
+                // passes through, `sum >= rhs` is negated.
+                let sign = match cmp {
+                    Cmp::Le => 1.0,
+                    Cmp::Ge => -1.0,
+                    Cmp::Eq => unreachable!("rejected in add_constraint"),
+                };
+                (
+                    terms.iter().map(|&(i, c)| (i, sign * c)).collect(),
+                    sign * rhs,
+                )
+            })
+            .collect();
+
+        // Append block: the new rows' coefficients on the current basis
+        // columns (by position), the fresh slacks joining the basis.
+        let mut pos_of = vec![usize::MAX; kernel.sf.n];
+        for (pos, &bcol) in kernel.basis.iter().enumerate() {
+            if bcol < kernel.sf.n {
+                pos_of[bcol] = pos;
+            }
+        }
+        let mut crows = Vec::with_capacity(batch.len());
+        for (terms, rhs) in &batch {
+            let mut crow: Vec<(usize, f64)> = terms
+                .iter()
+                .filter(|&&(j, _)| pos_of[j] != usize::MAX)
+                .map(|&(j, c)| (pos_of[j], c))
+                .collect();
+            crow.sort_unstable_by_key(|&(p, _)| p);
+            crows.push(crow);
+            kernel.basis.push(kernel.sf.n); // the row's fresh slack
+            kernel.in_basis.push(true);
+            kernel.sf.append_row(terms, *rhs);
+        }
+        kernel.factor.push_append(crows);
+        // Recompute the basic values through the extended operator chain
+        // (the old positions are untouched by construction).
+        kernel.x_b = kernel.sf.b.clone();
+        let mut x = std::mem::take(&mut kernel.x_b);
+        let mut scratch = std::mem::take(&mut kernel.scratch);
+        kernel.factor.ftran(&mut x, &mut scratch);
+        kernel.x_b = x;
+        kernel.scratch = scratch;
+
+        let mut iters = self.solution.iterations();
+        if self.recorder.enabled() {
+            self.recorder.incr("lp.resolves", 1);
+        }
+        let status = kernel.dual_then_primal(
+            &mut iters,
+            self.max_iterations,
+            self.stall_limit,
+            &*self.recorder,
+        )?;
+        if self.recorder.enabled() {
+            self.recorder.record_max("lp.peak_pivots", iters as u64);
+            self.recorder.gauge(
+                "lp.limit_fraction",
+                iters as f64 / self.max_iterations.max(1) as f64,
+            );
+        }
+        match status {
+            Status::Optimal => {
+                let n_orig = self.model.num_vars();
+                let mut x = vec![0.0; n_orig];
+                for (pos, &b) in kernel.basis.iter().enumerate() {
+                    if b < n_orig {
+                        x[b] = kernel.x_b[pos].max(0.0);
+                    }
+                }
+                for (xi, s) in x.iter_mut().zip(&kernel.sf.shift) {
+                    *xi += s;
+                }
+                let objective = self.model.objective_value(&x);
+                self.solution = Solution::new(Status::Optimal, x, objective, None, iters);
+            }
+            Status::Infeasible => {
+                self.infeasible = true;
+                self.solution = Solution::infeasible(self.model.num_vars(), iters);
+            }
+            Status::Unbounded => {
+                self.solution = Solution::unbounded(self.model.num_vars(), iters);
+            }
+        }
+        Ok(&self.solution)
+    }
+}
+
+impl std::fmt::Debug for RevisedSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RevisedSession")
+            .field("vars", &self.model.num_vars())
+            .field("rows", &self.model.num_constraints())
+            .field("pending", &self.pending.len())
+            .field("status", &self.solution.status())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Var;
+    use crate::SimplexSolver;
+
+    fn expr(terms: &[(Var, f64)]) -> LinExpr {
+        LinExpr::from_terms(terms.iter().copied())
+    }
+
+    fn assert_agrees(m: &Model) {
+        let dense = SimplexSolver::new().solve(m).unwrap();
+        let revised = RevisedSolver::new().solve(m).unwrap();
+        assert_eq!(dense.status(), revised.status());
+        if dense.is_optimal() {
+            assert!(
+                (dense.objective() - revised.objective()).abs()
+                    < 1e-9 * (1.0 + dense.objective().abs()),
+                "dense {} vs revised {}",
+                dense.objective(),
+                revised.objective()
+            );
+            assert!(m.check_feasible(revised.values(), 1e-6).is_ok());
+        }
+    }
+
+    #[test]
+    fn agrees_with_dense_on_basic_shapes() {
+        // Optimal with mixed senses and shifted bounds.
+        let mut m = Model::new();
+        let x = m.add_var(0.0, -1.0);
+        let y = m.add_var(0.0, -2.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Cmp::Le, 4.0);
+        m.add_constraint(expr(&[(y, 1.0)]), Cmp::Le, 2.0);
+        assert_agrees(&m);
+
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let y = m.add_var(2.0, 3.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Cmp::Ge, 5.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, -1.0)]), Cmp::Ge, 1.0);
+        m.add_constraint(expr(&[(y, 1.0)]), Cmp::Eq, 3.0);
+        assert_agrees(&m);
+    }
+
+    #[test]
+    fn detects_infeasible_and_unbounded() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        m.add_constraint(expr(&[(x, 1.0)]), Cmp::Ge, 5.0);
+        m.add_constraint(expr(&[(x, 1.0)]), Cmp::Le, 3.0);
+        assert_eq!(
+            RevisedSolver::new().solve(&m).unwrap().status(),
+            Status::Infeasible
+        );
+
+        let mut m = Model::new();
+        let x = m.add_var(0.0, -1.0);
+        let y = m.add_var(0.0, 0.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, -1.0)]), Cmp::Le, 1.0);
+        assert_eq!(
+            RevisedSolver::new().solve(&m).unwrap().status(),
+            Status::Unbounded
+        );
+    }
+
+    #[test]
+    fn no_constraints_matches_dense() {
+        let mut m = Model::new();
+        let x = m.add_var(2.0, 1.0);
+        let y = m.add_var(-1.0, 3.0);
+        let s = RevisedSolver::new().solve(&m).unwrap();
+        assert!(s.is_optimal());
+        assert_eq!(s.value(x), 2.0);
+        assert_eq!(s.value(y), -1.0);
+
+        let mut m = Model::new();
+        let _ = m.add_var(0.0, -1.0);
+        assert_eq!(
+            RevisedSolver::new().solve(&m).unwrap().status(),
+            Status::Unbounded
+        );
+    }
+
+    #[test]
+    fn redundant_equalities_leave_residual_artificials() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let y = m.add_var(0.0, 1.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Cmp::Eq, 2.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Cmp::Eq, 2.0);
+        let s = RevisedSolver::new().solve(&m).unwrap();
+        assert!(s.is_optimal());
+        assert!((s.objective() - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let y = m.add_var(0.0, 2.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Cmp::Ge, 3.0);
+        m.add_constraint(expr(&[(x, 1.0)]), Cmp::Le, 2.0);
+        let s = RevisedSolver::new().solve(&m).unwrap();
+        assert!((s.objective() - 4.0).abs() < 1e-7);
+        let duals = s.duals().expect("revised simplex provides duals");
+        let dual_obj = 3.0 * duals[0] + 2.0 * duals[1];
+        assert!((dual_obj - s.objective()).abs() < 1e-6, "duals {duals:?}");
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let y = m.add_var(0.0, 1.0);
+        for k in 1..20 {
+            m.add_constraint(expr(&[(x, 1.0), (y, k as f64)]), Cmp::Ge, 0.0);
+        }
+        m.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Cmp::Ge, 1.0);
+        let s = RevisedSolver::new().solve(&m).unwrap();
+        assert!(s.is_optimal());
+        assert!((s.objective() - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn warm_start_tokens_transfer_between_backends() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let y = m.add_var(0.0, 1.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Cmp::Ge, 4.0);
+        // Dense-produced token consumed by the revised solver...
+        let (s1, warm) = SimplexSolver::new().solve_warm(&m, None).unwrap();
+        assert!(s1.is_optimal());
+        let warm = warm.expect("optimal basis yields a token");
+        m.add_constraint(expr(&[(x, 1.0)]), Cmp::Ge, 3.0);
+        let (s2, warm2) = RevisedSolver::new().solve_warm(&m, Some(&warm)).unwrap();
+        assert!(s2.is_optimal());
+        assert!((s2.objective() - 4.0).abs() < 1e-7);
+        // ...and the revised token consumed by the dense solver.
+        let warm2 = warm2.expect("optimal basis yields a token");
+        m.add_constraint(expr(&[(y, 1.0)]), Cmp::Ge, 1.5);
+        let (s3, _) = SimplexSolver::new().solve_warm(&m, Some(&warm2)).unwrap();
+        assert!(s3.is_optimal());
+        assert!((s3.objective() - 4.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn session_matches_cold_solves_row_by_row() {
+        let mut base = Model::new();
+        let vars = base.add_vars(5, 0.0, 1.0);
+        base.add_constraint(
+            LinExpr::from_terms(vars.iter().map(|&v| (v, 1.0))),
+            Cmp::Ge,
+            10.0,
+        );
+        let mut session = RevisedSession::start(base.clone()).unwrap();
+        let rows: &[(&[usize], Cmp, f64)] = &[
+            (&[0, 1], Cmp::Ge, 6.0),
+            (&[2, 3], Cmp::Ge, 5.0),
+            (&[4], Cmp::Le, 2.0),
+            (&[0, 4], Cmp::Ge, 3.0),
+        ];
+        for &(cols, cmp, rhs) in rows {
+            let e = LinExpr::from_terms(cols.iter().map(|&c| (vars[c], 1.0)));
+            base.add_constraint(e.clone(), cmp, rhs);
+            session.add_constraint(e, cmp, rhs).unwrap();
+            let inc = session.resolve().unwrap().clone();
+            let cold = RevisedSolver::new().solve(&base).unwrap();
+            assert_eq!(inc.status(), cold.status());
+            assert!(
+                (inc.objective() - cold.objective()).abs() < 1e-7,
+                "incremental {} vs cold {}",
+                inc.objective(),
+                cold.objective()
+            );
+            assert!(base.check_feasible(inc.values(), 1e-6).is_ok());
+        }
+    }
+
+    #[test]
+    fn session_with_shifted_lower_bounds() {
+        let mut m = Model::new();
+        let x = m.add_var(2.0, 1.0);
+        let y = m.add_var(-1.0, 1.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Cmp::Ge, 4.0);
+        let mut s = RevisedSession::start(m).unwrap();
+        assert!((s.solution().objective() - 4.0).abs() < 1e-7);
+        s.add_constraint(expr(&[(y, 1.0)]), Cmp::Ge, 1.5).unwrap();
+        let sol = s.resolve().unwrap();
+        assert!((sol.objective() - 4.0).abs() < 1e-7);
+        assert!(sol.value(x) >= 2.0 - 1e-9);
+        assert!(sol.value(y) >= 1.5 - 1e-9);
+    }
+
+    #[test]
+    fn session_detects_infeasibility_and_stays_there() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        m.add_constraint(expr(&[(x, 1.0)]), Cmp::Le, 3.0);
+        let mut s = RevisedSession::start(m).unwrap();
+        s.add_constraint(expr(&[(x, 1.0)]), Cmp::Ge, 5.0).unwrap();
+        assert_eq!(s.resolve().unwrap().status(), Status::Infeasible);
+        s.add_constraint(expr(&[(x, 1.0)]), Cmp::Ge, 1.0).unwrap();
+        assert_eq!(s.resolve().unwrap().status(), Status::Infeasible);
+    }
+
+    #[test]
+    fn equality_rows_are_rejected_by_the_session() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        m.add_constraint(expr(&[(x, 1.0)]), Cmp::Ge, 1.0);
+        let mut s = RevisedSession::start(m).unwrap();
+        assert!(s.add_constraint(expr(&[(x, 1.0)]), Cmp::Eq, 2.0).is_err());
+    }
+
+    #[test]
+    fn many_appended_rows_force_refactorizations() {
+        // Enough growth and re-pivoting to cross the eta-refresh trigger;
+        // the answer must keep matching cold dense solves throughout.
+        let rec = std::sync::Arc::new(lubt_obs::TraceRecorder::new());
+        let mut base = Model::new();
+        let vars = base.add_vars(12, 0.0, 1.0);
+        base.add_constraint(
+            LinExpr::from_terms(vars.iter().map(|&v| (v, 1.0))),
+            Cmp::Ge,
+            24.0,
+        );
+        let mut session = RevisedSession::start_with(
+            base.clone(),
+            RevisedSolver::new().with_recorder(rec.clone()),
+        )
+        .unwrap();
+        for k in 0..40 {
+            let a = k % 12;
+            let b = (k * 5 + 3) % 12;
+            if a == b {
+                continue;
+            }
+            let e = LinExpr::from_terms([(vars[a], 1.0), (vars[b], 1.0)]);
+            let rhs = 2.0 + (k % 7) as f64 * 0.5;
+            base.add_constraint(e.clone(), Cmp::Ge, rhs);
+            session.add_constraint(e, Cmp::Ge, rhs).unwrap();
+        }
+        let inc = session.resolve().unwrap().clone();
+        let cold = SimplexSolver::new().solve(&base).unwrap();
+        assert_eq!(inc.status(), cold.status());
+        assert!(
+            (inc.objective() - cold.objective()).abs() < 1e-6,
+            "incremental {} vs dense cold {}",
+            inc.objective(),
+            cold.objective()
+        );
+        let t = rec.snapshot();
+        assert!(t.counter("lp.priced_columns") > 0, "{t:?}");
+        assert!(t.maximum("lp.eta_len") > 0, "{t:?}");
+    }
+
+    #[test]
+    fn recorder_sees_revised_counters() {
+        let rec = std::sync::Arc::new(lubt_obs::TraceRecorder::new());
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let y = m.add_var(0.0, 1.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Cmp::Ge, 5.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, -1.0)]), Cmp::Ge, 1.0);
+        let solver = RevisedSolver::new().with_recorder(rec.clone());
+        let s = solver.solve(&m).unwrap();
+        assert!(s.is_optimal());
+        let t = rec.snapshot();
+        assert_eq!(t.counter("lp.solves"), 1);
+        assert!(t.counter("lp.pivots") >= 1, "{t:?}");
+        assert!(t.counter("lp.priced_columns") >= 1, "{t:?}");
+        assert_eq!(t.maximum("lp.peak_pivots"), s.iterations() as u64);
+    }
+
+    #[test]
+    fn iteration_limit_is_reported() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let y = m.add_var(0.0, 1.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Cmp::Ge, 5.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, -1.0)]), Cmp::Ge, 1.0);
+        let err = RevisedSolver::new()
+            .with_max_iterations(1)
+            .solve(&m)
+            .unwrap_err();
+        assert!(matches!(err, LpError::IterationLimit { limit: 1 }));
+    }
+
+    #[test]
+    fn resolve_without_pending_is_a_no_op() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        m.add_constraint(expr(&[(x, 1.0)]), Cmp::Ge, 2.0);
+        let mut s = RevisedSession::start(m).unwrap();
+        let before = s.solution().objective();
+        let after = s.resolve().unwrap().objective();
+        assert_eq!(before, after);
+    }
+}

@@ -18,9 +18,9 @@ use crate::{LpError, LpSolve, Model, Solution, Status};
 /// and only repairs the newly violated rows.
 #[derive(Debug, Clone)]
 pub struct WarmStart {
-    basis: Vec<usize>,
-    num_vars: usize,
-    num_rows: usize,
+    pub(crate) basis: Vec<usize>,
+    pub(crate) num_vars: usize,
+    pub(crate) num_rows: usize,
 }
 
 /// Two-phase primal simplex on a dense tableau.

@@ -1,0 +1,281 @@
+//! Differential testing of the dense tableau simplex against the sparse
+//! revised simplex: on random LPs spanning all three outcomes (optimal,
+//! infeasible, unbounded) the two backends must agree on status and — when
+//! optimal — on objective to 1e-9, both cold and across incremental
+//! session rounds. On a mismatch the failure message carries a
+//! first-diverging-pivot diagnostic built from the per-phase pivot
+//! counters of both backends.
+
+use std::sync::Arc;
+
+use lubt_lp::{
+    Cmp, LinExpr, LpSolve, Model, RevisedSession, RevisedSolver, SimplexSession, SimplexSolver,
+    Solution, Status, Var,
+};
+use lubt_obs::{Recorder, SolveTrace, TraceRecorder};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Integral coefficient grids keep the arithmetic of both backends
+/// essentially exact, so a 1e-9 objective comparison is meaningful and
+/// status flips at tolerance boundaries cannot occur.
+#[derive(Debug, Clone)]
+struct RandRow {
+    coefs: Vec<i8>,
+    le: bool,
+    rhs_quarters: i32,
+}
+
+impl RandRow {
+    /// Rewrites the row into covering shape (`sum |a| x >= max(|b|, 1/4)`),
+    /// which keeps a nonnegative-cost LP feasible and bounded.
+    fn make_covering(&mut self) {
+        for c in &mut self.coefs {
+            *c = c.abs();
+        }
+        self.le = false;
+        self.rhs_quarters = self.rhs_quarters.abs().max(1);
+    }
+
+    fn expr(&self, vars: &[Var]) -> LinExpr {
+        vars.iter()
+            .enumerate()
+            .filter(|&(i, _)| self.coefs[i] != 0)
+            .map(|(i, &v)| (v, f64::from(self.coefs[i])))
+            .collect()
+    }
+
+    fn cmp(&self) -> Cmp {
+        if self.le {
+            Cmp::Le
+        } else {
+            Cmp::Ge
+        }
+    }
+
+    fn rhs(&self) -> f64 {
+        f64::from(self.rhs_quarters) / 4.0
+    }
+}
+
+fn rand_row(width: usize) -> impl Strategy<Value = RandRow> {
+    (
+        proptest::collection::vec(-3i8..4, width),
+        proptest::bool::ANY,
+        -20i32..32,
+    )
+        .prop_map(|(coefs, le, rhs_quarters)| RandRow {
+            coefs,
+            le,
+            rhs_quarters,
+        })
+}
+
+fn build(n: usize, costs: &[i8], rows: &[RandRow]) -> (Model, Vec<Var>) {
+    let mut m = Model::new();
+    let vars: Vec<Var> = (0..n)
+        .map(|i| m.add_var(0.0, f64::from(costs[i])))
+        .collect();
+    for row in rows {
+        let e = row.expr(&vars);
+        if e.terms().is_empty() {
+            continue;
+        }
+        m.add_constraint(e, row.cmp(), row.rhs());
+    }
+    (m, vars)
+}
+
+/// Solves with both backends under tracing and, when they disagree,
+/// renders the counter evidence locating the first pivot at which the two
+/// runs can have diverged.
+fn solve_both(m: &Model) -> Result<(Solution, Solution), TestCaseError> {
+    let dense_rec = Arc::new(TraceRecorder::new());
+    let revised_rec = Arc::new(TraceRecorder::new());
+    let dense = SimplexSolver::new()
+        .with_recorder(dense_rec.clone() as Arc<dyn Recorder>)
+        .solve(m)
+        .map_err(|e| TestCaseError::Fail(format!("dense: {e}")))?;
+    let revised = RevisedSolver::new()
+        .with_recorder(revised_rec.clone() as Arc<dyn Recorder>)
+        .solve(m)
+        .map_err(|e| TestCaseError::Fail(format!("revised: {e}")))?;
+    let agree = dense.status() == revised.status()
+        && (!dense.is_optimal()
+            || (dense.objective() - revised.objective()).abs()
+                <= 1e-9 * (1.0 + dense.objective().abs()));
+    if agree {
+        Ok((dense, revised))
+    } else {
+        Err(TestCaseError::Fail(divergence_diagnostic(
+            &dense,
+            &revised,
+            &dense_rec.snapshot(),
+            &revised_rec.snapshot(),
+        )))
+    }
+}
+
+/// Both pivot sequences are deterministic, so the first divergence is
+/// bounded by the point where the per-phase pivot counts stop matching;
+/// report that pivot index along with both backends' counter evidence.
+fn divergence_diagnostic(
+    dense: &Solution,
+    revised: &Solution,
+    dt: &SolveTrace,
+    rt: &SolveTrace,
+) -> String {
+    let phases = [
+        (
+            "primal",
+            dt.counter("simplex.pivots"),
+            rt.counter("lp.pivots"),
+        ),
+        (
+            "dual",
+            dt.counter("simplex.dual_pivots"),
+            rt.counter("lp.dual_pivots"),
+        ),
+    ];
+    let mut pivot_base = 0u64;
+    let mut first = None;
+    for (phase, d, r) in phases {
+        if d != r && first.is_none() {
+            first = Some(format!(
+                "first diverging pivot no later than {} (in the {phase} phase: \
+                 dense made {d} pivot(s), revised {r})",
+                pivot_base + d.min(r) + 1
+            ));
+        }
+        pivot_base += d.min(r);
+    }
+    let first = first.unwrap_or_else(|| {
+        format!(
+            "pivot counts agree ({} primal / {} dual): backends diverge in \
+             arithmetic, not in the pivot sequence",
+            dt.counter("simplex.pivots"),
+            dt.counter("simplex.dual_pivots"),
+        )
+    });
+    format!(
+        "backends disagree: dense {:?} obj {} ({} iter) vs revised {:?} obj {} ({} iter); {first}; \
+         dense degenerate={} bland={}, revised degenerate={} bland={} priced={}",
+        dense.status(),
+        dense.objective(),
+        dense.iterations(),
+        revised.status(),
+        revised.objective(),
+        revised.iterations(),
+        dt.counter("simplex.degenerate_pivots"),
+        dt.counter("simplex.bland_activations"),
+        rt.counter("lp.degenerate_pivots"),
+        rt.counter("lp.bland_activations"),
+        rt.counter("lp.priced_columns"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random mixed-sense LPs with signed costs naturally span optimal,
+    /// infeasible and unbounded outcomes; the backends must agree on all
+    /// three.
+    #[test]
+    fn dense_and_revised_agree_on_random_mixed_lps(
+        n in 1usize..6,
+        costs in proptest::collection::vec(-3i8..4, 6),
+        rows in proptest::collection::vec(rand_row(6), 0..8),
+    ) {
+        let (m, _) = build(n, &costs, &rows);
+        let (dense, revised) = solve_both(&m)?;
+        if dense.is_optimal() {
+            prop_assert!(m.check_feasible(revised.values(), 1e-6).is_ok());
+        }
+        prop_assert_eq!(dense.status(), revised.status());
+    }
+
+    /// Covering LPs (always optimal) pin the tight 1e-9 objective
+    /// agreement on the pure phase-1 + phase-2 path.
+    #[test]
+    fn dense_and_revised_agree_on_covering_lps(
+        n in 2usize..8,
+        costs in proptest::collection::vec(1i8..4, 8),
+        rows in proptest::collection::vec(rand_row(8), 1..8),
+    ) {
+        let mut rows = rows;
+        for row in &mut rows {
+            row.make_covering();
+        }
+        let (m, _) = build(n, &costs, &rows);
+        prop_assume!(m.num_constraints() > 0);
+        let (dense, revised) = solve_both(&m)?;
+        prop_assert_eq!(dense.status(), Status::Optimal);
+        prop_assert_eq!(revised.status(), Status::Optimal);
+    }
+
+    /// The incremental sessions must stay in lock-step across separation
+    /// rounds: after every batch of appended rows, both report the same
+    /// status and (when optimal) objectives within 1e-9.
+    #[test]
+    fn sessions_agree_across_incremental_rounds(
+        n in 2usize..6,
+        costs in proptest::collection::vec(1i8..4, 6),
+        seed_rows in proptest::collection::vec(rand_row(6), 1..4),
+        append_rounds in proptest::collection::vec(
+            proptest::collection::vec(rand_row(6), 1..3), 1..4),
+    ) {
+        // Covering-shaped base keeps the seed optimal so both sessions
+        // start growable; appended rows are unrestricted and may drive
+        // the model infeasible — in which case both must latch.
+        let mut base_rows = seed_rows;
+        for row in &mut base_rows {
+            row.make_covering();
+        }
+        let (base, vars) = build(n, &costs, &base_rows);
+        prop_assume!(base.num_constraints() > 0);
+        let mut dense = SimplexSession::start_with(base.clone(), SimplexSolver::new())
+            .map_err(|e| TestCaseError::Fail(format!("dense start: {e}")))?;
+        let mut revised = RevisedSession::start_with(base, RevisedSolver::new())
+            .map_err(|e| TestCaseError::Fail(format!("revised start: {e}")))?;
+        for (round, batch) in append_rounds.iter().enumerate() {
+            for row in batch {
+                let e = row.expr(&vars);
+                if e.terms().is_empty() {
+                    continue;
+                }
+                dense
+                    .add_constraint(e.clone(), row.cmp(), row.rhs())
+                    .map_err(|e| TestCaseError::Fail(format!("dense add: {e}")))?;
+                revised
+                    .add_constraint(e, row.cmp(), row.rhs())
+                    .map_err(|e| TestCaseError::Fail(format!("revised add: {e}")))?;
+            }
+            let ds = dense
+                .resolve()
+                .map_err(|e| TestCaseError::Fail(format!("dense resolve: {e}")))?
+                .clone();
+            let rs = revised
+                .resolve()
+                .map_err(|e| TestCaseError::Fail(format!("revised resolve: {e}")))?
+                .clone();
+            prop_assert_eq!(
+                ds.status(),
+                rs.status(),
+                "round {}: dense {:?} vs revised {:?}",
+                round,
+                ds.status(),
+                rs.status()
+            );
+            if ds.status() == Status::Optimal {
+                prop_assert!(
+                    (ds.objective() - rs.objective()).abs()
+                        <= 1e-9 * (1.0 + ds.objective().abs()),
+                    "round {}: dense obj {} vs revised obj {}",
+                    round,
+                    ds.objective(),
+                    rs.objective()
+                );
+            }
+        }
+    }
+}

@@ -122,6 +122,7 @@ fn bench_document_report_and_prometheus_expositions_are_strict() {
         threads: 2,
         sizes: vec![5],
         interior_cap: 5,
+        full: false,
     })
     .expect("pinned suite solves");
     let doc = run.to_json();

@@ -1,0 +1,34 @@
+//! Scale gate for the revised backend: the 512-sink clustered bench
+//! instance once drove the basis singular through noise-level ratio-test
+//! pivots (fixed by explicit basis membership tracking plus the two-pass
+//! ratio tests in `lubt-lp::revised`). Too slow for the default suite;
+//! run with `cargo test --release --test repro_c512 -- --ignored`.
+
+use lubt::core::{DelayBounds, EbfSolver, LubtProblem, SolverBackend};
+use lubt::data::synthetic;
+use lubt::topology::{nearest_neighbor_topology, SourceMode};
+
+#[test]
+#[ignore]
+fn c512_revised() {
+    let inst = synthetic::clustered("c512", 512, 1000.0, 3, 0xC1A0 + 512);
+    let radius = inst.radius();
+    let topo = nearest_neighbor_topology(&inst.sinks, SourceMode::Given);
+    let problem = LubtProblem::new(
+        inst.sinks.clone(),
+        inst.source,
+        topo,
+        DelayBounds::uniform(512, 0.9 * radius, 1.4 * radius),
+    )
+    .unwrap();
+    let result = EbfSolver::new()
+        .with_backend(SolverBackend::Revised)
+        .solve(&problem);
+    match result {
+        Ok((_, report)) => println!(
+            "ok: rounds {} iters {}",
+            report.separation_rounds, report.lp_iterations
+        ),
+        Err(e) => panic!("revised failed: {e}"),
+    }
+}
