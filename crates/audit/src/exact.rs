@@ -1,0 +1,530 @@
+//! Minimal exact arithmetic for certificate auditing: arbitrary-precision
+//! integers and **dyadic rationals** (`num / 2^exp`).
+//!
+//! Every number the auditors touch — model coefficients, solution values,
+//! duals, tolerances — is an `f64`, i.e. exactly a dyadic rational. Sums
+//! and products of dyadics are dyadic, so residuals, reduced costs and
+//! pathlengths can be evaluated with *zero* rounding error without ever
+//! needing division or gcd reduction. This keeps the module a few hundred
+//! lines of schoolbook arithmetic instead of a bignum library.
+
+use std::cmp::Ordering;
+
+/// Arbitrary-precision unsigned integer: little-endian `u32` limbs with no
+/// trailing zero limbs (the canonical empty vector is zero).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BigUint {
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> BigUint {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// Converts from a machine integer.
+    pub fn from_u64(v: u64) -> BigUint {
+        let mut n = BigUint {
+            limbs: vec![v as u32, (v >> 32) as u32],
+        };
+        n.trim();
+        n
+    }
+
+    /// `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    fn trim(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Magnitude comparison.
+    pub fn cmp_mag(&self, other: &BigUint) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Sum.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut limbs = Vec::with_capacity(long.limbs.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.limbs.len() {
+            let s = long.limbs[i] as u64 + short.limbs.get(i).copied().unwrap_or(0) as u64 + carry;
+            limbs.push(s as u32);
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            limbs.push(carry as u32);
+        }
+        let mut n = BigUint { limbs };
+        n.trim();
+        n
+    }
+
+    /// Difference; callers must guarantee `self >= other`.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        debug_assert!(self.cmp_mag(other) != Ordering::Less);
+        let mut limbs = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let d = self.limbs[i] as i64 - other.limbs.get(i).copied().unwrap_or(0) as i64 - borrow;
+            if d < 0 {
+                limbs.push((d + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                limbs.push(d as u32);
+                borrow = 0;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = BigUint { limbs };
+        n.trim();
+        n
+    }
+
+    /// Schoolbook product.
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut limbs = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = a as u64 * b as u64 + limbs[i + j] as u64 + carry;
+                limbs[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let t = limbs[k] as u64 + carry;
+                limbs[k] = t as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs };
+        n.trim();
+        n
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: u64) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = (bits / 32) as usize;
+        let bit_shift = (bits % 32) as u32;
+        let mut limbs = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        let mut n = BigUint { limbs };
+        n.trim();
+        n
+    }
+
+    /// Right shift by `bits` (low bits are discarded; normalization only
+    /// ever shifts off zeros).
+    pub fn shr(&self, bits: u64) -> BigUint {
+        let limb_shift = (bits / 32) as usize;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = (bits % 32) as u32;
+        let src = &self.limbs[limb_shift..];
+        let mut limbs = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            limbs.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                limbs.push((src[i] >> bit_shift) | (hi << (32 - bit_shift)));
+            }
+        }
+        let mut n = BigUint { limbs };
+        n.trim();
+        n
+    }
+
+    /// Number of trailing zero bits (0 for the zero value).
+    pub fn trailing_zeros(&self) -> u64 {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return i as u64 * 32 + l.trailing_zeros() as u64;
+            }
+        }
+        0
+    }
+
+    /// Approximate float image — for human-readable messages only.
+    pub fn to_f64(&self) -> f64 {
+        let mut v = 0.0f64;
+        for &l in self.limbs.iter().rev() {
+            v = v * 4_294_967_296.0 + l as f64;
+        }
+        v
+    }
+}
+
+/// Arbitrary-precision signed integer (zero is never negative).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BigInt {
+    neg: bool,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// Zero.
+    pub fn zero() -> BigInt {
+        BigInt {
+            neg: false,
+            mag: BigUint::zero(),
+        }
+    }
+
+    /// Builds from a sign and a magnitude.
+    pub fn new(neg: bool, mag: BigUint) -> BigInt {
+        let neg = neg && !mag.is_zero();
+        BigInt { neg, mag }
+    }
+
+    /// `true` iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_zero()
+    }
+
+    /// Sign: -1, 0, or 1.
+    pub fn signum(&self) -> i32 {
+        if self.mag.is_zero() {
+            0
+        } else if self.neg {
+            -1
+        } else {
+            1
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> BigInt {
+        BigInt::new(!self.neg, self.mag.clone())
+    }
+
+    /// Sum.
+    pub fn add(&self, other: &BigInt) -> BigInt {
+        if self.neg == other.neg {
+            return BigInt::new(self.neg, self.mag.add(&other.mag));
+        }
+        match self.mag.cmp_mag(&other.mag) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt::new(self.neg, self.mag.sub(&other.mag)),
+            Ordering::Less => BigInt::new(other.neg, other.mag.sub(&self.mag)),
+        }
+    }
+
+    /// Difference.
+    pub fn sub(&self, other: &BigInt) -> BigInt {
+        self.add(&other.neg())
+    }
+
+    /// Product.
+    pub fn mul(&self, other: &BigInt) -> BigInt {
+        BigInt::new(self.neg != other.neg, self.mag.mul(&other.mag))
+    }
+
+    /// Left shift.
+    pub fn shl(&self, bits: u64) -> BigInt {
+        BigInt::new(self.neg, self.mag.shl(bits))
+    }
+
+    /// Signed comparison.
+    pub fn cmp_val(&self, other: &BigInt) -> Ordering {
+        match (self.signum(), other.signum()) {
+            (a, b) if a != b => a.cmp(&b),
+            (1, _) => self.mag.cmp_mag(&other.mag),
+            (-1, _) => other.mag.cmp_mag(&self.mag),
+            _ => Ordering::Equal,
+        }
+    }
+
+    /// Approximate float image — for messages only.
+    pub fn to_f64(&self) -> f64 {
+        let v = self.mag.to_f64();
+        if self.neg {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+/// Exact dyadic rational `num / 2^exp`.
+///
+/// Closed under addition, subtraction and multiplication; every finite
+/// `f64` converts **exactly** via [`Rational::from_f64`]. There is no
+/// division — auditors phrase every check as a sign test on a dyadic
+/// expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rational {
+    num: BigInt,
+    exp: u64,
+}
+
+impl Rational {
+    /// Zero.
+    pub fn zero() -> Rational {
+        Rational {
+            num: BigInt::zero(),
+            exp: 0,
+        }
+    }
+
+    /// Exact conversion of a finite float; `None` for NaN/infinities.
+    pub fn from_f64(x: f64) -> Option<Rational> {
+        if !x.is_finite() {
+            return None;
+        }
+        let bits = x.to_bits();
+        let neg = bits >> 63 == 1;
+        let exp_bits = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        let (m, e) = if exp_bits == 0 {
+            (frac, -1074i64) // subnormal (and the two zeros)
+        } else {
+            (frac | (1u64 << 52), exp_bits - 1075)
+        };
+        if m == 0 {
+            return Some(Rational::zero());
+        }
+        let r = if e >= 0 {
+            Rational {
+                num: BigInt::new(neg, BigUint::from_u64(m).shl(e as u64)),
+                exp: 0,
+            }
+        } else {
+            Rational {
+                num: BigInt::new(neg, BigUint::from_u64(m)),
+                exp: (-e) as u64,
+            }
+        };
+        Some(r.normalized())
+    }
+
+    fn normalized(mut self) -> Rational {
+        if self.num.is_zero() {
+            self.exp = 0;
+            return self;
+        }
+        let strip = self.exp.min(self.num.mag.trailing_zeros());
+        if strip > 0 {
+            self.num = BigInt::new(self.num.neg, self.num.mag.shr(strip));
+            self.exp -= strip;
+        }
+        self
+    }
+
+    /// Sum.
+    pub fn add(&self, other: &Rational) -> Rational {
+        let exp = self.exp.max(other.exp);
+        let a = self.num.shl(exp - self.exp);
+        let b = other.num.shl(exp - other.exp);
+        Rational {
+            num: a.add(&b),
+            exp,
+        }
+        .normalized()
+    }
+
+    /// Difference.
+    pub fn sub(&self, other: &Rational) -> Rational {
+        self.add(&other.neg())
+    }
+
+    /// Product.
+    pub fn mul(&self, other: &Rational) -> Rational {
+        Rational {
+            num: self.num.mul(&other.num),
+            exp: self.exp + other.exp,
+        }
+        .normalized()
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Rational {
+        Rational {
+            num: self.num.neg(),
+            exp: self.exp,
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: BigInt::new(false, self.num.mag.clone()),
+            exp: self.exp,
+        }
+    }
+
+    /// Sign: -1, 0, or 1.
+    pub fn signum(&self) -> i32 {
+        self.num.signum()
+    }
+
+    /// `true` iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Exact comparison.
+    pub fn cmp_val(&self, other: &Rational) -> Ordering {
+        let exp = self.exp.max(other.exp);
+        let a = self.num.shl(exp - self.exp);
+        let b = other.num.shl(exp - other.exp);
+        a.cmp_val(&b)
+    }
+
+    /// `self <= other`, exactly.
+    pub fn le(&self, other: &Rational) -> bool {
+        self.cmp_val(other) != Ordering::Greater
+    }
+
+    /// `self >= other`, exactly.
+    pub fn ge(&self, other: &Rational) -> bool {
+        self.cmp_val(other) != Ordering::Less
+    }
+
+    /// Approximate float image — for human-readable messages only. Scaling
+    /// happens in ≤512-bit steps so subnormal results underflow gradually
+    /// instead of flushing to zero through an infinite intermediate.
+    pub fn to_f64(&self) -> f64 {
+        let mut v = self.num.to_f64();
+        let mut e = self.exp;
+        while e > 0 && v != 0.0 {
+            let step = e.min(512);
+            v *= 2.0f64.powi(-(step as i32));
+            e -= step;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x: f64) -> Rational {
+        Rational::from_f64(x).unwrap()
+    }
+
+    #[test]
+    fn f64_round_trips_exactly() {
+        for &x in &[
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.1,
+            -0.1,
+            1e300,
+            -1e300,
+            5e-324,
+            f64::MIN_POSITIVE,
+            12345.6789,
+            2.0f64.powi(-60),
+        ] {
+            let q = r(x);
+            assert_eq!(q.to_f64(), x, "round trip of {x}");
+        }
+        assert!(Rational::from_f64(f64::NAN).is_none());
+        assert!(Rational::from_f64(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn exact_field_identities() {
+        // 0.1 + 0.2 != 0.3 in f64, and the exact arithmetic must see the
+        // float-level difference rather than the real-number identity. The
+        // exact sum also differs from the *rounded* f64 sum, sitting within
+        // one ulp of it.
+        let lhs = r(0.1).add(&r(0.2));
+        assert_ne!(lhs.cmp_val(&r(0.3)), Ordering::Equal);
+        assert_ne!(lhs.cmp_val(&r(0.1 + 0.2)), Ordering::Equal);
+        assert!(lhs.sub(&r(0.1 + 0.2)).abs().le(&r(1e-16)));
+        // Dyadic values behave like reals.
+        assert_eq!(r(0.5).add(&r(0.25)).cmp_val(&r(0.75)), Ordering::Equal);
+        assert_eq!(r(1.5).mul(&r(-2.0)).cmp_val(&r(-3.0)), Ordering::Equal);
+        assert!(r(3.0).sub(&r(3.0)).is_zero());
+    }
+
+    #[test]
+    fn signs_and_comparisons() {
+        assert_eq!(r(-2.5).signum(), -1);
+        assert_eq!(r(0.0).signum(), 0);
+        assert!(r(-1e-300).le(&Rational::zero()));
+        assert!(r(1e-300).ge(&Rational::zero()));
+        assert!(r(-3.0).abs().cmp_val(&r(3.0)) == Ordering::Equal);
+        assert_eq!(
+            r(2.0f64.powi(80)).add(&r(1.0)).sub(&r(1.0)).to_f64(),
+            2.0f64.powi(80)
+        );
+    }
+
+    #[test]
+    fn biguint_carries_borrows_and_shifts() {
+        let a = BigUint::from_u64(u64::MAX);
+        let one = BigUint::from_u64(1);
+        let sum = a.add(&one); // 2^64
+        assert_eq!(sum.cmp_mag(&one.shl(64)), Ordering::Equal);
+        assert_eq!(sum.sub(&one).cmp_mag(&a), Ordering::Equal);
+        assert_eq!(sum.trailing_zeros(), 64);
+        assert_eq!(sum.shr(64).cmp_mag(&one), Ordering::Equal);
+        let p = a.mul(&a); // (2^64-1)^2 = 2^128 - 2^65 + 1
+        let expect = one.shl(128).sub(&one.shl(65)).add(&one);
+        assert_eq!(p, expect);
+        assert!(BigUint::zero().is_zero());
+        assert_eq!(BigUint::from_u64(0).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn long_dot_products_stay_exact() {
+        // sum of k * 2^-k for k = 1..=200, evaluated exactly twice in
+        // different orders, must agree bit-for-bit.
+        let mut fwd = Rational::zero();
+        let mut rev = Rational::zero();
+        for k in 1..=200u32 {
+            fwd = fwd.add(&r(k as f64).mul(&r(2.0f64.powi(-(k as i32)))));
+        }
+        for k in (1..=200u32).rev() {
+            rev = rev.add(&r(k as f64).mul(&r(2.0f64.powi(-(k as i32)))));
+        }
+        assert_eq!(fwd.cmp_val(&rev), Ordering::Equal);
+        assert!(!fwd.is_zero());
+    }
+}

@@ -1,0 +1,277 @@
+//! Exact re-derivation of the §5 embedding's source-to-sink pathlengths.
+//!
+//! The solver reports per-edge wirelengths as `f64`; summing them again in
+//! floats could mask a bound violation of the same magnitude as the
+//! accumulated rounding. Here every pathlength is the *exact* dyadic sum
+//! of its edge lengths, compared against `[l_i, u_i]` with only the
+//! explicit `FEAS_EPS`-scale tolerance — zero rounding slop of the audit's
+//! own making.
+
+use lubt_lint::{Diagnostic, Level, Target};
+use lubt_lp::FEAS_EPS;
+
+use crate::exact::Rational;
+
+/// Slug of embedded-tree findings (bad parent structure, negative or
+/// geometrically impossible edges, out-of-window sink delays).
+pub const PASS_TREE: &str = "audit-tree";
+
+fn deny(message: String, targets: Vec<Target>) -> Diagnostic {
+    Diagnostic {
+        pass: PASS_TREE,
+        level: Level::Deny,
+        message,
+        targets,
+        help: None,
+    }
+}
+
+/// Audits an embedded routing tree given as parallel node-indexed slices:
+/// `parents[v]` is the parent of node `v` (ignored for `root`),
+/// `lengths[v]` the length of the edge into `v` (entry `root` unused), and
+/// `positions[v]` the embedded coordinates. Each `(node, lo, hi)` entry of
+/// `sinks` must see an exact root-to-node pathlength inside `[lo, hi]`
+/// (with `FEAS_EPS`-scale tolerance), and every edge must be at least the
+/// Manhattan distance between its endpoints. Under the paper's linear
+/// delay model the pathlength *is* the sink delay, so this check is the
+/// delay-bound audit.
+pub fn audit_tree(
+    parents: &[usize],
+    lengths: &[f64],
+    positions: &[(f64, f64)],
+    sinks: &[(usize, f64, f64)],
+    root: usize,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let n = parents.len();
+    if lengths.len() != n || positions.len() != n || root >= n {
+        out.push(deny(
+            format!(
+                "malformed tree: {} parents, {} lengths, {} positions, root {root}",
+                n,
+                lengths.len(),
+                positions.len()
+            ),
+            vec![],
+        ));
+        return out;
+    }
+    if lengths.iter().any(|l| !l.is_finite())
+        || positions
+            .iter()
+            .any(|p| !p.0.is_finite() || !p.1.is_finite())
+    {
+        out.push(deny(
+            "tree carries non-finite lengths or positions".to_string(),
+            vec![],
+        ));
+        return out;
+    }
+
+    // ---- Edge sanity: non-negative and at least the Manhattan span. ----
+    for v in 0..n {
+        if v == root {
+            continue;
+        }
+        let p = parents[v];
+        if p >= n {
+            out.push(deny(
+                format!("node {v} has out-of-range parent {p}"),
+                vec![Target::Node(v)],
+            ));
+            continue;
+        }
+        if lengths[v] < -FEAS_EPS {
+            out.push(deny(
+                format!("edge into node {v} has negative length {}", lengths[v]),
+                vec![Target::Edge(v)],
+            ));
+        }
+        let (xv, yv) = positions[v];
+        let (xp, yp) = positions[p];
+        // Exact Manhattan distance vs exact edge length: the embedding may
+        // detour (the LP pads edges to meet lower bounds) but can never be
+        // shorter than the L1 span between its endpoints.
+        let dx = Rational::from_f64(xv)
+            .unwrap()
+            .sub(&Rational::from_f64(xp).unwrap())
+            .abs();
+        let dy = Rational::from_f64(yv)
+            .unwrap()
+            .sub(&Rational::from_f64(yp).unwrap())
+            .abs();
+        let span = dx.add(&dy);
+        let len = Rational::from_f64(lengths[v]).unwrap();
+        let tol = Rational::from_f64(FEAS_EPS * (1.0 + lengths[v].abs())).unwrap();
+        if len.add(&tol).cmp_val(&span) == std::cmp::Ordering::Less {
+            out.push(deny(
+                format!(
+                    "edge into node {v} is shorter ({}) than the Manhattan span of its endpoints ({:.9e})",
+                    lengths[v],
+                    span.to_f64()
+                ),
+                vec![Target::Edge(v)],
+            ));
+        }
+    }
+
+    // ---- Exact root-to-node pathlengths with cycle detection. ----
+    let mut path: Vec<Option<Rational>> = vec![None; n];
+    path[root] = Some(Rational::zero());
+    for start in 0..n {
+        if path[start].is_some() {
+            continue;
+        }
+        // Walk up to a node with a known pathlength, recording the chain.
+        let mut chain = Vec::new();
+        let mut cur = start;
+        let mut on_chain = vec![false; 0];
+        on_chain.resize(n, false);
+        loop {
+            if path[cur].is_some() {
+                break;
+            }
+            if on_chain[cur] {
+                out.push(deny(
+                    format!("parent pointers cycle through node {cur}"),
+                    vec![Target::Node(cur)],
+                ));
+                return out;
+            }
+            on_chain[cur] = true;
+            chain.push(cur);
+            let p = parents[cur];
+            if p >= n {
+                // Already reported above; give the chain a zero base so
+                // the walk terminates.
+                path[cur] = Some(Rational::zero());
+                break;
+            }
+            cur = p;
+        }
+        for &v in chain.iter().rev() {
+            if path[v].is_some() {
+                continue;
+            }
+            let base = path[parents[v]].clone().expect("resolved before child");
+            path[v] = Some(base.add(&Rational::from_f64(lengths[v]).unwrap()));
+        }
+    }
+
+    // ---- Sink delay windows. ----
+    for &(node, lo, hi) in sinks {
+        if node >= n {
+            out.push(deny(
+                format!("sink entry references out-of-range node {node}"),
+                vec![Target::Sink(node)],
+            ));
+            continue;
+        }
+        let d = path[node].clone().expect("all pathlengths resolved");
+        // An infinite bound means "unbounded on that side" (e.g.
+        // `DelayBounds::unbounded`) — nothing to check there, and it must
+        // not poison the tolerance scale.
+        let scale = [lo, hi]
+            .into_iter()
+            .filter(|b| b.is_finite())
+            .fold(0.0f64, |a, b| a.max(b.abs()));
+        let tol = Rational::from_f64(FEAS_EPS * (1.0 + scale)).unwrap();
+        let lo_r = Rational::from_f64(lo);
+        let hi_r = Rational::from_f64(hi);
+        if lo_r.is_some_and(|lo_r| d.add(&tol).cmp_val(&lo_r) == std::cmp::Ordering::Less) {
+            out.push(deny(
+                format!(
+                    "sink {node} arrives early: exact pathlength {:.9e} < lower bound {lo}",
+                    d.to_f64()
+                ),
+                vec![Target::Sink(node)],
+            ));
+        }
+        if hi_r.is_some_and(|hi_r| d.sub(&tol).cmp_val(&hi_r) == std::cmp::Ordering::Greater) {
+            out.push(deny(
+                format!(
+                    "sink {node} arrives late: exact pathlength {:.9e} > upper bound {hi}",
+                    d.to_f64()
+                ),
+                vec![Target::Sink(node)],
+            ));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A 4-node path: root 0 at (0,0), node 1 at (1,0), node 2 at (1,1),
+    // sink 3 at (2,1). Lengths match the Manhattan spans exactly.
+    fn chain() -> (Vec<usize>, Vec<f64>, Vec<(f64, f64)>) {
+        (
+            vec![0, 0, 1, 2],
+            vec![0.0, 1.0, 1.0, 1.0],
+            vec![(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (2.0, 1.0)],
+        )
+    }
+
+    #[test]
+    fn valid_tree_passes() {
+        let (p, l, pos) = chain();
+        let findings = audit_tree(&p, &l, &pos, &[(3, 2.5, 3.5)], 0);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn out_of_window_sink_is_rejected() {
+        let (p, l, pos) = chain();
+        let late = audit_tree(&p, &l, &pos, &[(3, 0.0, 2.0)], 0);
+        assert!(late.iter().any(|d| d.message.contains("late")), "{late:?}");
+        let early = audit_tree(&p, &l, &pos, &[(3, 4.0, 5.0)], 0);
+        assert!(
+            early.iter().any(|d| d.message.contains("early")),
+            "{early:?}"
+        );
+    }
+
+    #[test]
+    fn short_edges_and_cycles_are_rejected() {
+        let (p, mut l, pos) = chain();
+        l[2] = 0.25; // shorter than the unit Manhattan span
+        let findings = audit_tree(&p, &l, &pos, &[], 0);
+        assert!(
+            findings.iter().any(|d| d.message.contains("Manhattan")),
+            "{findings:?}"
+        );
+
+        let cyc = audit_tree(
+            &[0, 2, 1],
+            &[0.0, 1.0, 1.0],
+            &[(0.0, 0.0), (0.0, 0.0), (0.0, 0.0)],
+            &[],
+            0,
+        );
+        assert!(cyc.iter().any(|d| d.message.contains("cycle")), "{cyc:?}");
+    }
+
+    #[test]
+    fn unbounded_windows_are_skipped_not_flagged() {
+        // `DelayBounds::unbounded` hands the auditor [0, +inf) windows; an
+        // infinite bound is "nothing to check", never a violation.
+        let (p, l, pos) = chain();
+        let findings = audit_tree(&p, &l, &pos, &[(3, 0.0, f64::INFINITY)], 0);
+        assert!(findings.is_empty(), "{findings:?}");
+        let findings = audit_tree(&p, &l, &pos, &[(3, f64::NEG_INFINITY, 3.5)], 0);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn detoured_edges_are_legal() {
+        // The LP pads edges beyond the geometric span to satisfy lower
+        // bounds; the auditor must accept that.
+        let (p, mut l, pos) = chain();
+        l[3] = 2.5;
+        let findings = audit_tree(&p, &l, &pos, &[(3, 4.0, 5.0)], 0);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -474,6 +474,7 @@ mod tests {
             sizes: vec![5],
             interior_cap: 4,
             full: false,
+            audit: false,
         })
         .unwrap()
         .to_json()

@@ -59,6 +59,14 @@ pub struct SuiteConfig {
     /// revised simplex) so kernel speedups are measurable; off by default
     /// to keep the CI bench gate fast.
     pub full: bool,
+    /// When `true`, runs the `audit_overhead` group: a serial re-solve of
+    /// every entry with exact certificate auditing enabled
+    /// ([`EbfSolver::with_audit`] plus the rational tree audit). The run
+    /// fails unless the audited rows are byte-identical to the unaudited
+    /// ones; audit wall clock lands under `time.suite.audit_overhead.*`
+    /// in the determinism-exempt half, and the audited leg's aggregates
+    /// are discarded so the published deterministic section is unchanged.
+    pub audit: bool,
 }
 
 impl Default for SuiteConfig {
@@ -69,6 +77,7 @@ impl Default for SuiteConfig {
             sizes: vec![6, 10, 16],
             interior_cap: 12,
             full: false,
+            audit: false,
         }
     }
 }
@@ -228,10 +237,14 @@ fn plan(config: &SuiteConfig) -> Result<Vec<Entry>, String> {
 /// Solves every entry at `threads` workers, one [`BatchSolver`] batch per
 /// backend, and returns the rows (in entry order) plus the merged
 /// aggregate. Wall clock per backend goes into `wall` under
-/// `time.suite.<backend>.threads<threads>`.
+/// `time.suite.<backend>.threads<threads>` — or
+/// `time.suite.audit_overhead.<backend>.threads<threads>` when `audit`
+/// is on, which also enables exact LP certificate auditing in the solver
+/// and the rational tree audit on every solution.
 fn solve_entries(
     entries: &[Entry],
     threads: usize,
+    audit: bool,
     wall: &mut BTreeMap<String, u64>,
 ) -> Result<(Vec<InstanceRow>, AggregateTrace, AggregateTrace), String> {
     let mut rows: Vec<Option<InstanceRow>> = vec![None; entries.len()];
@@ -251,9 +264,13 @@ fn solve_entries(
             .collect();
         let batch = BatchSolver::new()
             .with_threads(threads)
-            .with_solver(EbfSolver::new().with_backend(backend));
+            .with_solver(EbfSolver::new().with_backend(backend).with_audit(audit));
         let rec = TraceRecorder::new();
-        let key = format!("time.suite.{label}.threads{threads}");
+        let key = if audit {
+            format!("time.suite.audit_overhead.{label}.threads{threads}")
+        } else {
+            format!("time.suite.{label}.threads{threads}")
+        };
         let (results, _traces, agg) = {
             let _t = PhaseTimer::new(&rec, &key);
             batch.solve_all_aggregated(&problems)
@@ -268,6 +285,18 @@ fn solve_entries(
             let entry = &entries[i];
             let solution = result
                 .map_err(|e| format!("suite solve {}/{}: {e}", entry.name, entry.backend_label))?;
+            if audit {
+                let findings = solution.audit_tree();
+                if !findings.is_empty() {
+                    return Err(format!(
+                        "suite audit {}/{}: exact tree audit rejected the embedding \
+                         ({} finding(s))",
+                        entry.name,
+                        entry.backend_label,
+                        findings.len()
+                    ));
+                }
+            }
             let report = solution.report();
             rows[i] = Some(InstanceRow {
                 name: entry.name.clone(),
@@ -300,12 +329,22 @@ fn solve_entries(
 pub fn run(config: &SuiteConfig) -> Result<BenchRun, String> {
     let entries = plan(config)?;
     let mut wall = BTreeMap::new();
-    let (serial_rows, serial_agg, serial_ext) = solve_entries(&entries, 1, &mut wall)?;
+    let (serial_rows, serial_agg, serial_ext) = solve_entries(&entries, 1, false, &mut wall)?;
+    if config.audit {
+        // The audit_overhead group: same entries, serial, with exact
+        // certificate auditing switched on. Rows must match the unaudited
+        // leg byte for byte; only the wall clock (already quarantined
+        // under a `time.` key) survives into the document.
+        let (audited_rows, _, _) = solve_entries(&entries, 1, true, &mut wall)?;
+        if audited_rows != serial_rows {
+            return Err("audit divergence: audited rows differ from unaudited rows".to_string());
+        }
+    }
     let threads = lubt_par::resolve_threads(config.threads);
     let (rows, aggregate, extended) = if threads == 1 {
         (serial_rows, serial_agg, serial_ext)
     } else {
-        let (par_rows, par_agg, par_ext) = solve_entries(&entries, threads, &mut wall)?;
+        let (par_rows, par_agg, par_ext) = solve_entries(&entries, threads, false, &mut wall)?;
         if par_rows != serial_rows {
             return Err(format!(
                 "determinism violation: instance rows differ between 1 and {threads} workers"
@@ -442,6 +481,7 @@ mod tests {
             sizes: vec![5, 8],
             interior_cap: 6,
             full: false,
+            audit: false,
         }
     }
 
@@ -527,6 +567,38 @@ mod tests {
             .iter()
             .filter(|(_, _, core)| !core)
             .all(|(g, _, _)| g.starts_with("revised") || g.ends_with("-full")));
+    }
+
+    #[test]
+    fn audit_overhead_group_leaves_the_deterministic_section_untouched() {
+        let plain = run(&tiny()).unwrap();
+        let audited = run(&SuiteConfig {
+            audit: true,
+            ..tiny()
+        })
+        .unwrap();
+        // Auditing every solve (which `run` itself cross-checks against
+        // the unaudited rows) must not perturb the published document's
+        // deterministic half at all.
+        assert_eq!(plain.rows, audited.rows);
+        assert_eq!(
+            extract_deterministic(&plain.to_json()),
+            extract_deterministic(&audited.to_json())
+        );
+        // The overhead shows up only as quarantined wall clock.
+        assert!(audited
+            .suite_wall_ns
+            .keys()
+            .any(|k| k.starts_with("time.suite.audit_overhead.")));
+        assert!(!plain
+            .suite_wall_ns
+            .keys()
+            .any(|k| k.starts_with("time.suite.audit_overhead.")));
+        let doc = audited.to_json();
+        validate(&doc).unwrap_or_else(|e| panic!("invalid bench JSON: {e}\n{doc}"));
+        let det = extract_deterministic(&doc);
+        assert!(!det.contains("audit_overhead"));
+        assert!(doc.contains("time.suite.audit_overhead.simplex.threads1"));
     }
 
     #[test]

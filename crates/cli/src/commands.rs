@@ -12,11 +12,15 @@ use lubt_topology::{bipartition_topology, matching_topology, SourceMode, Topolog
 const USAGE: &str = "usage:
   lubt solve <input> --lower L --upper U [--absolute] \
 [--topology nn|matching|bisect|aware] [--lp-backend simplex|ipm|revised] \
-[--max-lp-iterations N] [--svg out.svg] [--json out.json] [--trace-json [out.json]]
+[--max-lp-iterations N] [--audit] [--svg out.svg] [--json out.json] [--trace-json [out.json]]
   lubt batch <input>... --lower L --upper U [--absolute] \
 [--topology nn|matching|bisect|aware] [--lp-backend simplex|ipm|revised] [--threads N] \
-[--max-lp-iterations N] [--json out.json] [--metrics [out.json]] [--metrics-prom [out.prom]]
-  lubt bench [--label L] [--threads N] [--sizes A,B,C] [--interior-cap K] [--full] [--out file]
+[--max-lp-iterations N] [--audit] [--json out.json] [--metrics [out.json]] \
+[--metrics-prom [out.prom]]
+  lubt audit <input> --lower L --upper U [--absolute] \
+[--topology nn|matching|bisect|aware] [--lp-backend simplex|ipm|revised] [--json [out.json]]
+  lubt bench [--label L] [--threads N] [--sizes A,B,C] [--interior-cap K] [--full] [--audit] \
+[--out file]
   lubt report --baseline A.json --current B.json [--timing-threshold F] \
 [--ignore-timings] [--json [out.json]]
   lubt lint <input> [--lower L] [--upper U] [--absolute] \
@@ -36,6 +40,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     match parsed.positional.first().map(String::as_str) {
         Some("solve") => cmd_solve(&parsed),
         Some("batch") => cmd_batch(&parsed),
+        Some("audit") => cmd_audit(&parsed),
         Some("bench") => cmd_bench(&parsed),
         Some("report") => cmd_report(&parsed),
         Some("lint") => cmd_lint(&parsed),
@@ -220,6 +225,8 @@ fn cmd_solve(parsed: &Parsed) -> Result<(), String> {
     if let Some(limit) = lp_budget(parsed)? {
         builder = builder.max_lp_iterations(limit);
     }
+    let audit = parsed.has("audit");
+    builder = builder.audit(audit);
 
     let tracing = wants(parsed, "trace-json");
     let (solution_result, trace) = if tracing {
@@ -265,6 +272,9 @@ fn cmd_solve(parsed: &Parsed) -> Result<(), String> {
     );
     if let Some(d) = solution.report().truncation_diagnostic() {
         println!("{d}");
+    }
+    if audit {
+        println!("audit           certificates verified exactly (lp + tree)");
     }
     let stats = analyze(&solution);
     println!(
@@ -342,7 +352,8 @@ fn cmd_batch(parsed: &Parsed) -> Result<(), String> {
         problems.push(builder.build().map_err(|e| format!("{path}: {e}"))?);
     }
 
-    let mut solver = EbfSolver::new().with_backend(backend);
+    let audit = parsed.has("audit");
+    let mut solver = EbfSolver::new().with_backend(backend).with_audit(audit);
     if let Some(limit) = lp_budget(parsed)? {
         solver = solver.with_max_lp_iterations(limit);
     }
@@ -361,7 +372,27 @@ fn cmd_batch(parsed: &Parsed) -> Result<(), String> {
     for (k, (name, result)) in names.iter().zip(&results).enumerate() {
         match result {
             Ok(solution) => {
-                if let Err(e) = solution.verify() {
+                // Under --audit the LP certificates were already verified in
+                // the solver; the embedding is audited here per instance.
+                let tree_findings = if audit {
+                    solution.audit_tree()
+                } else {
+                    Vec::new()
+                };
+                if !tree_findings.is_empty() {
+                    failures += 1;
+                    println!("{name}  tree audit failed:");
+                    for d in &tree_findings {
+                        println!("{d}");
+                    }
+                    let _ = std::fmt::Write::write_fmt(
+                        &mut json,
+                        format_args!(
+                            "    {{\"name\": {name:?}, \"status\": \"error\", \
+                             \"error\": \"tree audit failed\"}}"
+                        ),
+                    );
+                } else if let Err(e) = solution.verify() {
                     failures += 1;
                     println!("{name}  verification failed: {e}");
                     let _ = std::fmt::Write::write_fmt(
@@ -441,6 +472,118 @@ fn cmd_batch(parsed: &Parsed) -> Result<(), String> {
     }
 }
 
+/// `lubt audit <input>`: solves the instance with the exact certificate
+/// audit enabled and reports what was proven. Every LP outcome must carry
+/// a verifying proof object — an optimality certificate (basis + duals,
+/// checked for primal/dual feasibility and complementary slackness in
+/// exact rational arithmetic) or a Farkas infeasibility ray — and the
+/// embedded tree's sink pathlengths are re-derived exactly against their
+/// `[l, u]` windows. The pre-solve lint is bypassed so hopeless instances
+/// reach the LP and produce a ray instead of a lint rejection.
+///
+/// Exits non-zero only when a certificate fails to verify; a *verified*
+/// infeasibility is a successful audit of a negative result.
+fn cmd_audit(parsed: &Parsed) -> Result<(), String> {
+    let inst = load_instance(parsed)?;
+    let radius = inst.radius();
+    let m = inst.sinks.len();
+    let absolute = parsed.has("absolute");
+    let lower = parsed.get_f64("lower")?.unwrap_or(0.0);
+    let upper = parsed
+        .get_f64("upper")?
+        .ok_or_else(|| format!("--upper is required\n{USAGE}"))?;
+    let bounds = DelayBounds::uniform(
+        m,
+        to_absolute(lower, radius, absolute),
+        to_absolute(upper, radius, absolute),
+    );
+    let topology = choose_topology(parsed, &inst, &bounds)?;
+    let backend = choose_backend(parsed)?;
+    let backend_name = match backend {
+        SolverBackend::Simplex => "simplex",
+        SolverBackend::InteriorPoint => "ipm",
+        SolverBackend::Revised => "revised",
+    };
+
+    let mut builder = LubtBuilder::new(inst.sinks.clone())
+        .bounds(bounds)
+        .backend(backend)
+        .audit(true)
+        .prelint(false);
+    if let Some(src) = inst.source {
+        builder = builder.source(src);
+    }
+    if let Some(t) = topology {
+        builder = builder.topology(t);
+    }
+    if let Some(limit) = lp_budget(parsed)? {
+        builder = builder.max_lp_iterations(limit);
+    }
+
+    let (result, trace) = builder.solve_traced();
+    let (status, cost, findings) = match &result {
+        Ok(solution) => ("verified", Some(solution.cost()), Vec::new()),
+        Err(lubt_core::LubtError::Infeasible) => ("infeasible", None, Vec::new()),
+        Err(lubt_core::LubtError::Audit(diags)) => ("failed", None, diags.clone()),
+        Err(e) => return Err(render_lubt_error(e)),
+    };
+    let counters = [
+        ("lp_optimality_verified", "audit.optimality_verified"),
+        ("lp_primal_verified", "audit.primal_verified"),
+        ("lp_farkas_verified", "audit.farkas_verified"),
+        ("tree_verified", "audit.tree_verified"),
+        ("audit_failures", "audit.failures"),
+    ];
+
+    if wants(parsed, "json") {
+        let mut json = String::from("{\n  \"schema\": \"lubt-audit-v1\",\n");
+        json.push_str(&format!(
+            "  \"instance\": \"{}\",\n",
+            lubt_obs::json::json_escape(&inst.name)
+        ));
+        json.push_str(&format!("  \"backend\": \"{backend_name}\",\n"));
+        json.push_str(&format!("  \"status\": \"{status}\",\n"));
+        json.push_str(&format!(
+            "  \"cost\": {},\n",
+            cost.map_or_else(|| "null".to_string(), lubt_obs::json::json_f64)
+        ));
+        for (field, key) in counters {
+            json.push_str(&format!("  \"{field}\": {},\n", trace.counter(key)));
+        }
+        json.push_str(&format!(
+            "  \"diagnostics\": {}\n}}\n",
+            lubt_lint::diagnostics_to_json(&findings).replace('\n', "\n  ")
+        ));
+        emit_json(parsed, "json", "audit", &json)?;
+    } else {
+        println!("instance        {}", inst.name);
+        println!("sinks           {m}");
+        println!("backend         {backend_name}");
+        println!("audit status    {status}");
+        if let Some(c) = cost {
+            println!("tree cost       {c:.3}");
+        }
+        for (field, key) in counters {
+            let n = trace.counter(key);
+            if n > 0 {
+                println!("{field:<22} {n}");
+            }
+        }
+        for d in &findings {
+            println!("{d}");
+        }
+    }
+
+    if status == "failed" {
+        Err(format!(
+            "certificate audit failed with {} deny-level finding(s)",
+            findings.iter().filter(|d| d.is_deny()).count()
+        ))
+    } else {
+        Ok(())
+    }
+}
+
 /// `lubt bench`: runs the pinned benchmark suite (both LP backends, a
 /// serial and a parallel leg with a built-in determinism cross-check) and
 /// writes the schema-versioned `lubt-bench-v1` document, default
@@ -482,6 +625,7 @@ fn cmd_bench(parsed: &Parsed) -> Result<(), String> {
         config.interior_cap = cap;
     }
     config.full = parsed.has("full");
+    config.audit = parsed.has("audit");
     let run = lubt_bench::suite::run(&config)?;
     let out = parsed
         .get("out")

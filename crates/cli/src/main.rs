@@ -3,10 +3,12 @@
 //! ```text
 //! lubt solve <input> --lower 0.9 --upper 1.3 [--absolute] [--topology nn|matching|bisect|aware]
 //!                     [--backend simplex|ipm] [--max-lp-iterations N] [--svg out.svg]
-//!                     [--trace-json [out.json]]
-//! lubt batch <input>... --lower L --upper U [--threads N] [--metrics [out.json]]
+//!                     [--trace-json [out.json]] [--audit]
+//! lubt batch <input>... --lower L --upper U [--threads N] [--audit] [--metrics [out.json]]
 //!                       [--metrics-prom [out.prom]]
-//! lubt bench [--label L] [--threads N] [--sizes A,B,C] [--out file]
+//! lubt audit <input> --lower L --upper U [--absolute] [--lp-backend simplex|ipm|revised]
+//!                    [--json [out.json]]
+//! lubt bench [--label L] [--threads N] [--sizes A,B,C] [--full] [--audit] [--out file]
 //! lubt report --baseline A.json --current B.json [--ignore-timings] [--json [out.json]]
 //! lubt lint <input> [--lower L] [--upper U] [--absolute] [--json [out.json]]
 //! lubt zeroskew <input> [--target T] [--svg out.svg]
@@ -17,6 +19,8 @@
 //! `<input>` is the plain-text instance format of `lubt-data` (`name`,
 //! optional `source x y`, `sink x y` lines). Bounds and skew values are
 //! normalized to the instance radius unless `--absolute` is given.
+
+#![forbid(unsafe_code)]
 
 mod args;
 mod commands;

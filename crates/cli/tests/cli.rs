@@ -668,6 +668,145 @@ fn batch_metrics_prom_file_is_a_prometheus_exposition() {
     let _ = std::fs::remove_file(&prom);
 }
 
+#[test]
+fn audit_command_verifies_solves_and_emits_strict_json() {
+    let pts = tmp("audit1.pts");
+    let out = lubt()
+        .args(["gen", "uniform", "--sinks", "10", "--seed", "9", "--out"])
+        .arg(&pts)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    for backend in ["simplex", "revised"] {
+        // Feasible window: everything verifies, exit zero.
+        let out = lubt()
+            .args(["audit"])
+            .arg(&pts)
+            .args(["--lower", "0.9", "--upper", "1.4", "--lp-backend", backend])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{backend}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("verified"), "{backend} stdout: {text}");
+
+        // JSON mode: a strict lubt-audit-v1 document with the verification
+        // counters, still exit zero.
+        let out = lubt()
+            .args(["audit"])
+            .arg(&pts)
+            .args(["--lower", "0.9", "--upper", "1.4", "--lp-backend", backend])
+            .args(["--json"])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{backend} --json");
+        let text = String::from_utf8(out.stdout).unwrap();
+        let json_start = text.find("{\n").expect("audit JSON on stdout");
+        let doc = &text[json_start..];
+        lubt_obs::json::validate(doc).expect("audit JSON must be strictly valid");
+        assert!(doc.contains("\"schema\": \"lubt-audit-v1\""), "{doc}");
+        assert!(doc.contains("\"status\": \"verified\""), "{doc}");
+        assert!(doc.contains("\"lp_optimality_verified\": 1"), "{doc}");
+        assert!(doc.contains("\"tree_verified\": 1"), "{doc}");
+    }
+
+    // An infeasible window is a *successful* audit of a Farkas ray: the
+    // refusal is proven, so the exit stays zero.
+    let out = lubt()
+        .args(["audit"])
+        .arg(&pts)
+        .args(["--upper", "0.5", "--json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "verified infeasibility must exit zero: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    let json_start = text.find("{\n").expect("audit JSON on stdout");
+    let doc = &text[json_start..];
+    lubt_obs::json::validate(doc).expect("infeasible audit JSON must be strictly valid");
+    assert!(doc.contains("\"status\": \"infeasible\""), "{doc}");
+    assert!(doc.contains("\"lp_farkas_verified\": 1"), "{doc}");
+
+    let _ = std::fs::remove_file(&pts);
+}
+
+#[test]
+fn solve_batch_and_bench_accept_the_audit_flag() {
+    let pts = gen_batch("audit-flag", 2, 8);
+    let out = lubt()
+        .args(["solve"])
+        .arg(&pts[0])
+        .args(["--lower", "0.9", "--upper", "1.4", "--audit"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("certificates verified exactly"), "{text}");
+
+    let out = lubt()
+        .args(["batch"])
+        .args(&pts)
+        .args([
+            "--lower",
+            "0.9",
+            "--upper",
+            "1.4",
+            "--threads",
+            "2",
+            "--audit",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let bench_out = tmp("audit-bench.json");
+    let out = lubt()
+        .args([
+            "bench",
+            "--label",
+            "audit-cli",
+            "--sizes",
+            "5",
+            "--interior-cap",
+            "4",
+            "--threads",
+            "1",
+            "--audit",
+            "--out",
+        ])
+        .arg(&bench_out)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&bench_out).unwrap();
+    lubt_obs::json::validate(&doc).expect("audited bench document must be strict JSON");
+    assert!(doc.contains("time.suite.audit_overhead."), "{doc}");
+
+    for p in pts {
+        let _ = std::fs::remove_file(p);
+    }
+    let _ = std::fs::remove_file(&bench_out);
+}
+
 /// The `"deterministic"` member of a bench document, as raw bytes.
 fn deterministic_section(doc: &str) -> &str {
     let start = doc

@@ -123,6 +123,7 @@ pub struct EbfSolver {
     steiner_mode: SteinerMode,
     violation_tol: f64,
     prelint: bool,
+    audit: bool,
     threads: usize,
     max_lp_iterations: Option<usize>,
     recorder: Arc<dyn Recorder>,
@@ -135,6 +136,7 @@ impl Default for EbfSolver {
             steiner_mode: SteinerMode::default_lazy(),
             violation_tol: 1e-6,
             prelint: true,
+            audit: false,
             threads: 1,
             max_lp_iterations: None,
             recorder: lubt_obs::noop(),
@@ -336,6 +338,33 @@ impl EbfSolver {
         self
     }
 
+    /// Enables the post-solve exact certificate audit (off by default).
+    ///
+    /// When enabled, every LP outcome is checked against the backend's own
+    /// proof object — an optimality certificate (basis + duals, verified
+    /// for primal feasibility, dual feasibility and complementary
+    /// slackness) or a Farkas infeasibility ray — in exact dyadic-rational
+    /// arithmetic via [`lubt_audit`]. The audit observes the solve, it
+    /// never changes it: audited and unaudited runs produce bit-identical
+    /// lengths and reports. A certificate that fails to verify aborts the
+    /// solve with [`LubtError::Audit`] carrying deny-level `audit-*`
+    /// diagnostics.
+    ///
+    /// The interior-point backend carries no simplex basis, so only the
+    /// primal side (row residuals, variable bounds, objective) is checked
+    /// there. Verification outcomes land on the recorder under `audit.*`
+    /// counters and the `time.audit` phase timer.
+    #[must_use]
+    pub fn with_audit(mut self, enabled: bool) -> Self {
+        self.audit = enabled;
+        self
+    }
+
+    /// Whether the post-solve exact certificate audit is enabled.
+    pub fn audit_enabled(&self) -> bool {
+        self.audit
+    }
+
     /// Solves the EBF for `problem`.
     ///
     /// # Errors
@@ -349,6 +378,8 @@ impl EbfSolver {
     ///   bounds (the paper's "we immediately know the existence of a
     ///   solution" remark).
     /// * [`LubtError::Lp`] — backend failure (iteration limit, numerics).
+    /// * [`LubtError::Audit`] — the post-solve certificate audit rejected
+    ///   the outcome (only with [`EbfSolver::with_audit`]).
     pub fn solve(&self, problem: &LubtProblem) -> Result<(Vec<f64>, EbfReport), LubtError> {
         if self.prelint {
             let diags = problem.prelint_diagnostics();
@@ -375,13 +406,76 @@ impl EbfSolver {
         let mut steiner_rows = 0usize;
         let rec: &dyn Recorder = &*self.recorder;
 
-        let solve_once = |model: &Model| -> Result<lubt_lp::Solution, LubtError> {
-            let _t = PhaseTimer::new(rec, "time.lp");
-            let sol = match self.backend {
-                SolverBackend::Simplex => self.simplex().solve(model)?,
-                SolverBackend::InteriorPoint => self.interior().solve(model)?,
-                SolverBackend::Revised => self.revised().solve(model)?,
+        // Post-solve audit hook: check the backend's proof object in exact
+        // arithmetic before trusting the outcome. Pure observation — the
+        // solution bits are untouched; a failed audit aborts with
+        // `LubtError::Audit`.
+        let audit_check = |model: &Model,
+                           sol: &lubt_lp::Solution,
+                           cert: Option<&lubt_lp::Certificate>|
+         -> Result<(), LubtError> {
+            let _t = PhaseTimer::new(rec, "time.audit");
+            let (findings, verified_key) = match self.backend {
+                // The IPM carries no simplex basis, so only the primal side
+                // is checkable; dual/CS verification needs a certificate.
+                SolverBackend::InteriorPoint => {
+                    if sol.status() == Status::Optimal {
+                        (
+                            lubt_audit::audit_primal(model, sol.values(), sol.objective()),
+                            Some("audit.primal_verified"),
+                        )
+                    } else {
+                        (Vec::new(), None)
+                    }
+                }
+                _ => {
+                    let key = match sol.status() {
+                        Status::Optimal => Some("audit.optimality_verified"),
+                        Status::Infeasible => Some("audit.farkas_verified"),
+                        Status::Unbounded => None,
+                    };
+                    (lubt_audit::audit_solution(model, sol, cert), key)
+                }
             };
+            if findings.is_empty() {
+                if rec.enabled() {
+                    if let Some(key) = verified_key {
+                        rec.incr(key, 1);
+                    }
+                }
+                Ok(())
+            } else {
+                if rec.enabled() {
+                    rec.incr("audit.failures", findings.len() as u64);
+                }
+                Err(LubtError::Audit(findings))
+            }
+        };
+
+        let solve_once = |model: &Model| -> Result<lubt_lp::Solution, LubtError> {
+            let (sol, cert) = {
+                let _t = PhaseTimer::new(rec, "time.lp");
+                match self.backend {
+                    SolverBackend::Simplex => {
+                        if self.audit {
+                            self.simplex().solve_certified(model)?
+                        } else {
+                            (self.simplex().solve(model)?, None)
+                        }
+                    }
+                    SolverBackend::InteriorPoint => (self.interior().solve(model)?, None),
+                    SolverBackend::Revised => {
+                        if self.audit {
+                            self.revised().solve_certified(model)?
+                        } else {
+                            (self.revised().solve(model)?, None)
+                        }
+                    }
+                }
+            };
+            if self.audit {
+                audit_check(model, &sol, cert.as_ref())?;
+            }
             match sol.status() {
                 Status::Optimal => Ok(sol),
                 Status::Infeasible => Err(LubtError::Infeasible),
@@ -474,22 +568,41 @@ impl EbfSolver {
                     let mut rounds = 0usize;
                     let mut truncated = false;
                     loop {
-                        let sol = {
+                        // `resolve` hands back a borrow of the session, so
+                        // copy out everything the round needs (plus a clone
+                        // of the solution when auditing — the certificate
+                        // lives on the session itself).
+                        let (status, iterations, lengths, audited) = {
                             let _t = PhaseTimer::new(rec, "time.lp");
-                            session.resolve()?
+                            let sol = session.resolve()?;
+                            (
+                                sol.status(),
+                                sol.iterations(),
+                                extract(sol),
+                                if self.audit { Some(sol.clone()) } else { None },
+                            )
                         };
-                        match sol.status() {
+                        match status {
                             Status::Optimal => {}
-                            Status::Infeasible => return Err(LubtError::Infeasible),
+                            Status::Infeasible => {
+                                // Theorem 4.2 turns LP infeasibility into a
+                                // "no LUBT exists" certificate — under
+                                // audit, insist on an exactly verifying
+                                // Farkas ray before trusting that claim.
+                                if let Some(sol) = &audited {
+                                    let cert = session.certificate();
+                                    audit_check(session.model(), sol, cert.as_ref())?;
+                                }
+                                return Err(LubtError::Infeasible);
+                            }
                             Status::Unbounded => {
                                 return Err(LubtError::Lp(lubt_lp::LpError::NumericalBreakdown(
                                     "EBF objective cannot be unbounded".to_string(),
                                 )))
                             }
                         }
-                        lp_iterations = sol.iterations();
+                        lp_iterations = iterations;
                         rounds += 1;
-                        let lengths = extract(sol);
                         let violated = {
                             let _t = PhaseTimer::new(rec, "time.separation");
                             crate::steiner::violated_pairs_traced(
@@ -502,6 +615,13 @@ impl EbfSolver {
                         };
                         note_round(rounds, &violated);
                         if violated.is_empty() {
+                            // Converged: the warm-started session's final
+                            // basis is the one the certificate describes —
+                            // audit it before returning the lengths.
+                            if let Some(sol) = &audited {
+                                let cert = session.certificate();
+                                audit_check(session.model(), sol, cert.as_ref())?;
+                            }
                             return Ok((
                                 lengths,
                                 EbfReport {
@@ -634,6 +754,23 @@ impl GrowingSession {
         match self {
             GrowingSession::Dense(s) => s.add_constraint(expr, cmp, rhs),
             GrowingSession::Revised(s) => s.add_constraint(expr, cmp, rhs),
+        }
+    }
+
+    /// The session's grown model (base rows plus every appended cut) —
+    /// what the audit verifies certificates against.
+    fn model(&self) -> &Model {
+        match self {
+            GrowingSession::Dense(s) => s.model(),
+            GrowingSession::Revised(s) => s.model(),
+        }
+    }
+
+    /// The certificate of the most recent (re-)solve, if one is available.
+    fn certificate(&self) -> Option<lubt_lp::Certificate> {
+        match self {
+            GrowingSession::Dense(s) => s.certificate(),
+            GrowingSession::Revised(s) => s.certificate(),
         }
     }
 }
@@ -823,6 +960,91 @@ mod tests {
         // The revised backend must not touch the dense backend's keys.
         assert_eq!(trace.counter("simplex.solves"), 0);
         assert_eq!(trace.counter("simplex.pivots"), 0);
+    }
+
+    #[test]
+    fn audited_solves_match_unaudited_bit_for_bit() {
+        // The audit is pure observation: lengths and reports are identical
+        // with and without it, and the verification counters land.
+        let p = LubtBuilder::new(square())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::uniform(4, 12.0, 15.0))
+            .build()
+            .unwrap();
+        for (backend, key) in [
+            (SolverBackend::Simplex, "audit.optimality_verified"),
+            (SolverBackend::Revised, "audit.optimality_verified"),
+            (SolverBackend::InteriorPoint, "audit.primal_verified"),
+        ] {
+            let (base_lengths, base_report) =
+                EbfSolver::new().with_backend(backend).solve(&p).unwrap();
+            let (result, trace) = EbfSolver::new()
+                .with_backend(backend)
+                .with_audit(true)
+                .solve_traced(&p);
+            let (lengths, report) = result.unwrap();
+            assert_eq!(lengths, base_lengths, "{backend:?}");
+            assert_eq!(report, base_report, "{backend:?}");
+            assert!(trace.counter(key) >= 1, "{backend:?}: {trace:?}");
+            assert_eq!(trace.counter("audit.failures"), 0, "{backend:?}");
+            assert!(trace.timings_ns.contains_key("time.audit"), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn audited_eager_solve_verifies_its_certificate() {
+        let p = LubtBuilder::new(square())
+            .bounds(DelayBounds::uniform(4, 10.0, 14.0))
+            .build()
+            .unwrap();
+        for backend in [SolverBackend::Simplex, SolverBackend::Revised] {
+            let (result, trace) = EbfSolver::new()
+                .with_backend(backend)
+                .with_steiner_mode(SteinerMode::Eager)
+                .with_audit(true)
+                .solve_traced(&p);
+            assert!(result.is_ok(), "{backend:?}");
+            assert_eq!(trace.counter("audit.optimality_verified"), 1, "{backend:?}");
+            assert_eq!(trace.counter("audit.failures"), 0, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn audited_infeasibility_verifies_a_farkas_ray() {
+        // With prelint off, the LP itself certifies infeasibility; under
+        // audit the Farkas ray must verify exactly before the Infeasible
+        // error is surfaced (on both simplex backends, warm and cold).
+        let p = LubtBuilder::new(square())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::upper_only(4, 5.0))
+            .build()
+            .unwrap();
+        for backend in [SolverBackend::Simplex, SolverBackend::Revised] {
+            for mode in [SteinerMode::default_lazy(), SteinerMode::Eager] {
+                let (result, trace) = EbfSolver::new()
+                    .with_backend(backend)
+                    .with_steiner_mode(mode)
+                    .with_prelint(false)
+                    .with_audit(true)
+                    .solve_traced(&p);
+                assert!(
+                    matches!(result, Err(LubtError::Infeasible)),
+                    "{backend:?}/{mode:?}"
+                );
+                assert_eq!(
+                    trace.counter("audit.farkas_verified"),
+                    1,
+                    "{backend:?}/{mode:?}"
+                );
+                assert_eq!(trace.counter("audit.failures"), 0, "{backend:?}/{mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn audit_accessor_reports_the_flag() {
+        assert!(!EbfSolver::new().audit_enabled());
+        assert!(EbfSolver::new().with_audit(true).audit_enabled());
     }
 
     #[test]

@@ -33,6 +33,10 @@ pub enum LubtError {
     },
     /// A solution failed post-hoc verification.
     Verify(VerifyError),
+    /// The exact certificate audit rejected the solver's output: the
+    /// claimed optimum/infeasibility proof does not hold in exact
+    /// arithmetic. Each diagnostic carries an `audit-*` pass slug.
+    Audit(Vec<lubt_lint::Diagnostic>),
 }
 
 impl LubtError {
@@ -95,6 +99,17 @@ impl fmt::Display for LubtError {
                 )
             }
             LubtError::Verify(e) => write!(f, "solution verification failed: {e}"),
+            LubtError::Audit(diags) => {
+                write!(
+                    f,
+                    "exact certificate audit rejected the solve with {} finding(s):",
+                    diags.iter().filter(|d| d.is_deny()).count()
+                )?;
+                for d in diags.iter().filter(|d| d.is_deny()) {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

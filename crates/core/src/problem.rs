@@ -316,6 +316,8 @@ pub struct LubtBuilder {
     placement: PlacementPolicy,
     threads: usize,
     max_lp_iterations: Option<usize>,
+    audit: bool,
+    prelint: bool,
 }
 
 impl LubtBuilder {
@@ -333,6 +335,8 @@ impl LubtBuilder {
             placement: PlacementPolicy::ClosestToParent,
             threads: 1,
             max_lp_iterations: None,
+            audit: false,
+            prelint: true,
         }
     }
 
@@ -412,6 +416,28 @@ impl LubtBuilder {
         self
     }
 
+    /// Enables the exact certificate audit for the whole pipeline (off by
+    /// default): every LP outcome is verified against its optimality
+    /// certificate or Farkas ray ([`EbfSolver::with_audit`]), and the
+    /// final embedding's sink pathlengths are re-derived in exact
+    /// arithmetic ([`LubtSolution::audit_tree`]). A failed audit surfaces
+    /// as [`LubtError::Audit`] with deny-level `audit-*` diagnostics.
+    #[must_use]
+    pub fn audit(mut self, enabled: bool) -> Self {
+        self.audit = enabled;
+        self
+    }
+
+    /// Enables or disables the pre-solve lint hook (on by default) — see
+    /// [`EbfSolver::with_prelint`]. Disabling it lets a hopeless instance
+    /// reach the LP, whose infeasibility certificate (a Farkas ray, exactly
+    /// verified under [`LubtBuilder::audit`]) then speaks for itself.
+    #[must_use]
+    pub fn prelint(mut self, enabled: bool) -> Self {
+        self.prelint = enabled;
+        self
+    }
+
     /// Builds the [`LubtProblem`] without solving (exposes the generated
     /// topology for inspection or reuse).
     ///
@@ -473,6 +499,8 @@ impl LubtBuilder {
             .with_backend(self.backend)
             .with_steiner_mode(self.steiner_mode)
             .with_threads(self.threads)
+            .with_audit(self.audit)
+            .with_prelint(self.prelint)
             .with_recorder(Arc::clone(&rec));
         if let Some(limit) = self.max_lp_iterations {
             solver = solver.with_max_lp_iterations(limit);
@@ -486,7 +514,24 @@ impl LubtBuilder {
             self.placement,
             &*rec,
         )?;
-        Ok(LubtSolution::new(problem, lengths, positions, report))
+        let solution = LubtSolution::new(problem, lengths, positions, report);
+        if self.audit {
+            // §5 embedding audit: exact pathlengths vs delay windows.
+            let findings = {
+                let _t = lubt_obs::PhaseTimer::new(&*rec, "time.audit");
+                solution.audit_tree()
+            };
+            if !findings.is_empty() {
+                if rec.enabled() {
+                    rec.incr("audit.failures", findings.len() as u64);
+                }
+                return Err(LubtError::Audit(findings));
+            }
+            if rec.enabled() {
+                rec.incr("audit.tree_verified", 1);
+            }
+        }
+        Ok(solution)
     }
 }
 
@@ -530,6 +575,21 @@ mod tests {
         let p = LubtProblem::new(square_sinks(), None, topo, DelayBounds::unbounded(4)).unwrap();
         assert_eq!(p.source_mode(), SourceMode::Free);
         assert_eq!(p.radius(), 10.0); // diameter 20 / 2
+    }
+
+    #[test]
+    fn audited_pipeline_matches_unaudited_and_verifies_everything() {
+        let builder = LubtBuilder::new(square_sinks())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::uniform(4, 12.0, 15.0));
+        let base = builder.clone().solve().unwrap();
+        let (result, trace) = builder.audit(true).solve_traced();
+        let audited = result.unwrap();
+        assert_eq!(audited.edge_lengths(), base.edge_lengths());
+        assert_eq!(audited.positions(), base.positions());
+        assert!(trace.counter("audit.optimality_verified") >= 1, "{trace:?}");
+        assert_eq!(trace.counter("audit.tree_verified"), 1);
+        assert_eq!(trace.counter("audit.failures"), 0);
     }
 
     #[test]

@@ -2,6 +2,7 @@ use crate::ebf::EbfReport;
 use crate::verify::verify_solution;
 use crate::{LubtProblem, VerifyError};
 use lubt_geom::{polyline_length, route_with_length, Point};
+use lubt_topology::NodeId;
 
 /// A solved LUBT: optimal edge lengths, an embedding realizing them, and
 /// solve statistics.
@@ -135,6 +136,26 @@ impl LubtSolution {
     pub fn verify(&self) -> Result<(), VerifyError> {
         verify_solution(&self.problem, &self.lengths, &self.positions)
     }
+
+    /// Audits the embedded tree in **exact** arithmetic: every
+    /// source-to-sink pathlength is re-derived as a dyadic-rational sum of
+    /// edge lengths and checked against the sink's `[l_i, u_i]` window,
+    /// and every edge against the Manhattan span of its endpoints. Unlike
+    /// [`LubtSolution::verify`] (which sums in `f64`), no rounding of the
+    /// audit's own making can mask a violation. Returns deny-level
+    /// `audit-tree` diagnostics; empty means proven in-window.
+    pub fn audit_tree(&self) -> Vec<lubt_lint::Diagnostic> {
+        let topo = self.problem.topology();
+        let parents: Vec<usize> = (0..topo.num_nodes())
+            .map(|v| topo.parent(NodeId(v)).map_or(v, |p| p.index()))
+            .collect();
+        let pos: Vec<(f64, f64)> = self.positions.iter().map(|p| (p.x, p.y)).collect();
+        let bounds = self.problem.bounds();
+        let sinks: Vec<(usize, f64, f64)> = (0..topo.num_sinks())
+            .map(|i| (i + 1, bounds.lower(i), bounds.upper(i)))
+            .collect();
+        lubt_audit::audit_tree(&parents, &self.lengths, &pos, &sinks, topo.root().index())
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +203,23 @@ mod tests {
             );
             assert_eq!(route.last().copied().unwrap(), s.positions()[child.index()]);
         }
+    }
+
+    #[test]
+    fn exact_tree_audit_accepts_good_and_rejects_corrupted_embeddings() {
+        let s = sol();
+        assert!(s.audit_tree().is_empty(), "{:?}", s.audit_tree());
+        // Stretch one sink edge far past every upper bound: the exact
+        // pathlength re-derivation must flag that sink as late.
+        let mut bad = s.clone();
+        bad.lengths[1] += 100.0;
+        let findings = bad.audit_tree();
+        assert!(
+            findings
+                .iter()
+                .any(|d| d.pass == "audit-tree" && d.is_deny() && d.message.contains("late")),
+            "{findings:?}"
+        );
     }
 
     #[test]

@@ -4,9 +4,11 @@
 //! rows; this pass flags what slips past it or what presolve fixes only at
 //! a cost: rows with no terms, duplicate rows (same sorted term list,
 //! comparator and rhs), coefficient magnitudes spread over more than
-//! [`MAGNITUDE_RATIO_LIMIT`] (a classic source of simplex pivot noise), and
-//! right-hand sides beyond [`RHS_LIMIT`]. Runs only when a model is
-//! attached to the [`LintInput`].
+//! [`MAGNITUDE_RATIO_LIMIT`] (a classic source of simplex pivot noise),
+//! rows whose magnitude spread makes f64 summation absorb a coefficient
+//! outright (float and exact evaluation then disagree, which the certificate
+//! audit will expose), and right-hand sides beyond [`RHS_LIMIT`]. Runs only
+//! when a model is attached to the [`LintInput`].
 
 use crate::diagnostic::{Diagnostic, Level, Target};
 use crate::registry::{LintInput, LintPass};
@@ -36,7 +38,7 @@ impl LintPass for ModelConditioning {
     }
 
     fn description(&self) -> &'static str {
-        "LP smells: empty rows, duplicate rows, mixed coefficient magnitudes, oversized right-hand sides"
+        "LP smells: empty rows, duplicate rows, mixed coefficient magnitudes, f64-absorbed coefficients, oversized right-hand sides"
     }
 
     fn check(&self, input: &LintInput<'_>, level: Level, out: &mut Vec<Diagnostic>) {
@@ -111,6 +113,38 @@ impl LintPass for ModelConditioning {
                     max_mag = mag;
                     max_row = r;
                 }
+            }
+
+            // Absorption: a nonzero coefficient so small next to the row's
+            // largest that f64 addition swallows it whole — the solver's
+            // float row sums then silently omit a term that the exact
+            // rational evaluation of the `audit-*` passes still sees.
+            let row_max = c
+                .expr()
+                .terms()
+                .iter()
+                .fold(0.0f64, |a, &(_, coef)| a.max(coef.abs()));
+            let absorbed = c
+                .expr()
+                .terms()
+                .iter()
+                .any(|&(_, coef)| coef != 0.0 && row_max + coef == row_max);
+            if absorbed {
+                out.push(Diagnostic {
+                    pass: self.slug(),
+                    level,
+                    message: format!(
+                        "row {r} mixes coefficient magnitudes so unevenly that f64 \
+                         summation absorbs the small ones entirely (largest magnitude \
+                         {row_max:e}); float and exact evaluation of this row disagree"
+                    ),
+                    targets: vec![Target::Row(r)],
+                    help: Some(
+                        "rescale the row: the exact certificate audit recomputes it \
+                         rationally and will report a residual the solver cannot see"
+                            .to_string(),
+                    ),
+                });
             }
 
             if c.rhs().abs() > RHS_LIMIT {

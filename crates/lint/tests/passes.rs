@@ -274,6 +274,35 @@ fn model_conditioning_fires_on_magnitude_spread_and_huge_rhs() {
 }
 
 #[test]
+fn model_conditioning_flags_only_rows_that_absorb_a_coefficient() {
+    let (mut model, x, y) = two_var_model();
+    // 1e17 + 1.0 == 1e17 in f64: the y term vanishes from any float row sum.
+    model.add_constraint(
+        LinExpr::new().with_term(x, 1e17).with_term(y, 1.0),
+        Cmp::Ge,
+        1.0,
+    );
+    // 1e8 + 1.0 is still exact; spread alone is not absorption.
+    model.add_constraint(
+        LinExpr::new().with_term(x, 1e8).with_term(y, 1.0),
+        Cmp::Ge,
+        1.0,
+    );
+    let sinks = clean_sinks();
+    let topo = clean_topology();
+    let mut inp = input(&sinks, &topo, &[0.0, 0.0], &[10.0, 10.0]);
+    inp.model = Some(&model);
+    let diags = lint(&inp);
+    let hits = diags_of(&diags, "model-conditioning");
+    let absorbed: Vec<_> = hits
+        .iter()
+        .filter(|d| d.message.contains("absorbs"))
+        .collect();
+    assert_eq!(absorbed.len(), 1);
+    assert_eq!(absorbed[0].targets, vec![Target::Row(0)]);
+}
+
+#[test]
 fn model_conditioning_silent_on_clean_model_and_without_model() {
     let (mut model, x, y) = two_var_model();
     model.add_constraint(

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod certificate;
 mod error;
 mod factor;
 mod interior;
@@ -53,6 +54,7 @@ mod solution;
 mod sparse;
 mod standard;
 
+pub use certificate::{Certificate, ColumnRole, FarkasCertificate, OptimalityCertificate};
 pub use error::LpError;
 pub use interior::InteriorPointSolver;
 pub use lp_format::write_lp;

@@ -189,6 +189,13 @@ impl Model {
         self.costs.len()
     }
 
+    /// The variables in insertion order (so external auditors can iterate
+    /// costs, bounds, and per-variable reduced costs without holding the
+    /// `Var` handles from construction time).
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        (0..self.costs.len()).map(Var)
+    }
+
     /// Number of constraints.
     pub fn num_constraints(&self) -> usize {
         self.constraints.len()

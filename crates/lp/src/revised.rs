@@ -27,9 +27,10 @@ use std::sync::Arc;
 
 use lubt_obs::Recorder;
 
+use crate::certificate::{CertSeed, Certificate, ColumnRole};
 use crate::factor::Factor;
 use crate::model::{Cmp, LinExpr, Model};
-use crate::simplex::WarmStart;
+use crate::simplex::{ReoptOutcome, WarmStart};
 use crate::sparse::SparseForm;
 use crate::{LpError, LpSolve, Solution, Status};
 
@@ -147,7 +148,7 @@ impl RevisedSolver {
                 return Ok(result);
             }
         }
-        self.solve_full(model).map(|(s, w, _)| (s, w))
+        self.solve_full(model).map(|(s, w, _, _)| (s, w))
     }
 
     /// Attempts the warm path; `Ok(None)` means "fall back to cold".
@@ -191,15 +192,15 @@ impl RevisedSolver {
             self.stall_limit,
             &*self.recorder,
         )? {
-            Status::Infeasible => {
+            ReoptOutcome::Infeasible { .. } => {
                 self.note_solve(iters);
                 return Ok(Some((Solution::infeasible(model.num_vars(), iters), None)));
             }
-            Status::Unbounded => {
+            ReoptOutcome::Unbounded => {
                 self.note_solve(iters);
                 return Ok(Some((Solution::unbounded(model.num_vars(), iters), None)));
             }
-            Status::Optimal => {}
+            ReoptOutcome::Optimal => {}
         }
         let (x, objective, duals) = kernel.extract(model);
         let next = WarmStart {
@@ -214,16 +215,47 @@ impl RevisedSolver {
         )))
     }
 
-    /// Like [`LpSolve::solve`], additionally handing back the live kernel
-    /// for incremental growth (see [`RevisedSession`]).
-    fn solve_keeping_kernel(&self, model: &Model) -> Result<(Solution, Option<Kernel>), LpError> {
-        self.solve_full(model).map(|(s, _, k)| (s, k))
+    /// Like [`LpSolve::solve`], additionally materializing the certificate
+    /// of the outcome: optimality duals when optimal, a Farkas ray when
+    /// infeasible, `None` when unbounded or the basis cannot be factorized.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`LpSolve::solve`].
+    pub fn solve_certified(
+        &self,
+        model: &Model,
+    ) -> Result<(Solution, Option<Certificate>), LpError> {
+        let (solution, _, _, seed) = self.solve_full(model)?;
+        let cert = seed
+            .as_ref()
+            .and_then(|s| crate::certificate::compute(model, s));
+        Ok((solution, cert))
     }
 
+    /// Like [`LpSolve::solve`], additionally handing back the live kernel
+    /// for incremental growth (see [`RevisedSession`]).
+    #[allow(clippy::type_complexity)]
+    fn solve_keeping_kernel(
+        &self,
+        model: &Model,
+    ) -> Result<(Solution, Option<Kernel>, Option<CertSeed>), LpError> {
+        self.solve_full(model).map(|(s, _, k, seed)| (s, k, seed))
+    }
+
+    #[allow(clippy::type_complexity)]
     fn solve_full(
         &self,
         model: &Model,
-    ) -> Result<(Solution, Option<WarmStart>, Option<Kernel>), LpError> {
+    ) -> Result<
+        (
+            Solution,
+            Option<WarmStart>,
+            Option<Kernel>,
+            Option<CertSeed>,
+        ),
+        LpError,
+    > {
         model.validate()?;
         let sf = SparseForm::build(model);
         let m = sf.m;
@@ -232,7 +264,7 @@ impl RevisedSolver {
         // unless a negative cost makes the LP unbounded.
         if m == 0 {
             if model.costs.iter().any(|&c| c < -COST_TOL) {
-                return Ok((Solution::unbounded(model.num_vars(), 0), None, None));
+                return Ok((Solution::unbounded(model.num_vars(), 0), None, None, None));
             }
             let x = sf.recover(&vec![0.0; sf.n]);
             let obj = model.objective_value(&x);
@@ -241,6 +273,7 @@ impl RevisedSolver {
                 Solution::new(Status::Optimal, x, obj, Some(vec![]), 0),
                 None,
                 Some(kernel),
+                Some(CertSeed::Optimal(Vec::new())),
             ));
         }
 
@@ -277,7 +310,13 @@ impl RevisedSolver {
             let feas_tol = 1e-7 * (1.0 + kernel.sf.b.iter().cloned().fold(0.0, f64::max));
             if kernel.objective(true) > feas_tol {
                 self.note_solve(iters);
-                return Ok((Solution::infeasible(model.num_vars(), iters), None, None));
+                let seed = CertSeed::Phase1(kernel.roles());
+                return Ok((
+                    Solution::infeasible(model.num_vars(), iters),
+                    None,
+                    None,
+                    Some(seed),
+                ));
             }
             kernel.drive_out_artificials(rec)?;
         }
@@ -292,7 +331,12 @@ impl RevisedSolver {
         )? {
             PhaseOutcome::Unbounded => {
                 self.note_solve(iters);
-                Ok((Solution::unbounded(model.num_vars(), iters), None, None))
+                Ok((
+                    Solution::unbounded(model.num_vars(), iters),
+                    None,
+                    None,
+                    None,
+                ))
             }
             PhaseOutcome::Optimal => {
                 let (x, objective, duals) = kernel.extract(model);
@@ -306,10 +350,12 @@ impl RevisedSolver {
                         num_rows: kernel.sf.m,
                     });
                 self.note_solve(iters);
+                let seed = CertSeed::Optimal(kernel.roles());
                 Ok((
                     Solution::new(Status::Optimal, x, objective, duals, iters),
                     warm,
                     Some(kernel),
+                    Some(seed),
                 ))
             }
         }
@@ -318,7 +364,7 @@ impl RevisedSolver {
 
 impl LpSolve for RevisedSolver {
     fn solve(&self, model: &Model) -> Result<Solution, LpError> {
-        self.solve_full(model).map(|(s, _, _)| s)
+        self.solve_full(model).map(|(s, _, _, _)| s)
     }
 }
 
@@ -329,7 +375,7 @@ enum PhaseOutcome {
 
 enum DualOutcome {
     PrimalFeasible,
-    Infeasible,
+    Infeasible { row: usize },
 }
 
 /// The live revised-simplex state: sparse form, basis, factorization,
@@ -750,7 +796,7 @@ impl Kernel {
                 let Some(enter) = enter else {
                     // Row reads `(non-negative combination) = negative`:
                     // empty feasible region.
-                    return Ok(DualOutcome::Infeasible);
+                    return Ok(DualOutcome::Infeasible { row: pos });
                 };
                 let mut w = self.dense_col(enter);
                 let mut scratch = std::mem::take(&mut self.scratch);
@@ -783,15 +829,38 @@ impl Kernel {
         max_iterations: usize,
         stall_limit: usize,
         rec: &dyn Recorder,
-    ) -> Result<Status, LpError> {
+    ) -> Result<ReoptOutcome, LpError> {
         match self.dual(iters, max_iterations, rec)? {
-            DualOutcome::Infeasible => return Ok(Status::Infeasible),
+            DualOutcome::Infeasible { row } => return Ok(ReoptOutcome::Infeasible { row }),
             DualOutcome::PrimalFeasible => {}
         }
         match self.primal(false, iters, max_iterations, stall_limit, rec)? {
-            PhaseOutcome::Unbounded => Ok(Status::Unbounded),
-            PhaseOutcome::Optimal => Ok(Status::Optimal),
+            PhaseOutcome::Unbounded => Ok(ReoptOutcome::Unbounded),
+            PhaseOutcome::Optimal => Ok(ReoptOutcome::Optimal),
         }
+    }
+
+    /// Role of every current basis column, stated over the original model
+    /// (the sparse slack→row map covers appended rows as well).
+    fn roles(&self) -> Vec<ColumnRole> {
+        let mut row_of_slack = vec![usize::MAX; self.sf.n];
+        for (i, &sc) in self.sf.slack_col.iter().enumerate() {
+            if sc != usize::MAX {
+                row_of_slack[sc] = i;
+            }
+        }
+        self.basis
+            .iter()
+            .map(|&j| {
+                if j < self.sf.n_orig {
+                    ColumnRole::Structural(j)
+                } else if j < self.sf.n {
+                    ColumnRole::Slack(row_of_slack[j])
+                } else {
+                    ColumnRole::Artificial(self.art_rows[j - self.sf.n])
+                }
+            })
+            .collect()
     }
 
     /// Pivots residual artificials out of the basis where a structural
@@ -873,6 +942,8 @@ pub struct RevisedSession {
     stall_limit: usize,
     recorder: Arc<dyn Recorder>,
     infeasible: bool,
+    /// Seed of the certificate for the most recent (re)solve outcome.
+    cert_seed: Option<CertSeed>,
 }
 
 impl RevisedSession {
@@ -892,7 +963,7 @@ impl RevisedSession {
     ///
     /// Same contract as [`crate::SimplexSession::start`].
     pub fn start_with(model: Model, solver: RevisedSolver) -> Result<Self, LpError> {
-        let (solution, kernel) = solver.solve_keeping_kernel(&model)?;
+        let (solution, kernel, cert_seed) = solver.solve_keeping_kernel(&model)?;
         let infeasible = solution.status() != Status::Optimal;
         Ok(RevisedSession {
             model,
@@ -903,6 +974,7 @@ impl RevisedSession {
             stall_limit: solver.stall_limit,
             recorder: Arc::clone(solver.recorder()),
             infeasible,
+            cert_seed,
         })
     }
 
@@ -914,6 +986,15 @@ impl RevisedSession {
     /// The solution of the most recent (re)solve.
     pub fn solution(&self) -> &Solution {
         &self.solution
+    }
+
+    /// Materializes the certificate for the most recent (re)solve outcome:
+    /// optimality duals when optimal, a Farkas ray when infeasible. `None`
+    /// for unbounded outcomes or when the basis cannot be factorized.
+    pub fn certificate(&self) -> Option<Certificate> {
+        self.cert_seed
+            .as_ref()
+            .and_then(|s| crate::certificate::compute(&self.model, s))
     }
 
     /// Appends an inequality row (`Le` or `Ge`). Takes effect at the next
@@ -997,10 +1078,11 @@ impl RevisedSession {
                 .with_max_iterations(self.max_iterations)
                 .with_stall_limit(self.stall_limit)
                 .with_recorder(Arc::clone(&self.recorder));
-            let (solution, kernel) = solver.solve_keeping_kernel(&self.model)?;
+            let (solution, kernel, cert_seed) = solver.solve_keeping_kernel(&self.model)?;
             self.infeasible = solution.status() != Status::Optimal;
             self.solution = solution;
             self.kernel = kernel;
+            self.cert_seed = cert_seed;
             return Ok(&self.solution);
         }
         let kernel = self
@@ -1073,7 +1155,8 @@ impl RevisedSession {
             );
         }
         match status {
-            Status::Optimal => {
+            ReoptOutcome::Optimal => {
+                self.cert_seed = Some(CertSeed::Optimal(kernel.roles()));
                 let n_orig = self.model.num_vars();
                 let mut x = vec![0.0; n_orig];
                 for (pos, &b) in kernel.basis.iter().enumerate() {
@@ -1087,11 +1170,13 @@ impl RevisedSession {
                 let objective = self.model.objective_value(&x);
                 self.solution = Solution::new(Status::Optimal, x, objective, None, iters);
             }
-            Status::Infeasible => {
+            ReoptOutcome::Infeasible { row } => {
+                self.cert_seed = Some(CertSeed::DualRow(kernel.roles(), row));
                 self.infeasible = true;
                 self.solution = Solution::infeasible(self.model.num_vars(), iters);
             }
-            Status::Unbounded => {
+            ReoptOutcome::Unbounded => {
+                self.cert_seed = None;
                 self.solution = Solution::unbounded(self.model.num_vars(), iters);
             }
         }

@@ -15,8 +15,9 @@ use std::sync::Arc;
 
 use lubt_obs::Recorder;
 
+use crate::certificate::{CertSeed, Certificate, ColumnRole};
 use crate::model::{Cmp, LinExpr, Model};
-use crate::simplex::{dual_then_primal, SimplexSolver, Tableau};
+use crate::simplex::{dual_then_primal, ReoptOutcome, SimplexSolver, Tableau};
 use crate::standard::StandardForm;
 use crate::{LpError, Solution, Status};
 
@@ -57,6 +58,11 @@ pub struct SimplexSession {
     max_iterations: usize,
     recorder: Arc<dyn Recorder>,
     infeasible: bool,
+    /// Role of every tableau column, for certificate seeds. Grows by one
+    /// slack per appended row.
+    col_roles: Vec<ColumnRole>,
+    /// Seed of the certificate for the most recent (re)solve outcome.
+    cert_seed: Option<CertSeed>,
 }
 
 impl SimplexSession {
@@ -76,10 +82,29 @@ impl SimplexSession {
     /// [`SimplexSession::resolve`] inherit `solver`'s pivot budget and
     /// recorder.
     pub fn start_with(model: Model, solver: SimplexSolver) -> Result<Self, LpError> {
-        let (solution, tableau) = solver.solve_keeping_tableau(&model)?;
+        let (solution, tableau, cert_seed) = solver.solve_keeping_tableau(&model)?;
         let sf = StandardForm::build(&model);
         let infeasible = solution.status() != Status::Optimal;
         let t = tableau.unwrap_or_else(|| Tableau::from_costs(&vec![0.0; sf.n]));
+        // Mirror `solve_full`'s column layout: structurals, slacks in row
+        // order, artificials in row order (truncated away when the fallback
+        // tableau has no artificial block).
+        let mut col_roles: Vec<ColumnRole> = Vec::with_capacity(t.cols);
+        col_roles.extend((0..model.num_vars()).map(ColumnRole::Structural));
+        col_roles.extend(
+            (0..sf.m)
+                .filter(|&i| sf.slack_col[i] != usize::MAX)
+                .map(ColumnRole::Slack),
+        );
+        col_roles.extend(
+            (0..sf.m)
+                .filter(|&i| {
+                    let sc = sf.slack_col[i];
+                    !(sc != usize::MAX && (sf.at(i, sc) - 1.0).abs() < 1e-12)
+                })
+                .map(ColumnRole::Artificial),
+        );
+        col_roles.truncate(t.cols);
         Ok(SimplexSession {
             shift: sf.shift,
             model,
@@ -89,6 +114,8 @@ impl SimplexSession {
             max_iterations: solver.max_iterations(),
             recorder: Arc::clone(solver.recorder()),
             infeasible,
+            col_roles,
+            cert_seed,
         })
     }
 
@@ -100,6 +127,15 @@ impl SimplexSession {
     /// The solution of the most recent (re)solve.
     pub fn solution(&self) -> &Solution {
         &self.solution
+    }
+
+    /// Materializes the certificate for the most recent (re)solve outcome:
+    /// optimality duals when optimal, a Farkas ray when infeasible. `None`
+    /// for unbounded outcomes or when the basis cannot be factorized.
+    pub fn certificate(&self) -> Option<Certificate> {
+        self.cert_seed
+            .as_ref()
+            .and_then(|s| crate::certificate::compute(&self.model, s))
     }
 
     /// Appends an inequality row (`Le` or `Ge`). Takes effect at the next
@@ -182,7 +218,11 @@ impl SimplexSession {
                 )
             })
             .collect();
+        let first_new_row = self.t.m;
         self.t.append_rows(&batch);
+        for k in 0..batch.len() {
+            self.col_roles.push(ColumnRole::Slack(first_new_row + k));
+        }
         let mut iters = self.solution.iterations();
         if self.recorder.enabled() {
             self.recorder.incr("simplex.resolves", 1);
@@ -201,8 +241,10 @@ impl SimplexSession {
                 iters as f64 / self.max_iterations.max(1) as f64,
             );
         }
+        let basis_roles = || self.t.basis.iter().map(|&c| self.col_roles[c]).collect();
         match status {
-            Status::Optimal => {
+            ReoptOutcome::Optimal => {
+                self.cert_seed = Some(CertSeed::Optimal(basis_roles()));
                 let n_orig = self.model.num_vars();
                 let mut x = vec![0.0; n_orig];
                 for r in 0..self.t.m {
@@ -217,11 +259,13 @@ impl SimplexSession {
                 let objective = self.model.objective_value(&x);
                 self.solution = Solution::new(Status::Optimal, x, objective, None, iters);
             }
-            Status::Infeasible => {
+            ReoptOutcome::Infeasible { row } => {
+                self.cert_seed = Some(CertSeed::DualRow(basis_roles(), row));
                 self.infeasible = true;
                 self.solution = Solution::infeasible(self.model.num_vars(), iters);
             }
-            Status::Unbounded => {
+            ReoptOutcome::Unbounded => {
+                self.cert_seed = None;
                 self.solution = Solution::unbounded(self.model.num_vars(), iters);
             }
         }

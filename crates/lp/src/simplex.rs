@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use lubt_obs::Recorder;
 
+use crate::certificate::{compute, CertSeed, Certificate, ColumnRole};
 use crate::linalg::SquareMatrix;
 use crate::standard::StandardForm;
 use crate::{LpError, LpSolve, Model, Solution, Status};
@@ -362,7 +363,21 @@ fn run_phase(
 
 enum DualOutcome {
     PrimalFeasible,
-    Infeasible,
+    /// The dual ratio test found no entering column for `row`: that row
+    /// certifies an empty feasible region (it seeds a Farkas ray).
+    Infeasible {
+        row: usize,
+    },
+}
+
+/// Outcome of a dual-then-primal re-optimization, carrying the certifying
+/// row position on infeasibility so incremental sessions can seed a
+/// [`CertSeed::DualRow`] Farkas certificate. Shared by both backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReoptOutcome {
+    Optimal,
+    Unbounded,
+    Infeasible { row: usize },
 }
 
 /// Dual simplex: starting from a dual-feasible tableau (all reduced costs
@@ -455,7 +470,7 @@ fn run_dual_phase_inner(
         let Some((col, _)) = enter else {
             // Row reads `(non-negative combination) = negative`: empty
             // feasible region.
-            return Ok(DualOutcome::Infeasible);
+            return Ok(DualOutcome::Infeasible { row });
         };
         t.pivot(row, col);
         *iters += 1;
@@ -474,14 +489,14 @@ pub(crate) fn dual_then_primal(
     iters: &mut usize,
     max_iterations: usize,
     rec: &dyn Recorder,
-) -> Result<Status, LpError> {
+) -> Result<ReoptOutcome, LpError> {
     match run_dual_phase(t, iters, max_iterations, rec)? {
-        DualOutcome::Infeasible => return Ok(Status::Infeasible),
+        DualOutcome::Infeasible { row } => return Ok(ReoptOutcome::Infeasible { row }),
         DualOutcome::PrimalFeasible => {}
     }
     match run_phase(t, iters, max_iterations, 1_000, rec)? {
-        PhaseOutcome::Unbounded => Ok(Status::Unbounded),
-        PhaseOutcome::Optimal => Ok(Status::Optimal),
+        PhaseOutcome::Unbounded => Ok(ReoptOutcome::Unbounded),
+        PhaseOutcome::Optimal => Ok(ReoptOutcome::Optimal),
     }
 }
 
@@ -606,7 +621,7 @@ impl SimplexSolver {
         let mut iters = 0usize;
         let rec = &*self.recorder;
         match run_dual_phase(&mut t, &mut iters, self.max_iterations, rec)? {
-            DualOutcome::Infeasible => {
+            DualOutcome::Infeasible { .. } => {
                 self.note_solve(iters);
                 return Ok(Some((Solution::infeasible(model.num_vars(), iters), None)));
             }
@@ -650,26 +665,54 @@ impl SimplexSolver {
     }
 
     fn solve_cold(&self, model: &Model) -> Result<(Solution, Option<WarmStart>), LpError> {
-        self.solve_full(model).map(|(s, w, _)| (s, w))
+        self.solve_full(model).map(|(s, w, _, _)| (s, w))
+    }
+
+    /// Like [`LpSolve::solve`], additionally producing the certificate of
+    /// the outcome: a dual proof of optimality or a Farkas proof of
+    /// infeasibility (`None` for unbounded models, or when the final basis
+    /// is numerically singular). Verification lives in the `lubt-audit`
+    /// crate.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`LpSolve::solve`].
+    pub fn solve_certified(
+        &self,
+        model: &Model,
+    ) -> Result<(Solution, Option<Certificate>), LpError> {
+        let (solution, _, _, seed) = self.solve_full(model)?;
+        let cert = seed.as_ref().and_then(|s| compute(model, s));
+        Ok((solution, cert))
     }
 
     /// Like [`LpSolve::solve`], additionally handing back the final optimal
-    /// tableau for incremental growth (see [`crate::SimplexSession`]).
+    /// tableau for incremental growth (see [`crate::SimplexSession`]) and
+    /// the certificate seed of the outcome.
     pub(crate) fn solve_keeping_tableau(
         &self,
         model: &Model,
-    ) -> Result<(Solution, Option<Tableau>), LpError> {
-        self.solve_full(model).map(|(s, _, t)| (s, t))
+    ) -> Result<(Solution, Option<Tableau>, Option<CertSeed>), LpError> {
+        self.solve_full(model).map(|(s, _, t, seed)| (s, t, seed))
     }
 
     pub(crate) fn max_iterations(&self) -> usize {
         self.max_iterations
     }
 
+    #[allow(clippy::type_complexity)]
     fn solve_full(
         &self,
         model: &Model,
-    ) -> Result<(Solution, Option<WarmStart>, Option<Tableau>), LpError> {
+    ) -> Result<
+        (
+            Solution,
+            Option<WarmStart>,
+            Option<Tableau>,
+            Option<CertSeed>,
+        ),
+        LpError,
+    > {
         model.validate()?;
         let sf = StandardForm::build(model);
         let m = sf.m;
@@ -678,7 +721,7 @@ impl SimplexSolver {
         // unless a negative cost makes the LP unbounded.
         if m == 0 {
             if model.costs.iter().any(|&c| c < -COST_TOL) {
-                return Ok((Solution::unbounded(model.num_vars(), 0), None, None));
+                return Ok((Solution::unbounded(model.num_vars(), 0), None, None, None));
             }
             let x = sf.recover(&vec![0.0; sf.n]);
             let obj = model.objective_value(&x);
@@ -686,6 +729,7 @@ impl SimplexSolver {
                 Solution::new(Status::Optimal, x, obj, Some(vec![]), 0),
                 None,
                 Some(Tableau::from_costs(&sf.c)),
+                Some(CertSeed::Optimal(Vec::new())),
             ));
         }
 
@@ -703,6 +747,23 @@ impl SimplexSolver {
         }
         let cols = sf.n + n_art;
         let width = cols + 1;
+
+        // Role of every column, for certificate seeds: structurals, then
+        // slacks in row order (matching `StandardForm::build`), then
+        // artificials in row order.
+        let mut col_roles: Vec<ColumnRole> = Vec::with_capacity(cols);
+        col_roles.extend((0..sf.n_orig).map(ColumnRole::Structural));
+        col_roles.extend(
+            (0..m)
+                .filter(|&i| sf.slack_col[i] != usize::MAX)
+                .map(ColumnRole::Slack),
+        );
+        col_roles.extend(
+            (0..m)
+                .filter(|&i| art_of_row[i].is_some())
+                .map(ColumnRole::Artificial),
+        );
+        debug_assert_eq!(col_roles.len(), cols);
 
         let mut t = Tableau {
             m,
@@ -757,7 +818,13 @@ impl SimplexSolver {
             let feas_tol = 1e-7 * (1.0 + sf.b.iter().cloned().fold(0.0, f64::max));
             if -t.obj[width - 1] > feas_tol {
                 self.note_solve(iters);
-                return Ok((Solution::infeasible(model.num_vars(), iters), None, None));
+                let seed = CertSeed::Phase1(t.basis.iter().map(|&c| col_roles[c]).collect());
+                return Ok((
+                    Solution::infeasible(model.num_vars(), iters),
+                    None,
+                    None,
+                    Some(seed),
+                ));
             }
             // Drive artificials out of the basis where possible (degenerate
             // pivots); rows where no structural column remains are redundant
@@ -795,7 +862,12 @@ impl SimplexSolver {
         )? {
             PhaseOutcome::Unbounded => {
                 self.note_solve(iters);
-                Ok((Solution::unbounded(model.num_vars(), iters), None, None))
+                Ok((
+                    Solution::unbounded(model.num_vars(), iters),
+                    None,
+                    None,
+                    None,
+                ))
             }
             PhaseOutcome::Optimal => {
                 let mut x_std = vec![0.0; sf.n];
@@ -814,11 +886,13 @@ impl SimplexSolver {
                     num_vars: model.num_vars(),
                     num_rows: sf.m,
                 });
+                let seed = CertSeed::Optimal(t.basis.iter().map(|&c| col_roles[c]).collect());
                 self.note_solve(iters);
                 Ok((
                     Solution::new(Status::Optimal, x, objective, duals, iters),
                     warm,
                     Some(t),
+                    Some(seed),
                 ))
             }
         }
@@ -1037,7 +1111,7 @@ mod tests {
         assert!(t.rhs(0) < 0.0, "appended row starts primal infeasible");
         let mut iters = 0;
         let status = dual_then_primal(&mut t, &mut iters, 1000, &lubt_obs::NoopRecorder).unwrap();
-        assert_eq!(status, Status::Optimal);
+        assert_eq!(status, ReoptOutcome::Optimal);
         // Basis holds x (column 0) at value 3.
         assert_eq!(t.basis, vec![0]);
         assert!((t.rhs(0) - 3.0).abs() < 1e-9);
@@ -1061,8 +1135,8 @@ mod tests {
         let st_b =
             dual_then_primal(&mut batched, &mut it_b, 1000, &lubt_obs::NoopRecorder).unwrap();
         let st_s = dual_then_primal(&mut seq, &mut it_s, 1000, &lubt_obs::NoopRecorder).unwrap();
-        assert_eq!(st_b, Status::Optimal);
-        assert_eq!(st_s, Status::Optimal);
+        assert_eq!(st_b, ReoptOutcome::Optimal);
+        assert_eq!(st_s, ReoptOutcome::Optimal);
         // Same optimal objective (the obj row's rhs is -objective).
         assert!(
             (batched.obj[batched.width - 1] - seq.obj[seq.width - 1]).abs() < 1e-9,
@@ -1118,6 +1192,48 @@ mod tests {
         ]);
         let mut iters = 0;
         let status = dual_then_primal(&mut t, &mut iters, 1000, &lubt_obs::NoopRecorder).unwrap();
-        assert_eq!(status, Status::Infeasible);
+        assert!(matches!(status, ReoptOutcome::Infeasible { .. }));
+    }
+
+    #[test]
+    fn certified_solves_carry_matching_certificates() {
+        // Optimal: certificate duals must agree with the solution's duals.
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let y = m.add_var(0.0, 2.0);
+        m.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Cmp::Ge, 3.0);
+        m.add_constraint(expr(&[(x, 1.0)]), Cmp::Le, 2.0);
+        let (s, cert) = SimplexSolver::new().solve_certified(&m).unwrap();
+        assert!(s.is_optimal());
+        let Some(Certificate::Optimality(opt)) = cert else {
+            panic!("optimal solve must certify");
+        };
+        let duals = s.duals().unwrap();
+        assert_eq!(opt.duals.len(), duals.len());
+        for (a, b) in opt.duals.iter().zip(duals) {
+            assert!((a - b).abs() < 1e-9, "{:?} vs {duals:?}", opt.duals);
+        }
+        // b'y equals the objective (strong duality).
+        let dual_obj = 3.0 * opt.duals[0] + 2.0 * opt.duals[1];
+        assert!((dual_obj - s.objective()).abs() < 1e-6);
+
+        // Infeasible: the Farkas ray must prove the contradiction.
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        m.add_constraint(expr(&[(x, 1.0)]), Cmp::Ge, 5.0);
+        m.add_constraint(expr(&[(x, 1.0)]), Cmp::Le, 3.0);
+        let (s, cert) = SimplexSolver::new().solve_certified(&m).unwrap();
+        assert_eq!(s.status(), Status::Infeasible);
+        let Some(Certificate::Farkas(f)) = cert else {
+            panic!("infeasible solve must certify");
+        };
+        assert_eq!(f.ray.len(), 2);
+        assert!(f.ray[0] >= -1e-9, "Ge multiplier sign: {:?}", f.ray);
+        assert!(f.ray[1] <= 1e-9, "Le multiplier sign: {:?}", f.ray);
+        // Column condition and positive gap.
+        let d = f.ray[0] + f.ray[1];
+        assert!(d.abs() < 1e-9, "column sum {d}");
+        let gap = 5.0 * f.ray[0] + 3.0 * f.ray[1];
+        assert!(gap > 1e-9, "gap {gap}");
     }
 }

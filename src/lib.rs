@@ -14,6 +14,7 @@
 //! * [`delay`] — linear and Elmore delay models.
 //! * [`core`] — the Edge-Based Formulation (EBF) and the geometric embedder.
 //! * [`lint`] — clippy-style static analysis of instances and LP models.
+//! * [`audit`] — exact rational verification of solver certificates.
 //! * [`baselines`] — zero-skew DME, bounded-skew DME, shortest-path tree.
 //! * [`data`] — benchmark instances (synthetic prim1/prim2/r1/r3 analogues).
 //!
@@ -38,6 +39,9 @@
 //! # Ok::<(), lubt::core::LubtError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub use lubt_audit as audit;
 pub use lubt_baselines as baselines;
 pub use lubt_core as core;
 pub use lubt_data as data;

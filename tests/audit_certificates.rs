@@ -1,0 +1,193 @@
+//! Exact certificate auditing, end to end — the acceptance gate of the
+//! audit layer.
+//!
+//! Every pinned bench-suite instance must pass the exact rational
+//! certificate audit on **both** LP backends: optimality certificates on
+//! feasible windows, Farkas rays on infeasible ones. And the audit must
+//! have teeth: a deliberately corrupted solution, claimed objective,
+//! dual certificate or Farkas ray is rejected with a deny-level
+//! `audit-*` diagnostic.
+
+use lubt::audit::{audit_farkas, audit_optimality, PASS_FARKAS, PASS_OBJECTIVE};
+use lubt::core::{BatchSolver, DelayBounds, EbfSolver, LubtError, LubtProblem, SolverBackend};
+use lubt::lint::Level;
+use lubt::lp::{Certificate, Cmp, LinExpr, Model, RevisedSolver, SimplexSolver, Status};
+use lubt::topology::{nearest_neighbor_topology, SourceMode};
+use lubt_bench::suite::pinned_instances;
+
+/// The pinned suite instances at their default sizes, wrapped into LUBT
+/// problems with the given delay window (fractions of each instance's
+/// radius, matching the bench suite's convention).
+fn suite_problems(lower_frac: f64, upper_frac: f64) -> Vec<(String, LubtProblem)> {
+    pinned_instances(&[6, 10, 16])
+        .into_iter()
+        .map(|inst| {
+            let r = inst.radius();
+            let m = inst.sinks.len();
+            let topo = nearest_neighbor_topology(&inst.sinks, SourceMode::Given);
+            let problem = LubtProblem::new(
+                inst.sinks.clone(),
+                inst.source,
+                topo,
+                DelayBounds::uniform(m, lower_frac * r, upper_frac * r),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", inst.name));
+            (inst.name, problem)
+        })
+        .collect()
+}
+
+#[test]
+fn every_pinned_instance_passes_exact_audit_on_both_backends() {
+    let named = suite_problems(0.9, 1.4);
+    let problems: Vec<LubtProblem> = named.iter().map(|(_, p)| p.clone()).collect();
+    for backend in [SolverBackend::Simplex, SolverBackend::Revised] {
+        let batch = BatchSolver::new()
+            .with_threads(1)
+            .with_solver(EbfSolver::new().with_backend(backend).with_audit(true));
+        let (results, trace) = batch.solve_all_traced(&problems);
+        for ((name, _), result) in named.iter().zip(&results) {
+            let solution = result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{name}/{backend:?}: audited solve failed: {e}"));
+            assert!(
+                solution.audit_tree().is_empty(),
+                "{name}/{backend:?}: exact tree audit rejected the embedding"
+            );
+        }
+        // The LP-side audits actually ran: at least one exactly verified
+        // optimality certificate per instance, zero failures.
+        assert!(
+            trace.counter("audit.optimality_verified") >= problems.len() as u64,
+            "{backend:?}: only {} certificates verified for {} instances",
+            trace.counter("audit.optimality_verified"),
+            problems.len()
+        );
+        assert_eq!(trace.counter("audit.failures"), 0, "{backend:?}");
+    }
+}
+
+#[test]
+fn infeasible_fixtures_verify_farkas_rays_on_both_backends() {
+    // u = 0.5R violates Equation 3 on every pinned instance; with prelint
+    // bypassed the LP itself must refuse, and every refusal must carry an
+    // exactly verifying Farkas ray.
+    let named = suite_problems(0.0, 0.5);
+    let problems: Vec<LubtProblem> = named.iter().map(|(_, p)| p.clone()).collect();
+    for backend in [SolverBackend::Simplex, SolverBackend::Revised] {
+        let batch = BatchSolver::new().with_threads(1).with_solver(
+            EbfSolver::new()
+                .with_backend(backend)
+                .with_prelint(false)
+                .with_audit(true),
+        );
+        let (results, trace) = batch.solve_all_traced(&problems);
+        for ((name, _), result) in named.iter().zip(&results) {
+            assert!(
+                matches!(result, Err(LubtError::Infeasible)),
+                "{name}/{backend:?}: expected verified infeasibility, got {result:?}"
+            );
+        }
+        assert!(
+            trace.counter("audit.farkas_verified") >= problems.len() as u64,
+            "{backend:?}: only {} Farkas rays verified for {} instances",
+            trace.counter("audit.farkas_verified"),
+            problems.len()
+        );
+        assert_eq!(trace.counter("audit.failures"), 0, "{backend:?}");
+    }
+}
+
+fn certified(backend: &str, model: &Model) -> (lubt::lp::Solution, Option<Certificate>) {
+    if backend == "simplex" {
+        SimplexSolver::new().solve_certified(model).unwrap()
+    } else {
+        RevisedSolver::new().solve_certified(model).unwrap()
+    }
+}
+
+fn assert_deny_audit_findings(findings: &[lubt::lint::Diagnostic], what: &str) {
+    assert!(!findings.is_empty(), "{what}: corruption went undetected");
+    for f in findings {
+        assert_eq!(f.level, Level::Deny, "{what}: {f:?}");
+        assert!(f.pass.starts_with("audit-"), "{what}: {f:?}");
+    }
+}
+
+#[test]
+fn corrupted_solutions_and_certificates_are_rejected_with_deny_findings() {
+    let mut model = Model::new();
+    let x = model.add_var(0.0, 1.0);
+    let y = model.add_var(0.0, 2.0);
+    model.add_constraint(LinExpr::from_terms([(x, 1.0), (y, 1.0)]), Cmp::Ge, 4.0);
+    model.add_constraint(LinExpr::from_terms([(x, 2.0), (y, 1.0)]), Cmp::Le, 10.0);
+
+    for backend in ["simplex", "revised"] {
+        let (sol, cert) = certified(backend, &model);
+        assert_eq!(sol.status(), Status::Optimal, "{backend}");
+        let Some(Certificate::Optimality(opt)) = cert else {
+            panic!("{backend}: optimal solve must carry an optimality certificate");
+        };
+        // The genuine output verifies exactly.
+        assert!(
+            audit_optimality(&model, sol.values(), sol.objective(), &opt).is_empty(),
+            "{backend}: genuine certificate must verify"
+        );
+
+        // A corrupted primal point is caught.
+        let mut vals = sol.values().to_vec();
+        vals[0] -= 5.0;
+        assert_deny_audit_findings(
+            &audit_optimality(&model, &vals, sol.objective(), &opt),
+            &format!("{backend}: corrupted primal"),
+        );
+
+        // A falsely improved objective claim is caught by the exact
+        // objective cross-check.
+        let lies = audit_optimality(&model, sol.values(), sol.objective() - 1.0, &opt);
+        assert_deny_audit_findings(&lies, &format!("{backend}: corrupted objective"));
+        assert!(
+            lies.iter().any(|f| f.pass == PASS_OBJECTIVE),
+            "{backend}: {lies:?}"
+        );
+
+        // A tampered dual certificate no longer proves optimality.
+        let mut bad = opt.clone();
+        bad.duals[0] += 0.5;
+        assert_deny_audit_findings(
+            &audit_optimality(&model, sol.values(), sol.objective(), &bad),
+            &format!("{backend}: corrupted duals"),
+        );
+    }
+}
+
+#[test]
+fn corrupted_farkas_rays_are_rejected_with_deny_findings() {
+    let mut model = Model::new();
+    let x = model.add_var(0.0, 1.0);
+    model.add_constraint(LinExpr::from_terms([(x, 1.0)]), Cmp::Le, 1.0);
+    model.add_constraint(LinExpr::from_terms([(x, 1.0)]), Cmp::Ge, 3.0);
+
+    for backend in ["simplex", "revised"] {
+        let (sol, cert) = certified(backend, &model);
+        assert_eq!(sol.status(), Status::Infeasible, "{backend}");
+        let Some(Certificate::Farkas(farkas)) = cert else {
+            panic!("{backend}: infeasible solve must carry a Farkas certificate");
+        };
+        assert!(
+            audit_farkas(&model, &farkas.ray).is_empty(),
+            "{backend}: genuine ray must verify"
+        );
+
+        // A positive multiplier on a `<=` row can never be part of a valid
+        // ray; the exact sign check must refuse it.
+        let mut bad = farkas.ray.clone();
+        bad[0] = 1.0;
+        let findings = audit_farkas(&model, &bad);
+        assert_deny_audit_findings(&findings, &format!("{backend}: corrupted ray"));
+        assert!(
+            findings.iter().any(|f| f.pass == PASS_FARKAS),
+            "{backend}: {findings:?}"
+        );
+    }
+}

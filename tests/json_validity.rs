@@ -89,6 +89,23 @@ fn lint_diagnostics_are_strict_json() {
     );
 }
 
+#[test]
+fn audit_findings_render_as_strict_json() {
+    // A corrupted embedding: sink 1 sits one unit from the root but claims
+    // a [5, 6] window, so the exact tree audit must object — and its
+    // diagnostics must serialize strictly like every other lint finding.
+    let parents = vec![0, 0];
+    let lengths = vec![0.0, 1.0];
+    let positions = vec![(0.0, 0.0), (1.0, 0.0)];
+    let sinks = vec![(1usize, 5.0, 6.0)];
+    let findings = lubt::audit::audit_tree(&parents, &lengths, &positions, &sinks, 0);
+    assert!(!findings.is_empty(), "the bad window must be flagged");
+    assert_strict(
+        &lubt::lint::diagnostics_to_json(&findings),
+        "audit findings JSON",
+    );
+}
+
 /// A Prometheus text-exposition sample line must be `<name> <value>` with
 /// a `lubt_`-prefixed metric name and a parseable (or canonical
 /// non-finite) value; everything else must be a `# HELP` / `# TYPE`
@@ -123,6 +140,9 @@ fn bench_document_report_and_prometheus_expositions_are_strict() {
         sizes: vec![5],
         interior_cap: 5,
         full: false,
+        // Exercise the audit_overhead group too: its wall-clock keys land
+        // in the exempt half and must keep the document strict.
+        audit: true,
     })
     .expect("pinned suite solves");
     let doc = run.to_json();
