@@ -6,7 +6,9 @@
 //! and products of dyadics are dyadic, so residuals, reduced costs and
 //! pathlengths can be evaluated with *zero* rounding error without ever
 //! needing division or gcd reduction. This keeps the module a few hundred
-//! lines of schoolbook arithmetic instead of a bignum library.
+//! lines of schoolbook arithmetic instead of a bignum library. (`BigUint`
+//! does carry `div_rem`/`gcd` for downstream consumers — the DP backend's
+//! reduced rationals — but the auditors themselves never divide.)
 
 use std::cmp::Ordering;
 
@@ -175,6 +177,67 @@ impl BigUint {
         n
     }
 
+    /// Total bit length (0 for the zero value).
+    pub fn bit_len(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u64 - 1) * 32 + (32 - top.leading_zeros() as u64),
+        }
+    }
+
+    /// Binary long division: returns `(self / divisor, self % divisor)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero divisor.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self.cmp_mag(divisor) == Ordering::Less {
+            return (BigUint::zero(), self.clone());
+        }
+        let shift = self.bit_len() - divisor.bit_len();
+        let mut rem = self.clone();
+        let mut quo = BigUint::zero();
+        let mut den = divisor.shl(shift);
+        let mut bit = shift as i64;
+        while bit >= 0 {
+            if rem.cmp_mag(&den) != Ordering::Less {
+                rem = rem.sub(&den);
+                quo = quo.add(&BigUint::from_u64(1).shl(bit as u64));
+            }
+            den = den.shr(1);
+            bit -= 1;
+        }
+        (quo, rem)
+    }
+
+    /// Greatest common divisor (binary gcd); `gcd(0, b) = b`.
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        let mut a = self.clone();
+        let mut b = other.clone();
+        let za = a.trailing_zeros();
+        let zb = b.trailing_zeros();
+        let shared = za.min(zb);
+        a = a.shr(za);
+        b = b.shr(zb);
+        // Both odd from here on; the classic subtract-and-halve loop.
+        loop {
+            match a.cmp_mag(&b) {
+                Ordering::Equal => return a.shl(shared),
+                Ordering::Less => std::mem::swap(&mut a, &mut b),
+                Ordering::Greater => {}
+            }
+            a = a.sub(&b);
+            a = a.shr(a.trailing_zeros());
+        }
+    }
+
     /// Number of trailing zero bits (0 for the zero value).
     pub fn trailing_zeros(&self) -> u64 {
         for (i, &l) in self.limbs.iter().enumerate() {
@@ -231,6 +294,13 @@ impl BigInt {
         } else {
             1
         }
+    }
+
+    /// Borrow of the magnitude — lets exact-arithmetic consumers (the DP
+    /// backend's reduced rationals) divide and gcd-reduce without growing
+    /// this module into a full bignum library.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
     }
 
     /// Negation.
@@ -403,6 +473,16 @@ impl Rational {
         self.num.is_zero()
     }
 
+    /// Borrow of the numerator of the normalized form `num / 2^exp`.
+    pub fn numerator(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// The binary exponent of the normalized form `num / 2^exp`.
+    pub fn exponent(&self) -> u64 {
+        self.exp
+    }
+
     /// Exact comparison.
     pub fn cmp_val(&self, other: &Rational) -> Ordering {
         let exp = self.exp.max(other.exp);
@@ -510,6 +590,84 @@ mod tests {
         assert_eq!(p, expect);
         assert!(BigUint::zero().is_zero());
         assert_eq!(BigUint::from_u64(0).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn div_rem_inverts_mul_and_handles_edge_cases() {
+        let a = BigUint::from_u64(0xdead_beef_cafe_f00d);
+        let b = BigUint::from_u64(0x1234_5678);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.mul(&b).add(&r), a, "a = q*b + r");
+        assert_eq!(r.cmp_mag(&b), Ordering::Less, "remainder < divisor");
+        // Small / large, exact multiples, division by one.
+        let (q, r) = b.div_rem(&a);
+        assert!(q.is_zero() && r == b);
+        let prod = a.mul(&b);
+        let (q, r) = prod.div_rem(&b);
+        assert!(r.is_zero());
+        assert_eq!(q, a);
+        let (q, r) = a.div_rem(&BigUint::from_u64(1));
+        assert!(r.is_zero());
+        assert_eq!(q, a);
+        // Multi-limb: (2^200 + 7) / 2^100.
+        let big = BigUint::from_u64(1).shl(200).add(&BigUint::from_u64(7));
+        let (q, r) = big.div_rem(&BigUint::from_u64(1).shl(100));
+        assert_eq!(q, BigUint::from_u64(1).shl(100));
+        assert_eq!(r, BigUint::from_u64(7));
+        assert_eq!(big.bit_len(), 201);
+        assert_eq!(BigUint::zero().bit_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_rem_by_zero_panics() {
+        let _ = BigUint::from_u64(1).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn gcd_matches_known_values() {
+        let g = |a: u64, b: u64| {
+            BigUint::from_u64(a)
+                .gcd(&BigUint::from_u64(b))
+                .cmp_mag(&BigUint::from_u64(num_gcd(a, b)))
+        };
+        fn num_gcd(mut a: u64, mut b: u64) -> u64 {
+            while b != 0 {
+                let t = a % b;
+                a = b;
+                b = t;
+            }
+            a
+        }
+        for (a, b) in [
+            (0, 0),
+            (0, 12),
+            (12, 0),
+            (12, 18),
+            (17, 13),
+            (1 << 40, 3 << 20),
+            (u64::MAX, u64::MAX - 1),
+            (360, 48),
+        ] {
+            assert_eq!(g(a, b), Ordering::Equal, "gcd({a}, {b})");
+        }
+        // Multi-limb: gcd(2^100 * 3, 2^60 * 9) = 2^60 * 3.
+        let a = BigUint::from_u64(3).shl(100);
+        let b = BigUint::from_u64(9).shl(60);
+        assert_eq!(
+            a.gcd(&b).cmp_mag(&BigUint::from_u64(3).shl(60)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn bigint_magnitude_is_the_unsigned_part() {
+        let n = BigInt::new(true, BigUint::from_u64(42));
+        assert_eq!(
+            n.magnitude().cmp_mag(&BigUint::from_u64(42)),
+            Ordering::Equal
+        );
+        assert_eq!(n.signum(), -1);
     }
 
     #[test]

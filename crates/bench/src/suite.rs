@@ -88,7 +88,7 @@ impl Default for SuiteConfig {
 pub struct InstanceRow {
     /// Pinned instance name (e.g. `u10`, `c16`).
     pub name: String,
-    /// LP backend (`simplex` | `interior`).
+    /// Solver backend (`simplex` | `interior` | `revised` | `dp`).
     pub backend: &'static str,
     /// Sink count.
     pub sinks: usize,
@@ -170,10 +170,11 @@ struct Entry {
 /// The batch groups in solve order: `(group name, backend, core)`. `core`
 /// groups fold into the seed-comparable aggregate; the rest fold into
 /// `extended`.
-const GROUPS: [(&str, SolverBackend, bool); 5] = [
+const GROUPS: [(&str, SolverBackend, bool); 6] = [
     ("simplex", SolverBackend::Simplex, true),
     ("interior", SolverBackend::InteriorPoint, true),
     ("revised", SolverBackend::Revised, false),
+    ("dp", SolverBackend::Dp, false),
     ("simplex-full", SolverBackend::Simplex, false),
     ("revised-full", SolverBackend::Revised, false),
 ];
@@ -201,6 +202,9 @@ fn plan(config: &SuiteConfig) -> Result<Vec<Entry>, String> {
             backends.push((SolverBackend::InteriorPoint, "interior", "interior"));
         }
         backends.push((SolverBackend::Revised, "revised", "revised"));
+        // The exact oracle runs only at the base sizes: its C(m, 2)-row
+        // rational core is the cross-check, not the large-instance path.
+        backends.push((SolverBackend::Dp, "dp", "dp"));
         for (backend, backend_label, group) in backends {
             entries.push(Entry {
                 name: inst.name.clone(),
@@ -500,14 +504,17 @@ mod tests {
     #[test]
     fn suite_runs_and_serializes_strict_json_with_split_sections() {
         let run = run(&tiny()).unwrap();
-        // 2 sizes × 2 instances with simplex + revised everywhere and
-        // interior only at m = 5 ⇒ 8 + 2 rows; the 4 revised solves fold
-        // into the extended aggregate, not the seed-comparable core.
-        assert_eq!(run.rows.len(), 10);
+        // 2 sizes × 2 instances with simplex + revised + dp everywhere and
+        // interior only at m = 5 ⇒ 12 + 2 rows; the 4 revised and 4 dp
+        // solves fold into the extended aggregate, not the seed-comparable
+        // core.
+        assert_eq!(run.rows.len(), 14);
         assert_eq!(run.aggregate.solves, 6);
-        assert_eq!(run.extended.solves, 4);
+        assert_eq!(run.extended.solves, 8);
         assert_eq!(run.extended.counter("lp.solves"), 4);
+        assert_eq!(run.extended.counter("dp.solves"), 4);
         assert_eq!(run.aggregate.counter("lp.solves"), 0);
+        assert_eq!(run.aggregate.counter("dp.solves"), 0);
         assert_eq!(run.extended.counter("simplex.solves"), 0);
         assert!(run.rows.iter().all(|r| r.cost > 0.0));
         // The revised rows must agree with their dense twins exactly on
@@ -527,6 +534,25 @@ mod tests {
             );
             assert_eq!(dense.separation_rounds, r.separation_rounds, "{}", r.name);
             assert_eq!(dense.steiner_rows, r.steiner_rows, "{}", r.name);
+        }
+        // The exact-oracle rows agree with the dense twins on cost; being
+        // eager they materialize every pair row in a single round.
+        for r in run.rows.iter().filter(|r| r.backend == "dp") {
+            let dense = run
+                .rows
+                .iter()
+                .find(|d| d.backend == "simplex" && d.name == r.name)
+                .expect("every dp row has a dense twin");
+            assert!(
+                (dense.cost - r.cost).abs() <= 1e-6 * (1.0 + dense.cost.abs()),
+                "{}: dense {} vs dp {}",
+                r.name,
+                dense.cost,
+                r.cost
+            );
+            assert_eq!(r.separation_rounds, 1, "{}", r.name);
+            assert_eq!(r.steiner_rows, r.total_pairs, "{}", r.name);
+            assert!(!r.truncated, "{}", r.name);
         }
         let doc = run.to_json();
         validate(&doc).unwrap_or_else(|e| panic!("invalid bench JSON: {e}\n{doc}"));
@@ -566,7 +592,7 @@ mod tests {
         assert!(GROUPS
             .iter()
             .filter(|(_, _, core)| !core)
-            .all(|(g, _, _)| g.starts_with("revised") || g.ends_with("-full")));
+            .all(|(g, _, _)| *g == "dp" || g.starts_with("revised") || g.ends_with("-full")));
     }
 
     #[test]

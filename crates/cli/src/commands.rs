@@ -11,14 +11,14 @@ use lubt_topology::{bipartition_topology, matching_topology, SourceMode, Topolog
 
 const USAGE: &str = "usage:
   lubt solve <input> --lower L --upper U [--absolute] \
-[--topology nn|matching|bisect|aware] [--lp-backend simplex|ipm|revised] \
+[--topology nn|matching|bisect|aware] [--lp-backend simplex|ipm|revised|dp] \
 [--max-lp-iterations N] [--audit] [--svg out.svg] [--json out.json] [--trace-json [out.json]]
   lubt batch <input>... --lower L --upper U [--absolute] \
-[--topology nn|matching|bisect|aware] [--lp-backend simplex|ipm|revised] [--threads N] \
+[--topology nn|matching|bisect|aware] [--lp-backend simplex|ipm|revised|dp] [--threads N] \
 [--max-lp-iterations N] [--audit] [--json out.json] [--metrics [out.json]] \
 [--metrics-prom [out.prom]]
   lubt audit <input> --lower L --upper U [--absolute] \
-[--topology nn|matching|bisect|aware] [--lp-backend simplex|ipm|revised] [--json [out.json]]
+[--topology nn|matching|bisect|aware] [--lp-backend simplex|ipm|revised|dp] [--json [out.json]]
   lubt bench [--label L] [--threads N] [--sizes A,B,C] [--interior-cap K] [--full] [--audit] \
 [--out file]
   lubt report --baseline A.json --current B.json [--timing-threshold F] \
@@ -166,7 +166,10 @@ fn choose_backend(parsed: &Parsed) -> Result<SolverBackend, String> {
         "simplex" => Ok(SolverBackend::Simplex),
         "ipm" => Ok(SolverBackend::InteriorPoint),
         "revised" => Ok(SolverBackend::Revised),
-        other => Err(format!("unknown backend {other:?} (simplex|ipm|revised)")),
+        "dp" => Ok(SolverBackend::Dp),
+        other => Err(format!(
+            "unknown backend {other:?} (simplex|ipm|revised|dp)"
+        )),
     }
 }
 
@@ -503,6 +506,7 @@ fn cmd_audit(parsed: &Parsed) -> Result<(), String> {
         SolverBackend::Simplex => "simplex",
         SolverBackend::InteriorPoint => "ipm",
         SolverBackend::Revised => "revised",
+        SolverBackend::Dp => "dp",
     };
 
     let mut builder = LubtBuilder::new(inst.sinks.clone())

@@ -6,7 +6,7 @@
 //!                     [--trace-json [out.json]] [--audit]
 //! lubt batch <input>... --lower L --upper U [--threads N] [--audit] [--metrics [out.json]]
 //!                       [--metrics-prom [out.prom]]
-//! lubt audit <input> --lower L --upper U [--absolute] [--lp-backend simplex|ipm|revised]
+//! lubt audit <input> --lower L --upper U [--absolute] [--lp-backend simplex|ipm|revised|dp]
 //!                    [--json [out.json]]
 //! lubt bench [--label L] [--threads N] [--sizes A,B,C] [--full] [--audit] [--out file]
 //! lubt report --baseline A.json --current B.json [--ignore-timings] [--json [out.json]]

@@ -529,7 +529,10 @@ fn revised_backend_via_cli_solves_batches_and_rejects_unknown() {
     // Usage advertises the new backend and the bench --full switch.
     let help = lubt().arg("help").output().unwrap();
     let text = String::from_utf8(help.stdout).unwrap();
-    assert!(text.contains("--lp-backend simplex|ipm|revised"), "{text}");
+    assert!(
+        text.contains("--lp-backend simplex|ipm|revised|dp"),
+        "{text}"
+    );
     assert!(text.contains("--full"), "{text}");
 
     let pts = gen_batch("revised-cli", 4, 8);
@@ -580,6 +583,78 @@ fn revised_backend_via_cli_solves_batches_and_rejects_unknown() {
     assert!(!out.status.success());
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("unknown backend"), "stderr: {err}");
+    // The rejection enumerates every valid backend, dp included.
+    assert!(err.contains("simplex|ipm|revised|dp"), "stderr: {err}");
+
+    for p in pts {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn dp_backend_via_cli_solves_batches_and_audits() {
+    let pts = gen_batch("dp-cli", 4, 8);
+    // `--lp-backend dp` solves a single instance.
+    let out = lubt()
+        .args(["solve"])
+        .arg(&pts[0])
+        .args(["--lower", "0.9", "--upper", "1.5", "--lp-backend", "dp"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The dp solve lands on the same cost the simplex backend reports.
+    let cost_of = |stdout: &[u8]| -> String {
+        let text = String::from_utf8_lossy(stdout).to_string();
+        text.lines()
+            .find(|l| l.contains("cost"))
+            .unwrap_or_else(|| panic!("no cost line in {text}"))
+            .to_string()
+    };
+    let simplex = lubt()
+        .args(["solve"])
+        .arg(&pts[0])
+        .args(["--lower", "0.9", "--upper", "1.5"])
+        .output()
+        .unwrap();
+    assert_eq!(cost_of(&out.stdout), cost_of(&simplex.stdout));
+
+    // Batch output through the dp backend is byte-identical across thread
+    // counts — the solve itself is single-threaded and exact.
+    let run = |threads: &str| {
+        let out = lubt()
+            .args(["batch"])
+            .args(&pts)
+            .args(["--lower", "0.9", "--upper", "1.5"])
+            .args(["--lp-backend", "dp", "--threads", threads])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "threads {threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    assert_eq!(run("1"), run("8"), "dp batch differs across threads");
+
+    // `lubt audit --lp-backend dp` exercises the exact-oracle audit path.
+    let out = lubt()
+        .args(["audit"])
+        .arg(&pts[0])
+        .args(["--lower", "0.9", "--upper", "1.5", "--lp-backend", "dp"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("dp"), "{text}");
 
     for p in pts {
         let _ = std::fs::remove_file(p);

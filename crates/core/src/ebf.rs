@@ -23,6 +23,14 @@ pub enum SolverBackend {
     /// [`SolverBackend::Simplex`] but the Steiner rows stay sparse and only
     /// the basis factorization is kept — the fast path on large instances.
     Revised,
+    /// LP-free exact oracle ([`lubt_dp`]): interval dynamic programming
+    /// over per-node feasible delay windows, then a fraction-free rational
+    /// dual simplex on the reduced system. Shares no code with `lubt-lp`
+    /// — assembly, arithmetic and pivot rules are all independent — so a
+    /// disagreement with any float backend is always a real bug. Exact but
+    /// eager (`C(m, 2)` pair rows, BigInt pivots): the cross-check and
+    /// small-instance backend, not the large-instance fast path.
+    Dp,
 }
 
 /// Steiner-constraint strategy.
@@ -388,6 +396,10 @@ impl EbfSolver {
             }
         }
 
+        if self.backend == SolverBackend::Dp {
+            return self.solve_dp(problem);
+        }
+
         let topo = problem.topology();
         let n_nodes = topo.num_nodes();
         let m = topo.num_sinks();
@@ -471,6 +483,7 @@ impl EbfSolver {
                             (self.revised().solve(model)?, None)
                         }
                     }
+                    SolverBackend::Dp => unreachable!("dp dispatches before the separation loop"),
                 }
             };
             if self.audit {
@@ -728,6 +741,131 @@ impl EbfSolver {
             }
         }
     }
+
+    /// The [`SolverBackend::Dp`] path: convert the problem to the plain-data
+    /// [`lubt_dp::DpInstance`] (same effective lower bounds and pair set as
+    /// the eager §4.3 LP) and solve it exactly — no separation loop, no
+    /// floats until the final rounding of the rational optimum.
+    fn solve_dp(&self, problem: &LubtProblem) -> Result<(Vec<f64>, EbfReport), LubtError> {
+        let topo = problem.topology();
+        let n_nodes = topo.num_nodes();
+        let m = topo.num_sinks();
+        let total_pairs = m * (m - 1) / 2;
+        let rec: &dyn Recorder = &*self.recorder;
+
+        // Per-sink effective windows, exactly as `base_model` builds its
+        // Equation 2 rows: a given source acts as a fixed point, lifting
+        // the lower bound to the source-sink distance.
+        let sinks: Vec<lubt_dp::DpSink> = (1..=m)
+            .map(|i| {
+                let sink = NodeId(i);
+                let mut effective_lower = problem.bounds().lower(i - 1);
+                if let Some(src) = problem.source() {
+                    effective_lower = effective_lower.max(src.dist(problem.sink_location(sink)));
+                }
+                lubt_dp::DpSink {
+                    node: i,
+                    lower: effective_lower,
+                    upper: problem.bounds().upper(i - 1),
+                }
+            })
+            .collect();
+        let pairs: Vec<lubt_dp::DpPair> = all_pair_constraints(problem)
+            .into_iter()
+            .map(|p| lubt_dp::DpPair {
+                a: p.a.index(),
+                b: p.b.index(),
+                dist: p.dist,
+            })
+            .collect();
+        let parents: Vec<usize> = (0..n_nodes)
+            .map(|v| topo.parent(NodeId(v)).map_or(0, |p| p.index()))
+            .collect();
+        let inst = lubt_dp::DpInstance {
+            parents,
+            root: topo.root().index(),
+            weights: problem.weights().to_vec(),
+            zero_edges: problem.zero_edges().iter().map(|z| z.index()).collect(),
+            sinks,
+            pairs,
+        };
+
+        let max_pivots = self.max_lp_iterations.map_or(u64::MAX, |l| l as u64);
+        let outcome = {
+            let _t = PhaseTimer::new(rec, "time.dp");
+            lubt_dp::solve(&inst, max_pivots)
+        };
+        let sol = match outcome {
+            Ok(sol) => sol,
+            Err(lubt_dp::DpError::PivotLimit { limit }) => {
+                if rec.enabled() {
+                    rec.incr("dp.pivot_limit_hits", 1);
+                }
+                return Err(LubtError::Lp(lubt_lp::LpError::IterationLimit {
+                    limit: limit as usize,
+                }));
+            }
+            // A validated LubtProblem cannot produce a malformed instance;
+            // if it does, the converter above is the bug.
+            Err(e @ lubt_dp::DpError::Malformed(_)) => return Err(LubtError::Input(e.to_string())),
+        };
+        if rec.enabled() {
+            rec.incr("dp.solves", 1);
+            rec.incr("dp.pivots", sol.report.pivots);
+            rec.incr("dp.sweeps", sol.report.sweeps);
+            rec.incr("dp.rows", sol.report.rows);
+            rec.incr("dp.rows_pruned", sol.report.rows_pruned);
+            rec.incr("dp.fixed_vars", sol.report.fixed_vars);
+        }
+        match sol.status {
+            lubt_dp::DpStatus::Infeasible => {
+                // The DP's infeasibility is already an exact certificate
+                // (empty delay interval or an all-fixed violated row);
+                // there is no float Farkas ray for the audit to re-check.
+                if rec.enabled() && sol.report.interval_infeasible {
+                    rec.incr("dp.interval_infeasible", 1);
+                }
+                Err(LubtError::Infeasible)
+            }
+            lubt_dp::DpStatus::Optimal => {
+                if self.audit {
+                    // Cross-check the rounded lengths against the eager
+                    // §4.3 LP — independently assembled window rows plus
+                    // all C(m, 2) pair rows — like the certificate-free
+                    // interior-point audit.
+                    let _t = PhaseTimer::new(rec, "time.audit");
+                    let (mut model, edge_vars) = base_model(problem);
+                    let var_of = |node: NodeId| edge_vars[node.index() - 1];
+                    for pair in all_pair_constraints(problem) {
+                        let path = topo.path_between(pair.a, pair.b);
+                        let expr = LinExpr::from_terms(path.iter().map(|&e| (var_of(e), 1.0)));
+                        model.add_constraint(expr, Cmp::Ge, pair.dist);
+                    }
+                    let findings =
+                        lubt_audit::audit_primal(&model, &sol.lengths[1..], sol.objective);
+                    if !findings.is_empty() {
+                        if rec.enabled() {
+                            rec.incr("audit.failures", findings.len() as u64);
+                        }
+                        return Err(LubtError::Audit(findings));
+                    }
+                    if rec.enabled() {
+                        rec.incr("audit.primal_verified", 1);
+                    }
+                }
+                Ok((
+                    sol.lengths,
+                    EbfReport {
+                        lp_iterations: sol.report.pivots as usize,
+                        separation_rounds: 1,
+                        steiner_rows: total_pairs,
+                        total_pairs,
+                        truncated: false,
+                    },
+                ))
+            }
+        }
+    }
 }
 
 /// The two incremental LP sessions behind one surface, so the lazy
@@ -975,6 +1113,7 @@ mod tests {
             (SolverBackend::Simplex, "audit.optimality_verified"),
             (SolverBackend::Revised, "audit.optimality_verified"),
             (SolverBackend::InteriorPoint, "audit.primal_verified"),
+            (SolverBackend::Dp, "audit.primal_verified"),
         ] {
             let (base_lengths, base_report) =
                 EbfSolver::new().with_backend(backend).solve(&p).unwrap();
@@ -1256,6 +1395,123 @@ mod tests {
         let (base_lengths, base_report) = EbfSolver::new().solve(&p).unwrap();
         assert_eq!(lengths, base_lengths);
         assert_eq!(report, base_report);
+    }
+
+    #[test]
+    fn dp_backend_matches_the_float_backends() {
+        let p = LubtBuilder::new(square())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::uniform(4, 10.0, 14.0))
+            .build()
+            .unwrap();
+        let (simplex, _) = EbfSolver::new().solve(&p).unwrap();
+        let (dp, report) = EbfSolver::new()
+            .with_backend(SolverBackend::Dp)
+            .solve(&p)
+            .unwrap();
+        // The exact oracle and the float simplex must land on the same
+        // optimum to float accuracy.
+        assert!((tree_cost(&simplex) - tree_cost(&dp)).abs() < 1e-9);
+        assert_eq!(report.separation_rounds, 1);
+        assert_eq!(report.total_pairs, 6);
+        assert_eq!(report.steiner_rows, 6);
+        assert!(!report.truncated);
+        let d = node_delays(p.topology(), &dp);
+        for s in p.topology().sinks() {
+            assert!(d[s.index()] >= 10.0 - 1e-9, "sink {s}: {}", d[s.index()]);
+            assert!(d[s.index()] <= 14.0 + 1e-9, "sink {s}: {}", d[s.index()]);
+        }
+    }
+
+    #[test]
+    fn dp_backend_certifies_infeasibility_without_prelint() {
+        let p = LubtBuilder::new(square())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::upper_only(4, 5.0))
+            .build()
+            .unwrap();
+        let (result, trace) = EbfSolver::new()
+            .with_backend(SolverBackend::Dp)
+            .with_prelint(false)
+            .solve_traced(&p);
+        assert!(matches!(result, Err(LubtError::Infeasible)), "{result:?}");
+        assert_eq!(trace.counter("dp.solves"), 1);
+    }
+
+    #[test]
+    fn dp_backend_traces_its_counters() {
+        let p = LubtBuilder::new(square())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::uniform(4, 12.0, 15.0))
+            .build()
+            .unwrap();
+        let (result, trace) = EbfSolver::new()
+            .with_backend(SolverBackend::Dp)
+            .solve_traced(&p);
+        assert!(result.is_ok());
+        assert_eq!(trace.counter("dp.solves"), 1);
+        assert!(trace.counter("dp.sweeps") >= 1, "{trace:?}");
+        assert!(trace.counter("dp.rows") >= 1, "{trace:?}");
+        assert!(trace.counter("dp.pivots") >= 1, "{trace:?}");
+        assert!(trace.timings_ns.contains_key("time.dp"));
+        // The DP path never touches the LP backends or their counters.
+        assert_eq!(trace.counter("simplex.pivots"), 0);
+        assert_eq!(trace.counter("lp.solves"), 0);
+        assert_eq!(trace.counter("ebf.rounds"), 0);
+    }
+
+    #[test]
+    fn dp_backend_is_deterministic_across_threads_and_repeats() {
+        let p = LubtBuilder::new(square())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::uniform(4, 12.0, 15.0))
+            .build()
+            .unwrap();
+        let solver = || EbfSolver::new().with_backend(SolverBackend::Dp);
+        let (base_lengths, base_report) = solver().solve(&p).unwrap();
+        for threads in [1, 2, 8, 0] {
+            let (lengths, report) = solver().with_threads(threads).solve(&p).unwrap();
+            assert_eq!(lengths, base_lengths, "threads={threads}");
+            assert_eq!(report, base_report, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn dp_backend_respects_the_iteration_cap() {
+        let p = LubtBuilder::new(square())
+            .source(Point::new(5.0, 5.0))
+            .bounds(DelayBounds::uniform(4, 12.0, 15.0))
+            .build()
+            .unwrap();
+        let err = EbfSolver::new()
+            .with_backend(SolverBackend::Dp)
+            .with_max_lp_iterations(1)
+            .solve(&p)
+            .expect_err("one exact pivot cannot solve this instance");
+        assert!(
+            matches!(
+                err,
+                LubtError::Lp(lubt_lp::LpError::IterationLimit { limit: 1 })
+            ),
+            "{err:?}"
+        );
+        assert_eq!(err.diagnostic().unwrap().pass, "iteration-limit");
+    }
+
+    #[test]
+    fn dp_backend_keeps_zero_edges_exactly_zero() {
+        let p = LubtBuilder::new(square())
+            .bounds(DelayBounds::uniform(4, 10.0, 14.0))
+            .build()
+            .unwrap();
+        let n = p.topology().num_nodes();
+        let p = p.with_zero_edges(vec![NodeId(n - 1)]).unwrap();
+        let (lengths, _) = EbfSolver::new()
+            .with_backend(SolverBackend::Dp)
+            .solve(&p)
+            .unwrap();
+        // The DP folds zero edges out before the core runs: exactly 0.
+        assert_eq!(lengths[n - 1], 0.0);
     }
 
     #[test]

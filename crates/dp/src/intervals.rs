@@ -1,0 +1,264 @@
+//! Stage 1: dynamic programming over per-node feasible delay intervals.
+//!
+//! Every node `v` of the fixed topology carries an interval `[lo_v, hi_v]`
+//! of source-to-`v` pathlengths (delays, under the paper's linear model)
+//! that *every* feasible routing tree must realize. The intervals start
+//! from the sink windows and the structural facts (`d_root = 0`,
+//! `d_v >= 0`) and are tightened to a fixpoint by four sound rules:
+//!
+//! 1. monotonicity down: `lo_v >= lo_parent(v)`;
+//! 2. monotonicity up: `hi_parent(v) <= hi_v`;
+//! 3. zero edges: `d_v = d_parent(v)`, so the intervals intersect;
+//! 4. §4.4 separation on a pair `(a, b)` with `c = lca(a, b)`:
+//!    `d_a + d_b - 2 d_c >= D_ab` yields `lo_a >= D + 2 lo_c - hi_b`
+//!    (and symmetrically) and `hi_c <= (hi_a + hi_b - D) / 2`.
+//!
+//! Each rule only ever combines valid bounds with a constraint every
+//! feasible point satisfies, so the tightened intervals remain valid for
+//! every feasible point: an **empty interval is an exact infeasibility
+//! certificate**, and `lo_v = hi_v` pins `d_v` on the whole feasible set
+//! (stage 2 exploits both). The fixpoint may converge only in the limit
+//! (the pair rules can contract geometrically), so sweeps are bounded;
+//! stopping early just leaves looser — still sound — intervals.
+//!
+//! All arithmetic is exact dyadic rational ([`lubt_audit::Rational`]):
+//! the bounds and distances are `f64` data, and the rules use only `+`,
+//! `-`, comparison, and an exact halving.
+
+use std::cmp::Ordering;
+
+use lubt_audit::Rational;
+
+/// One §4.4 separation constraint, preprocessed for propagation:
+/// `d_a + d_b - 2 d_lca >= dist`.
+pub(crate) struct PairRow {
+    /// First sink node.
+    pub a: usize,
+    /// Second sink node.
+    pub b: usize,
+    /// Lowest common ancestor of `a` and `b` in the topology.
+    pub lca: usize,
+    /// Exact Manhattan separation between the two sink positions.
+    pub dist: Rational,
+}
+
+/// The propagated per-node delay intervals.
+pub(crate) struct Intervals {
+    /// Exact lower bound on `d_v` (always `>= 0`).
+    pub lo: Vec<Rational>,
+    /// Exact upper bound on `d_v`; `None` is `+inf`.
+    pub hi: Vec<Option<Rational>>,
+    /// Sweeps executed before reaching the fixpoint or the bound.
+    pub sweeps: u64,
+    /// A node whose interval came up empty — an exact infeasibility
+    /// certificate for the whole instance.
+    pub empty_at: Option<usize>,
+}
+
+fn raise(slot: &mut Rational, cand: &Rational, changed: &mut bool) {
+    if cand.cmp_val(slot) == Ordering::Greater {
+        *slot = cand.clone();
+        *changed = true;
+    }
+}
+
+fn cut(slot: &mut Option<Rational>, cand: &Rational, changed: &mut bool) {
+    match slot {
+        Some(cur) if cand.cmp_val(cur) != Ordering::Less => {}
+        _ => {
+            *slot = Some(cand.clone());
+            *changed = true;
+        }
+    }
+}
+
+/// Runs the interval DP to a (bounded) fixpoint. `order_down` lists the
+/// nodes by increasing depth (root first); `lo`/`hi` arrive seeded with
+/// the sink windows and `[0, 0]` at the root.
+pub(crate) fn propagate(
+    parents: &[usize],
+    root: usize,
+    order_down: &[usize],
+    zero_edges: &[usize],
+    pairs: &[PairRow],
+    mut lo: Vec<Rational>,
+    mut hi: Vec<Option<Rational>>,
+) -> Intervals {
+    let n = parents.len();
+    let half = Rational::from_f64(0.5).expect("0.5 is finite");
+    let max_sweeps = 4 * n as u64 + 16;
+    let mut sweeps = 0u64;
+    let mut changed = true;
+    while changed && sweeps < max_sweeps {
+        changed = false;
+        sweeps += 1;
+        // Rule 1: lower bounds flow down the tree.
+        for &v in order_down {
+            if v == root {
+                continue;
+            }
+            let cand = lo[parents[v]].clone();
+            raise(&mut lo[v], &cand, &mut changed);
+        }
+        // Rule 3: a zero edge makes the two intervals one.
+        for &v in zero_edges {
+            if v == root {
+                continue;
+            }
+            let p = parents[v];
+            let cand = lo[v].clone();
+            raise(&mut lo[p], &cand, &mut changed);
+            let cand = lo[p].clone();
+            raise(&mut lo[v], &cand, &mut changed);
+            if let Some(h) = hi[v].clone() {
+                cut(&mut hi[p], &h, &mut changed);
+            }
+            if let Some(h) = hi[p].clone() {
+                cut(&mut hi[v], &h, &mut changed);
+            }
+        }
+        // Rule 2: upper bounds flow up the tree.
+        for &v in order_down.iter().rev() {
+            if v == root {
+                continue;
+            }
+            if let Some(h) = hi[v].clone() {
+                cut(&mut hi[parents[v]], &h, &mut changed);
+            }
+        }
+        // Rule 4: separation constraints couple siblings through the lca.
+        for pair in pairs {
+            let (a, b, c) = (pair.a, pair.b, pair.lca);
+            if let Some(hb) = hi[b].clone() {
+                let cand = pair.dist.add(&lo[c]).add(&lo[c]).sub(&hb);
+                raise(&mut lo[a], &cand, &mut changed);
+            }
+            if let Some(ha) = hi[a].clone() {
+                let cand = pair.dist.add(&lo[c]).add(&lo[c]).sub(&ha);
+                raise(&mut lo[b], &cand, &mut changed);
+            }
+            if let (Some(ha), Some(hb)) = (hi[a].clone(), hi[b].clone()) {
+                let cand = ha.add(&hb).sub(&pair.dist).mul(&half);
+                cut(&mut hi[c], &cand, &mut changed);
+            }
+        }
+        // An empty interval certifies infeasibility exactly.
+        for v in 0..n {
+            if let Some(h) = &hi[v] {
+                if lo[v].cmp_val(h) == Ordering::Greater {
+                    return Intervals {
+                        lo,
+                        hi,
+                        sweeps,
+                        empty_at: Some(v),
+                    };
+                }
+            }
+        }
+    }
+    Intervals {
+        lo,
+        hi,
+        sweeps,
+        empty_at: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x: f64) -> Rational {
+        Rational::from_f64(x).unwrap()
+    }
+
+    fn seed(n: usize, root: usize) -> (Vec<Rational>, Vec<Option<Rational>>) {
+        let lo = vec![Rational::zero(); n];
+        let mut hi = vec![None; n];
+        hi[root] = Some(Rational::zero());
+        (lo, hi)
+    }
+
+    #[test]
+    fn monotonicity_flows_both_ways() {
+        // Chain 0 -> 1 -> 2, sink 2 with window [3, 5]: node 1 inherits
+        // the upper bound, and 2 keeps its own lower bound.
+        let parents = vec![0, 0, 1];
+        let (mut lo, mut hi) = seed(3, 0);
+        lo[2] = r(3.0);
+        hi[2] = Some(r(5.0));
+        let iv = propagate(&parents, 0, &[0, 1, 2], &[], &[], lo, hi);
+        assert!(iv.empty_at.is_none());
+        assert_eq!(iv.hi[1].as_ref().unwrap().cmp_val(&r(5.0)), Ordering::Equal);
+        assert_eq!(iv.lo[2].cmp_val(&r(3.0)), Ordering::Equal);
+    }
+
+    #[test]
+    fn window_inversion_down_a_chain_is_caught() {
+        // Sink 1 needs d >= 5, its child sink 2 allows at most 1: the
+        // child's lower bound rises to 5 > 1 — empty interval.
+        let parents = vec![0, 0, 1];
+        let (mut lo, mut hi) = seed(3, 0);
+        lo[1] = r(5.0);
+        hi[1] = Some(r(6.0));
+        hi[2] = Some(r(1.0));
+        let iv = propagate(&parents, 0, &[0, 1, 2], &[], &[], lo, hi);
+        assert!(iv.empty_at.is_some());
+    }
+
+    #[test]
+    fn pair_rule_tightens_through_the_lca() {
+        // Star root -> {1, 2}, D_12 = 10, both windows [0, 1]: the pair
+        // rule forces lo_1 >= 10 - 1 = 9 > 1. Exact infeasibility.
+        let parents = vec![0, 0, 0];
+        let (mut lo, mut hi) = seed(3, 0);
+        hi[1] = Some(r(1.0));
+        hi[2] = Some(r(1.0));
+        lo[1] = r(0.0);
+        lo[2] = r(0.0);
+        let pairs = vec![PairRow {
+            a: 1,
+            b: 2,
+            lca: 0,
+            dist: r(10.0),
+        }];
+        let iv = propagate(&parents, 0, &[0, 1, 2], &[], &pairs, lo, hi);
+        assert!(iv.empty_at.is_some());
+    }
+
+    #[test]
+    fn zero_edge_intersects_intervals() {
+        // 0 -> 1 -> 2 with a zero edge into 2 and sink window [2, 3] on
+        // node 2: node 1 must share the window exactly.
+        let parents = vec![0, 0, 1];
+        let (mut lo, mut hi) = seed(3, 0);
+        lo[2] = r(2.0);
+        hi[2] = Some(r(3.0));
+        let iv = propagate(&parents, 0, &[0, 1, 2], &[2], &[], lo, hi);
+        assert!(iv.empty_at.is_none());
+        assert_eq!(iv.lo[1].cmp_val(&r(2.0)), Ordering::Equal);
+        assert_eq!(iv.hi[1].as_ref().unwrap().cmp_val(&r(3.0)), Ordering::Equal);
+    }
+
+    #[test]
+    fn sweeps_are_bounded_even_without_a_finite_fixpoint() {
+        // Two sinks under the root with a pair constraint and staggered
+        // windows contract geometrically; the sweep bound must stop the
+        // loop with sound (non-empty) intervals.
+        let parents = vec![0, 0, 0];
+        let (lo, mut hi) = seed(3, 0);
+        hi[1] = Some(r(3.0));
+        hi[2] = Some(r(3.0));
+        let pairs = vec![PairRow {
+            a: 1,
+            b: 2,
+            lca: 0,
+            dist: r(3.0),
+        }];
+        let iv = propagate(&parents, 0, &[0, 1, 2], &[], &pairs, lo, hi);
+        assert!(iv.sweeps <= 4 * 3 + 16);
+        assert!(iv.empty_at.is_none());
+        // Sound: the point d_1 = d_2 = 3 is feasible, so lo <= 3.
+        assert!(iv.lo[1].le(&r(3.0)));
+    }
+}

@@ -1,0 +1,295 @@
+//! Stage 3: a fraction-free exact rational dual simplex.
+//!
+//! The reduced system stage 2 hands over is `min c^T x` subject to
+//! `A x <= b`, `x >= 0`, with **integer** `A`, `b`, `c` and `c >= 0`
+//! (non-negative objective weights, scaled onto a common power-of-two
+//! denominator). The all-slack basis is therefore dual feasible and the
+//! dual simplex runs with no phase 1 and no artificial variables:
+//! it either reaches `b >= 0` (optimal) or finds a row with a negative
+//! right-hand side and no negative entry (exactly infeasible).
+//!
+//! Arithmetic is integer-pivoting (Bareiss/Edmonds style): the tableau
+//! `T` is kept as `p * S` where `S` is the true simplex tableau and
+//! `p > 0` is the previous pivot value, so every entry stays a (signed)
+//! minor-sized integer and every pivot divides **exactly** — no floats,
+//! no gcd-reduced fractions, no rounding anywhere. Pivot selection is
+//! Bland's rule for the dual simplex (leaving: smallest basis index among
+//! negative rows; entering: smallest column among ratio-test winners),
+//! which terminates without any cycling guard; a caller-supplied pivot
+//! cap bounds the worst case anyway.
+//!
+//! This solver shares *nothing* with `lubt-lp` — not the model assembly,
+//! not the numbering, not the arithmetic, not the pivot rule — which is
+//! what makes three-way differential testing against the float backends
+//! meaningful.
+
+use std::cmp::Ordering;
+
+use lubt_audit::{BigInt, BigUint};
+
+/// One `<=` row of the integer system: sparse structural coefficients and
+/// an integer right-hand side.
+pub(crate) struct LeRow {
+    /// `(column, coefficient)` pairs; columns below the structural count.
+    pub coefs: Vec<(usize, i64)>,
+    /// Right-hand side on the shared power-of-two denominator.
+    pub rhs: BigInt,
+}
+
+/// Outcome of the exact core.
+pub(crate) enum CoreOutcome {
+    /// Optimal basic solution: structural values are
+    /// `numerators[j] / denom`, exactly.
+    Optimal {
+        /// Per-structural-column numerators (non-negative).
+        numerators: Vec<BigInt>,
+        /// Shared positive denominator (the final pivot value).
+        denom: BigUint,
+        /// Pivots performed.
+        pivots: u64,
+    },
+    /// A row certifies `sum(a_j x_j) = b < 0` with every `a_j >= 0`:
+    /// exactly infeasible.
+    Infeasible {
+        /// Pivots performed before the certificate row appeared.
+        pivots: u64,
+    },
+    /// The pivot cap was reached before termination.
+    PivotLimit,
+}
+
+fn int(v: i64) -> BigInt {
+    BigInt::new(v < 0, BigUint::from_u64(v.unsigned_abs()))
+}
+
+/// Exact signed division; the fraction-free invariant guarantees the
+/// remainder is zero, and the check is kept on in release builds because
+/// a silent integrality loss would corrupt every later pivot.
+fn exact_div(a: &BigInt, d: &BigInt) -> BigInt {
+    if a.is_zero() {
+        return BigInt::zero();
+    }
+    let (q, r) = a.magnitude().div_rem(d.magnitude());
+    assert!(r.is_zero(), "fraction-free pivot lost integrality");
+    BigInt::new((a.signum() < 0) != (d.signum() < 0), q)
+}
+
+/// Solves `min c^T x, A x <= b, x >= 0` exactly. `obj` must be
+/// non-negative (dual feasibility of the slack basis); `ncols` is the
+/// structural column count.
+pub(crate) fn solve_core(
+    ncols: usize,
+    obj: &[BigInt],
+    rows: &[LeRow],
+    max_pivots: u64,
+) -> CoreOutcome {
+    debug_assert_eq!(obj.len(), ncols);
+    debug_assert!(obj.iter().all(|c| c.signum() >= 0));
+    let m = rows.len();
+    let width = ncols + m;
+    let mut t: Vec<Vec<BigInt>> = Vec::with_capacity(m);
+    let mut b: Vec<BigInt> = Vec::with_capacity(m);
+    for (i, row) in rows.iter().enumerate() {
+        let mut r = vec![BigInt::zero(); width];
+        for &(j, coef) in &row.coefs {
+            debug_assert!(j < ncols);
+            r[j] = int(coef);
+        }
+        r[ncols + i] = int(1);
+        t.push(r);
+        b.push(row.rhs.clone());
+    }
+    let mut z: Vec<BigInt> = obj
+        .iter()
+        .cloned()
+        .chain(std::iter::repeat_with(BigInt::zero).take(m))
+        .collect();
+    let mut basis: Vec<usize> = (ncols..width).collect();
+    let mut p = int(1);
+    let mut pivots = 0u64;
+
+    loop {
+        // Leaving row: Bland — smallest basis index among negative rows.
+        let mut leave: Option<usize> = None;
+        for i in 0..m {
+            if b[i].signum() < 0 && leave.is_none_or(|l| basis[i] < basis[l]) {
+                leave = Some(i);
+            }
+        }
+        let Some(r) = leave else {
+            // Primal feasible and dual feasible throughout: optimal.
+            let mut numerators = vec![BigInt::zero(); ncols];
+            for i in 0..m {
+                if basis[i] < ncols {
+                    numerators[basis[i]] = b[i].clone();
+                }
+            }
+            return CoreOutcome::Optimal {
+                numerators,
+                denom: p.magnitude().clone(),
+                pivots,
+            };
+        };
+        if pivots >= max_pivots {
+            return CoreOutcome::PivotLimit;
+        }
+        // Entering column: dual ratio test min z_j / (-T_rj) over
+        // T_rj < 0, ties to the smallest column (Bland). Cross-multiplied
+        // — everything stays integer.
+        let mut enter: Option<usize> = None;
+        for j in 0..width {
+            if t[r][j].signum() < 0 {
+                enter = Some(match enter {
+                    None => j,
+                    Some(k) => {
+                        let lhs = z[j].mul(&t[r][k].neg());
+                        let rhs = z[k].mul(&t[r][j].neg());
+                        if lhs.cmp_val(&rhs) == Ordering::Less {
+                            j
+                        } else {
+                            k
+                        }
+                    }
+                });
+            }
+        }
+        let Some(c) = enter else {
+            // b_r < 0 with a non-negative row: no x >= 0 satisfies it.
+            return CoreOutcome::Infeasible { pivots };
+        };
+        // Negate the leaving row so the pivot value is positive; rows are
+        // equalities (slack included), so this is an equivalent system.
+        for e in t[r].iter_mut() {
+            *e = e.neg();
+        }
+        b[r] = b[r].neg();
+        let piv = t[r][c].clone();
+        debug_assert!(piv.signum() > 0);
+        // Integer pivot: every row but r maps through
+        // `e -> (piv * e - factor * row_r) / p`, which divides exactly.
+        let row_r = t[r].clone();
+        for i in 0..m {
+            if i == r {
+                continue;
+            }
+            let factor = t[i][c].clone();
+            for (e, rr) in t[i].iter_mut().zip(&row_r) {
+                *e = exact_div(&piv.mul(e).sub(&factor.mul(rr)), &p);
+            }
+            let num = piv.mul(&b[i]).sub(&factor.mul(&b[r]));
+            b[i] = exact_div(&num, &p);
+        }
+        let zfac = z[c].clone();
+        for (e, rr) in z.iter_mut().zip(&row_r) {
+            *e = exact_div(&piv.mul(e).sub(&zfac.mul(rr)), &p);
+        }
+        basis[r] = c;
+        p = piv;
+        pivots += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(coefs: &[(usize, i64)], rhs: i64) -> LeRow {
+        LeRow {
+            coefs: coefs.to_vec(),
+            rhs: int(rhs),
+        }
+    }
+
+    fn value(numerators: &[BigInt], denom: &BigUint, j: usize) -> f64 {
+        crate::ratio_to_f64(&numerators[j], denom)
+    }
+
+    #[test]
+    fn single_bound_pair_pins_the_variable() {
+        // min x s.t. x >= 3, x <= 5  ->  x = 3.
+        let rows = vec![row(&[(0, -1)], -3), row(&[(0, 1)], 5)];
+        match solve_core(1, &[int(1)], &rows, 10_000) {
+            CoreOutcome::Optimal {
+                numerators, denom, ..
+            } => {
+                assert_eq!(value(&numerators, &denom, 0), 3.0);
+            }
+            _ => panic!("expected optimal"),
+        }
+    }
+
+    #[test]
+    fn fractional_optimum_is_exact() {
+        // min x+y+z s.t. x+y >= 1, y+z >= 1, x+z >= 1: the optimum is the
+        // half-integral point (1/2, 1/2, 1/2) — the case that breaks any
+        // integral-lattice DP and exactly why the rational core exists.
+        let rows = vec![
+            row(&[(0, -1), (1, -1)], -1),
+            row(&[(1, -1), (2, -1)], -1),
+            row(&[(0, -1), (2, -1)], -1),
+        ];
+        match solve_core(3, &[int(1), int(1), int(1)], &rows, 10_000) {
+            CoreOutcome::Optimal {
+                numerators, denom, ..
+            } => {
+                let total: f64 = (0..3).map(|j| value(&numerators, &denom, j)).sum();
+                assert_eq!(total, 1.5);
+            }
+            _ => panic!("expected optimal"),
+        }
+    }
+
+    #[test]
+    fn contradictory_bounds_are_infeasible() {
+        // x <= 1 and x >= 3.
+        let rows = vec![row(&[(0, 1)], 1), row(&[(0, -1)], -3)];
+        assert!(matches!(
+            solve_core(1, &[int(1)], &rows, 10_000),
+            CoreOutcome::Infeasible { .. }
+        ));
+    }
+
+    #[test]
+    fn pivot_cap_stops_the_core() {
+        let rows = vec![row(&[(0, -1), (1, -1)], -1)];
+        assert!(matches!(
+            solve_core(2, &[int(1), int(2)], &rows, 0),
+            CoreOutcome::PivotLimit
+        ));
+    }
+
+    #[test]
+    fn weighted_objective_prefers_the_cheap_column() {
+        // min 3x + y s.t. x + y >= 4: all on y.
+        let rows = vec![row(&[(0, -1), (1, -1)], -4)];
+        match solve_core(2, &[int(3), int(1)], &rows, 10_000) {
+            CoreOutcome::Optimal {
+                numerators, denom, ..
+            } => {
+                assert_eq!(value(&numerators, &denom, 0), 0.0);
+                assert_eq!(value(&numerators, &denom, 1), 4.0);
+            }
+            _ => panic!("expected optimal"),
+        }
+    }
+
+    #[test]
+    fn degenerate_ties_terminate_under_bland() {
+        // Many redundant copies of the same binding row force degenerate
+        // dual pivots; Bland's rule must still terminate.
+        let mut rows = Vec::new();
+        for _ in 0..6 {
+            rows.push(row(&[(0, -1), (1, -1)], -2));
+        }
+        rows.push(row(&[(0, 1)], 1));
+        match solve_core(2, &[int(1), int(1)], &rows, 10_000) {
+            CoreOutcome::Optimal {
+                numerators, denom, ..
+            } => {
+                let total: f64 = (0..2).map(|j| value(&numerators, &denom, j)).sum();
+                assert_eq!(total, 2.0);
+            }
+            _ => panic!("expected optimal"),
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Pinned regressions for the exact oracle, each caught by the three-way
+//! differential wall (`crates/lp/tests/differential.rs` and
+//! `tests/differential_three_way.rs`).
+
+use lubt_dp::{solve, DpInstance, DpPair, DpSink, DpStatus};
+
+/// The free-edge columns are numbered in depth order, not node order; the
+/// objective vector must follow the same permutation. With the original
+/// node-ordered objective this instance charged the sink-5 slack onto the
+/// costed edge 3 (objective 3.4375) instead of the free leaf edge 5
+/// (objective 0): node 5 sits at depth 2 but after node 4 (depth 3) in
+/// node order, so their weights swapped columns.
+#[test]
+fn objective_weights_follow_the_column_permutation() {
+    let inst = DpInstance {
+        parents: vec![0, 0, 1, 0, 2, 3],
+        root: 0,
+        weights: vec![0.0, 0.0, 1.25, 0.25, 1.0, 0.0],
+        zero_edges: vec![2],
+        sinks: vec![
+            DpSink {
+                node: 4,
+                lower: 1.25,
+                upper: 5.75,
+            },
+            DpSink {
+                node: 5,
+                lower: 13.75,
+                upper: 17.0,
+            },
+        ],
+        pairs: vec![DpPair {
+            a: 4,
+            b: 5,
+            dist: 0.75,
+        }],
+    };
+    let sol = solve(&inst, u64::MAX).unwrap();
+    assert_eq!(sol.status, DpStatus::Optimal);
+    // Both binding paths can ride zero-weight edges (1 and 5), so the
+    // exact optimum is free.
+    assert_eq!(sol.objective, 0.0);
+    assert_eq!(sol.lengths[5], 13.75);
+    assert_eq!(sol.lengths[3], 0.0);
+    // The zero edge stays exactly zero.
+    assert_eq!(sol.lengths[2], 0.0);
+}

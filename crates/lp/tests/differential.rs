@@ -5,9 +5,17 @@
 //! session rounds. On a mismatch the failure message carries a
 //! first-diverging-pivot diagnostic built from the per-phase pivot
 //! counters of both backends.
+//!
+//! The final property widens the wall to three backends: random
+//! tree-structured systems (the LUBT shape — path-delay windows plus
+//! pairwise separation rows on a random rooted tree) are expressed both as
+//! an explicit LP [`Model`] and as a [`lubt_dp::DpInstance`], and the
+//! dense simplex, the revised simplex and the exact DP oracle must agree
+//! on status and objective.
 
 use std::sync::Arc;
 
+use lubt_dp::{DpInstance, DpPair, DpSink, DpStatus};
 use lubt_lp::{
     Cmp, LinExpr, LpSolve, Model, RevisedSession, RevisedSolver, SimplexSession, SimplexSolver,
     Solution, Status, Var,
@@ -174,6 +182,180 @@ fn divergence_diagnostic(
     )
 }
 
+/// A random rooted tree system in the LUBT shape: node 0 is the root,
+/// `parents[v] < v`, every leaf-ish node carries a quarter-lattice delay
+/// window, and sink pairs carry separation rows. Quarter-unit data keeps
+/// all three backends exact, so a 1e-9 comparison is meaningful.
+#[derive(Debug, Clone)]
+struct TreeSystem {
+    /// `parents[v]` for `v >= 1`; implicitly `parents[v] < v`.
+    parents: Vec<usize>,
+    /// Edge weight (quarters) of the edge into node `v`; entry 0 unused.
+    weight_q: Vec<i32>,
+    /// Per-sink `(node, lower_q, upper_q)` windows.
+    windows: Vec<(usize, i32, i32)>,
+    /// Pairwise separation `(a, b, dist_q)` rows between sink nodes.
+    pairs: Vec<(usize, usize, i32)>,
+    /// Nodes whose incoming edge is pinned to zero.
+    zero_edges: Vec<usize>,
+}
+
+impl TreeSystem {
+    fn num_nodes(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Edge set (as node indices `>= 1`) of the tree path `a .. b`.
+    fn path_edges(&self, a: usize, b: usize) -> Vec<usize> {
+        let root_path = |mut v: usize| {
+            let mut p = vec![v];
+            while v != 0 {
+                v = self.parents[v];
+                p.push(v);
+            }
+            p
+        };
+        let (pa, pb) = (root_path(a), root_path(b));
+        // Symmetric difference of the two root paths = the a..b path.
+        let mut edges: Vec<usize> = pa
+            .iter()
+            .filter(|v| !pb.contains(v))
+            .chain(pb.iter().filter(|v| !pa.contains(v)))
+            .copied()
+            .collect();
+        edges.sort_unstable();
+        edges
+    }
+
+    /// The explicit LP over edge-length variables, mirroring exactly the
+    /// rows the DP instance implies (Ge only for positive lowers, Le only
+    /// for finite uppers — here all uppers are finite).
+    fn model(&self) -> Model {
+        let mut m = Model::new();
+        let vars: Vec<Var> = (0..self.num_nodes())
+            .map(|v| {
+                // The root's "incoming edge" variable exists only to keep
+                // indices aligned with the DP's per-node lengths; it is in
+                // no row and carries no cost.
+                let cost = if v == 0 {
+                    0.0
+                } else {
+                    f64::from(self.weight_q[v]) / 4.0
+                };
+                m.add_var(0.0, cost)
+            })
+            .collect();
+        for &z in &self.zero_edges {
+            m.add_constraint(
+                [(vars[z], 1.0)].into_iter().collect::<LinExpr>(),
+                Cmp::Eq,
+                0.0,
+            );
+        }
+        for &(node, lower_q, upper_q) in &self.windows {
+            let path: LinExpr = self
+                .path_edges(0, node)
+                .into_iter()
+                .map(|v| (vars[v], 1.0))
+                .collect();
+            if lower_q > 0 {
+                m.add_constraint(path.clone(), Cmp::Ge, f64::from(lower_q) / 4.0);
+            }
+            m.add_constraint(path, Cmp::Le, f64::from(upper_q) / 4.0);
+        }
+        for &(a, b, dist_q) in &self.pairs {
+            let edges = self.path_edges(a, b);
+            if edges.is_empty() {
+                continue;
+            }
+            let e: LinExpr = edges.into_iter().map(|v| (vars[v], 1.0)).collect();
+            m.add_constraint(e, Cmp::Ge, f64::from(dist_q) / 4.0);
+        }
+        m
+    }
+
+    /// The same system as the DP oracle's plain-data instance.
+    fn dp_instance(&self) -> DpInstance {
+        DpInstance {
+            parents: self.parents.clone(),
+            root: 0,
+            weights: self
+                .weight_q
+                .iter()
+                .take(self.num_nodes())
+                .map(|&w| f64::from(w) / 4.0)
+                .collect(),
+            zero_edges: self.zero_edges.clone(),
+            sinks: self
+                .windows
+                .iter()
+                .map(|&(node, lower_q, upper_q)| DpSink {
+                    node,
+                    lower: f64::from(lower_q) / 4.0,
+                    upper: f64::from(upper_q) / 4.0,
+                })
+                .collect(),
+            pairs: self
+                .pairs
+                .iter()
+                .map(|&(a, b, dist_q)| DpPair {
+                    a,
+                    b,
+                    dist: f64::from(dist_q) / 4.0,
+                })
+                .collect(),
+        }
+    }
+}
+
+fn tree_system() -> impl Strategy<Value = TreeSystem> {
+    (
+        // Raw material; prop_map folds it into a valid rooted tree.
+        proptest::collection::vec(0u32..u32::MAX, 2..7), // parent picks
+        proptest::collection::vec(0i32..9, 7),           // edge weights (quarters)
+        proptest::collection::vec((0i32..60, 0i32..40), 7), // windows (lower, width)
+        proptest::collection::vec(0i32..30, 24),         // pair separations
+        0u32..8,                                         // zero-edge mask over nodes 1..
+    )
+        .prop_map(|(picks, weight_q, raw_windows, pair_dists, zero_mask)| {
+            let n = picks.len() + 1;
+            let parents: Vec<usize> = std::iter::once(0)
+                .chain(
+                    picks
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &p)| (p as usize) % (i + 1)),
+                )
+                .collect();
+            // Sinks are the childless nodes — the LUBT shape.
+            let sinks: Vec<usize> = (1..n).filter(|&v| !parents[1..].contains(&v)).collect();
+            let windows = sinks
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| {
+                    let (lo, w) = raw_windows[i % raw_windows.len()];
+                    (s, lo, lo + w)
+                })
+                .collect();
+            let mut pairs = Vec::new();
+            let mut k = 0;
+            for i in 0..sinks.len() {
+                for j in i + 1..sinks.len() {
+                    pairs.push((sinks[i], sinks[j], pair_dists[k % pair_dists.len()]));
+                    k += 1;
+                }
+            }
+            let zero_edges = (1..n).filter(|&v| zero_mask >> (v - 1) & 1 == 1).collect();
+            TreeSystem {
+                parents,
+                weight_q,
+                windows,
+                pairs,
+                zero_edges,
+            }
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -274,6 +456,52 @@ proptest! {
                     round,
                     ds.objective(),
                     rs.objective()
+                );
+            }
+        }
+    }
+
+    /// Tree-structured systems, three ways: the same windows + separation
+    /// rows solved by the dense simplex and the revised simplex as an
+    /// explicit LP, and by the exact DP oracle from the plain-data
+    /// instance. All three must agree on status, and on the objective to
+    /// 1e-9 when optimal; the DP's edge lengths must additionally be
+    /// feasible for the explicit model.
+    #[test]
+    fn dense_revised_and_dp_agree_on_tree_systems(sys in tree_system()) {
+        let m = sys.model();
+        let (dense, _revised) = solve_both(&m)?;
+        let dp = lubt_dp::solve(&sys.dp_instance(), 1 << 20)
+            .map_err(|e| TestCaseError::Fail(format!("dp: {e}")))?;
+        match dp.status {
+            DpStatus::Optimal => {
+                prop_assert_eq!(
+                    dense.status(),
+                    Status::Optimal,
+                    "LP says {:?}, exact DP says optimal (obj {})",
+                    dense.status(),
+                    dp.objective
+                );
+                prop_assert!(
+                    (dense.objective() - dp.objective).abs()
+                        <= 1e-9 * (1.0 + dense.objective().abs()),
+                    "LP obj {} vs exact DP obj {} on {:?}",
+                    dense.objective(),
+                    dp.objective,
+                    sys
+                );
+                prop_assert!(
+                    m.check_feasible(&dp.lengths, 1e-6).is_ok(),
+                    "DP lengths violate the explicit model: {:?}",
+                    dp.lengths
+                );
+            }
+            DpStatus::Infeasible => {
+                prop_assert_eq!(
+                    dense.status(),
+                    Status::Infeasible,
+                    "LP says {:?}, exact DP says infeasible",
+                    dense.status()
                 );
             }
         }

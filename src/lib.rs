@@ -15,6 +15,7 @@
 //! * [`core`] — the Edge-Based Formulation (EBF) and the geometric embedder.
 //! * [`lint`] — clippy-style static analysis of instances and LP models.
 //! * [`audit`] — exact rational verification of solver certificates.
+//! * [`dp`] — LP-free exact oracle: interval DP plus a rational dual simplex.
 //! * [`baselines`] — zero-skew DME, bounded-skew DME, shortest-path tree.
 //! * [`data`] — benchmark instances (synthetic prim1/prim2/r1/r3 analogues).
 //!
@@ -46,6 +47,7 @@ pub use lubt_baselines as baselines;
 pub use lubt_core as core;
 pub use lubt_data as data;
 pub use lubt_delay as delay;
+pub use lubt_dp as dp;
 pub use lubt_geom as geom;
 pub use lubt_lint as lint;
 pub use lubt_lp as lp;

@@ -158,6 +158,86 @@ fn all_benchmarks_solve_and_verify() {
     }
 }
 
+/// The exact DP backend drives the full pipeline on every synthetic
+/// benchmark at small scale: it solves, verifies, routes its cost, and
+/// lands on the simplex backend's optimum.
+#[test]
+fn dp_backend_matches_the_pipeline_on_all_benchmarks() {
+    use lubt::core::SolverBackend;
+    for inst in synthetic::paper_benchmarks() {
+        let inst = inst.subsample(8);
+        let radius = inst.radius();
+        let builder = |backend| {
+            LubtBuilder::new(inst.sinks.clone())
+                .source(inst.source.unwrap())
+                .bounds(DelayBounds::uniform(
+                    inst.sinks.len(),
+                    0.9 * radius,
+                    1.4 * radius,
+                ))
+                .backend(backend)
+                .solve()
+                .unwrap_or_else(|e| panic!("{}: {e}", inst.name))
+        };
+        let dp = builder(SolverBackend::Dp);
+        dp.verify().unwrap_or_else(|e| panic!("{}: {e}", inst.name));
+        assert!(
+            (dp.routed_wirelength() - dp.cost()).abs() < 1e-6 * (1.0 + dp.cost()),
+            "{}: routed {} vs cost {}",
+            inst.name,
+            dp.routed_wirelength(),
+            dp.cost()
+        );
+        let lp = builder(SolverBackend::Simplex);
+        assert!(
+            (dp.cost() - lp.cost()).abs() < 1e-6 * (1.0 + lp.cost()),
+            "{}: dp cost {} vs simplex cost {}",
+            inst.name,
+            dp.cost(),
+            lp.cost()
+        );
+    }
+}
+
+/// Non-uniform edge weights through the DP backend: the exact oracle must
+/// optimize the *weighted* objective, not merely find a feasible tree, so
+/// its weighted cost matches the simplex backend's.
+#[test]
+fn dp_backend_optimizes_weighted_objectives() {
+    use lubt::core::{EbfReport, SolverBackend};
+    let inst = synthetic::prim2().subsample(9);
+    let src = inst.source.unwrap();
+    let radius = inst.radius();
+    let base = LubtBuilder::new(inst.sinks.clone())
+        .source(src)
+        .bounds(DelayBounds::uniform(
+            inst.sinks.len(),
+            0.8 * radius,
+            1.3 * radius,
+        ))
+        .build()
+        .unwrap();
+    let n = base.topology().num_nodes();
+    // Skewed weights: odd-numbered edges are five times as expensive.
+    let weights: Vec<f64> = (0..n).map(|v| if v % 2 == 1 { 5.0 } else { 1.0 }).collect();
+    let weighted = base.with_weights(weights.clone()).unwrap();
+    let weighted_cost =
+        |lengths: &[f64]| -> f64 { lengths.iter().zip(&weights).map(|(l, w)| l * w).sum() };
+    let solve = |backend| -> (Vec<f64>, EbfReport) {
+        EbfSolver::new()
+            .with_backend(backend)
+            .solve(&weighted)
+            .unwrap()
+    };
+    let (dp_lengths, _) = solve(SolverBackend::Dp);
+    let (lp_lengths, _) = solve(SolverBackend::Simplex);
+    let (dp_cost, lp_cost) = (weighted_cost(&dp_lengths), weighted_cost(&lp_lengths));
+    assert!(
+        (dp_cost - lp_cost).abs() < 1e-6 * (1.0 + lp_cost),
+        "weighted: dp {dp_cost} vs simplex {lp_cost}"
+    );
+}
+
 /// Weighted objectives (§7): scaling all weights leaves the solution
 /// essentially unchanged, while skewed weights shift wire away from the
 /// heavy edges.

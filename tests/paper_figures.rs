@@ -2,6 +2,7 @@
 
 use lubt::core::{
     embed_tree, verify_raw, DelayBounds, EbfSolver, LubtError, LubtProblem, PlacementPolicy,
+    SolverBackend,
 };
 use lubt::geom::Point;
 use lubt::topology::Topology;
@@ -151,5 +152,107 @@ fn figure_2_degree_four_split_preserves_optimum() {
     assert!(
         (c1 - c2).abs() < 1e-6 * (1.0 + c1),
         "star {c1} vs split {c2}"
+    );
+}
+
+/// Figure 1 again, through the exact DP oracle: the same infeasible /
+/// feasible split, with the feasible topologies landing on the simplex
+/// backend's optimal cost.
+#[test]
+fn figure_1_topology_feasibility_under_the_exact_oracle() {
+    let s0 = Point::new(0.0, 0.0);
+    let sinks = vec![Point::new(0.0, 5.0), Point::new(3.0, 0.0)];
+    let bounds = DelayBounds::upper_only(2, 6.0);
+    let dp = EbfSolver::new().with_backend(SolverBackend::Dp);
+
+    // (a) sink s2 internal: exactly infeasible.
+    let topo_a = Topology::from_parents(2, &[0, 2, 0]).unwrap();
+    let p_a = LubtProblem::new(sinks.clone(), Some(s0), topo_a, bounds.clone()).unwrap();
+    assert!(matches!(dp.solve(&p_a), Err(LubtError::Infeasible)));
+
+    // (b) and (c): feasible, and at the same optimal cost the simplex
+    // backend pins.
+    for parents in [&[0usize, 3, 3, 0][..], &[0, 0, 0][..]] {
+        let topo = Topology::from_parents(2, parents).unwrap();
+        let p = LubtProblem::new(sinks.clone(), Some(s0), topo, bounds.clone()).unwrap();
+        let (dp_lengths, _) = dp.solve(&p).unwrap();
+        let (lp_lengths, _) = EbfSolver::new().solve(&p).unwrap();
+        let (dp_cost, lp_cost) = (
+            lubt::delay::linear::tree_cost(&dp_lengths),
+            lubt::delay::linear::tree_cost(&lp_lengths),
+        );
+        assert!(
+            (dp_cost - lp_cost).abs() < 1e-6 * (1.0 + lp_cost),
+            "{parents:?}: dp {dp_cost} vs simplex {lp_cost}"
+        );
+    }
+}
+
+/// The §4.5 worked example and the Figure-2 degree split, pinned under the
+/// DP backend: same pair count, same optimal cost, embeddable lengths.
+#[test]
+fn section_4_5_and_figure_2_pin_the_dp_backend() {
+    // §4.5 five-point example.
+    let sinks = vec![
+        Point::new(0.0, 0.0),
+        Point::new(8.0, 2.0),
+        Point::new(3.0, 6.0),
+        Point::new(5.0, 6.0),
+        Point::new(1.0, 4.0),
+    ];
+    let topo = lubt::topology::nearest_neighbor_topology(&sinks, lubt::topology::SourceMode::Free);
+    let radius = lubt::delay::skew::radius_free(&sinks);
+    let problem = LubtProblem::new(
+        sinks,
+        None,
+        topo,
+        DelayBounds::uniform(5, 0.67 * radius, 1.0 * radius),
+    )
+    .unwrap();
+    let dp = EbfSolver::new().with_backend(SolverBackend::Dp);
+    let (lengths, report) = dp.solve(&problem).unwrap();
+    assert_eq!(report.total_pairs, 10);
+    let (lp_lengths, _) = EbfSolver::new().solve(&problem).unwrap();
+    let (dp_cost, lp_cost) = (
+        lubt::delay::linear::tree_cost(&lengths),
+        lubt::delay::linear::tree_cost(&lp_lengths),
+    );
+    assert!(
+        (dp_cost - lp_cost).abs() < 1e-6 * (1.0 + lp_cost),
+        "§4.5: dp {dp_cost} vs simplex {lp_cost}"
+    );
+    let pos = embed_tree(
+        problem.topology(),
+        problem.sinks(),
+        None,
+        &lengths,
+        PlacementPolicy::Center,
+    )
+    .unwrap();
+    verify_raw(&problem, &lengths, &pos).unwrap();
+
+    // Figure 2: the zero-edge degree-4 split preserves the DP optimum too.
+    let sinks = vec![
+        Point::new(0.0, 0.0),
+        Point::new(10.0, 0.0),
+        Point::new(5.0, 8.0),
+    ];
+    let s0 = Point::new(5.0, 3.0);
+    let star = Topology::from_parents(3, &[0, 4, 4, 4, 0]).unwrap();
+    let split =
+        lubt::topology::split_degree_four(&star, lubt::topology::SourceMode::Given).unwrap();
+    let bounds = DelayBounds::upper_only(3, 20.0);
+    let p_star = LubtProblem::new(sinks.clone(), Some(s0), star, bounds.clone()).unwrap();
+    let p_split = LubtProblem::new(sinks, Some(s0), split.topology, bounds)
+        .unwrap()
+        .with_zero_edges(split.zero_edges)
+        .unwrap();
+    let (l1, _) = dp.solve(&p_star).unwrap();
+    let (l2, _) = dp.solve(&p_split).unwrap();
+    let c1 = lubt::delay::linear::tree_cost(&l1);
+    let c2 = lubt::delay::linear::tree_cost(&l2);
+    assert!(
+        (c1 - c2).abs() < 1e-6 * (1.0 + c1),
+        "dp star {c1} vs dp split {c2}"
     );
 }
