@@ -44,7 +44,7 @@ fn main() {
 fn write_csv(name: &str, csv: &str) {
     if let Ok(dir) = std::env::var("LUBT_CSV_DIR") {
         let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
-        match std::fs::write(&path, csv) {
+        match lubt_obs::fsio::write_atomic(&path, csv) {
             Ok(()) => println!("(csv written to {})", path.display()),
             Err(e) => eprintln!("cannot write {}: {e}", path.display()),
         }

@@ -31,6 +31,7 @@
 pub mod figure8;
 pub mod instances;
 pub mod report;
+pub mod serve_bench;
 pub mod suite;
 pub mod table;
 pub mod table1;

@@ -475,6 +475,7 @@ mod tests {
             interior_cap: 4,
             full: false,
             audit: false,
+            serve: false,
         })
         .unwrap()
         .to_json()

@@ -1,0 +1,353 @@
+//! The `serve` bench group: sustained throughput and latency percentiles
+//! of the `lubt serve` daemon over the pinned suite instances.
+//!
+//! The group boots real [`lubt_serve::Server`] instances on ephemeral
+//! loopback ports and drives them over TCP exactly like an external
+//! client, so the numbers include framing, parsing, queueing and cache
+//! lookups — the daemon's actual request cost, not just the solver's.
+//! Four passes are measured:
+//!
+//! * `cold`   — fresh server, every request is a full solve;
+//! * `cached` — same server again, every request is an LRU cache hit;
+//! * `warm`   — a second server with the result cache disabled, primed
+//!   once, so every request replays a retained warm LP session;
+//! * `burst`  — a third fresh server hit by one client per worker
+//!   concurrently, measuring sustained mixed cold/cached throughput.
+//!
+//! Every pass's responses are byte-compared against the cold pass (per
+//! request id) and the run refuses to report if they diverge — the bench
+//! doubles as an end-to-end audit of the DESIGN.md §9/§15 contract that
+//! serving mode never changes a single output byte. All numbers are wall
+//! clock, so the whole group lands under `"determinism_exempt"` in the
+//! benchmark document and `lubt report` only ever gates it on ratios.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use lubt_data::Instance;
+use lubt_obs::json::{json_escape, json_f64};
+use lubt_obs::Histogram;
+use lubt_serve::{ServeConfig, Server};
+
+/// One measured pass over the request set.
+#[derive(Debug, Clone)]
+pub struct PassStats {
+    /// Requests answered.
+    pub count: usize,
+    /// Wall clock for the whole pass.
+    pub wall_ns: u64,
+    /// Per-request round-trip latency in nanoseconds.
+    pub latency: Histogram,
+}
+
+impl PassStats {
+    /// Requests per second over the pass wall clock.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.count as f64 * 1e9 / self.wall_ns as f64
+    }
+}
+
+/// The complete `serve` bench group result. Everything here is wall
+/// clock or machine-shaped, hence determinism-exempt.
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    /// Daemon worker threads (also the burst client count).
+    pub workers: usize,
+    /// Requests per sequential pass (one per pinned instance).
+    pub requests_per_pass: usize,
+    /// Passes in measurement order: `cold`, `cached`, `warm`, `burst`.
+    pub passes: Vec<(&'static str, PassStats)>,
+    /// Total group wall clock (server boots included).
+    pub total_wall_ns: u64,
+}
+
+impl ServeBench {
+    /// Serializes the group as the `"serve"` member of the benchmark
+    /// document's `"determinism_exempt"` section.
+    pub fn to_json(&self, indent: &str) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("{indent}  \"workers\": {},\n", self.workers));
+        s.push_str(&format!(
+            "{indent}  \"requests_per_pass\": {},\n",
+            self.requests_per_pass
+        ));
+        s.push_str(&format!(
+            "{indent}  \"total_wall_ns\": {},\n",
+            self.total_wall_ns
+        ));
+        s.push_str(&format!("{indent}  \"passes\": {{\n"));
+        for (i, (name, p)) in self.passes.iter().enumerate() {
+            s.push_str(&format!(
+                "{indent}    \"{}\": {{\"count\": {}, \"wall_ns\": {}, \
+                 \"throughput_rps\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+                 \"max_ns\": {}}}{}\n",
+                json_escape(name),
+                p.count,
+                p.wall_ns,
+                json_f64(p.throughput_rps()),
+                p.latency.percentile(0.50).unwrap_or(0),
+                p.latency.percentile(0.99).unwrap_or(0),
+                p.latency.max().unwrap_or(0),
+                if i + 1 < self.passes.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!("{indent}  }}\n{indent}}}"));
+        s
+    }
+}
+
+/// A blocking line-framed client on one TCP connection.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(300)))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    fn roundtrip(&mut self, line: &str) -> io::Result<String> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        let mut resp = String::new();
+        if self.reader.read_line(&mut resp)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection mid-pass",
+            ));
+        }
+        Ok(resp.trim_end().to_string())
+    }
+}
+
+/// The `lubt-serve-v1` wire form of a pinned instance.
+fn wire_instance(inst: &Instance) -> String {
+    let sinks = inst
+        .sinks
+        .iter()
+        .map(|p| format!("[{}, {}]", json_f64(p.x), json_f64(p.y)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let source = inst.source.map_or("null".to_string(), |p| {
+        format!("[{}, {}]", json_f64(p.x), json_f64(p.y))
+    });
+    format!(
+        "{{\"name\": \"{}\", \"source\": {source}, \"sinks\": [{sinks}]}}",
+        json_escape(&inst.name)
+    )
+}
+
+/// One solve request per instance; the id is the instance name so the
+/// byte-compare can match responses across passes and connections.
+fn request_lines(instances: &[Instance], lower_frac: f64, upper_frac: f64) -> Vec<String> {
+    instances
+        .iter()
+        .map(|inst| {
+            format!(
+                "{{\"op\": \"solve\", \"id\": \"{}\", \"lower\": {}, \"upper\": {}, \
+                 \"instance\": {}}}",
+                json_escape(&inst.name),
+                json_f64(lower_frac),
+                json_f64(upper_frac),
+                wire_instance(inst)
+            )
+        })
+        .collect()
+}
+
+fn boot(workers: usize, cache_entries: usize) -> Result<Server, String> {
+    Server::start(ServeConfig {
+        workers,
+        cache_entries,
+        ..ServeConfig::default()
+    })
+    .map_err(|e| format!("serve bench: cannot boot daemon: {e}"))
+}
+
+/// Sends every line in order on one connection, timing each round trip.
+fn timed_pass(client: &mut Client, lines: &[String]) -> io::Result<(PassStats, Vec<String>)> {
+    let mut latency = Histogram::new();
+    let mut responses = Vec::with_capacity(lines.len());
+    let start = Instant::now();
+    for line in lines {
+        let t0 = Instant::now();
+        let resp = client.roundtrip(line)?;
+        latency.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        responses.push(resp);
+    }
+    let stats = PassStats {
+        count: lines.len(),
+        wall_ns: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        latency,
+    };
+    Ok((stats, responses))
+}
+
+/// Every response must be a success frame and byte-identical to the cold
+/// pass's answer for the same request.
+fn check_pass(
+    pass: &str,
+    lines: &[String],
+    responses: &[String],
+    cold: &[String],
+) -> Result<(), String> {
+    for (i, resp) in responses.iter().enumerate() {
+        if !resp.contains("\"status\":\"ok\"") {
+            return Err(format!(
+                "serve bench: {pass} pass request {} failed: {resp}",
+                lines[i]
+            ));
+        }
+        if resp != &cold[i] {
+            return Err(format!(
+                "serve bench: determinism violation — {pass} response differs from cold \
+                 for request {}:\n  cold: {}\n  {pass}: {resp}",
+                lines[i], cold[i]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs the serve bench group over the pinned instances.
+///
+/// `workers` is the daemon worker count (already resolved, `>= 1`); the
+/// delay window is radius-relative, matching the suite's pinned window.
+///
+/// # Errors
+///
+/// Fails on daemon boot/IO errors, on any non-`ok` response, and on any
+/// byte divergence between the cold, cached, warm and burst passes.
+pub fn run(
+    instances: &[Instance],
+    lower_frac: f64,
+    upper_frac: f64,
+    workers: usize,
+) -> Result<ServeBench, String> {
+    let workers = workers.max(1);
+    let lines = request_lines(instances, lower_frac, upper_frac);
+    let group_start = Instant::now();
+    let io_err = |pass: &'static str| move |e: io::Error| format!("serve bench: {pass} pass: {e}");
+
+    // Cold + cached share one server: the first pass fills the LRU result
+    // cache, the second hits it on every request.
+    let server = boot(workers, lines.len().max(1))?;
+    let mut client = Client::connect(server.addr()).map_err(io_err("cold"))?;
+    let (cold, cold_responses) = timed_pass(&mut client, &lines).map_err(io_err("cold"))?;
+    check_pass("cold", &lines, &cold_responses, &cold_responses)?;
+    let (cached, cached_responses) = timed_pass(&mut client, &lines).map_err(io_err("cached"))?;
+    check_pass("cached", &lines, &cached_responses, &cold_responses)?;
+    drop(client);
+    server.shutdown();
+
+    // Warm: result cache disabled, so the priming pass only stocks the
+    // warm session pool and the timed pass replays retained LP bases.
+    let server = boot(workers, 0)?;
+    let mut client = Client::connect(server.addr()).map_err(io_err("warm"))?;
+    let (_prime, prime_responses) = timed_pass(&mut client, &lines).map_err(io_err("warm"))?;
+    check_pass("warm-prime", &lines, &prime_responses, &cold_responses)?;
+    let (warm, warm_responses) = timed_pass(&mut client, &lines).map_err(io_err("warm"))?;
+    check_pass("warm", &lines, &warm_responses, &cold_responses)?;
+    drop(client);
+    server.shutdown();
+
+    // Burst: a fresh server, one concurrent client per worker, each
+    // sending the full request set — sustained mixed cold/cached load.
+    let server = boot(workers, lines.len().max(1))?;
+    let addr = server.addr();
+    let burst_start = Instant::now();
+    let joined: Vec<io::Result<(PassStats, Vec<String>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let lines = &lines;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr)?;
+                    timed_pass(&mut client, lines)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("burst client thread panicked"))
+            .collect()
+    });
+    let burst_wall = u64::try_from(burst_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    server.shutdown();
+    let mut burst_latency = Histogram::new();
+    let mut burst_count = 0usize;
+    for result in joined {
+        let (stats, responses) = result.map_err(io_err("burst"))?;
+        check_pass("burst", &lines, &responses, &cold_responses)?;
+        burst_latency.merge(&stats.latency);
+        burst_count += stats.count;
+    }
+    let burst = PassStats {
+        count: burst_count,
+        wall_ns: burst_wall,
+        latency: burst_latency,
+    };
+
+    Ok(ServeBench {
+        workers,
+        requests_per_pass: lines.len(),
+        passes: vec![
+            ("cold", cold),
+            ("cached", cached),
+            ("warm", warm),
+            ("burst", burst),
+        ],
+        total_wall_ns: u64::try_from(group_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lubt_obs::json::validate;
+
+    #[test]
+    fn serve_group_measures_all_four_passes_and_serializes() {
+        let instances = crate::suite::pinned_instances(&[5]);
+        let bench = run(&instances, 0.9, 1.4, 2).unwrap();
+        assert_eq!(bench.workers, 2);
+        assert_eq!(bench.requests_per_pass, 2);
+        let names: Vec<&str> = bench.passes.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["cold", "cached", "warm", "burst"]);
+        for (name, pass) in &bench.passes {
+            let expected = if *name == "burst" { 4 } else { 2 };
+            assert_eq!(pass.count, expected, "{name}");
+            assert_eq!(pass.latency.count(), expected as u64, "{name}");
+            assert!(pass.wall_ns > 0, "{name}");
+            assert!(pass.throughput_rps() > 0.0, "{name}");
+        }
+        let doc = format!("{{\"serve\": {}}}", bench.to_json(""));
+        validate(&doc).unwrap_or_else(|e| panic!("invalid serve JSON: {e}\n{doc}"));
+        assert!(doc.contains("\"p50_ns\""));
+        assert!(doc.contains("\"p99_ns\""));
+        assert!(doc.contains("\"throughput_rps\""));
+    }
+
+    #[test]
+    fn wire_instances_round_trip_through_the_daemon_parser() {
+        // The bench's own serializer must speak valid lubt-serve-v1: an
+        // echo through the strict request parser proves it.
+        let inst = crate::suite::pinned_instances(&[5]).remove(0);
+        let line = request_lines(std::slice::from_ref(&inst), 0.9, 1.4).remove(0);
+        let value = lubt_obs::json::parse(&line).unwrap();
+        let req = lubt_serve::protocol::parse_request(&value).unwrap();
+        assert_eq!(req.instances.len(), 1);
+        assert_eq!(req.instances[0].name, inst.name);
+        assert_eq!(req.instances[0].sinks, inst.sinks);
+        assert_eq!(req.instances[0].source, inst.source);
+    }
+}

@@ -67,6 +67,14 @@ pub struct SuiteConfig {
     /// in the determinism-exempt half, and the audited leg's aggregates
     /// are discarded so the published deterministic section is unchanged.
     pub audit: bool,
+    /// When `true`, runs the `serve` group: boots real `lubt serve`
+    /// daemons on loopback and drives the pinned instances over TCP
+    /// through cold, cached, warm and concurrent-burst passes, recording
+    /// throughput and latency percentiles. The group internally refuses
+    /// to report unless every pass's responses are byte-identical, and
+    /// its numbers (all wall clock) land under `determinism_exempt.serve`
+    /// plus a `time.suite.serve.threads<n>` wall key.
+    pub serve: bool,
 }
 
 impl Default for SuiteConfig {
@@ -78,6 +86,7 @@ impl Default for SuiteConfig {
             interior_cap: 12,
             full: false,
             audit: false,
+            serve: false,
         }
     }
 }
@@ -128,6 +137,10 @@ pub struct BenchRun {
     pub extended: AggregateTrace,
     /// Resolved worker count of the parallel leg.
     pub threads: usize,
+    /// The `serve` bench group (daemon throughput + latency percentiles),
+    /// present only when the config asked for it. Wall clock through and
+    /// through, so it serializes under `determinism_exempt`.
+    pub serve: Option<crate::serve_bench::ServeBench>,
     /// Wall-clock per backend and leg (`time.suite.<backend>.threads<n>`),
     /// determinism-exempt.
     pub suite_wall_ns: BTreeMap<String, u64>,
@@ -366,6 +379,17 @@ pub fn run(config: &SuiteConfig) -> Result<BenchRun, String> {
         // provably identical and the exempt halves show real scheduling.
         (par_rows, par_agg, par_ext)
     };
+    let serve = if config.serve {
+        let instances = pinned_instances(&config.sizes);
+        let bench = crate::serve_bench::run(&instances, LOWER_FRAC, UPPER_FRAC, threads)?;
+        wall.insert(
+            format!("time.suite.serve.threads{threads}"),
+            bench.total_wall_ns,
+        );
+        Some(bench)
+    } else {
+        None
+    };
     Ok(BenchRun {
         label: config.label.clone(),
         sizes: config.sizes.clone(),
@@ -374,6 +398,7 @@ pub fn run(config: &SuiteConfig) -> Result<BenchRun, String> {
         aggregate,
         extended,
         threads,
+        serve,
         suite_wall_ns: wall,
     })
 }
@@ -464,6 +489,11 @@ impl BenchRun {
             s.push_str("\n    ");
         }
         s.push_str("},\n");
+        if let Some(serve) = &self.serve {
+            s.push_str("    \"serve\": ");
+            s.push_str(&serve.to_json("    "));
+            s.push_str(",\n");
+        }
         s.push_str("    \"aggregate\": ");
         s.push_str(&self.aggregate.exempt_json("    "));
         s.push_str(",\n    \"extended_aggregate\": ");
@@ -486,6 +516,7 @@ mod tests {
             interior_cap: 6,
             full: false,
             audit: false,
+            serve: false,
         }
     }
 
@@ -625,6 +656,45 @@ mod tests {
         let det = extract_deterministic(&doc);
         assert!(!det.contains("audit_overhead"));
         assert!(doc.contains("time.suite.audit_overhead.simplex.threads1"));
+    }
+
+    #[test]
+    fn serve_group_is_exempt_and_the_report_gate_still_passes() {
+        let plain = run(&tiny()).unwrap();
+        let served = run(&SuiteConfig {
+            serve: true,
+            ..tiny()
+        })
+        .unwrap();
+        // The daemon passes must not perturb the deterministic half at
+        // all — serving mode changing a solve would be a §9 violation.
+        assert_eq!(plain.rows, served.rows);
+        assert_eq!(
+            extract_deterministic(&plain.to_json()),
+            extract_deterministic(&served.to_json())
+        );
+        let bench = served.serve.as_ref().expect("serve group requested");
+        assert_eq!(bench.workers, served.threads);
+        assert!(served
+            .suite_wall_ns
+            .keys()
+            .any(|k| k.starts_with("time.suite.serve.threads")));
+        let doc = served.to_json();
+        validate(&doc).unwrap_or_else(|e| panic!("invalid bench JSON: {e}\n{doc}"));
+        let exempt = doc.find("\"determinism_exempt\"").unwrap();
+        assert!(doc[exempt..].contains("\"serve\""));
+        assert!(doc[exempt..].contains("\"throughput_rps\""));
+        // The seed gate compares deterministic scalars exactly and wall
+        // keys only when present in both docs, so a serve-bearing run
+        // gates clean against a serve-less baseline and vice versa.
+        let opts = crate::report::ReportOptions {
+            ignore_timings: true, // wall clock between two live runs is noise
+            ..crate::report::ReportOptions::default()
+        };
+        let gate = crate::report::compare(&plain.to_json(), &doc, &opts).unwrap();
+        assert!(!gate.failed(), "{}", gate.to_text());
+        let reverse = crate::report::compare(&doc, &plain.to_json(), &opts).unwrap();
+        assert!(!reverse.failed(), "{}", reverse.to_text());
     }
 
     #[test]

@@ -20,7 +20,7 @@ const USAGE: &str = "usage:
   lubt audit <input> --lower L --upper U [--absolute] \
 [--topology nn|matching|bisect|aware] [--lp-backend simplex|ipm|revised|dp] [--json [out.json]]
   lubt bench [--label L] [--threads N] [--sizes A,B,C] [--interior-cap K] [--full] [--audit] \
-[--out file]
+[--serve] [--out file]
   lubt report --baseline A.json --current B.json [--timing-threshold F] \
 [--ignore-timings] [--json [out.json]]
   lubt lint <input> [--lower L] [--upper U] [--absolute] \
@@ -28,6 +28,8 @@ const USAGE: &str = "usage:
   lubt zeroskew <input> [--target T] [--absolute] [--svg out.svg]
   lubt bst <input> --skew S [--absolute]
   lubt gen <prim1|prim2|r1|r3|uniform|clustered> [--sinks N] [--seed K] [--die D] [--out file]
+  lubt serve [--addr H:P] [--workers N] [--queue-depth N] [--cache-entries N] \
+[--session-entries N] [--max-request-bytes N] [--default-deadline-ms N] [--allow-shutdown]
   lubt help";
 
 /// Entry point shared by `main` and the integration tests.
@@ -47,6 +49,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         Some("zeroskew") => cmd_zeroskew(&parsed),
         Some("bst") => cmd_bst(&parsed),
         Some("gen") => cmd_gen(&parsed),
+        Some("serve") => cmd_serve(&parsed),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -84,7 +87,8 @@ fn wants(parsed: &Parsed, key: &str) -> bool {
 fn emit_json(parsed: &Parsed, key: &str, label: &str, json: &str) -> Result<(), String> {
     match parsed.get(key) {
         Some(path) => {
-            std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            lubt_obs::fsio::write_atomic(path, json)
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
             println!("{label} written to {path}");
         }
         None => println!("{json}"),
@@ -101,7 +105,8 @@ fn emit_json(parsed: &Parsed, key: &str, label: &str, json: &str) -> Result<(), 
 fn emit_diagnostic(parsed: &Parsed, key: &str, label: &str, text: &str) -> Result<(), String> {
     match parsed.get(key) {
         Some(path) => {
-            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            lubt_obs::fsio::write_atomic(path, text)
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
             println!("{label} written to {path}");
         }
         None => eprint!("{text}"),
@@ -148,7 +153,7 @@ fn render_lubt_error(e: &lubt_core::LubtError) -> String {
 
 fn write_svg(parsed: &Parsed, svg: &str) -> Result<(), String> {
     if let Some(path) = parsed.get("svg") {
-        std::fs::write(path, svg).map_err(|e| format!("cannot write {path}: {e}"))?;
+        lubt_obs::fsio::write_atomic(path, svg).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("svg written to {path}");
     }
     Ok(())
@@ -289,7 +294,7 @@ fn cmd_solve(parsed: &Parsed) -> Result<(), String> {
         100.0 * stats.surplus_fraction()
     );
     if let Some(path) = parsed.get("json") {
-        std::fs::write(path, lubt_core::solution_to_json(&solution))
+        lubt_obs::fsio::write_atomic(path, &lubt_core::solution_to_json(&solution))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("json written to {path}");
     }
@@ -447,7 +452,8 @@ fn cmd_batch(parsed: &Parsed) -> Result<(), String> {
     println!("{}/{} solved", results.len() - failures, results.len());
 
     if let Some(path) = parsed.get("json") {
-        std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        lubt_obs::fsio::write_atomic(path, &json)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("json written to {path}");
     }
     if let Some(trace) = &trace {
@@ -630,11 +636,13 @@ fn cmd_bench(parsed: &Parsed) -> Result<(), String> {
     }
     config.full = parsed.has("full");
     config.audit = parsed.has("audit");
+    config.serve = parsed.has("serve");
     let run = lubt_bench::suite::run(&config)?;
     let out = parsed
         .get("out")
         .map_or_else(|| format!("BENCH_{}.json", run.label), String::from);
-    std::fs::write(&out, run.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    lubt_obs::fsio::write_atomic(&out, &run.to_json())
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
     println!(
         "bench \"{}\": {} solves over {} instance/backend rows (sizes {:?}, {} worker(s)); \
          written to {out}",
@@ -644,6 +652,20 @@ fn cmd_bench(parsed: &Parsed) -> Result<(), String> {
         run.sizes,
         run.threads
     );
+    if let Some(serve) = &run.serve {
+        println!(
+            "serve group ({} workers, {} requests/pass, byte-identical across passes):",
+            serve.workers, serve.requests_per_pass
+        );
+        for (name, pass) in &serve.passes {
+            println!(
+                "  {name:<6} p50 {:>9} ns   p99 {:>9} ns   {:>8.1} req/s",
+                pass.latency.percentile(0.50).unwrap_or(0),
+                pass.latency.percentile(0.99).unwrap_or(0),
+                pass.throughput_rps()
+            );
+        }
+    }
     Ok(())
 }
 
@@ -727,7 +749,8 @@ fn cmd_lint(parsed: &Parsed) -> Result<(), String> {
         let json = lubt_lint::diagnostics_to_json(&diags);
         match parsed.get("json") {
             Some(path) => {
-                std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+                lubt_obs::fsio::write_atomic(path, &json)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
                 println!("json written to {path}");
             }
             None => println!("{json}"),
@@ -751,6 +774,64 @@ fn cmd_lint(parsed: &Parsed) -> Result<(), String> {
     } else {
         Ok(())
     }
+}
+
+/// `lubt serve`: boots the long-lived solver daemon and blocks until a
+/// graceful shutdown is signaled over the wire (`--allow-shutdown`).
+/// The listening line is flushed eagerly so scripted harnesses can read
+/// the resolved port even when stdout is a pipe.
+fn cmd_serve(parsed: &Parsed) -> Result<(), String> {
+    reject_bare(
+        parsed,
+        &[
+            "addr",
+            "workers",
+            "queue-depth",
+            "cache-entries",
+            "session-entries",
+            "max-request-bytes",
+            "default-deadline-ms",
+        ],
+    )?;
+    let mut config = lubt_serve::ServeConfig {
+        addr: parsed.get("addr").unwrap_or("127.0.0.1:4600").to_string(),
+        allow_shutdown: parsed.has("allow-shutdown"),
+        ..lubt_serve::ServeConfig::default()
+    };
+    if let Some(n) = parsed.get_usize("workers")? {
+        config.workers = n;
+    }
+    if let Some(n) = parsed.get_usize("queue-depth")? {
+        config.queue_depth = n;
+    }
+    if let Some(n) = parsed.get_usize("cache-entries")? {
+        config.cache_entries = n;
+    }
+    if let Some(n) = parsed.get_usize("session-entries")? {
+        config.session_entries = n;
+    }
+    if let Some(n) = parsed.get_usize("max-request-bytes")? {
+        config.max_request_bytes = n;
+    }
+    if let Some(ms) = parsed.get_usize("default-deadline-ms")? {
+        config.default_deadline_ms = Some(ms as u64);
+    }
+    let server = lubt_serve::Server::start(config.clone())
+        .map_err(|e| format!("cannot start server: {e}"))?;
+    println!(
+        "lubt-serve {} listening on {} ({} workers, queue {}, cache {}, sessions {})",
+        lubt_serve::PROTOCOL,
+        server.addr(),
+        config.effective_workers(),
+        config.queue_depth,
+        config.cache_entries,
+        config.session_entries
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    server.wait();
+    println!("lubt-serve drained and stopped");
+    Ok(())
 }
 
 fn cmd_zeroskew(parsed: &Parsed) -> Result<(), String> {
@@ -836,7 +917,8 @@ fn cmd_gen(parsed: &Parsed) -> Result<(), String> {
     let text = data_io::write(&inst);
     match parsed.get("out") {
         Some(path) => {
-            std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            lubt_obs::fsio::write_atomic(path, &text)
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
             println!("wrote {} sinks to {path}", inst.sinks.len());
         }
         None => print!("{text}"),

@@ -1007,3 +1007,94 @@ fn report_passes_on_identical_runs_and_fails_on_a_perturbed_counter() {
     let _ = std::fs::remove_file(&perturbed);
     let _ = std::fs::remove_file(&json_out);
 }
+
+#[test]
+fn serve_boots_answers_and_drains_on_wire_shutdown() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let mut child = lubt()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--allow-shutdown",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).unwrap();
+    assert!(
+        banner.contains("lubt-serve lubt-serve-v1 listening on "),
+        "{banner}"
+    );
+    let addr = banner
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("banner carries the resolved address");
+
+    let conn = std::net::TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut writer = conn;
+    let mut ask = |line: &str, reader: &mut BufReader<std::net::TcpStream>| -> String {
+        writeln!(writer, "{line}").unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        resp
+    };
+    let pong = ask(r#"{"op":"ping","id":"cli"}"#, &mut reader);
+    assert!(pong.contains("\"status\":\"ok\""), "{pong}");
+    let solved = ask(
+        r#"{"op":"solve","id":"s","upper":1.4,"instance":{"source":[5,5],"sinks":[[0,0],[10,0],[0,10],[10,10]]}}"#,
+        &mut reader,
+    );
+    assert!(solved.contains("\"status\":\"ok\""), "{solved}");
+    assert!(solved.contains("\"solution\":{"), "{solved}");
+    let bye = ask(r#"{"op":"shutdown","id":"bye"}"#, &mut reader);
+    assert!(bye.contains("\"draining\":true"), "{bye}");
+
+    let status = child.wait().unwrap();
+    assert!(status.success(), "graceful exit after wire shutdown");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stdout, &mut rest).unwrap();
+    assert!(rest.contains("drained and stopped"), "{rest}");
+}
+
+#[test]
+fn file_outputs_are_atomic_and_leave_no_temp_siblings() {
+    let pts = gen_batch("atomic", 1, 8).pop().unwrap();
+    let trace = tmp("atomic-trace.json");
+    let out = lubt()
+        .args(["solve"])
+        .arg(&pts)
+        .args(["--upper", "1.4", "--trace-json"])
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&trace).unwrap();
+    lubt_obs::json::validate(&doc).expect("trace must be complete, never torn");
+    // The atomic write path stages into `<name>.tmp.<pid>` next to the
+    // target and renames; success must leave no staging files behind.
+    let dir = trace.parent().unwrap();
+    let leftovers: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("lubt-cli-test-") && n.contains(".tmp."))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "staging files left behind: {leftovers:?}"
+    );
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&pts);
+}

@@ -389,6 +389,27 @@ impl EbfSolver {
     /// * [`LubtError::Audit`] — the post-solve certificate audit rejected
     ///   the outcome (only with [`EbfSolver::with_audit`]).
     pub fn solve(&self, problem: &LubtProblem) -> Result<(Vec<f64>, EbfReport), LubtError> {
+        self.solve_retaining(problem)
+            .map(|(lengths, report, _)| (lengths, report))
+    }
+
+    /// [`EbfSolver::solve`], additionally handing back the converged
+    /// incremental session as a [`WarmEbfSession`] when the solve went
+    /// through one (lazy Steiner mode on the [`SolverBackend::Simplex`] or
+    /// [`SolverBackend::Revised`] backend; `None` otherwise).
+    ///
+    /// A warm session is what the serve layer keeps across requests: its
+    /// [`WarmEbfSession::resolve_lengths`] replays the converged basis
+    /// with zero pivots and returns bit-identical edge lengths, skipping
+    /// model assembly and every separation round.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`EbfSolver::solve`]'s errors.
+    pub fn solve_retaining(
+        &self,
+        problem: &LubtProblem,
+    ) -> Result<(Vec<f64>, EbfReport, Option<WarmEbfSession>), LubtError> {
         if self.prelint {
             let diags = problem.prelint_diagnostics();
             if lubt_lint::has_deny(&diags) {
@@ -397,7 +418,7 @@ impl EbfSolver {
         }
 
         if self.backend == SolverBackend::Dp {
-            return self.solve_dp(problem);
+            return self.solve_dp(problem).map(|(l, r)| (l, r, None));
         }
 
         let topo = problem.topology();
@@ -548,6 +569,7 @@ impl EbfSolver {
                         total_pairs,
                         truncated: false,
                     },
+                    None,
                 ))
             }
             SteinerMode::Lazy { max_rounds, batch } => {
@@ -635,16 +657,20 @@ impl EbfSolver {
                                 let cert = session.certificate();
                                 audit_check(session.model(), sol, cert.as_ref())?;
                             }
-                            return Ok((
-                                lengths,
-                                EbfReport {
-                                    lp_iterations,
-                                    separation_rounds: rounds,
-                                    steiner_rows,
-                                    total_pairs,
-                                    truncated,
-                                },
-                            ));
+                            let report = EbfReport {
+                                lp_iterations,
+                                separation_rounds: rounds,
+                                steiner_rows,
+                                total_pairs,
+                                truncated,
+                            };
+                            let warm = WarmEbfSession {
+                                session,
+                                edge_vars: edge_vars.clone(),
+                                n_nodes,
+                                report: report.clone(),
+                            };
+                            return Ok((lengths, report, Some(warm)));
                         }
                         let cuts: Vec<SinkPair> = if rounds >= max_rounds {
                             // Safety net: materialize everything.
@@ -699,6 +725,7 @@ impl EbfSolver {
                                 total_pairs,
                                 truncated: false,
                             },
+                            None,
                         ));
                     }
                     if rounds >= max_rounds {
@@ -728,6 +755,7 @@ impl EbfSolver {
                                 total_pairs,
                                 truncated: true,
                             },
+                            None,
                         ));
                     }
                     for (pair, _) in violated.into_iter().take(batch) {
@@ -910,6 +938,69 @@ impl GrowingSession {
             GrowingSession::Dense(s) => s.certificate(),
             GrowingSession::Revised(s) => s.certificate(),
         }
+    }
+}
+
+/// A converged incremental LP session retained after
+/// [`EbfSolver::solve_retaining`], for warm re-solves of the *same*
+/// problem.
+///
+/// Incremental sessions only ever grow (rows are appended, never
+/// removed), so a retained session is only valid for the exact problem it
+/// converged on — which is precisely the serve cache scenario: identical
+/// canonical instance, identical bounds. Re-resolving with no pending
+/// rows returns the cached optimal basis unchanged, making
+/// [`WarmEbfSession::resolve_lengths`] a zero-pivot replay whose lengths
+/// are bit-identical to the original solve's.
+pub struct WarmEbfSession {
+    session: GrowingSession,
+    edge_vars: Vec<Var>,
+    n_nodes: usize,
+    report: EbfReport,
+}
+
+impl std::fmt::Debug for WarmEbfSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarmEbfSession")
+            .field("n_nodes", &self.n_nodes)
+            .field("report", &self.report)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WarmEbfSession {
+    /// The report of the original converged solve. A warm replay performs
+    /// no pivots and no separation rounds, so this is also the honest
+    /// description of how the retained basis was produced.
+    pub fn report(&self) -> &EbfReport {
+        &self.report
+    }
+
+    /// Replays the converged basis and extracts the edge lengths —
+    /// bit-identical to what the original solve returned.
+    ///
+    /// # Errors
+    ///
+    /// [`LubtError::Lp`] if the underlying session reports a failure
+    /// (cannot happen on a session retained in the converged-optimal
+    /// state, but the type does not prove that), [`LubtError::Infeasible`]
+    /// if it somehow holds an infeasible outcome.
+    pub fn resolve_lengths(&mut self) -> Result<Vec<f64>, LubtError> {
+        let sol = self.session.resolve()?;
+        match sol.status() {
+            Status::Optimal => {}
+            Status::Infeasible => return Err(LubtError::Infeasible),
+            Status::Unbounded => {
+                return Err(LubtError::Lp(lubt_lp::LpError::NumericalBreakdown(
+                    "EBF objective cannot be unbounded".to_string(),
+                )))
+            }
+        }
+        let mut lengths = vec![0.0; self.n_nodes];
+        for (j, v) in self.edge_vars.iter().enumerate() {
+            lengths[j + 1] = sol.value(*v).max(0.0);
+        }
+        Ok(lengths)
     }
 }
 

@@ -72,12 +72,12 @@ mod zero_skew;
 pub use analysis::{analyze, EdgeKind, EdgeStat, TreeAnalysis};
 pub use batch::BatchSolver;
 pub use bounds::DelayBounds;
-pub use ebf::{ebf_model, EbfReport, EbfSolver, SolverBackend, SteinerMode};
+pub use ebf::{ebf_model, EbfReport, EbfSolver, SolverBackend, SteinerMode, WarmEbfSession};
 pub use elmore_ebf::{ElmoreEbf, ElmoreReport};
 pub use embed::{embed_tree, embed_tree_traced, PlacementPolicy};
 pub use error::LubtError;
 pub use json::solution_to_json;
-pub use problem::{LubtBuilder, LubtProblem, TopologyStrategy};
+pub use problem::{LubtBuilder, LubtProblem, TopologyStrategy, WarmLubtSession};
 pub use solution::LubtSolution;
 pub use steiner::{
     all_pair_constraints, violated_pairs, violated_pairs_traced, violated_pairs_with_threads,

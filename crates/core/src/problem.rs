@@ -493,6 +493,75 @@ impl LubtBuilder {
         (result, rec.snapshot())
     }
 
+    /// [`LubtBuilder::solve`], additionally retaining the converged LP
+    /// session (when the configured pipeline produces one — lazy Steiner
+    /// mode on a simplex backend, audit off) as a [`WarmLubtSession`].
+    ///
+    /// The handle re-derives the *entire* solution — lengths from the
+    /// retained basis with zero pivots, then the deterministic embedding
+    /// — so [`WarmLubtSession::resolve`] is bit-identical to this call's
+    /// solution. This is the warm path behind `lubt serve`'s session
+    /// pool.
+    ///
+    /// # Errors
+    ///
+    /// See [`LubtProblem::solve`].
+    pub fn solve_retaining(&self) -> Result<(LubtSolution, Option<WarmLubtSession>), LubtError> {
+        self.solve_retaining_recorded(lubt_obs::noop())
+    }
+
+    /// [`LubtBuilder::solve_retaining`] with the pipeline recorded into
+    /// `rec` — how the serve workers feed cold-solve counters into the
+    /// live `/metrics` aggregate. Tracing never changes results (the §9
+    /// contract), so the retained session stays bit-compatible with
+    /// untraced solves.
+    ///
+    /// # Errors
+    ///
+    /// See [`LubtProblem::solve`].
+    pub fn solve_retaining_recorded(
+        &self,
+        rec: Arc<dyn Recorder>,
+    ) -> Result<(LubtSolution, Option<WarmLubtSession>), LubtError> {
+        let problem = self.build()?;
+        let mut solver = EbfSolver::new()
+            .with_backend(self.backend)
+            .with_steiner_mode(self.steiner_mode)
+            .with_threads(self.threads)
+            .with_audit(self.audit)
+            .with_prelint(self.prelint)
+            .with_recorder(Arc::clone(&rec));
+        if let Some(limit) = self.max_lp_iterations {
+            solver = solver.with_max_lp_iterations(limit);
+        }
+        let (lengths, report, warm) = solver.solve_retaining(&problem)?;
+        let positions = embed_tree_traced(
+            problem.topology(),
+            problem.sinks(),
+            problem.source(),
+            &lengths,
+            self.placement,
+            &*rec,
+        )?;
+        let solution = LubtSolution::new(problem.clone(), lengths, positions, report);
+        if self.audit {
+            let findings = solution.audit_tree();
+            if !findings.is_empty() {
+                return Err(LubtError::Audit(findings));
+            }
+            // Audited solves are not retained: a warm replay would skip
+            // the per-request certificate verification that `audit`
+            // promises, so the audit surface always solves cold.
+            return Ok((solution, None));
+        }
+        let warm = warm.map(|ebf| WarmLubtSession {
+            ebf,
+            problem,
+            placement: self.placement,
+        });
+        Ok((solution, warm))
+    }
+
     fn solve_recorded(&self, rec: Arc<dyn Recorder>) -> Result<LubtSolution, LubtError> {
         let problem = self.build()?;
         let mut solver = EbfSolver::new()
@@ -535,6 +604,47 @@ impl LubtBuilder {
     }
 }
 
+/// A solved problem kept warm for repeat requests: the converged LP
+/// session plus everything needed to re-derive the full [`LubtSolution`]
+/// deterministically.
+///
+/// Produced by [`LubtBuilder::solve_retaining`]; consumed by the serve
+/// layer's session pool. [`WarmLubtSession::resolve`] replays the
+/// retained basis (zero pivots), re-runs the deterministic embedding, and
+/// returns a solution bit-identical to the original — the foundation of
+/// the cold/cached/warm byte-identity contract (DESIGN.md §15).
+#[derive(Debug)]
+pub struct WarmLubtSession {
+    ebf: crate::ebf::WarmEbfSession,
+    problem: LubtProblem,
+    placement: PlacementPolicy,
+}
+
+impl WarmLubtSession {
+    /// Re-derives the solution from the retained basis.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::WarmEbfSession::resolve_lengths`]; embedding errors
+    /// cannot occur on lengths the original solve already embedded.
+    pub fn resolve(&mut self) -> Result<LubtSolution, LubtError> {
+        let lengths = self.ebf.resolve_lengths()?;
+        let positions = embed_tree(
+            self.problem.topology(),
+            self.problem.sinks(),
+            self.problem.source(),
+            &lengths,
+            self.placement,
+        )?;
+        Ok(LubtSolution::new(
+            self.problem.clone(),
+            lengths,
+            positions,
+            self.ebf.report().clone(),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -546,6 +656,44 @@ mod tests {
             Point::new(0.0, 10.0),
             Point::new(10.0, 10.0),
         ]
+    }
+
+    #[test]
+    fn warm_session_replays_are_bit_identical() {
+        for backend in [SolverBackend::Simplex, SolverBackend::Revised] {
+            let builder = LubtBuilder::new(square_sinks())
+                .source(Point::new(5.0, 5.0))
+                .bounds(DelayBounds::uniform(4, 10.0, 14.0))
+                .backend(backend);
+            let (cold, warm) = builder.solve_retaining().expect("feasible");
+            let mut warm = warm.expect("lazy simplex solves retain their session");
+            // Replay twice: the session must stay resolvable and exact.
+            for _ in 0..2 {
+                let replay = warm.resolve().expect("warm replay");
+                assert_eq!(replay.edge_lengths(), cold.edge_lengths(), "{backend:?}");
+                assert_eq!(replay.positions(), cold.positions(), "{backend:?}");
+                assert_eq!(
+                    crate::solution_to_json(&replay),
+                    crate::solution_to_json(&cold),
+                    "{backend:?}: serialized bytes must match"
+                );
+            }
+            // The retained report describes the original solve.
+            assert_eq!(warm.ebf.report(), cold.report());
+        }
+        // Paths that cannot retain a session say so instead of lying.
+        let (_, warm) = LubtBuilder::new(square_sinks())
+            .bounds(DelayBounds::uniform(4, 10.0, 16.0))
+            .backend(SolverBackend::Dp)
+            .solve_retaining()
+            .expect("feasible");
+        assert!(warm.is_none(), "dp has no incremental session");
+        let (_, warm) = LubtBuilder::new(square_sinks())
+            .bounds(DelayBounds::uniform(4, 10.0, 16.0))
+            .audit(true)
+            .solve_retaining()
+            .expect("feasible");
+        assert!(warm.is_none(), "audited solves are never retained");
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Canonical instance serialization and hashing.
+//!
+//! The serve layer caches solve results keyed on the *instance itself*,
+//! not on whatever bytes happened to arrive on the wire — two requests
+//! that spell the same coordinates differently (`1.50` vs `1.5`, members
+//! reordered, whitespace) must hit the same cache entry. This module
+//! defines the one canonical spelling everything is normalized to before
+//! hashing:
+//!
+//! * fixed member order (`name`, then `source`, then `sinks`),
+//! * no whitespace,
+//! * every coordinate formatted with Rust's shortest-round-trip `f64`
+//!   formatter, which is bijective on finite values — two coordinate
+//!   spellings canonicalize equal iff they parse to the same `f64`.
+//!
+//! The digest is 64-bit FNV-1a over the canonical bytes: dependency-free,
+//! stable across platforms and releases (pinned by tests), and cheap
+//! enough to run per request.
+
+use crate::Instance;
+use lubt_geom::Point;
+
+/// Formats one coordinate canonically. Finite values use the shortest
+/// round-trip form; non-finite values (which no valid instance carries —
+/// loaders reject them) get distinct stable spellings so hashing stays
+/// total.
+fn fmt_coord(x: f64) -> String {
+    if x.is_finite() {
+        // Normalize the two zeros: -0.0 == 0.0 in every distance the
+        // solver computes, so they must share a cache line.
+        if x == 0.0 {
+            "0".to_string()
+        } else {
+            format!("{x}")
+        }
+    } else if x.is_nan() {
+        "nan".to_string()
+    } else if x > 0.0 {
+        "inf".to_string()
+    } else {
+        "-inf".to_string()
+    }
+}
+
+fn push_point(out: &mut String, p: &Point) {
+    out.push('[');
+    out.push_str(&fmt_coord(p.x));
+    out.push(',');
+    out.push_str(&fmt_coord(p.y));
+    out.push(']');
+}
+
+/// The canonical serialization of `inst`: a compact JSON document with a
+/// fixed member order and canonical number spellings.
+///
+/// Two instances canonicalize to the same string iff they have the same
+/// name, the same source (bitwise, after `-0.0 → 0.0` normalization) and
+/// the same sink sequence. Sink *order* is semantic — it defines sink
+/// indices in bounds and topologies — so it is preserved, not sorted.
+///
+/// # Example
+///
+/// ```
+/// use lubt_data::{canonical, Instance};
+/// use lubt_geom::Point;
+///
+/// let a = Instance::new("t", Some(Point::new(1.5, 0.0)), vec![Point::new(2.0, 3.0)]);
+/// let b = Instance::new("t", Some(Point::new(1.50, -0.0)), vec![Point::new(2.0, 3.0)]);
+/// assert_eq!(canonical::canonical_json(&a), canonical::canonical_json(&b));
+/// assert_eq!(
+///     canonical::canonical_json(&a),
+///     "{\"name\":\"t\",\"source\":[1.5,0],\"sinks\":[[2,3]]}"
+/// );
+/// ```
+pub fn canonical_json(inst: &Instance) -> String {
+    let mut out = String::with_capacity(32 + 16 * inst.sinks.len());
+    out.push_str("{\"name\":\"");
+    for c in inst.name.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push_str("\",\"source\":");
+    match &inst.source {
+        Some(p) => push_point(&mut out, p),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"sinks\":[");
+    for (i, p) in inst.sinks.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_point(&mut out, p);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// 64-bit FNV-1a over `bytes`.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    bytes
+        .iter()
+        .fold(OFFSET, |h, &b| (h ^ u64::from(b)).wrapping_mul(PRIME))
+}
+
+/// The canonical digest of `inst`: FNV-1a 64 over [`canonical_json`],
+/// rendered as 16 lowercase hex digits. This is the instance component
+/// of a serve cache key.
+pub fn canonical_digest(inst: &Instance) -> String {
+    format!("{:016x}", fnv1a_64(canonical_json(inst).as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(name: &str, source: Option<(f64, f64)>, sinks: &[(f64, f64)]) -> Instance {
+        Instance::new(
+            name,
+            source.map(|(x, y)| Point::new(x, y)),
+            sinks.iter().map(|&(x, y)| Point::new(x, y)).collect(),
+        )
+    }
+
+    #[test]
+    fn spelling_variants_canonicalize_equal() {
+        let a = inst("net", Some((0.0, 12.0)), &[(1.5, 2.25), (3.0, 4.0)]);
+        let b = inst("net", Some((-0.0, 12.0)), &[(1.5, 2.25), (3.0, 4.0)]);
+        assert_eq!(canonical_json(&a), canonical_json(&b));
+        assert_eq!(canonical_digest(&a), canonical_digest(&b));
+    }
+
+    #[test]
+    fn semantic_differences_change_the_digest() {
+        let base = inst("net", Some((0.0, 0.0)), &[(1.0, 2.0), (3.0, 4.0)]);
+        for other in [
+            inst("net2", Some((0.0, 0.0)), &[(1.0, 2.0), (3.0, 4.0)]),
+            inst("net", None, &[(1.0, 2.0), (3.0, 4.0)]),
+            inst("net", Some((0.0, 1.0)), &[(1.0, 2.0), (3.0, 4.0)]),
+            // Sink order is semantic (it names the sinks), so swapping
+            // must NOT collide.
+            inst("net", Some((0.0, 0.0)), &[(3.0, 4.0), (1.0, 2.0)]),
+            inst("net", Some((0.0, 0.0)), &[(1.0, 2.0)]),
+            inst("net", Some((0.0, 0.0)), &[(1.0, 2.0), (3.0, 4.000000001)]),
+        ] {
+            assert_ne!(canonical_digest(&base), canonical_digest(&other));
+        }
+    }
+
+    #[test]
+    fn canonical_form_is_strict_compact_json() {
+        let i = inst("a\"b\"\n", Some((1.0, -2.5)), &[(0.125, 6.25)]);
+        let doc = canonical_json(&i);
+        assert!(
+            !doc.contains(' '),
+            "canonical form has no whitespace: {doc}"
+        );
+        assert!(doc.contains("a\\\"b\\\"\\n"), "name is escaped: {doc}");
+        assert!(doc.contains("[0.125,6.25]"), "{doc}");
+        // Round-trip stability: formatting is shortest-round-trip, so
+        // re-parsing each coordinate reproduces the same f64.
+        for x in [0.1 + 0.2, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300] {
+            let spelled = fmt_coord(x);
+            assert_eq!(spelled.parse::<f64>().unwrap(), x, "{spelled}");
+        }
+    }
+
+    #[test]
+    fn digest_is_pinned_across_releases() {
+        // The digest is a persistent cache key: a silent change to the
+        // canonical form would invalidate (or worse, alias) deployed
+        // caches. Pin one value forever.
+        let i = inst("pin", Some((0.0, 0.0)), &[(1.0, 2.0), (3.5, 4.0)]);
+        assert_eq!(
+            canonical_json(&i),
+            "{\"name\":\"pin\",\"source\":[0,0],\"sinks\":[[1,2],[3.5,4]]}"
+        );
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325, "FNV offset basis");
+        assert_eq!(
+            canonical_digest(&i),
+            format!("{:016x}", { fnv1a_64(canonical_json(&i).as_bytes()) })
+        );
+        // Independently computed FNV-1a of the canonical bytes.
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -248,7 +248,7 @@ impl AggregateTrace {
                 &mut out,
                 &name,
                 "counter",
-                &format!("Sum of \"{}\" across solves", json_escape(key)),
+                &format!("Sum of \"{}\" across solves", key),
                 &v.to_string(),
             );
         }
@@ -258,7 +258,7 @@ impl AggregateTrace {
                 &mut out,
                 &name,
                 "gauge",
-                &format!("Per-solve maximum of \"{}\"", json_escape(key)),
+                &format!("Per-solve maximum of \"{}\"", key),
                 &v.to_string(),
             );
         }
@@ -271,7 +271,7 @@ impl AggregateTrace {
                 &mut out,
                 &name,
                 "counter",
-                &format!("Wall-clock total of phase \"{}\"", json_escape(key)),
+                &format!("Wall-clock total of phase \"{}\"", key),
                 &crate::prometheus::sample_f64(ns as f64 / 1e9),
             );
         }

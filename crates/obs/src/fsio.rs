@@ -1,0 +1,143 @@
+//! Atomic artifact writing.
+//!
+//! Every file the workspace emits for later machine consumption — trace
+//! JSON, batch metrics, Prometheus dumps, `BENCH_*.json` documents — used
+//! to be written with a bare `std::fs::write`. A crash (or a full disk)
+//! mid-write leaves a torn, unparseable file in place, which then fails
+//! the `lubt report` gate with a confusing JSON error far from the real
+//! cause. [`write_atomic`] closes that window: the bytes go to a
+//! temporary file in the *same directory* (same filesystem, so the rename
+//! is atomic) and the destination name only ever points at a complete
+//! document.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Sibling temp path for `path`: `<file_name>.tmp.<pid>` in the same
+/// directory, so the final `rename` never crosses a filesystem boundary.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".tmp.{}", std::process::id()));
+    path.with_file_name(name)
+}
+
+/// Writes `contents` to `path` atomically: temp file in the same
+/// directory, flush, then rename over the destination.
+///
+/// Readers of `path` observe either the previous complete file or the new
+/// complete file — never a prefix. On any error the temp file is removed
+/// and the destination is left untouched.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error (create, write, sync, or rename).
+pub fn write_atomic(path: impl AsRef<Path>, contents: &str) -> io::Result<()> {
+    let path = path.as_ref();
+    let tmp = tmp_sibling(path);
+    let result = (|| {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(contents.as_bytes())?;
+        // Flush to disk before the rename publishes the name, so a crash
+        // after the rename cannot surface an empty-but-renamed file.
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lubt_fsio_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_land_complete_and_leave_no_temp_behind() {
+        let dir = tmp_dir("basic");
+        let target = dir.join("out.json");
+        write_atomic(&target, "{\"a\": 1}").unwrap();
+        assert_eq!(fs::read_to_string(&target).unwrap(), "{\"a\": 1}");
+        write_atomic(&target, "{\"a\": 2}").unwrap();
+        assert_eq!(fs::read_to_string(&target).unwrap(), "{\"a\": 2}");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_write_leaves_the_previous_file_untouched() {
+        let dir = tmp_dir("fail");
+        let target = dir.join("out.json");
+        write_atomic(&target, "original").unwrap();
+        // Simulate the crash-mid-write that motivated this module: the
+        // writer dies after producing a partial temp file. Model it by
+        // pointing the write at a destination whose parent is missing —
+        // the temp create fails, and the original must survive.
+        let bad = dir.join("no_such_dir").join("out.json");
+        assert!(write_atomic(&bad, "partial").is_err());
+        assert_eq!(fs::read_to_string(&target).unwrap(), "original");
+        // A stale temp file from a crashed previous process is ignored
+        // and harmless: the next atomic write replaces it and the
+        // destination still only ever holds complete content.
+        fs::write(tmp_sibling(&target), "torn partial conte").unwrap();
+        write_atomic(&target, "replacement").unwrap();
+        assert_eq!(fs::read_to_string(&target).unwrap(), "replacement");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn readers_never_observe_a_partial_document() {
+        // A writer thread alternates two full documents through
+        // write_atomic while a reader polls the path: every successful
+        // read must be one of the two complete documents, never a torn
+        // prefix or mixture. With plain fs::write this fails readily.
+        let dir = tmp_dir("race");
+        let target = dir.join("live.json");
+        let doc_a = format!("{{\"doc\": \"a\", \"pad\": \"{}\"}}", "x".repeat(64 * 1024));
+        let doc_b = format!("{{\"doc\": \"b\", \"pad\": \"{}\"}}", "y".repeat(64 * 1024));
+        write_atomic(&target, &doc_a).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            let writer_stop = Arc::clone(&stop);
+            let (target_w, a, b) = (target.clone(), doc_a.clone(), doc_b.clone());
+            scope.spawn(move || {
+                for i in 0..200 {
+                    let doc = if i % 2 == 0 { &b } else { &a };
+                    write_atomic(&target_w, doc).unwrap();
+                }
+                writer_stop.store(true, Ordering::Release);
+            });
+            let mut reads = 0u32;
+            while !stop.load(Ordering::Acquire) {
+                let seen = fs::read_to_string(&target).unwrap();
+                assert!(
+                    seen == doc_a || seen == doc_b,
+                    "observed a torn document of {} bytes",
+                    seen.len()
+                );
+                reads += 1;
+            }
+            assert!(reads > 0);
+        });
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -10,7 +10,7 @@
 //! associative, which is what makes aggregate traces independent of the
 //! order instances finish in.
 
-use crate::json::json_escape;
+use crate::prometheus::help_escape;
 
 /// Number of buckets: bit lengths `0..=64`.
 const BUCKETS: usize = 65;
@@ -72,10 +72,13 @@ impl Histogram {
         }
     }
 
-    /// Records one sample.
+    /// Records one sample. Counts saturate at `u64::MAX` instead of
+    /// wrapping (matching `sum`), so a hostile or pathological feed can
+    /// never make `count` disagree with the buckets via overflow.
     pub fn record(&mut self, value: u64) {
-        self.buckets[Self::bucket_of(value)] += 1;
-        self.count += 1;
+        let b = Self::bucket_of(value);
+        self.buckets[b] = self.buckets[b].saturating_add(1);
+        self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
@@ -116,26 +119,46 @@ impl Histogram {
             .collect()
     }
 
-    /// Cumulative count of samples in buckets `0..=b`.
+    /// Cumulative count of samples in buckets `0..=b` (saturating, so a
+    /// histogram whose buckets pinned at `u64::MAX` still sums safely).
     pub fn cumulative_le(&self, b: usize) -> u64 {
-        self.buckets[..=b.min(BUCKETS - 1)].iter().sum()
+        self.buckets[..=b.min(BUCKETS - 1)]
+            .iter()
+            .fold(0u64, |acc, &c| acc.saturating_add(c))
     }
 
-    /// The `q`-quantile (`q` clamped to `[0, 1]`) as the upper bound of
-    /// the bucket holding the rank-`⌈q·count⌉` sample, clamped into
-    /// `[min, max]` so `percentile(0.0) == min()` and
-    /// `percentile(1.0) == max()`. `None` when empty.
+    /// The `q`-quantile as the upper bound of the bucket holding the
+    /// rank-`⌈q·count⌉` sample, clamped into `[min, max]` so
+    /// `percentile(0.0) == min()` and `percentile(1.0) == max()`.
+    ///
+    /// Out-of-range `q` is handled explicitly: finite and infinite `q`
+    /// are clamped to `[0, 1]`, while `NaN` (which orders with nothing,
+    /// so it would otherwise fall through every comparison and silently
+    /// act like a small quantile) is rejected with `None`. Also `None`
+    /// when empty.
     ///
     /// Deterministic (pure bucket arithmetic) and monotone in `q`.
     pub fn percentile(&self, q: f64) -> Option<u64> {
-        if self.count == 0 {
+        if self.count == 0 || q.is_nan() {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
+        // The boundary quantiles are exact, not bucket-resolution: the
+        // extremes are tracked precisely, and bucket-upper rounding would
+        // otherwise report `percentile(0.0) > min` whenever the smallest
+        // sample sits strictly inside its bucket.
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
+        // `as u64` saturates, and rank is re-clamped into [1, count], so
+        // counts near u64::MAX cannot push the rank past the last sample.
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (b, &c) in self.buckets.iter().enumerate() {
-            seen += c;
+            seen = seen.saturating_add(c);
             if seen >= rank {
                 return Some(Self::bucket_upper(b).clamp(self.min, self.max));
             }
@@ -147,12 +170,14 @@ impl Histogram {
     ///
     /// Component-wise sums and min/max, so for any histograms `a ⊕ b = b
     /// ⊕ a` and `(a ⊕ b) ⊕ c = a ⊕ (b ⊕ c)`: aggregation cannot observe
-    /// the order solves completed in.
+    /// the order solves completed in. All counts saturate at `u64::MAX`
+    /// (saturation is itself commutative and associative, so the merge
+    /// laws survive even at the ceiling).
     pub fn merge(&mut self, other: &Histogram) {
         for (slot, &c) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *slot += c;
+            *slot = slot.saturating_add(c);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -195,7 +220,7 @@ impl Histogram {
     pub(crate) fn push_prometheus(&self, out: &mut String, name: &str, help_key: &str) {
         out.push_str(&format!(
             "# HELP {name} Per-solve distribution of \"{}\"\n# TYPE {name} histogram\n",
-            json_escape(help_key)
+            help_escape(help_key)
         ));
         for (b, _) in self.nonzero_buckets() {
             out.push_str(&format!(
@@ -286,6 +311,50 @@ mod tests {
         assert!(doc.contains("\"count\": 4"));
         assert!(doc.contains("\"sum\": 106"));
         assert!(doc.contains("[7, 1]"), "100 has bit length 7: {doc}");
+    }
+
+    #[test]
+    fn percentile_handles_nonfinite_and_out_of_range_q() {
+        let mut h = Histogram::new();
+        for v in [3, 9, 17, 1000, 0] {
+            h.record(v);
+        }
+        // Regression: NaN used to fall through the comparisons and come
+        // back as roughly the minimum; it is now rejected explicitly.
+        assert_eq!(h.percentile(f64::NAN), None);
+        // Infinities and out-of-range finite values clamp to the extremes.
+        assert_eq!(h.percentile(f64::NEG_INFINITY), h.percentile(0.0));
+        assert_eq!(h.percentile(f64::INFINITY), h.percentile(1.0));
+        assert_eq!(h.percentile(-7.5), h.percentile(0.0));
+        assert_eq!(h.percentile(42.0), h.percentile(1.0));
+    }
+
+    #[test]
+    fn counts_saturate_instead_of_wrapping() {
+        // Merge two histograms whose counts are already at the ceiling:
+        // the old `+=` would wrap (panicking in debug builds); saturating
+        // arithmetic pins everything at u64::MAX and keeps the merge laws.
+        let mut a = Histogram::new();
+        a.record(5);
+        a.count = u64::MAX;
+        a.buckets[Histogram::bucket_of(5)] = u64::MAX;
+        a.sum = u64::MAX;
+        let b = a.clone();
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.count(), u64::MAX);
+        assert_eq!(ab.sum(), u64::MAX);
+        assert_eq!(ab.cumulative_le(64), u64::MAX);
+        // Percentiles stay total and in range at the ceiling.
+        assert_eq!(ab.percentile(0.5), Some(5));
+        assert_eq!(ab.percentile(1.0), Some(5));
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "saturating merge stays commutative");
+        // record() at the ceiling also saturates.
+        let mut c = ab.clone();
+        c.record(5);
+        assert_eq!(c.count(), u64::MAX);
     }
 
     #[test]

@@ -71,6 +71,12 @@ impl std::error::Error for JsonError {}
 /// the recursive-descent parser safe on adversarial input.
 const MAX_DEPTH: usize = 256;
 
+/// Input byte cap applied by [`parse`] / [`validate`]. Generous enough for
+/// every document the workspace emits (bench documents are a few hundred
+/// KiB); callers facing wire input should pick their own, much smaller cap
+/// via [`parse_limited`].
+pub const DEFAULT_MAX_INPUT_BYTES: usize = 64 << 20;
+
 /// A parsed JSON value, as produced by [`parse`].
 ///
 /// Objects keep their key order in a plain pair vector — the documents
@@ -159,6 +165,29 @@ impl Value {
 ///
 /// Returns the first offending byte offset and reason.
 pub fn parse(text: &str) -> Result<Value, JsonError> {
+    parse_limited(text, DEFAULT_MAX_INPUT_BYTES)
+}
+
+/// [`parse`] with an explicit input byte cap.
+///
+/// The length check runs before a single byte is scanned, so an oversized
+/// document costs O(1) to reject — this is the entry point the serve
+/// framer uses on untrusted wire input.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] at offset `max_bytes` when the input is longer
+/// than the cap, otherwise the first offending byte offset and reason.
+pub fn parse_limited(text: &str, max_bytes: usize) -> Result<Value, JsonError> {
+    if text.len() > max_bytes {
+        return Err(JsonError {
+            offset: max_bytes,
+            message: format!(
+                "input of {} bytes exceeds the {max_bytes}-byte cap",
+                text.len()
+            ),
+        });
+    }
     let bytes = text.as_bytes();
     let mut p = Parser { bytes, pos: 0 };
     p.skip_ws();
@@ -175,7 +204,8 @@ pub fn parse(text: &str) -> Result<Value, JsonError> {
 /// Rejects everything the lenient parsers people usually reach for let
 /// through: bare `NaN`/`Infinity` tokens, trailing commas, single quotes,
 /// comments, unescaped control characters, leading zeros, trailing
-/// garbage after the top-level value.
+/// garbage after the top-level value, and duplicate object keys (which
+/// RFC 8259 leaves undefined and which make a fine smuggling vector).
 pub fn validate(text: &str) -> Result<(), JsonError> {
     parse(text).map(|_| ())
 }
@@ -242,7 +272,17 @@ impl Parser<'_> {
             if self.peek() != Some(b'"') {
                 return Err(self.err("object keys must be strings"));
             }
+            let key_offset = self.pos;
             let key = self.string()?;
+            // Last-wins duplicate keys are a smuggling vector on wire
+            // input (one validator sees the first value, the consumer the
+            // second), so reject them outright.
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(JsonError {
+                    offset: key_offset,
+                    message: format!("duplicate object key \"{}\"", json_escape(&key)),
+                });
+            }
             self.skip_ws();
             if self.peek() != Some(b':') {
                 return Err(self.err("expected `:` after object key"));
@@ -564,5 +604,35 @@ mod tests {
         let nasty = "quote\" back\\ newline\n tab\t ctrl\u{1} unicode✓";
         let doc = format!("\"{}\"", json_escape(nasty));
         assert_eq!(parse(&doc).unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn rejects_duplicate_object_keys() {
+        // Regression: `parse` used to keep both pairs (get() returned the
+        // first, a last-wins consumer would see the second).
+        let err = parse("{\"a\": 1, \"a\": 2}").unwrap_err();
+        assert_eq!(err.offset, 9, "error points at the duplicate key");
+        assert!(err.message.contains("duplicate object key \"a\""), "{err}");
+        // Escaped spellings of the same key are still duplicates.
+        assert!(parse("{\"a\": 1, \"\\u0061\": 2}").is_err());
+        // Nested objects are checked too, each scope independently.
+        assert!(parse("{\"o\": {\"x\": 1, \"x\": 2}}").is_err());
+        validate("{\"o\": {\"x\": 1}, \"p\": {\"x\": 2}}").unwrap();
+    }
+
+    #[test]
+    fn input_byte_cap_rejects_before_scanning() {
+        let doc = "{\"key\": [1, 2, 3]}";
+        parse_limited(doc, doc.len()).unwrap();
+        let err = parse_limited(doc, doc.len() - 1).unwrap_err();
+        assert_eq!(err.offset, doc.len() - 1);
+        assert!(err.message.contains("exceeds"), "{err}");
+        // The default cap is generous: ordinary documents pass through.
+        parse(doc).unwrap();
+        // An oversized document is rejected by length alone — even when
+        // its contents would not parse.
+        let junk = "x".repeat(DEFAULT_MAX_INPUT_BYTES + 1);
+        let err = parse(&junk).unwrap_err();
+        assert_eq!(err.offset, DEFAULT_MAX_INPUT_BYTES);
     }
 }

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 mod aggregate;
+pub mod fsio;
 mod histogram;
 pub mod json;
 pub mod prometheus;

@@ -152,7 +152,7 @@ impl SolveTrace {
                 &mut out,
                 &format!("{}_total", metric_name(key)),
                 "counter",
-                &format!("Counter \"{}\"", json_escape(key)),
+                &format!("Counter \"{}\"", key),
                 &v.to_string(),
             );
         }
@@ -161,7 +161,7 @@ impl SolveTrace {
                 &mut out,
                 &format!("{}_max", metric_name(key)),
                 "gauge",
-                &format!("Running maximum \"{}\"", json_escape(key)),
+                &format!("Running maximum \"{}\"", key),
                 &v.to_string(),
             );
         }
@@ -170,7 +170,7 @@ impl SolveTrace {
                 &mut out,
                 &metric_name(key),
                 "gauge",
-                &format!("Gauge \"{}\"", json_escape(key)),
+                &format!("Gauge \"{}\"", key),
                 &sample_f64(v),
             );
         }
@@ -179,7 +179,7 @@ impl SolveTrace {
                 &mut out,
                 &format!("{}_seconds_total", metric_name(key)),
                 "counter",
-                &format!("Wall-clock total of phase \"{}\"", json_escape(key)),
+                &format!("Wall-clock total of phase \"{}\"", key),
                 &sample_f64(ns as f64 / 1e9),
             );
         }

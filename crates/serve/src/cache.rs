@@ -1,0 +1,133 @@
+//! A small deterministic LRU used for both cache levels.
+//!
+//! Level 1 (result cache) stores exact response payload bytes; level 2
+//! (session pool) stores [`lubt_core::WarmLubtSession`]s that are
+//! *checked out* ([`LruCache::take`]) for the duration of a replay so no
+//! lock is held across a solve. Recency is an explicit monotone tick,
+//! and eviction removes the minimum tick — the behavior is a pure
+//! function of the operation sequence, independent of hash iteration
+//! order, so cache hit/miss patterns are reproducible run to run.
+
+use std::collections::HashMap;
+
+/// A least-recently-used map with a fixed capacity.
+///
+/// Capacity `0` disables the cache entirely: every lookup misses and
+/// every insert is dropped, which is how `--cache-entries 0` forces the
+/// warm-session path in the byte-identity CI check.
+#[derive(Debug)]
+pub struct LruCache<V> {
+    cap: usize,
+    tick: u64,
+    map: HashMap<String, (u64, V)>,
+}
+
+impl<V> LruCache<V> {
+    /// An empty cache holding at most `cap` entries.
+    pub fn new(cap: usize) -> Self {
+        LruCache {
+            cap,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up `key`, refreshing its recency on hit.
+    pub fn get(&mut self, key: &str) -> Option<&V> {
+        let tick = self.bump();
+        match self.map.get_mut(key) {
+            Some(slot) => {
+                slot.0 = tick;
+                Some(&slot.1)
+            }
+            None => None,
+        }
+    }
+
+    /// Removes and returns `key` (session checkout).
+    pub fn take(&mut self, key: &str) -> Option<V> {
+        self.map.remove(key).map(|(_, v)| v)
+    }
+
+    /// Inserts `key`, evicting the least recently used entry at
+    /// capacity. Re-inserting an existing key replaces the value and
+    /// refreshes recency.
+    pub fn insert(&mut self, key: &str, value: V) {
+        if self.cap == 0 {
+            return;
+        }
+        let tick = self.bump();
+        if !self.map.contains_key(key) && self.map.len() >= self.cap {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key.to_string(), (tick, value));
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get("a"), Some(&1)); // refresh a; b is now oldest
+        c.insert("c", 3);
+        assert_eq!(c.get("b"), None, "b was evicted");
+        assert_eq!(c.get("a"), Some(&1));
+        assert_eq!(c.get("c"), Some(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_evicting() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("a", 10);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("a"), Some(&10));
+        assert_eq!(c.get("b"), Some(&2));
+    }
+
+    #[test]
+    fn take_checks_out_the_entry() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        assert_eq!(c.take("a"), Some(1));
+        assert_eq!(c.take("a"), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn capacity_zero_disables_the_cache() {
+        let mut c = LruCache::new(0);
+        c.insert("a", 1);
+        assert_eq!(c.get("a"), None);
+        assert!(c.is_empty());
+    }
+}

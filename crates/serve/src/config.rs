@@ -1,0 +1,87 @@
+//! Daemon configuration.
+
+/// Default cap on a single request frame, in bytes. Generous enough for
+/// a multi-thousand-sink batch, small enough that a hostile client
+/// cannot balloon resident memory with one line.
+pub const DEFAULT_MAX_REQUEST_BYTES: usize = 4 << 20;
+
+/// Configuration for [`crate::Server::start`].
+///
+/// The defaults bind an ephemeral localhost port with one worker per
+/// core — what the in-process tests and benches want. The CLI overrides
+/// `addr` with a routable default.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, `host:port` (port `0` = ephemeral).
+    pub addr: String,
+    /// Solver worker threads (`0` = one per available core).
+    pub workers: usize,
+    /// Admission queue capacity; requests beyond it are rejected with
+    /// `queue-full` instead of buffering unboundedly.
+    pub queue_depth: usize,
+    /// Result cache capacity in entries (`0` disables the cache).
+    pub cache_entries: usize,
+    /// Warm LP session pool capacity in entries (`0` disables the pool).
+    pub session_entries: usize,
+    /// Maximum request frame length in bytes; longer frames are rejected
+    /// with `oversized` and the connection is closed (the rest of the
+    /// stream can no longer be framed).
+    pub max_request_bytes: usize,
+    /// Deadline applied to requests that do not carry their own
+    /// `deadline_ms`, in milliseconds from admission (`None` = no
+    /// default deadline).
+    pub default_deadline_ms: Option<u64>,
+    /// Honor the wire `shutdown` op. Off by default: a remote peer
+    /// should not be able to stop the daemon unless explicitly allowed.
+    pub allow_shutdown: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_depth: 64,
+            cache_entries: 128,
+            session_entries: 16,
+            max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
+            default_deadline_ms: None,
+            allow_shutdown: false,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The effective worker count (`0` resolved to the core count).
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_safe() {
+        let c = ServeConfig::default();
+        assert!(!c.allow_shutdown, "remote shutdown must be opt-in");
+        assert!(c.queue_depth > 0);
+        assert!(c.max_request_bytes >= 1 << 20);
+        assert!(c.effective_workers() >= 1);
+        assert_eq!(
+            ServeConfig {
+                workers: 3,
+                ..ServeConfig::default()
+            }
+            .effective_workers(),
+            3
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! A long-lived LUBT solver daemon (`lubt serve`).
+//!
+//! Routing workloads are repeated-nearby-instance streams: thousands of
+//! nets, many identical across requests. This crate turns the batch
+//! library into a service shaped for that traffic — a dependency-free,
+//! thread-per-core TCP daemon speaking a line-delimited JSON protocol
+//! (`lubt-serve-v1`) over the existing solve/batch/lint/audit surface:
+//!
+//! * a **bounded admission queue** with per-request priorities and
+//!   deadlines ([`queue`]),
+//! * an **LRU result cache** keyed on the canonical instance digest
+//!   (`lubt_data::canonical`) plus the resolved absolute delay window
+//!   ([`cache`]),
+//! * a **warm session pool** of retained LP bases
+//!   ([`lubt_core::WarmLubtSession`]) replayed with zero pivots,
+//! * **graceful shutdown** that drains every admitted request,
+//! * a live **`/metrics`** endpoint serving
+//!   [`lubt_obs::AggregateTrace::to_prometheus`] over plain HTTP.
+//!
+//! # The serving-mode determinism contract
+//!
+//! Every response is byte-identical whether it was computed cold, served
+//! from the result cache, or replayed from a warm session (DESIGN.md
+//! §15). This extends the §9 thread-count contract to the service layer
+//! and is what makes the cache and session pool safe to enable: a client
+//! cannot observe *how* its answer was produced.
+//!
+//! # Example
+//!
+//! ```
+//! use lubt_serve::{ServeConfig, Server};
+//! use std::io::{BufRead, BufReader, Write};
+//!
+//! let server = Server::start(ServeConfig::default()).unwrap();
+//! let mut conn = std::net::TcpStream::connect(server.addr()).unwrap();
+//! writeln!(conn, r#"{{"op":"ping","id":"hello"}}"#).unwrap();
+//! let mut line = String::new();
+//! BufReader::new(conn.try_clone().unwrap()).read_line(&mut line).unwrap();
+//! assert!(line.contains("\"status\":\"ok\""));
+//! drop(conn);
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod protocol;
+pub mod queue;
+mod server;
+
+pub use config::ServeConfig;
+pub use protocol::PROTOCOL;
+pub use server::Server;

@@ -1,0 +1,219 @@
+//! The bounded admission queue.
+//!
+//! Connections push, workers pop. The queue is the daemon's only elastic
+//! buffer, so it is *bounded*: once `depth` requests are waiting, new
+//! admissions fail fast with [`PushError::Full`] (the wire `queue-full`
+//! error) instead of letting a flood grow resident memory and tail
+//! latency without limit.
+//!
+//! Ordering is strict priority, FIFO within a priority level — the heap
+//! key is `(priority, admission sequence)`, so two requests at the same
+//! priority pop in arrival order regardless of heap internals. Each
+//! entry also carries an optional deadline stamped at admission; expiry
+//! is *checked* at both ends (admission and dequeue) but *enforced* by
+//! the worker, which still owes the client a `deadline-expired` response.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue already holds `depth` waiting requests.
+    Full,
+    /// The queue was closed by shutdown; no new work is admitted.
+    Closed,
+}
+
+/// A queued request with its scheduling metadata.
+#[derive(Debug)]
+pub struct Admitted<T> {
+    /// Priority it was admitted with (higher pops sooner).
+    pub priority: u8,
+    /// Deadline stamped at admission, if any.
+    pub deadline: Option<Instant>,
+    /// The request itself.
+    pub item: T,
+    seq: u64,
+}
+
+impl<T> PartialEq for Admitted<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl<T> Eq for Admitted<T> {}
+impl<T> PartialOrd for Admitted<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Admitted<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: higher priority first, then *lower* sequence (FIFO).
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct State<T> {
+    heap: BinaryHeap<Admitted<T>>,
+    next_seq: u64,
+    open: bool,
+}
+
+/// A bounded, priority-ordered, closeable MPMC queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    depth: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `depth` waiting entries.
+    pub fn new(depth: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                open: true,
+            }),
+            available: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    /// Admits `item`, failing fast when full or closed.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`].
+    pub fn push(&self, priority: u8, deadline: Option<Instant>, item: T) -> Result<(), PushError> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        if !s.open {
+            return Err(PushError::Closed);
+        }
+        if s.heap.len() >= self.depth {
+            return Err(PushError::Full);
+        }
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.heap.push(Admitted {
+            priority,
+            deadline,
+            item,
+            seq,
+        });
+        drop(s);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next entry. Returns `None` only when the queue is
+    /// closed **and** drained — every admitted entry is handed to some
+    /// worker before the `None`s start, which is what makes shutdown
+    /// graceful.
+    pub fn pop(&self) -> Option<Admitted<T>> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(entry) = s.heap.pop() {
+                return Some(entry);
+            }
+            if !s.open {
+                return None;
+            }
+            s = self.available.wait(s).expect("queue poisoned");
+        }
+    }
+
+    /// Stops admissions and wakes every waiting worker. Entries already
+    /// admitted remain poppable.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").open = false;
+        self.available.notify_all();
+    }
+
+    /// Waiting entries right now (racy by nature; for metrics).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").heap.len()
+    }
+
+    /// True when no entries are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn priority_then_fifo_order() {
+        let q = BoundedQueue::new(16);
+        q.push(1, None, "low-a").unwrap();
+        q.push(5, None, "mid-a").unwrap();
+        q.push(5, None, "mid-b").unwrap();
+        q.push(9, None, "high").unwrap();
+        q.push(1, None, "low-b").unwrap();
+        let order: Vec<_> = (0..5).map(|_| q.pop().unwrap().item).collect();
+        assert_eq!(order, ["high", "mid-a", "mid-b", "low-a", "low-b"]);
+    }
+
+    #[test]
+    fn full_and_closed_are_distinct_fast_failures() {
+        let q = BoundedQueue::new(2);
+        q.push(5, None, 1).unwrap();
+        q.push(5, None, 2).unwrap();
+        assert_eq!(q.push(5, None, 3), Err(PushError::Full));
+        // A pop frees a slot immediately.
+        assert_eq!(q.pop().unwrap().item, 1);
+        q.push(5, None, 3).unwrap();
+        q.close();
+        assert_eq!(q.push(5, None, 4), Err(PushError::Closed));
+    }
+
+    #[test]
+    fn close_drains_admitted_entries_before_none() {
+        let q = BoundedQueue::new(8);
+        for k in 0..5 {
+            q.push(5, None, k).unwrap();
+        }
+        q.close();
+        let mut drained: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.item)).collect();
+        drained.sort_unstable();
+        assert_eq!(drained, [0, 1, 2, 3, 4]);
+        assert!(q.pop().is_none(), "closed and drained stays None");
+    }
+
+    #[test]
+    fn blocked_workers_wake_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(5, None, 7).unwrap();
+        q.close();
+        let got: Vec<_> = waiters.into_iter().map(|w| w.join().unwrap()).collect();
+        assert_eq!(got.iter().filter(|g| g.is_some()).count(), 1);
+        assert_eq!(got.iter().filter(|g| g.is_none()).count(), 2);
+    }
+
+    #[test]
+    fn deadlines_ride_along() {
+        let q = BoundedQueue::new(4);
+        let d = Instant::now();
+        q.push(5, Some(d), ()).unwrap();
+        assert_eq!(q.pop().unwrap().deadline, Some(d));
+    }
+}

@@ -18,6 +18,8 @@
 //! * [`dp`] — LP-free exact oracle: interval DP plus a rational dual simplex.
 //! * [`baselines`] — zero-skew DME, bounded-skew DME, shortest-path tree.
 //! * [`data`] — benchmark instances (synthetic prim1/prim2/r1/r3 analogues).
+//! * [`serve`] — the long-lived solver daemon (`lubt serve`): line-JSON
+//!   protocol, result cache, warm session pool, live Prometheus metrics.
 //!
 //! # Quickstart
 //!
@@ -53,4 +55,5 @@ pub use lubt_lint as lint;
 pub use lubt_lp as lp;
 pub use lubt_obs as obs;
 pub use lubt_par as par;
+pub use lubt_serve as serve;
 pub use lubt_topology as topology;

@@ -143,6 +143,9 @@ fn bench_document_report_and_prometheus_expositions_are_strict() {
         // Exercise the audit_overhead group too: its wall-clock keys land
         // in the exempt half and must keep the document strict.
         audit: true,
+        // And the serve group: live daemon latency/throughput numbers are
+        // exempt wall clock and must also keep the document strict.
+        serve: true,
     })
     .expect("pinned suite solves");
     let doc = run.to_json();

@@ -284,6 +284,75 @@ proptest! {
         }
     }
 
+    /// `percentile` is total over the whole `f64` line: NaN is rejected
+    /// explicitly (it used to fall through the comparisons and masquerade
+    /// as a small quantile), everything else clamps into `[0, 1]` and
+    /// still lands inside the observed `[min, max]`.
+    #[test]
+    fn histogram_percentile_is_total_over_hostile_q(
+        vals in proptest::collection::vec(0u64..1_000_000_000, 1..80),
+        q in (0u8..6, -1e6..1e6f64).prop_map(|(kind, x)| match kind {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => -x.abs(),
+            4 => 1.0 + x.abs(),
+            _ => x,
+        }),
+    ) {
+        let h = hist(&vals);
+        prop_assert_eq!(h.percentile(f64::NAN), None);
+        let lo = *vals.iter().min().unwrap();
+        let hi = *vals.iter().max().unwrap();
+        match h.percentile(q) {
+            None => prop_assert!(q.is_nan(), "only NaN may be rejected, got None for {q}"),
+            Some(p) => {
+                prop_assert!((lo..=hi).contains(&p), "percentile {p} outside [{lo}, {hi}]");
+                if q <= 0.0 {
+                    prop_assert_eq!(p, lo, "q={} below range must clamp to min", q);
+                }
+                if q >= 1.0 {
+                    prop_assert_eq!(p, hi, "q={} above range must clamp to max", q);
+                }
+            }
+        }
+    }
+
+    /// Counts near `u64::MAX` saturate instead of wrapping, and the merge
+    /// laws (commutativity, order independence) survive at the ceiling.
+    #[test]
+    fn histogram_merge_saturates_near_u64_max(
+        vals in proptest::collection::vec(0u64..1_000, 1..20),
+        copies in 1usize..4,
+    ) {
+        // Drive one histogram's counts to the ceiling by merging it into
+        // itself through exponential doubling.
+        let mut big = hist(&vals);
+        for _ in 0..64 {
+            let snapshot = big.clone();
+            big.merge(&snapshot);
+        }
+        prop_assert_eq!(big.count(), u64::MAX, "64 doublings must pin the count");
+        let small = hist(&vals);
+        let mut bs = big.clone();
+        bs.merge(&small);
+        let mut sb = small.clone();
+        sb.merge(&big);
+        prop_assert_eq!(&bs, &sb, "saturating merge stays commutative");
+        prop_assert_eq!(bs.count(), u64::MAX);
+        for _ in 0..copies {
+            let snapshot = bs.clone();
+            bs.merge(&snapshot);
+        }
+        // Percentiles stay total and bounded at the ceiling.
+        let lo = *vals.iter().min().unwrap();
+        let hi = *vals.iter().max().unwrap();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let p = bs.percentile(q).expect("non-empty");
+            prop_assert!((lo..=hi).contains(&p));
+        }
+    }
+
     /// Sharding the recordings over real worker threads and merging the
     /// shard histograms reproduces the serial histogram exactly, whatever
     /// the shard count — bucket contents cannot depend on scheduling.
