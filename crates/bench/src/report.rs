@@ -476,6 +476,7 @@ mod tests {
             full: false,
             audit: false,
             serve: false,
+            profile: false,
         })
         .unwrap()
         .to_json()

@@ -17,7 +17,7 @@
 
 use std::collections::BTreeMap;
 
-use lubt_core::{BatchSolver, DelayBounds, EbfSolver, LubtProblem, SolverBackend};
+use lubt_core::{BatchSolver, DelayBounds, EbfSolver, LubtProblem, LubtSolution, SolverBackend};
 use lubt_data::{synthetic, Instance};
 use lubt_obs::json::{json_escape, json_f64};
 use lubt_obs::{AggregateTrace, PhaseTimer, TraceRecorder};
@@ -75,6 +75,14 @@ pub struct SuiteConfig {
     /// its numbers (all wall clock) land under `determinism_exempt.serve`
     /// plus a `time.suite.serve.threads<n>` wall key.
     pub serve: bool,
+    /// When `true`, runs the `profile_overhead` group: every entry
+    /// re-solved serially twice, once through the span-profiling recorder
+    /// and once untraced, so the wall cost of hierarchical profiling is
+    /// measurable. Both legs' rows must be byte-identical to the
+    /// unprofiled serial leg (profiling must never perturb results,
+    /// DESIGN.md §16); the wall clocks land under
+    /// `time.suite.profile_overhead.{traced,untraced}.threads1`.
+    pub profile: bool,
 }
 
 impl Default for SuiteConfig {
@@ -87,6 +95,7 @@ impl Default for SuiteConfig {
             full: false,
             audit: false,
             serve: false,
+            profile: false,
         }
     }
 }
@@ -314,18 +323,7 @@ fn solve_entries(
                     ));
                 }
             }
-            let report = solution.report();
-            rows[i] = Some(InstanceRow {
-                name: entry.name.clone(),
-                backend: entry.backend_label,
-                sinks: entry.sinks,
-                cost: solution.cost(),
-                lp_iterations: report.lp_iterations,
-                separation_rounds: report.separation_rounds,
-                steiner_rows: report.steiner_rows,
-                total_pairs: report.total_pairs,
-                truncated: report.truncated,
-            });
+            rows[i] = Some(row_for(entry, &solution));
         }
     }
     let rows = rows
@@ -333,6 +331,92 @@ fn solve_entries(
         .collect::<Option<Vec<_>>>()
         .expect("every entry belongs to exactly one batch group");
     Ok((rows, aggregate, extended))
+}
+
+/// The benchmark row of one solved entry (all deterministic facts).
+fn row_for(entry: &Entry, solution: &LubtSolution) -> InstanceRow {
+    let report = solution.report();
+    InstanceRow {
+        name: entry.name.clone(),
+        backend: entry.backend_label,
+        sinks: entry.sinks,
+        cost: solution.cost(),
+        lp_iterations: report.lp_iterations,
+        separation_rounds: report.separation_rounds,
+        steiner_rows: report.steiner_rows,
+        total_pairs: report.total_pairs,
+        truncated: report.truncated,
+    }
+}
+
+/// The `profile_overhead` group: every entry re-solved serially twice —
+/// once through the span-profiling recorder
+/// ([`BatchSolver::solve_all_traced`], which grows a span tree) and once
+/// untraced — so the wall cost of hierarchical profiling is measurable.
+/// Both legs' rows must be byte-identical to `serial_rows` (profiling
+/// must never perturb results); only the two quarantined wall keys
+/// survive into the document.
+fn profile_overhead(
+    entries: &[Entry],
+    serial_rows: &[InstanceRow],
+    wall: &mut BTreeMap<String, u64>,
+) -> Result<(), String> {
+    for leg in ["traced", "untraced"] {
+        let mut rows: Vec<Option<InstanceRow>> = vec![None; entries.len()];
+        let rec = TraceRecorder::new();
+        let key = format!("time.suite.profile_overhead.{leg}.threads1");
+        {
+            let _t = PhaseTimer::new(&rec, &key);
+            for (label, backend, _) in GROUPS {
+                let indices: Vec<usize> = (0..entries.len())
+                    .filter(|&i| entries[i].group == label)
+                    .collect();
+                if indices.is_empty() {
+                    continue;
+                }
+                let problems: Vec<LubtProblem> = indices
+                    .iter()
+                    .map(|&i| entries[i].problem.clone())
+                    .collect();
+                let batch = BatchSolver::new()
+                    .with_threads(1)
+                    .with_solver(EbfSolver::new().with_backend(backend));
+                let results = if leg == "traced" {
+                    let (results, trace) = batch.solve_all_traced(&problems);
+                    if trace.spans.is_empty() {
+                        return Err(format!(
+                            "profile_overhead: traced leg of {label} produced no spans"
+                        ));
+                    }
+                    results
+                } else {
+                    batch.solve_all(&problems)
+                };
+                for (&i, result) in indices.iter().zip(results) {
+                    let entry = &entries[i];
+                    let solution = result.map_err(|e| {
+                        format!(
+                            "profile_overhead {}/{}: {e}",
+                            entry.name, entry.backend_label
+                        )
+                    })?;
+                    rows[i] = Some(row_for(entry, &solution));
+                }
+            }
+        }
+        wall.insert(key.clone(), rec.snapshot().timing_ns(&key));
+        let rows = rows
+            .into_iter()
+            .collect::<Option<Vec<_>>>()
+            .expect("every entry belongs to exactly one batch group");
+        if rows.as_slice() != serial_rows {
+            return Err(format!(
+                "profile_overhead: {leg} rows diverged from the unprofiled leg \
+                 — profiling perturbed solver results"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Runs the pinned suite: serial leg, parallel leg, determinism
@@ -356,6 +440,9 @@ pub fn run(config: &SuiteConfig) -> Result<BenchRun, String> {
         if audited_rows != serial_rows {
             return Err("audit divergence: audited rows differ from unaudited rows".to_string());
         }
+    }
+    if config.profile {
+        profile_overhead(&entries, &serial_rows, &mut wall)?;
     }
     let threads = lubt_par::resolve_threads(config.threads);
     let (rows, aggregate, extended) = if threads == 1 {
@@ -517,6 +604,7 @@ mod tests {
             full: false,
             audit: false,
             serve: false,
+            profile: false,
         }
     }
 
@@ -656,6 +744,45 @@ mod tests {
         let det = extract_deterministic(&doc);
         assert!(!det.contains("audit_overhead"));
         assert!(doc.contains("time.suite.audit_overhead.simplex.threads1"));
+    }
+
+    #[test]
+    fn profile_overhead_group_is_exempt_and_gates_against_plain_baselines() {
+        let plain = run(&tiny()).unwrap();
+        let profiled = run(&SuiteConfig {
+            profile: true,
+            ..tiny()
+        })
+        .unwrap();
+        // Span profiling must not perturb the published deterministic
+        // half at all (DESIGN.md §16).
+        assert_eq!(plain.rows, profiled.rows);
+        assert_eq!(
+            extract_deterministic(&plain.to_json()),
+            extract_deterministic(&profiled.to_json())
+        );
+        // Both legs' wall clocks land quarantined under `time.` keys.
+        for leg in ["traced", "untraced"] {
+            let key = format!("time.suite.profile_overhead.{leg}.threads1");
+            assert!(profiled.suite_wall_ns.contains_key(&key), "{key} missing");
+            assert!(
+                !plain.suite_wall_ns.contains_key(&key),
+                "{key} in plain run"
+            );
+        }
+        let doc = profiled.to_json();
+        validate(&doc).unwrap_or_else(|e| panic!("invalid bench JSON: {e}\n{doc}"));
+        assert!(!extract_deterministic(&doc).contains("profile_overhead"));
+        // The report gate tolerates wall keys present in only one side,
+        // so a profiled run gates clean against a plain baseline.
+        let opts = crate::report::ReportOptions {
+            ignore_timings: true,
+            ..crate::report::ReportOptions::default()
+        };
+        let gate = crate::report::compare(&plain.to_json(), &doc, &opts).unwrap();
+        assert!(!gate.failed(), "{}", gate.to_text());
+        let reverse = crate::report::compare(&doc, &plain.to_json(), &opts).unwrap();
+        assert!(!reverse.failed(), "{}", reverse.to_text());
     }
 
     #[test]

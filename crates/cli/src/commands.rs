@@ -12,15 +12,20 @@ use lubt_topology::{bipartition_topology, matching_topology, SourceMode, Topolog
 const USAGE: &str = "usage:
   lubt solve <input> --lower L --upper U [--absolute] \
 [--topology nn|matching|bisect|aware] [--lp-backend simplex|ipm|revised|dp] \
-[--max-lp-iterations N] [--audit] [--svg out.svg] [--json out.json] [--trace-json [out.json]]
+[--max-lp-iterations N] [--audit] [--svg out.svg] [--json out.json] [--trace-json [out.json]] \
+[--profile [out.json]] [--profile-folded [out.txt]] [--trace-event-cap N]
   lubt batch <input>... --lower L --upper U [--absolute] \
 [--topology nn|matching|bisect|aware] [--lp-backend simplex|ipm|revised|dp] [--threads N] \
 [--max-lp-iterations N] [--audit] [--json out.json] [--metrics [out.json]] \
-[--metrics-prom [out.prom]]
+[--metrics-prom [out.prom]] [--profile [out.json]] [--profile-folded [out.txt]] \
+[--trace-event-cap N]
   lubt audit <input> --lower L --upper U [--absolute] \
 [--topology nn|matching|bisect|aware] [--lp-backend simplex|ipm|revised|dp] [--json [out.json]]
+  lubt profile <input> --lower L --upper U [--absolute] \
+[--topology nn|matching|bisect|aware] [--lp-backend simplex|ipm|revised|dp] \
+[--format chrome|folded|tree|shape] [--out file] | lubt profile --check-folded file
   lubt bench [--label L] [--threads N] [--sizes A,B,C] [--interior-cap K] [--full] [--audit] \
-[--serve] [--out file]
+[--serve] [--profile] [--out file]
   lubt report --baseline A.json --current B.json [--timing-threshold F] \
 [--ignore-timings] [--json [out.json]]
   lubt lint <input> [--lower L] [--upper U] [--absolute] \
@@ -29,7 +34,8 @@ const USAGE: &str = "usage:
   lubt bst <input> --skew S [--absolute]
   lubt gen <prim1|prim2|r1|r3|uniform|clustered> [--sinks N] [--seed K] [--die D] [--out file]
   lubt serve [--addr H:P] [--workers N] [--queue-depth N] [--cache-entries N] \
-[--session-entries N] [--max-request-bytes N] [--default-deadline-ms N] [--allow-shutdown]
+[--session-entries N] [--max-request-bytes N] [--default-deadline-ms N] [--allow-shutdown] \
+[--trace-event-cap N] [--access-log [path]]
   lubt help";
 
 /// Entry point shared by `main` and the integration tests.
@@ -43,6 +49,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         Some("solve") => cmd_solve(&parsed),
         Some("batch") => cmd_batch(&parsed),
         Some("audit") => cmd_audit(&parsed),
+        Some("profile") => cmd_profile(&parsed),
         Some("bench") => cmd_bench(&parsed),
         Some("report") => cmd_report(&parsed),
         Some("lint") => cmd_lint(&parsed),
@@ -120,6 +127,52 @@ fn warn_dropped_events(trace: &lubt_obs::SolveTrace) {
     if let Some(note) = trace.events_dropped_note() {
         eprintln!("{note}");
     }
+}
+
+/// Reads `--trace-event-cap`, rejecting a bare switch.
+fn trace_event_cap(parsed: &Parsed) -> Result<Option<usize>, String> {
+    if parsed.has("trace-event-cap") && parsed.get("trace-event-cap").is_none() {
+        return Err("--trace-event-cap requires a value".to_string());
+    }
+    parsed.get_usize("trace-event-cap")
+}
+
+/// True when either span-profile export was requested.
+fn wants_profile(parsed: &Parsed) -> bool {
+    wants(parsed, "profile") || wants(parsed, "profile-folded")
+}
+
+/// Emits a span-profile document. Everything — the document on a bare
+/// flag *and* the confirmation line for a path — goes to stderr, so
+/// `--profile` can never perturb the solver's stdout bytes (the
+/// profile-on-vs-off byte-identity contract, DESIGN.md §16).
+fn emit_profile_doc(parsed: &Parsed, key: &str, label: &str, text: &str) -> Result<(), String> {
+    match parsed.get(key) {
+        Some(path) => {
+            lubt_obs::fsio::write_atomic(path, text)
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("{label} written to {path}");
+        }
+        None => eprint!("{text}"),
+    }
+    Ok(())
+}
+
+/// Emits the `--profile` (Chrome trace-event JSON) and `--profile-folded`
+/// (collapsed stacks) exports from a solve trace's span tree.
+fn emit_profiles(parsed: &Parsed, trace: &lubt_obs::SolveTrace) -> Result<(), String> {
+    if wants(parsed, "profile") {
+        emit_profile_doc(parsed, "profile", "profile", &trace.spans.to_chrome_trace())?;
+    }
+    if wants(parsed, "profile-folded") {
+        emit_profile_doc(
+            parsed,
+            "profile-folded",
+            "folded profile",
+            &trace.spans.to_folded(),
+        )?;
+    }
+    Ok(())
 }
 
 /// Rejects a value-carrying flag that appeared bare (`--sizes` with
@@ -236,10 +289,15 @@ fn cmd_solve(parsed: &Parsed) -> Result<(), String> {
     let audit = parsed.has("audit");
     builder = builder.audit(audit);
 
-    let tracing = wants(parsed, "trace-json");
+    let cap = trace_event_cap(parsed)?;
+    let tracing = wants(parsed, "trace-json") || wants_profile(parsed) || cap.is_some();
     let (solution_result, trace) = if tracing {
-        let (r, t) = builder.solve_traced();
-        (r, Some(t))
+        let rec = std::sync::Arc::new(lubt_obs::TraceRecorder::with_event_cap(
+            cap.unwrap_or(lubt_obs::DEFAULT_EVENT_CAP),
+        ));
+        let r = builder
+            .solve_recorded(std::sync::Arc::clone(&rec) as std::sync::Arc<dyn lubt_obs::Recorder>);
+        (r, Some(rec.snapshot()))
     } else {
         (builder.solve(), None)
     };
@@ -248,7 +306,10 @@ fn cmd_solve(parsed: &Parsed) -> Result<(), String> {
         Err(e) => {
             // The trace matters most on failure: emit it before bailing.
             if let Some(trace) = &trace {
-                emit_json(parsed, "trace-json", "trace", &trace.to_json())?;
+                if wants(parsed, "trace-json") {
+                    emit_json(parsed, "trace-json", "trace", &trace.to_json())?;
+                }
+                emit_profiles(parsed, trace)?;
                 warn_dropped_events(trace);
             }
             return Err(render_lubt_error(&e));
@@ -299,7 +360,10 @@ fn cmd_solve(parsed: &Parsed) -> Result<(), String> {
         println!("json written to {path}");
     }
     if let Some(trace) = &trace {
-        emit_json(parsed, "trace-json", "trace", &trace.to_json())?;
+        if wants(parsed, "trace-json") {
+            emit_json(parsed, "trace-json", "trace", &trace.to_json())?;
+        }
+        emit_profiles(parsed, trace)?;
         warn_dropped_events(trace);
     }
     write_svg(parsed, &render_svg(&solution))
@@ -365,10 +429,19 @@ fn cmd_batch(parsed: &Parsed) -> Result<(), String> {
     if let Some(limit) = lp_budget(parsed)? {
         solver = solver.with_max_lp_iterations(limit);
     }
-    let batch = BatchSolver::new().with_solver(solver).with_threads(threads);
-    // Only the metrics documents (timings, scheduling counters) may vary
-    // with `--threads`; results and the default stdout stay byte-identical.
-    let (results, trace) = if wants(parsed, "metrics") || wants(parsed, "metrics-prom") {
+    let cap = trace_event_cap(parsed)?;
+    let batch = BatchSolver::new()
+        .with_solver(solver)
+        .with_threads(threads)
+        .with_event_cap(cap.unwrap_or(lubt_obs::DEFAULT_EVENT_CAP));
+    // Only the metrics/profile documents (timings, scheduling counters)
+    // may vary with `--threads`; results and the default stdout stay
+    // byte-identical.
+    let tracing = wants(parsed, "metrics")
+        || wants(parsed, "metrics-prom")
+        || wants_profile(parsed)
+        || cap.is_some();
+    let (results, trace) = if tracing {
         let (r, t) = batch.solve_all_traced(&problems);
         (r, Some(t))
     } else {
@@ -468,6 +541,7 @@ fn cmd_batch(parsed: &Parsed) -> Result<(), String> {
                 &trace.to_prometheus(),
             )?;
         }
+        emit_profiles(parsed, trace)?;
         warn_dropped_events(trace);
     }
 
@@ -594,6 +668,87 @@ fn cmd_audit(parsed: &Parsed) -> Result<(), String> {
     }
 }
 
+/// `lubt profile <input>`: solves the instance with span profiling on and
+/// exports the span tree — Chrome trace-event JSON (default; loads in
+/// `chrome://tracing` / Perfetto), collapsed stacks for flamegraph
+/// tooling, an indented human-readable tree, or the duration-free
+/// `shape` lines the CI determinism job `cmp`s across thread counts.
+/// With `--check-folded file` it instead lints an existing folded
+/// artifact (the CI validity gate) and solves nothing.
+fn cmd_profile(parsed: &Parsed) -> Result<(), String> {
+    reject_bare(parsed, &["format", "out", "check-folded", "threads"])?;
+    if let Some(path) = parsed.get("check-folded") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        lubt_obs::lint_folded(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: folded profile ok ({} line(s))",
+            text.lines().count()
+        );
+        return Ok(());
+    }
+    let inst = load_instance(parsed)?;
+    let radius = inst.radius();
+    let m = inst.sinks.len();
+    let absolute = parsed.has("absolute");
+    let lower = parsed.get_f64("lower")?.unwrap_or(0.0);
+    let upper = parsed
+        .get_f64("upper")?
+        .ok_or_else(|| format!("--upper is required\n{USAGE}"))?;
+    let bounds = DelayBounds::uniform(
+        m,
+        to_absolute(lower, radius, absolute),
+        to_absolute(upper, radius, absolute),
+    );
+    let topology = choose_topology(parsed, &inst, &bounds)?;
+    let backend = choose_backend(parsed)?;
+    let mut builder = LubtBuilder::new(inst.sinks.clone())
+        .bounds(bounds)
+        .backend(backend);
+    if let Some(src) = inst.source {
+        builder = builder.source(src);
+    }
+    if let Some(t) = topology {
+        builder = builder.topology(t);
+    }
+    if let Some(limit) = lp_budget(parsed)? {
+        builder = builder.max_lp_iterations(limit);
+    }
+    if let Some(threads) = parsed.get_usize("threads")? {
+        builder = builder.threads(threads);
+    }
+    let cap = trace_event_cap(parsed)?;
+    let rec = std::sync::Arc::new(lubt_obs::TraceRecorder::with_event_cap(
+        cap.unwrap_or(lubt_obs::DEFAULT_EVENT_CAP),
+    ));
+    let result = builder
+        .solve_recorded(std::sync::Arc::clone(&rec) as std::sync::Arc<dyn lubt_obs::Recorder>);
+    let trace = rec.snapshot();
+    let doc = match parsed.get("format").unwrap_or("chrome") {
+        "chrome" => trace.spans.to_chrome_trace(),
+        "folded" => trace.spans.to_folded(),
+        "tree" => trace.spans.render_text(),
+        "shape" => trace.spans.shape_text(),
+        other => {
+            return Err(format!(
+                "unknown format {other:?} (chrome|folded|tree|shape)"
+            ))
+        }
+    };
+    match parsed.get("out") {
+        Some(path) => {
+            lubt_obs::fsio::write_atomic(path, &doc)
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("profile written to {path}");
+        }
+        None => print!("{doc}"),
+    }
+    warn_dropped_events(&trace);
+    // The profile itself is the product and was exported above even for
+    // a failed solve (failures are where profiles matter most), but a
+    // failure still exits non-zero.
+    result.map(|_| ()).map_err(|e| render_lubt_error(&e))
+}
+
 /// `lubt bench`: runs the pinned benchmark suite (both LP backends, a
 /// serial and a parallel leg with a built-in determinism cross-check) and
 /// writes the schema-versioned `lubt-bench-v1` document, default
@@ -637,6 +792,7 @@ fn cmd_bench(parsed: &Parsed) -> Result<(), String> {
     config.full = parsed.has("full");
     config.audit = parsed.has("audit");
     config.serve = parsed.has("serve");
+    config.profile = parsed.has("profile");
     let run = lubt_bench::suite::run(&config)?;
     let out = parsed
         .get("out")
@@ -791,6 +947,7 @@ fn cmd_serve(parsed: &Parsed) -> Result<(), String> {
             "session-entries",
             "max-request-bytes",
             "default-deadline-ms",
+            "trace-event-cap",
         ],
     )?;
     let mut config = lubt_serve::ServeConfig {
@@ -798,6 +955,18 @@ fn cmd_serve(parsed: &Parsed) -> Result<(), String> {
         allow_shutdown: parsed.has("allow-shutdown"),
         ..lubt_serve::ServeConfig::default()
     };
+    if let Some(cap) = parsed.get_usize("trace-event-cap")? {
+        config.trace_event_cap = cap;
+    }
+    if wants(parsed, "access-log") {
+        // A bare `--access-log` gets the conventional filename.
+        config.access_log = Some(
+            parsed
+                .get("access-log")
+                .unwrap_or("lubt-access.jsonl")
+                .to_string(),
+        );
+    }
     if let Some(n) = parsed.get_usize("workers")? {
         config.workers = n;
     }
@@ -827,6 +996,9 @@ fn cmd_serve(parsed: &Parsed) -> Result<(), String> {
         config.cache_entries,
         config.session_entries
     );
+    if let Some(path) = &config.access_log {
+        println!("access log appending to {path}");
+    }
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     server.wait();

@@ -1098,3 +1098,267 @@ fn file_outputs_are_atomic_and_leave_no_temp_siblings() {
     let _ = std::fs::remove_file(&trace);
     let _ = std::fs::remove_file(&pts);
 }
+
+/// Generates the pinned 10-sink instance used by the profiling tests.
+fn gen_profile_instance(tag: &str) -> PathBuf {
+    let pts = tmp(&format!("{tag}.pts"));
+    let out = lubt()
+        .args(["gen", "uniform", "--sinks", "10", "--seed", "2", "--out"])
+        .arg(&pts)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    pts
+}
+
+#[test]
+fn profile_flags_leave_solver_stdout_byte_identical() {
+    let pts = gen_profile_instance("prof-stdout");
+    let solve = |extra: &[&std::ffi::OsStr]| {
+        let mut cmd = lubt();
+        cmd.args(["solve"])
+            .arg(&pts)
+            .args(["--lower", "0.9", "--upper", "1.4"]);
+        for a in extra {
+            cmd.arg(a);
+        }
+        cmd.output().unwrap()
+    };
+    let plain = solve(&[]);
+    assert!(
+        plain.status.success(),
+        "{}",
+        String::from_utf8_lossy(&plain.stderr)
+    );
+
+    // Bare `--profile` streams the Chrome doc to stderr; stdout must stay
+    // byte-identical to the unprofiled run.
+    let bare = solve(&[std::ffi::OsStr::new("--profile")]);
+    assert!(bare.status.success());
+    assert_eq!(
+        plain.stdout, bare.stdout,
+        "--profile must not perturb stdout"
+    );
+    let err = String::from_utf8(bare.stderr).unwrap();
+    let json_start = err.find('{').expect("chrome doc on stderr");
+    lubt_obs::json::validate(&err[json_start..])
+        .expect("bare --profile emits strict chrome JSON on stderr");
+    assert!(err.contains("\"traceEvents\""), "{err}");
+
+    // File exports: stdout still identical, both artifacts strictly valid.
+    let chrome = tmp("prof-stdout.chrome.json");
+    let folded = tmp("prof-stdout.folded.txt");
+    let out = solve(&[
+        std::ffi::OsStr::new("--profile"),
+        chrome.as_os_str(),
+        std::ffi::OsStr::new("--profile-folded"),
+        folded.as_os_str(),
+    ]);
+    assert!(out.status.success());
+    assert_eq!(
+        plain.stdout, out.stdout,
+        "file exports must not perturb stdout"
+    );
+    let doc = std::fs::read_to_string(&chrome).unwrap();
+    lubt_obs::json::validate(&doc).expect("chrome export must be strictly valid");
+    assert!(doc.ends_with('\n'), "chrome export ends with a newline");
+    let folded_doc = std::fs::read_to_string(&folded).unwrap();
+    lubt_obs::lint_folded(&folded_doc).expect("folded export must lint clean");
+    assert!(folded_doc.contains("solve"), "{folded_doc}");
+
+    // The built-in linter agrees with the library.
+    let check = lubt()
+        .args(["profile", "--check-folded"])
+        .arg(&folded)
+        .output()
+        .unwrap();
+    assert!(
+        check.status.success(),
+        "{}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    let text = String::from_utf8(check.stdout).unwrap();
+    assert!(text.contains("folded profile ok"), "{text}");
+
+    let _ = std::fs::remove_file(&pts);
+    let _ = std::fs::remove_file(&chrome);
+    let _ = std::fs::remove_file(&folded);
+}
+
+#[test]
+fn trace_event_cap_zero_and_one_warn_about_dropped_events() {
+    let pts = gen_profile_instance("prof-cap");
+    // The pinned instance records two `ebf.round` events, so caps 0 and 1
+    // both overflow while the solve itself still succeeds.
+    for cap in ["0", "1"] {
+        let out = lubt()
+            .args(["solve"])
+            .arg(&pts)
+            .args(["--lower", "0.9", "--upper", "1.4", "--trace-event-cap", cap])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "cap {cap}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            err.contains("warning[trace-events-dropped]"),
+            "cap {cap} must warn: {err}"
+        );
+    }
+    // A roomy cap keeps every event and stays silent.
+    let out = lubt()
+        .args(["solve"])
+        .arg(&pts)
+        .args([
+            "--lower",
+            "0.9",
+            "--upper",
+            "1.4",
+            "--trace-event-cap",
+            "256",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        !err.contains("warning[trace-events-dropped]"),
+        "roomy cap must not warn: {err}"
+    );
+    // A bare switch is rejected, not silently ignored.
+    let out = lubt()
+        .args(["solve"])
+        .arg(&pts)
+        .args(["--upper", "1.4", "--trace-event-cap"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--trace-event-cap requires a value"), "{err}");
+    let _ = std::fs::remove_file(&pts);
+}
+
+#[test]
+fn profile_subcommand_exports_valid_documents_across_backends_and_outcomes() {
+    let pts = gen_profile_instance("prof-backends");
+    for backend in ["simplex", "ipm", "revised", "dp"] {
+        // Feasible: the Chrome doc lands on stdout and validates strictly.
+        let out = lubt()
+            .args(["profile"])
+            .arg(&pts)
+            .args(["--lower", "0.9", "--upper", "1.4", "--backend", backend])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{backend}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let doc = String::from_utf8(out.stdout).unwrap();
+        lubt_obs::json::validate(&doc)
+            .unwrap_or_else(|e| panic!("{backend} feasible chrome doc invalid: {e}"));
+        assert!(doc.contains("\"traceEvents\""), "{backend}: {doc}");
+
+        // Infeasible: the command exits non-zero but still exports the
+        // profile of the failed solve.
+        let out = lubt()
+            .args(["profile"])
+            .arg(&pts)
+            .args(["--upper", "0.5", "--backend", backend])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{backend}: infeasible must fail");
+        let doc = String::from_utf8(out.stdout).unwrap();
+        lubt_obs::json::validate(&doc)
+            .unwrap_or_else(|e| panic!("{backend} infeasible chrome doc invalid: {e}"));
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("no LUBT exists"), "{backend}: {err}");
+
+        // Truncated event log: span exporters are unaffected; the folded
+        // doc still lints clean.
+        let out = lubt()
+            .args(["profile"])
+            .arg(&pts)
+            .args([
+                "--lower",
+                "0.9",
+                "--upper",
+                "1.4",
+                "--backend",
+                backend,
+                "--trace-event-cap",
+                "0",
+                "--format",
+                "folded",
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{backend}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let doc = String::from_utf8(out.stdout).unwrap();
+        lubt_obs::lint_folded(&doc)
+            .unwrap_or_else(|e| panic!("{backend} truncated folded doc invalid: {e}"));
+    }
+    let _ = std::fs::remove_file(&pts);
+}
+
+#[test]
+fn profile_shape_is_thread_count_invariant() {
+    let pts = gen_profile_instance("prof-shape");
+    let shape = |threads: &str| {
+        let out = lubt()
+            .args(["profile"])
+            .arg(&pts)
+            .args([
+                "--lower",
+                "0.9",
+                "--upper",
+                "1.4",
+                "--format",
+                "shape",
+                "--threads",
+                threads,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "threads {threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let solo = shape("1");
+    assert!(solo.contains("solve/lp"), "shape: {solo}");
+    assert!(solo.contains("embed"), "shape: {solo}");
+    assert_eq!(solo, shape("8"), "span shape must not depend on --threads");
+
+    // The human-readable tree renders the same spans with hit counts.
+    let out = lubt()
+        .args(["profile"])
+        .arg(&pts)
+        .args(["--lower", "0.9", "--upper", "1.4", "--format", "tree"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let tree = String::from_utf8(out.stdout).unwrap();
+    assert!(tree.contains("solve"), "{tree}");
+
+    // Unknown formats fail loudly.
+    let out = lubt()
+        .args(["profile"])
+        .arg(&pts)
+        .args(["--lower", "0.9", "--upper", "1.4", "--format", "dot"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown format"), "{err}");
+    let _ = std::fs::remove_file(&pts);
+}

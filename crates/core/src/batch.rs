@@ -42,6 +42,7 @@ pub struct BatchSolver {
     solver: EbfSolver,
     placement: PlacementPolicy,
     threads: usize,
+    event_cap: usize,
 }
 
 impl Default for BatchSolver {
@@ -50,6 +51,7 @@ impl Default for BatchSolver {
             solver: EbfSolver::new(),
             placement: PlacementPolicy::ClosestToParent,
             threads: 0,
+            event_cap: lubt_obs::DEFAULT_EVENT_CAP,
         }
     }
 }
@@ -84,6 +86,16 @@ impl BatchSolver {
         self
     }
 
+    /// Caps the number of `warning[...]`/`info[...]` trace events retained
+    /// by the batch-level recorder of [`BatchSolver::solve_all_traced`].
+    /// Overflow is counted, not silently dropped: the trace reports it as
+    /// `warning[trace-events-dropped]`.
+    #[must_use]
+    pub fn with_event_cap(mut self, event_cap: usize) -> Self {
+        self.event_cap = event_cap;
+        self
+    }
+
     /// The configured worker count (`0` = all cores).
     pub fn threads(&self) -> usize {
         self.threads
@@ -109,7 +121,7 @@ impl BatchSolver {
         &self,
         problems: &[LubtProblem],
     ) -> (Vec<Result<LubtSolution, LubtError>>, SolveTrace) {
-        let rec = Arc::new(TraceRecorder::new());
+        let rec = Arc::new(TraceRecorder::with_event_cap(self.event_cap));
         let results = self.solve_all_recorded(problems, Arc::clone(&rec) as Arc<dyn Recorder>);
         rec.incr("batch.instances", problems.len() as u64);
         let solved = results.iter().filter(|r| r.is_ok()).count() as u64;
@@ -354,6 +366,27 @@ mod tests {
         // counters aggregate across the whole batch.
         assert!(trace.counter("simplex.solves") >= 4);
         assert!(trace.counter("embed.fr_constructions") >= 4);
+    }
+
+    #[test]
+    fn traced_span_shape_is_identical_across_thread_counts() {
+        let problems = mixed_batch();
+        let (_, base) = BatchSolver::new()
+            .with_threads(1)
+            .solve_all_traced(&problems);
+        let shape = base.spans.shape_text();
+        assert!(shape.contains("solve/lp"), "shape: {shape}");
+        assert!(shape.contains("embed"), "shape: {shape}");
+        for threads in [2, 8] {
+            let (_, other) = BatchSolver::new()
+                .with_threads(threads)
+                .solve_all_traced(&problems);
+            assert_eq!(
+                shape,
+                other.spans.shape_text(),
+                "span shape must not depend on thread count (threads={threads})"
+            );
+        }
     }
 
     #[test]

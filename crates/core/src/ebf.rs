@@ -6,7 +6,7 @@ use crate::{LubtError, LubtProblem};
 use lubt_lp::{
     Cmp, InteriorPointSolver, LinExpr, LpSolve, Model, RevisedSolver, SimplexSolver, Status, Var,
 };
-use lubt_obs::{PhaseTimer, Recorder, SolveTrace, TraceRecorder};
+use lubt_obs::{PhaseTimer, Recorder, SolveTrace, SpanGuard, TraceRecorder};
 use lubt_topology::NodeId;
 use std::sync::Arc;
 
@@ -410,7 +410,14 @@ impl EbfSolver {
         &self,
         problem: &LubtProblem,
     ) -> Result<(Vec<f64>, EbfReport, Option<WarmEbfSession>), LubtError> {
+        // Root profiling span for the whole solve. The span-tree *shape*
+        // (paths, hit counts, child order) is deterministic material —
+        // every child below is entered on this thread in a
+        // schedule-independent order (DESIGN.md §16).
+        let rec: &dyn Recorder = &*self.recorder;
+        let _solve_span = SpanGuard::enter(rec, "solve");
         if self.prelint {
+            let _lint_span = SpanGuard::enter(rec, "lint");
             let diags = problem.prelint_diagnostics();
             if lubt_lint::has_deny(&diags) {
                 return Err(LubtError::Rejected(diags));
@@ -437,7 +444,15 @@ impl EbfSolver {
         let total_pairs = m * (m - 1) / 2;
         let mut lp_iterations = 0usize;
         let mut steiner_rows = 0usize;
-        let rec: &dyn Recorder = &*self.recorder;
+        // Zero-padded so the name-sorted child order of the span tree is
+        // also the numeric round order.
+        let round_name = |round: usize| {
+            if rec.enabled() {
+                format!("round.{round:04}")
+            } else {
+                String::new()
+            }
+        };
 
         // Post-solve audit hook: check the backend's proof object in exact
         // arithmetic before trusting the outcome. Pure observation — the
@@ -448,6 +463,7 @@ impl EbfSolver {
                            cert: Option<&lubt_lp::Certificate>|
          -> Result<(), LubtError> {
             let _t = PhaseTimer::new(rec, "time.audit");
+            let _span = SpanGuard::enter(rec, "audit");
             let (findings, verified_key) = match self.backend {
                 // The IPM carries no simplex basis, so only the primal side
                 // is checkable; dual/CS verification needs a certificate.
@@ -488,6 +504,7 @@ impl EbfSolver {
         let solve_once = |model: &Model| -> Result<lubt_lp::Solution, LubtError> {
             let (sol, cert) = {
                 let _t = PhaseTimer::new(rec, "time.lp");
+                let _span = SpanGuard::enter(rec, "lp");
                 match self.backend {
                     SolverBackend::Simplex => {
                         if self.audit {
@@ -592,23 +609,34 @@ impl EbfSolver {
                         let path = topo.path_between(pair.a, pair.b);
                         LinExpr::from_terms(path.iter().map(|&e| (var_of(e), 1.0)))
                     };
-                    let mut session = match self.backend {
-                        SolverBackend::Simplex => GrowingSession::Dense(Box::new(
-                            lubt_lp::SimplexSession::start_with(model, self.simplex())?,
-                        )),
-                        _ => GrowingSession::Revised(Box::new(
-                            lubt_lp::RevisedSession::start_with(model, self.revised())?,
-                        )),
+                    let mut session = {
+                        // The cold solve of the seed model: its kernel
+                        // phases nest under `solve/lp`, while warm-started
+                        // per-round resolves land under each round's span.
+                        let _span = SpanGuard::enter(rec, "lp");
+                        match self.backend {
+                            SolverBackend::Simplex => GrowingSession::Dense(Box::new(
+                                lubt_lp::SimplexSession::start_with(model, self.simplex())?,
+                            )),
+                            _ => GrowingSession::Revised(Box::new(
+                                lubt_lp::RevisedSession::start_with(model, self.revised())?,
+                            )),
+                        }
                     };
                     let mut rounds = 0usize;
                     let mut truncated = false;
                     loop {
+                        // One span per separation round, covering the warm
+                        // resolve and the violated-pair scan.
+                        let round_label = round_name(rounds + 1);
+                        let _round_span = SpanGuard::enter(rec, &round_label);
                         // `resolve` hands back a borrow of the session, so
                         // copy out everything the round needs (plus a clone
                         // of the solution when auditing — the certificate
                         // lives on the session itself).
                         let (status, iterations, lengths, audited) = {
                             let _t = PhaseTimer::new(rec, "time.lp");
+                            let _span = SpanGuard::enter(rec, "lp");
                             let sol = session.resolve()?;
                             (
                                 sol.status(),
@@ -640,6 +668,7 @@ impl EbfSolver {
                         rounds += 1;
                         let violated = {
                             let _t = PhaseTimer::new(rec, "time.separation");
+                            let _span = SpanGuard::enter(rec, "separate");
                             crate::steiner::violated_pairs_traced(
                                 problem,
                                 &lengths,
@@ -700,12 +729,15 @@ impl EbfSolver {
                 }
                 let mut rounds = 0usize;
                 loop {
+                    let round_label = round_name(rounds + 1);
+                    let _round_span = SpanGuard::enter(rec, &round_label);
                     let sol = solve_once(&model)?;
                     lp_iterations += sol.iterations();
                     rounds += 1;
                     let lengths = extract(&sol);
                     let violated = {
                         let _t = PhaseTimer::new(rec, "time.separation");
+                        let _span = SpanGuard::enter(rec, "separate");
                         crate::steiner::violated_pairs_traced(
                             problem,
                             &lengths,
@@ -821,7 +853,20 @@ impl EbfSolver {
         let max_pivots = self.max_lp_iterations.map_or(u64::MAX, |l| l as u64);
         let outcome = {
             let _t = PhaseTimer::new(rec, "time.dp");
-            lubt_dp::solve(&inst, max_pivots)
+            let _span = SpanGuard::enter(rec, "dp");
+            if rec.enabled() {
+                // Phase spans are synthesized from the DP's own stage
+                // clock; hit counts come from the deterministic report
+                // counters, so the tree shape stays thread-invariant.
+                lubt_dp::solve_profiled(&inst, max_pivots).map(|(sol, phases)| {
+                    rec.span_record("sweeps", sol.report.sweeps, phases.sweeps_ns);
+                    rec.span_record("fold", 1, phases.fold_ns);
+                    rec.span_record("dual_simplex", sol.report.pivots, phases.dual_simplex_ns);
+                    sol
+                })
+            } else {
+                lubt_dp::solve(&inst, max_pivots)
+            }
         };
         let sol = match outcome {
             Ok(sol) => sol,
@@ -862,6 +907,7 @@ impl EbfSolver {
                     // all C(m, 2) pair rows — like the certificate-free
                     // interior-point audit.
                     let _t = PhaseTimer::new(rec, "time.audit");
+                    let _span = SpanGuard::enter(rec, "audit");
                     let (mut model, edge_vars) = base_model(problem);
                     let var_of = |node: NodeId| edge_vars[node.index() - 1];
                     for pair in all_pair_constraints(problem) {

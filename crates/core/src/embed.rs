@@ -79,6 +79,7 @@ pub fn embed_tree_traced(
     assert_eq!(lengths.len(), topo.num_nodes(), "one length per node");
     assert_eq!(sinks.len(), topo.num_sinks(), "one location per sink");
     let _t = PhaseTimer::new(rec, "time.embed");
+    let _span = lubt_obs::SpanGuard::enter(rec, "embed");
 
     // Numeric slack proportional to the coordinate scale.
     let scale = sinks

@@ -562,7 +562,15 @@ impl LubtBuilder {
         Ok((solution, warm))
     }
 
-    fn solve_recorded(&self, rec: Arc<dyn Recorder>) -> Result<LubtSolution, LubtError> {
+    /// [`LubtBuilder::solve`] with the pipeline recorded into a
+    /// caller-supplied recorder — the hook behind `--trace-event-cap`
+    /// and `--profile`, where the CLI owns the [`TraceRecorder`] (custom
+    /// event cap, span exports) and snapshots it itself.
+    ///
+    /// # Errors
+    ///
+    /// See [`LubtProblem::solve`].
+    pub fn solve_recorded(&self, rec: Arc<dyn Recorder>) -> Result<LubtSolution, LubtError> {
         let problem = self.build()?;
         let mut solver = EbfSolver::new()
             .with_backend(self.backend)

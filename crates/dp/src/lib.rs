@@ -39,6 +39,7 @@ mod simplex;
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::time::Instant;
 
 use lubt_audit::{BigInt, BigUint, Rational};
 
@@ -118,6 +119,19 @@ pub struct DpReport {
     /// `true` when the interval DP alone certified infeasibility and the
     /// rational core never ran.
     pub interval_infeasible: bool,
+}
+
+/// Wall-clock phase breakdown of one [`solve_profiled`] call. Purely
+/// informational (profiling spans); never part of the deterministic
+/// output — hit counts for the matching spans come from [`DpReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DpPhases {
+    /// Stage 1: interval-DP window propagation sweeps.
+    pub sweeps_ns: u64,
+    /// Stage 2: folding fixed edges, row assembly, and integer scaling.
+    pub fold_ns: u64,
+    /// Stage 3: the fraction-free rational dual-simplex core.
+    pub dual_simplex_ns: u64,
 }
 
 /// Result of one [`solve`] call.
@@ -321,6 +335,34 @@ impl Assembly {
 /// [`DpError::PivotLimit`] when the cap is hit. Infeasibility is **not**
 /// an error: it comes back as [`DpStatus::Infeasible`].
 pub fn solve(inst: &DpInstance, max_pivots: u64) -> Result<DpSolution, DpError> {
+    let mut phases = DpPhases::default();
+    solve_with_phases(inst, max_pivots, &mut phases)
+}
+
+/// Like [`solve`], also reporting the wall clock spent in each stage
+/// (interval sweeps / fold / rational dual simplex) for span profiling.
+///
+/// # Errors
+///
+/// Same contract as [`solve`].
+pub fn solve_profiled(
+    inst: &DpInstance,
+    max_pivots: u64,
+) -> Result<(DpSolution, DpPhases), DpError> {
+    let mut phases = DpPhases::default();
+    let sol = solve_with_phases(inst, max_pivots, &mut phases)?;
+    Ok((sol, phases))
+}
+
+fn saturating_elapsed(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn solve_with_phases(
+    inst: &DpInstance,
+    max_pivots: u64,
+    phases: &mut DpPhases,
+) -> Result<DpSolution, DpError> {
     let n = inst.parents.len();
     if n == 0 {
         return Err(malformed("empty topology"));
@@ -410,6 +452,7 @@ pub fn solve(inst: &DpInstance, max_pivots: u64) -> Result<DpSolution, DpError> 
             dist: Rational::from_f64(p.dist).expect("validated finite"),
         })
         .collect();
+    let t_sweeps = Instant::now();
     let iv = intervals::propagate(
         &inst.parents,
         inst.root,
@@ -419,6 +462,7 @@ pub fn solve(inst: &DpInstance, max_pivots: u64) -> Result<DpSolution, DpError> 
         init_lo.clone(),
         init_hi.clone(),
     );
+    phases.sweeps_ns = saturating_elapsed(t_sweeps);
     let mut report = DpReport {
         sweeps: iv.sweeps,
         ..DpReport::default()
@@ -440,6 +484,7 @@ pub fn solve(inst: &DpInstance, max_pivots: u64) -> Result<DpSolution, DpError> 
     // `fixed[v]` is the exact length of the edge into `v` when the
     // intervals pin it on the whole feasible set; `var_of[v]` numbers the
     // remaining free edges.
+    let t_fold = Instant::now();
     let zero_edge = {
         let mut mask = vec![false; n];
         for &z in &inst.zero_edges {
@@ -565,7 +610,11 @@ pub fn solve(inst: &DpInstance, max_pivots: u64) -> Result<DpSolution, DpError> 
         .collect();
 
     // ---- Stage 3: exact rational core. --------------------------------
-    match simplex::solve_core(ncols, &obj, &core_rows, max_pivots) {
+    phases.fold_ns = saturating_elapsed(t_fold);
+    let t_core = Instant::now();
+    let outcome = simplex::solve_core(ncols, &obj, &core_rows, max_pivots);
+    phases.dual_simplex_ns = saturating_elapsed(t_core);
+    match outcome {
         CoreOutcome::PivotLimit => Err(DpError::PivotLimit { limit: max_pivots }),
         CoreOutcome::Infeasible { pivots } => {
             report.pivots = pivots;

@@ -30,7 +30,7 @@ use lubt_obs::Recorder;
 use crate::certificate::{CertSeed, Certificate, ColumnRole};
 use crate::factor::Factor;
 use crate::model::{Cmp, LinExpr, Model};
-use crate::simplex::{ReoptOutcome, WarmStart};
+use crate::simplex::{elapsed_ns, PhaseAgg, ReoptOutcome, WarmStart};
 use crate::sparse::SparseForm;
 use crate::{LpError, LpSolve, Solution, Status};
 
@@ -520,6 +520,8 @@ impl Kernel {
         w: &[f64],
         rec: &dyn Recorder,
     ) -> Result<(), LpError> {
+        let profiling = rec.enabled();
+        let t0 = profiling.then(std::time::Instant::now);
         let t = self.x_b[pos] / w[pos];
         for i in 0..self.sf.m {
             if i != pos && w[i] != 0.0 {
@@ -535,13 +537,16 @@ impl Kernel {
         }
         self.in_basis[enter] = true;
         self.basis[pos] = enter;
-        if rec.enabled() {
+        if let Some(t0) = t0 {
             rec.record_max("lp.eta_len", self.factor.eta_len() as u64);
+            rec.span_record("eta_apply", 1, elapsed_ns(t0));
         }
         if self.factor.needs_refactor() {
+            let t1 = profiling.then(std::time::Instant::now);
             self.rebuild_factor()?;
-            if rec.enabled() {
+            if let Some(t1) = t1 {
                 rec.incr("lp.refactorizations", 1);
+                rec.span_record("refactor", 1, elapsed_ns(t1));
             }
         }
         Ok(())
@@ -644,6 +649,14 @@ impl Kernel {
         let start = *iters;
         let mut degenerate = 0u64;
         let mut activations = 0u64;
+        // Span phases aggregate locally — one recorder call per phase per
+        // `primal` invocation, nothing per pivot beyond what `pivot`
+        // itself records. All timing work is behind the `enabled()`
+        // pre-check.
+        let profiling = rec.enabled();
+        let mut pricing = PhaseAgg::default();
+        let mut ratio = PhaseAgg::default();
+        let mut ftran_ns = 0u64;
         let out = (|| {
             let mut bland = false;
             let mut stall = 0usize;
@@ -654,15 +667,22 @@ impl Kernel {
                         limit: max_iterations,
                     });
                 }
-                let y = self.duals(phase1);
-                let Some(enter) = self.price(&y, phase1, bland, rec) else {
+                let chosen = pricing.time(profiling, || {
+                    let y = self.duals(phase1);
+                    self.price(&y, phase1, bland, rec)
+                });
+                let Some(enter) = chosen else {
                     return Ok(PhaseOutcome::Optimal);
                 };
+                let tf = profiling.then(std::time::Instant::now);
                 let mut w = self.dense_col(enter);
                 let mut scratch = std::mem::take(&mut self.scratch);
                 self.factor.ftran(&mut w, &mut scratch);
                 self.scratch = scratch;
-                let Some(pos) = self.choose_leaving(&w) else {
+                if let Some(tf) = tf {
+                    ftran_ns = ftran_ns.saturating_add(elapsed_ns(tf));
+                }
+                let Some(pos) = ratio.time(profiling, || self.choose_leaving(&w)) else {
                     return Ok(PhaseOutcome::Unbounded);
                 };
                 self.pivot(pos, enter, &w, rec)?;
@@ -688,6 +708,11 @@ impl Kernel {
             if out.is_err() {
                 rec.incr("lp.iteration_limit_hits", 1);
             }
+            rec.span_record("pricing", pricing.hits, pricing.ns);
+            rec.span_record("ratio_test", ratio.hits, ratio.ns);
+            // The entering-column FTRAN is eta-file application work; its
+            // hit count is already carried by `pivot`'s per-pivot record.
+            rec.span_record("eta_apply", 0, ftran_ns);
         }
         out
     }
@@ -702,6 +727,10 @@ impl Kernel {
     ) -> Result<DualOutcome, LpError> {
         let start = *iters;
         let mut activations = 0u64;
+        let profiling = rec.enabled();
+        let mut pricing = PhaseAgg::default();
+        let mut ratio = PhaseAgg::default();
+        let mut ftran_ns = 0u64;
         let out = (|| {
             let feas_tol = {
                 let max_b = self.x_b.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
@@ -740,25 +769,30 @@ impl Kernel {
                     return Ok(DualOutcome::PrimalFeasible);
                 };
                 // Row pos of B^{-1}A via one BTRAN of e_pos, then the dual
-                // ratio test over negative entries.
-                let mut rho = vec![0.0; self.sf.m];
-                rho[pos] = 1.0;
-                let mut scratch = std::mem::take(&mut self.scratch);
-                self.factor.btran(&mut rho, &mut scratch);
-                self.scratch = scratch;
-                let y = self.duals(false);
-                // (column, row entry, dual ratio) of every eligible column.
-                let mut cands: Vec<(usize, f64, f64)> = Vec::new();
-                for j in 0..self.n_total() {
-                    if !self.enterable(j) {
-                        continue;
+                // ratio test over negative entries. The BTRAN plus the
+                // reduced-cost scan is the dual analogue of pricing.
+                let cands = pricing.time(profiling, || {
+                    let mut rho = vec![0.0; self.sf.m];
+                    rho[pos] = 1.0;
+                    let mut scratch = std::mem::take(&mut self.scratch);
+                    self.factor.btran(&mut rho, &mut scratch);
+                    self.scratch = scratch;
+                    let y = self.duals(false);
+                    // (column, row entry, dual ratio) per eligible column.
+                    let mut cands: Vec<(usize, f64, f64)> = Vec::new();
+                    for j in 0..self.n_total() {
+                        if !self.enterable(j) {
+                            continue;
+                        }
+                        let a = self.dot_col(j, &rho);
+                        if a < -PIVOT_TOL {
+                            let d = self.cost(j, false) - self.dot_col(j, &y);
+                            cands.push((j, a, d / (-a)));
+                        }
                     }
-                    let a = self.dot_col(j, &rho);
-                    if a < -PIVOT_TOL {
-                        let d = self.cost(j, false) - self.dot_col(j, &y);
-                        cands.push((j, a, d / (-a)));
-                    }
-                }
+                    cands
+                });
+                let tr = profiling.then(std::time::Instant::now);
                 let enter = if bland {
                     let mut best: Option<(usize, f64)> = None;
                     for &(j, _, ratio) in &cands {
@@ -793,15 +827,23 @@ impl Kernel {
                     }
                     best.map(|(j, _)| j)
                 };
+                if let Some(tr) = tr {
+                    ratio.hits += 1;
+                    ratio.ns = ratio.ns.saturating_add(elapsed_ns(tr));
+                }
                 let Some(enter) = enter else {
                     // Row reads `(non-negative combination) = negative`:
                     // empty feasible region.
                     return Ok(DualOutcome::Infeasible { row: pos });
                 };
+                let tf = profiling.then(std::time::Instant::now);
                 let mut w = self.dense_col(enter);
                 let mut scratch = std::mem::take(&mut self.scratch);
                 self.factor.ftran(&mut w, &mut scratch);
                 self.scratch = scratch;
+                if let Some(tf) = tf {
+                    ftran_ns = ftran_ns.saturating_add(elapsed_ns(tf));
+                }
                 self.pivot(pos, enter, &w, rec)?;
                 *iters += 1;
                 stall += 1;
@@ -817,6 +859,9 @@ impl Kernel {
             if out.is_err() {
                 rec.incr("lp.iteration_limit_hits", 1);
             }
+            rec.span_record("pricing", pricing.hits, pricing.ns);
+            rec.span_record("ratio_test", ratio.hits, ratio.ns);
+            rec.span_record("eta_apply", 0, ftran_ns);
         }
         out
     }

@@ -2,6 +2,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use lubt_obs::Recorder;
 
@@ -308,6 +309,34 @@ enum PhaseOutcome {
     Unbounded,
 }
 
+/// Nanoseconds since `t0`, saturating.
+pub(crate) fn elapsed_ns(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Wall clock and hit count of one simplex phase, aggregated locally in
+/// the inner loop so the profiling span costs one recorder call per
+/// `run_phase` invocation — never one per pivot.
+#[derive(Default, Clone, Copy)]
+pub(crate) struct PhaseAgg {
+    pub hits: u64,
+    pub ns: u64,
+}
+
+impl PhaseAgg {
+    /// Times `f` when `on`, adding one hit and the elapsed nanoseconds.
+    pub fn time<T>(&mut self, on: bool, f: impl FnOnce() -> T) -> T {
+        if !on {
+            return f();
+        }
+        let t0 = Instant::now();
+        let out = f();
+        self.hits += 1;
+        self.ns = self.ns.saturating_add(elapsed_ns(t0));
+        out
+    }
+}
+
 fn run_phase(
     t: &mut Tableau,
     iters: &mut usize,
@@ -318,6 +347,13 @@ fn run_phase(
     let start = *iters;
     let mut degenerate = 0u64;
     let mut activations = 0u64;
+    // Span phases are aggregated locally and recorded once at the end:
+    // the `enabled()` pre-check keeps the untraced hot loop free of even
+    // the `Instant::now` pair (satellite: fast path).
+    let profiling = rec.enabled();
+    let mut pricing = PhaseAgg::default();
+    let mut ratio = PhaseAgg::default();
+    let mut pivots = PhaseAgg::default();
     let out = (|| {
         let mut bland = false;
         let mut stall = 0usize;
@@ -328,13 +364,13 @@ fn run_phase(
                     limit: max_iterations,
                 });
             }
-            let Some(col) = t.choose_entering(bland) else {
+            let Some(col) = pricing.time(profiling, || t.choose_entering(bland)) else {
                 return Ok(PhaseOutcome::Optimal);
             };
-            let Some(row) = t.choose_leaving(col) else {
+            let Some(row) = ratio.time(profiling, || t.choose_leaving(col)) else {
                 return Ok(PhaseOutcome::Unbounded);
             };
-            t.pivot(row, col);
+            pivots.time(profiling, || t.pivot(row, col));
             *iters += 1;
             let obj = t.obj[t.width - 1];
             if obj < last_obj - 1e-12 {
@@ -357,6 +393,9 @@ fn run_phase(
         if out.is_err() {
             rec.incr("simplex.iteration_limit_hits", 1);
         }
+        rec.span_record("pricing", pricing.hits, pricing.ns);
+        rec.span_record("ratio_test", ratio.hits, ratio.ns);
+        rec.span_record("pivot", pivots.hits, pivots.ns);
     }
     out
 }
@@ -391,12 +430,16 @@ fn run_dual_phase(
 ) -> Result<DualOutcome, LpError> {
     let start = *iters;
     let mut activations = 0u64;
+    let t0 = rec.enabled().then(Instant::now);
     let out = run_dual_phase_inner(t, iters, max_iterations, &mut activations);
     if rec.enabled() {
         rec.incr("simplex.dual_pivots", (*iters - start) as u64);
         rec.incr("simplex.bland_activations", activations);
         if out.is_err() {
             rec.incr("simplex.iteration_limit_hits", 1);
+        }
+        if let Some(t0) = t0 {
+            rec.span_record("dual", (*iters - start) as u64, elapsed_ns(t0));
         }
     }
     out

@@ -13,6 +13,7 @@
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
 
 /// Sibling temp path for `path`: `<file_name>.tmp.<pid>` in the same
 /// directory, so the final `rename` never crosses a filesystem boundary.
@@ -48,6 +49,54 @@ pub fn write_atomic(path: impl AsRef<Path>, contents: &str) -> io::Result<()> {
         let _ = fs::remove_file(&tmp);
     }
     result
+}
+
+/// An append-only, line-oriented log file — the machinery behind
+/// `lubt serve --access-log`.
+///
+/// [`write_atomic`] is the wrong shape for a log: a rename-replace per
+/// request would rewrite the whole file each time. A `LineLog` instead
+/// holds one append-mode handle behind a mutex and writes each record as
+/// a single `write_all` of `line + '\n'`, flushed immediately. Whole-line
+/// writes under the lock mean concurrent workers never interleave bytes
+/// *within* a line, so a `tail -f`/JSON-lines consumer always sees
+/// complete records; crash safety is per-line (the last line may be
+/// torn, never an earlier one).
+#[derive(Debug)]
+pub struct LineLog {
+    file: Mutex<fs::File>,
+}
+
+impl LineLog {
+    /// Opens (creating if needed) `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying open/create error.
+    pub fn append_to(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path.as_ref())?;
+        Ok(LineLog {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Appends `line` (a trailing newline is added; embedded newlines are
+    /// the caller's bug) and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write error.
+    pub fn write_line(&self, line: &str) -> io::Result<()> {
+        let mut buf = String::with_capacity(line.len() + 1);
+        buf.push_str(line);
+        buf.push('\n');
+        let mut file = self.file.lock().unwrap_or_else(PoisonError::into_inner);
+        file.write_all(buf.as_bytes())?;
+        file.flush()
+    }
 }
 
 #[cfg(test)]
@@ -101,6 +150,37 @@ mod tests {
         fs::write(tmp_sibling(&target), "torn partial conte").unwrap();
         write_atomic(&target, "replacement").unwrap();
         assert_eq!(fs::read_to_string(&target).unwrap(), "replacement");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn line_log_appends_across_reopens_and_threads() {
+        let dir = tmp_dir("linelog");
+        let target = dir.join("access.jsonl");
+        {
+            let log = LineLog::append_to(&target).unwrap();
+            log.write_line("{\"req\": 0}").unwrap();
+        }
+        let log = Arc::new(LineLog::append_to(&target).unwrap());
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let log = Arc::clone(&log);
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        log.write_line(&format!("{{\"w\": {w}, \"i\": {i}}}"))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let text = fs::read_to_string(&target).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 201, "reopen kept the first line and added 200");
+        assert_eq!(lines[0], "{\"req\": 0}");
+        // Whole-line writes: every record parses on its own.
+        for line in &lines {
+            crate::json::validate(line).unwrap_or_else(|e| panic!("torn line {line:?}: {e}"));
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 

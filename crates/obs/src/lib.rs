@@ -55,9 +55,13 @@ mod histogram;
 pub mod json;
 pub mod prometheus;
 mod recorder;
+mod span;
 mod trace;
 
 pub use aggregate::{is_determinism_exempt_key, AggregateTrace, DETERMINISM_EXEMPT_PREFIXES};
 pub use histogram::Histogram;
-pub use recorder::{noop, NoopRecorder, PhaseTimer, Recorder, TraceRecorder, DEFAULT_EVENT_CAP};
+pub use recorder::{
+    noop, NoopRecorder, PhaseTimer, Recorder, SpanGuard, TraceRecorder, DEFAULT_EVENT_CAP,
+};
+pub use span::{lint_folded, SpanNode, SpanTree};
 pub use trace::{SolveTrace, TraceEvent};

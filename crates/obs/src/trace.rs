@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use crate::json::{json_escape, json_f64};
 use crate::prometheus::{metric_name, push_sample, sample_f64};
+use crate::span::SpanTree;
 
 /// One entry of the bounded event log.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +36,11 @@ pub struct SolveTrace {
     pub events: Vec<TraceEvent>,
     /// Events discarded after the log filled up.
     pub events_dropped: u64,
+    /// Hierarchical span profile. The tree's *shape* (paths, hit counts,
+    /// name-sorted child order) is deterministic; its durations are
+    /// wall clock and render in the exempt timings section (DESIGN.md
+    /// §16).
+    pub spans: SpanTree,
 }
 
 impl SolveTrace {
@@ -82,6 +88,7 @@ impl SolveTrace {
             && self.timings_ns.is_empty()
             && self.events.is_empty()
             && self.events_dropped == 0
+            && self.spans.is_empty()
     }
 
     /// Serializes the trace as a strict-JSON document.
@@ -128,11 +135,32 @@ impl SolveTrace {
         s.push_str("],\n");
         s.push_str(&format!("  \"events_dropped\": {},\n", self.events_dropped));
 
+        // Span *shape* (depth-first path → hit count) is deterministic
+        // material; span durations join the timings below.
+        let span_rows = self.spans.flatten();
+        s.push_str("  \"spans\": {");
+        let mut first = true;
+        for (path, hits, _) in &span_rows {
+            push_sep(&mut s, &mut first);
+            s.push_str(&format!("    \"{}\": {}", json_escape(path), hits));
+        }
+        close_map(&mut s, first);
+        s.push_str("  },\n");
+
         s.push_str("  \"timings\": {\n    \"determinism_exempt\": true,\n    \"nanos\": {");
         let mut first = true;
         for (k, v) in &self.timings_ns {
             push_sep(&mut s, &mut first);
             s.push_str(&format!("      \"{}\": {}", json_escape(k), v));
+        }
+        if !first {
+            s.push_str("\n    ");
+        }
+        s.push_str("},\n    \"span_nanos\": {");
+        let mut first = true;
+        for (path, _, ns) in &span_rows {
+            push_sep(&mut s, &mut first);
+            s.push_str(&format!("      \"{}\": {}", json_escape(path), ns));
         }
         if !first {
             s.push_str("\n    ");
@@ -283,6 +311,27 @@ mod tests {
         let note = rec.snapshot().events_dropped_note().expect("overflowed");
         assert!(note.contains("warning[trace-events-dropped]"), "{note}");
         assert!(note.contains("2 event(s)"), "{note}");
+    }
+
+    #[test]
+    fn span_shape_is_deterministic_material_and_nanos_are_exempt() {
+        let rec = TraceRecorder::new();
+        rec.span_enter("solve");
+        rec.span_record("lp", 3, 42);
+        rec.span_exit(1_000);
+        let doc = rec.snapshot().to_json();
+        validate(&doc).unwrap_or_else(|e| panic!("invalid trace JSON: {e}\n{doc}"));
+        let timings_at = doc.find("\"timings\"").unwrap();
+        let shape_at = doc.find("\"solve/lp\": 3").expect("span hits in shape map");
+        assert!(
+            shape_at < timings_at,
+            "span shape must precede timings:\n{doc}"
+        );
+        let nanos_at = doc.find("\"solve/lp\": 42").expect("span nanos");
+        assert!(nanos_at > timings_at, "span nanos must be exempt:\n{doc}");
+        assert!(
+            doc.find("\"span_nanos\"").unwrap() > doc.find("\"determinism_exempt\": true").unwrap()
+        );
     }
 
     #[test]

@@ -34,6 +34,15 @@ pub struct ServeConfig {
     /// Honor the wire `shutdown` op. Off by default: a remote peer
     /// should not be able to stop the daemon unless explicitly allowed.
     pub allow_shutdown: bool,
+    /// Cap on retained `warning[...]`/`info[...]` trace events per
+    /// request recorder; overflow surfaces as
+    /// `warning[trace-events-dropped]` in `/metrics`.
+    pub trace_event_cap: usize,
+    /// Structured JSON-lines access log path (`None` disables logging).
+    /// One line per queued request: id, op, backend, queue depth at
+    /// admission, cache outcome, queue-wait and solve nanos, status,
+    /// response bytes.
+    pub access_log: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +56,8 @@ impl Default for ServeConfig {
             max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
             default_deadline_ms: None,
             allow_shutdown: false,
+            trace_event_cap: lubt_obs::DEFAULT_EVENT_CAP,
+            access_log: None,
         }
     }
 }

@@ -12,11 +12,13 @@ use crate::config::ServeConfig;
 use crate::protocol::{self, codes, Op, Request};
 use crate::queue::{Admitted, BoundedQueue, PushError};
 use lubt_core::{
-    solution_to_json, BatchSolver, DelayBounds, EbfSolver, LubtBuilder, LubtError, WarmLubtSession,
+    solution_to_json, BatchSolver, DelayBounds, EbfSolver, LubtBuilder, LubtError, SolverBackend,
+    WarmLubtSession,
 };
 use lubt_data::Instance;
-use lubt_obs::json::parse_limited;
-use lubt_obs::{AggregateTrace, PhaseTimer, Recorder, TraceRecorder};
+use lubt_obs::fsio::LineLog;
+use lubt_obs::json::{json_escape, parse_limited};
+use lubt_obs::{AggregateTrace, PhaseTimer, Recorder, SpanGuard, SpanTree, TraceRecorder};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -27,6 +29,12 @@ use std::time::{Duration, Instant};
 struct Job {
     request: Request,
     reply: mpsc::Sender<String>,
+    /// Time the connection thread spent framing + parsing this request.
+    parse_ns: u64,
+    /// When the request entered the admission queue.
+    admitted: Instant,
+    /// Queue depth observed at admission (before this request's push).
+    queue_depth: usize,
 }
 
 struct Shared {
@@ -35,6 +43,13 @@ struct Shared {
     cache: Mutex<LruCache<String>>,
     sessions: Mutex<LruCache<WarmLubtSession>>,
     metrics: Mutex<AggregateTrace>,
+    /// Server-wide span tree: every request's profiling spans merged by
+    /// name. Shape is deterministic for a given request multiset
+    /// (DESIGN.md §16); durations are wall-clock and exempt.
+    spans: Mutex<SpanTree>,
+    /// JSON-lines access log, line-buffered appends (`None` = disabled).
+    access_log: Option<LineLog>,
+    started: Instant,
     stopping: AtomicBool,
     stopped: Mutex<bool>,
     stop_cv: Condvar,
@@ -90,11 +105,18 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let worker_count = config.effective_workers();
+        let access_log = match &config.access_log {
+            Some(path) => Some(LineLog::append_to(path)?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_depth),
             cache: Mutex::new(LruCache::new(config.cache_entries)),
             sessions: Mutex::new(LruCache::new(config.session_entries)),
             metrics: Mutex::new(AggregateTrace::new()),
+            spans: Mutex::new(SpanTree::new()),
+            access_log,
+            started: Instant::now(),
             stopping: AtomicBool::new(false),
             stopped: Mutex::new(false),
             stop_cv: Condvar::new(),
@@ -132,6 +154,24 @@ impl Server {
             .lock()
             .expect("metrics poisoned")
             .to_prometheus()
+    }
+
+    /// The server-wide profiling span tree: every answered request's
+    /// spans merged by name. Durations vary run to run; the *shape*
+    /// (paths, hit counts, child order) is a pure function of the
+    /// request multiset, independent of worker count (DESIGN.md §16).
+    pub fn span_tree(&self) -> SpanTree {
+        self.shared.spans.lock().expect("spans poisoned").clone()
+    }
+
+    /// `"path hits"` DFS lines of [`Server::span_tree`] — the byte
+    /// payload the worker-count determinism check compares.
+    pub fn span_shape(&self) -> String {
+        self.shared
+            .spans
+            .lock()
+            .expect("spans poisoned")
+            .shape_text()
     }
 
     /// Triggers graceful shutdown without blocking (what the wire
@@ -274,6 +314,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result
 /// Parses, validates and dispatches one frame, returning the response
 /// line (without its trailing newline).
 fn handle_line(bytes: &[u8], shared: &Arc<Shared>) -> String {
+    let parse_start = Instant::now();
     let text = match std::str::from_utf8(bytes) {
         Ok(t) => t,
         Err(e) => {
@@ -329,11 +370,18 @@ fn handle_line(bytes: &[u8], shared: &Arc<Shared>) -> String {
                 ack
             }
         }
-        Op::Solve | Op::Audit | Op::Lint | Op::Batch => enqueue_and_wait(request, shared),
+        Op::Solve | Op::Audit | Op::Lint | Op::Batch => {
+            let parse_ns = saturating_ns(parse_start.elapsed().as_nanos());
+            enqueue_and_wait(request, parse_ns, shared)
+        }
     }
 }
 
-fn enqueue_and_wait(request: Request, shared: &Arc<Shared>) -> String {
+fn saturating_ns(ns: u128) -> u64 {
+    u64::try_from(ns).unwrap_or(u64::MAX)
+}
+
+fn enqueue_and_wait(request: Request, parse_ns: u64, shared: &Arc<Shared>) -> String {
     let id = request.id.clone();
     let deadline = request
         .deadline_ms
@@ -342,12 +390,16 @@ fn enqueue_and_wait(request: Request, shared: &Arc<Shared>) -> String {
     let priority = request.priority;
     let (reply_tx, reply_rx) = mpsc::channel();
     shared.inflight.fetch_add(1, Ordering::SeqCst);
+    let queue_depth = shared.queue.len();
     let pushed = shared.queue.push(
         priority,
         deadline,
         Job {
             request,
             reply: reply_tx,
+            parse_ns,
+            admitted: Instant::now(),
+            queue_depth,
         },
     );
     let response = match pushed {
@@ -386,11 +438,20 @@ fn worker_loop(shared: &Arc<Shared>) {
             item: job,
             ..
         } = entry;
-        let rec = Arc::new(TraceRecorder::new());
+        let rec = Arc::new(TraceRecorder::with_event_cap(shared.config.trace_event_cap));
         let mut extra = AggregateTrace::new();
         let mut cold_solves = 0u64;
+        let mut cache_outcome = "none";
+        let queue_wait_ns = saturating_ns(job.admitted.elapsed().as_nanos());
+        let solve_start = Instant::now();
         let response = {
             let _timer = PhaseTimer::new(&*rec, "time.serve.request");
+            // The request span roots this request's profile; the solve's
+            // own spans ("solve", "embed") nest under it because the
+            // pipeline runs on this thread with this recorder.
+            let _request_span = SpanGuard::enter(&*rec, "request");
+            rec.span_record("parse", 1, job.parse_ns);
+            rec.span_record("queue_wait", 1, queue_wait_ns);
             rec.incr("serve.requests", 1);
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 rec.incr("serve.deadline_expired", 1);
@@ -400,17 +461,85 @@ fn worker_loop(shared: &Arc<Shared>) {
                     "deadline passed before a worker picked the request up",
                 )
             } else {
-                execute(&job.request, shared, &rec, &mut extra, &mut cold_solves)
+                execute(
+                    &job.request,
+                    shared,
+                    &rec,
+                    &mut extra,
+                    &mut cold_solves,
+                    &mut cache_outcome,
+                )
             }
         };
+        let solve_ns = saturating_ns(solve_start.elapsed().as_nanos());
+        let snapshot = rec.snapshot();
         let mut agg = AggregateTrace::new();
-        agg.fold(&rec.snapshot());
+        agg.fold(&snapshot);
         // `fold` counts traces; report actual LP pipelines run instead.
         agg.solves = cold_solves;
         agg.merge(&extra);
         shared.merge_metrics(&agg);
+        shared
+            .spans
+            .lock()
+            .expect("spans poisoned")
+            .merge(&snapshot.spans);
+        if let Some(log) = &shared.access_log {
+            let _ = log.write_line(&access_line(
+                &job,
+                &response,
+                cache_outcome,
+                queue_wait_ns,
+                solve_ns,
+            ));
+        }
         let _ = job.reply.send(response);
     }
+}
+
+fn backend_name(backend: SolverBackend) -> &'static str {
+    match backend {
+        SolverBackend::Simplex => "simplex",
+        SolverBackend::InteriorPoint => "ipm",
+        SolverBackend::Revised => "revised",
+        SolverBackend::Dp => "dp",
+    }
+}
+
+/// Status for the access log, recovered from the response envelope: the
+/// first `"status"` key is always the envelope's own (the head precedes
+/// any embedded payload), and error envelopes carry their wire code.
+fn response_status(response: &str) -> &str {
+    match response.split_once("\"status\":\"") {
+        Some((_, rest)) if rest.starts_with("error") => rest
+            .split_once("\"code\":\"")
+            .and_then(|(_, r)| r.split('"').next())
+            .unwrap_or("error"),
+        _ => "ok",
+    }
+}
+
+/// One JSON access-log line (without its newline). `bytes` counts the
+/// response as written on the wire, newline included.
+fn access_line(
+    job: &Job,
+    response: &str,
+    cache: &str,
+    queue_wait_ns: u64,
+    solve_ns: u64,
+) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"op\":\"{}\",\"backend\":\"{}\",\"queue_depth\":{},\"cache\":\"{}\",\"queue_wait_ns\":{},\"solve_ns\":{},\"status\":\"{}\",\"bytes\":{}}}",
+        json_escape(&job.request.id),
+        job.request.op.name(),
+        backend_name(job.request.backend),
+        job.queue_depth,
+        cache,
+        queue_wait_ns,
+        solve_ns,
+        response_status(response),
+        response.len() + 1,
+    )
 }
 
 /// Builds the solve pipeline for one instance of `req`. Bounds come
@@ -435,15 +564,33 @@ fn execute(
     rec: &Arc<TraceRecorder>,
     extra: &mut AggregateTrace,
     cold_solves: &mut u64,
+    cache_outcome: &mut &'static str,
 ) -> String {
     match req.op {
         Op::Lint => run_lint(req, rec),
-        Op::Solve => match solve_one(req, &req.instances[0], shared, rec, cold_solves) {
-            Ok(payload) => protocol::ok_solution(&req.id, Op::Solve, &payload),
-            Err(e) => solver_error(req, &e, rec),
-        },
-        Op::Audit => run_audit(req, rec, cold_solves),
-        Op::Batch => run_batch(req, shared, rec, extra, cold_solves),
+        Op::Solve => {
+            match solve_one(
+                req,
+                &req.instances[0],
+                shared,
+                rec,
+                cold_solves,
+                cache_outcome,
+            ) {
+                Ok(payload) => protocol::ok_solution(&req.id, Op::Solve, &payload),
+                Err(e) => solver_error(req, &e, rec),
+            }
+        }
+        Op::Audit => {
+            // Audits always run the pipeline (the certificate promise
+            // forbids cached answers), so the outcome is always cold.
+            *cache_outcome = "cold";
+            run_audit(req, rec, cold_solves)
+        }
+        Op::Batch => {
+            *cache_outcome = "mixed";
+            run_batch(req, shared, rec, extra, cold_solves)
+        }
         // Ping and shutdown are answered inline by the connection
         // thread and never reach the queue.
         Op::Ping | Op::Shutdown => {
@@ -467,12 +614,16 @@ fn solve_one(
     shared: &Arc<Shared>,
     rec: &Arc<TraceRecorder>,
     cold_solves: &mut u64,
+    cache_outcome: &mut &'static str,
 ) -> Result<String, LubtError> {
+    *cache_outcome = "cold";
     let key = req.cache_key(inst);
     if shared.config.cache_entries > 0 {
+        let _span = SpanGuard::enter(&**rec, "cache_lookup");
         let mut cache = shared.cache.lock().expect("cache poisoned");
         if let Some(hit) = cache.get(&key) {
             rec.incr("serve.cache_hits", 1);
+            *cache_outcome = "cached";
             return Ok(hit.clone());
         }
     }
@@ -483,10 +634,16 @@ fn solve_one(
             .expect("sessions poisoned")
             .take(&key);
         if let Some(mut warm) = checkout {
-            match warm.resolve() {
+            let warm_span = SpanGuard::enter(&**rec, "warm_resolve");
+            let resolved = warm.resolve();
+            drop(warm_span);
+            match resolved {
                 Ok(solution) => {
                     rec.incr("serve.warm_hits", 1);
+                    *cache_outcome = "warm";
+                    let serialize_span = SpanGuard::enter(&**rec, "serialize");
                     let payload = protocol::single_line(&solution_to_json(&solution));
+                    drop(serialize_span);
                     shared
                         .sessions
                         .lock()
@@ -513,7 +670,9 @@ fn solve_one(
     let (solution, warm) = builder.solve_retaining_recorded(Arc::clone(rec) as Arc<dyn Recorder>)?;
     *cold_solves += 1;
     rec.incr("serve.cold_solves", 1);
+    let serialize_span = SpanGuard::enter(&**rec, "serialize");
     let payload = protocol::single_line(&solution_to_json(&solution));
+    drop(serialize_span);
     if shared.config.cache_entries > 0 {
         shared
             .cache
@@ -617,6 +776,7 @@ fn run_batch(
         let (results, trace) = BatchSolver::new()
             .with_threads(1)
             .with_solver(solver)
+            .with_event_cap(shared.config.trace_event_cap)
             .solve_all_traced(&cold);
         let solved = results.iter().filter(|r| r.is_ok()).count() as u64;
         *cold_solves += solved;
@@ -693,8 +853,30 @@ fn serve_metrics(
                 .expect("metrics poisoned")
                 .to_prometheus(),
         )
+    } else if path == "/healthz" {
+        // Liveness/readiness: 200 while accepting, 503 once draining.
+        shared.record_bookkeeping(|rec| rec.incr("serve.health_checks", 1));
+        let draining = shared.stopping.load(Ordering::SeqCst);
+        let body = format!(
+            "{{\"status\":\"{}\",\"uptime_seconds\":{},\"queue_depth\":{},\"cache_entries\":{}}}\n",
+            if draining { "draining" } else { "accepting" },
+            shared.started.elapsed().as_secs(),
+            shared.queue.len(),
+            shared.cache.lock().expect("cache poisoned").len(),
+        );
+        (
+            if draining {
+                "503 Service Unavailable"
+            } else {
+                "200 OK"
+            },
+            body,
+        )
     } else {
-        ("404 Not Found", "only /metrics lives here\n".to_string())
+        (
+            "404 Not Found",
+            "only /metrics and /healthz live here\n".to_string(),
+        )
     };
     write!(
         writer,

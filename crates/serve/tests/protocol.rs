@@ -290,6 +290,151 @@ fn cold_cached_and_warm_responses_are_byte_identical() {
 }
 
 #[test]
+fn healthz_reports_accepting_then_draining() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    // Accepting: 200 with the gauges as strict JSON.
+    let mut http = TcpStream::connect(server.addr()).unwrap();
+    write!(http, "GET /healthz HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    http.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.0 200 OK"), "{raw}");
+    let body = raw.split("\r\n\r\n").nth(1).expect("http body");
+    let doc = parse(body.trim_end()).expect("healthz body is strict JSON");
+    assert_eq!(field(&doc, "status"), "accepting");
+    assert!(doc.get("uptime_seconds").and_then(Value::as_f64).is_some());
+    assert!(doc.get("queue_depth").and_then(Value::as_f64).is_some());
+    assert!(doc.get("cache_entries").and_then(Value::as_f64).is_some());
+    // Start a probe *before* draining and finish it after: the request
+    // line parks the connection thread in the header read, shutdown
+    // flips the flag, and the completed request must answer 503 so load
+    // balancers stop routing here.
+    let mut open = TcpStream::connect(server.addr()).unwrap();
+    write!(open, "GET /healthz HTTP/1.0\r\nHost: x\r\n").unwrap();
+    open.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    server.signal_shutdown();
+    write!(open, "\r\n").unwrap();
+    let mut raw = String::new();
+    open.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.0 503"), "{raw}");
+    let body = raw.split("\r\n\r\n").nth(1).expect("http body");
+    assert_eq!(
+        field(&parse(body.trim_end()).unwrap(), "status"),
+        "draining"
+    );
+    server.wait();
+}
+
+#[test]
+fn access_log_lines_are_structured_json() {
+    let path = std::env::temp_dir().join(format!(
+        "lubt-access-{}-{:?}.jsonl",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let server = Server::start(ServeConfig {
+        access_log: Some(path.to_string_lossy().into_owned()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(&server);
+    let line = solve_line("cold1", &grid_instance("logged", 8));
+    assert_eq!(field(&parse(&c.roundtrip(&line)).unwrap(), "status"), "ok");
+    // Same instance again: answered from the result cache.
+    let line2 = solve_line("hit1", &grid_instance("logged", 8));
+    assert_eq!(field(&parse(&c.roundtrip(&line2)).unwrap(), "status"), "ok");
+    // An unsatisfiable window (upper below the source-sink distance):
+    // the log line carries the wire error code, not "ok".
+    let resp = c.roundtrip(&format!(
+        r#"{{"op":"solve","id":"tight","upper":0.1,"instance":{}}}"#,
+        square_instance("sq")
+    ));
+    let wire_code = field(&parse(&resp).unwrap(), "code").to_string();
+    assert!(!wire_code.is_empty(), "{resp}");
+    server.shutdown();
+    let text = std::fs::read_to_string(&path).expect("access log exists");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "one line per queued request: {text}");
+    for l in &lines {
+        parse(l).expect("access log lines are strict JSON");
+    }
+    let first = parse(lines[0]).unwrap();
+    assert_eq!(field(&first, "id"), "cold1");
+    assert_eq!(field(&first, "op"), "solve");
+    assert_eq!(field(&first, "backend"), "revised");
+    assert_eq!(field(&first, "cache"), "cold");
+    assert_eq!(field(&first, "status"), "ok");
+    assert!(first.get("queue_depth").and_then(Value::as_f64).is_some());
+    assert!(first.get("queue_wait_ns").and_then(Value::as_f64).is_some());
+    assert!(first.get("solve_ns").and_then(Value::as_f64).is_some());
+    assert!(first.get("bytes").and_then(Value::as_f64).unwrap_or(0.0) > 2.0);
+    let second = parse(lines[1]).unwrap();
+    assert_eq!(field(&second, "id"), "hit1");
+    assert_eq!(field(&second, "cache"), "cached");
+    let third = parse(lines[2]).unwrap();
+    assert_eq!(field(&third, "id"), "tight");
+    assert_eq!(field(&third, "status"), wire_code, "{}", lines[2]);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Runs `requests` concurrently against a fresh server and returns the
+/// merged span-tree shape (`"path hits"` lines).
+fn fleet_span_shape(workers: usize, requests: &[String]) -> String {
+    let server = Server::start(ServeConfig {
+        workers,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let handles: Vec<_> = requests
+        .iter()
+        .cloned()
+        .map(|line| {
+            let addr = server.addr();
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut c = Client {
+                    reader: BufReader::new(stream.try_clone().unwrap()),
+                    writer: stream,
+                };
+                let resp = c.roundtrip(&line);
+                assert_eq!(field(&parse(&resp).unwrap(), "status"), "ok", "{resp}");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let shape = server.span_shape();
+    server.shutdown();
+    shape
+}
+
+#[test]
+fn span_tree_shape_is_identical_across_worker_counts() {
+    // Distinct instances so every request cold-solves regardless of
+    // worker scheduling; the merged span shape is then a pure function
+    // of the request multiset (DESIGN.md §16).
+    let requests: Vec<String> = (0..6)
+        .map(|k| {
+            let backend = if k % 2 == 0 { "revised" } else { "simplex" };
+            format!(
+                r#"{{"op":"solve","id":"s{k}","upper":1.5,"backend":"{backend}","instance":{}}}"#,
+                grid_instance(&format!("shape{k}"), 8)
+            )
+        })
+        .collect();
+    let solo = fleet_span_shape(1, &requests);
+    let fleet = fleet_span_shape(8, &requests);
+    assert!(!solo.is_empty(), "serve requests produce spans");
+    assert!(solo.starts_with("request 6\n"), "{solo}");
+    assert!(solo.contains("request/parse 6"), "{solo}");
+    assert!(solo.contains("request/queue_wait 6"), "{solo}");
+    assert!(solo.contains("request/solve"), "{solo}");
+    assert_eq!(solo, fleet, "span shape must not depend on worker count");
+}
+
+#[test]
 fn graceful_shutdown_drains_every_admitted_request() {
     let server = Server::start(ServeConfig {
         workers: 2,

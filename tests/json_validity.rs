@@ -146,6 +146,9 @@ fn bench_document_report_and_prometheus_expositions_are_strict() {
         // And the serve group: live daemon latency/throughput numbers are
         // exempt wall clock and must also keep the document strict.
         serve: true,
+        // And the profile_overhead group: traced-vs-untraced wall keys are
+        // exempt and the traced rows must not perturb the document.
+        profile: true,
     })
     .expect("pinned suite solves");
     let doc = run.to_json();
