@@ -477,6 +477,7 @@ mod tests {
             audit: false,
             serve: false,
             profile: false,
+            par_intra: false,
         })
         .unwrap()
         .to_json()

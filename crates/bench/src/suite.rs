@@ -83,6 +83,15 @@ pub struct SuiteConfig {
     /// DESIGN.md §16); the wall clocks land under
     /// `time.suite.profile_overhead.{traced,untraced}.threads1`.
     pub profile: bool,
+    /// When `true`, runs the `par_intra` group: the pinned 512-sink
+    /// uniform instance solved on the revised backend at 1/2/4/8
+    /// intra-solve workers (assisted pricing + separation, DESIGN.md
+    /// §17), producing the single-instance scaling curve under
+    /// `time.suite.par_intra.threads<n>`. The group refuses to report
+    /// unless the edge lengths, report, and span *shape* are
+    /// byte-identical across all four thread counts; nothing from it
+    /// enters the deterministic half.
+    pub par_intra: bool,
 }
 
 impl Default for SuiteConfig {
@@ -96,6 +105,7 @@ impl Default for SuiteConfig {
             audit: false,
             serve: false,
             profile: false,
+            par_intra: false,
         }
     }
 }
@@ -419,6 +429,58 @@ fn profile_overhead(
     Ok(())
 }
 
+/// Sink count of the `par_intra` scaling instance (the pinned `u512`).
+pub const PAR_INTRA_SINKS: usize = 512;
+
+/// Thread counts of the `par_intra` scaling curve.
+pub const PAR_INTRA_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The `par_intra` group: one pinned uniform instance of `m` sinks,
+/// solved on the revised backend at each [`PAR_INTRA_THREADS`] count
+/// with span profiling on. Wall clock per thread count goes into `wall`
+/// under `time.suite.par_intra.threads<n>`; the call fails unless the
+/// edge-length bits, the report, and the span shape are identical for
+/// every thread count (the DESIGN.md §17 determinism wall).
+pub fn par_intra_scaling(m: usize, wall: &mut BTreeMap<String, u64>) -> Result<(), String> {
+    let inst = synthetic::uniform(&format!("u{m}"), m, DIE, 0xD1E0 + m as u64);
+    let problem = planned_problem(&inst)?;
+    let mut baseline: Option<(Vec<u64>, lubt_core::EbfReport, String)> = None;
+    for threads in PAR_INTRA_THREADS {
+        let solver = EbfSolver::new()
+            .with_backend(SolverBackend::Revised)
+            .with_threads(threads);
+        let rec = TraceRecorder::new();
+        let key = format!("time.suite.par_intra.threads{threads}");
+        let (outcome, trace) = {
+            let _t = PhaseTimer::new(&rec, &key);
+            solver.solve_traced(&problem)
+        };
+        wall.insert(key.clone(), rec.snapshot().timing_ns(&key));
+        let (lengths, report) =
+            outcome.map_err(|e| format!("par_intra u{m} at {threads} threads: {e}"))?;
+        let bits: Vec<u64> = lengths.iter().map(|v| v.to_bits()).collect();
+        let shape = trace.spans.shape_text();
+        match &baseline {
+            None => baseline = Some((bits, report, shape)),
+            Some((b_bits, b_report, b_shape)) => {
+                if *b_bits != bits || *b_report != report {
+                    return Err(format!(
+                        "par_intra determinism violation: u{m} solve differs \
+                         between 1 and {threads} intra-solve workers"
+                    ));
+                }
+                if *b_shape != shape {
+                    return Err(format!(
+                        "par_intra determinism violation: u{m} span shape differs \
+                         between 1 and {threads} intra-solve workers"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Runs the pinned suite: serial leg, parallel leg, determinism
 /// cross-check, and the fold into one [`BenchRun`].
 ///
@@ -443,6 +505,9 @@ pub fn run(config: &SuiteConfig) -> Result<BenchRun, String> {
     }
     if config.profile {
         profile_overhead(&entries, &serial_rows, &mut wall)?;
+    }
+    if config.par_intra {
+        par_intra_scaling(PAR_INTRA_SINKS, &mut wall)?;
     }
     let threads = lubt_par::resolve_threads(config.threads);
     let (rows, aggregate, extended) = if threads == 1 {
@@ -605,7 +670,31 @@ mod tests {
             audit: false,
             serve: false,
             profile: false,
+            par_intra: false,
         }
+    }
+
+    #[test]
+    fn par_intra_scaling_checks_determinism_and_quarantines_wall_clock() {
+        // The real group runs the pinned 512-sink instance; the unit test
+        // exercises the same code path at a CI-friendly size.
+        let mut wall = BTreeMap::new();
+        par_intra_scaling(48, &mut wall).unwrap();
+        for threads in PAR_INTRA_THREADS {
+            let key = format!("time.suite.par_intra.threads{threads}");
+            assert!(wall.contains_key(&key), "{key} missing");
+        }
+        // A run carrying the group gates clean against a baseline without
+        // it: wall keys compare only when present in both documents.
+        let plain = run(&tiny()).unwrap();
+        let mut with_group = plain.clone();
+        with_group.suite_wall_ns.extend(wall);
+        let opts = crate::report::ReportOptions {
+            ignore_timings: true,
+            ..crate::report::ReportOptions::default()
+        };
+        let gate = crate::report::compare(&plain.to_json(), &with_group.to_json(), &opts).unwrap();
+        assert!(!gate.failed(), "{}", gate.to_text());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use lubt_topology::{bipartition_topology, matching_topology, SourceMode, Topolog
 
 const USAGE: &str = "usage:
   lubt solve <input> --lower L --upper U [--absolute] \
-[--topology nn|matching|bisect|aware] [--lp-backend simplex|ipm|revised|dp] \
+[--topology nn|matching|bisect|aware] [--lp-backend simplex|ipm|revised|dp] [--threads N] \
 [--max-lp-iterations N] [--audit] [--svg out.svg] [--json out.json] [--trace-json [out.json]] \
 [--profile [out.json]] [--profile-folded [out.txt]] [--trace-event-cap N]
   lubt batch <input>... --lower L --upper U [--absolute] \
@@ -25,7 +25,7 @@ const USAGE: &str = "usage:
 [--topology nn|matching|bisect|aware] [--lp-backend simplex|ipm|revised|dp] \
 [--format chrome|folded|tree|shape] [--out file] | lubt profile --check-folded file
   lubt bench [--label L] [--threads N] [--sizes A,B,C] [--interior-cap K] [--full] [--audit] \
-[--serve] [--profile] [--out file]
+[--serve] [--profile] [--par-intra] [--out file]
   lubt report --baseline A.json --current B.json [--timing-threshold F] \
 [--ignore-timings] [--json [out.json]]
   lubt lint <input> [--lower L] [--upper U] [--absolute] \
@@ -285,6 +285,13 @@ fn cmd_solve(parsed: &Parsed) -> Result<(), String> {
     }
     if let Some(limit) = lp_budget(parsed)? {
         builder = builder.max_lp_iterations(limit);
+    }
+    // Intra-solve worker count: 0 = one worker per core, 1 (the default) =
+    // the exact sequential path. Output bytes are identical for every
+    // value (DESIGN.md §17), so no determinism caveat applies here.
+    reject_bare(parsed, &["threads"])?;
+    if let Some(threads) = parsed.get_usize("threads")? {
+        builder = builder.threads(threads);
     }
     let audit = parsed.has("audit");
     builder = builder.audit(audit);
@@ -793,6 +800,7 @@ fn cmd_bench(parsed: &Parsed) -> Result<(), String> {
     config.audit = parsed.has("audit");
     config.serve = parsed.has("serve");
     config.profile = parsed.has("profile");
+    config.par_intra = parsed.has("par-intra");
     let run = lubt_bench::suite::run(&config)?;
     let out = parsed
         .get("out")

@@ -1362,3 +1362,64 @@ fn profile_shape_is_thread_count_invariant() {
     assert!(err.contains("unknown format"), "{err}");
     let _ = std::fs::remove_file(&pts);
 }
+
+#[test]
+fn solve_threads_flag_is_byte_identical_and_validated() {
+    let pts = tmp("solve-threads.pts");
+    let out = lubt()
+        .args(["gen", "uniform", "--sinks", "24", "--seed", "19", "--out"])
+        .arg(&pts)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Byte-identical stdout across thread counts, including 0 (= all
+    // cores) on the assisted revised backend.
+    let run = |threads: &str| {
+        let out = lubt()
+            .args(["solve"])
+            .arg(&pts)
+            .args(["--lower", "0.9", "--upper", "1.4"])
+            .args(["--lp-backend", "revised", "--threads", threads])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "threads {threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let solo = run("1");
+    for threads in ["2", "8", "0"] {
+        assert_eq!(
+            run(threads),
+            solo,
+            "solve stdout differs between 1 and {threads} threads"
+        );
+    }
+
+    // Negative counts are rejected with the integer-flag error style.
+    let out = lubt()
+        .args(["solve"])
+        .arg(&pts)
+        .args(["--lower", "0.9", "--upper", "1.4", "--threads", "-1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--threads expects an integer"), "{err}");
+
+    // A bare --threads is rejected instead of silently ignored.
+    let out = lubt()
+        .args(["solve"])
+        .arg(&pts)
+        .args(["--lower", "0.9", "--upper", "1.4", "--threads"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--threads requires a value"), "{err}");
+
+    let _ = std::fs::remove_file(&pts);
+}

@@ -241,13 +241,17 @@ impl EbfSolver {
         self
     }
 
-    /// Sets the worker count of the parallel separation oracle (`0` = all
-    /// available cores, default `1` = the exact sequential scan).
+    /// Sets the worker count for **all** intra-solve parallelism (`0` =
+    /// all available cores, default `1` = the exact sequential path):
+    /// the separation oracle's pair triangle *and*, on the revised
+    /// backend, the assisted pricing / dual-candidate scans inside each
+    /// LP (re-)solve.
     ///
     /// Thanks to the canonical cut-merge order of
-    /// [`crate::steiner::violated_pairs_with_threads`], the solve is
-    /// bit-for-bit identical for every value — this knob only changes how
-    /// fast the `O(m^2)` oracle runs between LP re-solves.
+    /// [`crate::steiner::violated_pairs_with_threads`] and the
+    /// deterministic lowest-index-wins reduction of the assisted scans
+    /// (DESIGN.md §17), the solve is bit-for-bit identical for every
+    /// value — this knob only changes wall-clock.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
@@ -296,7 +300,9 @@ impl EbfSolver {
     /// The revised-simplex backend configured with this solver's recorder
     /// and iteration cap.
     fn revised(&self) -> RevisedSolver {
-        let mut s = RevisedSolver::new().with_recorder(Arc::clone(&self.recorder));
+        let mut s = RevisedSolver::new()
+            .with_recorder(Arc::clone(&self.recorder))
+            .with_threads(self.threads);
         if let Some(limit) = self.max_lp_iterations {
             s = s.with_max_iterations(limit);
         }
@@ -625,6 +631,7 @@ impl EbfSolver {
                     };
                     let mut rounds = 0usize;
                     let mut truncated = false;
+                    let mut sep_cache = crate::steiner::SeparationCache::new();
                     loop {
                         // One span per separation round, covering the warm
                         // resolve and the violated-pair scan.
@@ -669,11 +676,12 @@ impl EbfSolver {
                         let violated = {
                             let _t = PhaseTimer::new(rec, "time.separation");
                             let _span = SpanGuard::enter(rec, "separate");
-                            crate::steiner::violated_pairs_traced(
+                            crate::steiner::violated_pairs_cached(
                                 problem,
                                 &lengths,
                                 self.violation_tol,
                                 self.threads,
+                                &mut sep_cache,
                                 rec,
                             )
                         };
@@ -728,6 +736,7 @@ impl EbfSolver {
                     }
                 }
                 let mut rounds = 0usize;
+                let mut sep_cache = crate::steiner::SeparationCache::new();
                 loop {
                     let round_label = round_name(rounds + 1);
                     let _round_span = SpanGuard::enter(rec, &round_label);
@@ -738,11 +747,12 @@ impl EbfSolver {
                     let violated = {
                         let _t = PhaseTimer::new(rec, "time.separation");
                         let _span = SpanGuard::enter(rec, "separate");
-                        crate::steiner::violated_pairs_traced(
+                        crate::steiner::violated_pairs_cached(
                             problem,
                             &lengths,
                             self.violation_tol,
                             self.threads,
+                            &mut sep_cache,
                             rec,
                         )
                     };

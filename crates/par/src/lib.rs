@@ -1,13 +1,14 @@
 //! Dependency-free work-stealing parallelism for the LUBT workspace.
 //!
-//! Two layers, both built on `std` threads, `Mutex`/`Condvar` and atomics
+//! Three layers, all built on `std` threads, `Mutex`/`Condvar` and atomics
 //! only (the build environment is offline — no rayon, no crossbeam):
 //!
 //! * [`Pool`] — a persistent work-stealing thread pool for `'static` jobs.
 //!   Each worker owns a deque; owners pop LIFO from the back, idle workers
 //!   steal FIFO from the front of a victim's deque, and sleepers park on a
 //!   condvar. Used for fire-and-forget jobs and the spawn/join stress
-//!   tests.
+//!   tests. [`Pool::assist_loop`] / [`Pool::assist_reduce`] lend the
+//!   pool's idle capacity to a borrowed intra-solve loop.
 //! * [`parallel_map`] / [`parallel_flat_map`] — scoped, *deterministic*
 //!   data-parallel iteration over an index range, in the style of the
 //!   workassisting chunked self-scheduling loop. The range is split into
@@ -16,6 +17,13 @@
 //!   buffers are merged in ascending chunk order after the join. The
 //!   result is **bit-for-bit identical for every thread count** (including
 //!   the serial `threads <= 1` path) as long as the closure is pure.
+//! * [`assist_flat_map`] / [`assist_reduce`] — work-assisting iteration:
+//!   no pre-split partition at all, just one shared atomic claim index
+//!   that every participant (the caller plus late-joining helpers) bumps
+//!   to take the next block. Built for short, repeated, irregular loops
+//!   inside a single solve — the partial-pricing window and the
+//!   separation triangle — with the same ascending-block-order merge and
+//!   the same bit-identity contract (DESIGN.md §17).
 //!
 //! That merge-order guarantee is the contract the EBF separation oracle
 //! relies on: the violated-cut set a lazy solve adds each round — and
@@ -33,9 +41,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod assist;
 mod chunks;
 mod pool;
 
+pub use assist::{assist_flat_map, assist_flat_map_traced, assist_reduce, assist_reduce_traced};
 pub use chunks::{parallel_flat_map, parallel_flat_map_traced, parallel_map, parallel_map_traced};
 pub use pool::Pool;
 

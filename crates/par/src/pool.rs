@@ -20,6 +20,8 @@ struct Shared {
     queued: AtomicUsize,
     /// Jobs pushed but not yet finished running.
     pending: AtomicUsize,
+    /// Workers currently executing a job (busy, not merely queued-for).
+    busy: AtomicUsize,
     /// `true` once the pool is shutting down. Guards [`Shared::work_cv`].
     shutdown: Mutex<bool>,
     work_cv: Condvar,
@@ -63,6 +65,7 @@ impl Shared {
     }
 
     fn run_job(&self, job: Job) {
+        self.busy.fetch_add(1, Ordering::AcqRel);
         if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
             let msg = payload
                 .downcast_ref::<&str>()
@@ -72,6 +75,7 @@ impl Shared {
             let mut slot = self.panicked.lock().expect("panic slot poisoned");
             slot.get_or_insert(msg);
         }
+        self.busy.fetch_sub(1, Ordering::AcqRel);
         if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
             let _guard = self.idle.lock().expect("idle lock poisoned");
             self.idle_cv.notify_all();
@@ -147,6 +151,7 @@ impl Pool {
             queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             queued: AtomicUsize::new(0),
             pending: AtomicUsize::new(0),
+            busy: AtomicUsize::new(0),
             shutdown: Mutex::new(false),
             work_cv: Condvar::new(),
             idle: Mutex::new(()),
@@ -195,6 +200,52 @@ impl Pool {
         self.shared.work_cv.notify_one();
     }
 
+    /// Workers with nothing running and nothing queued for them — the
+    /// capacity [`Pool::assist_loop`] can lend to an in-progress solve
+    /// without oversubscribing the machine.
+    pub fn idle_workers(&self) -> usize {
+        let occupied =
+            self.shared.busy.load(Ordering::Acquire) + self.shared.queued.load(Ordering::Acquire);
+        self.threads().saturating_sub(occupied)
+    }
+
+    /// Runs `f(i, &mut buf)` over `0..n` under assisted claiming
+    /// ([`crate::assist_flat_map`]), sized to the caller plus every
+    /// worker that is idle *right now* — a pool busy with batch work
+    /// lends nothing, a drained pool lends everything.
+    ///
+    /// The helpers are scoped threads (pool jobs must be `'static`, a
+    /// borrowed solve loop is not), so "joining" happens at the claim
+    /// index: the pool donates capacity, and the output is bit-identical
+    /// whatever that capacity happens to be.
+    pub fn assist_loop<T, F>(&self, n: usize, grain: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &mut Vec<T>) + Sync,
+    {
+        let width = 1 + self.idle_workers();
+        if self.shared.recorder.enabled() {
+            rec_donated(&*self.shared.recorder, width - 1);
+        }
+        crate::assist_flat_map_traced(width, n, grain, &*self.shared.recorder, f)
+    }
+
+    /// [`Pool::assist_loop`] for reductions: runs `block` over claimed
+    /// index ranges and folds the results in ascending block order
+    /// ([`crate::assist_reduce`]), sized like [`Pool::assist_loop`].
+    pub fn assist_reduce<T, B, F>(&self, n: usize, grain: usize, block: B, fold: F) -> Option<T>
+    where
+        T: Send,
+        B: Fn(std::ops::Range<usize>) -> T + Sync,
+        F: FnMut(T, T) -> T,
+    {
+        let width = 1 + self.idle_workers();
+        if self.shared.recorder.enabled() {
+            rec_donated(&*self.shared.recorder, width - 1);
+        }
+        crate::assist_reduce_traced(width, n, grain, &*self.shared.recorder, block, fold)
+    }
+
     /// Blocks until every spawned job has finished (the "join" half of
     /// spawn/join).
     ///
@@ -222,6 +273,11 @@ impl Pool {
             panic!("lubt-par pool job panicked: {msg}");
         }
     }
+}
+
+/// Records how many idle workers a pool lent to an assisted loop.
+fn rec_donated(rec: &dyn Recorder, donated: usize) {
+    rec.incr("pool.assist.donated", donated as u64);
 }
 
 impl Drop for Pool {
@@ -305,6 +361,39 @@ mod tests {
             .map(|w| t.counter(&format!("pool.worker{w}.steals")))
             .sum();
         assert_eq!(t.counter("pool.steals"), per_worker);
+    }
+
+    #[test]
+    fn assist_loop_matches_serial_and_reports_donation() {
+        let rec = Arc::new(lubt_obs::TraceRecorder::new());
+        let pool = Pool::with_recorder(4, rec.clone());
+        pool.wait();
+        let serial: Vec<usize> = (0..100).map(|i| i * i).collect();
+        let par = pool.assist_loop(100, 4, |i, out| out.push(i * i));
+        assert_eq!(par, serial);
+        let folded = pool.assist_reduce(100, 4, |r| r.map(|i| i * i).sum::<usize>(), |a, b| a + b);
+        assert_eq!(folded, Some(serial.iter().sum()));
+        let t = rec.snapshot();
+        // A drained pool lends every worker; both calls record it.
+        assert!(t.counter("pool.assist.donated") >= 1);
+        assert_eq!(t.counter("par.assist.loops"), 2);
+    }
+
+    #[test]
+    fn idle_workers_is_bounded_by_the_pool_size() {
+        let pool = Pool::new(3);
+        pool.wait();
+        assert!(pool.idle_workers() <= 3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let counter = Arc::clone(&counter);
+            pool.spawn(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert!(pool.idle_workers() <= 3);
+        pool.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
     }
 
     #[test]

@@ -56,6 +56,11 @@ struct Shared {
     /// Requests admitted but not yet written back; drained before
     /// `wait` returns so a process exit cannot cut a response short.
     inflight: AtomicUsize,
+    /// Workers currently executing a request. Idle workers' cores are
+    /// donated to the active solve's assisted intra-solve loops
+    /// (DESIGN.md §17) — donation never changes response bytes, only
+    /// wall-clock.
+    busy: AtomicUsize,
 }
 
 impl Shared {
@@ -121,6 +126,7 @@ impl Server {
             stopped: Mutex::new(false),
             stop_cv: Condvar::new(),
             inflight: AtomicUsize::new(0),
+            busy: AtomicUsize::new(0),
             config,
         });
         let workers = (0..worker_count)
@@ -444,6 +450,7 @@ fn worker_loop(shared: &Arc<Shared>) {
         let mut cache_outcome = "none";
         let queue_wait_ns = saturating_ns(job.admitted.elapsed().as_nanos());
         let solve_start = Instant::now();
+        shared.busy.fetch_add(1, Ordering::Relaxed);
         let response = {
             let _timer = PhaseTimer::new(&*rec, "time.serve.request");
             // The request span roots this request's profile; the solve's
@@ -471,6 +478,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 )
             }
         };
+        shared.busy.fetch_sub(1, Ordering::Relaxed);
         let solve_ns = saturating_ns(solve_start.elapsed().as_nanos());
         let snapshot = rec.snapshot();
         let mut agg = AggregateTrace::new();
@@ -542,20 +550,39 @@ fn access_line(
     )
 }
 
-/// Builds the solve pipeline for one instance of `req`. Bounds come
-/// through the checked constructor: wire input must never be able to
-/// panic a worker.
-fn builder_for(req: &Request, inst: &Instance) -> Result<LubtBuilder, LubtError> {
+/// Builds the solve pipeline for one instance of `req` with `threads`
+/// intra-solve workers. Bounds come through the checked constructor:
+/// wire input must never be able to panic a worker.
+fn builder_for(req: &Request, inst: &Instance, threads: usize) -> Result<LubtBuilder, LubtError> {
     let (lo, up) = req.window_for(inst);
     let bounds = DelayBounds::from_pairs(vec![(lo, up); inst.sinks.len()])?;
     let mut builder = LubtBuilder::new(inst.sinks.clone())
         .bounds(bounds)
         .backend(req.backend)
-        .threads(1);
+        .threads(threads.max(1));
     if let Some(src) = inst.source {
         builder = builder.source(src);
     }
     Ok(builder)
+}
+
+/// How many cores the *other* (currently idle) workers can lend this
+/// worker's solve. `busy` includes the caller, so a lone active worker
+/// on a `W`-worker daemon gets `W - 1` donated threads.
+fn donated_threads(shared: &Shared) -> usize {
+    let workers = shared.config.effective_workers();
+    let busy = shared.busy.load(Ordering::Relaxed).clamp(1, workers);
+    workers - busy
+}
+
+/// Resolves the intra-solve width for one request and records the
+/// donation under the scheduling-exempt `pool.` prefix.
+fn assist_width(shared: &Shared, rec: &TraceRecorder) -> usize {
+    let donated = donated_threads(shared);
+    if donated > 0 {
+        rec.incr("pool.assist.donated", donated as u64);
+    }
+    1 + donated
 }
 
 fn execute(
@@ -585,7 +612,7 @@ fn execute(
             // Audits always run the pipeline (the certificate promise
             // forbids cached answers), so the outcome is always cold.
             *cache_outcome = "cold";
-            run_audit(req, rec, cold_solves)
+            run_audit(req, shared, rec, cold_solves)
         }
         Op::Batch => {
             *cache_outcome = "mixed";
@@ -666,7 +693,7 @@ fn solve_one(
             }
         }
     }
-    let builder = builder_for(req, inst)?;
+    let builder = builder_for(req, inst, assist_width(shared, rec))?;
     let (solution, warm) = builder.solve_retaining_recorded(Arc::clone(rec) as Arc<dyn Recorder>)?;
     *cold_solves += 1;
     rec.incr("serve.cold_solves", 1);
@@ -695,8 +722,13 @@ fn solve_one(
 /// Audited solves bypass both cache tiers: `audit` promises exact
 /// certificate verification on *this* request, which a cached or
 /// replayed answer would silently skip.
-fn run_audit(req: &Request, rec: &Arc<TraceRecorder>, cold_solves: &mut u64) -> String {
-    let outcome = builder_for(req, &req.instances[0])
+fn run_audit(
+    req: &Request,
+    shared: &Arc<Shared>,
+    rec: &Arc<TraceRecorder>,
+    cold_solves: &mut u64,
+) -> String {
+    let outcome = builder_for(req, &req.instances[0], assist_width(shared, rec))
         .map(|b| b.audit(true))
         .and_then(|builder| builder.solve_retaining_recorded(Arc::clone(rec) as Arc<dyn Recorder>));
     match outcome {
@@ -757,7 +789,9 @@ fn run_batch(
                 continue;
             }
         }
-        match builder_for(req, inst).and_then(|b| b.build()) {
+        // Batch keeps one thread per instance: its parallelism budget is
+        // already spent across the daemon's workers.
+        match builder_for(req, inst, 1).and_then(|b| b.build()) {
             Ok(problem) => {
                 cold.push(problem);
                 cold_slots.push(i);
